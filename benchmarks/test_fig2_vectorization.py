@@ -1,0 +1,46 @@
+"""Figure 2: impact of vectorization in GROMACS (16 threads, 100 timesteps).
+
+Paper values (I/O excluded) — x86 Intel Xeon Gold 6130:
+None 211.9s, SSE2 38.6s, SSE4.1 38.5s, AVX2_128 34.6s, AVX_256 28.1s,
+AVX_512 24.2s (-37.4% SSE2->AVX_512 region); ARM NVIDIA GH200:
+None 94.8s, SVE 28.2s, NEON_ASIMD 25.3s.
+"""
+
+from conftest import print_table
+
+from repro.discovery import get_system
+from repro.perf import build_app, run_workload
+
+PAPER_X86 = {"None": 211.9, "SSE2": 38.6, "SSE4.1": 38.5,
+             "AVX2_128": 34.6, "AVX_256": 28.1, "AVX_512": 24.2}
+PAPER_ARM = {"None": 94.8, "ARM_SVE": 28.2, "ARM_NEON_ASIMD": 25.3}
+
+
+def _sweep(gm, system, levels):
+    out = {}
+    for simd in levels:
+        art = build_app(gm, {"GMX_SIMD": simd, "GMX_FFT_LIBRARY": "fftw3"},
+                        label=simd, build_system=system)
+        rep = run_workload(art, system, "fig2", threads=16, steps=100)
+        out[simd] = rep.total_seconds - rep.io_seconds  # paper excludes I/O
+    return out
+
+
+def test_fig2_x86(benchmark, gromacs_perf_model):
+    system = get_system("ault23")
+    times = benchmark(lambda: _sweep(gromacs_perf_model, system, list(PAPER_X86)))
+    print_table("Figure 2 (x86, Xeon 6130)", ("SIMD", "paper (s)", "measured (s)"),
+                [(k, PAPER_X86[k], f"{times[k]:.1f}") for k in PAPER_X86])
+    ordered = [times[k] for k in PAPER_X86]
+    assert ordered == sorted(ordered, reverse=True)
+    assert times["None"] / times["SSE2"] > 3.5          # the headline cliff
+    assert 1.3 < times["SSE2"] / times["AVX_512"] < 2.0  # paper: 1.60
+
+
+def test_fig2_arm(benchmark, gromacs_perf_model):
+    system = get_system("clariden")
+    times = benchmark(lambda: _sweep(gromacs_perf_model, system, list(PAPER_ARM)))
+    print_table("Figure 2 (ARM, GH200)", ("SIMD", "paper (s)", "measured (s)"),
+                [(k, PAPER_ARM[k], f"{times[k]:.1f}") for k in PAPER_ARM])
+    assert times["None"] > times["ARM_SVE"] > times["ARM_NEON_ASIMD"]
+    assert 2.5 < times["None"] / times["ARM_NEON_ASIMD"] < 5.5  # paper: 3.75

@@ -1,0 +1,106 @@
+"""Table 4: LLMs parsing the GROMACS configuration (10 runs per model).
+
+Paper: tokens in/out, latency, cost, and min/med/max F1, precision, recall
+for seven models. Plus the Sec. 6.2 generalization experiment on llama.cpp
+(no in-context examples; normalization recovers part of the score).
+"""
+
+import statistics
+
+from conftest import print_table
+
+from repro.apps import llamacpp_model
+from repro.discovery import (
+    MODEL_PROFILES,
+    analyze_build_script,
+    get_model,
+    score_report,
+)
+from repro.discovery.scoring import AggregateScore
+
+RUNS = 10
+
+# Paper's Table 4 medians for shape checking.
+PAPER_F1_MED = {
+    "gemini-flash-1.5-exp": 0.902, "gemini-flash-2-exp": 0.978,
+    "claude-3-5-haiku-20241022": 0.672, "claude-3-5-sonnet-20241022": 0.672,
+    "claude-3-7-sonnet-20250219": 0.883, "o3-mini-2025-01-31": 0.924,
+    "gpt-4o-2024-08-06": 0.774,
+}
+
+
+def _evaluate_all(tree, truth):
+    rows = []
+    for name in MODEL_PROFILES:
+        model = get_model(name)
+        results = [model.analyze(tree, run_id=i) for i in range(RUNS)]
+        scores = [score_report(r.report, truth) for r in results]
+        agg = AggregateScore.from_scores(scores)
+        rows.append((name, results, agg))
+    return rows
+
+
+def test_table4_gromacs(benchmark, gromacs_bench_model):
+    tree = gromacs_bench_model.tree
+    truth = analyze_build_script(tree)
+    rows = benchmark(lambda: _evaluate_all(tree, truth))
+
+    printable = []
+    for name, results, agg in rows:
+        tokens_in = statistics.mean(r.tokens_in for r in results)
+        tokens_out = statistics.mean(r.tokens_out for r in results)
+        latency = statistics.mean(r.latency_s for r in results)
+        cost = statistics.mean(r.cost_usd for r in results)
+        printable.append((
+            name, f"{tokens_in:.0f}", f"{tokens_out:.0f}", f"{latency:.1f}",
+            f"{cost:.3f}",
+            f"{agg.f1[0]:.3f}/{agg.f1[1]:.3f}/{agg.f1[2]:.3f}",
+            f"{agg.precision[1]:.3f}", f"{agg.recall[1]:.3f}",
+            f"{PAPER_F1_MED[name]:.3f}"))
+    print_table("Table 4 (GROMACS, 10 runs/model)",
+                ("model", "tok_in", "tok_out", "t(s)", "cost$",
+                 "F1 min/med/max", "P med", "R med", "paper F1 med"),
+                printable)
+
+    by_name = {name: agg for name, _, agg in rows}
+    # Shape: Gemini-2 best; Claude-3.5 family clearly below the top tier.
+    assert by_name["gemini-flash-2-exp"].f1[1] == max(a.f1[1] for a in by_name.values())
+    for weak in ("claude-3-5-haiku-20241022", "claude-3-5-sonnet-20241022"):
+        assert by_name[weak].f1[1] < by_name["gemini-flash-2-exp"].f1[1] - 0.15
+    # o3-mini: strong median, wide spread (paper: 0.559-0.968).
+    o3 = by_name["o3-mini-2025-01-31"]
+    assert o3.f1[1] > 0.85 and (o3.f1[2] - o3.f1[0]) > 0.1
+    # Claude-3.5: precision >> recall (paper: P~0.88, R~0.54).
+    c35 = by_name["claude-3-5-sonnet-20241022"]
+    assert c35.precision[1] - c35.recall[1] > 0.2
+    # Every median within 0.12 of the paper's.
+    for name, _, agg in rows:
+        assert abs(agg.f1[1] - PAPER_F1_MED[name]) < 0.12, name
+
+
+def test_table4_generalization_llamacpp(benchmark):
+    """Sec 6.2 'Generalization': ggml without in-context examples."""
+    lt = llamacpp_model()
+    truth = analyze_build_script(lt.tree, "ggml.cmake")
+
+    def run():
+        rows = {}
+        for name in ("claude-3-7-sonnet-20250219", "o3-mini-2025-01-31",
+                     "gemini-flash-2-exp"):
+            model = get_model(name)
+            raw, norm = [], []
+            for i in range(RUNS):
+                res = model.analyze(lt.tree, "ggml.cmake", run_id=i,
+                                    in_context_examples=False)
+                raw.append(score_report(res.report, truth, normalize=False).f1)
+                norm.append(score_report(res.report, truth, normalize=True).f1)
+            rows[name] = (statistics.median(raw), statistics.median(norm))
+        return rows
+
+    rows = benchmark(run)
+    print_table("Sec 6.2 generalization (ggml, no in-context examples)",
+                ("model", "F1 raw", "F1 normalized"),
+                [(n, f"{r:.3f}", f"{m:.3f}") for n, (r, m) in rows.items()])
+    for name, (raw, norm) in rows.items():
+        assert norm >= raw  # normalization never hurts
+        assert norm < 0.95  # generalization is harder than the tuned GROMACS case

@@ -1,0 +1,96 @@
+"""Tables 1-3 and the Sec. 6.5 network experiment.
+
+Table 1/2 are regenerated from the queryable catalogs; Table 3 from the
+libfabric provider model; Sec. 6.5 from the bandwidth simulator (bare-metal
+Cray-MPICH 64 GB/s vs containerized-over-cxi 23.5 GB/s vs LinkX 64-70 GB/s).
+"""
+
+from conftest import print_table
+
+from repro.apps import TABLE1, portability_continuum, table1_rows, table2_rows
+from repro.netfabric import (
+    feature_matrix,
+    intra_node_bandwidth,
+    message_sweep,
+    providers_supporting,
+)
+
+
+def test_table1_specialization_catalog(benchmark):
+    rows = benchmark(table1_rows)
+    print_table("Table 1 (specialization points)",
+                ("Domain", "Name", "Arch spec.", "GPU", "Parallelism",
+                 "Vectorization", "Perf libraries"), rows)
+    assert len(rows) == 9
+    # Every app except LULESH declares performance-library or GPU choices.
+    assert all(TABLE1[n].gpu_acceleration or TABLE1[n].performance_libraries
+               or n in ("LULESH", "OpenQCD") for n in TABLE1)
+    # All nine support some form of multi-node or multi-thread parallelism.
+    assert all(TABLE1[n].parallelism for n in TABLE1)
+
+
+def test_table2_portability_layers(benchmark):
+    rows = benchmark(lambda: table2_rows(include_xaas=True))
+    print_table("Table 2 (+ XaaS rows)",
+                ("Level", "Technology", "Description", "Approach", "Integration"),
+                rows)
+    continuum = portability_continuum()
+    print("\nFig 1 continuum (most target-side build first):")
+    print("  " + "  >  ".join(continuum))
+    assert continuum[0] == "Spack / EasyBuild"
+    assert continuum.index("XaaS source container") < continuum.index("XaaS IR container")
+
+
+def test_table3_libfabric_matrix(benchmark):
+    rows = benchmark(feature_matrix)
+    print_table("Table 3 (libfabric 2.0 providers)",
+                ("Feature", "tcp", "verbs", "cxi", "efa", "opx"), rows)
+    # Spot checks against the paper's table.
+    assert providers_supporting("scalable_endpoints") == ["opx"]
+    assert "cxi" in providers_supporting("trigger_operations")
+    assert "tcp" not in providers_supporting("atomic_operations")
+    # No provider supports everything: the portability gap of Sec. 2.2.
+    full_support = [name for name in ("tcp", "verbs", "cxi", "efa", "opx")
+                    if name in set(providers_supporting("message", fully=True))
+                    and name in set(providers_supporting("trigger_operations", fully=True))]
+    assert full_support == []
+
+
+def test_sec65_network_bandwidth(benchmark):
+    def run():
+        scenarios = {
+            "bare-metal Cray-MPICH (shm)": intra_node_bandwidth(
+                "cray-mpich", "cxi", containerized=False),
+            "container OpenMPI via cxi hook": intra_node_bandwidth(
+                "openmpi", "cxi", containerized=True),
+            "container MPICH via LinkX": intra_node_bandwidth(
+                "mpich", "lnx", containerized=True),
+            "container OpenMPI via LinkX": intra_node_bandwidth(
+                "openmpi", "lnx", containerized=True),
+            "container, no hook (tcp)": intra_node_bandwidth(
+                "openmpi", "cxi", containerized=True, hook_replaced=False),
+        }
+        return scenarios
+
+    scenarios = benchmark(run)
+    paper = {"bare-metal Cray-MPICH (shm)": 64.0,
+             "container OpenMPI via cxi hook": 23.5,
+             "container MPICH via LinkX": 64.0,
+             "container OpenMPI via LinkX": 70.0,
+             "container, no hook (tcp)": "-"}
+    print_table("Sec 6.5 intra-node bandwidth (Clariden)",
+                ("scenario", "path", "peak GB/s", "paper GB/s"),
+                [(k, v.path.value, f"{v.peak_gbps:.1f}", paper[k])
+                 for k, v in scenarios.items()])
+    bare = scenarios["bare-metal Cray-MPICH (shm)"]
+    hooked = scenarios["container OpenMPI via cxi hook"]
+    linkx = scenarios["container OpenMPI via LinkX"]
+    assert bare.peak_gbps == 64.0
+    assert hooked.peak_gbps == 23.5
+    assert linkx.peak_gbps == 70.0
+    # Message-size sweep saturates monotonically.
+    sweep = message_sweep(bare)
+    print("\nbandwidth ramp (bare metal):",
+          " ".join(f"{s >> 10}KiB:{bw:.1f}" for s, bw in sweep[::4]))
+    values = [bw for _, bw in sweep]
+    assert values == sorted(values)

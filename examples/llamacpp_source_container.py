@@ -1,0 +1,54 @@
+"""llama.cpp source containers across three HPC systems (the Fig. 11 story).
+
+One source image is published; deploying it on Ault23 (V100), Clariden
+(GH200) and Aurora (Intel Max) produces three differently-specialized
+images, each near the hand-tuned build for its system, while a naive build
+leaves the GPU unused everywhere.
+
+Run:  python examples/llamacpp_source_container.py
+"""
+
+from repro.apps import llamacpp_model
+from repro.containers import BlobStore
+from repro.core import build_source_image, deploy_source_container
+from repro.discovery import get_system
+from repro.perf import build_app, run_workload
+
+GPU_OPTION = {"ault23": "GGML_CUDA", "clariden": "GGML_CUDA", "aurora": "GGML_SYCL"}
+
+
+def bench(artifact, system, threads):
+    return sum(run_workload(artifact, system, w, threads=threads).total_seconds
+               for w in ("pp512", "tg128"))
+
+
+def main() -> None:
+    app = llamacpp_model()
+    dev = get_system("dev-machine")
+
+    for sysname in ("ault23", "clariden", "aurora"):
+        system = get_system(sysname)
+        threads = 16 if sysname == "ault23" else 36
+        store = BlobStore()
+        arch = "arm64" if system.architecture == "arm64" else "amd64"
+        source = build_source_image(app, store, arch=arch)
+
+        naive = build_app(app, {}, build_system=system, label="naive")
+        deployed = deploy_source_container(
+            source, system, store,
+            selection={GPU_OPTION[sysname]: "ON"},
+            build_host=None if system.supports_container_build else dev)
+
+        t_naive = bench(naive, system, threads)
+        t_xaas = bench(deployed.artifact, system, threads)
+        gpu = deployed.artifact.gpu_backend
+        print(f"{sysname:<10} naive {t_naive:6.2f} s | "
+              f"XaaS source ({gpu}) {t_xaas:6.2f} s | "
+              f"speedup {t_naive / t_xaas:5.2f}x | tag {deployed.tag}")
+        if deployed.excluded:
+            skipped = ", ".join(sorted(deployed.excluded))
+            print(f"           excluded by intersection: {skipped[:90]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""LLM-assisted specialization discovery (the Table 4 workflow).
+
+Runs every simulated analyst model over the GROMACS build script ten times,
+scores each run against the ground truth derived from the same script, and
+prints a Table-4-style summary. Also demonstrates the Fig. 4 flow: intersect
+the discovered specialization points with a target system's features.
+
+Run:  python examples/llm_discovery.py
+"""
+
+import json
+import statistics
+
+from repro.apps import gromacs_model
+from repro.core import default_selection, intersect_specializations
+from repro.discovery import (
+    MODEL_PROFILES,
+    analyze_build_script,
+    get_model,
+    get_system,
+    score_report,
+)
+from repro.discovery.scoring import AggregateScore
+
+
+def main() -> None:
+    app = gromacs_model(scale=0.05)
+    truth = analyze_build_script(app.tree)
+
+    print("== Table 4: model comparison on GROMACS (10 runs each) ==")
+    header = (f"{'model':<28} {'tok_in':>7} {'tok_out':>8} {'time(s)':>8} "
+              f"{'cost($)':>8}  F1 min/med/max")
+    print(header)
+    print("-" * len(header))
+    for name in MODEL_PROFILES:
+        model = get_model(name)
+        results = [model.analyze(app.tree, run_id=i) for i in range(10)]
+        scores = [score_report(r.report, truth) for r in results]
+        agg = AggregateScore.from_scores(scores)
+        print(f"{name:<28} "
+              f"{statistics.mean(r.tokens_in for r in results):>7.0f} "
+              f"{statistics.mean(r.tokens_out for r in results):>8.0f} "
+              f"{statistics.mean(r.latency_s for r in results):>8.1f} "
+              f"{statistics.mean(r.cost_usd for r in results):>8.3f}  "
+              f"{agg.f1[0]:.3f}/{agg.f1[1]:.3f}/{agg.f1[2]:.3f}")
+
+    print("\n== Fig. 4: intersecting discovery with Ault25 (AMD + A100) ==")
+    system = get_system("ault25")
+    common = intersect_specializations(truth, system)
+    print("viable SIMD levels:", ", ".join(sorted(common.simd)))
+    print("viable GPU backends:", ", ".join(sorted(common.gpu_backends)))
+    print("examples of exclusions:")
+    for name, reason in list(common.excluded.items())[:5]:
+        print(f"  {name}: {reason}")
+    selection = default_selection(common, system)
+    print("\noperator-preference selection:")
+    print(json.dumps(selection, indent=2))
+
+
+if __name__ == "__main__":
+    main()

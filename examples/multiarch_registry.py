@@ -1,0 +1,60 @@
+"""Multi-arch-IR registries and OCI compatibility (the Sec. 5.2 proposal).
+
+Builds x86 and ARM IR containers for LULESH, publishes them under one tag
+through a multi-platform index whose entries use ``llvm-ir`` as the image
+architecture, then resolves and deploys the right one per target system —
+and shows the annotation-before-pull query XaaS proposes.
+
+Run:  python examples/multiarch_registry.py
+"""
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.containers import BlobStore, ImageIndex, Platform, Registry
+from repro.core import build_ir_container, deploy_ir_container
+from repro.discovery import get_system
+from repro.perf import run_workload
+
+
+def main() -> None:
+    app = lulesh_model()
+    store = BlobStore()
+    registry = Registry()
+
+    print("== 1. Build one IR container per architecture family ==")
+    images = {}
+    for family in ("x86_64", "aarch64"):
+        result = build_ir_container(app, lulesh_configs(), store=store,
+                                    arch_family=family)
+        images[family] = result
+        registry.push("spcl/lulesh-ir", family, result.image, source_store=store)
+        print(f"  {family}: {result.stats.summary()}")
+
+    print("\n== 2. Publish a multi-arch-IR index ==")
+    index = ImageIndex(
+        [(Platform("llvm-ir", variant=family), images[family].image.digest)
+         for family in images],
+        annotations={"org.xaas.app": "lulesh"})
+    registry.push_index("spcl/lulesh-ir", "latest", index)
+    print("  tags:", registry.tags("spcl/lulesh-ir"))
+
+    print("\n== 3. Query annotations before pulling ==")
+    for key, value in registry.annotations("spcl/lulesh-ir", "latest").items():
+        print(f"  {key} = {value}")
+
+    print("\n== 4. Deploy the matching IR per system ==")
+    for sysname in ("ault01-04", "clariden"):
+        system = get_system(sysname)
+        family = "aarch64" if system.architecture == "arm64" else "x86_64"
+        pulled = registry.pull("spcl/lulesh-ir", "latest",
+                               Platform("llvm-ir", variant=family))
+        assert pulled.digest == images[family].image.digest
+        dep = deploy_ir_container(images[family], app,
+                                  {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                  system, store)
+        report = run_workload(dep.artifact, system, "s50", threads=16)
+        print(f"  {sysname:<10} ISA {dep.simd_name:<16} "
+              f"{report.total_seconds * 1000:7.1f} ms  (tag {dep.tag})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: the XaaS IR-container workflow end to end on LULESH.
+
+Builds an IR container covering LULESH's four build configurations
+(MPI x OpenMP), shows the deduplication statistics from the paper's Sec. 4.3
+(20 translation units -> 14 IR files), deploys one configuration to a
+CPU-only HPC system, and predicts its runtime.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.containers import BlobStore
+from repro.core import build_ir_container, deploy_ir_container
+from repro.discovery import get_system
+from repro.perf import run_workload
+
+
+def main() -> None:
+    app = lulesh_model()
+    store = BlobStore()
+
+    print("== 1. Build the IR container (runs the full Fig. 7 pipeline) ==")
+    result = build_ir_container(app, lulesh_configs(), store=store)
+    print(result.stats.summary())
+    print(f"image platform: {result.image.platform.architecture} "
+          f"(variant {result.image.platform.variant})")
+    print(f"image size: {result.image.total_size} bytes in {len(result.image.layers)} layers")
+
+    print("\n== 2. Deploy one configuration on Ault01-04 (Xeon 6154) ==")
+    system = get_system("ault01-04")
+    deployment = deploy_ir_container(
+        result, app, {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}, system, store)
+    print(f"selected ISA: {deployment.simd_name}")
+    print(f"image tag: {deployment.tag}")
+    for note in deployment.notes:
+        print(f"  - {note}")
+
+    print("\n== 3. Predicted runtimes across ISA choices ==")
+    for simd in ("None", "SSE4.1", "AVX_256", "AVX_512"):
+        dep = deploy_ir_container(
+            result, app, {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+            system, store, simd_override=simd)
+        report = run_workload(dep.artifact, system, "s50", threads=16)
+        print(f"  {simd:<10} {report.total_seconds * 1000:8.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Synthetic HPC application models (the paper's case studies).
+
+Each model couples a buildable source tree (mini-CMake script + C-subset
+sources) with specialization sweeps and perf workloads:
+
+* :mod:`~repro.apps.gromacs` — the primary case study, sized to reproduce
+  the Sec. 6.4 pipeline statistics;
+* :mod:`~repro.apps.lulesh` — the hand-verifiable 4-config example;
+* :mod:`~repro.apps.llamacpp` — the generalization case study;
+* :mod:`~repro.apps.qespresso` — in-context-learning example subject;
+* :mod:`~repro.apps.catalog` — Tables 1 and 2 as queryable data.
+"""
+
+from repro.apps.base import AppModel, Workload, kernel_filler_source
+from repro.apps.catalog import (
+    TABLE1,
+    TABLE2,
+    XAAS_LAYERS,
+    AppSpecializationProfile,
+    PortabilityLayer,
+    portability_continuum,
+    table1_rows,
+    table2_rows,
+)
+from repro.apps.gromacs import (
+    cuda_vector_configs,
+    five_isa_configs,
+    gromacs_model,
+    gromacs_tree,
+    mpi_openmp_configs,
+)
+from repro.apps.llamacpp import llamacpp_model, llamacpp_tree
+from repro.apps.lulesh import lulesh_configs, lulesh_model, lulesh_tree
+from repro.apps.qespresso import qespresso_model, qespresso_tree
+
+__all__ = [
+    "AppModel", "Workload", "kernel_filler_source",
+    "TABLE1", "TABLE2", "XAAS_LAYERS", "AppSpecializationProfile",
+    "PortabilityLayer", "portability_continuum", "table1_rows", "table2_rows",
+    "cuda_vector_configs", "five_isa_configs", "gromacs_model", "gromacs_tree",
+    "mpi_openmp_configs",
+    "llamacpp_model", "llamacpp_tree",
+    "lulesh_configs", "lulesh_model", "lulesh_tree",
+    "qespresso_model", "qespresso_tree",
+]

@@ -1,0 +1,98 @@
+"""Common application-model machinery.
+
+Each app module builds a :class:`AppModel`: a virtual source tree (build
+script + C-subset sources + config template), the specialization sweeps used
+by the IR-container experiments, and workload definitions for the performance
+model. Apps are *synthetic but structurally faithful*: file counts,
+macro-dependence fractions and specialization points are sized so the
+paper's pipeline statistics (Sec. 6.4) emerge from actually running the
+pipeline, not from hard-coded constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buildsys import SourceTree
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark input: bindings for symbolic loop bounds.
+
+    ``bindings`` resolve the kernel loop bounds (``n_atoms``...); ``steps``
+    is the outer timestep/iteration count; ``io_seconds`` models the I/O
+    overhead the paper reports separately in Fig. 12.
+    """
+
+    name: str
+    bindings: dict[str, float]
+    steps: int
+    io_seconds: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class AppModel:
+    """A complete synthetic application."""
+
+    name: str
+    tree: SourceTree
+    # Option name -> values to sweep in IR-container experiments.
+    sweeps: dict[str, list[str]] = field(default_factory=dict)
+    workloads: dict[str, Workload] = field(default_factory=dict)
+    # Functions whose cost dominates a timestep, with per-step call counts.
+    hot_functions: dict[str, float] = field(default_factory=dict)
+    # Baseline per-step work not captured by compiled kernels (library calls
+    # like FFTW/cuFFT), in abstract work units; consumed by repro.perf.
+    library_work: dict[str, float] = field(default_factory=dict)
+    # Functions offloaded to the GPU when a GPU backend is built + available,
+    # and the workload binding that measures their total work units.
+    gpu_functions: frozenset[str] = frozenset()
+    gpu_work_binding: str = ""
+    # Cost of one GPU work unit relative to a GROMACS pair interaction.
+    gpu_unit_cost: float = 1.0
+    scale: float = 1.0
+
+    def workload(self, name: str) -> Workload:
+        try:
+            return self.workloads[name]
+        except KeyError:
+            raise KeyError(f"{self.name}: unknown workload {name!r}") from None
+
+
+def kernel_filler_source(index: int, *, simd_dep: bool = False,
+                         mpi_dep: bool = False, omp: bool = False,
+                         cuda_dep: bool = False, config_header: str = "config.h") -> str:
+    """Generate a small, unique kernel file for the synthetic source trees.
+
+    Uniqueness comes from the index-derived constants; the ``*_dep`` switches
+    insert the macro dependences that determine how many IR variants the file
+    needs across build configurations — the exact mechanism of the paper's
+    Hypothesis 1 accounting.
+    """
+    a = (index * 7 + 3) % 19 + 1
+    b = (index * 13 + 5) % 23 + 1
+    lines = [f'#include "{config_header}"', ""]
+    if mpi_dep:
+        lines += ["#if GMX_MPI",
+                  f"int halo_width_{index}() {{ return {a + 2}; }}",
+                  "#else",
+                  f"int halo_width_{index}() {{ return 0; }}",
+                  "#endif", ""]
+    if cuda_dep:
+        lines += ["#if GMX_GPU_CUDA",
+                  f"int device_block_{index}() {{ return {32 * (index % 4 + 1)}; }}",
+                  "#endif", ""]
+    if simd_dep:
+        # The file's *text* depends on the SIMD level, so each vectorization
+        # configuration needs its own IR (the paper's 14.3%).
+        lines += [f"int packed_width_{index}() {{ return GMX_SIMD_LEVEL * {a}; }}", ""]
+    body_pragma = "    #pragma omp parallel for\n" if omp else ""
+    lines += [
+        f"void kernel_{index}(double* x, double* y, int n) {{",
+        body_pragma +
+        f"    for (int i = 0; i < n; i++) {{ y[i] = x[i] * {a}.0 + {b}.0; }}",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Static catalogs: Table 1 (specialization points of HPC applications) and
+Table 2 (portability levels and their implementations).
+
+These are queryable data models, not mere pretty-printers: the source-
+container pipeline consults :data:`TABLE1` to know which categories of
+specialization points an application exposes, and the benchmark harness
+regenerates the tables from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AppSpecializationProfile:
+    """One Table 1 row."""
+
+    name: str
+    domain: str
+    architecture_specialization: str
+    gpu_acceleration: tuple[str, ...]
+    parallelism: tuple[str, ...]
+    vectorization: str
+    performance_libraries: tuple[str, ...]
+
+    def specialization_categories(self) -> set[str]:
+        out = set()
+        if self.architecture_specialization != "-":
+            out.add("architecture")
+        if self.gpu_acceleration:
+            out.add("gpu")
+        if self.parallelism:
+            out.add("parallelism")
+        if self.vectorization != "-":
+            out.add("vectorization")
+        if self.performance_libraries:
+            out.add("libraries")
+        return out
+
+
+TABLE1: dict[str, AppSpecializationProfile] = {p.name: p for p in [
+    AppSpecializationProfile(
+        "GROMACS", "Molecular Dynamics", "Architecture-specific FFT",
+        ("OpenCL", "CUDA", "SYCL", "HIP"), ("OpenMP", "MPI"),
+        "Automatic, many ISAs", ("BLAS/LAPACK", "FFT (many)")),
+    AppSpecializationProfile(
+        "LULESH", "Hydrodynamics", "-",
+        (), ("OpenMP", "MPI"), "-", ()),
+    AppSpecializationProfile(
+        "Quantum Espresso", "Electronic Structure", "Compiler adaptations",
+        ("CUDA", "OpenACC"), ("OpenMP", "MPI"), "-",
+        ("BLAS/LAPACK", "ELPA", "ScaLAPACK", "FFT (many)")),
+    AppSpecializationProfile(
+        "MILC", "Lattice QCD", "Compiler adaptations",
+        ("CUDA", "HIP", "SYCL"), ("OpenMP", "MPI"),
+        "Compiler flags, many ISAs (Intel, AMD, PowerPC)",
+        ("LAPACK", "PRIMME", "FFTW", "QUDA")),
+    AppSpecializationProfile(
+        "OpenQCD", "Lattice QCD", "Optimized for x86 CPUs",
+        (), ("OpenMP", "MPI"), "Assembly (SSE, AVX, FMA3)", ()),
+    AppSpecializationProfile(
+        "VPIC", "Particle-in-Cell", "Kokkos portability",
+        ("CUDA",), ("OpenMP", "MPI"), "OpenMP and V4 library (many ISAs)", ()),
+    AppSpecializationProfile(
+        "CloudSC", "Cloud Physics", "System-specific toolchains",
+        ("CUDA", "SYCL", "HIP", "OpenACC"), ("OpenMP", "MPI"), "-", ("Atlas",)),
+    AppSpecializationProfile(
+        "ICON", "Weather & Climate", "System-specific toolchains",
+        ("CUDA", "HIP", "OpenACC"), ("OpenMP", "MPI"),
+        "System-specific compiler flags", ("BLAS/LAPACK",)),
+    AppSpecializationProfile(
+        "llama.cpp", "LLM Inference", "Optimization flags",
+        ("CUDA", "HIP", "SYCL", "Vulkan", "Metal", "OpenCL", "CANN", "MUSA"),
+        ("OpenMP", "pthreads"),
+        "Intrinsics (AVX, AVX2, AVX512, AMX, NEON, ...)",
+        ("OpenBLAS", "MKL", "BLIS")),
+]}
+
+
+@dataclass(frozen=True)
+class PortabilityLayer:
+    """One Table 2 row: when in the pipeline portability is recovered."""
+
+    level: str  # Building | Linking | Lowering | Emulation
+    technology: str
+    description: str
+    approach: str
+    integration: str
+    # Fraction of the build performed on the target system (1.0 = full
+    # source build, 0.0 = pure binary). Orders the continuum of Fig. 1.
+    target_build_fraction: float
+
+
+TABLE2: list[PortabilityLayer] = [
+    PortabilityLayer("Building", "Spack / EasyBuild", "From-source package manager",
+                     "Parameterized package compilation", "Automatic, dependency resolver", 1.0),
+    PortabilityLayer("Linking", "Sarus / Apptainer", "HPC container runtime",
+                     "Runtime binding, OCI hooks", "Manual, CLI option, and host bind", 0.05),
+    PortabilityLayer("Lowering", "Linux Popcorn", "Multi-ISA binary system",
+                     "Heterogeneous-OS containers", "No direct integration", 0.3),
+    PortabilityLayer("Lowering", "H-containers", "ISA-agnostic container with IRs",
+                     "Container + recompilation", "No direct integration", 0.3),
+    PortabilityLayer("Lowering", "NVIDIA PTX", "Runtime JIT compilation",
+                     "Virtual GPU architecture", "No direct integration", 0.2),
+    PortabilityLayer("Emulation", "Wi4MPI / mpixlate", "MPI compatibility layer",
+                     "Runtime emulation of MPI ABIs", "No direct integration", 0.0),
+]
+
+# XaaS containers slot between full source builds and runtime hooks.
+XAAS_LAYERS: list[PortabilityLayer] = [
+    PortabilityLayer("Source", "XaaS source container",
+                     "Source + toolchain image, built at deployment",
+                     "Deployment-time full build from shipped source",
+                     "XaaS deployment tool", 0.9),
+    PortabilityLayer("IR", "XaaS IR container",
+                     "Deduplicated compiler IR, lowered at deployment",
+                     "Deployment-time optimization and lowering",
+                     "XaaS deployment tool", 0.4),
+]
+
+
+def table1_rows() -> list[tuple[str, ...]]:
+    """Render Table 1 as tuples (for the benchmark printer)."""
+    rows = []
+    for p in TABLE1.values():
+        rows.append((
+            p.domain, p.name, p.architecture_specialization,
+            ", ".join(p.gpu_acceleration) or "-",
+            ", ".join(p.parallelism) or "-",
+            p.vectorization,
+            ", ".join(p.performance_libraries) or "-",
+        ))
+    return rows
+
+
+def table2_rows(include_xaas: bool = False) -> list[tuple[str, ...]]:
+    layers = TABLE2 + (XAAS_LAYERS if include_xaas else [])
+    return [(l.level, l.technology, l.description, l.approach, l.integration)
+            for l in layers]
+
+
+def portability_continuum() -> list[str]:
+    """Technologies ordered by how much build work happens on the target
+    (the Fig. 1 continuum, descending)."""
+    layers = TABLE2 + XAAS_LAYERS
+    ordered = sorted(layers, key=lambda l: -l.target_build_fraction)
+    return [l.technology for l in ordered]

@@ -1,0 +1,178 @@
+"""Synthetic LULESH: the paper's worked pipeline example (Sec. 4.3).
+
+LULESH has exactly two specialization points (MPI and OpenMP -> four build
+configurations) and five source files, so the pipeline numbers are small
+enough to verify by hand: 4 x 5 = 20 translation units at the configuration
+stage; preprocessing alone does not reduce them (every file includes
+``lulesh.h``, whose content depends on the MPI define, and the OpenMP flag
+is attached to all files); the OpenMP AST analysis then brings them to 14
+IR files — 2 files carry OpenMP pragmas (x2 for the flag) and every file's
+text has 2 MPI variants: 2*4 + 3*2 = 14.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Workload
+from repro.buildsys import SourceTree
+
+LULESH_H = """\
+#include "config.h"
+
+#if USE_MPI
+#define COMM_RANKS 8
+#else
+#define COMM_RANKS 1
+#endif
+"""
+
+CONFIG_H_IN = """\
+#cmakedefine01 USE_MPI
+#cmakedefine01 USE_OPENMP
+"""
+
+LULESH_C = """\
+#include "lulesh.h"
+
+double calc_energy(double* e, double* delv, double* p, int n_elem) {
+    double etot = 0.0;
+    #pragma omp parallel for reduction(+: etot)
+    for (int i = 0; i < n_elem; i++) {
+        e[i] = e[i] - 0.5 * delv[i] * p[i];
+        etot += e[i];
+    }
+    return etot;
+}
+
+int domain_ranks() { return COMM_RANKS; }
+"""
+
+KERNELS_C = """\
+#include "lulesh.h"
+
+void calc_force(double* fx, double* sigxx, double* b, int n_elem) {
+    #pragma omp parallel for
+    for (int i = 0; i < n_elem; i++) {
+        fx[i] = sigxx[i] * b[i] * -1.0;
+    }
+}
+
+void calc_position(double* x, double* xd, int n_node, double dt) {
+    #pragma omp parallel for
+    for (int i = 0; i < n_node; i++) {
+        x[i] = x[i] + xd[i] * dt;
+    }
+}
+
+int kernel_ranks() { return COMM_RANKS; }
+"""
+
+COMM_C = """\
+#include "lulesh.h"
+
+#if USE_MPI
+int comm_sbn(double* buffer, int n_ghost) {
+    for (int i = 0; i < n_ghost; i++) { buffer[i] = buffer[i] * 1.0; }
+    return COMM_RANKS;
+}
+#else
+int comm_sbn(double* buffer, int n_ghost) { return 1; }
+#endif
+"""
+
+IO_C = """\
+#include "lulesh.h"
+
+int write_plot(double* field, int n_elem) {
+    double checksum = 0.0;
+    for (int i = 0; i < n_elem; i++) { checksum += field[i]; }
+    return COMM_RANKS;
+}
+"""
+
+UTIL_C = """\
+#include "lulesh.h"
+
+double hourglass_coef(double* volo, int n_elem) {
+    double c = 0.0;
+    for (int i = 0; i < n_elem; i++) { c += volo[i] * 0.03; }
+    return c / COMM_RANKS;
+}
+"""
+
+CMAKELISTS = """\
+cmake_minimum_required(VERSION 3.12)
+project(LULESH)
+
+option(WITH_MPI "Build LULESH with MPI" OFF)
+option(WITH_OPENMP "Build LULESH with OpenMP" ON)
+
+set(USE_MPI ${WITH_MPI})
+set(USE_OPENMP ${WITH_OPENMP})
+
+if(WITH_MPI)
+  find_package(MPI REQUIRED)
+endif()
+if(WITH_OPENMP)
+  add_compile_options(-fopenmp)
+endif()
+
+configure_file(src/config.h.in include/config.h)
+include_directories(src)
+
+add_executable(lulesh
+  src/lulesh.c
+  src/kernels.c
+  src/comm.c
+  src/io.c
+  src/util.c)
+"""
+
+
+def lulesh_tree() -> SourceTree:
+    return SourceTree({
+        "CMakeLists.txt": CMAKELISTS,
+        "src/config.h.in": CONFIG_H_IN,
+        "src/lulesh.h": LULESH_H,
+        "src/lulesh.c": LULESH_C,
+        "src/kernels.c": KERNELS_C,
+        "src/comm.c": COMM_C,
+        "src/io.c": IO_C,
+        "src/util.c": UTIL_C,
+    })
+
+
+def lulesh_model() -> AppModel:
+    return AppModel(
+        name="lulesh",
+        tree=lulesh_tree(),
+        sweeps={"WITH_MPI": ["OFF", "ON"], "WITH_OPENMP": ["OFF", "ON"]},
+        workloads={
+            "s50": Workload(
+                name="s50",
+                bindings=_bindings(50),
+                steps=500,
+                description="LULESH -s 50 analog (125k elements)"),
+        },
+        hot_functions={
+            "calc_energy": 1.0, "calc_force": 1.0, "calc_position": 1.0,
+            "hourglass_coef": 1.0,
+        },
+        scale=1.0,
+    )
+
+
+def _bindings(s: int) -> dict[str, float]:
+    n_elem = float(s ** 3)
+    return {
+        "n_elem": n_elem,
+        "n_node": float((s + 1) ** 3),
+        "n_ghost": float(6 * s * s),
+        "while_iters": 4.0,
+        "dt": 1.0,
+    }
+
+
+def lulesh_configs() -> list[dict[str, str]]:
+    """The four LULESH build configurations of Sec. 4.3."""
+    return [{"WITH_MPI": mpi, "WITH_OPENMP": omp}
+            for mpi in ("OFF", "ON") for omp in ("OFF", "ON")]

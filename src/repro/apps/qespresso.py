@@ -1,0 +1,125 @@
+"""Compact Quantum ESPRESSO model.
+
+Used as an in-context-learning example source for the LLM discovery
+experiment (the paper's prompt includes GROMACS, Quantum Espresso and Kokkos
+examples) and as a Table 1 subject. Electronic-structure codes are
+Fortran-heavy; what matters here is the *build interface*: ``QE_ENABLE_*``
+flags, GPU via CUDA/OpenACC, and the dense linear-algebra dependency chain.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, Workload
+from repro.buildsys import SourceTree
+
+QE_CMAKE = """\
+cmake_minimum_required(VERSION 3.20)
+project(QuantumESPRESSO)
+
+option(QE_ENABLE_MPI "Enable MPI parallelization" ON)
+option(QE_ENABLE_OPENMP "Enable OpenMP threading" OFF)
+option(QE_ENABLE_CUDA "Enable CUDA GPU acceleration" OFF)
+option(QE_ENABLE_OPENACC "Enable OpenACC offload" OFF)
+option(QE_ENABLE_SCALAPACK "Enable ScaLAPACK" OFF)
+option(QE_ENABLE_ELPA "Enable the ELPA eigensolver" OFF)
+qe_option_multichoice(QE_FFTW_VENDOR "FFT vendor" AUTO Internal FFTW3 MKL)
+qe_option_multichoice(QE_LAPACK_VENDOR "LAPACK vendor" AUTO Internal MKL OpenBLAS)
+
+if(QE_ENABLE_MPI)
+  find_package(MPI 3.0 REQUIRED)
+endif()
+if(QE_ENABLE_OPENMP)
+  add_compile_options(-fopenmp)
+endif()
+if(QE_ENABLE_CUDA)
+  find_package(CUDA 11.8 REQUIRED)
+endif()
+if(QE_ENABLE_SCALAPACK)
+  find_package(ScaLAPACK REQUIRED)
+endif()
+if(QE_ENABLE_ELPA)
+  find_package(ELPA REQUIRED)
+endif()
+if(QE_FFTW_VENDOR STREQUAL "FFTW3")
+  find_package(FFTW 3.3 REQUIRED)
+elseif(QE_FFTW_VENDOR STREQUAL "MKL")
+  find_package(MKL REQUIRED)
+endif()
+
+configure_file(src/qe_config.h.in include/qe_config.h)
+include_directories(src)
+
+add_library(qe_fft src/fft_scalar.c)
+add_library(qe_scf src/scf.c)
+add_executable(pw src/pwscf.c)
+target_link_libraries(pw qe_scf qe_fft)
+"""
+
+QE_CONFIG_H_IN = """\
+#cmakedefine01 QE_ENABLE_MPI
+#cmakedefine01 QE_ENABLE_OPENMP
+#cmakedefine01 QE_ENABLE_CUDA
+"""
+
+FFT_SCALAR_C = """\
+#include "qe_config.h"
+
+void fft_phase(float* data, float* out, int n_fft) {
+    #pragma omp parallel for
+    for (int i = 0; i < n_fft; i++) {
+        out[i] = data[i] * 0.5f + data[i] * data[i] * 0.1f;
+    }
+}
+"""
+
+SCF_C = """\
+#include "qe_config.h"
+
+double scf_residual(double* rho_in, double* rho_out, int n_grid) {
+    double res = 0.0;
+    #pragma omp parallel for reduction(+: res)
+    for (int i = 0; i < n_grid; i++) {
+        double d = rho_out[i] - rho_in[i];
+        res += d * d;
+    }
+    return res;
+}
+"""
+
+PWSCF_C = """\
+#include "qe_config.h"
+
+#if QE_ENABLE_MPI
+int image_parallelism(int n_images) { return n_images; }
+#else
+int image_parallelism(int n_images) { return 1; }
+#endif
+"""
+
+
+def qespresso_tree() -> SourceTree:
+    return SourceTree({
+        "CMakeLists.txt": QE_CMAKE,
+        "src/qe_config.h.in": QE_CONFIG_H_IN,
+        "src/fft_scalar.c": FFT_SCALAR_C,
+        "src/scf.c": SCF_C,
+        "src/pwscf.c": PWSCF_C,
+    })
+
+
+def qespresso_model() -> AppModel:
+    return AppModel(
+        name="quantum-espresso",
+        tree=qespresso_tree(),
+        sweeps={"QE_ENABLE_MPI": ["OFF", "ON"], "QE_ENABLE_OPENMP": ["OFF", "ON"]},
+        workloads={
+            "ausurf": Workload(
+                name="ausurf",
+                bindings={"n_fft": 2_000_000.0, "n_grid": 1_500_000.0,
+                          "n_images": 1.0, "while_iters": 4.0},
+                steps=20, io_seconds=3.0,
+                description="AUSURF112-scale SCF analog"),
+        },
+        hot_functions={"fft_phase": 1.0, "scf_residual": 1.0},
+        scale=1.0,
+    )

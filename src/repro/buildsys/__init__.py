@@ -1,0 +1,66 @@
+"""The build-system substrate: a mini-CMake model of HPC project configuration.
+
+The configuration stage is where specialization points bind (paper Sec. 3.1):
+source modules are enabled or disabled, compile definitions are added, and
+dependency paths are resolved. This package provides:
+
+* :mod:`repro.buildsys.parser` — CMake-syntax parser (also the input format
+  for the LLM specialization-discovery experiment);
+* :mod:`repro.buildsys.interpreter` — configuration evaluator producing
+  targets, generated config headers and the compile-commands database;
+* :mod:`repro.buildsys.model` — source trees, targets, compile commands.
+"""
+
+from repro.buildsys.interpreter import (
+    BuildEnvironment,
+    ConfigureError,
+    OptionSpec,
+    configure,
+    declared_options,
+    is_truthy,
+)
+from repro.buildsys.model import (
+    BuildConfiguration,
+    CompileCommand,
+    SourceTree,
+    Target,
+)
+from repro.buildsys.parser import BuildScriptError, Command, parse_script
+
+__all__ = [
+    "BuildEnvironment",
+    "ConfigureError",
+    "OptionSpec",
+    "configure",
+    "declared_options",
+    "is_truthy",
+    "BuildConfiguration",
+    "CompileCommand",
+    "SourceTree",
+    "Target",
+    "BuildScriptError",
+    "Command",
+    "parse_script",
+]
+
+
+def make_include_resolver(tree: SourceTree, config: BuildConfiguration):
+    """Build a preprocessor include resolver for a configuration.
+
+    Resolution order mirrors a compiler's ``-I`` search: generated files in
+    the build directory first (configuration headers), then the source tree
+    (path as written, then under ``include/`` and ``src/``).
+    """
+
+    def resolver(name: str, system: bool) -> str | None:
+        for gen_path, content in config.generated_files.items():
+            if gen_path == name or gen_path.endswith("/" + name):
+                return content
+        if tree.exists(name):
+            return tree.read(name)
+        for prefix in ("include/", "src/"):
+            if tree.exists(prefix + name):
+                return tree.read(prefix + name)
+        return None
+
+    return resolver

@@ -1,0 +1,187 @@
+"""xaas-deploy — the command-line deployment tool (paper Sec. 5.2).
+
+"We introduce a new deployment tool customized for HPC specialization, but
+all other steps of container management ... are conducted with standard and
+existing container tools." This module is that tool for the simulated world:
+
+    python -m repro.cli discover --system ault23
+    python -m repro.cli analyze --app gromacs
+    python -m repro.cli intersect --app gromacs --system ault25
+    python -m repro.cli ir-build --app lulesh
+    python -m repro.cli deploy --app lulesh --system ault01-04 --mode ir
+    python -m repro.cli bench --app gromacs --system ault23 --workload testB
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.apps import gromacs_model, llamacpp_model, lulesh_configs, lulesh_model
+from repro.containers import BlobStore
+from repro.core import (
+    build_ir_container,
+    build_source_image,
+    default_selection,
+    deploy_ir_container,
+    deploy_source_container,
+    intersect_specializations,
+)
+from repro.discovery import analyze_build_script, get_system
+from repro.discovery.system import SYSTEMS
+from repro.perf import build_app, run_workload
+
+APPS = {
+    "gromacs": lambda: gromacs_model(scale=0.02),
+    "lulesh": lulesh_model,
+    "llama.cpp": llamacpp_model,
+}
+
+
+def _app(name: str):
+    try:
+        return APPS[name]()
+    except KeyError:
+        raise SystemExit(f"unknown app {name!r}; known: {sorted(APPS)}")
+
+
+def cmd_discover(args) -> int:
+    """Print the system-features JSON (Fig. 4b)."""
+    spec = get_system(args.system)
+    print(json.dumps(spec.detect_features(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Print the application's specialization points (Fig. 4a)."""
+    app = _app(args.app)
+    print(json.dumps(analyze_build_script(app.tree), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_intersect(args) -> int:
+    """Print the common specialization points (Fig. 4c) and the defaults."""
+    app = _app(args.app)
+    system = get_system(args.system)
+    common = intersect_specializations(analyze_build_script(app.tree), system)
+    out = common.to_json()
+    out["operator_default_selection"] = default_selection(common, system)
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_ir_build(args) -> int:
+    """Run the IR-container pipeline and print the dedup statistics."""
+    app = _app(args.app)
+    if args.app == "lulesh":
+        configs = lulesh_configs()
+    else:
+        from repro.apps import five_isa_configs
+        configs = five_isa_configs()
+    result = build_ir_container(app, configs, compile_irs=not args.stats_only)
+    print(result.stats.summary())
+    print(f"image digest: {result.image.digest}")
+    print(f"image size: {result.image.total_size} bytes")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    """Deploy a source or IR container to a system and predict a run."""
+    app = _app(args.app)
+    system = get_system(args.system)
+    store = BlobStore()
+    if args.mode == "source":
+        arch = "arm64" if system.architecture == "arm64" else "amd64"
+        sc = build_source_image(app, store, arch=arch)
+        dep = deploy_source_container(
+            sc, system, store,
+            build_host=None if system.supports_container_build
+            else get_system("dev-machine"))
+        artifact, tag = dep.artifact, dep.tag
+        print("selection:", json.dumps(dep.selection, sort_keys=True))
+    else:
+        if args.app == "lulesh":
+            configs = lulesh_configs()
+            chosen = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+        else:
+            from repro.apps import five_isa_configs
+            configs = five_isa_configs()
+            chosen = configs[-1]
+        result = build_ir_container(app, configs)
+        dep = deploy_ir_container(result, app, chosen, system, store)
+        artifact, tag = dep.artifact, dep.tag
+        print(f"lowered ISA: {dep.simd_name}")
+    print(f"image tag: {tag}")
+    if args.workload:
+        report = run_workload(artifact, system, args.workload, threads=args.threads)
+        print(report)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Build natively and predict one workload run."""
+    app = _app(args.app)
+    system = get_system(args.system)
+    options = dict(kv.split("=", 1) for kv in (args.option or []))
+    artifact = build_app(app, options, build_system=system, label="cli")
+    report = run_workload(artifact, system, args.workload, threads=args.threads)
+    print(report)
+    for kernel, seconds in sorted(report.kernel_seconds.items()):
+        print(f"  {kernel:<16} {seconds:10.3f} s")
+    print(f"  {'library':<16} {report.library_seconds:10.3f} s")
+    print(f"  {'gpu':<16} {report.gpu_seconds:10.3f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xaas-deploy",
+        description="XaaS container deployment tool (simulated substrates)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="detect a system's features (Fig. 4b)")
+    p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
+    p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser("analyze", help="extract specialization points (Fig. 4a)")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("intersect", help="intersect app x system (Fig. 4c)")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
+    p.set_defaults(func=cmd_intersect)
+
+    p = sub.add_parser("ir-build", help="run the IR-container pipeline (Fig. 7)")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--stats-only", action="store_true",
+                   help="dedup analysis without compiling IRs")
+    p.set_defaults(func=cmd_ir_build)
+
+    p = sub.add_parser("deploy", help="deploy a container to a system (Figs. 6/8)")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
+    p.add_argument("--mode", choices=("source", "ir"), default="source")
+    p.add_argument("--workload", default="")
+    p.add_argument("--threads", type=int, default=16)
+    p.set_defaults(func=cmd_deploy)
+
+    p = sub.add_parser("bench", help="predict a workload run")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
+    p.add_argument("--workload", required=True)
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--option", action="append", metavar="KEY=VALUE",
+                   help="build option (repeatable)")
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The compiler substrate: a self-contained Clang/LLVM analog.
+
+Pipeline stages, matching the paper's analysis of where specialization
+decisions bind (Sec. 3.1):
+
+========================  =====================================================
+Stage                     Module
+========================  =====================================================
+Preprocessing (``-D``)    :mod:`repro.compiler.preprocessor`
+Parse/AST                 :mod:`repro.compiler.lexer`, :mod:`~repro.compiler.parser`
+IR generation             :mod:`repro.compiler.frontend`, :mod:`~repro.compiler.ir`
+Analyses & passes         :mod:`repro.compiler.passes`
+ISA lowering (``-msimd``) :mod:`repro.compiler.lowering`, :mod:`~repro.compiler.target`
+Reference execution       :mod:`repro.compiler.interpreter`
+Driver & flag taxonomy    :mod:`repro.compiler.driver`
+========================  =====================================================
+"""
+
+from repro.compiler.driver import (
+    Compiler,
+    CompileOptions,
+    CompileResult,
+    classify_flags,
+    make_resolver,
+)
+from repro.compiler.frontend import compile_source_to_ir
+from repro.compiler.interpreter import Interpreter, run_function
+from repro.compiler.lowering import MachineModule, lower_module
+from repro.compiler.passes import analyze_vectorizable, detect_openmp, vectorize
+from repro.compiler.preprocessor import Preprocessor, PreprocessorError
+from repro.compiler.target import ALL_TARGETS, TargetMachine, get_target
+
+__all__ = [
+    "Compiler",
+    "CompileOptions",
+    "CompileResult",
+    "classify_flags",
+    "make_resolver",
+    "compile_source_to_ir",
+    "Interpreter",
+    "run_function",
+    "MachineModule",
+    "lower_module",
+    "analyze_vectorizable",
+    "detect_openmp",
+    "vectorize",
+    "Preprocessor",
+    "PreprocessorError",
+    "ALL_TARGETS",
+    "TargetMachine",
+    "get_target",
+]

@@ -1,0 +1,471 @@
+"""Frontend: lowering the C-subset AST to the structured IR.
+
+Only *frontend-relevant* inputs influence the produced IR: the preprocessed
+source text and the ``-fopenmp`` flag (which decides whether ``omp`` pragmas
+become loop attributes or are discarded, exactly like Clang). Target flags
+(``-m<isa>``) and optimization levels deliberately play no role here — that
+separation is what the IR-container pipeline exploits (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import c_ast as A
+from repro.compiler import ir
+from repro.compiler.parser import parse
+
+# Known pure math builtins: calls to these do not block vectorization and the
+# interpreter implements them directly.
+PURE_BUILTINS = {
+    "sqrt", "sqrtf", "fabs", "fabsf", "exp", "expf", "log", "logf",
+    "sin", "cos", "pow", "fmin", "fmax", "floor", "ceil", "rsqrt",
+}
+
+
+class FrontendError(ValueError):
+    pass
+
+
+def ctype_to_ir(ctype: A.CType) -> str:
+    base = {"int": "i32", "long": "i64", "float": "f32", "double": "f64",
+            "void": "void", "char": "i8", "bool": "i1"}[ctype.name]
+    for _ in range(ctype.pointer):
+        base = ir.pointer_to(base)
+    return base
+
+
+def _common_type(a: str, b: str) -> str:
+    """C-style usual arithmetic conversion for our scalar types."""
+    order = ["i1", "i8", "i32", "i64", "f32", "f64"]
+    if a.startswith("ptr") or b.startswith("ptr"):
+        raise FrontendError(f"arithmetic on pointer types {a}, {b}")
+    return order[max(order.index(a), order.index(b))]
+
+
+@dataclass
+class _Scope:
+    names: dict[str, tuple[str, str]] = field(default_factory=dict)  # src -> (reg, type)
+
+
+class _FunctionLowering:
+    def __init__(self, fn: A.FuncDef, fopenmp: bool, global_types: dict[str, str]):
+        self.fn = fn
+        self.fopenmp = fopenmp
+        self.scopes: list[_Scope] = [_Scope()]
+        self.temp_counter = 0
+        self.rename_counter: dict[str, int] = {}
+        self.global_types = global_types
+
+    # -- naming ----------------------------------------------------------------
+
+    def _fresh_temp(self, hint: str = "t") -> str:
+        self.temp_counter += 1
+        return f".{hint}{self.temp_counter}"
+
+    def _declare(self, src_name: str, typ: str) -> str:
+        n = self.rename_counter.get(src_name, 0)
+        self.rename_counter[src_name] = n + 1
+        reg = src_name if n == 0 else f"{src_name}.{n}"
+        self.scopes[-1].names[src_name] = (reg, typ)
+        return reg
+
+    def _lookup(self, src_name: str) -> tuple[str, str]:
+        for scope in reversed(self.scopes):
+            if src_name in scope.names:
+                return scope.names[src_name]
+        if src_name in self.global_types:
+            return f"@{src_name}", self.global_types[src_name]
+        raise FrontendError(f"function {self.fn.name}: undeclared identifier {src_name!r}")
+
+    # -- main -------------------------------------------------------------------
+
+    def lower(self) -> ir.Function:
+        params = []
+        for p in self.fn.params:
+            typ = ctype_to_ir(p.type)
+            reg = self._declare(p.name, typ)
+            params.append((reg, typ))
+        body = ir.Region()
+        self._lower_block(self.fn.body, body)
+        ret_type = ctype_to_ir(self.fn.ret_type)
+        if ret_type == "void" and not (body.ops and isinstance(body.ops[-1], ir.ReturnOp)):
+            body.ops.append(ir.ReturnOp())
+        return ir.Function(self.fn.name, params, ret_type, body)
+
+    def _lower_block(self, block: A.Block, region: ir.Region) -> None:
+        self.scopes.append(_Scope())
+        try:
+            for stmt in block.stmts:
+                self._lower_stmt(stmt, region)
+        finally:
+            self.scopes.pop()
+
+    # -- statements ----------------------------------------------------------------
+
+    def _lower_stmt(self, stmt: A.Stmt, region: ir.Region) -> None:
+        if isinstance(stmt, A.Decl):
+            typ = ctype_to_ir(stmt.type)
+            init_val = None
+            if stmt.init is not None:
+                init_val = self._coerce(self._lower_expr(stmt.init, region), typ, region)
+            reg = self._declare(stmt.name, typ)
+            if init_val is not None:
+                region.ops.append(ir.Instr("copy", reg, [init_val], typ))
+        elif isinstance(stmt, A.ExprStmt):
+            self._lower_expr(stmt.expr, region, want_value=False)
+        elif isinstance(stmt, A.If):
+            cond = self._as_bool(self._lower_expr(stmt.cond, region), region)
+            then = ir.Region()
+            self._lower_block(stmt.then, then)
+            orelse = ir.Region()
+            if stmt.orelse is not None:
+                self._lower_block(stmt.orelse, orelse)
+            region.ops.append(ir.IfOp(cond, then, orelse))
+        elif isinstance(stmt, A.For):
+            self._lower_for(stmt, region)
+        elif isinstance(stmt, A.While):
+            cond_region = ir.Region()
+            cond = self._as_bool(self._lower_expr(stmt.cond, cond_region), cond_region)
+            body = ir.Region()
+            self._lower_block(stmt.body, body)
+            region.ops.append(ir.WhileOp(cond_region, cond, body))
+        elif isinstance(stmt, A.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._coerce(self._lower_expr(stmt.value, region),
+                                     ctype_to_ir(self.fn.ret_type), region)
+            region.ops.append(ir.ReturnOp(value))
+        elif isinstance(stmt, A.Break):
+            region.ops.append(ir.BreakOp())
+        elif isinstance(stmt, A.Continue):
+            region.ops.append(ir.ContinueOp())
+        elif isinstance(stmt, A.Block):
+            self._lower_block(stmt, region)
+        else:  # pragma: no cover - defensive
+            raise FrontendError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_for(self, stmt: A.For, region: ir.Region) -> None:
+        """Lower a for statement; canonical loops become ForOp."""
+        canonical = self._try_canonical_for(stmt, region)
+        if canonical is not None:
+            forop = canonical
+            self._attach_omp(stmt, forop)
+            region.ops.append(forop)
+            return
+        # Fallback: generic lowering through WhileOp.
+        self.scopes.append(_Scope())
+        try:
+            if stmt.init is not None:
+                self._lower_stmt(stmt.init, region)
+            cond_region = ir.Region()
+            if stmt.cond is not None:
+                cond = self._as_bool(self._lower_expr(stmt.cond, cond_region), cond_region)
+            else:
+                cond = ir.Const(1, "i1")
+            body = ir.Region()
+            self._lower_block(stmt.body, body)
+            if stmt.step is not None:
+                self._lower_expr(stmt.step, body, want_value=False)
+            region.ops.append(ir.WhileOp(cond_region, cond, body))
+        finally:
+            self.scopes.pop()
+
+    def _try_canonical_for(self, stmt: A.For, region: ir.Region) -> ir.ForOp | None:
+        """Recognize ``for (int i = E; i < B; i++/i += c)`` shapes."""
+        if not isinstance(stmt.init, A.Decl) or stmt.init.init is None:
+            return None
+        if not isinstance(stmt.cond, A.BinOp) or stmt.cond.op not in ("<", "<="):
+            return None
+        if not isinstance(stmt.cond.lhs, A.Name) or stmt.cond.lhs.ident != stmt.init.name:
+            return None
+        step_const = self._step_constant(stmt.step, stmt.init.name)
+        if step_const is None or step_const <= 0:
+            return None
+        ivar_type = ctype_to_ir(stmt.init.type)
+        if ivar_type not in ("i32", "i64"):
+            return None
+        start = self._coerce(self._lower_expr(stmt.init.init, region), ivar_type, region)
+        bound = self._coerce(self._lower_expr(stmt.cond.rhs, region), ivar_type, region)
+        if stmt.cond.op == "<=":
+            tmp = self._fresh_temp("b")
+            region.ops.append(ir.Instr(f"add.{ivar_type}", tmp,
+                                       [bound, ir.Const(1, ivar_type)], ivar_type))
+            bound = ir.Ref(tmp, ivar_type)
+        self.scopes.append(_Scope())
+        try:
+            ivar_reg = self._declare(stmt.init.name, ivar_type)
+            body = ir.Region()
+            self._lower_block(stmt.body, body)
+        finally:
+            self.scopes.pop()
+        attrs = {"bound_src": _expr_to_src(stmt.cond.rhs), "start_src": _expr_to_src(stmt.init.init)}
+        return ir.ForOp(ivar_reg, start, bound, ir.Const(step_const, ivar_type), body, attrs)
+
+    @staticmethod
+    def _step_constant(step: A.Expr | None, ivar: str) -> int | None:
+        """Return the loop increment if step is i++/i+=c, else None."""
+        if step is None:
+            return None
+        if isinstance(step, A.Assign) and isinstance(step.target, A.Name) and step.target.ident == ivar:
+            if step.op == "+=" and isinstance(step.value, A.IntLit):
+                return step.value.value
+            if step.op == "=" and isinstance(step.value, A.BinOp) and step.value.op == "+":
+                lhs, rhs = step.value.lhs, step.value.rhs
+                if isinstance(lhs, A.Name) and lhs.ident == ivar and isinstance(rhs, A.IntLit):
+                    return rhs.value
+        return None
+
+    def _attach_omp(self, stmt: A.For, forop: ir.ForOp) -> None:
+        """Translate OpenMP pragmas into loop attributes when -fopenmp is on."""
+        for pragma in stmt.pragmas:
+            words = pragma.split()
+            if not words or words[0] != "omp":
+                continue
+            if not self.fopenmp:
+                continue  # without -fopenmp the pragma is ignored, as in C compilers
+            directive = " ".join(words[1:])
+            if directive.startswith("parallel for") or directive.startswith("for"):
+                forop.attrs["omp_parallel"] = True
+                reds = _parse_reduction_clause(pragma)
+                if reds:
+                    forop.attrs["omp_reductions"] = reds
+            elif directive.startswith("simd"):
+                forop.attrs["omp_simd"] = True
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _lower_expr(self, expr: A.Expr, region: ir.Region, want_value: bool = True) -> ir.Value:
+        if isinstance(expr, A.IntLit):
+            return ir.Const(expr.value, "i32")
+        if isinstance(expr, A.FloatLit):
+            return ir.Const(expr.value, "f32" if expr.is_single else "f64")
+        if isinstance(expr, A.StrLit):
+            return ir.Const(0, "ptr.i8")  # strings appear only in diagnostics
+        if isinstance(expr, A.Name):
+            reg, typ = self._lookup(expr.ident)
+            return ir.Ref(reg, typ)
+        if isinstance(expr, A.BinOp):
+            return self._lower_binop(expr, region)
+        if isinstance(expr, A.UnOp):
+            return self._lower_unop(expr, region)
+        if isinstance(expr, A.Cast):
+            val = self._lower_expr(expr.operand, region)
+            return self._coerce(val, ctype_to_ir(expr.type), region, explicit=True)
+        if isinstance(expr, A.Call):
+            return self._lower_call(expr, region)
+        if isinstance(expr, A.Index):
+            base, index, elem = self._lower_index(expr, region)
+            dest = self._fresh_temp("ld")
+            region.ops.append(ir.LoadOp(dest, base, index, elem))
+            return ir.Ref(dest, elem)
+        if isinstance(expr, A.Assign):
+            return self._lower_assign(expr, region, want_value)
+        raise FrontendError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_index(self, expr: A.Index, region: ir.Region) -> tuple[ir.Ref, ir.Value, str]:
+        base = self._lower_expr(expr.base, region)
+        if not isinstance(base, ir.Ref) or not base.type.startswith("ptr."):
+            raise FrontendError(f"indexing a non-pointer value in {self.fn.name}")
+        index = self._coerce(self._lower_expr(expr.index, region), "i64", region)
+        return base, index, ir.pointee(base.type)
+
+    def _lower_binop(self, expr: A.BinOp, region: ir.Region) -> ir.Value:
+        lhs = self._lower_expr(expr.lhs, region)
+        rhs = self._lower_expr(expr.rhs, region)
+        if expr.op in ("&&", "||"):
+            lhs = self._as_bool(lhs, region)
+            rhs = self._as_bool(rhs, region)
+            dest = self._fresh_temp("b")
+            op = "and.i1" if expr.op == "&&" else "or.i1"
+            region.ops.append(ir.Instr(op, dest, [lhs, rhs], "i1"))
+            return ir.Ref(dest, "i1")
+        common = _common_type(lhs.type, rhs.type)
+        lhs = self._coerce(lhs, common, region)
+        rhs = self._coerce(rhs, common, region)
+        if expr.op in ("<", ">", "<=", ">=", "==", "!="):
+            pred = {"<": "lt", ">": "gt", "<=": "le", ">=": "ge", "==": "eq", "!=": "ne"}[expr.op]
+            dest = self._fresh_temp("c")
+            region.ops.append(ir.Instr(f"cmp.{pred}.{common}", dest, [lhs, rhs], "i1"))
+            return ir.Ref(dest, "i1")
+        opname = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+                  "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}.get(expr.op)
+        if opname is None:
+            raise FrontendError(f"unsupported binary operator {expr.op!r}")
+        if opname == "rem" and ir.is_float_type(common):
+            raise FrontendError("% on floating-point operands")
+        dest = self._fresh_temp()
+        region.ops.append(ir.Instr(f"{opname}.{common}", dest, [lhs, rhs], common))
+        return ir.Ref(dest, common)
+
+    def _lower_unop(self, expr: A.UnOp, region: ir.Region) -> ir.Value:
+        val = self._lower_expr(expr.operand, region)
+        if expr.op == "-":
+            dest = self._fresh_temp("n")
+            region.ops.append(ir.Instr(f"neg.{val.type}", dest, [val], val.type))
+            return ir.Ref(dest, val.type)
+        if expr.op == "!":
+            val = self._as_bool(val, region)
+            dest = self._fresh_temp("b")
+            region.ops.append(ir.Instr("not.i1", dest, [val], "i1"))
+            return ir.Ref(dest, "i1")
+        if expr.op == "~":
+            dest = self._fresh_temp()
+            region.ops.append(ir.Instr(f"bnot.{val.type}", dest, [val], val.type))
+            return ir.Ref(dest, val.type)
+        raise FrontendError(f"unsupported unary operator {expr.op!r}")
+
+    def _lower_call(self, expr: A.Call, region: ir.Region) -> ir.Value:
+        args = [self._lower_expr(a, region) for a in expr.args]
+        if expr.callee in PURE_BUILTINS:
+            # Math builtins operate in f64 (f32 for the -f suffixed forms).
+            want = "f32" if expr.callee.endswith("f") else "f64"
+            args = [self._coerce(a, want, region) for a in args]
+            dest = self._fresh_temp("m")
+            region.ops.append(ir.CallOp(dest, expr.callee, args, want))
+            return ir.Ref(dest, want)
+        dest = self._fresh_temp("r")
+        region.ops.append(ir.CallOp(dest, expr.callee, args, "f64"))
+        return ir.Ref(dest, "f64")
+
+    def _lower_assign(self, expr: A.Assign, region: ir.Region, want_value: bool) -> ir.Value:
+        if isinstance(expr.target, A.Name):
+            reg, typ = self._lookup(expr.target.ident)
+            if expr.op == "=":
+                value = self._coerce(self._lower_expr(expr.value, region), typ, region)
+            else:
+                cur = ir.Ref(reg, typ)
+                rhs = self._lower_expr(expr.value, region)
+                common = _common_type(typ, rhs.type)
+                opname = {"+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "rem"}[expr.op]
+                tmp = self._fresh_temp()
+                region.ops.append(ir.Instr(
+                    f"{opname}.{common}", tmp,
+                    [self._coerce(cur, common, region), self._coerce(rhs, common, region)], common))
+                value = self._coerce(ir.Ref(tmp, common), typ, region)
+            region.ops.append(ir.Instr("copy", reg, [value], typ))
+            return ir.Ref(reg, typ)
+        if isinstance(expr.target, A.Index):
+            base, index, elem = self._lower_index(expr.target, region)
+            if expr.op == "=":
+                value = self._coerce(self._lower_expr(expr.value, region), elem, region)
+            else:
+                cur = self._fresh_temp("ld")
+                region.ops.append(ir.LoadOp(cur, base, index, elem))
+                rhs = self._lower_expr(expr.value, region)
+                common = _common_type(elem, rhs.type)
+                opname = {"+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "rem"}[expr.op]
+                tmp = self._fresh_temp()
+                region.ops.append(ir.Instr(
+                    f"{opname}.{common}", tmp,
+                    [self._coerce(ir.Ref(cur, elem), common, region),
+                     self._coerce(rhs, common, region)], common))
+                value = self._coerce(ir.Ref(tmp, common), elem, region)
+            region.ops.append(ir.StoreOp(base, index, value, elem))
+            return value
+        raise FrontendError("invalid assignment target")
+
+    # -- conversions ------------------------------------------------------------------------
+
+    def _coerce(self, value: ir.Value, target: str, region: ir.Region,
+                explicit: bool = False) -> ir.Value:
+        if value.type == target:
+            return value
+        if value.type.startswith("ptr") or target.startswith("ptr"):
+            if explicit:
+                return ir.Ref(value.name, target) if isinstance(value, ir.Ref) else value
+            raise FrontendError(f"implicit pointer conversion {value.type} -> {target}")
+        if isinstance(value, ir.Const):
+            if ir.is_float_type(target):
+                return ir.Const(float(value.value), target)
+            return ir.Const(int(value.value), target)
+        kind = _cast_kind(value.type, target)
+        dest = self._fresh_temp("x")
+        region.ops.append(ir.Instr(f"cast.{kind}", dest, [value], target))
+        return ir.Ref(dest, target)
+
+    def _as_bool(self, value: ir.Value, region: ir.Region) -> ir.Value:
+        if value.type == "i1":
+            return value
+        dest = self._fresh_temp("c")
+        zero = ir.Const(0.0 if ir.is_float_type(value.type) else 0, value.type)
+        region.ops.append(ir.Instr(f"cmp.ne.{value.type}", dest, [value, zero], "i1"))
+        return ir.Ref(dest, "i1")
+
+
+def _cast_kind(src: str, dst: str) -> str:
+    sf, df = ir.is_float_type(src), ir.is_float_type(dst)
+    if sf and df:
+        return "fpext" if ir.type_bits(dst) > ir.type_bits(src) else "fptrunc"
+    if sf and not df:
+        return "fptosi"
+    if not sf and df:
+        return "sitofp"
+    return "sext" if ir.type_bits(dst) > ir.type_bits(src) else "trunc"
+
+
+def _parse_reduction_clause(pragma: str) -> list[str]:
+    """Extract variable names from ``reduction(op: a, b)`` clauses."""
+    out: list[str] = []
+    idx = 0
+    while True:
+        pos = pragma.find("reduction", idx)
+        if pos == -1:
+            return out
+        open_p = pragma.find("(", pos)
+        close_p = pragma.find(")", open_p)
+        if open_p == -1 or close_p == -1:
+            return out
+        clause = pragma[open_p + 1:close_p]
+        if ":" in clause:
+            _, variables = clause.split(":", 1)
+            out.extend(v.strip() for v in variables.split(",") if v.strip())
+        idx = close_p + 1
+
+
+def _expr_to_src(expr: A.Expr) -> str:
+    """Render an AST expression back to source-ish text (for trip-count hints)."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, A.Name):
+        return expr.ident
+    if isinstance(expr, A.BinOp):
+        return f"({_expr_to_src(expr.lhs)} {expr.op} {_expr_to_src(expr.rhs)})"
+    if isinstance(expr, A.UnOp):
+        return f"({expr.op}{_expr_to_src(expr.operand)})"
+    if isinstance(expr, A.Call):
+        return f"{expr.callee}({', '.join(_expr_to_src(a) for a in expr.args)})"
+    if isinstance(expr, A.Index):
+        return f"{_expr_to_src(expr.base)}[{_expr_to_src(expr.index)}]"
+    if isinstance(expr, A.Cast):
+        return _expr_to_src(expr.operand)
+    return "?"
+
+
+def lower_unit(unit: A.TranslationUnitAST, name: str = "unit",
+               fopenmp: bool = False, frontend_flags: tuple[str, ...] = ()) -> ir.Module:
+    """Lower a parsed translation unit to an IR module."""
+    module = ir.Module(name=name, frontend_flags=tuple(frontend_flags))
+    global_types: dict[str, str] = {}
+    for g in unit.globals:
+        typ = ctype_to_ir(g.type)
+        global_types[g.name] = typ
+        init = None
+        if isinstance(g.init, A.IntLit):
+            init = g.init.value
+        elif isinstance(g.init, A.FloatLit):
+            init = g.init.value
+        module.globals.append(ir.GlobalVar(g.name, typ, init))
+    for fn in unit.functions:
+        if fn.is_declaration:
+            continue
+        module.functions.append(_FunctionLowering(fn, fopenmp, global_types).lower())
+    return module
+
+
+def compile_source_to_ir(source: str, name: str = "unit", fopenmp: bool = False,
+                         frontend_flags: tuple[str, ...] = ()) -> ir.Module:
+    """Parse preprocessed source and lower it in one step."""
+    return lower_unit(parse(source), name, fopenmp, frontend_flags)

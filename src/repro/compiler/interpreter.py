@@ -1,0 +1,269 @@
+"""Reference interpreter for the structured IR.
+
+The reproduction needs ground truth: tests compile small numerical kernels,
+run them through the interpreter, and check that preprocessing decisions,
+optimization passes and deployment-time vectorization never change computed
+values (semantic preservation is the hidden premise of the whole IR-container
+idea — lowering the *same* IR on two systems must give the same program).
+
+Pointers are numpy arrays; scalars are Python ints/floats. Execution is
+deliberately straightforward — clarity over speed, per the HPC-Python guides:
+the *performance model* lives in :mod:`repro.perf`, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.compiler import ir
+
+
+class InterpError(RuntimeError):
+    pass
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "shl": lambda a, b: int(a) << int(b),
+    "shr": lambda a, b: int(a) >> int(b),
+}
+
+_CMP = {
+    "lt": lambda a, b: a < b,
+    "gt": lambda a, b: a > b,
+    "le": lambda a, b: a <= b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+_BUILTINS = {
+    "sqrt": math.sqrt, "sqrtf": math.sqrt,
+    "fabs": abs, "fabsf": abs,
+    "exp": math.exp, "expf": math.exp,
+    "log": math.log, "logf": math.log,
+    "sin": math.sin, "cos": math.cos,
+    "pow": math.pow,
+    "fmin": min, "fmax": max,
+    "floor": math.floor, "ceil": math.ceil,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+}
+
+_INT_TYPES = {"i1", "i8", "i32", "i64"}
+_INT_MASKS = {"i8": 0xFF, "i32": 0xFFFFFFFF, "i64": 0xFFFFFFFFFFFFFFFF}
+
+
+def _wrap_int(value: int, typ: str) -> int:
+    """Two's-complement wraparound to the type's width."""
+    if typ == "i1":
+        return 1 if value else 0
+    mask = _INT_MASKS[typ]
+    value &= mask
+    sign = (mask >> 1) + 1
+    return value - (mask + 1) if value & sign else value
+
+
+class Interpreter:
+    """Executes functions of an IR module.
+
+    ``externals`` supplies Python callables for non-builtin CallOps
+    (the app models use this for library calls like ``dgemm_flops``).
+    ``max_steps`` bounds total executed ops to catch runaway loops in tests.
+    """
+
+    def __init__(self, module: ir.Module, externals: dict | None = None,
+                 max_steps: int = 50_000_000):
+        self.module = module
+        self.externals = externals or {}
+        self.max_steps = max_steps
+        self.steps = 0
+        self.globals: dict[str, Any] = {}
+        for g in module.globals:
+            self.globals[f"@{g.name}"] = g.init if g.init is not None else 0
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Call a function by name with Python/numpy arguments."""
+        fn = self.module.function(name)
+        if len(args) != len(fn.params):
+            raise InterpError(f"{name}: expected {len(fn.params)} args, got {len(args)}")
+        env: dict[str, Any] = dict(self.globals)
+        for (pname, ptype), arg in zip(fn.params, args):
+            if ptype.startswith("ptr.") and not isinstance(arg, np.ndarray):
+                raise InterpError(f"{name}: parameter {pname} expects an array")
+            env[pname] = arg
+        try:
+            self._run_region(fn.body, env)
+        except _ReturnSignal as ret:
+            self.globals.update({k: v for k, v in env.items() if k.startswith("@")})
+            return ret.value
+        self.globals.update({k: v for k, v in env.items() if k.startswith("@")})
+        return None
+
+    # -- execution ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError(f"exceeded {self.max_steps} interpreter steps")
+
+    def _value(self, v: ir.Value, env: dict) -> Any:
+        if isinstance(v, ir.Const):
+            return v.value
+        try:
+            return env[v.name]
+        except KeyError:
+            raise InterpError(f"read of undefined register %{v.name}") from None
+
+    def _run_region(self, region: ir.Region, env: dict) -> None:
+        for op in region.ops:
+            self._tick()
+            self._run_op(op, env)
+
+    def _run_op(self, op: ir.Op, env: dict) -> None:
+        if isinstance(op, ir.Instr):
+            env_val = self._eval_instr(op, env)
+            if op.dest is not None:
+                env[op.dest] = env_val
+        elif isinstance(op, ir.LoadOp):
+            arr = self._value(op.base, env)
+            idx = int(self._value(op.index, env))
+            if not 0 <= idx < len(arr):
+                raise InterpError(f"load out of bounds: index {idx}, length {len(arr)}")
+            val = arr[idx]
+            env[op.dest] = float(val) if ir.is_float_type(op.type) else int(val)
+        elif isinstance(op, ir.StoreOp):
+            arr = self._value(op.base, env)
+            idx = int(self._value(op.index, env))
+            if not 0 <= idx < len(arr):
+                raise InterpError(f"store out of bounds: index {idx}, length {len(arr)}")
+            arr[idx] = self._value(op.value, env)
+        elif isinstance(op, ir.CallOp):
+            args = [self._value(a, env) for a in op.args]
+            if op.callee in _BUILTINS:
+                result = _BUILTINS[op.callee](*args)
+            elif op.callee in self.externals:
+                result = self.externals[op.callee](*args)
+            else:
+                try:
+                    self.module.function(op.callee)
+                except KeyError:
+                    raise InterpError(f"call to unknown function {op.callee!r}") from None
+                result = self.call(op.callee, *args)
+            if op.dest is not None:
+                env[op.dest] = result
+        elif isinstance(op, ir.ForOp):
+            self._run_for(op, env)
+        elif isinstance(op, ir.WhileOp):
+            while True:
+                self._run_region(op.cond_region, env)
+                if not self._value(op.cond, env):
+                    break
+                try:
+                    self._run_region(op.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(op, ir.IfOp):
+            if self._value(op.cond, env):
+                self._run_region(op.then, env)
+            else:
+                self._run_region(op.orelse, env)
+        elif isinstance(op, ir.ReturnOp):
+            raise _ReturnSignal(None if op.value is None else self._value(op.value, env))
+        elif isinstance(op, ir.BreakOp):
+            raise _BreakSignal()
+        elif isinstance(op, ir.ContinueOp):
+            raise _ContinueSignal()
+        else:  # pragma: no cover - defensive
+            raise InterpError(f"unknown op {type(op).__name__}")
+
+    def _run_for(self, op: ir.ForOp, env: dict) -> None:
+        i = int(self._value(op.start, env))
+        bound = int(self._value(op.bound, env))
+        step = int(self._value(op.step, env))
+        while i < bound:
+            env[op.var] = i
+            try:
+                self._run_region(op.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            i += step
+
+    def _eval_instr(self, op: ir.Instr, env: dict) -> Any:
+        parts = op.op.split(".")
+        base = parts[0]
+        if base == "copy":
+            return self._cast_to(self._value(op.args[0], env), op.type)
+        if base == "cast":
+            return self._cast_to(self._value(op.args[0], env), op.type)
+        if base == "neg":
+            return -self._value(op.args[0], env)
+        if base == "not":
+            return 0 if self._value(op.args[0], env) else 1
+        if base == "bnot":
+            return _wrap_int(~int(self._value(op.args[0], env)), op.type)
+        if base == "cmp":
+            pred = parts[1]
+            a = self._value(op.args[0], env)
+            b = self._value(op.args[1], env)
+            return 1 if _CMP[pred](a, b) else 0
+        if base in ("div", "rem"):
+            a = self._value(op.args[0], env)
+            b = self._value(op.args[1], env)
+            if ir.is_float_type(op.type):
+                if b == 0.0:
+                    raise InterpError("floating division by zero")
+                return a / b
+            if b == 0:
+                raise InterpError("integer division by zero")
+            # C semantics: truncation toward zero.
+            q = abs(int(a)) // abs(int(b))
+            if (a < 0) != (b < 0):
+                q = -q
+            return q if base == "div" else int(a) - q * int(b)
+        if base in _BINOPS:
+            a = self._value(op.args[0], env)
+            b = self._value(op.args[1], env)
+            result = _BINOPS[base](a, b)
+            return self._cast_to(result, op.type)
+        raise InterpError(f"unknown instruction {op.op!r}")
+
+    @staticmethod
+    def _cast_to(value: Any, typ: str) -> Any:
+        if typ.startswith("ptr"):
+            return value
+        if typ in _INT_TYPES:
+            return _wrap_int(int(value), typ)
+        if typ == "f32":
+            return float(np.float32(value))
+        return float(value)
+
+
+def run_function(module: ir.Module, name: str, *args: Any,
+                 externals: dict | None = None) -> Any:
+    """One-shot convenience: interpret ``name(*args)`` in a fresh interpreter."""
+    return Interpreter(module, externals).call(name, *args)

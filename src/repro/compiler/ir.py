@@ -1,0 +1,403 @@
+"""Structured intermediate representation (IR) for the XaaS pipeline.
+
+This is our analog of the LLVM IR the paper stores inside IR containers.  Two
+properties matter for the reproduction:
+
+1. **Target independence** — the IR depends on the preprocessed source and on
+   frontend-relevant flags (``-D``, ``-fopenmp``) but *not* on ``-m<isa>`` or
+   ``-O`` flags, which are consumed later by :mod:`repro.compiler.lowering`.
+   This is the property that lets the IR-container pipeline drop
+   vectorization flags when comparing configurations (Sec. 4.3).
+2. **Canonical fingerprinting** — :meth:`Module.fingerprint` renders the IR
+   to a canonical text (virtual registers renumbered, deterministic field
+   order) and hashes it, giving the dedup pipeline its identity notion.
+
+Unlike LLVM we keep *structured* control flow (regions with ``for``/``if``
+ops, in the spirit of MLIR's ``scf`` dialect) instead of a flat CFG: loop
+structure is what the deployment-time vectorizer and the performance model
+consume, and a region IR keeps those analyses honest and simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.util.hashing import content_digest
+
+# -- types -------------------------------------------------------------------
+
+SCALAR_TYPES = ("i1", "i8", "i32", "i64", "f32", "f64", "void")
+
+
+def is_float_type(t: str) -> bool:
+    return t.startswith("f")
+
+
+def type_bits(t: str) -> int:
+    if t.startswith("ptr"):
+        return 64
+    return {"i1": 1, "i8": 8, "i32": 32, "i64": 64, "f32": 32, "f64": 64, "void": 0}[t]
+
+
+def pointer_to(elem: str) -> str:
+    return f"ptr.{elem}"
+
+
+def pointee(t: str) -> str:
+    if not t.startswith("ptr."):
+        raise ValueError(f"{t} is not a pointer type")
+    return t[len("ptr."):]
+
+
+# -- values -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate operand."""
+
+    value: Union[int, float]
+    type: str
+
+    def render(self, names: dict[str, str]) -> str:
+        if is_float_type(self.type):
+            return f"{self.type} {float(self.value)!r}"
+        return f"{self.type} {int(self.value)}"
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A reference to a virtual register (temporary or named variable)."""
+
+    name: str
+    type: str
+
+    def render(self, names: dict[str, str]) -> str:
+        return f"{self.type} %{names.get(self.name, self.name)}"
+
+
+Value = Union[Const, Ref]
+
+
+# -- operations -----------------------------------------------------------------
+
+class Op:
+    """Base class for region items."""
+
+    def operands(self) -> Iterator[Value]:
+        return iter(())
+
+    def regions(self) -> Iterator["Region"]:
+        return iter(())
+
+
+@dataclass
+class Instr(Op):
+    """Three-address instruction: ``dest = op(operands)``.
+
+    ``op`` names follow an LLVM-ish convention with the type suffixed:
+    ``add.f64``, ``mul.i32``, ``cmp.lt.f64``, ``cast.sitofp``, ``neg.f64``,
+    ``not.i1``.
+    """
+
+    op: str
+    dest: Optional[str]
+    args: list[Value]
+    type: str
+
+    def operands(self):
+        yield from self.args
+
+
+@dataclass
+class LoadOp(Op):
+    """``dest = load base[index]``."""
+
+    dest: str
+    base: Ref
+    index: Value
+    type: str  # element type loaded
+
+    def operands(self):
+        yield self.base
+        yield self.index
+
+
+@dataclass
+class StoreOp(Op):
+    """``store base[index] = value``."""
+
+    base: Ref
+    index: Value
+    value: Value
+    type: str
+
+    def operands(self):
+        yield self.base
+        yield self.index
+        yield self.value
+
+
+@dataclass
+class CallOp(Op):
+    """``dest = call callee(args)``; dest None for void calls."""
+
+    dest: Optional[str]
+    callee: str
+    args: list[Value]
+    type: str
+
+    def operands(self):
+        yield from self.args
+
+
+@dataclass
+class Region:
+    """An ordered list of operations (a structured block)."""
+
+    ops: list[Op] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Op]:
+        for op in self.ops:
+            yield op
+            for region in op.regions():
+                yield from region.walk()
+
+
+@dataclass
+class ForOp(Op):
+    """Counted loop: ``for var = start; var < bound; var += step``.
+
+    ``attrs`` carries the pipeline metadata:
+
+    * ``omp_parallel`` — lowered from ``#pragma omp parallel for`` under
+      ``-fopenmp``;
+    * ``omp_reductions`` — reduction variables from the pragma clause;
+    * ``vectorizable`` / ``vector_reductions`` / ``gather`` — set by the
+      legality analysis in :mod:`repro.compiler.passes`;
+    * ``vector_width`` — set at lowering time once the ISA is known;
+    * ``bound_src`` — source-level text of the bound expression, used by the
+      performance model to resolve symbolic trip counts.
+    """
+
+    var: str
+    start: Value
+    bound: Value
+    step: Value
+    body: Region
+    attrs: dict = field(default_factory=dict)
+
+    def operands(self):
+        yield self.start
+        yield self.bound
+        yield self.step
+
+    def regions(self):
+        yield self.body
+
+
+@dataclass
+class WhileOp(Op):
+    """General loop: re-evaluate ``cond_region`` ending in ``cond``; run body while true."""
+
+    cond_region: Region
+    cond: Value
+    body: Region
+
+    def operands(self):
+        yield self.cond
+
+    def regions(self):
+        yield self.cond_region
+        yield self.body
+
+
+@dataclass
+class IfOp(Op):
+    cond: Value
+    then: Region
+    orelse: Region = field(default_factory=Region)
+
+    def operands(self):
+        yield self.cond
+
+    def regions(self):
+        yield self.then
+        yield self.orelse
+
+
+@dataclass
+class ReturnOp(Op):
+    value: Optional[Value] = None
+
+    def operands(self):
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass
+class BreakOp(Op):
+    pass
+
+
+@dataclass
+class ContinueOp(Op):
+    pass
+
+
+# -- functions & modules -----------------------------------------------------------
+
+@dataclass
+class Function:
+    name: str
+    params: list[tuple[str, str]]  # (name, ir type)
+    ret_type: str
+    body: Region
+    attrs: dict = field(default_factory=dict)
+
+    def walk(self) -> Iterator[Op]:
+        yield from self.body.walk()
+
+    def loops(self) -> Iterator[ForOp]:
+        for op in self.walk():
+            if isinstance(op, ForOp):
+                yield op
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: str
+    init: Optional[Union[int, float]] = None
+
+
+@dataclass
+class Module:
+    """A translation unit in IR form."""
+
+    name: str
+    functions: list[Function] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    # Frontend-relevant compilation context recorded for provenance; the
+    # canonical render (and therefore the fingerprint) includes it because two
+    # IRs built with different frontend flags are distinct artifacts even if
+    # their code happens to coincide textually.
+    frontend_flags: tuple[str, ...] = ()
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"module {self.name}: no function {name!r}")
+
+    def render(self) -> str:
+        """Canonical textual form; temporaries renumbered deterministically."""
+        out: list[str] = [f"module @{self.name}"]
+        if self.frontend_flags:
+            out.append(f"; flags: {' '.join(self.frontend_flags)}")
+        for g in self.globals:
+            init = "" if g.init is None else f" = {g.init!r}"
+            out.append(f"global @{g.name} : {g.type}{init}")
+        for fn in self.functions:
+            out.extend(_render_function(fn))
+        return "\n".join(out) + "\n"
+
+    def fingerprint(self) -> str:
+        """Content digest of the canonical form — the dedup identity."""
+        return content_digest(self.render())
+
+
+# -- rendering ----------------------------------------------------------------------
+
+def _render_function(fn: Function) -> list[str]:
+    names: dict[str, str] = {}
+    counter = [0]
+
+    def canon(name: str) -> str:
+        if name not in names:
+            names[name] = f"v{counter[0]}"
+            counter[0] += 1
+        return names[name]
+
+    for pname, _ in fn.params:
+        canon(pname)
+
+    lines = []
+    params = ", ".join(f"%{canon(p)}: {t}" for p, t in fn.params)
+    attrs = ""
+    if fn.attrs:
+        attrs = " attrs{" + ", ".join(f"{k}={fn.attrs[k]!r}" for k in sorted(fn.attrs)) + "}"
+    lines.append(f"func @{fn.name}({params}) -> {fn.ret_type}{attrs} {{")
+    lines.extend(_render_region(fn.body, canon, names, indent=1))
+    lines.append("}")
+    return lines
+
+
+def _render_value(value: Value, canon, names) -> str:
+    if isinstance(value, Ref):
+        canon(value.name)
+    return value.render(names)
+
+
+def _render_region(region: Region, canon, names, indent: int) -> list[str]:
+    pad = "  " * indent
+    lines: list[str] = []
+    for op in region.ops:
+        if isinstance(op, Instr):
+            args = ", ".join(_render_value(a, canon, names) for a in op.args)
+            if op.dest is None:
+                lines.append(f"{pad}{op.op} {args}")
+            else:
+                lines.append(f"{pad}%{canon(op.dest)} = {op.op} {args} : {op.type}")
+        elif isinstance(op, LoadOp):
+            base = _render_value(op.base, canon, names)
+            idx = _render_value(op.index, canon, names)
+            lines.append(f"{pad}%{canon(op.dest)} = load {base}[{idx}] : {op.type}")
+        elif isinstance(op, StoreOp):
+            base = _render_value(op.base, canon, names)
+            idx = _render_value(op.index, canon, names)
+            val = _render_value(op.value, canon, names)
+            lines.append(f"{pad}store {base}[{idx}], {val} : {op.type}")
+        elif isinstance(op, CallOp):
+            args = ", ".join(_render_value(a, canon, names) for a in op.args)
+            if op.dest is None:
+                lines.append(f"{pad}call @{op.callee}({args}) : {op.type}")
+            else:
+                lines.append(f"{pad}%{canon(op.dest)} = call @{op.callee}({args}) : {op.type}")
+        elif isinstance(op, ForOp):
+            start = _render_value(op.start, canon, names)
+            bound = _render_value(op.bound, canon, names)
+            step = _render_value(op.step, canon, names)
+            attrs = ""
+            semantic = {k: v for k, v in sorted(op.attrs.items())
+                        if k in ("omp_parallel", "omp_simd", "omp_reductions")}
+            if semantic:
+                attrs = " attrs{" + ", ".join(f"{k}={v!r}" for k, v in semantic.items()) + "}"
+            lines.append(f"{pad}for %{canon(op.var)} = {start} to {bound} step {step}{attrs} {{")
+            lines.extend(_render_region(op.body, canon, names, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(op, WhileOp):
+            lines.append(f"{pad}while {{")
+            lines.extend(_render_region(op.cond_region, canon, names, indent + 1))
+            lines.append(f"{pad}}} cond {_render_value(op.cond, canon, names)} do {{")
+            lines.extend(_render_region(op.body, canon, names, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(op, IfOp):
+            lines.append(f"{pad}if {_render_value(op.cond, canon, names)} {{")
+            lines.extend(_render_region(op.then, canon, names, indent + 1))
+            if op.orelse.ops:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_render_region(op.orelse, canon, names, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(op, ReturnOp):
+            if op.value is None:
+                lines.append(f"{pad}return")
+            else:
+                lines.append(f"{pad}return {_render_value(op.value, canon, names)}")
+        elif isinstance(op, BreakOp):
+            lines.append(f"{pad}break")
+        elif isinstance(op, ContinueOp):
+            lines.append(f"{pad}continue")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {type(op).__name__}")
+    return lines

@@ -1,0 +1,366 @@
+"""Recursive-descent parser for the C subset.
+
+Grammar (informal)::
+
+    unit      := (funcdef | globaldecl)*
+    funcdef   := qualifiers type ID '(' params ')' (block | ';')
+    stmt      := decl ';' | expr ';' | if | for | while | return ';'
+               | break ';' | continue ';' | block
+    expr      := assignment with C precedence for || && == != < > <= >=
+                 + - * / % and unary - !, calls, indexing, casts
+
+Pragmas: a ``#pragma`` token annotates the immediately following statement
+(Clang models OpenMP directives the same way as AST attributes); consecutive
+pragmas accumulate.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import c_ast as A
+from repro.compiler.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"int", "long", "float", "double", "void", "char", "bool"}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class ParseError(ValueError):
+    pass
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _match(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            want = text or kind
+            raise ParseError(f"line {tok.line}: expected {want!r}, got {tok!r}")
+        return self._advance()
+
+    def _collect_pragmas(self) -> list[str]:
+        pragmas = []
+        while self._check("PRAGMA"):
+            text = self._advance().text
+            pragmas.append(text[len("#pragma"):].strip())
+        return pragmas
+
+    # -- types ----------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        i = 0
+        while self._peek(i).kind == "KEYWORD" and self._peek(i).text in ("const", "static", "extern", "unsigned"):
+            i += 1
+        tok = self._peek(i)
+        return tok.kind == "KEYWORD" and tok.text in _TYPE_KEYWORDS
+
+    def _parse_type(self) -> tuple[A.CType, bool, bool]:
+        """Returns (type, is_static, is_extern)."""
+        const = static = extern = unsigned = False
+        while True:
+            if self._match("KEYWORD", "const"):
+                const = True
+            elif self._match("KEYWORD", "static"):
+                static = True
+            elif self._match("KEYWORD", "extern"):
+                extern = True
+            elif self._match("KEYWORD", "unsigned"):
+                unsigned = True
+            else:
+                break
+        name_tok = self._peek()
+        if name_tok.kind != "KEYWORD" or name_tok.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"line {name_tok.line}: expected type name, got {name_tok!r}")
+        self._advance()
+        base = name_tok.text
+        if unsigned and base == "void":
+            raise ParseError(f"line {name_tok.line}: 'unsigned void' is invalid")
+        # Trailing const ("double const") folds into the same flag.
+        if self._match("KEYWORD", "const"):
+            const = True
+        pointer = 0
+        while self._match("OP", "*"):
+            pointer += 1
+            if self._match("KEYWORD", "const"):
+                const = True
+        return A.CType(base, pointer, const, unsigned), static, extern
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_unit(self) -> A.TranslationUnitAST:
+        unit = A.TranslationUnitAST()
+        while not self._check("EOF"):
+            pragmas = self._collect_pragmas()
+            if self._check("EOF"):
+                break
+            ctype, static, extern = self._parse_type()
+            name = self._expect("ID").text
+            if self._check("OP", "("):
+                unit.functions.append(self._parse_function(ctype, name, static, pragmas))
+            else:
+                init = None
+                if self._match("OP", "="):
+                    init = self._parse_expr()
+                self._expect("OP", ";")
+                unit.globals.append(A.GlobalDecl(ctype, name, init, extern))
+        return unit
+
+    def _parse_function(self, ret: A.CType, name: str, static: bool,
+                        pragmas: list[str]) -> A.FuncDef:
+        self._expect("OP", "(")
+        params: list[A.Param] = []
+        if not self._check("OP", ")"):
+            if self._check("KEYWORD", "void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    ptype, _, _ = self._parse_type()
+                    pname = self._expect("ID").text
+                    params.append(A.Param(ptype, pname))
+                    if not self._match("OP", ","):
+                        break
+        self._expect("OP", ")")
+        if self._match("OP", ";"):
+            return A.FuncDef(ret, name, params, None, static, pragmas)
+        body = self._parse_block()
+        return A.FuncDef(ret, name, params, body, static, pragmas)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        self._expect("OP", "{")
+        stmts: list[A.Stmt] = []
+        while not self._check("OP", "}"):
+            if self._check("EOF"):
+                raise ParseError("unexpected EOF inside block")
+            stmts.append(self._parse_stmt())
+        self._expect("OP", "}")
+        return A.Block(stmts)
+
+    def _parse_stmt(self) -> A.Stmt:
+        pragmas = self._collect_pragmas()
+        stmt = self._parse_stmt_inner()
+        if pragmas:
+            stmt.pragmas = pragmas + list(stmt.pragmas)
+        return stmt
+
+    def _parse_stmt_inner(self) -> A.Stmt:
+        tok = self._peek()
+        if tok.kind == "OP" and tok.text == "{":
+            return self._parse_block()
+        if tok.kind == "KEYWORD":
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "return":
+                self._advance()
+                value = None if self._check("OP", ";") else self._parse_expr()
+                self._expect("OP", ";")
+                return A.Return(value)
+            if tok.text == "break":
+                self._advance()
+                self._expect("OP", ";")
+                return A.Break()
+            if tok.text == "continue":
+                self._advance()
+                self._expect("OP", ";")
+                return A.Continue()
+        if self._at_type():
+            decl = self._parse_decl()
+            self._expect("OP", ";")
+            return decl
+        expr = self._parse_expr()
+        self._expect("OP", ";")
+        return A.ExprStmt(expr)
+
+    def _parse_decl(self) -> A.Decl:
+        ctype, _, _ = self._parse_type()
+        name = self._expect("ID").text
+        init = None
+        if self._match("OP", "="):
+            init = self._parse_expr()
+        return A.Decl(ctype, name, init)
+
+    def _parse_if(self) -> A.If:
+        self._expect("KEYWORD", "if")
+        self._expect("OP", "(")
+        cond = self._parse_expr()
+        self._expect("OP", ")")
+        then = self._stmt_as_block()
+        orelse = None
+        if self._match("KEYWORD", "else"):
+            orelse = self._stmt_as_block()
+        return A.If(cond, then, orelse)
+
+    def _parse_for(self) -> A.For:
+        self._expect("KEYWORD", "for")
+        self._expect("OP", "(")
+        init: A.Stmt | None = None
+        if not self._check("OP", ";"):
+            init = self._parse_decl() if self._at_type() else A.ExprStmt(self._parse_expr())
+        self._expect("OP", ";")
+        cond = None if self._check("OP", ";") else self._parse_expr()
+        self._expect("OP", ";")
+        step = None if self._check("OP", ")") else self._parse_expr()
+        self._expect("OP", ")")
+        body = self._stmt_as_block()
+        return A.For(init, cond, step, body)
+
+    def _parse_while(self) -> A.While:
+        self._expect("KEYWORD", "while")
+        self._expect("OP", "(")
+        cond = self._parse_expr()
+        self._expect("OP", ")")
+        return A.While(cond, self._stmt_as_block())
+
+    def _stmt_as_block(self) -> A.Block:
+        stmt = self._parse_stmt()
+        return stmt if isinstance(stmt, A.Block) else A.Block([stmt])
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expr(self) -> A.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> A.Expr:
+        lhs = self._parse_logical_or()
+        tok = self._peek()
+        if tok.kind == "OP" and tok.text in _ASSIGN_OPS:
+            if not isinstance(lhs, (A.Name, A.Index)):
+                raise ParseError(f"line {tok.line}: invalid assignment target")
+            self._advance()
+            rhs = self._parse_assignment()
+            return A.Assign(tok.text, lhs, rhs)
+        return lhs
+
+    def _binary_level(self, ops: tuple[str, ...], next_level):
+        expr = next_level()
+        while self._peek().kind == "OP" and self._peek().text in ops:
+            op = self._advance().text
+            expr = A.BinOp(op, expr, next_level())
+        return expr
+
+    def _parse_logical_or(self):
+        return self._binary_level(("||",), self._parse_logical_and)
+
+    def _parse_logical_and(self):
+        return self._binary_level(("&&",), self._parse_equality)
+
+    def _parse_equality(self):
+        return self._binary_level(("==", "!="), self._parse_relational)
+
+    def _parse_relational(self):
+        return self._binary_level(("<", ">", "<=", ">="), self._parse_additive)
+
+    def _parse_additive(self):
+        return self._binary_level(("+", "-"), self._parse_multiplicative)
+
+    def _parse_multiplicative(self):
+        return self._binary_level(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind == "OP" and tok.text in ("-", "!", "~", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return A.UnOp(tok.text, operand)
+        # Cast: '(' type ')' unary
+        if tok.kind == "OP" and tok.text == "(" and self._is_cast_ahead():
+            self._advance()
+            ctype, _, _ = self._parse_type()
+            self._expect("OP", ")")
+            return A.Cast(ctype, self._parse_unary())
+        if tok.kind == "OP" and tok.text in ("++", "--"):
+            # Prefix inc/dec desugars to compound assignment.
+            self._advance()
+            operand = self._parse_unary()
+            if not isinstance(operand, (A.Name, A.Index)):
+                raise ParseError(f"line {tok.line}: invalid ++/-- target")
+            return A.Assign("+=" if tok.text == "++" else "-=", operand, A.IntLit(1))
+        return self._parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        nxt = self._peek(1)
+        return nxt.kind == "KEYWORD" and nxt.text in (_TYPE_KEYWORDS | {"const", "unsigned"})
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == "OP" and tok.text == "[":
+                self._advance()
+                index = self._parse_expr()
+                self._expect("OP", "]")
+                expr = A.Index(expr, index)
+            elif tok.kind == "OP" and tok.text == "(" and isinstance(expr, A.Name):
+                self._advance()
+                args: list[A.Expr] = []
+                if not self._check("OP", ")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._match("OP", ","):
+                            break
+                self._expect("OP", ")")
+                expr = A.Call(expr.ident, args)
+            elif tok.kind == "OP" and tok.text in ("++", "--"):
+                # Postfix inc/dec in statement position behaves like prefix in
+                # our subset (value-of-expression is never used in app code).
+                self._advance()
+                if not isinstance(expr, (A.Name, A.Index)):
+                    raise ParseError(f"line {tok.line}: invalid ++/-- target")
+                expr = A.Assign("+=" if tok.text == "++" else "-=", expr, A.IntLit(1))
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self._advance()
+        if tok.kind == "INT":
+            text = tok.text.rstrip("uUlL")
+            return A.IntLit(int(text, 0))
+        if tok.kind == "FLOAT":
+            is_single = tok.text[-1] in "fF"
+            return A.FloatLit(float(tok.text.rstrip("fF")), is_single)
+        if tok.kind == "STRING":
+            return A.StrLit(tok.text[1:-1])
+        if tok.kind == "CHAR":
+            body = tok.text[1:-1]
+            value = ord(body[-1]) if not body.startswith("\\") else {"n": 10, "t": 9, "0": 0}.get(body[1], ord(body[1]))
+            return A.IntLit(value)
+        if tok.kind == "ID":
+            return A.Name(tok.text)
+        if tok.kind == "OP" and tok.text == "(":
+            expr = self._parse_expr()
+            self._expect("OP", ")")
+            return expr
+        raise ParseError(f"line {tok.line}: unexpected token {tok!r}")
+
+
+def parse(source: str) -> A.TranslationUnitAST:
+    """Parse preprocessed source text into a translation-unit AST."""
+    return Parser(tokenize(source)).parse_unit()

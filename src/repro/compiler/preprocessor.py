@@ -1,0 +1,502 @@
+"""A C preprocessor for the XaaS compilation pipeline.
+
+The IR-container pipeline's second stage (Sec. 4.3 "Preprocessing") runs the
+preprocessor over every translation unit of every build configuration and
+hashes the result: two targets whose preprocessed text is identical can share
+one IR file. This module implements the directive subset that HPC build
+systems actually use to encode specialization points:
+
+``#include "..."`` / ``#include <...>`` (resolved through a caller-supplied
+include resolver), ``#define`` / ``#undef`` (object-like and function-like
+macros), ``#if`` / ``#elif`` / ``#else`` / ``#endif`` with full integer
+constant expressions and ``defined(X)``, ``#ifdef`` / ``#ifndef``,
+``#pragma`` (kept in the output — the OpenMP detection pass needs them), and
+``#error``.
+
+The output is *canonical*: blank lines collapsed and trailing whitespace
+stripped, so hashing is insensitive to incidental formatting — mirroring how
+the paper hashes preprocessed files rather than raw sources.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+
+class PreprocessorError(ValueError):
+    """Raised for malformed directives, unterminated #if blocks or #error."""
+
+
+@dataclass
+class Macro:
+    """An object-like (params is None) or function-like macro definition."""
+
+    name: str
+    body: str
+    params: list[str] | None = None
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+@dataclass
+class PreprocessResult:
+    """Preprocessed text plus metadata the later pipeline stages consume."""
+
+    text: str
+    includes: list[str] = field(default_factory=list)
+    pragmas: list[str] = field(default_factory=list)
+    defines_used: set[str] = field(default_factory=set)
+
+    @property
+    def has_openmp_pragma(self) -> bool:
+        """True if any ``#pragma omp`` survived preprocessing.
+
+        This is the cheap textual pre-filter; the authoritative check is the
+        AST analysis in :func:`repro.compiler.passes.detect_openmp`.
+        """
+        return any(p.split()[:1] == ["omp"] for p in self.pragmas)
+
+
+IncludeResolver = Callable[[str, bool], str | None]
+
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)\s*(.*)$")
+_DEFINE_FN_RE = re.compile(r"^(\w+)\(([^)]*)\)\s*(.*)$", re.S)
+_DEFINE_OBJ_RE = re.compile(r"^(\w+)\s*(.*)$", re.S)
+_IDENT_RE = re.compile(r"\b[A-Za-z_]\w*\b")
+
+
+class Preprocessor:
+    """Stateful preprocessor; one instance per translation unit.
+
+    Parameters
+    ----------
+    defines:
+        Initial macro table, typically from ``-D`` flags. Values may be
+        strings or ints; ``-DFOO`` with no value maps to ``"1"``.
+    include_resolver:
+        ``resolver(name, is_system) -> source text or None``. ``None`` means
+        the header cannot be found, which raises — missing headers are build
+        errors in the paper's pipeline too.
+    """
+
+    MAX_INCLUDE_DEPTH = 32
+
+    def __init__(self, defines: Mapping[str, object] | None = None,
+                 include_resolver: IncludeResolver | None = None):
+        self.macros: dict[str, Macro] = {}
+        for name, value in (defines or {}).items():
+            self.macros[name] = Macro(name, "1" if value is None else str(value))
+        self.resolver = include_resolver
+        self._included: list[str] = []
+        self._pragmas: list[str] = []
+        self._defines_used: set[str] = set()
+
+    # -- public API ---------------------------------------------------------
+
+    def preprocess(self, source: str, filename: str = "<source>") -> PreprocessResult:
+        """Run the full preprocessing pass over ``source``."""
+        lines = self._process(source, filename, depth=0)
+        text = _canonicalize(lines)
+        return PreprocessResult(
+            text=text,
+            includes=list(self._included),
+            pragmas=list(self._pragmas),
+            defines_used=set(self._defines_used),
+        )
+
+    # -- core loop ----------------------------------------------------------
+
+    def _process(self, source: str, filename: str, depth: int) -> list[str]:
+        if depth > self.MAX_INCLUDE_DEPTH:
+            raise PreprocessorError(f"{filename}: include depth exceeds {self.MAX_INCLUDE_DEPTH}")
+        out: list[str] = []
+        # Conditional stack entries: [taken_now, any_branch_taken, saw_else]
+        stack: list[list[bool]] = []
+        physical = _join_continuations(source.split("\n"))
+        for lineno, line in physical:
+            m = _DIRECTIVE_RE.match(line)
+            active = all(frame[0] for frame in stack)
+            if not m:
+                if active:
+                    out.append(self._expand(line))
+                continue
+            directive, rest = m.group(1), m.group(2).strip()
+            where = f"{filename}:{lineno}"
+            if directive in ("if", "ifdef", "ifndef"):
+                if active:
+                    taken = self._evaluate_condition(directive, rest, where)
+                else:
+                    taken = False
+                stack.append([taken, taken, False])
+            elif directive == "elif":
+                self._require_stack(stack, where, directive)
+                frame = stack[-1]
+                if frame[2]:
+                    raise PreprocessorError(f"{where}: #elif after #else")
+                parent_active = all(f[0] for f in stack[:-1])
+                if parent_active and not frame[1]:
+                    taken = bool(self._eval_expr(rest, where))
+                    frame[0] = taken
+                    frame[1] = frame[1] or taken
+                else:
+                    frame[0] = False
+            elif directive == "else":
+                self._require_stack(stack, where, directive)
+                frame = stack[-1]
+                if frame[2]:
+                    raise PreprocessorError(f"{where}: duplicate #else")
+                frame[2] = True
+                parent_active = all(f[0] for f in stack[:-1])
+                frame[0] = parent_active and not frame[1]
+                frame[1] = True
+            elif directive == "endif":
+                self._require_stack(stack, where, directive)
+                stack.pop()
+            elif not active:
+                continue  # skip directives inside dead branches
+            elif directive == "define":
+                self._handle_define(rest, where)
+            elif directive == "undef":
+                self.macros.pop(rest.strip(), None)
+            elif directive == "include":
+                out.extend(self._handle_include(rest, where, depth))
+            elif directive == "pragma":
+                self._pragmas.append(rest)
+                out.append(f"#pragma {rest}")
+            elif directive == "error":
+                raise PreprocessorError(f"{where}: #error {rest}")
+            else:
+                raise PreprocessorError(f"{where}: unknown directive #{directive}")
+        if stack:
+            raise PreprocessorError(f"{filename}: unterminated #if block")
+        return out
+
+    # -- directive handlers --------------------------------------------------
+
+    def _require_stack(self, stack, where: str, directive: str) -> None:
+        if not stack:
+            raise PreprocessorError(f"{where}: #{directive} without matching #if")
+
+    def _evaluate_condition(self, directive: str, rest: str, where: str) -> bool:
+        if directive == "ifdef":
+            self._defines_used.add(rest.strip())
+            return rest.strip() in self.macros
+        if directive == "ifndef":
+            self._defines_used.add(rest.strip())
+            return rest.strip() not in self.macros
+        return bool(self._eval_expr(rest, where))
+
+    def _handle_define(self, rest: str, where: str) -> None:
+        fn = _DEFINE_FN_RE.match(rest)
+        # A function-like macro requires '(' to touch the name: "F(x) body".
+        if fn and rest[: len(fn.group(1)) + 1].endswith("("):
+            params = [p.strip() for p in fn.group(2).split(",") if p.strip()]
+            self.macros[fn.group(1)] = Macro(fn.group(1), fn.group(3).strip(), params)
+            return
+        obj = _DEFINE_OBJ_RE.match(rest)
+        if not obj:
+            raise PreprocessorError(f"{where}: malformed #define")
+        self.macros[obj.group(1)] = Macro(obj.group(1), obj.group(2).strip() or "1")
+
+    def _handle_include(self, rest: str, where: str, depth: int) -> list[str]:
+        if rest.startswith('"') and rest.endswith('"'):
+            name, system = rest[1:-1], False
+        elif rest.startswith("<") and rest.endswith(">"):
+            name, system = rest[1:-1], True
+        else:
+            raise PreprocessorError(f"{where}: malformed #include {rest!r}")
+        self._included.append(name)
+        if self.resolver is None:
+            raise PreprocessorError(f"{where}: no include resolver for {name!r}")
+        text = self.resolver(name, system)
+        if text is None:
+            raise PreprocessorError(f"{where}: header {name!r} not found")
+        return self._process(text, name, depth + 1)
+
+    # -- macro expansion ------------------------------------------------------
+
+    def _expand(self, line: str, _active: frozenset[str] = frozenset()) -> str:
+        """Expand macros in a code line (recursively, with self-reference guard)."""
+
+        def repl(match: re.Match) -> str:
+            name = match.group(0)
+            if name in _active or name not in self.macros:
+                return name
+            macro = self.macros[name]
+            self._defines_used.add(name)
+            if macro.is_function_like:
+                return name  # handled below with argument parsing
+            return self._expand(macro.body, _active | {name})
+
+        line = _IDENT_RE.sub(repl, line)
+        # Function-like macro invocations: expand iteratively until stable.
+        for _ in range(16):
+            new = self._expand_function_like(line, _active)
+            if new == line:
+                return line
+            line = new
+        return line
+
+    def _expand_function_like(self, line: str, active: frozenset[str]) -> str:
+        for name, macro in self.macros.items():
+            if not macro.is_function_like or name in active:
+                continue
+            idx = _find_invocation(line, name)
+            if idx is None:
+                continue
+            start, args_start = idx
+            args, end = _parse_macro_args(line, args_start)
+            if args is None:
+                continue
+            if len(args) != len(macro.params):
+                raise PreprocessorError(
+                    f"macro {name} expects {len(macro.params)} args, got {len(args)}")
+            self._defines_used.add(name)
+            body = macro.body
+            for param, arg in zip(macro.params, args):
+                body = re.sub(rf"\b{re.escape(param)}\b", arg.strip(), body)
+            body = self._expand(body, active | {name})
+            return line[:start] + body + line[end:]
+        return line
+
+    # -- #if expression evaluation --------------------------------------------
+
+    def _eval_expr(self, expr: str, where: str) -> int:
+        """Evaluate a preprocessor integer constant expression."""
+        # defined(X) / defined X before macro expansion, per the C standard.
+        def defined_repl(m: re.Match) -> str:
+            name = m.group(1) or m.group(2)
+            self._defines_used.add(name)
+            return "1" if name in self.macros else "0"
+
+        expr = re.sub(r"defined\s*\(\s*(\w+)\s*\)|defined\s+(\w+)", defined_repl, expr)
+        expr = self._expand(expr)
+        # Remaining identifiers evaluate to 0, as in C.
+        expr = _IDENT_RE.sub("0", expr)
+        try:
+            return int(_CondExpr(expr).parse())
+        except _CondError as exc:
+            raise PreprocessorError(f"{where}: bad #if expression {expr!r}: {exc}") from None
+
+
+class _CondError(ValueError):
+    pass
+
+
+class _CondExpr:
+    """Recursive-descent evaluator for #if expressions (C precedence subset)."""
+
+    def __init__(self, text: str):
+        self.tokens = re.findall(r"\d+|[()!<>=&|^~%*/+-]+|\S", text.replace("||", " || ")
+                                 .replace("&&", " && "))
+        # Re-tokenize multi-char operators cleanly.
+        self.tokens = _split_ops(self.tokens)
+        self.pos = 0
+
+    def parse(self) -> int:
+        val = self._or()
+        if self.pos != len(self.tokens):
+            raise _CondError(f"trailing tokens {self.tokens[self.pos:]}")
+        return val
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _eat(self, tok=None):
+        cur = self._peek()
+        if cur is None or (tok is not None and cur != tok):
+            raise _CondError(f"expected {tok}, got {cur}")
+        self.pos += 1
+        return cur
+
+    def _or(self):
+        val = self._and()
+        while self._peek() == "||":
+            self._eat()
+            rhs = self._and()
+            val = 1 if (val or rhs) else 0
+        return val
+
+    def _and(self):
+        val = self._cmp()
+        while self._peek() == "&&":
+            self._eat()
+            rhs = self._cmp()
+            val = 1 if (val and rhs) else 0
+        return val
+
+    _CMP = {"==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b, ">": lambda a, b: a > b,
+            "<=": lambda a, b: a <= b, ">=": lambda a, b: a >= b}
+
+    def _cmp(self):
+        val = self._add()
+        while self._peek() in self._CMP:
+            op = self._eat()
+            val = 1 if self._CMP[op](val, self._add()) else 0
+        return val
+
+    def _add(self):
+        val = self._mul()
+        while self._peek() in ("+", "-"):
+            op = self._eat()
+            rhs = self._mul()
+            val = val + rhs if op == "+" else val - rhs
+        return val
+
+    def _mul(self):
+        val = self._unary()
+        while self._peek() in ("*", "/", "%"):
+            op = self._eat()
+            rhs = self._unary()
+            if op == "*":
+                val *= rhs
+            elif rhs == 0:
+                raise _CondError("division by zero in #if")
+            elif op == "/":
+                val //= rhs
+            else:
+                val %= rhs
+        return val
+
+    def _unary(self):
+        tok = self._peek()
+        if tok == "!":
+            self._eat()
+            return 0 if self._unary() else 1
+        if tok == "-":
+            self._eat()
+            return -self._unary()
+        if tok == "+":
+            self._eat()
+            return self._unary()
+        if tok == "(":
+            self._eat()
+            val = self._or()
+            self._eat(")")
+            return val
+        if tok is not None and tok.isdigit():
+            self._eat()
+            return int(tok)
+        raise _CondError(f"unexpected token {tok!r}")
+
+
+def _split_ops(tokens: list[str]) -> list[str]:
+    out: list[str] = []
+    multi = ("||", "&&", "==", "!=", "<=", ">=")
+    for tok in tokens:
+        while tok:
+            for m in multi:
+                if tok.startswith(m):
+                    out.append(m)
+                    tok = tok[len(m):]
+                    break
+            else:
+                if tok[0].isdigit():
+                    m2 = re.match(r"\d+", tok)
+                    out.append(m2.group(0))
+                    tok = tok[m2.end():]
+                else:
+                    out.append(tok[0])
+                    tok = tok[1:]
+    return out
+
+
+def _join_continuations(lines: list[str]) -> list[tuple[int, str]]:
+    """Merge backslash-continued lines, tracking original line numbers."""
+    out: list[tuple[int, str]] = []
+    buffer = ""
+    start = 1
+    for i, line in enumerate(lines, start=1):
+        if not buffer:
+            start = i
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        out.append((start, buffer + line))
+        buffer = ""
+    if buffer:
+        out.append((start, buffer.rstrip()))
+    return out
+
+
+def _canonicalize(lines: list[str]) -> str:
+    """Strip comments/trailing space and collapse blank runs for stable hashing."""
+    cleaned: list[str] = []
+    in_block = False
+    for line in lines:
+        line, in_block = _strip_comments(line, in_block)
+        line = line.rstrip()
+        if line or (cleaned and cleaned[-1]):
+            cleaned.append(line)
+    while cleaned and not cleaned[-1]:
+        cleaned.pop()
+    return "\n".join(cleaned) + ("\n" if cleaned else "")
+
+
+def _strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        if line[i] == '"':  # don't strip inside string literals
+            end = i + 1
+            while end < len(line) and line[end] != '"':
+                end += 2 if line[end] == "\\" else 1
+            out.append(line[i:min(end + 1, len(line))])
+            i = end + 1
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block
+
+
+def _find_invocation(line: str, name: str) -> tuple[int, int] | None:
+    for m in re.finditer(rf"\b{re.escape(name)}\b", line):
+        j = m.end()
+        while j < len(line) and line[j].isspace():
+            j += 1
+        if j < len(line) and line[j] == "(":
+            return m.start(), j
+    return None
+
+
+def _parse_macro_args(line: str, open_paren: int) -> tuple[list[str] | None, int]:
+    depth = 0
+    args: list[str] = []
+    current = []
+    for i in range(open_paren, len(line)):
+        ch = line[i]
+        if ch == "(":
+            depth += 1
+            if depth == 1:
+                continue
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current))
+                if len(args) == 1 and not args[0].strip():
+                    args = []
+                return args, i + 1
+        elif ch == "," and depth == 1:
+            args.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    return None, open_paren  # unterminated on this line; give up (single-line subset)

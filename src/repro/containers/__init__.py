@@ -1,0 +1,61 @@
+"""The OCI container substrate: blobs, images, registries, runtimes, hooks.
+
+Implements the object model XaaS containers live in: content-addressed blob
+store (:mod:`~repro.containers.store`), layers/manifests/indexes with
+annotations (:mod:`~repro.containers.image`), registries with push/pull and
+annotation queries (:mod:`~repro.containers.registry`), Dockerfile-style
+builds (:mod:`~repro.containers.dockerfile`) and HPC runtimes with OCI hooks
+(:mod:`~repro.containers.runtime`, :mod:`~repro.containers.hooks`).
+"""
+
+from repro.containers.dockerfile import BuildError, Dockerfile, ImageBuilder
+from repro.containers.hooks import (
+    FABRIC_LIB_PATH,
+    GPU_DRIVER_PATH,
+    MPI_LIB_PATH,
+    FabricReplacementHook,
+    GPUInjectionHook,
+    HookChain,
+    MPIReplacementHook,
+    format_lib,
+    parse_lib,
+)
+from repro.containers.image import (
+    ANNOTATION_IR_FORMAT,
+    ANNOTATION_SOURCE_IMAGE,
+    ANNOTATION_SPECIALIZATION,
+    ANNOTATION_TARGET_SYSTEM,
+    Image,
+    ImageConfig,
+    ImageError,
+    ImageIndex,
+    Layer,
+    Manifest,
+    Platform,
+)
+from repro.containers.registry import Registry, RegistryError
+from repro.containers.runtime import (
+    ContainerRuntime,
+    RunningContainer,
+    apptainer_runtime,
+    docker_runtime,
+    podman_hpc_runtime,
+    runtime_for,
+    sarus_runtime,
+)
+from repro.containers.store import BlobNotFound, BlobStore
+
+__all__ = [
+    "BuildError", "Dockerfile", "ImageBuilder",
+    "FABRIC_LIB_PATH", "GPU_DRIVER_PATH", "MPI_LIB_PATH",
+    "FabricReplacementHook", "GPUInjectionHook", "HookChain",
+    "MPIReplacementHook", "format_lib", "parse_lib",
+    "ANNOTATION_IR_FORMAT", "ANNOTATION_SOURCE_IMAGE",
+    "ANNOTATION_SPECIALIZATION", "ANNOTATION_TARGET_SYSTEM",
+    "Image", "ImageConfig", "ImageError", "ImageIndex", "Layer",
+    "Manifest", "Platform",
+    "Registry", "RegistryError",
+    "ContainerRuntime", "RunningContainer", "apptainer_runtime",
+    "docker_runtime", "podman_hpc_runtime", "runtime_for", "sarus_runtime",
+    "BlobNotFound", "BlobStore",
+]

@@ -1,0 +1,164 @@
+"""Declarative image builds: a Dockerfile-like description and builder.
+
+The XaaS deployment step "generates a Dockerfile to create a new image that
+inherits from the source container and builds the application with selected
+options" (Sec. 4.1). We model a Dockerfile as an ordered instruction list;
+``RUN`` takes a Python callable acting on the build filesystem (our stand-in
+for shell execution), so pipelines can express real build steps (configure,
+compile, install) while each instruction still produces one layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.containers.image import Image, ImageConfig, Layer, Platform
+from repro.containers.registry import Registry
+from repro.containers.store import BlobStore
+
+
+class BuildError(RuntimeError):
+    pass
+
+
+@dataclass
+class Instruction:
+    kind: str  # FROM | COPY | RUN | ENV | LABEL | ENTRYPOINT | ANNOTATION
+    args: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        if self.kind == "FROM":
+            return f"FROM {self.args['ref']}"
+        if self.kind == "COPY":
+            return f"COPY {len(self.args['files'])} files -> {self.args.get('dest', '/')}"
+        if self.kind == "RUN":
+            return f"RUN {self.args.get('comment', '<build step>')}"
+        if self.kind == "ENV":
+            return "ENV " + " ".join(f"{k}={v}" for k, v in self.args["env"].items())
+        if self.kind == "LABEL":
+            return "LABEL " + " ".join(f"{k}={v}" for k, v in self.args["labels"].items())
+        if self.kind == "ENTRYPOINT":
+            return f"ENTRYPOINT {self.args['entrypoint']}"
+        if self.kind == "ANNOTATION":
+            return "ANNOTATION " + " ".join(f"{k}={v}" for k, v in self.args["annotations"].items())
+        return self.kind
+
+
+@dataclass
+class Dockerfile:
+    """An ordered build recipe. Construct via the fluent helpers."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def from_image(self, ref: str) -> "Dockerfile":
+        if self.instructions:
+            raise BuildError("FROM must be the first instruction")
+        self.instructions.append(Instruction("FROM", {"ref": ref}))
+        return self
+
+    def from_scratch(self, platform: Platform) -> "Dockerfile":
+        if self.instructions:
+            raise BuildError("FROM must be the first instruction")
+        self.instructions.append(Instruction("FROM", {"ref": "scratch", "platform": platform}))
+        return self
+
+    def copy(self, files: dict[str, str], dest: str = "/",
+             comment: str = "") -> "Dockerfile":
+        self.instructions.append(Instruction("COPY", {
+            "files": dict(files), "dest": dest, "comment": comment}))
+        return self
+
+    def run(self, step: Callable[[dict[str, str]], dict[str, str] | None],
+            comment: str = "") -> "Dockerfile":
+        """A build step: receives the current filesystem, returns new/changed
+        files (or mutates in place and returns None)."""
+        self.instructions.append(Instruction("RUN", {"step": step, "comment": comment}))
+        return self
+
+    def env(self, **env: str) -> "Dockerfile":
+        self.instructions.append(Instruction("ENV", {"env": env}))
+        return self
+
+    def label(self, **labels: str) -> "Dockerfile":
+        self.instructions.append(Instruction("LABEL", {"labels": labels}))
+        return self
+
+    def entrypoint(self, *argv: str) -> "Dockerfile":
+        self.instructions.append(Instruction("ENTRYPOINT", {"entrypoint": list(argv)}))
+        return self
+
+    def annotate(self, **annotations: str) -> "Dockerfile":
+        self.instructions.append(Instruction("ANNOTATION", {"annotations": annotations}))
+        return self
+
+    def render(self) -> str:
+        return "\n".join(inst.render() for inst in self.instructions) + "\n"
+
+
+@dataclass
+class ImageBuilder:
+    """Executes Dockerfiles against a blob store (and registry for FROM)."""
+
+    store: BlobStore
+    registry: Registry | None = None
+
+    def build(self, dockerfile: Dockerfile, platform: Platform | None = None) -> Image:
+        if not dockerfile.instructions or dockerfile.instructions[0].kind != "FROM":
+            raise BuildError("Dockerfile must start with FROM")
+        base_inst = dockerfile.instructions[0]
+        layers: list[Layer] = []
+        annotations: dict[str, str] = {}
+        if base_inst.args["ref"] == "scratch":
+            config = ImageConfig(platform=base_inst.args.get("platform")
+                                 or platform or Platform("amd64"))
+        else:
+            base = self._resolve_base(base_inst.args["ref"], platform)
+            layers = list(base.layers)
+            annotations = dict(base.manifest.annotations)
+            config = ImageConfig(
+                platform=platform or base.platform,
+                env=dict(base.config.env),
+                entrypoint=list(base.config.entrypoint),
+                labels=dict(base.config.labels),
+                history=list(base.config.history),
+            )
+
+        fs: dict[str, str] = {}
+        for layer in layers:
+            fs.update(layer.files)
+
+        for inst in dockerfile.instructions[1:]:
+            if inst.kind == "COPY":
+                dest = inst.args["dest"].rstrip("/")
+                new_files = {f"{dest}/{path}".replace("//", "/"): content
+                             for path, content in inst.args["files"].items()}
+                layers.append(Layer(new_files, comment=inst.render()))
+                fs.update(new_files)
+            elif inst.kind == "RUN":
+                before = dict(fs)
+                result = inst.args["step"](fs)
+                if result:
+                    fs.update(result)
+                delta = {p: c for p, c in fs.items() if before.get(p) != c}
+                if delta:
+                    layers.append(Layer(delta, comment=inst.render()))
+            elif inst.kind == "ENV":
+                config.env.update(inst.args["env"])
+            elif inst.kind == "LABEL":
+                config.labels.update(inst.args["labels"])
+            elif inst.kind == "ENTRYPOINT":
+                config.entrypoint = inst.args["entrypoint"]
+            elif inst.kind == "ANNOTATION":
+                annotations.update(inst.args["annotations"])
+            else:
+                raise BuildError(f"unknown instruction {inst.kind}")
+            config.history.append(inst.render())
+
+        return Image.build(layers, config, self.store, annotations)
+
+    def _resolve_base(self, ref: str, platform: Platform | None) -> Image:
+        if self.registry is None:
+            raise BuildError(f"FROM {ref}: no registry configured")
+        repo, _, tag = ref.partition(":")
+        return self.registry.pull(repo, tag or "latest", platform)

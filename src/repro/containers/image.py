@@ -1,0 +1,254 @@
+"""OCI image model: layers, configs, manifests, multi-arch indexes.
+
+Follows the OCI image-spec object graph: an *image index* points to per-
+platform *manifests*; a manifest points to a *config* blob and an ordered
+list of *layer* blobs; annotations may appear on any of them. XaaS extends
+the platform vocabulary: besides ``amd64``/``arm64``, an image can declare an
+IR architecture (``llvm-ir``), realizing the paper's proposal (Sec. 5.2) that
+the IR format become an identifying feature of the image.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.containers.store import BlobStore
+from repro.util.hashing import content_digest
+
+KNOWN_ARCHITECTURES = ("amd64", "arm64", "llvm-ir")
+
+MEDIA_TYPE_MANIFEST = "application/vnd.oci.image.manifest.v1+json"
+MEDIA_TYPE_INDEX = "application/vnd.oci.image.index.v1+json"
+MEDIA_TYPE_CONFIG = "application/vnd.oci.image.config.v1+json"
+MEDIA_TYPE_LAYER = "application/vnd.oci.image.layer.v1.tar"
+
+# Annotation keys XaaS introduces for specialization metadata (Sec. 5.2
+# proposes embedding specialization points as image annotations so tools can
+# query them before pulling).
+ANNOTATION_SPECIALIZATION = "org.xaas.specialization"
+ANNOTATION_IR_FORMAT = "org.xaas.ir-format"
+ANNOTATION_SOURCE_IMAGE = "org.xaas.source-image"
+ANNOTATION_TARGET_SYSTEM = "org.xaas.target-system"
+
+
+class ImageError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """OS/architecture pair with an optional variant (OCI platform object)."""
+
+    architecture: str
+    os: str = "linux"
+    variant: str = ""
+
+    def to_json(self) -> dict:
+        out = {"architecture": self.architecture, "os": self.os}
+        if self.variant:
+            out["variant"] = self.variant
+        return out
+
+    def matches(self, other: "Platform") -> bool:
+        return (self.architecture == other.architecture and self.os == other.os
+                and (not self.variant or not other.variant or self.variant == other.variant))
+
+
+@dataclass
+class Layer:
+    """One filesystem layer: path -> content.
+
+    Real layers are tarballs; we serialize the file map canonically so the
+    digest is deterministic and content-defined (two layers with identical
+    files share a blob — the dedup that makes registries efficient).
+    """
+
+    files: dict[str, str] = field(default_factory=dict)
+    comment: str = ""
+
+    def serialize(self) -> bytes:
+        return json.dumps({"files": self.files, "comment": self.comment},
+                          sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Layer":
+        obj = json.loads(data.decode("utf-8"))
+        return cls(files=obj["files"], comment=obj.get("comment", ""))
+
+    @property
+    def size(self) -> int:
+        return sum(len(v) for v in self.files.values())
+
+
+@dataclass
+class ImageConfig:
+    """The config blob: platform, env, entrypoint, labels, history."""
+
+    platform: Platform
+    env: dict[str, str] = field(default_factory=dict)
+    entrypoint: list[str] = field(default_factory=list)
+    labels: dict[str, str] = field(default_factory=dict)
+    history: list[str] = field(default_factory=list)
+
+    def serialize(self) -> bytes:
+        return json.dumps({
+            "architecture": self.platform.architecture,
+            "os": self.platform.os,
+            "variant": self.platform.variant,
+            "config": {"Env": sorted(f"{k}={v}" for k, v in self.env.items()),
+                       "Entrypoint": self.entrypoint,
+                       "Labels": dict(sorted(self.labels.items()))},
+            "history": self.history,
+        }, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ImageConfig":
+        obj = json.loads(data.decode("utf-8"))
+        env = {}
+        for item in obj["config"].get("Env", []):
+            k, _, v = item.partition("=")
+            env[k] = v
+        return cls(
+            platform=Platform(obj["architecture"], obj["os"], obj.get("variant", "")),
+            env=env,
+            entrypoint=obj["config"].get("Entrypoint", []),
+            labels=obj["config"].get("Labels", {}),
+            history=obj.get("history", []),
+        )
+
+
+@dataclass
+class Manifest:
+    """Points at a config and ordered layers; carries annotations."""
+
+    config_digest: str
+    layer_digests: list[str]
+    annotations: dict[str, str] = field(default_factory=dict)
+    media_type: str = MEDIA_TYPE_MANIFEST
+
+    def serialize(self) -> bytes:
+        return json.dumps({
+            "mediaType": self.media_type,
+            "config": {"mediaType": MEDIA_TYPE_CONFIG, "digest": self.config_digest},
+            "layers": [{"mediaType": MEDIA_TYPE_LAYER, "digest": d}
+                       for d in self.layer_digests],
+            "annotations": dict(sorted(self.annotations.items())),
+        }, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Manifest":
+        obj = json.loads(data.decode("utf-8"))
+        return cls(
+            config_digest=obj["config"]["digest"],
+            layer_digests=[l["digest"] for l in obj["layers"]],
+            annotations=obj.get("annotations", {}),
+            media_type=obj.get("mediaType", MEDIA_TYPE_MANIFEST),
+        )
+
+    def digest(self) -> str:
+        return content_digest(self.serialize())
+
+
+@dataclass
+class ImageIndex:
+    """Multi-arch index: platform -> manifest digest (the OCI image index).
+
+    XaaS turns multi-*arch* indexes into multi-*IR* indexes: entries whose
+    platform architecture is an IR format coexist with binary-platform
+    entries (Sec. 1: "we distribute multi-arch-IR containers").
+    """
+
+    entries: list[tuple[Platform, str]] = field(default_factory=list)
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def serialize(self) -> bytes:
+        return json.dumps({
+            "mediaType": MEDIA_TYPE_INDEX,
+            "manifests": [{"platform": p.to_json(), "digest": d}
+                          for p, d in self.entries],
+            "annotations": dict(sorted(self.annotations.items())),
+        }, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ImageIndex":
+        obj = json.loads(data.decode("utf-8"))
+        entries = [(Platform(m["platform"]["architecture"], m["platform"]["os"],
+                             m["platform"].get("variant", "")), m["digest"])
+                   for m in obj["manifests"]]
+        return cls(entries=entries, annotations=obj.get("annotations", {}))
+
+    def digest(self) -> str:
+        return content_digest(self.serialize())
+
+    def select(self, platform: Platform) -> str:
+        """Pick the manifest digest for a platform (exact-ish match)."""
+        for p, digest in self.entries:
+            if p.matches(platform):
+                return digest
+        raise ImageError(f"no manifest for platform {platform}")
+
+
+@dataclass
+class Image:
+    """A materialized image: manifest + resolved config and layers."""
+
+    manifest: Manifest
+    config: ImageConfig
+    layers: list[Layer]
+
+    @classmethod
+    def build(cls, layers: list[Layer], config: ImageConfig, store: BlobStore,
+              annotations: dict[str, str] | None = None) -> "Image":
+        """Store blobs and assemble a manifest; the only way to mint an image."""
+        layer_digests = [store.put(layer.serialize()) for layer in layers]
+        config_digest = store.put(config.serialize())
+        manifest = Manifest(config_digest, layer_digests, dict(annotations or {}))
+        store.put(manifest.serialize())
+        return cls(manifest, config, list(layers))
+
+    @classmethod
+    def load(cls, manifest_digest: str, store: BlobStore) -> "Image":
+        manifest = Manifest.deserialize(store.get(manifest_digest))
+        config = ImageConfig.deserialize(store.get(manifest.config_digest))
+        layers = [Layer.deserialize(store.get(d)) for d in manifest.layer_digests]
+        return cls(manifest, config, layers)
+
+    @property
+    def digest(self) -> str:
+        return self.manifest.digest()
+
+    @property
+    def platform(self) -> Platform:
+        return self.config.platform
+
+    def rootfs(self) -> dict[str, str]:
+        """Flatten layers into the container filesystem (later layers win)."""
+        fs: dict[str, str] = {}
+        for layer in self.layers:
+            fs.update(layer.files)
+        return fs
+
+    @property
+    def total_size(self) -> int:
+        return sum(layer.size for layer in self.layers)
+
+    def derive(self, new_layers: list[Layer], store: BlobStore,
+               annotations: dict[str, str] | None = None,
+               platform: Platform | None = None,
+               env: dict[str, str] | None = None) -> "Image":
+        """Create a child image appending layers (``FROM this`` semantics).
+
+        Parent layers are reused by digest — only the delta is new storage,
+        which is how source containers keep deployment images cheap.
+        """
+        config = ImageConfig(
+            platform=platform or self.config.platform,
+            env={**self.config.env, **(env or {})},
+            entrypoint=list(self.config.entrypoint),
+            labels=dict(self.config.labels),
+            history=self.config.history + [f"derive +{len(new_layers)} layers"],
+        )
+        merged_annotations = {**self.manifest.annotations, **(annotations or {})}
+        merged_annotations[ANNOTATION_SOURCE_IMAGE] = self.digest
+        return Image.build(self.layers + new_layers, config, store, merged_annotations)

@@ -1,0 +1,62 @@
+"""Content-addressed blob store — the foundation of the OCI image model.
+
+Every object in an OCI registry (layer tarballs, image configs, manifests) is
+a blob identified by the SHA-256 digest of its bytes. Immutability by
+construction is the property the paper leans on in Sec. 5.2: any change to an
+image layer produces a new digest and therefore a new image identity, which
+is why deploy-time specialization must create a *new* image rather than
+mutate the pulled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.hashing import content_digest, is_digest
+
+
+class BlobNotFound(KeyError):
+    pass
+
+
+@dataclass
+class BlobStore:
+    """Digest -> bytes mapping with integrity checking."""
+
+    _blobs: dict[str, bytes] = field(default_factory=dict)
+
+    def put(self, data: bytes | str) -> str:
+        """Store a blob; returns its digest. Idempotent."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        digest = content_digest(data)
+        self._blobs[digest] = data
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        if not is_digest(digest):
+            raise ValueError(f"malformed digest {digest!r}")
+        try:
+            return self._blobs[digest]
+        except KeyError:
+            raise BlobNotFound(digest) from None
+
+    def get_text(self, digest: str) -> str:
+        return self.get(digest).decode("utf-8")
+
+    def has(self, digest: str) -> bool:
+        return digest in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+    def copy_blob(self, digest: str, dest: "BlobStore") -> None:
+        """Transfer one blob (push/pull primitive); verifies integrity."""
+        data = self.get(digest)
+        stored = dest.put(data)
+        if stored != digest:  # pragma: no cover - put() recomputes, cannot differ
+            raise RuntimeError("digest mismatch during transfer")

@@ -1,0 +1,48 @@
+"""The XaaS core: the paper's contribution, on top of the substrates.
+
+* :mod:`~repro.core.specialization` — specialization points, feature
+  intersection (Fig. 4), operator-preference selection, OCI annotations;
+* :mod:`~repro.core.source_container` — source containers: build the
+  distributable image, deploy with discovery -> intersect -> select -> build
+  (Fig. 6);
+* :mod:`~repro.core.ir_container` — the IR-container pipeline: configuration
+  diffing, preprocessing dedup, OpenMP flag analysis, vectorization delay,
+  IR build and image assembly (Fig. 7);
+* :mod:`~repro.core.deployment` — IR-container deployment: select, lower,
+  link, install, new image (Fig. 8).
+"""
+
+from repro.core.deployment import DeployedIRApp, IRDeploymentError, deploy_ir_container
+from repro.core.ir_container import (
+    IRContainerResult,
+    IRPipelineError,
+    PipelineStats,
+    TranslationUnit,
+    build_ir_container,
+)
+from repro.core.source_container import (
+    DeployedSourceApp,
+    SourceContainer,
+    SourceDeploymentError,
+    build_source_image,
+    deploy_source_container,
+)
+from repro.core.specialization import (
+    CommonSpecialization,
+    decode_specialization_annotation,
+    default_selection,
+    encode_specialization_annotation,
+    intersect_specializations,
+    specialization_tag,
+)
+
+__all__ = [
+    "DeployedIRApp", "IRDeploymentError", "deploy_ir_container",
+    "IRContainerResult", "IRPipelineError", "PipelineStats",
+    "TranslationUnit", "build_ir_container",
+    "DeployedSourceApp", "SourceContainer", "SourceDeploymentError",
+    "build_source_image", "deploy_source_container",
+    "CommonSpecialization", "decode_specialization_annotation",
+    "default_selection", "encode_specialization_annotation",
+    "intersect_specializations", "specialization_tag",
+]

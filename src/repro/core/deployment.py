@@ -1,0 +1,172 @@
+"""IR-container deployment (paper Sec. 4.3.1, Fig. 8).
+
+The user picks one of the configurations baked into the IR container; the
+deployment tool selects that configuration's IR subset, optimizes and lowers
+it for the destination ISA (vectorization happens *here*, not at container
+build), lets the build system finish linking/installation, and assembles a
+new runnable image whose tag encodes the specialization points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel
+from repro.compiler.driver import CompileOptions
+from repro.compiler.lowering import MachineFunction, lower_module
+from repro.containers.image import (
+    ANNOTATION_SPECIALIZATION,
+    ANNOTATION_TARGET_SYSTEM,
+    Image,
+    ImageConfig,
+    Layer,
+    Platform,
+)
+from repro.containers.registry import Registry
+from repro.containers.store import BlobStore
+from repro.core.ir_container import IRContainerResult, _config_name
+from repro.core.specialization import encode_specialization_annotation, specialization_tag
+from repro.discovery.system import SystemSpec, best_simd_target
+from repro.perf.model import (
+    BuildArtifact,
+    _blas_library,
+    _fft_library,
+    _gpu_backend,
+    _mpi_flavor,
+)
+
+
+class IRDeploymentError(RuntimeError):
+    pass
+
+
+@dataclass
+class DeployedIRApp:
+    """A deployed IR container: runnable image + perf artifact."""
+
+    image: Image
+    artifact: BuildArtifact
+    options: dict[str, str]
+    simd_name: str
+    system: SystemSpec
+    tag: str
+    lowered_count: int
+    notes: list[str] = field(default_factory=list)
+
+
+def deploy_ir_container(result: IRContainerResult, app: AppModel,
+                        options: dict[str, str], system: SystemSpec,
+                        store: BlobStore,
+                        simd_override: str | None = None,
+                        registry: Registry | None = None,
+                        repository: str = "") -> DeployedIRApp:
+    """Deploy one configuration of an IR container onto a system.
+
+    ``options`` must match one of the configurations the container was built
+    with (the paper's rule: users select from the values chosen at
+    configuration time). ``simd_override`` forces a specific ISA; by default
+    the system's best supported level is used — unless the configuration
+    itself pins one (``GMX_SIMD``), which takes precedence, since the IR set
+    may depend on it through preprocessed text.
+    """
+    name = _config_name(options)
+    if name not in result.manifests:
+        raise IRDeploymentError(
+            f"configuration {options} was not baked into this IR container; "
+            f"available: {sorted(result.manifests)}")
+
+    # Architecture check: an x86 IR container cannot deploy on ARM (Sec. 5.1).
+    variant = result.image.platform.variant
+    want = "aarch64" if system.architecture == "arm64" else "x86_64"
+    if variant and variant != want:
+        raise IRDeploymentError(
+            f"IR container is {variant}, but {system.name} is {want}: "
+            "IR is not cross-platform for C/C++ (Sec. 5.1)")
+
+    pinned = options.get("GMX_SIMD")
+    if simd_override:
+        simd_name = simd_override
+    elif pinned and pinned not in ("AUTO", ""):
+        simd_name = pinned
+    else:
+        simd_name = best_simd_target(system).name
+
+    # Lower every IR of the selected configuration.
+    entries = result.manifests[name]
+    lowered: dict[str, str] = {}
+    machine_functions: dict[str, MachineFunction] = {}
+    openmp = False
+    for entry in entries:
+        module = result.ir_modules.get(entry["ir"])
+        if module is None:
+            continue  # stats-only pipeline run
+        flags = [f for f in entry["lowering_flags"] if not f.startswith("-msimd=")]
+        flags.append(f"-msimd={simd_name}")
+        if not any(f.startswith("-O") for f in flags):
+            flags.append("-O3")
+        opts = CompileOptions.from_flags(flags)
+        openmp = openmp or "-fopenmp" in module.frontend_flags
+        mmod = lower_module(module, opts.resolve_target(), opt_level=opts.opt_level)
+        lowered[f"{entry['target']}/{entry['source']}"] = (
+            f"object code for {simd_name} ({len(mmod.functions)} functions)")
+        for fn_name, mfn in mmod.functions.items():
+            if fn_name in app.hot_functions:
+                machine_functions[fn_name] = mfn
+
+    cfg = result.configurations[name]
+    artifact = BuildArtifact(
+        app=app, options=dict(options), config=cfg,
+        simd_name=simd_name,
+        target_family="aarch64" if system.architecture == "arm64" else "x86_64",
+        openmp=openmp or options.get("GMX_OPENMP", "ON").upper() == "ON"
+        or options.get("WITH_OPENMP", "OFF").upper() == "ON",
+        gpu_backend=_gpu_backend(options),
+        fft_library=_fft_library(options),
+        blas_library=_blas_library(options),
+        mpi_flavor=_mpi_flavor(options),
+        machine_functions=machine_functions,
+        containerized=True,
+        label=f"xaas-ir@{system.name}/{simd_name}",
+    )
+    missing = set(app.hot_functions) - set(machine_functions)
+    if missing and result.ir_files:
+        raise IRDeploymentError(f"hot functions missing from IR set: {sorted(missing)}")
+
+    selection = dict(options)
+    selection["SIMD_LOWERED"] = simd_name
+    tag = specialization_tag(selection)
+    deploy_layer = Layer({
+        f"/xaas/install/obj/{k.replace('/', '_')}.o": v for k, v in lowered.items()
+    } | {
+        "/xaas/install/link.json": json.dumps(
+            {"targets": sorted({e['target'] for e in entries}),
+             "simd": simd_name}, sort_keys=True),
+    }, comment=f"lowered + linked for {system.name} ({simd_name})")
+    deployed_image = result.image.derive(
+        [deploy_layer], store,
+        annotations={
+            ANNOTATION_SPECIALIZATION: encode_specialization_annotation(selection),
+            ANNOTATION_TARGET_SYSTEM: system.name,
+        },
+        platform=Platform(system.architecture),
+    )
+    notes = [f"lowered {len(entries)} TUs from "
+             f"{len({e['ir'] for e in entries})} shared IRs"]
+    if registry is not None and repository:
+        registry.push(repository, tag, deployed_image, source_store=store)
+        notes.append(f"pushed {repository}:{tag}")
+    return DeployedIRApp(image=deployed_image, artifact=artifact,
+                         options=dict(options), simd_name=simd_name,
+                         system=system, tag=tag,
+                         lowered_count=len(entries), notes=notes)
+
+
+def frontend_flags_of(ir_text: str) -> list[str]:
+    """Read the recorded frontend flags out of a canonical IR text."""
+    for line in ir_text.splitlines():
+        if line.startswith("; flags: "):
+            return line[len("; flags: "):].split()
+        if not line.startswith(("module", ";")):
+            break
+    return []

@@ -1,0 +1,327 @@
+"""The XaaS IR-container pipeline (paper Sec. 4.2-4.3, Fig. 7).
+
+Stages, exactly as the paper orders them:
+
+1. **Configuration** — generate every build configuration in a containerized
+   environment (fixed build-dir mount path), collect compile commands, and
+   share translation units whose *full command* already coincides.
+2. **Preprocessing** — run the preprocessor per TU and hash the canonical
+   output; TUs with identical text can share an IR unless distinguished by
+   remaining non-define flags.
+3. **OpenMP detection** — a Clang-AST-style analysis drops the ``-fopenmp``
+   flag from the comparison for files containing no OpenMP constructs.
+4. **Vectorization delay** — ``-msimd``/``-O`` flags are stripped from the
+   identity entirely: LLVM-style vectorizers run at IR level, so the ISA is
+   bound at deployment, not at container build.
+
+The surviving equivalence classes are compiled to IR once each and packed
+into an OCI image (architecture ``llvm-ir``) together with the source tree,
+per-configuration manifests, and specialization annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel
+from repro.buildsys import (
+    BuildConfiguration,
+    BuildEnvironment,
+    configure,
+    make_include_resolver,
+)
+from repro.compiler import Compiler
+from repro.compiler.driver import classify_flags
+from repro.compiler.parser import parse
+from repro.compiler.passes import detect_openmp
+from repro.containers.image import (
+    ANNOTATION_IR_FORMAT,
+    ANNOTATION_SPECIALIZATION,
+    Image,
+    ImageConfig,
+    Layer,
+    Platform,
+)
+from repro.containers.store import BlobStore
+from repro.util.hashing import content_digest, stable_hash
+
+IR_FORMAT = "xaas-region-ir-v1"
+
+
+@dataclass(frozen=True)
+class TranslationUnit:
+    """One compilation task inside one configuration."""
+
+    config: str
+    target: str
+    source: str
+    flags: tuple[str, ...]
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage accounting for Hypothesis 1 (Sec. 6.4)."""
+
+    configurations: int = 0
+    total_tus: int = 0
+    after_configuration: int = 0
+    after_preprocessing: int = 0
+    after_openmp: int = 0
+    final_irs: int = 0
+    incompatible_flag_fraction: float = 0.0
+    openmp_flag_dropped: int = 0
+    vector_flag_dropped: int = 0
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of TU compilations avoided (the paper's headline %)."""
+        if self.total_tus == 0:
+            return 0.0
+        return 1.0 - self.final_irs / self.total_tus
+
+    def validates_hypothesis1(self) -> bool:
+        """T' < sum(T_i): strictly fewer IRs than translation units."""
+        return self.final_irs < self.total_tus
+
+    def summary(self) -> str:
+        return (f"{self.configurations} configs, {self.total_tus} TUs -> "
+                f"{self.final_irs} IRs ({self.reduction:.1%} reduction); "
+                f"stages: config {self.after_configuration}, "
+                f"preprocess {self.after_preprocessing}, "
+                f"openmp {self.after_openmp}, vectorize {self.final_irs}")
+
+
+@dataclass
+class IRContainerResult:
+    """Everything the IR-container build produces."""
+
+    image: Image
+    stats: PipelineStats
+    # IR digest -> canonical IR text (also stored in the image layers).
+    ir_files: dict[str, str]
+    # config name -> list of {target, source, ir, lowering flags}.
+    manifests: dict[str, list[dict]]
+    configurations: dict[str, BuildConfiguration]
+    # In-process handle on the compiled modules (digest -> ir.Module); the
+    # image layers carry the canonical text, this carries the live objects
+    # the deployment step lowers.
+    ir_modules: dict[str, object] = field(default_factory=dict)
+
+
+class IRPipelineError(RuntimeError):
+    pass
+
+
+def build_ir_container(app: AppModel, configs: list[dict[str, str]],
+                       env: BuildEnvironment | None = None,
+                       store: BlobStore | None = None,
+                       arch_family: str = "x86_64",
+                       stages: tuple[str, ...] = ("preprocess", "openmp", "vectorize"),
+                       compile_irs: bool = True) -> IRContainerResult:
+    """Run the full IR-container pipeline over the given configurations.
+
+    ``stages`` allows ablation (benchmarks disable stages selectively);
+    ``compile_irs=False`` runs only the dedup analysis, which is what the
+    large-scale statistics benchmarks need.
+    """
+    if not configs:
+        raise IRPipelineError("at least one build configuration is required")
+    from repro.perf.model import default_build_environment
+    env = env or default_build_environment()
+    # Note: "store or BlobStore()" would discard an *empty* caller store
+    # (BlobStore defines __len__), so test identity explicitly.
+    if store is None:
+        store = BlobStore()
+    stats = PipelineStats(configurations=len(configs))
+
+    # -- stage 1: configuration ------------------------------------------------
+    configurations: dict[str, BuildConfiguration] = {}
+    tus: list[TranslationUnit] = []
+    for options in configs:
+        name = _config_name(options)
+        cfg = configure(app.tree, options, env=env, name=name,
+                        build_dir="/xaas/build")
+        configurations[name] = cfg
+        for cmd in cfg.compile_commands:
+            tus.append(TranslationUnit(name, cmd.target, cmd.source, cmd.flags))
+    stats.total_tus = len(tus)
+
+    # Configuration-stage identity: the full command *plus* the content of
+    # the generated build directory (config headers) — two configurations
+    # with identical command lines still differ if configure emitted
+    # different headers into the (identically-mounted) build dir.
+    gen_digest = {name: stable_hash(sorted(
+        (p, content_digest(c)) for p, c in cfg.generated_files.items()))
+        for name, cfg in configurations.items()}
+    config_groups: dict[str, list[TranslationUnit]] = {}
+    for tu in tus:
+        key = stable_hash({"t": tu.target, "s": tu.source, "f": list(tu.flags),
+                           "gen": gen_digest[tu.config]})
+        config_groups.setdefault(key, []).append(tu)
+    stats.after_configuration = len(config_groups)
+    # Fraction of repeat TUs whose raw flags do not match any earlier config.
+    per_task: dict[tuple[str, str], set[str]] = {}
+    for tu in tus:
+        per_task.setdefault((tu.target, tu.source), set()).add(
+            stable_hash([list(tu.flags), gen_digest[tu.config]]))
+    repeats = sum(len(v) - 1 for v in per_task.values() if len(v) > 1)
+    total_repeat_slots = stats.total_tus - len(per_task)
+    stats.incompatible_flag_fraction = (
+        repeats / total_repeat_slots if total_repeat_slots else 0.0)
+
+    # -- stages 2-4: preprocessing, OpenMP, vectorization delay ---------------------
+    final_groups: dict[str, list[TranslationUnit]] = {}
+    pp_cache: dict[str, tuple[str, bool]] = {}
+    pre_keys: set[str] = set()
+    omp_keys: set[str] = set()
+    for tu in tus:
+        cfg = configurations[tu.config]
+        cls = classify_flags(list(tu.flags))
+        pp_key = stable_hash({"s": tu.source, "cfg_gen": sorted(
+            (p, content_digest(c)) for p, c in cfg.generated_files.items()),
+            "fe": sorted(f for f in cls.frontend if f.startswith(("-D", "-U", "-I")))})
+        if pp_key in pp_cache:
+            text, has_omp = pp_cache[pp_key]
+        else:
+            compiler = Compiler(make_include_resolver(app.tree, cfg))
+            pre = compiler.preprocess(app.tree.read(tu.source), list(tu.flags), tu.source)
+            text = pre.text
+            has_omp = pre.has_openmp_pragma and _ast_confirms_openmp(text)
+            pp_cache[pp_key] = (text, has_omp)
+
+        text_digest = content_digest(text)
+        fopenmp = "-fopenmp" in cls.frontend
+        if "preprocess" not in stages:
+            # Ablation: no preprocessing stage => configuration-stage identity
+            # (raw command + generated build-dir content).
+            final_groups.setdefault(stable_hash(
+                {"t": tu.target, "s": tu.source, "f": list(tu.flags),
+                 "gen": gen_digest[tu.config]}),
+                []).append(tu)
+            continue
+
+        pre_key = stable_hash({"s": tu.source, "pp": text_digest,
+                               "omp": fopenmp,
+                               "tgt": list(cls.target), "opt": list(cls.opt)})
+        pre_keys.add(pre_key)
+
+        omp_relevant = fopenmp and (has_omp or "openmp" not in stages)
+        omp_key = stable_hash({"s": tu.source, "pp": text_digest,
+                               "omp": omp_relevant,
+                               "tgt": list(cls.target), "opt": list(cls.opt)})
+        omp_keys.add(omp_key)
+
+        if "vectorize" in stages:
+            final_key = stable_hash({"s": tu.source, "pp": text_digest,
+                                     "omp": omp_relevant,
+                                     "family": _family_of(cls.target, arch_family)})
+        else:
+            final_key = omp_key
+        final_groups.setdefault(final_key, []).append(tu)
+
+    if "preprocess" in stages:
+        stats.after_preprocessing = len(pre_keys)
+        stats.after_openmp = len(omp_keys) if "openmp" in stages else len(pre_keys)
+        stats.openmp_flag_dropped = stats.after_preprocessing - stats.after_openmp
+        stats.vector_flag_dropped = stats.after_openmp - len(final_groups)
+    else:
+        stats.after_preprocessing = len(final_groups)
+        stats.after_openmp = len(final_groups)
+    stats.final_irs = len(final_groups)
+
+    # -- IR build --------------------------------------------------------------------
+    ir_files: dict[str, str] = {}
+    ir_modules: dict[str, object] = {}
+    group_to_ir: dict[str, str] = {}
+    if compile_irs:
+        for key, members in final_groups.items():
+            rep = members[0]
+            cfg = configurations[rep.config]
+            compiler = Compiler(make_include_resolver(app.tree, cfg))
+            frontend_flags = [f for f in rep.flags
+                              if f.startswith(("-D", "-U", "-I")) or f == "-fopenmp"]
+            result = compiler.compile_to_ir(app.tree.read(rep.source),
+                                            frontend_flags, rep.source)
+            text = result.module.render()
+            digest = content_digest(text)
+            ir_files[digest] = text
+            ir_modules[digest] = result.module
+            group_to_ir[key] = digest
+    else:
+        for key in final_groups:
+            group_to_ir[key] = "sha256:" + "0" * 64
+
+    # -- per-configuration manifests -----------------------------------------------------
+    manifests: dict[str, list[dict]] = {name: [] for name in configurations}
+    for key, members in final_groups.items():
+        for tu in members:
+            cls = classify_flags(list(tu.flags))
+            manifests[tu.config].append({
+                "target": tu.target, "source": tu.source,
+                "ir": group_to_ir[key],
+                "lowering_flags": list(cls.target) + list(cls.opt),
+            })
+
+    image = _assemble_image(app, configs, configurations, ir_files, manifests,
+                            store, arch_family, stats)
+    return IRContainerResult(image=image, stats=stats, ir_files=ir_files,
+                             manifests=manifests, configurations=configurations,
+                             ir_modules=ir_modules)
+
+
+def _ast_confirms_openmp(preprocessed: str) -> bool:
+    """The authoritative AST check; falls back to the textual scan on
+    sources outside the C subset."""
+    try:
+        return detect_openmp(parse(preprocessed))
+    except Exception:
+        return True
+
+
+def _family_of(target_flags: tuple[str, ...], default: str) -> str:
+    for flag in target_flags:
+        if flag.startswith("--target="):
+            return flag.split("=", 1)[1]
+    return default
+
+
+def _config_name(options: dict[str, str]) -> str:
+    return "-".join(f"{k.lower()}_{v.lower()}" for k, v in sorted(options.items())) \
+        or "default"
+
+
+def _assemble_image(app, configs, configurations, ir_files, manifests, store,
+                    arch_family, stats) -> Image:
+    source_layer = Layer({f"/xaas/src/{p}": c for p, c in app.tree.files.items()},
+                         comment="application source (system-dependent files + install)")
+    ir_layer = Layer({f"/xaas/ir/{d.split(':', 1)[1][:24]}.ir": text
+                      for d, text in ir_files.items()},
+                     comment="deduplicated IR files")
+    manifest_layer = Layer(
+        {f"/xaas/manifests/{name}.json": json.dumps(entries, sort_keys=True, indent=1)
+         for name, entries in manifests.items()},
+        comment="per-configuration install manifests")
+    toolchain_layer = Layer({
+        "/xaas/toolchain/clang": "clang-19 (repro simulated toolchain)",
+        "/xaas/toolchain/llvm-link": "llvm-link (repro)",
+    }, comment="LLVM toolchain for deployment-time lowering")
+    config_layer = Layer({
+        "/xaas/configs.json": json.dumps(configs, sort_keys=True, indent=1),
+        "/xaas/stats.json": json.dumps({
+            "total_tus": stats.total_tus, "final_irs": stats.final_irs,
+            "reduction": stats.reduction}, sort_keys=True),
+    }, comment="available build configurations")
+    platform = Platform("llvm-ir", variant=arch_family)
+    annotations = {
+        ANNOTATION_IR_FORMAT: IR_FORMAT,
+        ANNOTATION_SPECIALIZATION: json.dumps(
+            {k: sorted({c.get(k, "") for c in configs})
+             for k in sorted({key for c in configs for key in c})},
+            sort_keys=True),
+        "org.xaas.app": app.name,
+    }
+    return Image.build(
+        [toolchain_layer, source_layer, ir_layer, manifest_layer, config_layer],
+        ImageConfig(platform=platform, labels={"org.xaas.kind": "ir-container"}),
+        store, annotations)

@@ -1,0 +1,157 @@
+"""XaaS source containers: build and deployment (paper Sec. 4.1, Fig. 6).
+
+A source container ships the application source, an open-source MPI, and the
+build toolchain. Deployment discovers system features on a compute node,
+intersects them with the application's specialization points, lets the user
+(or an operator-preference policy) select values, and builds a new image
+derived from the source container — specialized for exactly that system.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel
+from repro.containers.hooks import MPI_LIB_PATH, format_lib
+from repro.containers.image import (
+    ANNOTATION_SPECIALIZATION,
+    ANNOTATION_TARGET_SYSTEM,
+    Image,
+    ImageConfig,
+    Layer,
+    Platform,
+)
+from repro.containers.registry import Registry
+from repro.containers.store import BlobStore
+from repro.core.specialization import (
+    default_selection,
+    encode_specialization_annotation,
+    intersect_specializations,
+    specialization_tag,
+)
+from repro.discovery.extract import analyze_build_script
+from repro.discovery.system import SystemSpec
+from repro.perf.model import BuildArtifact, build_app
+
+
+class SourceDeploymentError(RuntimeError):
+    pass
+
+
+@dataclass
+class SourceContainer:
+    """A published source container plus its discovery metadata."""
+
+    image: Image
+    app: AppModel
+    specialization_report: dict
+    repository: str = ""
+    tag: str = ""
+
+
+def build_source_image(app: AppModel, store: BlobStore,
+                       arch: str = "amd64",
+                       mpi_abi: str = "mpich") -> SourceContainer:
+    """Create the distributable source container (one per toolchain+arch)."""
+    report = analyze_build_script(app.tree)
+    layers = [
+        Layer({
+            "/opt/toolchain/clang": "clang-19 (repro simulated toolchain)",
+            "/opt/toolchain/cmake": "cmake 3.27 (repro mini-CMake)",
+            MPI_LIB_PATH: format_lib("mpi", name="mpich", version="4.1", abi=mpi_abi),
+        }, comment="dev toolchain + open-source MPI"),
+        Layer({f"/xaas/src/{p}": c for p, c in app.tree.files.items()},
+              comment="application source"),
+        Layer({"/xaas/specialization.json": json.dumps(report, sort_keys=True, indent=1)},
+              comment="discovered specialization points"),
+    ]
+    config = ImageConfig(platform=Platform(arch),
+                         labels={"org.xaas.kind": "source-container",
+                                 "org.xaas.app": app.name})
+    annotations = {ANNOTATION_SPECIALIZATION: json.dumps(report, sort_keys=True)}
+    image = Image.build(layers, config, store, annotations)
+    return SourceContainer(image=image, app=app, specialization_report=report)
+
+
+@dataclass
+class DeployedSourceApp:
+    """A deployed (system-specialized) source container."""
+
+    image: Image
+    artifact: BuildArtifact
+    selection: dict[str, str]
+    system: SystemSpec
+    tag: str
+    excluded: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+
+def deploy_source_container(container: SourceContainer, system: SystemSpec,
+                            store: BlobStore,
+                            selection: dict[str, str] | None = None,
+                            extra_defines: tuple[str, ...] = (),
+                            registry: Registry | None = None,
+                            repository: str = "",
+                            build_host: SystemSpec | None = None) -> DeployedSourceApp:
+    """Deploy on a system: discover, intersect, select, build, (push).
+
+    ``selection`` overrides the operator-preference defaults. When the
+    target system cannot build containers (Ault23, Aurora in the paper), the
+    build happens on ``build_host`` (a dev machine with Docker) but the
+    feature discovery still reflects the *target* system.
+    """
+    notes: list[str] = []
+    common = intersect_specializations(container.specialization_report, system)
+    resolved = default_selection(common, system, container.app.name)
+    if selection:
+        resolved.update(selection)
+    _validate_selection(resolved, common)
+
+    if not system.supports_container_build:
+        host = build_host
+        if host is None:
+            raise SourceDeploymentError(
+                f"{system.name} does not support container building; "
+                "provide a build_host (e.g. the dev machine with Docker)")
+        notes.append(f"image built on {host.name} (no container build on {system.name})")
+
+    artifact = build_app(container.app, resolved, build_system=system,
+                         extra_defines=extra_defines, containerized=True,
+                         label=f"xaas-source@{system.name}")
+
+    tag = specialization_tag(resolved)
+    binaries = {
+        f"/xaas/install/bin/{container.app.name}":
+            f"lowered for {artifact.simd_name} / {artifact.gpu_backend or 'cpu'}",
+        "/xaas/install/build-info.json": json.dumps({
+            "options": resolved, "simd": artifact.simd_name,
+            "gpu": artifact.gpu_backend, "fft": artifact.fft_library,
+        }, sort_keys=True, indent=1),
+    }
+    deployed_image = container.image.derive(
+        [Layer(binaries, comment=f"specialized build for {system.name}")],
+        store,
+        annotations={
+            ANNOTATION_SPECIALIZATION: encode_specialization_annotation(resolved),
+            ANNOTATION_TARGET_SYSTEM: system.name,
+        })
+    if registry is not None and repository:
+        registry.push(repository, tag, deployed_image, source_store=store)
+        notes.append(f"pushed {repository}:{tag}")
+    return DeployedSourceApp(image=deployed_image, artifact=artifact,
+                             selection=resolved, system=system, tag=tag,
+                             excluded=dict(common.excluded), notes=notes)
+
+
+def _validate_selection(selection: dict[str, str], common) -> None:
+    simd = selection.get("GMX_SIMD")
+    if simd and common.simd and simd not in common.simd and simd != "None":
+        raise SourceDeploymentError(
+            f"selected SIMD level {simd!r} is not supported on this system; "
+            f"viable: {sorted(common.simd)}")
+    gpu = selection.get("GMX_GPU")
+    if gpu and gpu != "OFF" and common.gpu_backends and gpu not in common.gpu_backends:
+        raise SourceDeploymentError(
+            f"selected GPU backend {gpu!r} unavailable; viable: "
+            f"{sorted(common.gpu_backends)}")

@@ -1,0 +1,177 @@
+"""Specialization points and the feature-intersection checker (Fig. 4).
+
+The deployment step intersects the application's discovered specialization
+points (Appendix-B report) with the target system's detected features
+(Fig. 4b) to present the user only viable options (Fig. 4c), then resolves a
+concrete selection using operator preferences (Sec. 4.1: "preferring MKL on
+Intel systems over other BLAS/FFT libraries").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.discovery.system import SystemSpec, best_simd_target, simd_label_to_target_name
+
+
+@dataclass
+class CommonSpecialization:
+    """The intersection result: viable values per specialization point."""
+
+    simd: dict[str, str] = field(default_factory=dict)        # level -> flag
+    gpu_backends: dict[str, dict] = field(default_factory=dict)
+    fft_libraries: dict[str, dict] = field(default_factory=dict)
+    linalg_libraries: dict[str, dict] = field(default_factory=dict)
+    parallel: dict[str, dict] = field(default_factory=dict)
+    excluded: dict[str, str] = field(default_factory=dict)    # name -> reason
+
+    def to_json(self) -> dict:
+        return {
+            "common_specialization": {
+                "vectorization_flags": dict(self.simd),
+                "gpu_backends": self.gpu_backends,
+                "fft_libraries": self.fft_libraries,
+                "linear_algebra_libraries": self.linalg_libraries,
+                "parallel_programming_libraries": self.parallel,
+            },
+            "excluded": dict(self.excluded),
+        }
+
+
+def intersect_specializations(app_report: dict, system: SystemSpec) -> CommonSpecialization:
+    """Intersect application specialization points with system features."""
+    features = system.detect_features()
+    common = CommonSpecialization()
+
+    # SIMD: keep levels the CPU supports (and the right architecture family).
+    cpu_targets = {simd_label_to_target_name(f) for f in system.cpu.features}
+    cpu_targets.add("None")
+    family = "aarch64" if system.architecture == "arm64" else "x86_64"
+    from repro.compiler.target import ALL_TARGETS
+    for level, entry in app_report.get("simd_vectorization", {}).items():
+        target = ALL_TARGETS.get(simd_label_to_target_name(level))
+        if target is None:
+            common.excluded[level] = "unknown SIMD level"
+            continue
+        if target.family != family:
+            common.excluded[level] = f"wrong architecture family for {system.name}"
+            continue
+        if target.vector_bits > 0 and target.name not in cpu_targets:
+            common.excluded[level] = f"CPU {system.cpu.model} lacks {target.name}"
+            continue
+        common.simd[level] = entry.get("build_flag") or ""
+
+    # GPU backends: must be exposed by a device, with driver version >= min.
+    system_backends = features["GPU Backends"]
+    for backend, entry in app_report.get("gpu_backends", {}).items():
+        match = next((b for b in system_backends if b.lower() == backend.lower()), None)
+        if match is None:
+            common.excluded[backend] = f"no {backend}-capable device on {system.name}"
+            continue
+        minimum = entry.get("minimum_version")
+        available = system_backends[match].get("version") or ""
+        if minimum and available and _vt(available) < _vt(minimum):
+            common.excluded[backend] = (
+                f"{backend} {available} older than required {minimum}")
+            continue
+        common.gpu_backends[backend] = {
+            "version": available or None,
+            "flag": entry.get("build_flag"),
+        }
+
+    # Libraries: present in the (augmented) module list.
+    modules = {m.lower(): v for m, v in features["Modules"].items()}
+    for name, entry in app_report.get("FFT_libraries", {}).items():
+        if entry.get("built-in") or _module_match(name, modules):
+            common.fft_libraries[name] = {"flag": entry.get("build_flag")}
+        else:
+            common.excluded[name] = f"FFT library {name} not installed"
+    for name, entry in app_report.get("linear_algebra_libraries", {}).items():
+        if _module_match(name, modules) or name.lower().startswith("gmx_"):
+            common.linalg_libraries[name] = {"flag": entry.get("build_flag")}
+        else:
+            common.excluded[name] = f"linear algebra library {name} not installed"
+
+    # Parallel runtimes: OpenMP/thread-MPI always compile; MPI needs a host MPI.
+    for name, entry in app_report.get("parallel_programming_libraries", {}).items():
+        if name.upper() == "MPI" and system.mpi_info is None:
+            common.excluded[name] = f"no MPI runtime on {system.name}"
+            continue
+        common.parallel[name] = {"flag": entry.get("build_flag")}
+    return common
+
+
+def _module_match(name: str, modules: dict[str, str]) -> bool:
+    lowered = name.lower()
+    aliases = {
+        "fftw": ("fftw", "fftw3"), "fftw3": ("fftw", "fftw3"),
+        "mkl": ("mkl", "onemkl", "oneapi"), "cufft": ("cufft", "cuda"),
+        "blas": ("blas", "openblas", "mkl", "cray-libsci"),
+        "lapack": ("lapack", "openblas", "mkl", "cray-libsci"),
+    }.get(lowered, (lowered,))
+    return any(any(alias in module for module in modules) for alias in aliases)
+
+
+def default_selection(common: CommonSpecialization, system: SystemSpec,
+                      app_name: str = "") -> dict[str, str]:
+    """Operator-preference resolution of one concrete configuration.
+
+    Policy (Sec. 4.1): highest supported SIMD level; a GPU backend if any
+    (CUDA preferred); MKL on Intel machines, otherwise FFTW; MPI if the host
+    has one, else thread-MPI.
+    """
+    selection: dict[str, str] = {}
+    best = best_simd_target(system)
+    if common.simd:
+        names = {simd_label_to_target_name(k): k for k in common.simd}
+        chosen = names.get(best.name) or next(iter(common.simd))
+        selection["GMX_SIMD"] = chosen
+    if common.gpu_backends:
+        order = ["CUDA", "HIP", "SYCL", "OpenCL"]
+        chosen = min(common.gpu_backends,
+                     key=lambda b: order.index(b) if b in order else 99)
+        selection["GMX_GPU"] = chosen
+    if common.fft_libraries:
+        prefer_mkl = system.cpu.vendor == "intel" and any(
+            n.lower() == "mkl" for n in common.fft_libraries)
+        if prefer_mkl:
+            selection["GMX_FFT_LIBRARY"] = "mkl"
+        else:
+            fftw = next((n for n in common.fft_libraries if "fftw" in n.lower()), None)
+            selection["GMX_FFT_LIBRARY"] = "fftw3" if fftw else next(iter(common.fft_libraries))
+    if "OpenMP" in common.parallel:
+        selection["GMX_OPENMP"] = "ON"
+    if "MPI" in common.parallel:
+        selection["GMX_MPI"] = "ON"
+    return selection
+
+
+def encode_specialization_annotation(selection: dict[str, str]) -> str:
+    """Serialize a selection for OCI image annotations (Sec. 5.2)."""
+    return json.dumps(dict(sorted(selection.items())), separators=(",", ":"))
+
+
+def decode_specialization_annotation(text: str) -> dict[str, str]:
+    value = json.loads(text)
+    if not isinstance(value, dict):
+        raise ValueError("specialization annotation must be a JSON object")
+    return value
+
+
+def specialization_tag(selection: dict[str, str]) -> str:
+    """Image tag encoding the specialization points (Sec. 4.3.1)."""
+    parts = []
+    for key in sorted(selection):
+        value = selection[key].replace("/", "-").replace(":", "-")
+        short = key.lower().removeprefix("gmx_").removeprefix("ggml_").removeprefix("with_")
+        parts.append(f"{short}-{value.lower()}")
+    return "_".join(parts) or "default"
+
+
+def _vt(version: str) -> tuple[int, ...]:
+    out = []
+    for piece in version.split("."):
+        digits = "".join(ch for ch in piece if ch.isdigit())
+        out.append(int(digits) if digits else 0)
+    return tuple(out) or (0,)

@@ -1,0 +1,56 @@
+"""Discovery: system features, specialization points, LLM-assisted analysis.
+
+Implements both halves of the paper's discovery story (Sec. 3.2, 4.1):
+
+* **System discovery** (:mod:`~repro.discovery.system`) — machine catalog of
+  the paper's testbeds plus feature detection with HPC-environment
+  augmentation;
+* **Specialization discovery** (:mod:`~repro.discovery.extract`,
+  :mod:`~repro.discovery.llm`) — rule-based extraction of specialization
+  points from build scripts, and simulated LLM analysts whose error profiles
+  are calibrated to the paper's Table 4;
+* **Scoring** (:mod:`~repro.discovery.scoring`) — the precision/recall/F1
+  evaluation harness;
+* **Schema** (:mod:`~repro.discovery.schema`) — the Appendix-B JSON schema
+  enforced on analyst output.
+"""
+
+from repro.discovery.extract import analyze_build_script, categorize_option
+from repro.discovery.llm import (
+    MODEL_PROFILES,
+    LLMResult,
+    ModelProfile,
+    SimulatedLLM,
+    get_model,
+)
+from repro.discovery.schema import (
+    SPECIALIZATION_SCHEMA,
+    empty_report,
+    is_valid_report,
+    validate_report,
+)
+from repro.discovery.scoring import (
+    AggregateScore,
+    EvaluationRow,
+    Score,
+    report_items,
+    score_report,
+)
+from repro.discovery.system import (
+    SYSTEMS,
+    CPUSpec,
+    GPUSpec,
+    SystemSpec,
+    best_simd_target,
+    get_system,
+    simd_label_to_target_name,
+)
+
+__all__ = [
+    "analyze_build_script", "categorize_option",
+    "MODEL_PROFILES", "LLMResult", "ModelProfile", "SimulatedLLM", "get_model",
+    "SPECIALIZATION_SCHEMA", "empty_report", "is_valid_report", "validate_report",
+    "AggregateScore", "EvaluationRow", "Score", "report_items", "score_report",
+    "SYSTEMS", "CPUSpec", "GPUSpec", "SystemSpec", "best_simd_target",
+    "get_system", "simd_label_to_target_name",
+]

@@ -1,0 +1,206 @@
+"""Rule-based specialization extraction from build scripts.
+
+This is the deterministic analyst: it interprets the build script (through
+:func:`repro.buildsys.declared_options`), categorizes every declared option
+with name heuristics, and emits a schema-conformant specialization report.
+Used two ways:
+
+* as the **ground truth** for the Table 4 experiment (the paper's authors
+  hand-prepared theirs; ours is derived from the same scripts the simulated
+  LLMs read, so truth and input cannot drift apart);
+* as the backbone of the simulated LLM models, which perturb its output with
+  model-specific error processes (:mod:`repro.discovery.llm`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.buildsys import SourceTree, declared_options, parse_script
+from repro.buildsys.interpreter import OptionSpec
+from repro.discovery.schema import empty_report, validate_report
+
+# Keyword tables for categorizing option/choice names.
+_GPU_BACKENDS = ("cuda", "hip", "sycl", "opencl", "openacc", "metal",
+                 "vulkan", "level_zero", "levelzero", "musa", "cann")
+_FFT_NAMES = ("fftw", "fftw3", "mkl", "onemkl", "onemath", "cufft", "vkfft",
+              "clfft", "rocfft", "fftpack", "pocketfft")
+_LINALG_NAMES = ("blas", "lapack", "scalapack", "openblas", "blis", "mkl",
+                 "onemkl", "cublas", "elpa", "libsci", "accelerate")
+_PARALLEL_NAMES = ("mpi", "openmp", "pthread", "pthreads", "thread_mpi",
+                   "threads", "tbb", "openacc")
+_SIMD_HINTS = ("simd", "vectoriz", "avx", "sse", "neon", "sve", "altivec", "amx")
+
+
+def categorize_option(spec: OptionSpec) -> str:
+    """Heuristic category for a declared option (mirrors the LLM prompt's
+    taxonomy: GPU backends, parallel libs, linear algebra, FFT, SIMD...)."""
+    name = spec.name.lower()
+    doc = spec.doc.lower()
+    text = f"{name} {doc}"
+    if any(h in text for h in _SIMD_HINTS):
+        return "simd"
+    if "fft" in text:
+        return "fft"
+    if re.search(r"\bgpu\b", text) or name.endswith("_gpu"):
+        return "gpu"
+    if any(re.search(rf"\b{re.escape(b)}\b", text) for b in _GPU_BACKENDS):
+        return "gpu"
+    if any(p in text for p in _PARALLEL_NAMES):
+        return "parallel"
+    if any(l in text for l in _LINALG_NAMES):
+        return "linalg"
+    if "internal" in text or "own_" in name or "build_own" in name:
+        return "internal"
+    return "other"
+
+
+def _classify_choice(choice: str) -> str:
+    c = choice.lower()
+    if c in ("on", "off", "auto", "none"):
+        return "control"
+    if c in _GPU_BACKENDS:
+        return "gpu"
+    if c in _FFT_NAMES or "fft" in c:
+        return "fft"
+    if c in _LINALG_NAMES:
+        return "linalg"
+    if any(h in c for h in _SIMD_HINTS) or c in ("sse2", "sse4.1"):
+        return "simd"
+    return "other"
+
+
+def analyze_build_script(tree: SourceTree, script: str = "CMakeLists.txt") -> dict:
+    """Produce the specialization report (Fig. 4a style, Appendix-B schema)."""
+    report = empty_report()
+    options = declared_options(tree, script=script)
+    commands = parse_script(tree.read(script), script)
+
+    report["build_system"] = {"type": "cmake", "minimum_version": _min_cmake(commands)}
+    for cmd in commands:
+        if cmd.name == "find_package" and cmd.args:
+            _record_find_package(report, cmd.args)
+
+    for spec in options.values():
+        category = categorize_option(spec)
+        if spec.kind == "multichoice":
+            _record_multichoice(report, spec, category)
+        else:
+            _record_bool(report, spec, category)
+
+    # GROMACS-style: a gpu multichoice with non-OFF default means GPU builds
+    # are supported even if off by default.
+    if report["gpu_backends"]:
+        flag = next(iter(report["gpu_backends"].values()))["build_flag"]
+        base_flag = flag.split("=")[0] if flag else None
+        report["gpu_build"] = {"value": True, "build_flag": base_flag}
+
+    validate_report(report)
+    return report
+
+
+def _min_cmake(commands) -> str | None:
+    for cmd in commands:
+        if cmd.name == "cmake_minimum_required":
+            for i, arg in enumerate(cmd.args):
+                if arg.upper() == "VERSION" and i + 1 < len(cmd.args):
+                    return cmd.args[i + 1]
+    return None
+
+
+def _record_find_package(report: dict, args: tuple[str, ...]) -> None:
+    name = args[0]
+    version = None
+    if len(args) > 1 and re.fullmatch(r"[\d.]+", args[1]):
+        version = args[1]
+    lowered = name.lower()
+    if lowered in _GPU_BACKENDS:
+        # Deduplicate case-insensitively: the multichoice may have recorded
+        # this backend already (e.g. "OpenCL" vs find_package(OpenCL)).
+        if any(existing.lower() == lowered for existing in report["gpu_backends"]):
+            return
+        report["gpu_backends"].setdefault(name.upper(), {
+            "used_as_default": False, "build_flag": None, "minimum_version": version})
+    elif lowered in _PARALLEL_NAMES:
+        report["parallel_programming_libraries"].setdefault(name.upper(), {
+            "used_as_default": False, "build_flag": None, "minimum_version": version})
+    elif lowered in _LINALG_NAMES:
+        report["linear_algebra_libraries"].setdefault(name, {
+            "used_as_default": False, "build_flag": None, "condition": None})
+    elif "fft" in lowered:
+        report["FFT_libraries"].setdefault(name, {
+            "used_as_default": False, "built-in": False,
+            "dependencies": None, "build_flag": None})
+    else:
+        report["other_external_libraries"].setdefault(name, {
+            "version": version, "used_as_default": False,
+            "conditions": None, "build_flag": None})
+
+
+def _record_multichoice(report: dict, spec: OptionSpec, category: str) -> None:
+    for choice in spec.choices:
+        kind = _classify_choice(choice)
+        flag = f"-D{spec.name}={choice}"
+        default = choice == spec.default
+        if category == "simd" or kind == "simd":
+            if kind == "control" and choice.lower() != "none":
+                continue
+            report["simd_vectorization"][choice] = {
+                "build_flag": flag, "default": default}
+        elif category == "gpu" or kind == "gpu":
+            if kind == "control":
+                continue
+            report["gpu_backends"][choice] = {
+                "used_as_default": default, "build_flag": flag,
+                "minimum_version": None}
+        elif category == "fft" or kind == "fft":
+            if kind == "control":
+                continue
+            report["FFT_libraries"][choice] = {
+                "used_as_default": default,
+                "built-in": "built-in" in choice.lower() or "pack" in choice.lower(),
+                "dependencies": None, "build_flag": flag}
+        elif category == "linalg" or kind == "linalg":
+            if kind == "control":
+                continue
+            report["linear_algebra_libraries"][choice] = {
+                "used_as_default": default, "build_flag": flag, "condition": None}
+        else:
+            if kind == "control":
+                continue
+            report["other_external_libraries"][choice] = {
+                "version": None, "used_as_default": default,
+                "conditions": None, "build_flag": flag}
+
+
+def _record_bool(report: dict, spec: OptionSpec, category: str) -> None:
+    default_on = spec.default.upper() in ("ON", "TRUE", "1", "YES")
+    flag = f"-D{spec.name}"
+    entry = {"used_as_default": default_on, "build_flag": flag, "minimum_version": None}
+    name = spec.name
+    if category == "parallel":
+        report["parallel_programming_libraries"][_parallel_name(name)] = entry
+    elif category == "gpu":
+        report["gpu_build"] = {"value": True, "build_flag": flag}
+    elif category == "fft":
+        report["FFT_libraries"][name] = {
+            "used_as_default": default_on, "built-in": "own" in name.lower(),
+            "dependencies": None, "build_flag": flag}
+    elif category == "linalg":
+        report["linear_algebra_libraries"][name] = {
+            "used_as_default": default_on, "build_flag": flag, "condition": None}
+    elif category == "simd":
+        report["simd_vectorization"][name] = {"build_flag": flag, "default": default_on}
+    elif category == "internal":
+        report["internal_build"][name] = {"build_flag": flag}
+    else:
+        report["optimization_build_flags"].append(flag)
+
+
+def _parallel_name(option_name: str) -> str:
+    lowered = option_name.lower()
+    for canon in ("thread_mpi", "openmp", "openacc", "mpi", "pthread", "tbb"):
+        if canon in lowered:
+            return {"thread_mpi": "Threads-MPI", "openmp": "OpenMP", "mpi": "MPI",
+                    "pthread": "Pthreads", "tbb": "TBB", "openacc": "OpenACC"}[canon]
+    return option_name

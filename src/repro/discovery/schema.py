@@ -1,0 +1,132 @@
+"""The specialization-points JSON schema (paper Appendix B).
+
+The paper supplies this draft-07 schema to the LLM to force structured
+output; we use it both to validate simulated-LLM results and to validate the
+rule-based extraction the ground truth comes from.
+"""
+
+from __future__ import annotations
+
+from repro.util.json_schema import SchemaError, validate_schema
+
+
+def _feature_entry(extra_props: dict | None = None, required: list | None = None) -> dict:
+    props = {
+        "used_as_default": {"type": "boolean"},
+        "build_flag": {"type": ["string", "null"]},
+        "minimum_version": {"type": ["string", "null"]},
+    }
+    props.update(extra_props or {})
+    return {
+        "type": "object",
+        "additionalProperties": {
+            "type": "object",
+            "properties": props,
+            "required": required or ["used_as_default", "build_flag"],
+        },
+    }
+
+
+SPECIALIZATION_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "properties": {
+        "gpu_build": {
+            "type": "object",
+            "properties": {
+                "value": {"type": "boolean"},
+                "build_flag": {"type": ["string", "null"]},
+            },
+            "required": ["value", "build_flag"],
+        },
+        "gpu_backends": _feature_entry(),
+        "parallel_programming_libraries": _feature_entry(),
+        "linear_algebra_libraries": _feature_entry(
+            {"condition": {"type": ["string", "null"]}}),
+        "FFT_libraries": _feature_entry({
+            "built-in": {"type": "boolean"},
+            "dependencies": {"type": ["string", "null"]},
+        }),
+        "other_external_libraries": _feature_entry({
+            "version": {"type": ["string", "null"]},
+            "conditions": {"type": ["string", "null"]},
+        }),
+        "compiler_flags": {"type": "array", "items": {"type": "string"}},
+        "optimization_build_flags": {"type": "array", "items": {"type": "string"}},
+        "compilers": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "properties": {"minimum_version": {"type": ["string", "null"]}},
+                "required": ["minimum_version"],
+            },
+        },
+        "architectures": {"type": "array", "items": {"type": "string"}},
+        "simd_vectorization": _feature_entry(
+            {"default": {"type": "boolean"}}, required=["build_flag"]),
+        "build_system": {
+            "type": "object",
+            "properties": {
+                "type": {"type": "string", "enum": ["cmake", "make", "undetermined"]},
+                "minimum_version": {"type": ["string", "null"]},
+            },
+            "required": ["type"],
+        },
+        "internal_build": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "properties": {"build_flag": {"type": ["string", "null"]}},
+                "required": ["build_flag"],
+            },
+        },
+    },
+    "required": [
+        "gpu_build", "gpu_backends", "parallel_programming_libraries",
+        "linear_algebra_libraries", "FFT_libraries", "other_external_libraries",
+        "compiler_flags", "optimization_build_flags", "compilers",
+        "architectures", "simd_vectorization", "build_system", "internal_build",
+    ],
+    "additionalProperties": False,
+}
+
+# Categories whose members are counted as individual specialization items by
+# the Table 4 scoring harness.
+DICT_CATEGORIES = (
+    "gpu_backends", "parallel_programming_libraries",
+    "linear_algebra_libraries", "FFT_libraries", "other_external_libraries",
+    "simd_vectorization", "compilers", "internal_build",
+)
+LIST_CATEGORIES = ("compiler_flags", "optimization_build_flags", "architectures")
+
+
+def empty_report() -> dict:
+    """A schema-valid report with nothing discovered."""
+    return {
+        "gpu_build": {"value": False, "build_flag": None},
+        "gpu_backends": {},
+        "parallel_programming_libraries": {},
+        "linear_algebra_libraries": {},
+        "FFT_libraries": {},
+        "other_external_libraries": {},
+        "compiler_flags": [],
+        "optimization_build_flags": [],
+        "compilers": {},
+        "architectures": [],
+        "simd_vectorization": {},
+        "build_system": {"type": "undetermined", "minimum_version": None},
+        "internal_build": {},
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise SchemaError unless ``report`` conforms to the Appendix-B schema."""
+    validate_schema(report, SPECIALIZATION_SCHEMA)
+
+
+def is_valid_report(report: dict) -> bool:
+    try:
+        validate_report(report)
+    except SchemaError:
+        return False
+    return True

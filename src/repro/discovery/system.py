@@ -1,0 +1,292 @@
+"""System discovery: machine specifications and feature detection.
+
+Models the paper's testbeds (Sec. 6.1) and the system-discovery step of
+source-container deployment (Sec. 4.1, Fig. 6): detect CPU features,
+accelerators and the development environment, then *augment* the raw
+detection with knowledge of standard HPC environments (CUDA present =>
+assume cuFFT, ROCm => rocFFT).
+
+A :class:`SystemSpec` also satisfies the host protocol of the container
+hooks (``mpi``, ``gpu``, ``fabric_provider`` attributes) and supplies the
+:class:`~repro.buildsys.interpreter.BuildEnvironment` used when configuring
+on that machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buildsys.interpreter import BuildEnvironment
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    vendor: str           # nvidia | amd | intel
+    model: str
+    driver_cuda: str = ""  # CUDA version the driver supports (nvidia)
+    compute_capability: str = ""
+    backends: tuple[str, ...] = ()  # CUDA / OpenCL / SYCL / HIP / LevelZero
+    memory_gb: int = 16
+
+    def to_json(self) -> dict:
+        return {
+            "vendor": self.vendor, "model": self.model,
+            "driver_cuda": self.driver_cuda,
+            "compute_capability": self.compute_capability,
+            "backends": list(self.backends), "memory_gb": self.memory_gb,
+        }
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    model: str
+    architecture: str      # amd64 | arm64
+    vendor: str            # intel | amd | arm
+    sockets: int
+    cores_per_socket: int
+    features: tuple[str, ...]  # vectorization labels, archspec-style
+    base_ghz: float = 2.4
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def to_json(self) -> dict:
+        return {
+            "model": self.model, "architecture": self.architecture,
+            "vendor": self.vendor, "sockets": self.sockets,
+            "cores_per_socket": self.cores_per_socket,
+            "vectorization": list(self.features), "base_ghz": self.base_ghz,
+        }
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full machine description, as system discovery would produce."""
+
+    name: str
+    cpu: CPUSpec
+    gpus: tuple[GPUSpec, ...] = ()
+    mpi_info: dict | None = None              # {"name", "version", "abi"}
+    fabric: str | None = None                 # libfabric provider name
+    modules: dict[str, str] = field(default_factory=dict)  # package -> version
+    container_runtime: str = "docker"
+    supports_container_build: bool = True
+    # Key into the perf-model machine table (repro.perf.machine).
+    perf_key: str = ""
+
+    # -- hook protocol -------------------------------------------------------
+
+    @property
+    def architecture(self) -> str:
+        return self.cpu.architecture
+
+    @property
+    def mpi(self) -> dict | None:
+        return self.mpi_info
+
+    @property
+    def gpu(self) -> dict | None:
+        if not self.gpus:
+            return None
+        return self.gpus[0].to_json()
+
+    @property
+    def fabric_provider(self) -> str | None:
+        return self.fabric
+
+    # -- discovery -----------------------------------------------------------
+
+    def build_environment(self) -> BuildEnvironment:
+        """Packages visible to find_package() on this machine."""
+        packages = dict(self.modules)
+        for gpu in self.gpus:
+            if "CUDA" in gpu.backends and gpu.driver_cuda:
+                packages.setdefault("CUDA", gpu.driver_cuda)
+            if "HIP" in gpu.backends:
+                packages.setdefault("HIP", packages.get("ROCm", "5.4.3"))
+            if "SYCL" in gpu.backends:
+                packages.setdefault("SYCL", "2024.2")
+            if "OpenCL" in gpu.backends:
+                packages.setdefault("OpenCL", "3.0")
+        if self.mpi_info:
+            packages.setdefault("MPI", self.mpi_info.get("version", "4.0"))
+        return BuildEnvironment(packages=packages)
+
+    def detect_features(self) -> dict:
+        """The 'System Features' JSON of Fig. 4b, with HPC augmentation."""
+        features: dict = {
+            "CPU Info": self.cpu.to_json(),
+            "GPU Backends": {},
+            "MPI": self.mpi_info or {},
+            "Network": {"provider": self.fabric or "tcp"},
+            "Modules": dict(self.modules),
+        }
+        for gpu in self.gpus:
+            for backend in gpu.backends:
+                entry = features["GPU Backends"].setdefault(backend, {
+                    "devices": [], "version": "",
+                })
+                entry["devices"].append(gpu.model)
+                if backend == "CUDA":
+                    entry["version"] = gpu.driver_cuda
+        # Augmentation (Sec. 4.1): assume vendor math libraries follow the
+        # GPU runtime even when not explicitly detected as modules.
+        augmented = dict(features["Modules"])
+        if "CUDA" in features["GPU Backends"]:
+            augmented.setdefault("cuFFT", features["GPU Backends"]["CUDA"]["version"])
+            augmented.setdefault("cuBLAS", features["GPU Backends"]["CUDA"]["version"])
+        if "HIP" in features["GPU Backends"]:
+            augmented.setdefault("rocFFT", "5.4")
+        if "SYCL" in features["GPU Backends"]:
+            augmented.setdefault("oneMKL", "2024.2")
+        features["Modules"] = augmented
+        return features
+
+
+# -- testbed catalog (paper Sec. 6.1) -------------------------------------------
+
+def ault23() -> SystemSpec:
+    """CSCS Ault node 23: Intel Xeon Gold 6130 + NVIDIA V100, Sarus."""
+    return SystemSpec(
+        name="ault23",
+        cpu=CPUSpec("Intel Xeon Gold 6130", "amd64", "intel", 2, 16,
+                    ("sse2", "sse4.1", "avx2_128", "avx_256", "avx2_256", "avx_512"),
+                    base_ghz=2.1),
+        gpus=(GPUSpec("nvidia", "V100", driver_cuda="12.4", compute_capability="7.0",
+                      backends=("CUDA", "OpenCL")),),
+        mpi_info={"name": "openmpi", "version": "4.1", "abi": "ompi"},
+        fabric="verbs",
+        modules={"MKL": "2024.0", "FFTW": "3.3.10", "GCC": "11.4", "hwloc": "2.9"},
+        container_runtime="sarus",
+        supports_container_build=False,
+        perf_key="xeon-6130",
+    )
+
+
+def ault25() -> SystemSpec:
+    """CSCS Ault node 25: AMD EPYC 7742 + NVIDIA A100, Sarus."""
+    return SystemSpec(
+        name="ault25",
+        cpu=CPUSpec("AMD EPYC 7742", "amd64", "amd", 2, 64,
+                    ("sse2", "sse4.1", "avx2_128", "avx_256", "avx2_256"),
+                    base_ghz=2.25),
+        gpus=(GPUSpec("nvidia", "A100", driver_cuda="12.4", compute_capability="8.0",
+                      backends=("CUDA", "OpenCL")),),
+        mpi_info={"name": "openmpi", "version": "4.1", "abi": "ompi"},
+        fabric="verbs",
+        modules={"FFTW": "3.3.10", "GCC": "11.4", "OpenBLAS": "0.3.26"},
+        container_runtime="sarus",
+        supports_container_build=False,
+        perf_key="epyc-7742",
+    )
+
+
+def ault01() -> SystemSpec:
+    """CSCS Ault nodes 01-04: Intel Xeon Gold 6154, CPU-only (Fig. 12 CPU runs)."""
+    return SystemSpec(
+        name="ault01-04",
+        cpu=CPUSpec("Intel Xeon Gold 6154", "amd64", "intel", 2, 18,
+                    ("sse2", "sse4.1", "avx2_128", "avx_256", "avx2_256", "avx_512"),
+                    base_ghz=3.0),
+        mpi_info={"name": "openmpi", "version": "4.1", "abi": "ompi"},
+        fabric="verbs",
+        modules={"MKL": "2024.0", "FFTW": "3.3.10", "GCC": "11.4"},
+        container_runtime="sarus",
+        supports_container_build=True,
+        perf_key="xeon-6154",
+    )
+
+
+def clariden() -> SystemSpec:
+    """CSCS Alps Clariden: GH200 superchip, Slingshot, Podman."""
+    return SystemSpec(
+        name="clariden",
+        cpu=CPUSpec("NVIDIA Grace", "arm64", "arm", 1, 72,
+                    ("neon_asimd", "sve"), base_ghz=3.1),
+        gpus=(GPUSpec("nvidia", "GH200", driver_cuda="12.8", compute_capability="9.0",
+                      backends=("CUDA", "OpenCL"), memory_gb=96),),
+        mpi_info={"name": "cray-mpich", "version": "8.1.29", "abi": "mpich"},
+        fabric="cxi",
+        modules={"FFTW": "3.3.10", "GCC": "12.3", "cray-libsci": "23.12"},
+        container_runtime="podman",
+        supports_container_build=True,
+        perf_key="gh200",
+    )
+
+
+def aurora() -> SystemSpec:
+    """ALCF Aurora: Xeon CPU Max + Intel Data Center GPU Max, Apptainer."""
+    return SystemSpec(
+        name="aurora",
+        cpu=CPUSpec("Intel Xeon CPU Max 9470", "amd64", "intel", 2, 52,
+                    ("sse2", "sse4.1", "avx2_128", "avx_256", "avx2_256", "avx_512"),
+                    base_ghz=2.0),
+        gpus=(GPUSpec("intel", "Data Center GPU Max 1550",
+                      backends=("SYCL", "OpenCL", "LevelZero"), memory_gb=128),),
+        mpi_info={"name": "mpich-aurora", "version": "4.2", "abi": "mpich"},
+        fabric="cxi",
+        modules={"oneAPI": "2024.2", "oneMKL": "2024.2", "icpx": "2024.2"},
+        container_runtime="apptainer",
+        supports_container_build=False,
+        perf_key="xeon-max",
+    )
+
+
+def dev_machine() -> SystemSpec:
+    """Local development machine with Docker (where Ault/Aurora images are built)."""
+    return SystemSpec(
+        name="dev-machine",
+        cpu=CPUSpec("generic x86_64", "amd64", "intel", 1, 8,
+                    ("sse2", "sse4.1", "avx_256", "avx2_256"), base_ghz=3.0),
+        mpi_info={"name": "mpich", "version": "4.1", "abi": "mpich"},
+        modules={"GCC": "11.4", "Clang": "19.0", "FFTW": "3.3.10"},
+        container_runtime="docker",
+        supports_container_build=True,
+        perf_key="dev",
+    )
+
+
+SYSTEMS = {
+    "ault23": ault23, "ault25": ault25, "ault01-04": ault01,
+    "clariden": clariden, "aurora": aurora, "dev-machine": dev_machine,
+}
+
+
+def get_system(name: str) -> SystemSpec:
+    try:
+        return SYSTEMS[name]()
+    except KeyError:
+        raise KeyError(f"unknown system {name!r}; known: {sorted(SYSTEMS)}") from None
+
+
+def simd_label_to_target_name(label: str) -> str:
+    """Map a discovery feature label to a TargetMachine name."""
+    mapping = {
+        "sse2": "SSE2", "sse4.1": "SSE4.1", "sse4_1": "SSE4.1",
+        "avx2_128": "AVX2_128", "avx_256": "AVX_256", "avx": "AVX_256",
+        "avx2_256": "AVX2_256", "avx2": "AVX2_256",
+        "avx_512": "AVX_512", "avx512f": "AVX_512", "avx512": "AVX_512",
+        "neon_asimd": "ARM_NEON_ASIMD", "neon": "ARM_NEON_ASIMD",
+        "sve": "ARM_SVE",
+    }
+    return mapping.get(label.lower(), label)
+
+
+def best_simd_target(spec: SystemSpec):
+    """Highest-level SIMD target the machine supports (GROMACS' AUTO)."""
+    from repro.compiler.target import ALL_TARGETS
+
+    best = None
+    for label in spec.cpu.features:
+        name = simd_label_to_target_name(label)
+        target = ALL_TARGETS.get(name)
+        if target is None or target.family != (
+                "aarch64" if spec.architecture == "arm64" else "x86_64"):
+            continue
+        if best is None or target.feature_level > best.feature_level:
+            best = target
+    if best is None:
+        from repro.compiler.target import ARM_NONE, X86_NONE
+        return ARM_NONE if spec.architecture == "arm64" else X86_NONE
+    return best

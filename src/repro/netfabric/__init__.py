@@ -1,0 +1,29 @@
+"""Network substrate: libfabric providers and MPI transport selection.
+
+Backs Table 3 (provider capability matrix) and Sec. 6.5 (containerized MPI
+intra-node bandwidth): containerized MPI reaching the network through a
+libfabric replacement loses shared-memory transport unless a combined
+provider (LinkX) routes local traffic, costing ~3x intra-node bandwidth.
+"""
+
+from repro.netfabric.bandwidth import (
+    BandwidthResult,
+    TransportPath,
+    intra_node_bandwidth,
+    message_sweep,
+)
+from repro.netfabric.providers import (
+    FEATURES,
+    PROVIDERS,
+    Provider,
+    Support,
+    feature_matrix,
+    get_provider,
+    providers_supporting,
+)
+
+__all__ = [
+    "BandwidthResult", "TransportPath", "intra_node_bandwidth", "message_sweep",
+    "FEATURES", "PROVIDERS", "Provider", "Support", "feature_matrix",
+    "get_provider", "providers_supporting",
+]

@@ -1,0 +1,98 @@
+"""Intra-node MPI bandwidth model (paper Sec. 6.5).
+
+On Clariden, co-located MPI ranks must share the four GH200 chips per node.
+Bare-metal Cray-MPICH uses shared memory (up to 64 GB/s on the same socket);
+a containerized MPI whose libfabric was replaced with the host ``cxi``
+provider reaches the Slingshot NIC but *not* shared memory, peaking at
+~23.5 GB/s; the experimental LinkX provider composes ``shm`` with ``cxi``
+and restores 64-70 GB/s.
+
+The model: transport selection by (deployment kind, provider capability),
+then a latency/bandwidth ramp over message size (classic alpha-beta form).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netfabric.providers import Provider, get_provider
+
+
+class TransportPath(enum.Enum):
+    """How an intra-node message actually travels."""
+
+    SHARED_MEMORY = "shared-memory"
+    NIC_LOOPBACK = "nic-loopback"
+    TCP_LOOPBACK = "tcp-loopback"
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    provider: str
+    path: TransportPath
+    peak_gbps: float
+    latency_us: float
+
+    def bandwidth_at(self, message_bytes: int) -> float:
+        """Effective GB/s for one message size (alpha-beta ramp)."""
+        if message_bytes <= 0:
+            return 0.0
+        transfer_s = message_bytes / (self.peak_gbps * 1e9)
+        total_s = self.latency_us * 1e-6 + transfer_s
+        return message_bytes / total_s / 1e9
+
+
+def select_transport(provider: Provider, containerized: bool,
+                     hook_replaced: bool) -> TransportPath:
+    """Which path intra-node messages take.
+
+    Bare-metal MPI (or a provider that composes shared memory, like LinkX)
+    uses shared memory. A containerized MPI that had its libfabric replaced
+    talks to the NIC even for local peers — the namespace isolation breaks
+    the shm bootstrap (Sec. 6.5). Without any replacement, container MPI
+    falls back to TCP loopback.
+    """
+    if provider.shared_memory_local:
+        return TransportPath.SHARED_MEMORY
+    if not containerized:
+        # Bare-metal MPI stacks pair the network provider with shm locally.
+        return TransportPath.SHARED_MEMORY
+    if hook_replaced:
+        return TransportPath.NIC_LOOPBACK
+    return TransportPath.TCP_LOOPBACK
+
+
+# Bare-metal shared-memory peaks per MPI implementation (Sec. 6.5 reports
+# Cray-MPICH at 64 GB/s and containerized OpenMPI-over-cxi at 23.5 GB/s;
+# LinkX reaches 64 (MPICH) / 70 (OpenMPI)).
+_SHM_PEAK_GBPS = {"cray-mpich": 64.0, "mpich": 60.0, "openmpi": 58.0,
+                  "mpich-aurora": 55.0}
+_LNX_PEAK_GBPS = {"mpich": 64.0, "cray-mpich": 64.0, "openmpi": 70.0}
+
+
+def intra_node_bandwidth(mpi_name: str, provider_name: str,
+                         containerized: bool, hook_replaced: bool = True) -> BandwidthResult:
+    """Peak same-socket bandwidth for a deployment scenario."""
+    provider = get_provider(provider_name)
+    path = select_transport(provider, containerized, hook_replaced)
+    if path is TransportPath.SHARED_MEMORY:
+        if provider.shared_memory_local and provider_name == "lnx":
+            peak = _LNX_PEAK_GBPS.get(mpi_name, 62.0)
+        else:
+            peak = _SHM_PEAK_GBPS.get(mpi_name, 50.0)
+        latency = 0.4
+    elif path is TransportPath.NIC_LOOPBACK:
+        peak = provider.intra_node_gbps
+        latency = 2.0
+    else:
+        peak = min(6.0, provider.intra_node_gbps)
+        latency = 12.0
+    return BandwidthResult(provider_name, path, peak, latency)
+
+
+def message_sweep(result: BandwidthResult,
+                  sizes: tuple[int, ...] = tuple(2 ** k for k in range(10, 27))
+                  ) -> list[tuple[int, float]]:
+    """OSU-style bandwidth curve: (message size, effective GB/s)."""
+    return [(size, result.bandwidth_at(size)) for size in sizes]

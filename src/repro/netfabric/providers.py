@@ -1,0 +1,119 @@
+"""libfabric provider capability model (paper Table 3).
+
+Libfabric exposes a portable API, but providers differ in feature support —
+which is exactly why relinking libfabric "is not a general method for
+performance specialization" (Sec. 2.2). The matrix below transcribes Table 3
+(libfabric 2.0): full (YES), partial (P), unsupported (NO), not-used (NA),
+unknown (UNK).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Support(enum.Enum):
+    YES = "yes"
+    PARTIAL = "partial"
+    NO = "no"
+    NA = "n/a"
+    UNKNOWN = "?"
+
+    @property
+    def usable(self) -> bool:
+        return self in (Support.YES, Support.PARTIAL)
+
+
+FEATURES = (
+    "message", "reliable_datagram", "datagram", "tagged_message",
+    "directed_receive", "multi_receive", "atomic_operations",
+    "memory_registration", "manual_progress", "auto_progress",
+    "wait_objects", "completion_events", "resource_management",
+    "scalable_endpoints", "trigger_operations",
+)
+
+Y, P, N, NA, U = Support.YES, Support.PARTIAL, Support.NO, Support.NA, Support.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Provider:
+    """One libfabric provider with its capability row and transports."""
+
+    name: str               # fi_info name, e.g. "cxi"
+    fabric: str             # human name, e.g. "Slingshot"
+    features: dict[str, Support] = field(default_factory=dict)
+    # Memory registration mode is a string column in Table 3.
+    memory_registration: str = "basic"
+    # Does the provider route intra-node traffic through shared memory?
+    # (cxi does NOT — the Sec. 6.5 problem; LinkX composes shm + cxi.)
+    shared_memory_local: bool = False
+    # Peak bandwidths (GB/s) used by the bandwidth model.
+    inter_node_gbps: float = 10.0
+    intra_node_gbps: float = 10.0
+
+    def supports(self, feature: str) -> Support:
+        if feature not in FEATURES:
+            raise KeyError(f"unknown libfabric feature {feature!r}")
+        return self.features.get(feature, Support.NO)
+
+
+def _row(values: str) -> dict[str, Support]:
+    mapping = {"Y": Y, "P": P, "N": N, "A": NA, "U": U}
+    return {feat: mapping[v] for feat, v in zip(FEATURES, values)}
+
+
+# Table 3 rows. The feature string maps positionally onto FEATURES; the
+# memory-registration column is kept separately (it is not boolean).
+PROVIDERS: dict[str, Provider] = {p.name: p for p in [
+    Provider("tcp", "TCP", _row("YYNYYYNAN" "YYYYNN"), "n/a",
+             shared_memory_local=False, inter_node_gbps=3.0, intra_node_gbps=6.0),
+    Provider("verbs", "InfiniBand", _row("YPYPNNPAN" "NPNPNN"), "basic",
+             shared_memory_local=False, inter_node_gbps=25.0, intra_node_gbps=18.0),
+    Provider("cxi", "Slingshot", _row("NYNYYYYAY" "NYYYNY"), "scalable",
+             shared_memory_local=False, inter_node_gbps=25.0, intra_node_gbps=23.5),
+    Provider("efa", "EFA", _row("NYPYYYPAY" "NNNPNN"), "local",
+             shared_memory_local=False, inter_node_gbps=12.5, intra_node_gbps=12.0),
+    Provider("opx", "Omni-Path", _row("NYNYYYYAY" "PUNYYN"), "scalable",
+             shared_memory_local=False, inter_node_gbps=12.5, intra_node_gbps=12.0),
+    # Not in Table 3 but central to Sec. 6.5: shm and the LinkX composition.
+    Provider("shm", "Shared memory", _row("YYNYYYYAN" "YYYYNN"), "local",
+             shared_memory_local=True, inter_node_gbps=0.0, intra_node_gbps=64.0),
+    Provider("lnx", "LinkX (shm+cxi)", _row("NYNYYYYAY" "NYYYNY"), "scalable",
+             shared_memory_local=True, inter_node_gbps=25.0, intra_node_gbps=67.0),
+]}
+
+
+def get_provider(name: str) -> Provider:
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown provider {name!r}; known: {sorted(PROVIDERS)}") from None
+
+
+def feature_matrix(include_extra: bool = False) -> list[tuple[str, ...]]:
+    """Render Table 3: one row per feature, one column per provider."""
+    names = ["tcp", "verbs", "cxi", "efa", "opx"]
+    if include_extra:
+        names += ["shm", "lnx"]
+    rows = []
+    for feature in FEATURES:
+        if feature == "memory_registration":
+            rows.append(("Memory Registration",
+                         *(PROVIDERS[n].memory_registration for n in names)))
+            continue
+        pretty = feature.replace("_", " ").title()
+        symbols = {Support.YES: "yes", Support.PARTIAL: "P", Support.NO: "no",
+                   Support.NA: "N/A", Support.UNKNOWN: "?"}
+        rows.append((pretty, *(symbols[PROVIDERS[n].supports(feature)] for n in names)))
+    return rows
+
+
+def providers_supporting(feature: str, *, fully: bool = False) -> list[str]:
+    """Query the matrix: which providers can be used for a feature?"""
+    out = []
+    for name, provider in PROVIDERS.items():
+        support = provider.supports(feature)
+        if support is Support.YES or (not fully and support is Support.PARTIAL):
+            out.append(name)
+    return sorted(out)

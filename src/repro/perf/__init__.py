@@ -1,0 +1,25 @@
+"""Performance model: machine parameters, cost execution, app runtimes.
+
+``repro.perf`` closes the loop between the compiler substrate and the
+evaluation figures: lowered kernels are executed symbolically against
+machine models of the paper's testbeds, so a build strategy's runtime is a
+consequence of the flags it fed the pipeline.
+"""
+
+from repro.perf.executor import KernelCost, estimate_kernel, kernel_seconds
+from repro.perf.machine import MACHINES, MachinePerf, machine_perf
+from repro.perf.model import (
+    BuildArtifact,
+    BuildIncompatibleError,
+    ExecutionReport,
+    build_app,
+    default_build_environment,
+    run_workload,
+)
+
+__all__ = [
+    "KernelCost", "estimate_kernel", "kernel_seconds",
+    "MACHINES", "MachinePerf", "machine_perf",
+    "BuildArtifact", "BuildIncompatibleError", "ExecutionReport",
+    "build_app", "default_build_environment", "run_workload",
+]

@@ -1,0 +1,111 @@
+"""Symbolic execution of lowered machine code: the cost model.
+
+Walks a :class:`~repro.compiler.lowering.MachineFunction` resolving loop trip
+counts from workload bindings and charging per-instruction cycle costs. SIMD
+loops advance ``W`` elements per iteration at the target's per-lane
+efficiency; OpenMP-parallel loops divide by the machine's effective thread
+count. The result is deterministic — the same build on the same machine
+always predicts the same runtime, which is what lets benchmarks compare
+build *strategies* cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.lowering import MachineFunction, MachineInstr, MCall, MIf, MLoop
+from repro.perf.machine import MachinePerf
+from repro.util.exprs import ExprError, eval_expr
+
+
+class CostError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cycles for one kernel invocation, split for diagnostics."""
+
+    cycles: float
+    vector_loops: int
+    scalar_loops: int
+    parallel_loops: int
+
+
+def _effective_lanes(width: int, efficiency: float) -> float:
+    """Observed speedup of a W-lane SIMD loop: 1 + (W-1) * efficiency."""
+    if width <= 1:
+        return 1.0
+    return 1.0 + (width - 1) * efficiency
+
+
+def estimate_kernel(fn: MachineFunction, bindings: dict[str, float],
+                    threads: int, machine: MachinePerf,
+                    openmp_enabled: bool = True) -> KernelCost:
+    """Estimate the cycle cost of one call to ``fn`` under ``bindings``."""
+    stats = {"vector": 0, "scalar": 0, "parallel": 0}
+    cycles = _cost_items(fn.body, fn, bindings, threads, machine,
+                         openmp_enabled, stats)
+    return KernelCost(cycles, stats["vector"], stats["scalar"], stats["parallel"])
+
+
+def _trip_count(loop: MLoop, bindings: dict[str, float]) -> float:
+    if loop.const_trip is not None:
+        return float(loop.const_trip)
+    if loop.bound_src is None:
+        raise CostError(f"loop {loop.var!r} has no resolvable bound")
+    try:
+        bound = eval_expr(loop.bound_src, bindings)
+        start = eval_expr(loop.start_src, bindings) if loop.start_src else 0.0
+    except ExprError as exc:
+        raise CostError(f"cannot resolve trip count for loop {loop.var!r}: {exc}") from None
+    return max(0.0, bound - start)
+
+
+def _cost_items(items, fn: MachineFunction, bindings, threads, machine,
+                openmp_enabled, stats) -> float:
+    total = 0.0
+    veff = fn.target.vector_efficiency
+    for item in items:
+        if isinstance(item, MachineInstr):
+            total += item.cycles
+        elif isinstance(item, MCall):
+            total += item.cycles
+        elif isinstance(item, MIf):
+            then_cost = _cost_items(item.then, fn, bindings, threads, machine,
+                                    openmp_enabled, stats)
+            else_cost = _cost_items(item.orelse, fn, bindings, threads, machine,
+                                    openmp_enabled, stats)
+            total += item.cond_cycles + item.selectivity * then_cost \
+                + (1 - item.selectivity) * else_cost
+        elif isinstance(item, MLoop):
+            trips = _trip_count(item, bindings)
+            body = _cost_items(item.body, fn, bindings, threads, machine,
+                               openmp_enabled, stats)
+            lanes = _effective_lanes(item.vector_width, veff)
+            iterations = trips / lanes
+            if item.vector_width > 1:
+                stats["vector"] += 1
+                # The scalar epilogue: on average (W-1)/2 leftover elements.
+                iterations += (item.vector_width - 1) / 2.0 / lanes
+            else:
+                stats["scalar"] += 1
+            loop_cycles = item.header_cycles + iterations * (body + 1.0)
+            if item.vector_width <= 1:
+                loop_cycles /= machine.scalar_boost
+            if item.parallel and openmp_enabled and threads > 1:
+                stats["parallel"] += 1
+                loop_cycles = loop_cycles / machine.threads_effective(threads) \
+                    + 200.0  # fork/join overhead
+            total += loop_cycles
+        else:  # pragma: no cover - defensive
+            raise CostError(f"unknown machine item {type(item).__name__}")
+    return total
+
+
+def kernel_seconds(fn: MachineFunction, bindings: dict[str, float],
+                   threads: int, machine: MachinePerf,
+                   openmp_enabled: bool = True) -> float:
+    """Wall-clock seconds for one invocation of ``fn``."""
+    cost = estimate_kernel(fn, bindings, threads, machine, openmp_enabled)
+    return cost.cycles / (machine.clock_ghz * 1e9 * machine.ipc)

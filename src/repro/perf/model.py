@@ -1,0 +1,341 @@
+"""Application build + execution model: predict workload runtimes.
+
+``build_app`` drives the *real* pipeline end to end: configure the app's
+build script, compile its hot kernels with the per-target compile-command
+flags (preprocess -> IR -> vectorize -> lower), and record the library/GPU
+choices the configuration made. ``run_workload`` then symbolically executes
+the lowered kernels on a machine model. Build strategies differ *only* in
+the flags and libraries they feed this pipeline — the performance gaps of
+Figs. 2/10/11/12 are downstream consequences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel, Workload
+from repro.buildsys import (
+    BuildConfiguration,
+    BuildEnvironment,
+    configure,
+    make_include_resolver,
+)
+from repro.compiler import Compiler
+from repro.compiler.driver import CompileOptions
+from repro.compiler.lowering import MachineFunction, lower_module
+from repro.discovery.system import SystemSpec, best_simd_target
+from repro.perf.executor import kernel_seconds
+from repro.perf.machine import MachinePerf, machine_perf
+
+# GPU throughput unit: work units (pair interactions / vector elements) per
+# second at machine.gpu_tput == 1.0.
+GPU_UNIT_RATE = 30.0e9
+# FFT cost model: cycles per grid point per log2(grid) at coefficient 1.0.
+FFT_CYCLES_PER_POINT = 6.0
+
+
+class BuildIncompatibleError(RuntimeError):
+    """The built artifact cannot run on the requested system."""
+
+
+@dataclass
+class BuildArtifact:
+    """A built application: lowered hot kernels + configuration metadata."""
+
+    app: AppModel
+    options: dict[str, str]
+    config: BuildConfiguration
+    simd_name: str
+    target_family: str
+    openmp: bool
+    gpu_backend: str | None
+    fft_library: str
+    blas_library: str
+    mpi_flavor: str  # none | mpich | ompi | thread-mpi
+    machine_functions: dict[str, MachineFunction] = field(default_factory=dict)
+    extra_defines: tuple[str, ...] = ()
+    containerized: bool = False
+    label: str = ""
+
+    @property
+    def description(self) -> str:
+        gpu = self.gpu_backend or "CPU-only"
+        return (f"{self.app.name} [{self.label or 'build'}] simd={self.simd_name} "
+                f"gpu={gpu} fft={self.fft_library} omp={self.openmp}")
+
+
+def default_build_environment() -> BuildEnvironment:
+    """A fully-stocked environment (container dependency layers provide all)."""
+    return BuildEnvironment(packages={
+        "MPI": "4.1", "FFTW": "3.3.10", "MKL": "2024.2", "CUDA": "12.8",
+        "HIP": "5.7", "SYCL": "2024.2", "OpenCL": "3.0", "hwloc": "2.9",
+        "BLAS": "3.12", "LAPACK": "3.12", "OpenBLAS": "0.3.26",
+        "ScaLAPACK": "2.2", "ELPA": "2024.03",
+    })
+
+
+def build_app(app: AppModel, options: dict[str, str],
+              env: BuildEnvironment | None = None,
+              build_system: SystemSpec | None = None,
+              opt_level: int = 3,
+              extra_defines: tuple[str, ...] = (),
+              containerized: bool = False,
+              label: str = "",
+              fft_library: str | None = None,
+              blas_library: str | None = None) -> BuildArtifact:
+    """Configure + compile + lower the app's hot kernels for one configuration.
+
+    ``build_system`` resolves ``AUTO`` SIMD (GROMACS-style detection on the
+    build host). ``fft_library``/``blas_library`` override the library
+    bindings when the environment (e.g. Spack defaults) dictates them.
+    """
+    options = dict(options)
+    simd_name = options.get("GMX_SIMD", "")
+    if simd_name == "AUTO" or (not simd_name and app.name == "gromacs"):
+        target = best_simd_target(build_system) if build_system else None
+        simd_name = target.name if target else "None"
+        options["GMX_SIMD"] = simd_name
+
+    env = env or default_build_environment()
+    name = label or "-".join(f"{k}={v}" for k, v in sorted(options.items())) or "default"
+    config = configure(app.tree, options, env=env, name=name, build_dir="/xaas/build")
+    host_flags: list[str] = []
+    if build_system is not None and build_system.architecture == "arm64":
+        host_flags.append("--target=aarch64")
+    resolver = make_include_resolver(app.tree, config)
+
+    # Locate and compile the hot kernels with their real compile commands.
+    machine_functions: dict[str, MachineFunction] = {}
+    target_family = "x86_64"
+    openmp = False
+    compiler = Compiler(resolver)
+    for source, flags in _hot_sources(app, config):
+        flags = list(flags) + host_flags + [f"-O{opt_level}"] + list(extra_defines)
+        opts = CompileOptions.from_flags(flags)
+        openmp = openmp or opts.fopenmp
+        target_family = opts.target_family
+        result = compiler.compile_to_ir(app.tree.read(source), flags, source)
+        target = opts.resolve_target()
+        mmod = lower_module(result.module, target, opt_level=opt_level)
+        for fn_name, mfn in mmod.functions.items():
+            if fn_name in app.hot_functions:
+                machine_functions[fn_name] = mfn
+
+    missing = set(app.hot_functions) - set(machine_functions)
+    if missing:
+        raise RuntimeError(f"{app.name}: hot functions not built: {sorted(missing)}")
+
+    return BuildArtifact(
+        app=app, options=options, config=config,
+        simd_name=simd_name or "None",
+        target_family=target_family,
+        openmp=openmp,
+        gpu_backend=_gpu_backend(options),
+        fft_library=fft_library or _fft_library(options),
+        blas_library=blas_library or _blas_library(options),
+        mpi_flavor=_mpi_flavor(options),
+        machine_functions=machine_functions,
+        extra_defines=tuple(extra_defines),
+        containerized=containerized,
+        label=label,
+    )
+
+
+def _hot_sources(app: AppModel, config: BuildConfiguration):
+    """Yield (source, flags) for files defining the app's hot functions."""
+    wanted = set(app.hot_functions)
+    seen: set[str] = set()
+    for cmd in config.compile_commands:
+        if cmd.source in seen:
+            continue
+        content = app.tree.read(cmd.source)
+        if any(f" {name}(" in content or content.startswith(f"{name}(")
+               or f"double {name}(" in content or f"void {name}(" in content
+               or f"int {name}(" in content or f"float {name}(" in content
+               for name in wanted):
+            seen.add(cmd.source)
+            yield cmd.source, cmd.flags
+
+
+def _gpu_backend(options: dict[str, str]) -> str | None:
+    gpu = options.get("GMX_GPU", "OFF")
+    if gpu not in ("", "OFF"):
+        return gpu
+    for opt, backend in (("GGML_CUDA", "CUDA"), ("GGML_SYCL", "SYCL"),
+                         ("GGML_HIP", "HIP"), ("QE_ENABLE_CUDA", "CUDA")):
+        if options.get(opt, "OFF").upper() in ("ON", "TRUE", "1"):
+            return backend
+    return None
+
+
+def _fft_library(options: dict[str, str]) -> str:
+    if options.get("GMX_BUILD_OWN_FFTW", "OFF").upper() == "ON":
+        return "own-fftw"
+    lib = options.get("GMX_FFT_LIBRARY", options.get("QE_FFTW_VENDOR", "fftw3"))
+    return {"FFTW3": "fftw3", "Internal": "fftpack", "AUTO": "fftw3",
+            "MKL": "mkl"}.get(lib, lib)
+
+
+def _blas_library(options: dict[str, str]) -> str:
+    if options.get("GGML_BLAS", "OFF").upper() == "ON":
+        return options.get("GGML_BLAS_VENDOR", "OpenBLAS").lower()
+    if options.get("GMX_EXTERNAL_BLAS", "OFF").upper() == "ON":
+        return "openblas"
+    return "internal-blas"
+
+
+def _mpi_flavor(options: dict[str, str]) -> str:
+    if options.get("GMX_MPI", options.get("WITH_MPI",
+                   options.get("QE_ENABLE_MPI", "OFF"))).upper() == "ON":
+        return "mpich"
+    if options.get("GMX_THREAD_MPI", "OFF").upper() == "ON":
+        return "thread-mpi"
+    return "none"
+
+
+# -- execution ----------------------------------------------------------------
+
+
+@dataclass
+class ExecutionReport:
+    """Predicted execution of one workload on one system."""
+
+    app: str
+    workload: str
+    system: str
+    build_label: str
+    total_seconds: float
+    compute_seconds: float
+    io_seconds: float
+    kernel_seconds: dict[str, float]
+    library_seconds: float
+    gpu_seconds: float
+    gpu_offloaded: bool
+    threads: int
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        gpu = " [GPU]" if self.gpu_offloaded else ""
+        return (f"{self.app}/{self.workload} on {self.system} ({self.build_label}){gpu}: "
+                f"{self.total_seconds:.1f}s")
+
+
+def run_workload(artifact: BuildArtifact, system: SystemSpec, workload_name: str,
+                 threads: int | None = None, steps: int | None = None,
+                 in_container: bool | None = None) -> ExecutionReport:
+    """Predict wall-clock time for one workload run."""
+    app = artifact.app
+    workload = app.workload(workload_name)
+    machine = machine_perf(system.perf_key)
+    _check_compatibility(artifact, system)
+
+    threads = threads or min(system.cpu.total_cores, 36)
+    if not artifact.openmp:
+        threads = 1
+    steps = steps or workload.steps
+    gpu_on = _gpu_usable(artifact, system)
+
+    kernel_breakdown: dict[str, float] = {}
+    cpu_per_step = 0.0
+    gpu_work = 0.0
+    notes: list[str] = []
+    for fn_name, calls in app.hot_functions.items():
+        mfn = artifact.machine_functions[fn_name]
+        if gpu_on and fn_name in app.gpu_functions:
+            gpu_work += workload.bindings.get(app.gpu_work_binding, 0.0) * calls
+            kernel_breakdown[fn_name] = 0.0
+            continue
+        secs = kernel_seconds(mfn, workload.bindings, threads, machine,
+                              openmp_enabled=artifact.openmp) * calls
+        kernel_breakdown[fn_name] = secs
+        cpu_per_step += secs
+
+    gpu_per_step = 0.0
+    if gpu_on and gpu_work > 0:
+        launches = sum(1 for f in app.gpu_functions if f in app.hot_functions)
+        gpu_per_step = gpu_work * app.gpu_unit_cost \
+            / (machine.gpu_tput * GPU_UNIT_RATE) \
+            + launches * machine.gpu_launch_overhead_s
+        notes.append(f"GPU offload via {artifact.gpu_backend}")
+
+    lib_per_step = _library_seconds(app, artifact, workload, machine, threads, gpu_on)
+    # An externally selected BLAS drags the whole CPU section (the paper's
+    # Spack-default-OpenBLAS observation applies to the CPU part even when
+    # the non-bonded work runs on the GPU).
+    cpu_per_step *= _blas_drag(artifact, machine)
+
+    per_step = cpu_per_step + gpu_per_step + lib_per_step
+    compute = per_step * steps
+    containerized = artifact.containerized if in_container is None else in_container
+    if containerized:
+        compute *= 1.0 + machine.container_overhead
+        notes.append(f"container runtime {system.container_runtime}")
+    io = workload.io_seconds * (1.15 if containerized else 1.0)
+    return ExecutionReport(
+        app=app.name, workload=workload_name, system=system.name,
+        build_label=artifact.label or artifact.simd_name,
+        total_seconds=compute + io, compute_seconds=compute, io_seconds=io,
+        kernel_seconds={k: v * steps for k, v in kernel_breakdown.items()},
+        library_seconds=lib_per_step * steps,
+        gpu_seconds=gpu_per_step * steps,
+        gpu_offloaded=gpu_on and gpu_work > 0,
+        threads=threads, notes=notes,
+    )
+
+
+def _check_compatibility(artifact: BuildArtifact, system: SystemSpec) -> None:
+    want = "arm64" if artifact.target_family == "aarch64" else "amd64"
+    if want != system.architecture:
+        raise BuildIncompatibleError(
+            f"{artifact.description} targets {want}, but {system.name} is "
+            f"{system.architecture}")
+    # Code compiled for a newer ISA level faults on older CPUs.
+    from repro.compiler.target import ALL_TARGETS
+    built = ALL_TARGETS.get(artifact.simd_name)
+    host_best = best_simd_target(system)
+    if built and built.vector_bits > 0 and not host_best.supports(built):
+        raise BuildIncompatibleError(
+            f"{system.name} ({host_best.name}) cannot execute {built.name} code")
+
+
+def _gpu_usable(artifact: BuildArtifact, system: SystemSpec) -> bool:
+    if artifact.gpu_backend is None or not system.gpus:
+        return False
+    if not any(artifact.gpu_backend in gpu.backends for gpu in system.gpus):
+        return False
+    # The Aurora quirk (Sec. 6.3.1): GROMACS' SYCL path needs a device
+    # compile definition documented outside the build system; without the
+    # manual fix the container silently runs CPU-only.
+    if system.gpus[0].vendor == "intel" and artifact.app.name == "gromacs":
+        if not any("GMX_GPU_NB_CLUSTER_SIZE" in d for d in artifact.extra_defines):
+            return False
+    return True
+
+
+def _library_seconds(app: AppModel, artifact: BuildArtifact, workload: Workload,
+                     machine: MachinePerf, threads: int, gpu_on: bool) -> float:
+    if "fft_3d" not in app.library_work:
+        return 0.0
+    n_grid = workload.bindings.get("n_grid", 0.0)
+    if n_grid <= 0:
+        return 0.0
+    if gpu_on:
+        # PME FFTs ride along on the GPU (cuFFT/oneMath); charged as GPU work.
+        lib = {"CUDA": "cufft", "HIP": "rocfft", "SYCL": "onemath",
+               "OpenCL": "vkfft"}.get(artifact.gpu_backend, "cufft")
+        coeff = machine.library_coeff.get(lib, 1.2)
+        return n_grid * math.log2(max(2.0, n_grid)) * coeff \
+            / (machine.gpu_tput * GPU_UNIT_RATE)
+    coeff = machine.library_coeff.get(artifact.fft_library, 1.2)
+    cycles = n_grid * math.log2(max(2.0, n_grid)) * FFT_CYCLES_PER_POINT * coeff
+    eff = machine.threads_effective(threads if artifact.openmp else 1)
+    return cycles * _blas_drag(artifact, machine) \
+        / (machine.clock_ghz * 1e9 * machine.ipc * eff)
+
+
+def _blas_drag(artifact: BuildArtifact, machine: MachinePerf) -> float:
+    """Multiplier on CPU-side work from the linked BLAS/LAPACK choice."""
+    if artifact.blas_library == "internal-blas":
+        return 1.0
+    return machine.library_coeff.get(artifact.blas_library, 1.1) * 0.25 + 0.75

@@ -1,0 +1,20 @@
+"""Shared utilities: hashing, deterministic RNG, token counting, JSON schema.
+
+These helpers are deliberately dependency-free (stdlib + numpy only) so every
+substrate package can use them without import cycles.
+"""
+
+from repro.util.hashing import content_digest, stable_hash, short_digest
+from repro.util.rng import DeterministicRNG
+from repro.util.tokens import count_tokens
+from repro.util.json_schema import SchemaError, validate_schema
+
+__all__ = [
+    "content_digest",
+    "stable_hash",
+    "short_digest",
+    "DeterministicRNG",
+    "count_tokens",
+    "SchemaError",
+    "validate_schema",
+]

@@ -1,0 +1,102 @@
+"""Tiny arithmetic-expression evaluator for symbolic loop bounds.
+
+The frontend records loop bounds as source text (``(n_atoms * 3)``); the
+performance executor resolves them against workload bindings at "run" time.
+Supports + - * / % with parentheses, integer/float literals and identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"\s*(\d+\.\d*|\.\d+|\d+|[A-Za-z_]\w*|[()+\-*/%])")
+
+
+class ExprError(ValueError):
+    pass
+
+
+def eval_expr(src: str, bindings: dict[str, float]) -> float:
+    """Evaluate ``src`` with identifiers resolved from ``bindings``."""
+    tokens = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if not m:
+            if src[pos:].strip():
+                raise ExprError(f"bad character in expression {src!r} at {pos}")
+            break
+        tokens.append(m.group(1))
+        pos = m.end()
+    return _Parser(tokens, bindings, src).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], bindings: dict[str, float], src: str):
+        self.tokens = tokens
+        self.bindings = bindings
+        self.src = src
+        self.pos = 0
+
+    def parse(self) -> float:
+        value = self._additive()
+        if self.pos != len(self.tokens):
+            raise ExprError(f"trailing tokens in {self.src!r}")
+        return value
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _additive(self) -> float:
+        value = self._multiplicative()
+        while self._peek() in ("+", "-"):
+            op = self.tokens[self.pos]
+            self.pos += 1
+            rhs = self._multiplicative()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _multiplicative(self) -> float:
+        value = self._unary()
+        while self._peek() in ("*", "/", "%"):
+            op = self.tokens[self.pos]
+            self.pos += 1
+            rhs = self._unary()
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                if rhs == 0:
+                    raise ExprError(f"division by zero in {self.src!r}")
+                value /= rhs
+            else:
+                value %= rhs
+        return value
+
+    def _unary(self) -> float:
+        tok = self._peek()
+        if tok == "-":
+            self.pos += 1
+            return -self._unary()
+        if tok == "+":
+            self.pos += 1
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> float:
+        tok = self._peek()
+        if tok is None:
+            raise ExprError(f"unexpected end of expression {self.src!r}")
+        self.pos += 1
+        if tok == "(":
+            value = self._additive()
+            if self._peek() != ")":
+                raise ExprError(f"missing ')' in {self.src!r}")
+            self.pos += 1
+            return value
+        if re.fullmatch(r"\d+", tok):
+            return float(int(tok))
+        if re.fullmatch(r"\d+\.\d*|\.\d+", tok):
+            return float(tok)
+        if tok in self.bindings:
+            return float(self.bindings[tok])
+        raise ExprError(f"unbound identifier {tok!r} in {self.src!r}")

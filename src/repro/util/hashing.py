@@ -1,0 +1,66 @@
+"""Content-addressed hashing used across the container and IR substrates.
+
+The OCI substrate (:mod:`repro.containers`) identifies every blob by the
+digest of its bytes, and the IR deduplication pipeline
+(:mod:`repro.core.ir_container`) identifies translation units by the digest of
+their canonical text. Both funnel through :func:`content_digest` so the whole
+repository shares a single digest format: ``sha256:<64 hex chars>``, matching
+the OCI image-spec digest grammar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+_PREFIX = "sha256:"
+
+
+def content_digest(data: bytes | str) -> str:
+    """Return the OCI-style digest (``sha256:<hex>``) of ``data``.
+
+    Strings are encoded as UTF-8 first, so ``content_digest("x")``
+    equals ``content_digest(b"x")``.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return _PREFIX + hashlib.sha256(data).hexdigest()
+
+
+def is_digest(value: str) -> bool:
+    """Check whether ``value`` is a well-formed ``sha256:`` digest."""
+    if not value.startswith(_PREFIX):
+        return False
+    hexpart = value[len(_PREFIX):]
+    return len(hexpart) == 64 and all(c in "0123456789abcdef" for c in hexpart)
+
+
+def short_digest(digest: str, length: int = 12) -> str:
+    """Abbreviate a digest for human-facing output (like ``docker ps``)."""
+    if digest.startswith(_PREFIX):
+        digest = digest[len(_PREFIX):]
+    return digest[:length]
+
+
+def stable_hash(obj: Any) -> str:
+    """Digest an arbitrary JSON-serializable object deterministically.
+
+    Dict keys are sorted and separators pinned so the same logical object
+    always produces the same digest across processes and Python versions
+    (``hash()`` randomization does not apply).
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_fallback)
+    return content_digest(payload)
+
+
+def _fallback(obj: Any) -> Any:
+    # Dataclass-like objects and sets get a stable encoding; anything else is
+    # an error we want to surface early.
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if hasattr(obj, "to_json"):
+        return obj.to_json()
+    if hasattr(obj, "__dict__"):
+        return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+    raise TypeError(f"cannot stably hash object of type {type(obj).__name__}")

@@ -1,0 +1,78 @@
+"""A minimal JSON-Schema (draft-07 subset) validator.
+
+The specialization-point schema the paper ships in Appendix B uses only a
+small slice of draft-07: ``type`` (scalar or union list), ``properties``,
+``required``, ``additionalProperties`` (boolean or sub-schema), ``enum`` and
+``items``. We implement exactly that slice, which lets the discovery pipeline
+(:mod:`repro.discovery`) enforce structured LLM output the same way the paper
+does, without a network-installed jsonschema package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SchemaError(ValueError):
+    """Raised when an instance does not conform to a schema."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path or "$"
+        super().__init__(f"{self.path}: {message}")
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate_schema(instance: Any, schema: dict, path: str = "") -> None:
+    """Validate ``instance`` against ``schema``; raise :class:`SchemaError` on failure."""
+    if not isinstance(schema, dict):
+        raise TypeError("schema must be a dict")
+
+    typ = schema.get("type")
+    if typ is not None:
+        allowed = typ if isinstance(typ, list) else [typ]
+        for name in allowed:
+            if name not in _TYPE_CHECKS:
+                raise TypeError(f"unsupported schema type {name!r}")
+        if not any(_TYPE_CHECKS[name](instance) for name in allowed):
+            raise SchemaError(path, f"expected type {allowed}, got {type(instance).__name__}")
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(path, f"value {instance!r} not in enum {schema['enum']}")
+
+    if isinstance(instance, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise SchemaError(path, f"missing required property {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            child_path = f"{path}.{key}" if path else key
+            if key in props:
+                validate_schema(value, props[key], child_path)
+            elif isinstance(additional, dict):
+                validate_schema(value, additional, child_path)
+            elif additional is False:
+                raise SchemaError(child_path, "additional property not allowed")
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate_schema(item, schema["items"], f"{path}[{i}]")
+
+
+def conforms(instance: Any, schema: dict) -> bool:
+    """Boolean convenience wrapper over :func:`validate_schema`."""
+    try:
+        validate_schema(instance, schema)
+    except SchemaError:
+        return False
+    return True

@@ -1,0 +1,48 @@
+"""Approximate token counting for the simulated-LLM substrate (Table 4).
+
+The paper reports prompt sizes in tokens (e.g. the GROMACS CMake configuration
+is 13,299 tokens for OpenAI tokenizers and ~15.8k/17.8k for Gemini/Claude).
+Real tokenizers are unavailable offline, so we approximate with a
+word-and-symbol segmentation that tracks the 3-4 chars/token regime of BPE
+tokenizers on source code, and expose per-vendor fudge factors mirroring the
+vendor differences visible in Table 4.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Vendor multiplier relative to the baseline segmentation. Derived from the
+# ratios in Table 4: OpenAI 13538 : Gemini 15803 : Anthropic 17841 tokens for
+# the identical GROMACS input, i.e. 1.00 : 1.167 : 1.318.
+VENDOR_FACTORS = {
+    "openai": 1.00,
+    "google": 1.167,
+    "anthropic": 1.318,
+}
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"  # identifiers
+    r"|\d+(?:\.\d+)?"           # numbers
+    r"|\s+"                     # whitespace runs count fractionally below
+    r"|."                       # any single symbol
+)
+
+
+def count_tokens(text: str, vendor: str = "openai") -> int:
+    """Estimate the token count of ``text`` for the given vendor's tokenizer."""
+    if vendor not in VENDOR_FACTORS:
+        raise ValueError(f"unknown vendor {vendor!r}; expected one of {sorted(VENDOR_FACTORS)}")
+    base = 0.0
+    for match in _TOKEN_RE.finditer(text):
+        tok = match.group(0)
+        if tok.isspace():
+            # Whitespace is mostly absorbed into neighbouring tokens by BPE;
+            # newline-heavy config files still pay a partial cost.
+            base += 0.25 * tok.count("\n")
+        elif len(tok) <= 4:
+            base += 1.0
+        else:
+            # Long identifiers split into subword units roughly every 4 chars.
+            base += max(1.0, len(tok) / 4.0)
+    return int(round(base * VENDOR_FACTORS[vendor]))

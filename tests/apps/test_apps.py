@@ -1,0 +1,160 @@
+"""Application models: trees configure, scale correctly, catalogs complete."""
+
+import pytest
+
+from repro.apps import (
+    TABLE1,
+    TABLE2,
+    XAAS_LAYERS,
+    cuda_vector_configs,
+    five_isa_configs,
+    gromacs_model,
+    gromacs_tree,
+    llamacpp_model,
+    lulesh_configs,
+    lulesh_model,
+    mpi_openmp_configs,
+    portability_continuum,
+    qespresso_model,
+    table1_rows,
+    table2_rows,
+)
+from repro.buildsys import configure
+from repro.compiler import Compiler, run_function
+from repro.perf import default_build_environment
+
+
+class TestGromacsTree:
+    def test_scale_controls_file_count(self):
+        small = gromacs_tree(scale=0.01)
+        big = gromacs_tree(scale=0.05)
+        assert len(big.paths()) > len(small.paths())
+
+    def test_full_scale_tu_count(self):
+        """At scale=1.0 each CPU configuration has 1742 TUs (paper Sec. 6.4)."""
+        tree = gromacs_tree(scale=1.0)
+        n_cpu_sources = sum(1 for p in tree.paths()
+                            if p.endswith(".c") and not p.startswith("src/gpu/"))
+        assert n_cpu_sources == 1742
+
+    def test_deterministic_generation(self):
+        a = gromacs_tree(scale=0.02)
+        b = gromacs_tree(scale=0.02)
+        assert a.files == b.files
+
+    def test_configures_for_every_sweep_config(self):
+        gm = gromacs_model(scale=0.01)
+        env = default_build_environment()
+        for opts in five_isa_configs() + cuda_vector_configs() + mpi_openmp_configs():
+            cfg = configure(gm.tree, opts, env=env, build_dir="/xaas/build")
+            assert cfg.translation_units > 0
+
+    def test_cuda_config_has_more_tus(self):
+        gm = gromacs_model(scale=0.05)
+        env = default_build_environment()
+        cpu = configure(gm.tree, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftpack"},
+                        env=env, build_dir="/xaas/build")
+        gpu = configure(gm.tree, {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+                                  "GMX_FFT_LIBRARY": "fftpack"},
+                        env=env, build_dir="/xaas/build")
+        assert gpu.translation_units > cpu.translation_units
+
+    def test_simd_level_in_config_header(self):
+        gm = gromacs_model(scale=0.01)
+        env = default_build_environment()
+        cfg = configure(gm.tree, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftpack"},
+                        env=env, build_dir="/xaas/build")
+        assert "#define GMX_SIMD_LEVEL 6" in cfg.generated_files["include/config.h"]
+
+    def test_missing_cuda_fails_configure(self):
+        from repro.buildsys import BuildEnvironment, ConfigureError
+        gm = gromacs_model(scale=0.01)
+        with pytest.raises(ConfigureError):
+            configure(gm.tree, {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+                                "GMX_FFT_LIBRARY": "fftpack"},
+                      env=BuildEnvironment({}), build_dir="/xaas/build")
+
+    def test_nb_kernel_semantics(self):
+        """The hand-written kernel actually computes LJ-style forces."""
+        import numpy as np
+        gm = gromacs_model(scale=0.01)
+        env = default_build_environment()
+        cfg = configure(gm.tree, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftpack"},
+                        env=env, build_dir="/xaas/build")
+        from repro.buildsys import make_include_resolver
+        cc = Compiler(make_include_resolver(gm.tree, cfg))
+        cmd = cfg.command_for("libgromacs", "src/kernels/nonbonded.c")
+        res = cc.compile_to_ir(gm.tree.read(cmd.source), list(cmd.flags), cmd.source)
+        pos = np.array([0.0, 0.0, 0.0, 1.0, 1.0, 1.0], dtype=np.float64)
+        fbuf = np.zeros(2)
+        pi = np.array([0, 0], dtype=np.int64)
+        pj = np.array([3, 3], dtype=np.int64)
+        vtot = run_function(res.module, "nb_kernel", pos, fbuf, pi, pj, 2, 1.5)
+        assert np.isfinite(vtot)
+        assert fbuf[0] == pytest.approx(fbuf[1])
+
+
+class TestLuleshAndOthers:
+    def test_lulesh_five_sources(self):
+        lm = lulesh_model()
+        cfg = configure(lm.tree, {"WITH_MPI": "OFF"},
+                        env=default_build_environment(), build_dir="/xaas/build")
+        assert cfg.translation_units == 5
+
+    def test_lulesh_four_configs(self):
+        assert len(lulesh_configs()) == 4
+
+    def test_llama_two_build_scripts(self):
+        lm = llamacpp_model()
+        assert lm.tree.exists("CMakeLists.txt")
+        assert lm.tree.exists("ggml.cmake")
+
+    def test_llama_configures_with_cuda(self):
+        lm = llamacpp_model()
+        cfg = configure(lm.tree, {"GGML_CUDA": "ON"},
+                        env=default_build_environment(),
+                        build_dir="/xaas/build", script="ggml.cmake")
+        assert any(t == "ggml-cuda" for t in cfg.targets)
+
+    def test_qespresso_configures(self):
+        qm = qespresso_model()
+        cfg = configure(qm.tree, {"QE_ENABLE_MPI": "ON"},
+                        env=default_build_environment(), build_dir="/xaas/build")
+        assert "pw" in cfg.targets
+
+    def test_workload_lookup_error(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            lulesh_model().workload("s999")
+
+
+class TestCatalogs:
+    def test_table1_has_nine_apps(self):
+        assert len(TABLE1) == 9
+        assert len(table1_rows()) == 9
+
+    def test_table1_gromacs_row(self):
+        g = TABLE1["GROMACS"]
+        assert "CUDA" in g.gpu_acceleration
+        assert "MPI" in g.parallelism
+        assert g.specialization_categories() == {
+            "architecture", "gpu", "parallelism", "vectorization", "libraries"}
+
+    def test_table1_lulesh_minimal(self):
+        l = TABLE1["LULESH"]
+        assert l.specialization_categories() == {"parallelism"}
+
+    def test_table2_levels(self):
+        levels = {row[0] for row in table2_rows()}
+        assert levels == {"Building", "Linking", "Lowering", "Emulation"}
+        assert len(TABLE2) == 6
+
+    def test_xaas_rows_optional(self):
+        assert len(table2_rows(include_xaas=True)) == len(table2_rows()) + len(XAAS_LAYERS)
+
+    def test_continuum_ordering(self):
+        """Fig. 1: source builds > XaaS source > XaaS IR > hooks > emulation."""
+        order = portability_continuum()
+        assert order.index("Spack / EasyBuild") < order.index("XaaS source container")
+        assert order.index("XaaS source container") < order.index("XaaS IR container")
+        assert order.index("XaaS IR container") < order.index("Sarus / Apptainer")
+        assert order[-1] == "Wi4MPI / mpixlate"

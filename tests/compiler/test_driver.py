@@ -1,0 +1,83 @@
+"""Compiler driver: flag parsing and the pipeline-stage taxonomy."""
+
+import pytest
+
+from repro.compiler import classify_flags, get_target
+from repro.compiler.driver import CompileOptions, DriverError
+
+
+class TestClassifyFlags:
+    def test_frontend_flags(self):
+        cls = classify_flags(["-DGMX_MPI", "-UOLD", "-Iinclude", "-fopenmp"])
+        assert set(cls.frontend) == {"-DGMX_MPI", "-UOLD", "-Iinclude", "-fopenmp"}
+        assert cls.target == () and cls.opt == ()
+
+    def test_separate_include_argument(self):
+        cls = classify_flags(["-I", "/xaas/build/include"])
+        assert cls.frontend == ("-I/xaas/build/include",)
+
+    def test_target_flags(self):
+        cls = classify_flags(["-msimd=AVX_512", "--target=aarch64", "-march=native"])
+        assert len(cls.target) == 3
+        assert cls.frontend == ()
+
+    def test_opt_flags(self):
+        cls = classify_flags(["-O3", "-O0"])
+        assert cls.opt == ("-O3", "-O0")
+
+    def test_other_flags_with_arguments(self):
+        cls = classify_flags(["-c", "-o", "out.o", "-Wall"])
+        assert "-o" in cls.other and "-Wall" in cls.other
+        assert "out.o" not in cls.other  # consumed as -o's argument
+
+    def test_dangling_include_raises(self):
+        with pytest.raises(DriverError, match="-I requires"):
+            classify_flags(["-I"])
+
+    def test_mixed_realistic_command(self):
+        flags = ["-O3", "-DGMX_MPI", "-fopenmp", "-msimd=AVX2_256",
+                 "-I/xaas/build/include", "-c"]
+        cls = classify_flags(flags)
+        assert set(cls.frontend) == {"-DGMX_MPI", "-fopenmp", "-I/xaas/build/include"}
+        assert cls.target == ("-msimd=AVX2_256",)
+        assert cls.opt == ("-O3",)
+
+
+class TestCompileOptions:
+    def test_define_with_value(self):
+        opts = CompileOptions.from_flags(["-DGMX_SIMD_LEVEL=6", "-DFLAG"])
+        assert opts.defines == {"GMX_SIMD_LEVEL": "6", "FLAG": None}
+
+    def test_undef_removes(self):
+        opts = CompileOptions.from_flags(["-DX=1", "-UX"])
+        assert "X" not in opts.defines
+
+    def test_opt_levels(self):
+        assert CompileOptions.from_flags(["-O0"]).opt_level == 0
+        assert CompileOptions.from_flags(["-O3"]).opt_level == 3
+        assert CompileOptions.from_flags(["-Ofast"]).opt_level == 3
+        assert CompileOptions.from_flags(["-Os"]).opt_level == 2
+
+    def test_simd_resolution(self):
+        opts = CompileOptions.from_flags(["-msimd=AVX_512"])
+        assert opts.resolve_target() is get_target("AVX_512")
+
+    def test_default_target_scalar(self):
+        opts = CompileOptions.from_flags([])
+        target = opts.resolve_target()
+        assert target.vector_bits == 0 and target.family == "x86_64"
+
+    def test_aarch64_default(self):
+        opts = CompileOptions.from_flags(["--target=aarch64"])
+        assert opts.resolve_target().family == "aarch64"
+
+    def test_fopenmp_defines_openmp_macro(self):
+        from repro.compiler import Compiler
+        pre = Compiler().preprocess("#ifdef _OPENMP\nint omp;\n#endif\n", ["-fopenmp"])
+        assert "int omp;" in pre.text
+        pre2 = Compiler().preprocess("#ifdef _OPENMP\nint omp;\n#endif\n", [])
+        assert "int omp;" not in pre2.text
+
+    def test_include_dirs_collected_in_order(self):
+        opts = CompileOptions.from_flags(["-Ia", "-I", "b", "-Ic"])
+        assert opts.include_dirs == ["a", "b", "c"]

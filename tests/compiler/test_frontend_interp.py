@@ -1,0 +1,260 @@
+"""Frontend + interpreter: compiled programs compute correct values."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Compiler, compile_source_to_ir, run_function
+from repro.compiler.interpreter import InterpError, Interpreter
+
+
+def build(src, flags=()):
+    return Compiler().compile_to_ir(src, list(flags), "test.c").module
+
+
+class TestScalarPrograms:
+    def test_arithmetic(self):
+        mod = build("int f(int a, int b) { return a * b + a - b; }")
+        assert run_function(mod, "f", 6, 4) == 26
+
+    def test_integer_division_truncates_toward_zero(self):
+        mod = build("int f(int a, int b) { return a / b; }")
+        assert run_function(mod, "f", 7, 2) == 3
+        assert run_function(mod, "f", -7, 2) == -3
+
+    def test_modulo(self):
+        mod = build("int f(int a, int b) { return a % b; }")
+        assert run_function(mod, "f", 7, 3) == 1
+        assert run_function(mod, "f", -7, 3) == -1
+
+    def test_division_by_zero_raises(self):
+        mod = build("int f(int a) { return 1 / a; }")
+        with pytest.raises(InterpError, match="division by zero"):
+            run_function(mod, "f", 0)
+
+    def test_float_arithmetic(self):
+        mod = build("double f(double x) { return x * x / 2.0; }")
+        assert run_function(mod, "f", 3.0) == pytest.approx(4.5)
+
+    def test_mixed_int_float_promotion(self):
+        mod = build("double f(int a, double b) { return a + b; }")
+        assert run_function(mod, "f", 1, 0.5) == pytest.approx(1.5)
+
+    def test_cast_double_to_int(self):
+        mod = build("int f(double x) { return (int)x; }")
+        assert run_function(mod, "f", 3.9) == 3
+
+    def test_unary_minus_and_not(self):
+        mod = build("int f(int a) { return -a + !a; }")
+        assert run_function(mod, "f", 5) == -5
+        assert run_function(mod, "f", 0) == 1
+
+    def test_comparison_chain(self):
+        mod = build("int f(int a, int b) { return a < b && b < 10; }")
+        assert run_function(mod, "f", 1, 5) == 1
+        assert run_function(mod, "f", 1, 20) == 0
+
+    def test_compound_assignment(self):
+        mod = build("int f(int a) { a += 3; a *= 2; a -= 1; return a; }")
+        assert run_function(mod, "f", 5) == 15
+
+    def test_increment_decrement(self):
+        mod = build("int f(int a) { a++; ++a; a--; return a; }")
+        assert run_function(mod, "f", 10) == 11
+
+    def test_int32_wraparound(self):
+        mod = build("int f(int a) { return a + 1; }")
+        assert run_function(mod, "f", 2**31 - 1) == -(2**31)
+
+    def test_float32_precision(self):
+        mod = build("float f(float x) { return x + 1.0f; }")
+        out = run_function(mod, "f", 0.1)
+        assert out == pytest.approx(float(np.float32(np.float32(0.1) + np.float32(1.0))))
+
+    def test_global_variable(self):
+        mod = build("int counter = 10;\nint f() { counter += 1; return counter; }")
+        interp = Interpreter(mod)
+        assert interp.call("f") == 11
+        assert interp.call("f") == 12
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        mod = build("int f(int a) { if (a > 0) { return 1; } else { return -1; } }")
+        assert run_function(mod, "f", 5) == 1
+        assert run_function(mod, "f", -5) == -1
+
+    def test_if_without_braces(self):
+        mod = build("int f(int a) { if (a > 0) return 1; return 0; }")
+        assert run_function(mod, "f", 3) == 1
+
+    def test_for_loop_sum(self):
+        mod = build("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }")
+        assert run_function(mod, "f", 10) == 45
+
+    def test_for_loop_le_bound(self):
+        mod = build("int f(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }")
+        assert run_function(mod, "f", 10) == 55
+
+    def test_for_loop_stride(self):
+        mod = build("int f(int n) { int s = 0; for (int i = 0; i < n; i += 2) { s += 1; } return s; }")
+        assert run_function(mod, "f", 10) == 5
+
+    def test_while_loop(self):
+        mod = build("int f(int n) { int i = 0; while (i * i < n) { i += 1; } return i; }")
+        assert run_function(mod, "f", 17) == 5
+
+    def test_break(self):
+        mod = build(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) {"
+            " if (i == 3) { break; } s += 1; } return s; }")
+        assert run_function(mod, "f", 100) == 3
+
+    def test_continue(self):
+        mod = build(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) {"
+            " if (i % 2 == 0) { continue; } s += 1; } return s; }")
+        assert run_function(mod, "f", 10) == 5
+
+    def test_nested_loops(self):
+        mod = build(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) {"
+            " for (int j = 0; j < i; j++) { s += 1; } } return s; }")
+        assert run_function(mod, "f", 5) == 10
+
+    def test_variable_shadowing(self):
+        mod = build(
+            "int f() { int x = 1; { int x = 2; } return x; }"
+            .replace("{ int x = 2; }", "if (1 > 0) { int x = 2; x += 1; }"))
+        assert run_function(mod, "f") == 1
+
+    def test_runaway_loop_guarded(self):
+        mod = build("int f() { int i = 0; while (1 < 2) { i += 1; } return i; }")
+        with pytest.raises(InterpError, match="steps"):
+            Interpreter(mod, max_steps=10_000).call("f")
+
+
+class TestArraysAndCalls:
+    def test_array_read_write(self):
+        mod = build("void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = i * 2.0; } }")
+        buf = np.zeros(5)
+        run_function(mod, "f", buf, 5)
+        assert np.allclose(buf, [0, 2, 4, 6, 8])
+
+    def test_dot_product(self):
+        mod = build(
+            "double dot(double* a, double* b, int n) { double s = 0.0;"
+            " for (int i = 0; i < n; i++) { s += a[i] * b[i]; } return s; }")
+        a, b = np.arange(4.0), np.ones(4)
+        assert run_function(mod, "dot", a, b, 4) == pytest.approx(6.0)
+
+    def test_2d_indexing_via_linearization(self):
+        mod = build(
+            "void t(double* A, double* B, int rows, int cols) {"
+            " for (int i = 0; i < rows; i++) { for (int j = 0; j < cols; j++) {"
+            " B[j * rows + i] = A[i * cols + j]; } } }")
+        A = np.arange(6.0)
+        B = np.zeros(6)
+        run_function(mod, "t", A, B, 2, 3)
+        assert np.allclose(B.reshape(3, 2), A.reshape(2, 3).T)
+
+    def test_out_of_bounds_load_raises(self):
+        mod = build("double f(double* a, int i) { return a[i]; }")
+        with pytest.raises(InterpError, match="out of bounds"):
+            run_function(mod, "f", np.zeros(3), 5)
+
+    def test_math_builtins(self):
+        mod = build("double f(double x) { return sqrt(x) + fabs(-x) + pow(x, 2.0); }")
+        assert run_function(mod, "f", 4.0) == pytest.approx(2 + 4 + 16)
+
+    def test_fmin_fmax(self):
+        mod = build("double f(double a, double b) { return fmax(a, b) - fmin(a, b); }")
+        assert run_function(mod, "f", 3.0, 7.0) == pytest.approx(4.0)
+
+    def test_internal_function_call(self):
+        mod = build(
+            "double sq(double x) { return x * x; }\n"
+            "double f(double x) { return sq(x) + sq(x + 1.0); }")
+        assert run_function(mod, "f", 2.0) == pytest.approx(13.0)
+
+    def test_external_function_via_externals(self):
+        mod = build("double f(double x) { return dgemm_stub(x); }")
+        out = run_function(mod, "f", 2.0, externals={"dgemm_stub": lambda x: x * 100})
+        assert out == pytest.approx(200.0)
+
+    def test_unknown_call_raises(self):
+        mod = build("double f(double x) { return nothere(x); }")
+        with pytest.raises(InterpError, match="unknown function"):
+            run_function(mod, "f", 1.0)
+
+    def test_recursion(self):
+        mod = build("double fact(double n) { if (n < 1.5) { return 1.0; } return n * fact(n - 1.0); }")
+        assert run_function(mod, "fact", 5.0) == pytest.approx(120.0)
+
+
+class TestFrontendFlagSeparation:
+    """Core paper property: which flags change the IR and which do not."""
+
+    OMP_SRC = """
+double total(double* x, int n) {
+    double s = 0.0;
+    #pragma omp parallel for reduction(+: s)
+    for (int i = 0; i < n; i++) { s += x[i]; }
+    return s;
+}
+"""
+    PLAIN_SRC = "double total(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x[i]; } return s; }"
+
+    def test_fopenmp_changes_ir_when_pragma_present(self):
+        with_omp = build(self.OMP_SRC, ["-fopenmp"])
+        without = build(self.OMP_SRC, [])
+        assert with_omp.fingerprint() != without.fingerprint()
+
+    def test_fopenmp_no_effect_without_pragma(self):
+        """Modulo the recorded flags, IR is identical — the paper's OpenMP rule."""
+        with_omp = compile_source_to_ir(self.PLAIN_SRC, fopenmp=True)
+        without = compile_source_to_ir(self.PLAIN_SRC, fopenmp=False)
+        assert with_omp.fingerprint() == without.fingerprint()
+
+    def test_simd_flag_never_affects_ir(self):
+        a = build(self.PLAIN_SRC, ["-msimd=AVX_512", "-O3"])
+        b = build(self.PLAIN_SRC, ["-msimd=SSE4.1", "-O0"])
+        # -m flags are recorded nowhere in the IR: fingerprints agree.
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_define_changes_ir(self):
+        src = "#ifdef FAST\nint f() { return 1; }\n#else\nint f() { return 2; }\n#endif\n"
+        assert build(src, ["-DFAST"]).fingerprint() != build(src, []).fingerprint()
+
+    def test_semantics_preserved_with_omp(self):
+        x = np.arange(8.0)
+        with_omp = build(self.OMP_SRC, ["-fopenmp"])
+        without = build(self.OMP_SRC, [])
+        assert run_function(with_omp, "total", x, 8) == run_function(without, "total", x, 8)
+
+    def test_omp_attrs_present_only_with_flag(self):
+        with_omp = build(self.OMP_SRC, ["-fopenmp"])
+        without = build(self.OMP_SRC, [])
+        loops_with = list(with_omp.function("total").loops())
+        loops_without = list(without.function("total").loops())
+        assert loops_with[0].attrs.get("omp_parallel") is True
+        assert "omp_parallel" not in loops_without[0].attrs
+
+
+class TestIRRendering:
+    def test_fingerprint_stable_across_recompiles(self):
+        src = "int f(int a) { return a + 1; }"
+        assert build(src).fingerprint() == build(src).fingerprint()
+
+    def test_fingerprint_ignores_variable_names(self):
+        a = build("int f(int alpha) { return alpha + 1; }")
+        b = build("int f(int beta) { return beta + 1; }")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_function_names(self):
+        a = build("int f(int a) { return a + 1; }")
+        b = build("int g(int a) { return a + 1; }")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_render_roundtrip_determinism(self):
+        mod = build("double f(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x[i]; } return s; }")
+        assert mod.render() == mod.render()

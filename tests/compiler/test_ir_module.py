@@ -1,0 +1,95 @@
+"""IR data structures: rendering, fingerprinting, walking, type helpers."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.frontend import compile_source_to_ir
+
+
+class TestTypes:
+    def test_pointer_roundtrip(self):
+        assert ir.pointee(ir.pointer_to("f64")) == "f64"
+
+    def test_pointee_of_scalar_raises(self):
+        with pytest.raises(ValueError, match="not a pointer"):
+            ir.pointee("f64")
+
+    def test_type_bits(self):
+        assert ir.type_bits("f32") == 32
+        assert ir.type_bits("i64") == 64
+        assert ir.type_bits("ptr.f64") == 64  # pointers are 64-bit
+
+    def test_is_float(self):
+        assert ir.is_float_type("f32") and ir.is_float_type("f64")
+        assert not ir.is_float_type("i32")
+
+
+class TestModuleStructure:
+    SRC = """
+double axpy(double* x, double* y, int n, double a) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (x[i] > 0.0) { y[i] = a * x[i] + y[i]; }
+        acc += y[i];
+    }
+    return acc;
+}
+int helper(int v) { return v + 1; }
+"""
+
+    def test_function_lookup(self):
+        mod = compile_source_to_ir(self.SRC)
+        assert mod.function("axpy").ret_type == "f64"
+        assert mod.function("helper").ret_type == "i32"
+        with pytest.raises(KeyError, match="no function"):
+            mod.function("missing")
+
+    def test_walk_covers_nested_regions(self):
+        mod = compile_source_to_ir(self.SRC)
+        ops = list(mod.function("axpy").walk())
+        assert any(isinstance(op, ir.ForOp) for op in ops)
+        assert any(isinstance(op, ir.IfOp) for op in ops)
+        assert any(isinstance(op, ir.LoadOp) for op in ops)
+        assert any(isinstance(op, ir.StoreOp) for op in ops)
+
+    def test_loops_iterator(self):
+        mod = compile_source_to_ir(self.SRC)
+        loops = list(mod.function("axpy").loops())
+        assert len(loops) == 1
+        assert loops[0].attrs["bound_src"] == "n"
+
+    def test_render_contains_structure(self):
+        text = compile_source_to_ir(self.SRC).render()
+        assert "func @axpy" in text
+        assert "for %" in text
+        assert "if " in text
+        assert text.count("func @") == 2
+
+    def test_fingerprint_sensitive_to_body(self):
+        a = compile_source_to_ir("int f() { return 1; }")
+        b = compile_source_to_ir("int f() { return 2; }")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_sensitive_to_frontend_flags(self):
+        a = compile_source_to_ir("int f() { return 1; }", frontend_flags=("-DA",))
+        b = compile_source_to_ir("int f() { return 1; }", frontend_flags=("-DB",))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_globals_render(self):
+        mod = compile_source_to_ir("int counter = 5;\nint get() { return counter; }")
+        assert "global @counter : i32 = 5" in mod.render()
+
+    def test_omp_attrs_in_canonical_form(self):
+        src = ("void f(double* x, int n) {\n#pragma omp parallel for\n"
+               "for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        with_omp = compile_source_to_ir(src, fopenmp=True)
+        assert "omp_parallel=True" in with_omp.render()
+
+    def test_nonsemantic_attrs_not_rendered(self):
+        """Vectorization annotations are deployment state, not IR identity."""
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }"
+        mod = compile_source_to_ir(src)
+        before = mod.fingerprint()
+        from repro.compiler import get_target, vectorize
+        vectorize(mod, get_target("AVX_512"))
+        assert mod.fingerprint() == before

@@ -1,0 +1,297 @@
+"""Passes (vectorization legality, OpenMP detection, folding/DCE) and lowering."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Compiler, get_target, run_function
+from repro.compiler.lowering import MachineInstr, MLoop, lower_module
+from repro.compiler.parser import parse
+from repro.compiler.passes import (
+    analyze_vectorizable,
+    detect_openmp,
+    detect_openmp_ir,
+    eliminate_dead_code,
+    fold_constants,
+    loop_summary,
+    run_optimization_pipeline,
+    vectorize,
+)
+
+
+def build(src, flags=()):
+    return Compiler().compile_to_ir(src, list(flags), "test.c").module
+
+
+def first_loop(mod, fname):
+    return next(iter(mod.function(fname).loops()))
+
+
+class TestOpenMPDetection:
+    def test_ast_detection_positive(self):
+        unit = parse("#pragma omp parallel for\nvoid f(int n) { for (int i = 0; i < n; i++) { } }"
+                     .replace("#pragma omp parallel for\nvoid f", "void f")
+                     )
+        # pragma inside body
+        unit = parse("void f(double* a, int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) { a[i] = 0.0; } }")
+        assert detect_openmp(unit)
+
+    def test_ast_detection_negative(self):
+        unit = parse("void f(double* a, int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }")
+        assert not detect_openmp(unit)
+
+    def test_non_omp_pragma_ignored(self):
+        unit = parse("void f(double* a, int n) {\n#pragma unroll\nfor (int i = 0; i < n; i++) { a[i] = 0.0; } }")
+        assert not detect_openmp(unit)
+
+    def test_ir_detection(self):
+        src = "void f(double* a, int n) {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) { a[i] = 0.0; } }"
+        assert detect_openmp_ir(build(src, ["-fopenmp"]))
+        assert not detect_openmp_ir(build(src, []))
+
+
+VEC_SRC = """
+void scale(double* x, double* y, int n, double a) {
+    for (int i = 0; i < n; i++) { y[i] = a * x[i]; }
+}
+"""
+
+
+class TestVectorizationLegality:
+    def test_simple_map_is_legal(self):
+        report = analyze_vectorizable(first_loop(build(VEC_SRC), "scale"))
+        assert report.legal and not report.has_gather
+        assert report.elem_bits == 64
+
+    def test_reduction_is_legal(self):
+        src = ("double s(double* x, int n) { double acc = 0.0;"
+               " for (int i = 0; i < n; i++) { acc += x[i]; } return acc; }")
+        report = analyze_vectorizable(first_loop(build(src), "s"))
+        assert report.legal
+        assert report.reductions == ["acc"]
+
+    def test_min_max_reduction_legal(self):
+        src = ("double m(double* x, int n) { double best = 0.0;"
+               " for (int i = 0; i < n; i++) { best = fmax(best, x[i]); } return best; }")
+        report = analyze_vectorizable(first_loop(build(src), "m"))
+        assert report.legal and report.reductions == ["best"]
+
+    def test_loop_carried_dependence_blocks(self):
+        src = ("double f(double* x, int n) { double prev = 0.0;"
+               " for (int i = 0; i < n; i++) { double cur = x[i] + prev * 0.5; prev = cur - x[i]; }"
+               " return prev; }")
+        report = analyze_vectorizable(first_loop(build(src), "f"))
+        assert not report.legal
+        assert "prev" in report.reason
+
+    def test_private_body_locals_allowed(self):
+        src = ("void f(double* x, double* y, int n) { for (int i = 0; i < n; i++) {"
+               " double dx = x[i] * 2.0; double dy = dx + 1.0; y[i] = dy * dx; } }")
+        assert analyze_vectorizable(first_loop(build(src), "f")).legal
+
+    def test_non_unit_stride_blocks(self):
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i += 2) { x[i] = 0.0; } }"
+        report = analyze_vectorizable(first_loop(build(src), "f"))
+        assert not report.legal and "step" in report.reason
+
+    def test_outer_loop_not_vectorizable_inner_is(self):
+        src = ("void mm(double* a, int n) { for (int i = 0; i < n; i++) {"
+               " for (int j = 0; j < n; j++) { a[i * n + j] = 1.0; } } }")
+        loops = list(build(src, []).function("mm").loops())
+        outer = [l for l in loops if l.var == "i"][0]
+        inner = [l for l in loops if l.var == "j"][0]
+        assert not analyze_vectorizable(outer).legal
+        assert analyze_vectorizable(inner).legal
+
+    def test_gather_load_allowed_but_flagged(self):
+        src = ("void g(double* x, int* idx, double* y, int n) {"
+               " for (int i = 0; i < n; i++) { y[i] = x[idx[i]]; } }")
+        report = analyze_vectorizable(first_loop(build(src), "g"))
+        assert report.legal and report.has_gather
+
+    def test_scatter_store_blocks(self):
+        src = ("void s(double* x, int* idx, double* y, int n) {"
+               " for (int i = 0; i < n; i++) { y[idx[i]] = x[i]; } }")
+        report = analyze_vectorizable(first_loop(build(src), "s"))
+        assert not report.legal and "scatter" in report.reason
+
+    def test_affine_shifted_index_ok(self):
+        src = ("void f(double* x, double* y, int n) {"
+               " for (int i = 0; i < n; i++) { y[i] = x[i + 3] * 2.0; } }")
+        report = analyze_vectorizable(first_loop(build(src), "f"))
+        assert report.legal and not report.has_gather
+
+    def test_strided_2d_index_ok(self):
+        src = ("void f(double* x, int n, int lda, int row) {"
+               " for (int i = 0; i < n; i++) { x[row * lda + i] = 0.0; } }")
+        assert analyze_vectorizable(first_loop(build(src), "f")).legal
+
+    def test_early_exit_blocks(self):
+        src = ("int find(double* x, int n) { for (int i = 0; i < n; i++) {"
+               " if (x[i] > 9.0) { break; } } return 0; }")
+        report = analyze_vectorizable(first_loop(build(src), "find"))
+        assert not report.legal and "early exit" in report.reason
+
+    def test_impure_call_blocks(self):
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i++) { log_progress(i); } }"
+        report = analyze_vectorizable(first_loop(build(src), "f"))
+        assert not report.legal and "non-pure" in report.reason
+
+    def test_pure_math_call_allowed(self):
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = sqrt(x[i]); } }"
+        assert analyze_vectorizable(first_loop(build(src), "f")).legal
+
+    def test_float32_elem_bits(self):
+        src = "void f(float* x, int n) { for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } }"
+        report = analyze_vectorizable(first_loop(build(src), "f"))
+        assert report.legal and report.elem_bits == 32
+
+
+class TestVectorizePass:
+    def test_lane_counts_by_target(self):
+        for name, lanes in [("SSE4.1", 2), ("AVX_256", 4), ("AVX_512", 8), ("None", 1)]:
+            mod = build(VEC_SRC)
+            vectorize(mod, get_target(name))
+            assert first_loop(mod, "scale").attrs["vector_width"] == lanes, name
+
+    def test_f32_doubles_lanes(self):
+        src = "void f(float* x, int n) { for (int i = 0; i < n; i++) { x[i] = x[i] * 2.0f; } }"
+        mod = build(src)
+        vectorize(mod, get_target("AVX_512"))
+        assert first_loop(mod, "f").attrs["vector_width"] == 16
+
+    def test_vectorize_returns_count(self):
+        mod = build(VEC_SRC)
+        assert vectorize(mod, get_target("AVX_512")) == 1
+        mod2 = build(VEC_SRC)
+        assert vectorize(mod2, get_target("None")) == 0
+
+    def test_illegal_loop_gets_width_one(self):
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i += 2) { x[i] = 0.0; } }"
+        mod = build(src)
+        vectorize(mod, get_target("AVX_512"))
+        loop = first_loop(mod, "f")
+        assert loop.attrs["vector_width"] == 1
+        assert loop.attrs["novector_reason"]
+
+    def test_vectorization_preserves_semantics(self):
+        src = ("double k(double* x, double* y, int n) { double acc = 0.0;"
+               " for (int i = 0; i < n; i++) { double r = x[i] * x[i] + 1.0;"
+               " y[i] = sqrt(r); acc += y[i]; } return acc; }")
+        x = np.linspace(0.5, 2.0, 16)
+        y1, y2 = np.zeros(16), np.zeros(16)
+        scalar_mod = build(src)
+        vec_mod = build(src)
+        vectorize(vec_mod, get_target("AVX_512"))
+        r1 = run_function(scalar_mod, "k", x, y1, 16)
+        r2 = run_function(vec_mod, "k", x, y2, 16)
+        assert r1 == pytest.approx(r2)
+        assert np.allclose(y1, y2)
+
+
+class TestFoldingAndDCE:
+    def test_constant_folding(self):
+        mod = build("int f() { return 2 * 3 + 4; }")
+        folds = fold_constants(mod)
+        assert folds >= 2
+
+    def test_folding_preserves_semantics(self):
+        src = "int f(int a) { int b = 2 * 8; return a + b - 6 * 1; }"
+        mod = build(src)
+        before = run_function(mod, "f", 5)
+        run_optimization_pipeline(mod, 2)
+        assert run_function(mod, "f", 5) == before == 15
+
+    def test_dce_removes_unused_temp(self):
+        src = "int f(int a) { int unused = a * 99; return a; }"
+        mod = build(src)
+        # 'unused' is a named var (kept); its feeding temp dies after folding.
+        total_ops = sum(1 for _ in mod.function("f").walk())
+        run_optimization_pipeline(mod, 2)
+        assert sum(1 for _ in mod.function("f").walk()) <= total_ops
+
+    def test_dce_keeps_stores(self):
+        src = "void f(double* x) { x[0] = 1.0; }"
+        mod = build(src)
+        eliminate_dead_code(mod)
+        buf = np.zeros(1)
+        run_function(mod, "f", buf)
+        assert buf[0] == 1.0
+
+    def test_o0_is_identity(self):
+        mod = build("int f() { return 2 * 3; }")
+        before = mod.render()
+        run_optimization_pipeline(mod, 0)
+        assert mod.render() == before
+
+    def test_folding_in_loop_body(self):
+        src = "void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = 2.0 * 4.0; } }"
+        mod = build(src)
+        run_optimization_pipeline(mod, 2)
+        buf = np.zeros(3)
+        run_function(mod, "f", buf, 3)
+        assert np.allclose(buf, 8.0)
+
+
+class TestLowering:
+    def test_machine_module_has_functions(self):
+        mod = build(VEC_SRC)
+        mm = lower_module(mod, get_target("AVX_512"))
+        assert "scale" in mm.functions
+        assert mm.function("scale").instruction_count() > 0
+
+    def test_vector_suffix_in_opcodes(self):
+        mod = build(VEC_SRC)
+        mm = lower_module(mod, get_target("AVX_512"))
+        loop = [i for i in mm.function("scale").body if isinstance(i, MLoop)][0]
+        opcodes = [i.opcode for i in loop.body if isinstance(i, MachineInstr)]
+        assert any("zmm" in op for op in opcodes)
+        assert loop.vector_width == 8
+
+    def test_scalar_target_no_vector_ops(self):
+        mod = build(VEC_SRC)
+        mm = lower_module(mod, get_target("None"))
+        loop = [i for i in mm.function("scale").body if isinstance(i, MLoop)][0]
+        assert loop.vector_width == 1
+
+    def test_fma_fusion_on_capable_targets(self):
+        src = "void f(double* x, double* y, int n, double a) { for (int i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; } }"
+        mod_fma = build(src)
+        mm_fma = lower_module(mod_fma, get_target("AVX2_256"))
+        loop = [i for i in mm_fma.function("f").body if isinstance(i, MLoop)][0]
+        assert any(isinstance(i, MachineInstr) and i.opcode.startswith("fma") for i in loop.body)
+        mod_plain = build(src)
+        mm_plain = lower_module(mod_plain, get_target("AVX_256"))
+        loop_p = [i for i in mm_plain.function("f").body if isinstance(i, MLoop)][0]
+        assert not any(isinstance(i, MachineInstr) and i.opcode.startswith("fma")
+                       for i in loop_p.body)
+
+    def test_loop_metadata_propagates(self):
+        src = ("void f(double* x, int n) {\n#pragma omp parallel for\n"
+               "for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        mod = build(src, ["-fopenmp"])
+        mm = lower_module(mod, get_target("AVX_512"))
+        loop = [i for i in mm.function("f").body if isinstance(i, MLoop)][0]
+        assert loop.parallel
+        assert loop.bound_src == "n"
+
+    def test_const_trip_count(self):
+        src = "void f(double* x) { for (int i = 0; i < 128; i++) { x[0] = x[0] + 1.0; } }"
+        mod = build(src)
+        mm = lower_module(mod, get_target("None"))
+        loop = [i for i in mm.function("f").body if isinstance(i, MLoop)][0]
+        assert loop.const_trip == 128
+
+    def test_disable_vectorization(self):
+        mod = build(VEC_SRC)
+        mm = lower_module(mod, get_target("AVX_512"), apply_vectorization=False)
+        loop = [i for i in mm.function("scale").body if isinstance(i, MLoop)][0]
+        assert loop.vector_width == 1
+
+    def test_loop_summary(self):
+        mod = build(VEC_SRC)
+        vectorize(mod, get_target("AVX_256"))
+        summary = loop_summary(mod)
+        assert len(summary) == 1
+        assert summary[0]["function"] == "scale"
+        assert summary[0]["vector_width"] == 4
+        assert summary[0]["bound_src"] == "n"

@@ -1,0 +1,273 @@
+"""Unit tests for the C preprocessor substrate."""
+
+import pytest
+
+from repro.compiler.preprocessor import Preprocessor, PreprocessorError
+from repro.util.hashing import content_digest
+
+
+def pp(source, defines=None, headers=None):
+    resolver = (lambda name, system: (headers or {}).get(name))
+    return Preprocessor(defines or {}, resolver).preprocess(source)
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = pp("#ifdef FOO\nint a;\n#endif\n", {"FOO": None})
+        assert "int a;" in out.text
+
+    def test_ifdef_not_taken(self):
+        out = pp("#ifdef FOO\nint a;\n#endif\n")
+        assert "int a;" not in out.text
+
+    def test_ifndef(self):
+        out = pp("#ifndef FOO\nint a;\n#endif\n")
+        assert "int a;" in out.text
+
+    def test_else_branch(self):
+        out = pp("#ifdef FOO\nint a;\n#else\nint b;\n#endif\n")
+        assert "int b;" in out.text
+        assert "int a;" not in out.text
+
+    def test_elif_chain(self):
+        src = "#if defined(A)\nint a;\n#elif defined(B)\nint b;\n#else\nint c;\n#endif\n"
+        assert "int b;" in pp(src, {"B": None}).text
+        assert "int a;" in pp(src, {"A": None}).text
+        assert "int c;" in pp(src).text
+
+    def test_elif_after_taken_branch_skipped(self):
+        src = "#if 1\nint a;\n#elif 1\nint b;\n#endif\n"
+        out = pp(src)
+        assert "int a;" in out.text
+        assert "int b;" not in out.text
+
+    def test_nested_conditionals(self):
+        src = ("#ifdef OUTER\n#ifdef INNER\nint both;\n#else\nint outer_only;\n"
+               "#endif\n#endif\n")
+        assert "int both;" in pp(src, {"OUTER": None, "INNER": None}).text
+        assert "int outer_only;" in pp(src, {"OUTER": None}).text
+        assert pp(src).text == ""
+
+    def test_dead_branch_suppresses_directives(self):
+        src = "#ifdef FOO\n#define BAR 1\n#endif\n#ifdef BAR\nint b;\n#endif\n"
+        assert "int b;" not in pp(src).text
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError, match="unterminated"):
+            pp("#ifdef FOO\nint a;\n")
+
+    def test_else_without_if_raises(self):
+        with pytest.raises(PreprocessorError, match="without matching"):
+            pp("#else\n")
+
+    def test_duplicate_else_raises(self):
+        with pytest.raises(PreprocessorError, match="duplicate #else"):
+            pp("#if 1\n#else\n#else\n#endif\n")
+
+    def test_elif_after_else_raises(self):
+        with pytest.raises(PreprocessorError, match="#elif after #else"):
+            pp("#if 0\n#else\n#elif 1\n#endif\n")
+
+
+class TestIfExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1", True), ("0", False), ("2 + 3 * 4 == 14", True),
+        ("(2 + 3) * 4 == 20", True), ("10 / 3 == 3", True),
+        ("10 % 3 == 1", True), ("!0", True), ("!5", False),
+        ("1 && 0", False), ("1 || 0", True), ("-3 < 0", True),
+        ("5 >= 5", True), ("3 != 4", True),
+    ])
+    def test_arith(self, expr, expected):
+        out = pp(f"#if {expr}\nyes\n#endif\n")
+        assert ("yes" in out.text) == expected
+
+    def test_defined_function_form(self):
+        out = pp("#if defined(FOO) && FOO >= 2\nyes\n#endif\n", {"FOO": "3"})
+        assert "yes" in out.text
+
+    def test_defined_plain_form(self):
+        out = pp("#if defined FOO\nyes\n#endif\n", {"FOO": None})
+        assert "yes" in out.text
+
+    def test_macro_value_in_expression(self):
+        out = pp("#define VER 12\n#if VER >= 10\nyes\n#endif\n")
+        assert "yes" in out.text
+
+    def test_unknown_identifier_is_zero(self):
+        out = pp("#if UNKNOWN\nyes\n#else\nno\n#endif\n")
+        assert "no" in out.text
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#if 1 / 0\n#endif\n")
+
+
+class TestMacros:
+    def test_object_macro_expansion(self):
+        out = pp("#define N 16\nint a[N];\n")
+        assert "int a[16];" in out.text
+
+    def test_define_without_value_is_one(self):
+        out = pp("#define FLAG\n#if FLAG\nyes\n#endif\n")
+        assert "yes" in out.text
+
+    def test_undef(self):
+        out = pp("#define FOO 1\n#undef FOO\n#ifdef FOO\nyes\n#endif\n")
+        assert "yes" not in out.text
+
+    def test_function_macro(self):
+        out = pp("#define SQR(x) ((x) * (x))\nint a = SQR(3);\n")
+        assert "int a = ((3) * (3));" in out.text
+
+    def test_function_macro_two_args(self):
+        out = pp("#define ADD(a, b) (a + b)\nint v = ADD(1, 2);\n")
+        assert "int v = (1 + 2);" in out.text
+
+    def test_nested_macro_expansion(self):
+        out = pp("#define A B\n#define B 42\nint x = A;\n")
+        assert "int x = 42;" in out.text
+
+    def test_self_referential_macro_terminates(self):
+        out = pp("#define X X\nint v = X;\n")
+        assert "int v = X;" in out.text
+
+    def test_macro_redefinition_uses_latest(self):
+        out = pp("#define N 1\n#define N 2\nint a = N;\n")
+        assert "int a = 2;" in out.text
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError, match="expects"):
+            pp("#define F(a, b) a\nint x = F(1);\n")
+
+    def test_dash_d_value(self):
+        out = pp("int s = GMX_SIMD;\n", {"GMX_SIMD": "4"})
+        assert "int s = 4;" in out.text
+
+
+class TestIncludes:
+    def test_quoted_include(self):
+        out = pp('#include "config.h"\nint a;\n', headers={"config.h": "#define N 8\n"})
+        assert out.includes == ["config.h"]
+        assert "int a;" in out.text
+
+    def test_include_defines_visible_after(self):
+        out = pp('#include "config.h"\nint a[N];\n', headers={"config.h": "#define N 8\n"})
+        assert "int a[8];" in out.text
+
+    def test_system_include(self):
+        out = pp("#include <math.h>\n", headers={"math.h": "double sqrt(double x);\n"})
+        assert "double sqrt" in out.text
+
+    def test_missing_header_raises(self):
+        with pytest.raises(PreprocessorError, match="not found"):
+            pp('#include "nope.h"\n', headers={})
+
+    def test_include_depth_limit(self):
+        with pytest.raises(PreprocessorError, match="depth"):
+            pp('#include "a.h"\n', headers={"a.h": '#include "a.h"\n'})
+
+    def test_conditional_include(self):
+        headers = {"mkl.h": "int mkl;\n", "openblas.h": "int openblas;\n"}
+        src = ('#ifdef HAVE_MKL\n#include "mkl.h"\n#else\n'
+               '#include "openblas.h"\n#endif\n')
+        assert "int mkl;" in pp(src, {"HAVE_MKL": None}, headers).text
+        assert "int openblas;" in pp(src, {}, headers).text
+
+
+class TestPragmasAndCanonicalization:
+    def test_pragma_preserved(self):
+        out = pp("#pragma omp parallel for\nfor_loop_here\n")
+        assert "#pragma omp parallel for" in out.text
+        assert out.pragmas == ["omp parallel for"]
+        assert out.has_openmp_pragma
+
+    def test_non_omp_pragma(self):
+        out = pp("#pragma once\n")
+        assert out.pragmas == ["once"]
+        assert not out.has_openmp_pragma
+
+    def test_pragma_in_dead_branch_dropped(self):
+        out = pp("#if 0\n#pragma omp simd\n#endif\n")
+        assert out.pragmas == []
+
+    def test_line_comments_stripped(self):
+        out = pp("int a; // trailing\n")
+        assert out.text == "int a;\n"
+
+    def test_block_comments_stripped(self):
+        out = pp("int /* comment */ a;\n")
+        assert "int  a;" in out.text
+
+    def test_multiline_block_comment(self):
+        out = pp("int a;\n/* start\nmiddle\nend */\nint b;\n")
+        assert "int a;" in out.text and "int b;" in out.text
+        assert "middle" not in out.text
+
+    def test_comment_inside_string_preserved(self):
+        out = pp('char* s = "// not a comment";\n')
+        assert "// not a comment" in out.text
+
+    def test_blank_runs_collapse(self):
+        out = pp("int a;\n\n\n\nint b;\n")
+        assert out.text == "int a;\n\nint b;\n"
+
+    def test_whitespace_insensitive_hashing(self):
+        a = pp("int a;   \nint b;\n").text
+        b = pp("int a;\nint b;\n").text
+        assert content_digest(a) == content_digest(b)
+
+    def test_line_continuation(self):
+        out = pp("#define LONG 1 + \\\n 2\nint x = LONG;\n")
+        assert "int x = 1 +" in out.text and "2;" in out.text
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError, match="unsupported platform"):
+            pp("#error unsupported platform\n")
+
+    def test_error_in_dead_branch_ignored(self):
+        out = pp("#if 0\n#error nope\n#endif\nint a;\n")
+        assert "int a;" in out.text
+
+    def test_defines_used_tracking(self):
+        out = pp("#ifdef GMX_GPU\nint g;\n#endif\n#define N 4\nint a[N];\n")
+        assert "GMX_GPU" in out.defines_used
+        assert "N" in out.defines_used
+
+
+class TestSpecializationScenario:
+    """The Figure 3 scenario: BLAS backend selected by compile definitions."""
+
+    SRC = """
+#if defined(HAVE_MKL)
+void transpose(double* A, double* B, int rows, int cols) { mkl_domatcopy(A, B); }
+#elif defined(HAVE_OPENBLAS)
+void transpose(double* A, double* B, int rows, int cols) { cblas_domatcopy(A, B); }
+#else
+void transpose(double* A, double* B, int rows, int cols) {
+    for (int i = 0; i < rows; i++) {
+        for (int j = 0; j < cols; j++) { B[j * rows + i] = A[i * cols + j]; }
+    }
+}
+#endif
+"""
+
+    def test_mkl_selected(self):
+        assert "mkl_domatcopy" in pp(self.SRC, {"HAVE_MKL": None}).text
+
+    def test_openblas_selected(self):
+        out = pp(self.SRC, {"HAVE_OPENBLAS": None}).text
+        assert "cblas_domatcopy" in out and "mkl_domatcopy" not in out
+
+    def test_fallback_manual_loop(self):
+        out = pp(self.SRC).text
+        assert "for (int i" in out
+
+    def test_different_backends_hash_differently(self):
+        mkl = content_digest(pp(self.SRC, {"HAVE_MKL": None}).text)
+        manual = content_digest(pp(self.SRC).text)
+        assert mkl != manual
+
+    def test_irrelevant_define_does_not_change_hash(self):
+        base = content_digest(pp(self.SRC).text)
+        extra = content_digest(pp(self.SRC, {"UNRELATED_FLAG": "1"}).text)
+        assert base == extra

@@ -1,0 +1,379 @@
+"""OCI container substrate: store, images, registry, builds, runtimes, hooks."""
+
+import pytest
+
+from repro.containers import (
+    MPI_LIB_PATH,
+    BlobNotFound,
+    BlobStore,
+    Dockerfile,
+    Image,
+    ImageBuilder,
+    ImageConfig,
+    ImageError,
+    ImageIndex,
+    Layer,
+    Platform,
+    Registry,
+    RegistryError,
+    apptainer_runtime,
+    docker_runtime,
+    format_lib,
+    parse_lib,
+    runtime_for,
+    sarus_runtime,
+)
+from repro.containers.runtime import RuntimeError_
+
+
+class FakeHost:
+    def __init__(self, name="host", architecture="amd64", mpi=None, gpu=None,
+                 fabric_provider=None):
+        self.name = name
+        self.architecture = architecture
+        self.mpi = mpi
+        self.gpu = gpu
+        self.fabric_provider = fabric_provider
+
+
+def simple_image(store, arch="amd64", files=None, annotations=None):
+    layer = Layer(files or {"/app/bin": "binary"}, comment="app")
+    config = ImageConfig(platform=Platform(arch))
+    return Image.build([layer], config, store, annotations or {})
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self):
+        store = BlobStore()
+        digest = store.put(b"hello")
+        assert store.get(digest) == b"hello"
+
+    def test_put_is_idempotent(self):
+        store = BlobStore()
+        assert store.put(b"x") == store.put(b"x")
+        assert len(store) == 1
+
+    def test_string_and_bytes_equivalent(self):
+        store = BlobStore()
+        assert store.put("abc") == store.put(b"abc")
+
+    def test_missing_blob_raises(self):
+        with pytest.raises(BlobNotFound):
+            BlobStore().get("sha256:" + "0" * 64)
+
+    def test_malformed_digest_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            BlobStore().get("not-a-digest")
+
+    def test_copy_blob(self):
+        src, dst = BlobStore(), BlobStore()
+        digest = src.put(b"data")
+        src.copy_blob(digest, dst)
+        assert dst.get(digest) == b"data"
+
+    def test_total_bytes(self):
+        store = BlobStore()
+        store.put(b"1234")
+        store.put(b"56")
+        assert store.total_bytes == 6
+
+
+class TestImageModel:
+    def test_build_and_load_roundtrip(self):
+        store = BlobStore()
+        img = simple_image(store)
+        loaded = Image.load(store.put(img.manifest.serialize()), store)
+        assert loaded.rootfs() == {"/app/bin": "binary"}
+        assert loaded.platform.architecture == "amd64"
+        assert loaded.digest == img.digest
+
+    def test_layer_order_matters(self):
+        store = BlobStore()
+        l1 = Layer({"/f": "one"})
+        l2 = Layer({"/f": "two"})
+        img = Image.build([l1, l2], ImageConfig(platform=Platform("amd64")), store)
+        assert img.rootfs()["/f"] == "two"
+
+    def test_identical_layers_share_blobs(self):
+        store = BlobStore()
+        shared = Layer({"/lib/common": "x" * 100})
+        Image.build([shared, Layer({"/a": "1"})], ImageConfig(platform=Platform("amd64")), store)
+        blobs_before = len(store)
+        Image.build([shared, Layer({"/b": "2"})], ImageConfig(platform=Platform("amd64")), store)
+        # Only the new unique layer + manifest are added (config is shared too).
+        assert len(store) == blobs_before + 2
+
+    def test_any_change_changes_digest(self):
+        store = BlobStore()
+        a = simple_image(store, files={"/f": "v1"})
+        b = simple_image(store, files={"/f": "v2"})
+        assert a.digest != b.digest
+
+    def test_annotation_change_changes_digest(self):
+        store = BlobStore()
+        a = simple_image(store, annotations={"k": "1"})
+        b = simple_image(store, annotations={"k": "2"})
+        assert a.digest != b.digest
+
+    def test_derive_appends_layers_and_links_parent(self):
+        store = BlobStore()
+        base = simple_image(store)
+        child = base.derive([Layer({"/etc/specialized": "yes"})], store)
+        assert child.rootfs()["/app/bin"] == "binary"
+        assert child.rootfs()["/etc/specialized"] == "yes"
+        assert child.manifest.annotations["org.xaas.source-image"] == base.digest
+        assert child.digest != base.digest
+
+    def test_derive_reuses_parent_layer_blobs(self):
+        store = BlobStore()
+        base = simple_image(store)
+        child = base.derive([Layer({"/x": "y"})], store)
+        assert child.manifest.layer_digests[0] == base.manifest.layer_digests[0]
+
+    def test_total_size(self):
+        store = BlobStore()
+        img = simple_image(store, files={"/a": "1234", "/b": "56"})
+        assert img.total_size == 6
+
+
+class TestImageIndex:
+    def test_select_by_platform(self):
+        store = BlobStore()
+        amd = simple_image(store, "amd64")
+        arm = simple_image(store, "arm64", files={"/app/bin": "arm binary"})
+        index = ImageIndex([(Platform("amd64"), amd.digest), (Platform("arm64"), arm.digest)])
+        assert index.select(Platform("amd64")) == amd.digest
+        assert index.select(Platform("arm64")) == arm.digest
+
+    def test_missing_platform_raises(self):
+        index = ImageIndex([])
+        with pytest.raises(ImageError, match="no manifest"):
+            index.select(Platform("riscv"))
+
+    def test_ir_architecture_entry(self):
+        """Multi-arch-IR index: IR platforms coexist with binary platforms."""
+        store = BlobStore()
+        binary = simple_image(store, "amd64")
+        ir = simple_image(store, "llvm-ir", files={"/ir/kernel.bc": "ir-module"})
+        index = ImageIndex([
+            (Platform("amd64"), binary.digest),
+            (Platform("llvm-ir", variant="x86_64"), ir.digest),
+        ])
+        assert index.select(Platform("llvm-ir", variant="x86_64")) == ir.digest
+
+    def test_serialize_roundtrip(self):
+        store = BlobStore()
+        img = simple_image(store)
+        index = ImageIndex([(Platform("amd64"), img.digest)], {"org.xaas.app": "gromacs"})
+        back = ImageIndex.deserialize(index.serialize())
+        assert back.entries == index.entries
+        assert back.annotations == index.annotations
+
+
+class TestRegistry:
+    def test_push_pull_roundtrip(self):
+        local = BlobStore()
+        registry = Registry()
+        img = simple_image(local)
+        registry.push("spcl/gromacs", "latest", img, source_store=local)
+        pulled = registry.pull("spcl/gromacs", "latest")
+        assert pulled.digest == img.digest
+        assert pulled.rootfs() == img.rootfs()
+
+    def test_missing_tag_raises(self):
+        with pytest.raises(RegistryError, match="not found"):
+            Registry().pull("nope", "latest")
+
+    def test_tags_listing(self):
+        registry = Registry()
+        local = BlobStore()
+        registry.push("app", "v1", simple_image(local), source_store=local)
+        registry.push("app", "v2", simple_image(local, files={"/f": "2"}), source_store=local)
+        assert registry.tags("app") == ["v1", "v2"]
+
+    def test_annotations_without_pull(self):
+        registry = Registry()
+        local = BlobStore()
+        img = simple_image(local, annotations={"org.xaas.specialization": '{"simd": "AVX_512"}'})
+        registry.push("app", "avx512", img, source_store=local)
+        notes = registry.annotations("app", "avx512")
+        assert "AVX_512" in notes["org.xaas.specialization"]
+        assert registry.pull_count.get("app:avx512", 0) == 0
+
+    def test_index_push_and_platform_pull(self):
+        registry = Registry()
+        local = BlobStore()
+        amd = simple_image(local, "amd64")
+        arm = simple_image(local, "arm64", files={"/a": "arm"})
+        registry.push("app", "amd64-only", amd, source_store=local)
+        registry.push("app", "arm64-only", arm, source_store=local)
+        index = ImageIndex([(Platform("amd64"), amd.digest), (Platform("arm64"), arm.digest)])
+        registry.push_index("app", "latest", index)
+        pulled = registry.pull("app", "latest", Platform("arm64"))
+        assert pulled.platform.architecture == "arm64"
+
+    def test_index_pull_without_platform_raises(self):
+        registry = Registry()
+        local = BlobStore()
+        img = simple_image(local)
+        registry.push("app", "x", img, source_store=local)
+        registry.push_index("app", "latest", ImageIndex([(Platform("amd64"), img.digest)]))
+        with pytest.raises(RegistryError, match="specify a platform"):
+            registry.pull("app", "latest")
+
+    def test_index_missing_manifest_rejected(self):
+        registry = Registry()
+        index = ImageIndex([(Platform("amd64"), "sha256:" + "a" * 64)])
+        with pytest.raises(RegistryError, match="missing manifest"):
+            registry.push_index("app", "latest", index)
+
+    def test_transfer_size_accounts_for_cache(self):
+        registry = Registry()
+        local = BlobStore()
+        base = simple_image(local, files={"/big": "x" * 1000})
+        child = base.derive([Layer({"/small": "y"})], local)
+        registry.push("app", "base", base, source_store=local)
+        registry.push("app", "child", child, source_store=local)
+        full = registry.transfer_size("app", "child")
+        cached = registry.transfer_size("app", "child",
+                                        set(base.manifest.layer_digests))
+        assert cached < full
+
+
+class TestDockerfileBuilder:
+    def test_from_scratch_copy_env(self):
+        store = BlobStore()
+        df = (Dockerfile().from_scratch(Platform("amd64"))
+              .copy({"main.c": "int main;"}, dest="/src")
+              .env(CC="clang"))
+        img = ImageBuilder(store).build(df)
+        assert img.rootfs()["/src/main.c"] == "int main;"
+        assert img.config.env["CC"] == "clang"
+
+    def test_run_step_creates_layer(self):
+        store = BlobStore()
+
+        def compile_step(fs):
+            fs["/out/app"] = "compiled:" + fs["/src/main.c"]
+
+        df = (Dockerfile().from_scratch(Platform("amd64"))
+              .copy({"main.c": "int main;"}, dest="/src")
+              .run(compile_step, comment="compile"))
+        img = ImageBuilder(store).build(df)
+        assert img.rootfs()["/out/app"] == "compiled:int main;"
+        assert len(img.layers) == 2
+
+    def test_run_step_no_change_no_layer(self):
+        store = BlobStore()
+        df = (Dockerfile().from_scratch(Platform("amd64"))
+              .copy({"a": "1"})
+              .run(lambda fs: None, comment="noop"))
+        img = ImageBuilder(store).build(df)
+        assert len(img.layers) == 1
+
+    def test_from_registry_base(self):
+        registry = Registry()
+        local = BlobStore()
+        base = simple_image(local, files={"/toolchain/clang": "clang-19"})
+        registry.push("xaas/toolchain", "19", base, source_store=local)
+        df = Dockerfile().from_image("xaas/toolchain:19").copy({"app.c": "x"}, dest="/src")
+        img = ImageBuilder(local, registry).build(df)
+        assert "/toolchain/clang" in img.rootfs()
+        assert "/src/app.c" in img.rootfs()
+
+    def test_from_must_be_first(self):
+        with pytest.raises(Exception, match="FROM"):
+            Dockerfile().copy({"a": "1"}).from_scratch(Platform("amd64"))
+
+    def test_annotations_applied(self):
+        store = BlobStore()
+        df = (Dockerfile().from_scratch(Platform("amd64"))
+              .annotate(**{"org.xaas.ir-format": "llvm-ir-19"}))
+        img = ImageBuilder(store).build(df)
+        assert img.manifest.annotations["org.xaas.ir-format"] == "llvm-ir-19"
+
+    def test_render_is_human_readable(self):
+        df = (Dockerfile().from_scratch(Platform("amd64"))
+              .copy({"a": "1"}, dest="/src").env(CC="clang"))
+        text = df.render()
+        assert text.startswith("FROM scratch")
+        assert "COPY 1 files -> /src" in text
+        assert "ENV CC=clang" in text
+
+
+class TestRuntimesAndHooks:
+    def test_lib_descriptor_roundtrip(self):
+        text = format_lib("mpi", name="mpich", version="4.1", abi="mpich")
+        kind, attrs = parse_lib(text)
+        assert kind == "mpi"
+        assert attrs == {"name": "mpich", "version": "4.1", "abi": "mpich"}
+
+    def test_mpi_hook_replaces_compatible_abi(self):
+        store = BlobStore()
+        img = simple_image(store, files={
+            MPI_LIB_PATH: format_lib("mpi", name="mpich", version="4.1", abi="mpich")})
+        host = FakeHost(mpi={"name": "cray-mpich", "version": "8.1", "abi": "mpich"})
+        running = sarus_runtime().run(img, host)
+        assert running.hook_applied("mpi-replacement")
+        assert "cray-mpich" in running.read(MPI_LIB_PATH)
+
+    def test_mpi_hook_refuses_abi_mismatch(self):
+        store = BlobStore()
+        img = simple_image(store, files={
+            MPI_LIB_PATH: format_lib("mpi", name="openmpi", version="5.0", abi="ompi")})
+        host = FakeHost(mpi={"name": "cray-mpich", "version": "8.1", "abi": "mpich"})
+        running = sarus_runtime().run(img, host)
+        assert not running.hook_applied("mpi-replacement")
+        assert "openmpi" in running.read(MPI_LIB_PATH)
+
+    def test_gpu_hook_injects_driver(self):
+        store = BlobStore()
+        img = simple_image(store)
+        host = FakeHost(gpu={"vendor": "nvidia", "driver_cuda": "12.4"})
+        running = sarus_runtime().run(img, host)
+        assert running.hook_applied("gpu-injection")
+
+    def test_gpu_hook_rejects_newer_runtime_than_driver(self):
+        store = BlobStore()
+        img = simple_image(store, files={
+            "/opt/xaas/lib/libcudart.so": format_lib("cudart", version="12.8")})
+        host = FakeHost(gpu={"vendor": "nvidia", "driver_cuda": "12.1"})
+        running = sarus_runtime().run(img, host)
+        assert not running.hook_applied("gpu-injection")
+
+    def test_gpu_hook_rejects_major_mismatch(self):
+        store = BlobStore()
+        img = simple_image(store, files={
+            "/opt/xaas/lib/libcudart.so": format_lib("cudart", version="11.8")})
+        host = FakeHost(gpu={"vendor": "nvidia", "driver_cuda": "12.4"})
+        running = sarus_runtime().run(img, host)
+        assert not running.hook_applied("gpu-injection")
+
+    def test_docker_applies_no_hooks(self):
+        store = BlobStore()
+        img = simple_image(store, files={
+            MPI_LIB_PATH: format_lib("mpi", name="mpich", version="4.1", abi="mpich")})
+        host = FakeHost(mpi={"name": "cray-mpich", "version": "8.1", "abi": "mpich"})
+        running = docker_runtime().run(img, host)
+        assert running.hook_results == []
+        assert "mpich" in running.read(MPI_LIB_PATH)
+
+    def test_architecture_mismatch_rejected(self):
+        store = BlobStore()
+        img = simple_image(store, "arm64")
+        with pytest.raises(RuntimeError_, match="platform mismatch"):
+            sarus_runtime().run(img, FakeHost(architecture="amd64"))
+
+    def test_ir_container_cannot_run_directly(self):
+        store = BlobStore()
+        img = simple_image(store, "llvm-ir")
+        with pytest.raises(RuntimeError_, match="deploy it first"):
+            sarus_runtime().run(img, FakeHost())
+
+    def test_apptainer_mpi_quirk_flag(self):
+        assert apptainer_runtime(mpi_launch_works=False).mpi_launch_works is False
+
+    def test_runtime_lookup(self):
+        assert runtime_for("sarus").name == "sarus"
+        with pytest.raises(KeyError, match="unknown runtime"):
+            runtime_for("bogus")

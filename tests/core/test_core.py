@@ -1,0 +1,291 @@
+"""XaaS core: intersection, source containers, IR pipeline, deployment."""
+
+import pytest
+
+from repro.apps import (
+    gromacs_model,
+    llamacpp_model,
+    lulesh_configs,
+    lulesh_model,
+)
+from repro.containers import BlobStore, Registry
+from repro.core import (
+    IRDeploymentError,
+    IRPipelineError,
+    SourceDeploymentError,
+    build_ir_container,
+    build_source_image,
+    decode_specialization_annotation,
+    default_selection,
+    deploy_ir_container,
+    deploy_source_container,
+    encode_specialization_annotation,
+    intersect_specializations,
+    specialization_tag,
+)
+from repro.discovery import analyze_build_script, get_system
+from repro.perf import run_workload
+
+
+@pytest.fixture(scope="module")
+def gromacs_small():
+    return gromacs_model(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def gromacs_report(gromacs_small):
+    return analyze_build_script(gromacs_small.tree)
+
+
+@pytest.fixture(scope="module")
+def lulesh_ir():
+    return build_ir_container(lulesh_model(), lulesh_configs())
+
+
+class TestIntersection:
+    def test_gpu_backends_reduced_to_system(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("ault23"))
+        assert "CUDA" in common.gpu_backends
+        assert "HIP" not in common.gpu_backends
+        assert "HIP" in common.excluded
+
+    def test_aurora_offers_sycl_only(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("aurora"))
+        assert "SYCL" in common.gpu_backends
+        assert "CUDA" not in common.gpu_backends
+
+    def test_simd_filtered_by_cpu(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("ault25"))
+        assert "AVX2_256" in common.simd
+        assert "AVX_512" not in common.simd  # EPYC 7742 has no AVX-512
+        assert "AVX_512" in common.excluded
+
+    def test_arm_levels_excluded_on_x86(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("ault23"))
+        assert "ARM_SVE" not in common.simd
+        assert "wrong architecture" in common.excluded["ARM_SVE"]
+
+    def test_cpu_only_node_has_no_gpu_backends(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("ault01-04"))
+        assert common.gpu_backends == {}
+
+    def test_fft_requires_module(self, gromacs_report):
+        common = intersect_specializations(gromacs_report, get_system("ault23"))
+        names = {n.lower() for n in common.fft_libraries}
+        assert "mkl" in names  # MKL module loaded on Ault23
+
+    def test_default_selection_prefers_mkl_on_intel(self, gromacs_report):
+        ault = get_system("ault23")
+        sel = default_selection(intersect_specializations(gromacs_report, ault), ault)
+        assert sel["GMX_FFT_LIBRARY"] == "mkl"
+        assert sel["GMX_SIMD"] == "AVX_512"
+        assert sel["GMX_GPU"] == "CUDA"
+
+    def test_default_selection_fftw_on_amd(self, gromacs_report):
+        ault25 = get_system("ault25")
+        sel = default_selection(intersect_specializations(gromacs_report, ault25), ault25)
+        assert sel["GMX_FFT_LIBRARY"] == "fftw3"
+        assert sel["GMX_SIMD"] == "AVX2_256"
+
+
+class TestAnnotationsAndTags:
+    def test_annotation_roundtrip(self):
+        sel = {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA"}
+        assert decode_specialization_annotation(
+            encode_specialization_annotation(sel)) == sel
+
+    def test_tag_is_filesystem_safe(self):
+        tag = specialization_tag({"GMX_SIMD": "SSE4.1", "GMX_GPU": "CUDA"})
+        assert "/" not in tag and ":" not in tag
+        assert "sse4.1" in tag and "cuda" in tag
+
+    def test_distinct_selections_distinct_tags(self):
+        a = specialization_tag({"GMX_SIMD": "AVX_512"})
+        b = specialization_tag({"GMX_SIMD": "SSE2"})
+        assert a != b
+
+
+class TestSourceContainers:
+    def test_build_source_image_has_annotations(self, gromacs_small):
+        store = BlobStore()
+        sc = build_source_image(gromacs_small, store)
+        assert "org.xaas.specialization" in sc.image.manifest.annotations
+        assert any("/xaas/src/CMakeLists.txt" in layer.files
+                   for layer in sc.image.layers)
+
+    def test_deploy_specializes_for_system(self, gromacs_small):
+        store = BlobStore()
+        sc = build_source_image(gromacs_small, store)
+        dep = deploy_source_container(sc, get_system("ault23"), store,
+                                      build_host=get_system("dev-machine"))
+        assert dep.selection["GMX_SIMD"] == "AVX_512"
+        assert dep.artifact.gpu_backend == "CUDA"
+        assert dep.image.manifest.annotations["org.xaas.target-system"] == "ault23"
+
+    def test_deployed_image_derives_from_source(self, gromacs_small):
+        store = BlobStore()
+        sc = build_source_image(gromacs_small, store)
+        dep = deploy_source_container(sc, get_system("ault01-04"), store)
+        assert dep.image.manifest.annotations["org.xaas.source-image"] == sc.image.digest
+        assert dep.image.manifest.layer_digests[:len(sc.image.layers)] == \
+            sc.image.manifest.layer_digests
+
+    def test_non_building_system_needs_build_host(self, gromacs_small):
+        store = BlobStore()
+        sc = build_source_image(gromacs_small, store)
+        with pytest.raises(SourceDeploymentError, match="build_host"):
+            deploy_source_container(sc, get_system("ault23"), store)
+
+    def test_invalid_simd_selection_rejected(self, gromacs_small):
+        store = BlobStore()
+        sc = build_source_image(gromacs_small, store)
+        with pytest.raises(SourceDeploymentError, match="not supported"):
+            deploy_source_container(sc, get_system("ault25"), store,
+                                    selection={"GMX_SIMD": "AVX_512"},
+                                    build_host=get_system("dev-machine"))
+
+    def test_push_to_registry(self, gromacs_small):
+        store = BlobStore()
+        registry = Registry()
+        sc = build_source_image(gromacs_small, store)
+        dep = deploy_source_container(sc, get_system("ault01-04"), store,
+                                      registry=registry, repository="xaas/gromacs")
+        assert dep.tag in registry.tags("xaas/gromacs")
+        notes = registry.annotations("xaas/gromacs", dep.tag)
+        assert "org.xaas.specialization" in notes
+
+
+class TestIRPipelineLULESH:
+    """The hand-checkable Sec. 4.3 numbers: 4 configs x 5 files."""
+
+    def test_twenty_tus(self, lulesh_ir):
+        assert lulesh_ir.stats.total_tus == 20
+
+    def test_config_stage_no_sharing(self, lulesh_ir):
+        assert lulesh_ir.stats.after_configuration == 20
+
+    def test_preprocessing_does_not_reduce(self, lulesh_ir):
+        """Paper: 'this step does not change the result' for LULESH."""
+        assert lulesh_ir.stats.after_preprocessing == 20
+
+    def test_openmp_analysis_reaches_fourteen(self, lulesh_ir):
+        assert lulesh_ir.stats.after_openmp == 14
+        assert lulesh_ir.stats.final_irs == 14
+
+    def test_hypothesis1_holds(self, lulesh_ir):
+        assert lulesh_ir.stats.validates_hypothesis1()
+
+    def test_every_config_fully_mapped(self, lulesh_ir):
+        for name, entries in lulesh_ir.manifests.items():
+            assert len(entries) == 5, name
+            for entry in entries:
+                assert entry["ir"] in lulesh_ir.ir_files
+
+    def test_ir_image_platform_is_llvm_ir(self, lulesh_ir):
+        assert lulesh_ir.image.platform.architecture == "llvm-ir"
+        assert lulesh_ir.image.manifest.annotations["org.xaas.ir-format"]
+
+    def test_shared_irs_actually_shared(self, lulesh_ir):
+        """kernels.c IR must be shared between MPI configs with same OMP."""
+        def ir_of(config, source):
+            for e in lulesh_ir.manifests[config]:
+                if e["source"] == source:
+                    return e["ir"]
+            raise AssertionError("not found")
+        # kernels.c text depends on MPI; comm.c too => not shared across MPI.
+        # util.c (no omp pragma) is shared across the OpenMP flag:
+        a = ir_of("with_mpi_off-with_openmp_off", "src/util.c")
+        b = ir_of("with_mpi_off-with_openmp_on", "src/util.c")
+        assert a == b
+        # lulesh.c has omp pragmas: NOT shared across the OpenMP flag.
+        c = ir_of("with_mpi_off-with_openmp_off", "src/lulesh.c")
+        d = ir_of("with_mpi_off-with_openmp_on", "src/lulesh.c")
+        assert c != d
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(IRPipelineError):
+            build_ir_container(lulesh_model(), [])
+
+
+class TestIRPipelineStages:
+    def test_ablation_no_stages(self):
+        res = build_ir_container(lulesh_model(), lulesh_configs(),
+                                 stages=(), compile_irs=False)
+        assert res.stats.final_irs == 20  # nothing deduplicated
+
+    def test_ablation_preprocess_only(self):
+        res = build_ir_container(lulesh_model(), lulesh_configs(),
+                                 stages=("preprocess",), compile_irs=False)
+        assert res.stats.final_irs == 20  # LULESH: preprocessing alone is not enough
+
+    def test_gromacs_vectorization_stage_dominates(self):
+        gm = gromacs_model(scale=0.01)
+        from repro.apps import five_isa_configs
+        full = build_ir_container(gm, five_isa_configs(), compile_irs=False)
+        no_vec = build_ir_container(gm, five_isa_configs(), compile_irs=False,
+                                    stages=("preprocess", "openmp"))
+        assert full.stats.final_irs < no_vec.stats.final_irs
+        # ~96% of repeat TUs have incompatible flags at the config stage.
+        assert full.stats.incompatible_flag_fraction > 0.9
+        # Overall reduction in the paper's band (69% at full scale).
+        assert 0.60 < full.stats.reduction < 0.80
+
+
+class TestIRDeployment:
+    def test_deploy_selects_best_isa(self, lulesh_ir):
+        store = BlobStore()
+        dep = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                  {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                  get_system("ault01-04"), store)
+        assert dep.simd_name == "AVX_512"
+        assert dep.lowered_count == 5
+        assert dep.image.platform.architecture == "amd64"
+
+    def test_deploy_unknown_config_rejected(self, lulesh_ir):
+        store = BlobStore()
+        with pytest.raises(IRDeploymentError, match="not baked"):
+            deploy_ir_container(lulesh_ir, lulesh_model(),
+                                {"WITH_MPI": "MAYBE"}, get_system("ault01-04"), store)
+
+    def test_x86_ir_container_rejected_on_arm(self, lulesh_ir):
+        store = BlobStore()
+        with pytest.raises(IRDeploymentError, match="not cross-platform"):
+            deploy_ir_container(lulesh_ir, lulesh_model(),
+                                {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                get_system("clariden"), store)
+
+    def test_simd_override(self, lulesh_ir):
+        store = BlobStore()
+        dep = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                  {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                  get_system("ault01-04"), store,
+                                  simd_override="SSE4.1")
+        assert dep.simd_name == "SSE4.1"
+
+    def test_deployed_artifact_runs(self, lulesh_ir):
+        store = BlobStore()
+        dep = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                  {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                  get_system("ault01-04"), store)
+        report = run_workload(dep.artifact, get_system("ault01-04"), "s50", threads=8)
+        assert report.total_seconds > 0
+
+    def test_vectorized_deploy_beats_scalar(self, lulesh_ir):
+        store = BlobStore()
+        system = get_system("ault01-04")
+        fast = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                   {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                   system, store)
+        slow = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                   {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                   system, store, simd_override="None")
+        t_fast = run_workload(fast.artifact, system, "s50", threads=1).total_seconds
+        t_slow = run_workload(slow.artifact, system, "s50", threads=1).total_seconds
+        assert t_fast < t_slow
+
+    def test_tag_encodes_lowered_isa(self, lulesh_ir):
+        store = BlobStore()
+        dep = deploy_ir_container(lulesh_ir, lulesh_model(),
+                                  {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"},
+                                  get_system("ault01-04"), store)
+        assert "avx_512" in dep.tag

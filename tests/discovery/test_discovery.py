@@ -1,0 +1,238 @@
+"""Discovery: system catalog, extraction, simulated LLMs, scoring, schema."""
+
+import statistics
+
+import pytest
+
+from repro.apps import gromacs_model, llamacpp_model, qespresso_tree
+from repro.discovery import (
+    MODEL_PROFILES,
+    Score,
+    SimulatedLLM,
+    analyze_build_script,
+    best_simd_target,
+    get_model,
+    get_system,
+    is_valid_report,
+    report_items,
+    score_report,
+    validate_report,
+)
+from repro.discovery.schema import empty_report
+from repro.discovery.scoring import AggregateScore, _normalize_flag
+
+
+@pytest.fixture(scope="module")
+def gromacs_small():
+    return gromacs_model(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def gromacs_truth(gromacs_small):
+    return analyze_build_script(gromacs_small.tree)
+
+
+class TestSystemCatalog:
+    def test_all_testbeds_present(self):
+        for name in ("ault23", "ault25", "ault01-04", "clariden", "aurora"):
+            assert get_system(name).name == name
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            get_system("frontier")
+
+    def test_ault23_features(self):
+        spec = get_system("ault23")
+        features = spec.detect_features()
+        assert features["CPU Info"]["architecture"] == "amd64"
+        assert "CUDA" in features["GPU Backends"]
+        assert features["GPU Backends"]["CUDA"]["version"] == "12.4"
+
+    def test_cuda_augmentation_implies_cufft(self):
+        """Sec. 4.1: discovering CUDA implies cuFFT availability."""
+        features = get_system("ault23").detect_features()
+        assert "cuFFT" in features["Modules"]
+        assert "cuBLAS" in features["Modules"]
+
+    def test_aurora_has_sycl_not_cuda(self):
+        features = get_system("aurora").detect_features()
+        assert "SYCL" in features["GPU Backends"]
+        assert "CUDA" not in features["GPU Backends"]
+        assert "oneMKL" in features["Modules"]
+
+    def test_clariden_is_arm_with_sve(self):
+        spec = get_system("clariden")
+        assert spec.architecture == "arm64"
+        assert best_simd_target(spec).name == "ARM_SVE"
+
+    def test_best_simd_per_machine(self):
+        assert best_simd_target(get_system("ault23")).name == "AVX_512"
+        assert best_simd_target(get_system("ault25")).name == "AVX2_256"
+
+    def test_build_environment_includes_gpu_stack(self):
+        env = get_system("ault23").build_environment()
+        assert env.find("CUDA") == "12.4"
+        assert env.find("MKL") is not None
+
+    def test_hook_protocol_attributes(self):
+        spec = get_system("clariden")
+        assert spec.mpi["abi"] == "mpich"
+        assert spec.gpu["vendor"] == "nvidia"
+        assert spec.fabric_provider == "cxi"
+
+
+class TestExtraction:
+    def test_gromacs_report_valid(self, gromacs_truth):
+        validate_report(gromacs_truth)
+
+    def test_gromacs_simd_levels(self, gromacs_truth):
+        simd = gromacs_truth["simd_vectorization"]
+        for level in ("SSE2", "AVX_512", "ARM_SVE", "AVX2_256"):
+            assert level in simd
+            assert simd[level]["build_flag"] == f"-DGMX_SIMD={level}"
+
+    def test_gromacs_gpu_backends(self, gromacs_truth):
+        assert {"CUDA", "HIP", "SYCL"} <= set(gromacs_truth["gpu_backends"])
+        assert gromacs_truth["gpu_build"]["value"] is True
+
+    def test_gromacs_fft_libraries(self, gromacs_truth):
+        ffts = {k.lower() for k in gromacs_truth["FFT_libraries"]}
+        assert "fftw3" in ffts and "mkl" in ffts
+
+    def test_gromacs_parallel_libraries(self, gromacs_truth):
+        parallel = gromacs_truth["parallel_programming_libraries"]
+        assert "MPI" in parallel and "OpenMP" in parallel and "Threads-MPI" in parallel
+
+    def test_build_system_detected(self, gromacs_truth):
+        assert gromacs_truth["build_system"]["type"] == "cmake"
+        assert gromacs_truth["build_system"]["minimum_version"] == "3.18"
+
+    def test_llamacpp_ggml_options(self):
+        truth = analyze_build_script(llamacpp_model().tree, "ggml.cmake")
+        assert "GGML_AVX512" in truth["simd_vectorization"] \
+            or any("avx512" in k.lower() for k in truth["simd_vectorization"])
+        validate_report(truth)
+
+    def test_qespresso_extraction(self):
+        truth = analyze_build_script(qespresso_tree())
+        assert "MPI" in truth["parallel_programming_libraries"]
+        names = {k.lower() for k in truth["FFT_libraries"]}
+        assert "fftw3" in names or "fftw" in names
+
+
+class TestScoring:
+    def test_perfect_score(self, gromacs_truth):
+        s = score_report(gromacs_truth, gromacs_truth)
+        assert s.f1 == 1.0 and s.precision == 1.0 and s.recall == 1.0
+
+    def test_empty_prediction(self, gromacs_truth):
+        s = score_report(empty_report(), gromacs_truth)
+        assert s.recall == 0.0
+        assert s.f1 == 0.0
+
+    def test_score_counts(self):
+        a = empty_report()
+        b = empty_report()
+        a["gpu_backends"]["CUDA"] = {"used_as_default": False, "build_flag": "-DX=CUDA"}
+        b["gpu_backends"]["CUDA"] = {"used_as_default": False, "build_flag": "-DX=CUDA"}
+        b["gpu_backends"]["HIP"] = {"used_as_default": False, "build_flag": "-DX=HIP"}
+        s = score_report(a, b)
+        assert s.true_positives == 1 and s.false_negatives == 1 and s.false_positives == 0
+
+    def test_normalization_fixes_hyphen_underscore(self):
+        truth = empty_report()
+        truth["simd_vectorization"]["AVX_512"] = {"build_flag": "-DGMX_SIMD=AVX_512",
+                                                  "default": False}
+        pred = empty_report()
+        pred["simd_vectorization"]["AVX_512"] = {"build_flag": "-DGMX-SIMD=AVX_512",
+                                                 "default": False}
+        assert score_report(pred, truth, normalize=True).f1 == 1.0
+        assert score_report(pred, truth, normalize=False).f1 < 1.0
+
+    def test_normalization_restores_missing_prefix(self):
+        assert _normalize_flag("GMX_SIMD=AVX") == _normalize_flag("-DGMX_SIMD=AVX")
+
+    def test_aggregate_min_med_max(self):
+        scores = [Score(8, 2, 0), Score(5, 0, 5), Score(10, 0, 0)]
+        agg = AggregateScore.from_scores(scores)
+        assert agg.f1[2] == 1.0
+        assert agg.f1[0] <= agg.f1[1] <= agg.f1[2]
+        assert agg.runs == 3
+
+    def test_report_items_covers_gpu_build(self, gromacs_truth):
+        items = report_items(gromacs_truth)
+        assert any(cat == "gpu_build" for cat, _ in items)
+
+
+class TestSimulatedLLM:
+    def test_deterministic_given_seed(self, gromacs_small):
+        a = get_model("gpt-4o-2024-08-06").analyze(gromacs_small.tree, run_id=3)
+        b = get_model("gpt-4o-2024-08-06").analyze(gromacs_small.tree, run_id=3)
+        assert a.report == b.report
+        assert a.latency_s == b.latency_s
+
+    def test_different_runs_differ(self, gromacs_small):
+        model = get_model("gpt-4o-2024-08-06")
+        reports = [model.analyze(gromacs_small.tree, run_id=i).report for i in range(4)]
+        assert any(reports[0] != r for r in reports[1:])
+
+    def test_output_is_schema_valid(self, gromacs_small):
+        for name in MODEL_PROFILES:
+            res = get_model(name).analyze(gromacs_small.tree, run_id=0)
+            assert res.schema_valid, name
+            assert is_valid_report(res.report), name
+
+    def test_anthropic_counts_more_tokens_than_openai(self, gromacs_small):
+        claude = get_model("claude-3-5-haiku-20241022").analyze(gromacs_small.tree)
+        gpt = get_model("gpt-4o-2024-08-06").analyze(gromacs_small.tree)
+        assert claude.tokens_in > gpt.tokens_in
+
+    def test_cost_scales_with_price(self, gromacs_small):
+        sonnet = get_model("claude-3-7-sonnet-20250219").analyze(gromacs_small.tree)
+        gemini = get_model("gemini-flash-2-exp").analyze(gromacs_small.tree)
+        assert sonnet.cost_usd > 10 * gemini.cost_usd
+
+    def test_table4_model_ordering(self, gromacs_small, gromacs_truth):
+        """The qualitative Table 4 result: Gemini-2 best, Claude-3.5 low
+        recall/high precision, o3-mini high variance."""
+        def med_f1(name):
+            scores = [score_report(get_model(name).analyze(
+                gromacs_small.tree, run_id=i).report, gromacs_truth).f1
+                for i in range(8)]
+            return statistics.median(scores), min(scores), max(scores)
+
+        gem2, _, _ = med_f1("gemini-flash-2-exp")
+        haiku, _, _ = med_f1("claude-3-5-haiku-20241022")
+        o3_med, o3_min, o3_max = med_f1("o3-mini-2025-01-31")
+        assert gem2 > 0.9
+        assert haiku < 0.8
+        assert o3_max - o3_min > 0.1  # repetition instability
+
+    def test_claude35_high_precision_low_recall(self, gromacs_small, gromacs_truth):
+        scores = [score_report(get_model("claude-3-5-sonnet-20241022").analyze(
+            gromacs_small.tree, run_id=i).report, gromacs_truth)
+            for i in range(8)]
+        assert statistics.median(s.precision for s in scores) > 0.8
+        assert statistics.median(s.recall for s in scores) < 0.65
+
+    def test_generalization_penalty(self, gromacs_small):
+        lt = llamacpp_model()
+        truth = analyze_build_script(lt.tree, "ggml.cmake")
+        model = get_model("claude-3-7-sonnet-20250219")
+        with_ctx = statistics.median(
+            score_report(model.analyze(lt.tree, "ggml.cmake", run_id=i).report, truth).f1
+            for i in range(6))
+        without = statistics.median(
+            score_report(model.analyze(lt.tree, "ggml.cmake", run_id=i,
+                                       in_context_examples=False).report, truth).f1
+            for i in range(6))
+        assert without < with_ctx
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-99")
+
+    def test_latency_heavy_tail_for_sonnet35(self, gromacs_small):
+        model = get_model("claude-3-5-sonnet-20241022")
+        lat = [model.analyze(gromacs_small.tree, run_id=i).latency_s for i in range(30)]
+        assert max(lat) > 4 * statistics.median(lat)  # occasionally very slow

@@ -1,0 +1,145 @@
+"""Integration: full XaaS flows across all substrates."""
+
+import pytest
+
+from repro.apps import gromacs_model, lulesh_configs, lulesh_model
+from repro.containers import (
+    MPI_LIB_PATH,
+    BlobStore,
+    ImageIndex,
+    Platform,
+    Registry,
+    podman_hpc_runtime,
+    sarus_runtime,
+)
+from repro.core import (
+    build_ir_container,
+    build_source_image,
+    deploy_ir_container,
+    deploy_source_container,
+)
+from repro.discovery import get_system
+from repro.netfabric import intra_node_bandwidth
+from repro.perf import build_app, run_workload
+
+
+class TestSourceContainerEndToEnd:
+    def test_publish_deploy_run_cycle(self):
+        """Registry publish -> pull -> deploy -> hook -> predicted run."""
+        store = BlobStore()
+        registry = Registry()
+        gm = gromacs_model(scale=0.01)
+        sc = build_source_image(gm, store)
+        registry.push("spcl/gromacs-src", "2025.0", sc.image, source_store=store)
+
+        # Admin on Ault23 pulls and deploys.
+        pulled = registry.pull("spcl/gromacs-src", "2025.0")
+        assert pulled.digest == sc.image.digest
+        ault23 = get_system("ault23")
+        dep = deploy_source_container(sc, ault23, store,
+                                      build_host=get_system("dev-machine"),
+                                      registry=registry,
+                                      repository="spcl/gromacs-deployed")
+        # The deployed image is runnable through Sarus with MPI hooks.
+        running = sarus_runtime().run(dep.image, ault23)
+        assert running.image_digest == dep.image.digest
+        # Container MPI is mpich-ABI; Ault23 host MPI is OpenMPI => no swap.
+        assert not running.hook_applied("mpi-replacement")
+        # GPU driver injection works.
+        assert running.hook_applied("gpu-injection")
+        report = run_workload(dep.artifact, ault23, "testB", threads=16, steps=100)
+        assert report.gpu_offloaded
+        assert report.total_seconds < 60
+
+    def test_same_source_image_two_systems_two_builds(self):
+        store = BlobStore()
+        gm = gromacs_model(scale=0.01)
+        sc = build_source_image(gm, store)
+        dep_intel = deploy_source_container(sc, get_system("ault23"), store,
+                                            build_host=get_system("dev-machine"))
+        dep_amd = deploy_source_container(sc, get_system("ault25"), store,
+                                          build_host=get_system("dev-machine"))
+        assert dep_intel.selection["GMX_SIMD"] == "AVX_512"
+        assert dep_amd.selection["GMX_SIMD"] == "AVX2_256"
+        assert dep_intel.image.digest != dep_amd.image.digest
+
+    def test_mpi_hook_applies_on_clariden(self):
+        """Clariden's Cray-MPICH is mpich-ABI: the hook swaps it in."""
+        store = BlobStore()
+        gm = gromacs_model(scale=0.01)
+        sc = build_source_image(gm, store, arch="arm64")
+        clariden = get_system("clariden")
+        dep = deploy_source_container(sc, clariden, store)
+        running = podman_hpc_runtime().run(dep.image, clariden)
+        assert running.hook_applied("mpi-replacement")
+        assert "cray-mpich" in running.read(MPI_LIB_PATH)
+
+
+class TestIRContainerEndToEnd:
+    def test_multiarch_ir_index(self):
+        """Multi-IR index: x86 and ARM IR containers under one tag."""
+        store = BlobStore()
+        registry = Registry()
+        lm = lulesh_model()
+        x86 = build_ir_container(lm, lulesh_configs(), store=store,
+                                 arch_family="x86_64")
+        registry.push("spcl/lulesh-ir", "x86", x86.image, source_store=store)
+        index = ImageIndex([(Platform("llvm-ir", variant="x86_64"),
+                             x86.image.digest)])
+        registry.push_index("spcl/lulesh-ir", "latest", index)
+        pulled = registry.pull("spcl/lulesh-ir", "latest",
+                               Platform("llvm-ir", variant="x86_64"))
+        assert pulled.platform.architecture == "llvm-ir"
+
+    def test_one_container_three_isa_deployments(self):
+        store = BlobStore()
+        lm = lulesh_model()
+        result = build_ir_container(lm, lulesh_configs(), store=store)
+        system = get_system("ault01-04")
+        opts = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+        times = {}
+        for simd in ("SSE4.1", "AVX_256", "AVX_512"):
+            dep = deploy_ir_container(result, lm, opts, system, store,
+                                      simd_override=simd)
+            times[simd] = run_workload(dep.artifact, system, "s50",
+                                       threads=1).total_seconds
+        assert times["AVX_512"] < times["AVX_256"] < times["SSE4.1"]
+
+    def test_ir_deploy_equals_direct_build(self):
+        """Deploying IR + lowering must match a direct specialized build."""
+        store = BlobStore()
+        lm = lulesh_model()
+        result = build_ir_container(lm, lulesh_configs(), store=store)
+        system = get_system("ault01-04")
+        opts = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+        dep = deploy_ir_container(result, lm, opts, system, store)
+        # The direct build must target the same ISA the deployment chose
+        # (LULESH's build script pins no SIMD level itself).
+        direct = build_app(lm, opts, label="direct",
+                           extra_defines=(f"-msimd={dep.simd_name}",))
+        t_ir = run_workload(dep.artifact, system, "s50", threads=16).total_seconds
+        t_direct = run_workload(direct, system, "s50", threads=16).total_seconds
+        assert t_ir == pytest.approx(t_direct, rel=0.02)
+
+    def test_annotations_queryable_before_pull(self):
+        store = BlobStore()
+        registry = Registry()
+        lm = lulesh_model()
+        result = build_ir_container(lm, lulesh_configs(), store=store)
+        registry.push("spcl/lulesh-ir", "v1", result.image, source_store=store)
+        notes = registry.annotations("spcl/lulesh-ir", "v1")
+        assert "WITH_MPI" in notes["org.xaas.specialization"]
+        assert notes["org.xaas.ir-format"]
+
+
+class TestNetworkIntegration:
+    def test_clariden_container_bandwidth_story(self):
+        """Sec. 6.5 end to end: hook gives NIC path; LinkX restores shm."""
+        clariden = get_system("clariden")
+        bare = intra_node_bandwidth(clariden.mpi_info["name"], clariden.fabric,
+                                    containerized=False)
+        hooked = intra_node_bandwidth("openmpi", clariden.fabric, containerized=True)
+        linkx = intra_node_bandwidth("openmpi", "lnx", containerized=True)
+        assert bare.peak_gbps == pytest.approx(64.0)
+        assert hooked.peak_gbps == pytest.approx(23.5)
+        assert linkx.peak_gbps >= bare.peak_gbps

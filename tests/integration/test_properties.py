@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import Compiler, get_target, run_function
+from repro.compiler.passes import vectorize
+from repro.containers import BlobStore, Image, ImageConfig, Layer, Platform
+from repro.core.ir_container import PipelineStats
+from repro.discovery.scoring import Score
+from repro.util.hashing import content_digest, stable_hash
+from repro.util.json_schema import conforms
+
+
+def build(src, flags=()):
+    return Compiler().compile_to_ir(src, list(flags), "prop.c").module
+
+
+# -- preprocessor properties ---------------------------------------------------
+
+ident = st.from_regex(r"[A-Z][A-Z0-9_]{0,8}", fullmatch=True)
+
+
+class TestPreprocessorProperties:
+    @given(name=ident, value=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_define_idempotent(self, name, value):
+        """Preprocessing already-preprocessed text is a fixed point."""
+        from repro.compiler.preprocessor import Preprocessor
+        src = f"#define {name} {value}\nint x = {name};\n"
+        once = Preprocessor().preprocess(src).text
+        twice = Preprocessor().preprocess(once).text
+        assert once == twice
+
+    @given(flag=st.booleans(), other=ident)
+    @settings(max_examples=20, deadline=None)
+    def test_irrelevant_defines_never_change_output(self, flag, other):
+        from repro.compiler.preprocessor import Preprocessor
+        src = "#ifdef GATE\nint a;\n#else\nint b;\n#endif\n"
+        defines = {"GATE": "1"} if flag else {}
+        base = Preprocessor(dict(defines)).preprocess(src).text
+        noisy = Preprocessor(dict(defines) | {f"XX_{other}": "1"}).preprocess(src).text
+        assert base == noisy
+
+
+# -- compiler properties ----------------------------------------------------------
+
+class TestCompilerProperties:
+    @given(values=st.lists(st.floats(min_value=-100, max_value=100,
+                                     allow_nan=False), min_size=1, max_size=24),
+           scale=st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_vectorization_never_changes_results(self, values, scale):
+        src = ("double k(double* x, double* y, int n, double a) {"
+               " double s = 0.0; for (int i = 0; i < n; i++) {"
+               " y[i] = a * x[i] + 1.0; s += y[i]; } return s; }")
+        x = np.array(values)
+        y1, y2 = np.zeros_like(x), np.zeros_like(x)
+        scalar = build(src)
+        vec = build(src)
+        vectorize(vec, get_target("AVX_512"))
+        r1 = run_function(scalar, "k", x, y1, len(x), scale)
+        r2 = run_function(vec, "k", x, y2, len(x), scale)
+        assert r1 == pytest.approx(r2, nan_ok=True)
+        assert np.allclose(y1, y2)
+
+    @given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_arithmetic_matches_python(self, a, b):
+        mod = build("long f(long a, long b) { return a * 2 + b - 3; }")
+        assert run_function(mod, "f", a, b) == a * 2 + b - 3
+
+    @given(n=st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_loop_sum_closed_form(self, n):
+        mod = build("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }")
+        assert run_function(mod, "f", n) == n * (n - 1) // 2
+
+    @given(simd=st.sampled_from(["None", "SSE2", "SSE4.1", "AVX_256", "AVX_512"]),
+           opt=st.sampled_from(["-O0", "-O2", "-O3"]))
+    @settings(max_examples=15, deadline=None)
+    def test_target_flags_never_reach_ir(self, simd, opt):
+        """The pillar of IR containers: -msimd/-O do not shape the IR."""
+        src = "double f(double* x, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s += x[i]; } return s; }"
+        base = build(src, []).fingerprint()
+        flagged = build(src, [f"-msimd={simd}", opt]).fingerprint()
+        assert base == flagged
+
+
+# -- container properties -------------------------------------------------------------
+
+class TestContainerProperties:
+    files = st.dictionaries(
+        st.from_regex(r"/[a-z]{1,8}/[a-z]{1,8}", fullmatch=True),
+        st.text(min_size=0, max_size=40), min_size=1, max_size=6)
+
+    @given(files=files)
+    @settings(max_examples=25, deadline=None)
+    def test_image_roundtrip(self, files):
+        store = BlobStore()
+        img = Image.build([Layer(dict(files))], ImageConfig(platform=Platform("amd64")),
+                          store)
+        loaded = Image.load(store.put(img.manifest.serialize()), store)
+        assert loaded.rootfs() == files
+        assert loaded.digest == img.digest
+
+    @given(files=files, extra=files)
+    @settings(max_examples=25, deadline=None)
+    def test_derive_preserves_parent_rootfs_under_new_paths(self, files, extra):
+        store = BlobStore()
+        base = Image.build([Layer(dict(files))], ImageConfig(platform=Platform("amd64")),
+                           store)
+        child = base.derive([Layer(dict(extra))], store)
+        rootfs = child.rootfs()
+        for path, content in extra.items():
+            assert rootfs[path] == content
+        for path, content in files.items():
+            if path not in extra:
+                assert rootfs[path] == content
+
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_blob_store_integrity(self, data):
+        store = BlobStore()
+        digest = store.put(data)
+        assert store.get(digest) == data
+        assert digest == content_digest(data)
+
+
+# -- scoring / stats properties ------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(tp=st.integers(0, 100), fp=st.integers(0, 100), fn=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounds_and_identities(self, tp, fp, fn):
+        s = Score(tp, fp, fn)
+        assert 0.0 <= s.precision <= 1.0
+        assert 0.0 <= s.recall <= 1.0
+        assert 0.0 <= s.f1 <= 1.0
+        if tp and not fp and not fn:
+            assert s.f1 == 1.0
+        if s.precision and s.recall:
+            assert s.f1 <= max(s.precision, s.recall) + 1e-12
+            assert s.f1 >= min(s.precision, s.recall) - 1e-12
+
+    @given(total=st.integers(1, 10_000), final=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis1_reduction_consistency(self, total, final):
+        stats = PipelineStats(total_tus=total, final_irs=min(final, total))
+        assert 0.0 <= stats.reduction <= 1.0
+        assert stats.validates_hypothesis1() == (stats.final_irs < total)
+
+    @given(obj=st.recursive(
+        st.one_of(st.integers(-5, 5), st.text(max_size=5), st.booleans(), st.none()),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=4), children, max_size=3)),
+        max_leaves=10))
+    @settings(max_examples=50, deadline=None)
+    def test_stable_hash_total(self, obj):
+        assert stable_hash(obj) == stable_hash(obj)
+
+
+# -- schema fuzz ----------------------------------------------------------------------
+
+class TestSchemaFuzz:
+    @given(junk=st.dictionaries(st.text(max_size=8),
+                                st.one_of(st.integers(), st.text(max_size=8)),
+                                max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_random_dicts_rarely_conform(self, junk):
+        from repro.discovery.schema import SPECIALIZATION_SCHEMA
+        # Either rejected, or (vacuously) it happens to be a valid report —
+        # conforms() must never raise.
+        conforms(junk, SPECIALIZATION_SCHEMA)

@@ -1,0 +1,114 @@
+"""Network substrate: Table 3 matrix and Sec. 6.5 bandwidth model."""
+
+import pytest
+
+from repro.netfabric import (
+    FEATURES,
+    PROVIDERS,
+    Support,
+    TransportPath,
+    feature_matrix,
+    get_provider,
+    intra_node_bandwidth,
+    message_sweep,
+    providers_supporting,
+)
+
+
+class TestProviderMatrix:
+    def test_all_table3_providers_present(self):
+        for name in ("tcp", "verbs", "cxi", "efa", "opx"):
+            assert name in PROVIDERS
+
+    def test_tcp_supports_message(self):
+        assert get_provider("tcp").supports("message") is Support.YES
+
+    def test_cxi_lacks_plain_message(self):
+        """Table 3 row 1: Slingshot cxi does not support FI_MSG."""
+        assert get_provider("cxi").supports("message") is Support.NO
+
+    def test_cxi_supports_tagged_and_triggered(self):
+        cxi = get_provider("cxi")
+        assert cxi.supports("tagged_message") is Support.YES
+        assert cxi.supports("trigger_operations") is Support.YES
+
+    def test_only_opx_has_scalable_endpoints(self):
+        assert providers_supporting("scalable_endpoints") == ["opx"]
+
+    def test_trigger_operations_cxi_lnx_only(self):
+        assert set(providers_supporting("trigger_operations")) == {"cxi", "lnx"}
+
+    def test_verbs_partial_counts_as_usable(self):
+        assert "verbs" in providers_supporting("reliable_datagram")
+        assert "verbs" not in providers_supporting("reliable_datagram", fully=True)
+
+    def test_memory_registration_column(self):
+        assert get_provider("cxi").memory_registration == "scalable"
+        assert get_provider("efa").memory_registration == "local"
+
+    def test_matrix_shape(self):
+        rows = feature_matrix()
+        assert len(rows) == len(FEATURES)
+        assert all(len(row) == 6 for row in rows)  # feature + 5 providers
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(KeyError):
+            get_provider("tcp").supports("teleportation")
+
+    def test_unknown_provider_raises(self):
+        with pytest.raises(KeyError, match="unknown provider"):
+            get_provider("myrinet")
+
+    def test_no_single_table3_provider_supports_everything(self):
+        """The Sec. 2.2 point: libfabric portability is incomplete."""
+        for name in ("tcp", "verbs", "cxi", "efa", "opx"):
+            provider = PROVIDERS[name]
+            assert any(provider.supports(f) in (Support.NO, Support.UNKNOWN)
+                       for f in FEATURES if f != "memory_registration"), name
+
+
+class TestBandwidth:
+    def test_bare_metal_cray_mpich_64(self):
+        res = intra_node_bandwidth("cray-mpich", "cxi", containerized=False)
+        assert res.path is TransportPath.SHARED_MEMORY
+        assert res.peak_gbps == pytest.approx(64.0)
+
+    def test_containerized_cxi_loses_shared_memory(self):
+        res = intra_node_bandwidth("openmpi", "cxi", containerized=True)
+        assert res.path is TransportPath.NIC_LOOPBACK
+        assert res.peak_gbps == pytest.approx(23.5)
+
+    def test_linkx_restores_bandwidth(self):
+        mpich = intra_node_bandwidth("mpich", "lnx", containerized=True)
+        ompi = intra_node_bandwidth("openmpi", "lnx", containerized=True)
+        assert mpich.path is TransportPath.SHARED_MEMORY
+        assert mpich.peak_gbps == pytest.approx(64.0)
+        assert ompi.peak_gbps == pytest.approx(70.0)
+
+    def test_container_without_hook_falls_to_tcp(self):
+        res = intra_node_bandwidth("openmpi", "cxi", containerized=True,
+                                   hook_replaced=False)
+        assert res.path is TransportPath.TCP_LOOPBACK
+        assert res.peak_gbps < 10
+
+    def test_sec65_ratio(self):
+        """Bare-metal ~64 vs containerized ~23.5: the ~3x gap."""
+        bare = intra_node_bandwidth("cray-mpich", "cxi", containerized=False)
+        contained = intra_node_bandwidth("openmpi", "cxi", containerized=True)
+        assert 2.2 < bare.peak_gbps / contained.peak_gbps < 3.2
+
+    def test_sweep_monotone_and_saturating(self):
+        res = intra_node_bandwidth("cray-mpich", "cxi", containerized=False)
+        sweep = message_sweep(res)
+        values = [bw for _, bw in sweep]
+        assert values == sorted(values)
+        assert values[-1] <= res.peak_gbps
+        assert values[-1] > 0.9 * res.peak_gbps  # saturates at large messages
+
+    def test_small_messages_latency_bound(self):
+        res = intra_node_bandwidth("cray-mpich", "cxi", containerized=False)
+        assert res.bandwidth_at(1024) < 0.1 * res.peak_gbps
+
+    def test_zero_bytes(self):
+        res = intra_node_bandwidth("mpich", "shm", containerized=False)
+        assert res.bandwidth_at(0) == 0.0

@@ -1,0 +1,105 @@
+"""Cost-model executor: trip-count resolution, error paths, edge cases."""
+
+import pytest
+
+from repro.compiler import Compiler, get_target
+from repro.compiler.lowering import lower_module
+from repro.perf.executor import CostError, estimate_kernel, kernel_seconds
+from repro.perf.machine import machine_perf
+
+
+def lowered(src, target="AVX_512", flags=()):
+    res = Compiler().compile_to_ir(src, list(flags), "k.c")
+    return lower_module(res.module, get_target(target))
+
+
+MACHINE = machine_perf("xeon-6154")
+
+
+class TestTripCounts:
+    def test_symbolic_bound(self):
+        mm = lowered("void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        small = estimate_kernel(mm.function("f"), {"n": 100}, 1, MACHINE)
+        large = estimate_kernel(mm.function("f"), {"n": 10000}, 1, MACHINE)
+        assert large.cycles > 50 * small.cycles
+
+    def test_expression_bound(self):
+        mm = lowered("void f(double* x, int rows, int cols) {"
+                     " for (int i = 0; i < rows * cols; i++) { x[i] = 0.0; } }")
+        cost = estimate_kernel(mm.function("f"), {"rows": 10, "cols": 20}, 1, MACHINE)
+        assert cost.cycles > 0
+
+    def test_missing_binding_raises(self):
+        mm = lowered("void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        with pytest.raises(CostError, match="trip count"):
+            estimate_kernel(mm.function("f"), {}, 1, MACHINE)
+
+    def test_const_trip_needs_no_bindings(self):
+        mm = lowered("void f(double* x) { for (int i = 0; i < 64; i++) { x[0] = 1.0; } }")
+        cost = estimate_kernel(mm.function("f"), {}, 1, MACHINE)
+        assert cost.cycles > 64
+
+    def test_nonpositive_trip_is_free(self):
+        mm = lowered("void f(double* x, int n) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        empty = estimate_kernel(mm.function("f"), {"n": 0}, 1, MACHINE)
+        one = estimate_kernel(mm.function("f"), {"n": 1000}, 1, MACHINE)
+        assert empty.cycles < one.cycles / 50
+
+    def test_while_loop_uses_while_iters(self):
+        mm = lowered("int f(int n) { int i = 0; while (i < n) { i += 1; } return i; }")
+        few = estimate_kernel(mm.function("f"), {"while_iters": 4, "n": 0}, 1, MACHINE)
+        many = estimate_kernel(mm.function("f"), {"while_iters": 4000, "n": 0}, 1, MACHINE)
+        assert many.cycles > 100 * few.cycles
+
+
+class TestVectorAndParallelCosts:
+    SRC = ("double f(float* x, int n) { double s = 0.0;\n"
+           "#pragma omp parallel for reduction(+: s)\n"
+           "for (int i = 0; i < n; i++) { s += x[i] * 2.0f; } return s; }")
+
+    def test_vector_cheaper_than_scalar(self):
+        fast = lowered(self.SRC, "AVX_512", ["-fopenmp"]).function("f")
+        slow = lowered(self.SRC, "None", ["-fopenmp"]).function("f")
+        bindings = {"n": 100000}
+        assert estimate_kernel(fast, bindings, 1, MACHINE).cycles < \
+            estimate_kernel(slow, bindings, 1, MACHINE).cycles
+
+    def test_threads_help_only_parallel_loops(self):
+        fn = lowered(self.SRC, "AVX_512", ["-fopenmp"]).function("f")
+        serial_src = self.SRC.replace("#pragma omp parallel for reduction(+: s)\n", "")
+        serial = lowered(serial_src, "AVX_512", ["-fopenmp"]).function("f")
+        bindings = {"n": 1_000_000}
+        par_speedup = estimate_kernel(fn, bindings, 1, MACHINE).cycles \
+            / estimate_kernel(fn, bindings, 16, MACHINE).cycles
+        ser_speedup = estimate_kernel(serial, bindings, 1, MACHINE).cycles \
+            / estimate_kernel(serial, bindings, 16, MACHINE).cycles
+        assert par_speedup > 8
+        assert ser_speedup == pytest.approx(1.0)
+
+    def test_openmp_disabled_ignores_parallel(self):
+        fn = lowered(self.SRC, "AVX_512", ["-fopenmp"]).function("f")
+        bindings = {"n": 1_000_000}
+        on = estimate_kernel(fn, bindings, 16, MACHINE, openmp_enabled=True)
+        off = estimate_kernel(fn, bindings, 16, MACHINE, openmp_enabled=False)
+        assert off.cycles > 5 * on.cycles
+        assert on.parallel_loops == 1 and off.parallel_loops == 0
+
+    def test_stats_classify_loops(self):
+        fn = lowered(self.SRC, "AVX_512", ["-fopenmp"]).function("f")
+        cost = estimate_kernel(fn, {"n": 100}, 4, MACHINE)
+        assert cost.vector_loops == 1 and cost.scalar_loops == 0
+
+    def test_kernel_seconds_scales_with_clock(self):
+        fn = lowered(self.SRC, "AVX_512", ["-fopenmp"]).function("f")
+        fast_machine = machine_perf("xeon-6154")   # 3.0 GHz
+        slow_machine = machine_perf("xeon-max")    # 2.0 GHz
+        bindings = {"n": 100000}
+        assert kernel_seconds(fn, bindings, 1, fast_machine) < \
+            kernel_seconds(fn, bindings, 1, slow_machine)
+
+    def test_branchy_code_costs_average(self):
+        src = ("void f(float* x, int n) { for (int i = 0; i < n; i++) {"
+               " if (x[i] > 0.5f) { x[i] = x[i] * 2.0f; } else { x[i] = 0.0f; } } }")
+        fn = lowered(src).function("f")
+        cost = estimate_kernel(fn, {"n": 1000}, 1, MACHINE)
+        assert cost.cycles > 0

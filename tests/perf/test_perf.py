@@ -1,0 +1,225 @@
+"""Performance model: builds, execution, and the paper's orderings."""
+
+import pytest
+
+from repro.apps import gromacs_model, llamacpp_model, lulesh_model
+from repro.discovery import get_system
+from repro.perf import (
+    BuildIncompatibleError,
+    build_app,
+    machine_perf,
+    run_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def gm():
+    return gromacs_model(scale=0.01)
+
+
+def gmx_time(gm, simd, system, workload, threads, steps, **kw):
+    art = build_app(gm, {"GMX_SIMD": simd, "GMX_FFT_LIBRARY": "fftw3"},
+                    label=simd, build_system=system, **kw)
+    return run_workload(art, system, workload, threads=threads, steps=steps).total_seconds
+
+
+class TestMachineCatalog:
+    def test_all_perf_keys_resolve(self):
+        for name in ("ault23", "ault25", "ault01-04", "clariden", "aurora", "dev-machine"):
+            assert machine_perf(get_system(name).perf_key).clock_ghz > 0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            machine_perf("cray-1")
+
+    def test_thread_scaling_sublinear(self):
+        m = machine_perf("xeon-6130")
+        assert 1.0 < m.threads_effective(16) < 16.0
+
+
+class TestBuildApp:
+    def test_hot_functions_compiled(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        assert set(art.machine_functions) == set(gm.hot_functions)
+
+    def test_auto_simd_resolves_from_build_host(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AUTO", "GMX_FFT_LIBRARY": "fftw3"},
+                        build_system=get_system("ault23"))
+        assert art.simd_name == "AVX_512"
+
+    def test_auto_simd_on_amd(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AUTO", "GMX_FFT_LIBRARY": "fftw3"},
+                        build_system=get_system("ault25"))
+        assert art.simd_name == "AVX2_256"
+
+    def test_gpu_backend_recorded(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+                             "GMX_FFT_LIBRARY": "fftw3"})
+        assert art.gpu_backend == "CUDA"
+
+    def test_openmp_flag_propagates(self, gm):
+        on = build_app(gm, {"GMX_SIMD": "SSE2", "GMX_OPENMP": "ON",
+                            "GMX_FFT_LIBRARY": "fftw3"})
+        off = build_app(gm, {"GMX_SIMD": "SSE2", "GMX_OPENMP": "OFF",
+                             "GMX_FFT_LIBRARY": "fftw3"})
+        assert on.openmp and not off.openmp
+
+    def test_arm_build_targets_aarch64(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "ARM_SVE", "GMX_FFT_LIBRARY": "fftw3"},
+                        build_system=get_system("clariden"))
+        assert art.target_family == "aarch64"
+
+
+class TestVectorizationOrdering:
+    """Fig. 2 / Fig. 12: monotone speedups along the ISA ladder."""
+
+    def test_fig2_x86_ordering(self, gm):
+        system = get_system("ault23")
+        times = [gmx_time(gm, simd, system, "fig2", 16, 100)
+                 for simd in ("None", "SSE2", "SSE4.1", "AVX2_128",
+                              "AVX_256", "AVX_512")]
+        assert times == sorted(times, reverse=True)
+        # The headline gap: None is several times slower than any SIMD level.
+        assert times[0] / times[1] > 3.5
+        # AVX-512 over SSE2 lands near the paper's ~1.6x.
+        assert 1.3 < times[1] / times[-1] < 2.0
+
+    def test_fig2_arm_ordering(self, gm):
+        system = get_system("clariden")
+        t_none = gmx_time(gm, "None", system, "fig2", 16, 100)
+        t_sve = gmx_time(gm, "ARM_SVE", system, "fig2", 16, 100)
+        t_neon = gmx_time(gm, "ARM_NEON_ASIMD", system, "fig2", 16, 100)
+        # Paper: NEON slightly faster than SVE on GH200; both >> None.
+        assert t_none > t_sve > t_neon
+        assert 2.5 < t_none / t_neon < 5.5
+
+    def test_openmp_scaling(self, gm):
+        system = get_system("ault01-04")
+        t1 = gmx_time(gm, "AVX_512", system, "testA", 1, 200)
+        t36 = gmx_time(gm, "AVX_512", system, "testA", 36, 200)
+        assert t36 < t1 / 5
+
+    def test_absolute_times_in_paper_band(self, gm):
+        """Fig. 2 absolute values within ~25% of the paper's."""
+        system = get_system("ault23")
+        expected = {"None": 211.9, "SSE2": 38.6, "AVX_256": 28.1, "AVX_512": 24.2}
+        for simd, paper in expected.items():
+            ours = gmx_time(gm, simd, system, "fig2", 16, 100)
+            assert paper * 0.7 < ours < paper * 1.3, (simd, ours, paper)
+
+
+class TestGPUAndLibraries:
+    def test_gpu_offload_wins(self, gm):
+        system = get_system("ault23")
+        cpu = gmx_time(gm, "AVX_512", system, "testB", 16, 100)
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+                             "GMX_FFT_LIBRARY": "fftw3"}, label="gpu")
+        gpu = run_workload(art, system, "testB", threads=16, steps=100).total_seconds
+        assert gpu < cpu / 2
+
+    def test_gpu_build_on_cpu_node_falls_back(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+                             "GMX_FFT_LIBRARY": "fftw3"})
+        report = run_workload(art, get_system("ault01-04"), "testA", threads=16)
+        assert not report.gpu_offloaded
+
+    def test_aurora_needs_manual_define_for_intel_gpu(self, gm):
+        """Sec. 6.3.1: the default SYCL build silently runs CPU-only."""
+        aurora = get_system("aurora")
+        plain = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_GPU": "SYCL",
+                               "GMX_FFT_LIBRARY": "mkl"}, label="plain")
+        fixed = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_GPU": "SYCL",
+                               "GMX_FFT_LIBRARY": "mkl"}, label="fixed",
+                          extra_defines=("-DGMX_GPU_NB_CLUSTER_SIZE=4",))
+        r_plain = run_workload(plain, aurora, "testA", threads=16)
+        r_fixed = run_workload(fixed, aurora, "testA", threads=16)
+        assert not r_plain.gpu_offloaded
+        assert r_fixed.gpu_offloaded
+        assert r_fixed.total_seconds < r_plain.total_seconds
+
+    def test_mkl_beats_fftw_on_intel(self, gm):
+        system = get_system("ault23")
+        fftw = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        mkl = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "mkl"})
+        t_fftw = run_workload(fftw, system, "testB", threads=16).library_seconds
+        t_mkl = run_workload(mkl, system, "testB", threads=16).library_seconds
+        assert t_mkl < t_fftw
+
+    def test_openblas_drags_cpu_part(self, gm):
+        """The Fig. 10 Spack-default observation."""
+        system = get_system("ault23")
+        base = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        spack = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"},
+                          blas_library="openblas")
+        assert run_workload(spack, system, "testB", threads=16).total_seconds > \
+            run_workload(base, system, "testB", threads=16).total_seconds
+
+    def test_fftpack_internal_is_slow(self, gm):
+        system = get_system("ault01-04")
+        fftw = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        pack = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftpack"})
+        assert run_workload(pack, system, "testB", threads=16).library_seconds > \
+            run_workload(fftw, system, "testB", threads=16).library_seconds
+
+
+class TestCompatibility:
+    def test_x86_binary_rejected_on_arm(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        with pytest.raises(BuildIncompatibleError, match="arm64|amd64"):
+            run_workload(art, get_system("clariden"), "testA")
+
+    def test_avx512_binary_rejected_on_epyc(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "AVX_512", "GMX_FFT_LIBRARY": "fftw3"})
+        with pytest.raises(BuildIncompatibleError, match="cannot execute"):
+            run_workload(art, get_system("ault25"), "testA")
+
+    def test_portable_sse_build_runs_everywhere_x86(self, gm):
+        art = build_app(gm, {"GMX_SIMD": "SSE4.1", "GMX_FFT_LIBRARY": "fftw3"})
+        for name in ("ault23", "ault25", "ault01-04", "aurora"):
+            report = run_workload(art, get_system(name), "testA", threads=8)
+            assert report.total_seconds > 0
+
+
+class TestLlamaAndLulesh:
+    def test_llama_naive_vs_gpu(self):
+        lm = llamacpp_model()
+        system = get_system("ault23")
+        naive = build_app(lm, {"GGML_AVX2": "ON"}, label="naive")
+        gpu = build_app(lm, {"GGML_CUDA": "ON"}, label="gpu")
+        t_naive = sum(run_workload(naive, system, w, threads=16).total_seconds
+                      for w in ("pp512", "tg128"))
+        t_gpu = sum(run_workload(gpu, system, w, threads=16).total_seconds
+                    for w in ("pp512", "tg128"))
+        assert t_gpu < t_naive / 3
+
+    def test_llama_fig11_band(self):
+        """Ault23 naive ~26.9s in the paper; ours within 30%."""
+        lm = llamacpp_model()
+        naive = build_app(lm, {"GGML_AVX2": "ON"}, label="naive")
+        total = sum(run_workload(naive, get_system("ault23"), w, threads=16).total_seconds
+                    for w in ("pp512", "tg128"))
+        assert 26.9 * 0.7 < total < 26.9 * 1.3
+
+    def test_lulesh_openmp_build_faster(self):
+        lm = lulesh_model()
+        system = get_system("ault01-04")
+        omp = build_app(lm, {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}, label="omp")
+        plain = build_app(lm, {"WITH_MPI": "OFF", "WITH_OPENMP": "OFF"}, label="plain")
+        t_omp = run_workload(omp, system, "s50", threads=16).total_seconds
+        t_plain = run_workload(plain, system, "s50", threads=16).total_seconds
+        assert t_omp < t_plain
+
+    def test_report_fields(self):
+        lm = lulesh_model()
+        art = build_app(lm, {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"})
+        rep = run_workload(art, get_system("ault01-04"), "s50", threads=4)
+        assert rep.compute_seconds + rep.io_seconds == pytest.approx(rep.total_seconds)
+        assert set(rep.kernel_seconds) == set(lm.hot_functions)
+        assert str(rep)
+
+    def test_determinism(self):
+        lm = lulesh_model()
+        art = build_app(lm, {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"})
+        a = run_workload(art, get_system("ault01-04"), "s50", threads=4).total_seconds
+        b = run_workload(art, get_system("ault01-04"), "s50", threads=4).total_seconds
+        assert a == b

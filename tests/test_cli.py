@@ -1,0 +1,67 @@
+"""CLI deployment tool (python -m repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_discover(self, capsys):
+        code, out = run_cli(capsys, "discover", "--system", "ault23")
+        assert code == 0
+        features = json.loads(out)
+        assert features["CPU Info"]["model"] == "Intel Xeon Gold 6130"
+
+    def test_analyze(self, capsys):
+        code, out = run_cli(capsys, "analyze", "--app", "lulesh")
+        assert code == 0
+        report = json.loads(out)
+        assert "MPI" in report["parallel_programming_libraries"]
+
+    def test_intersect(self, capsys):
+        code, out = run_cli(capsys, "intersect", "--app", "gromacs",
+                            "--system", "ault25")
+        assert code == 0
+        result = json.loads(out)
+        assert "CUDA" in result["common_specialization"]["gpu_backends"]
+        assert result["operator_default_selection"]["GMX_SIMD"] == "AVX2_256"
+
+    def test_ir_build_stats_only(self, capsys):
+        code, out = run_cli(capsys, "ir-build", "--app", "lulesh", "--stats-only")
+        assert code == 0
+        assert "20 TUs -> 14 IRs" in out
+
+    def test_deploy_ir(self, capsys):
+        code, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                            "--system", "ault01-04", "--mode", "ir",
+                            "--workload", "s50")
+        assert code == 0
+        assert "lowered ISA: AVX_512" in out
+        assert "lulesh/s50" in out
+
+    def test_deploy_source(self, capsys):
+        code, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                            "--system", "ault01-04", "--mode", "source")
+        assert code == 0
+        assert "image tag:" in out
+
+    def test_bench_with_options(self, capsys):
+        code, out = run_cli(capsys, "bench", "--app", "gromacs",
+                            "--system", "ault23", "--workload", "testA",
+                            "--option", "GMX_SIMD=AVX_512",
+                            "--option", "GMX_FFT_LIBRARY=mkl")
+        assert code == 0
+        assert "gromacs/testA" in out
+        assert "nb_kernel" in out
+
+    def test_unknown_system_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["discover", "--system", "summit"])

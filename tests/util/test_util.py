@@ -1,0 +1,161 @@
+"""Utilities: hashing, RNG, tokens, schema validation, expressions."""
+
+import pytest
+
+from repro.util import (
+    DeterministicRNG,
+    SchemaError,
+    content_digest,
+    count_tokens,
+    short_digest,
+    stable_hash,
+    validate_schema,
+)
+from repro.util.exprs import ExprError, eval_expr
+from repro.util.hashing import is_digest
+from repro.util.json_schema import conforms
+
+
+class TestHashing:
+    def test_digest_format(self):
+        d = content_digest(b"abc")
+        assert d.startswith("sha256:") and len(d) == 7 + 64
+        assert is_digest(d)
+
+    def test_str_bytes_equivalence(self):
+        assert content_digest("xaas") == content_digest(b"xaas")
+
+    def test_is_digest_rejects_garbage(self):
+        assert not is_digest("md5:abc")
+        assert not is_digest("sha256:xyz")
+
+    def test_short_digest(self):
+        d = content_digest(b"abc")
+        assert short_digest(d) == d[7:19]
+
+    def test_stable_hash_key_order_independent(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_stable_hash_sets(self):
+        assert stable_hash({"s": {3, 1, 2}}) == stable_hash({"s": {1, 2, 3}})
+
+    def test_stable_hash_distinguishes(self):
+        assert stable_hash([1, 2]) != stable_hash([2, 1])
+
+
+class TestRNG:
+    def test_same_key_same_stream(self):
+        a, b = DeterministicRNG("k"), DeterministicRNG("k")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_keys_differ(self):
+        assert DeterministicRNG("k1").random() != DeterministicRNG("k2").random()
+
+    def test_child_streams_independent(self):
+        root = DeterministicRNG("root")
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG("k").choice([])
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG("k")
+        assert not rng.bernoulli(0.0)
+        assert DeterministicRNG("k2").bernoulli(1.0)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG("k")
+        out = rng.shuffle(list(range(20)))
+        assert sorted(out) == list(range(20))
+
+
+class TestTokens:
+    def test_vendor_ordering(self):
+        text = "option(GMX_SIMD AVX_512)\n" * 50
+        openai = count_tokens(text, "openai")
+        google = count_tokens(text, "google")
+        anthropic = count_tokens(text, "anthropic")
+        assert openai < google < anthropic
+
+    def test_vendor_ratio_matches_table4(self):
+        """Table 4: Anthropic/OpenAI token ratio ~1.32 on the same input."""
+        text = "set(GMX_FFT_LIBRARY fftw3)\nfind_package(FFTW 3.3 REQUIRED)\n" * 100
+        ratio = count_tokens(text, "anthropic") / count_tokens(text, "openai")
+        assert ratio == pytest.approx(1.318, rel=0.02)
+
+    def test_longer_text_more_tokens(self):
+        assert count_tokens("a b c " * 100) > count_tokens("a b c " * 10)
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(ValueError, match="unknown vendor"):
+            count_tokens("x", "mistral")
+
+
+class TestSchema:
+    SCHEMA = {
+        "type": "object",
+        "properties": {"name": {"type": "string"},
+                       "count": {"type": ["integer", "null"]},
+                       "tags": {"type": "array", "items": {"type": "string"}}},
+        "required": ["name"],
+        "additionalProperties": False,
+    }
+
+    def test_valid(self):
+        validate_schema({"name": "x", "count": None, "tags": ["a"]}, self.SCHEMA)
+
+    def test_missing_required(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            validate_schema({}, self.SCHEMA)
+
+    def test_wrong_type(self):
+        with pytest.raises(SchemaError, match="expected type"):
+            validate_schema({"name": 3}, self.SCHEMA)
+
+    def test_additional_property_rejected(self):
+        with pytest.raises(SchemaError, match="additional property"):
+            validate_schema({"name": "x", "bogus": 1}, self.SCHEMA)
+
+    def test_union_type(self):
+        validate_schema({"name": "x", "count": 3}, self.SCHEMA)
+        validate_schema({"name": "x", "count": None}, self.SCHEMA)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(SchemaError):
+            validate_schema({"name": "x", "count": True}, self.SCHEMA)
+
+    def test_array_items(self):
+        with pytest.raises(SchemaError):
+            validate_schema({"name": "x", "tags": [1]}, self.SCHEMA)
+
+    def test_enum(self):
+        schema = {"type": "string", "enum": ["cmake", "make"]}
+        validate_schema("cmake", schema)
+        with pytest.raises(SchemaError, match="enum"):
+            validate_schema("bazel", schema)
+
+    def test_conforms_wrapper(self):
+        assert conforms({"name": "x"}, self.SCHEMA)
+        assert not conforms({}, self.SCHEMA)
+
+
+class TestExprs:
+    @pytest.mark.parametrize("src,expected", [
+        ("3 + 4 * 2", 11.0), ("(3 + 4) * 2", 14.0), ("10 / 4", 2.5),
+        ("7 % 3", 1.0), ("-n + 2", -8.0), ("n * m", 200.0), ("2.5 * 2", 5.0),
+    ])
+    def test_eval(self, src, expected):
+        assert eval_expr(src, {"n": 10, "m": 20}) == pytest.approx(expected)
+
+    def test_unbound_identifier(self):
+        with pytest.raises(ExprError, match="unbound identifier"):
+            eval_expr("n + 1", {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError, match="division by zero"):
+            eval_expr("1 / 0", {})
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExprError):
+            eval_expr("1 + 2 )", {})
