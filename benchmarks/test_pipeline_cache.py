@@ -1,0 +1,61 @@
+"""Staged pipeline engine: artifact-cache reuse and batch-deployment fan-out.
+
+Not a paper figure — this benchmarks the production machinery of ISSUE 1:
+a warm :class:`~repro.containers.store.ArtifactCache` must make repeated
+IR-container builds (the five-ISA GROMACS sweep, benchmark reruns) skip all
+preprocessing and IR compilation, and ``deploy_batch`` must lower each IR
+once per ISA group rather than once per system.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.apps import five_isa_configs, lulesh_configs, lulesh_model
+from repro.containers import ArtifactCache, BlobStore
+from repro.core import build_ir_container, deploy_batch
+from repro.discovery import get_system
+
+BATCH_SYSTEMS = ("ault01-04", "ault23", "aurora", "ault25")
+
+
+def test_warm_rebuild_does_no_compilation(benchmark, gromacs_perf_model):
+    configs = five_isa_configs()
+    cache = ArtifactCache()
+    start = time.perf_counter()
+    cold = build_ir_container(gromacs_perf_model, configs, cache=cache)
+    cold_seconds = time.perf_counter() - start
+
+    warm = benchmark(lambda: build_ir_container(gromacs_perf_model, configs,
+                                                cache=cache))
+    print_table("Warm rebuild vs cold (GROMACS 5-ISA sweep)",
+                ("build", "preprocess ops", "IR compiles", "seconds"),
+                [("cold", cold.stats.preprocess_ops, cold.stats.ir_compile_ops,
+                  f"{cold_seconds:.3f}"),
+                 ("warm", warm.stats.preprocess_ops, warm.stats.ir_compile_ops,
+                  "(see pytest-benchmark)")])
+    assert cold.stats.preprocess_ops > 0
+    assert warm.stats.preprocess_ops == 0
+    assert warm.stats.ir_compile_ops == 0
+    assert warm.image.digest == cold.image.digest
+
+
+def test_batch_deployment_reuses_lowerings(benchmark):
+    result = build_ir_container(lulesh_model(), lulesh_configs())
+    systems = [get_system(name) for name in BATCH_SYSTEMS]
+    options = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+
+    batch = benchmark(lambda: deploy_batch(result, lulesh_model(), options,
+                                           systems, BlobStore()))
+    rows = [(g.family, g.simd_name, ", ".join(g.systems)) for g in batch.plan.groups]
+    print_table("Batch deployment ISA groups (LULESH)",
+                ("family", "ISA", "systems"), rows)
+    print_table("Lowered-object reuse",
+                ("metric", "count"),
+                [("systems deployed", len(batch.deployments)),
+                 ("lowerings performed", batch.lowerings_performed),
+                 ("lowerings reused", batch.lowerings_reused)])
+    assert len(batch.deployments) == len(BATCH_SYSTEMS)
+    # One lowering pass per ISA group, cache hits for every further system.
+    assert batch.lowerings_reused >= batch.lowerings_performed
+    assert {g.simd_name for g in batch.plan.groups} == {"AVX_512", "AVX2_256"}

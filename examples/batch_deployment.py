@@ -1,0 +1,44 @@
+"""Batch deployment: one IR container fanned out to a whole testbed.
+
+Builds the LULESH IR container once (through a shared artifact cache, so a
+rebuild is free), plans the ISA groups for four systems, and deploys them
+in one batch — systems sharing an ISA reuse the lowered machine modules.
+
+Run:  PYTHONPATH=src python examples/batch_deployment.py
+"""
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.containers import ArtifactCache, BlobStore
+from repro.core import build_ir_container, deploy_batch
+from repro.discovery import get_system
+from repro.perf import run_workload
+
+
+def main() -> None:
+    app = lulesh_model()
+    store = BlobStore()
+    cache = ArtifactCache()
+
+    result = build_ir_container(app, lulesh_configs(), store=store, cache=cache)
+    print("IR container:", result.stats.summary())
+
+    rebuild = build_ir_container(app, lulesh_configs(), store=store, cache=cache)
+    print(f"warm rebuild: {rebuild.stats.preprocess_ops} preprocess ops, "
+          f"{rebuild.stats.ir_compile_ops} IR compiles "
+          f"({rebuild.stats.cache_hit_total()} cache hits)")
+
+    systems = [get_system(n) for n in ("ault01-04", "ault23", "aurora", "ault25")]
+    options = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+    batch = deploy_batch(result, app, options, systems, store, cache=cache)
+
+    print("plan:", batch.plan.summary())
+    print(f"lowerings: {batch.lowerings_performed} performed, "
+          f"{batch.lowerings_reused} reused across the batch")
+    for dep in batch.deployments:
+        report = run_workload(dep.artifact, dep.system, "s50", threads=8)
+        print(f"  {dep.system.name:<12} {dep.simd_name:<10} "
+              f"{report.total_seconds:8.1f}s  tag={dep.tag}")
+
+
+if __name__ == "__main__":
+    main()

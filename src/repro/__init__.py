@@ -6,6 +6,9 @@ Packages
 ``repro.core``
     The paper's contribution: source containers, the IR-container pipeline,
     feature intersection, deployment.
+``repro.pipeline``
+    Staged execution engine: stage graph with validated dataflow, artifact
+    cache plumbing, parallel map, batch deployment planning.
 ``repro.compiler``
     Clang/LLVM analog: preprocessor, C-subset frontend, structured IR,
     passes, ISA lowering, reference interpreter.

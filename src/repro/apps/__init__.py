@@ -33,12 +33,25 @@ from repro.apps.llamacpp import llamacpp_model, llamacpp_tree
 from repro.apps.lulesh import lulesh_configs, lulesh_model, lulesh_tree
 from repro.apps.qespresso import qespresso_model, qespresso_tree
 
+
+def default_ir_sweep(app_name: str) -> tuple[list[dict[str, str]], dict[str, str]]:
+    """The canonical IR-container sweep for an app: ``(configs, default)``.
+
+    ``configs`` is the configuration set baked into the app's IR container
+    (what the CLI and the benchmarks drive); ``default`` is the
+    configuration a deployment selects when the user does not choose one.
+    """
+    if app_name == "lulesh":
+        return lulesh_configs(), {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+    configs = five_isa_configs()
+    return configs, configs[-1]
+
 __all__ = [
     "AppModel", "Workload", "kernel_filler_source",
     "TABLE1", "TABLE2", "XAAS_LAYERS", "AppSpecializationProfile",
     "PortabilityLayer", "portability_continuum", "table1_rows", "table2_rows",
-    "cuda_vector_configs", "five_isa_configs", "gromacs_model", "gromacs_tree",
-    "mpi_openmp_configs",
+    "cuda_vector_configs", "default_ir_sweep", "five_isa_configs",
+    "gromacs_model", "gromacs_tree", "mpi_openmp_configs",
     "llamacpp_model", "llamacpp_tree",
     "lulesh_configs", "lulesh_model", "lulesh_tree",
     "qespresso_model", "qespresso_tree",

@@ -18,12 +18,13 @@ import argparse
 import json
 import sys
 
-from repro.apps import gromacs_model, llamacpp_model, lulesh_configs, lulesh_model
-from repro.containers import BlobStore
+from repro.apps import default_ir_sweep, gromacs_model, llamacpp_model, lulesh_model
+from repro.containers import ArtifactCache, BlobStore
 from repro.core import (
     build_ir_container,
     build_source_image,
     default_selection,
+    deploy_batch,
     deploy_ir_container,
     deploy_source_container,
     intersect_specializations,
@@ -74,12 +75,16 @@ def cmd_intersect(args) -> int:
 def cmd_ir_build(args) -> int:
     """Run the IR-container pipeline and print the dedup statistics."""
     app = _app(args.app)
-    if args.app == "lulesh":
-        configs = lulesh_configs()
-    else:
-        from repro.apps import five_isa_configs
-        configs = five_isa_configs()
+    configs, _ = default_ir_sweep(args.app)
     result = build_ir_container(app, configs, compile_irs=not args.stats_only)
+    if args.json:
+        print(json.dumps({
+            "app": args.app,
+            "stats": result.stats.to_json(),
+            "image_digest": result.image.digest,
+            "image_size_bytes": result.image.total_size,
+        }, indent=2, sort_keys=True))
+        return 0
     print(result.stats.summary())
     print(f"image digest: {result.image.digest}")
     print(f"image size: {result.image.total_size} bytes")
@@ -101,13 +106,7 @@ def cmd_deploy(args) -> int:
         artifact, tag = dep.artifact, dep.tag
         print("selection:", json.dumps(dep.selection, sort_keys=True))
     else:
-        if args.app == "lulesh":
-            configs = lulesh_configs()
-            chosen = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
-        else:
-            from repro.apps import five_isa_configs
-            configs = five_isa_configs()
-            chosen = configs[-1]
+        configs, chosen = default_ir_sweep(args.app)
         result = build_ir_container(app, configs)
         dep = deploy_ir_container(result, app, chosen, system, store)
         artifact, tag = dep.artifact, dep.tag
@@ -116,6 +115,61 @@ def cmd_deploy(args) -> int:
     if args.workload:
         report = run_workload(artifact, system, args.workload, threads=args.threads)
         print(report)
+    return 0
+
+
+def cmd_deploy_batch(args) -> int:
+    """Build one IR container and deploy it to many systems in one batch."""
+    from repro.core import IRDeploymentError
+
+    app = _app(args.app)
+    systems = []
+    for name in args.systems.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        try:
+            systems.append(get_system(name))
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+    if not systems:
+        raise SystemExit("--systems needs at least one system name")
+    configs, chosen = default_ir_sweep(args.app)
+    store = BlobStore()
+    cache = ArtifactCache()
+    result = build_ir_container(app, configs, store=store, cache=cache)
+    try:
+        batch = deploy_batch(result, app, chosen, systems, store, cache=cache,
+                             skip_incompatible=args.skip_incompatible)
+    except IRDeploymentError as exc:
+        raise SystemExit(
+            f"deploy-batch failed: {exc}\n"
+            "(--skip-incompatible deploys to the compatible systems only)")
+    if args.json:
+        print(json.dumps({
+            "app": args.app,
+            "plan": {
+                "groups": [{"family": g.family, "simd": g.simd_name,
+                            "systems": list(g.systems)}
+                           for g in batch.plan.groups],
+                "incompatible": batch.plan.incompatible,
+            },
+            "deployments": [{"system": dep.system.name, "tag": dep.tag,
+                             "simd": dep.simd_name,
+                             "lowered_count": dep.lowered_count}
+                            for dep in batch.deployments],
+            "lowerings_performed": batch.lowerings_performed,
+            "lowerings_reused": batch.lowerings_reused,
+            "build_stats": result.stats.to_json(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"plan: {batch.plan.summary()}")
+    for dep in batch.deployments:
+        print(f"  {dep.system.name:<12} isa={dep.simd_name:<10} tag={dep.tag}")
+    for name, reason in batch.plan.incompatible.items():
+        print(f"  {name:<12} SKIPPED: {reason}")
+    print(f"lowerings: {batch.lowerings_performed} performed, "
+          f"{batch.lowerings_reused} reused from cache")
     return 0
 
 
@@ -157,6 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", required=True, choices=sorted(APPS))
     p.add_argument("--stats-only", action="store_true",
                    help="dedup analysis without compiling IRs")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable pipeline + cache statistics")
     p.set_defaults(func=cmd_ir_build)
 
     p = sub.add_parser("deploy", help="deploy a container to a system (Figs. 6/8)")
@@ -166,6 +222,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="")
     p.add_argument("--threads", type=int, default=16)
     p.set_defaults(func=cmd_deploy)
+
+    p = sub.add_parser("deploy-batch",
+                       help="deploy one IR container to many systems at once")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--systems", required=True,
+                   help="comma-separated system names (e.g. ault23,ault25)")
+    p.add_argument("--skip-incompatible", action="store_true",
+                   help="skip systems the IR container cannot run on")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable plan + reuse statistics")
+    p.set_defaults(func=cmd_deploy_batch)
 
     p = sub.add_parser("bench", help="predict a workload run")
     p.add_argument("--app", required=True, choices=sorted(APPS))

@@ -183,6 +183,35 @@ class Compiler:
         return result, self.lower(result.module, flags)
 
 
+def compile_to_ir_cached(compiler: Compiler, source: str, flags: list[str],
+                         name: str = "unit", cache=None,
+                         context_key=None) -> tuple[str, ir.Module, bool]:
+    """Cache-aware frontend: ``(canonical IR text, module, freshly compiled)``.
+
+    The cache key covers the source text, the frontend-relevant flags, and a
+    caller-supplied ``context_key`` capturing everything the include
+    resolver can reach (source-tree and generated-header digests) — the
+    parts of compilation state the compiler itself cannot see. The live
+    :class:`~repro.compiler.ir.Module` is required for a hit (``cache`` is
+    an :class:`~repro.containers.store.ArtifactCache`): deployment lowers
+    in-process objects, so a payload-only entry is not reusable here.
+    """
+    if cache is None:
+        result = compiler.compile_to_ir(source, flags, name)
+        return result.module.render(), result.module, True
+    from repro.util.hashing import content_digest
+    parts = {"src": content_digest(source), "name": name,
+             "fe": sorted(classify_flags(list(flags)).frontend),
+             "ctx": context_key}
+    entry = cache.get("ir", parts, require_obj=True)
+    if entry is not None:
+        return entry.payload, entry.obj, False
+    result = compiler.compile_to_ir(source, flags, name)
+    text = result.module.render()
+    cache.put("ir", parts, text, obj=result.module)
+    return text, result.module, True
+
+
 def make_resolver(headers: dict[str, str]) -> IncludeResolver:
     """Build an include resolver from a name -> text mapping."""
 

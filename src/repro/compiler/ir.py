@@ -307,6 +307,21 @@ class Module:
         return content_digest(self.render())
 
 
+def frontend_flags_of(ir_text: str) -> list[str]:
+    """Read the recorded frontend flags back out of a canonical IR text.
+
+    Inverse of the ``; flags:`` comment :meth:`Module.render` emits: tools
+    inspecting an IR container's layers recover the compilation context
+    without the live module objects.
+    """
+    for line in ir_text.splitlines():
+        if line.startswith("; flags: "):
+            return line[len("; flags: "):].split()
+        if not line.startswith(("module", ";")):
+            break
+    return []
+
+
 # -- rendering ----------------------------------------------------------------------
 
 def _render_function(fn: Function) -> list[str]:

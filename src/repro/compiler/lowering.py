@@ -14,6 +14,8 @@ instruction list.
 
 from __future__ import annotations
 
+import json
+import threading
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -154,6 +156,76 @@ def lower_module(module: ir.Module, target: TargetMachine, opt_level: int = 2,
         mfn = MachineFunction(fn.name, target)
         mfn.body = _lower_region(fn.body, target, vector_width=1, local_names=local_names)
         mmod.functions[fn.name] = mfn
+    return mmod
+
+
+# lower_module annotates the IR module in place (vectorization attributes),
+# so concurrent lowerings of *one* module for different targets would race.
+# Serialize per module — distinct modules still lower concurrently, which is
+# what lets deploy_batch's ISA groups overlap.
+_LOWER_LOCK_GUARD = threading.Lock()
+
+
+def _module_lock(module: ir.Module) -> threading.Lock:
+    lock = getattr(module, "_lower_lock", None)
+    if lock is None:
+        with _LOWER_LOCK_GUARD:
+            lock = getattr(module, "_lower_lock", None)
+            if lock is None:
+                lock = threading.Lock()
+                module._lower_lock = lock
+    return lock
+
+
+def _opt_levels_seen(module: ir.Module) -> set[int]:
+    """Which -O levels this module has already been lowered at (caller must
+    hold the module lock)."""
+    seen = getattr(module, "_lowered_opt_levels", None)
+    if seen is None:
+        seen = set()
+        module._lowered_opt_levels = seen
+    return seen
+
+
+def lower_module_cached(module: ir.Module, target: TargetMachine,
+                        opt_level: int = 2, cache=None,
+                        ir_digest: str | None = None) -> MachineModule:
+    """Cache-aware lowering: reuse the machine module for ``(IR, ISA, -O)``.
+
+    This is what lets a batch deployment fan one IR container out to many
+    systems and lower each IR once per distinct ISA rather than once per
+    system. ``cache`` is an :class:`~repro.containers.store.ArtifactCache`
+    (``None`` falls back to plain :func:`lower_module`); ``ir_digest``
+    supplies the module's content digest when the caller already knows it
+    (manifest entries do), avoiding a re-render.
+    """
+    if cache is None:
+        # Still record the opt level (and serialize the mutation): a later
+        # *cached* lowering of this module must know it is no longer
+        # pristine, or it would publish a tainted entry as cacheable.
+        with _module_lock(module):
+            mmod = lower_module(module, target, opt_level)
+            _opt_levels_seen(module).add(opt_level)
+        return mmod
+    parts = {"ir": ir_digest or module.fingerprint(),
+             "target": target.name, "opt": opt_level}
+    entry = cache.get("lower", parts, require_obj=True)
+    if entry is not None:
+        return entry.obj
+    with _module_lock(module):
+        # run_optimization_pipeline mutates the module destructively
+        # (fold/DCE are not undone the way vectorization attributes are), so
+        # a module lowered at mixed -O levels no longer yields deterministic
+        # per-level results. Cache only results still derived from pristine
+        # state: all lowerings of this module so far used this same level.
+        opts_seen = _opt_levels_seen(module)
+        cacheable = not opts_seen or opts_seen == {opt_level}
+        mmod = lower_module(module, target, opt_level)
+        opts_seen.add(opt_level)
+    if cacheable:
+        payload = json.dumps({"target": target.name, "opt": opt_level,
+                              "functions": sorted(mmod.functions)}, sort_keys=True)
+        cache.put("lower", parts, payload, obj=mmod)
     return mmod
 
 

@@ -43,7 +43,13 @@ from repro.containers.runtime import (
     runtime_for,
     sarus_runtime,
 )
-from repro.containers.store import BlobNotFound, BlobStore
+from repro.containers.store import (
+    ArtifactCache,
+    BlobNotFound,
+    BlobStore,
+    CacheCounters,
+    CacheEntry,
+)
 
 __all__ = [
     "BuildError", "Dockerfile", "ImageBuilder",
@@ -57,5 +63,5 @@ __all__ = [
     "Registry", "RegistryError",
     "ContainerRuntime", "RunningContainer", "apptainer_runtime",
     "docker_runtime", "podman_hpc_runtime", "runtime_for", "sarus_runtime",
-    "BlobNotFound", "BlobStore",
+    "ArtifactCache", "BlobNotFound", "BlobStore", "CacheCounters", "CacheEntry",
 ]

@@ -10,9 +10,11 @@ mutate the pulled one.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.util.hashing import content_digest, is_digest
+from repro.util.hashing import content_digest, is_digest, stable_hash
 
 
 class BlobNotFound(KeyError):
@@ -60,3 +62,123 @@ class BlobStore:
         stored = dest.put(data)
         if stored != digest:  # pragma: no cover - put() recomputes, cannot differ
             raise RuntimeError("digest mismatch during transfer")
+
+
+# -- artifact cache ------------------------------------------------------------
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for one cache namespace."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached artifact: its blob digest, payload text, and — when the
+    artifact lives in this process — the live object it serializes."""
+
+    digest: str
+    payload: str
+    obj: Any = None
+
+
+class ArtifactCache:
+    """Content-addressed build-artifact cache layered on a :class:`BlobStore`.
+
+    Pipeline stages key intermediate artifacts (preprocessed text, IR
+    modules, lowered machine modules) by the content digests of everything
+    that went into producing them, so a repeated build — or a batch
+    deployment fanning one IR container out to many systems — reuses work
+    instead of recomputing it. Payload text is persisted in the underlying
+    blob store (shareable, digest-verified); non-serializable live objects
+    (e.g. :class:`~repro.compiler.ir.Module`) ride along in-process only.
+
+    Namespaces ("preprocess", "ir", "lower") keep independent hit/miss
+    counters, surfaced per build in ``PipelineStats``. Thread-safe: the
+    pipeline's parallel map may look up and publish concurrently.
+    """
+
+    def __init__(self, store: BlobStore | None = None):
+        self.store = store if store is not None else BlobStore()
+        self._index: dict[str, str] = {}      # cache key -> payload digest
+        self._objects: dict[str, Any] = {}    # cache key -> live object
+        self._counters: dict[str, CacheCounters] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def cache_key(namespace: str, parts: Any) -> str:
+        """Canonical key: namespace + JSON-stable digest of the parts."""
+        return stable_hash({"ns": namespace, "key": parts})
+
+    def get(self, namespace: str, parts: Any,
+            require_obj: bool = False) -> CacheEntry | None:
+        """Look up an artifact; counts a hit or miss in ``namespace``.
+
+        ``require_obj=True`` treats a payload-only entry as a miss — for
+        artifacts (IR modules, machine modules) whose live object cannot be
+        reconstructed from the payload text alone.
+        """
+        key = self.cache_key(namespace, parts)
+        with self._lock:
+            counters = self._counters.setdefault(namespace, CacheCounters())
+            digest = self._index.get(key)
+            obj = self._objects.get(key)
+            if digest is None or not self.store.has(digest) \
+                    or (require_obj and obj is None):
+                counters.misses += 1
+                return None
+            counters.hits += 1
+            # Read under the lock: the index said the blob exists, and
+            # nothing may evict it between that check and this read.
+            payload = self.store.get_text(digest)
+        return CacheEntry(digest, payload, obj)
+
+    def put(self, namespace: str, parts: Any, payload: str,
+            obj: Any = None) -> CacheEntry:
+        """Publish an artifact; idempotent, does not touch the counters."""
+        key = self.cache_key(namespace, parts)
+        with self._lock:
+            # The backing BlobStore is a plain dict; keep its mutation under
+            # this cache's lock so worker threads never race it.
+            digest = self.store.put(payload)
+            self._index[key] = digest
+            if obj is not None:
+                self._objects[key] = obj
+            else:
+                # Re-publishing without an object must not leave a stale
+                # live object paired with the new payload.
+                self._objects.pop(key, None)
+        return CacheEntry(digest, payload, obj)
+
+    def put_blob(self, payload: str) -> str:
+        """Store a raw content-addressed blob with no index entry.
+
+        For bulk artifact bodies (preprocessed text) that a payload refers
+        to by digest, so index payloads stay small and hits stay O(1) in
+        artifact size.
+        """
+        with self._lock:
+            return self.store.put(payload)
+
+    def counters(self, namespace: str) -> CacheCounters:
+        with self._lock:
+            return self._counters.setdefault(namespace, CacheCounters())
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """(hits, misses) per namespace — for computing per-build deltas."""
+        with self._lock:
+            return {ns: (c.hits, c.misses) for ns, c in self._counters.items()}
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -10,15 +10,32 @@
   IR build and image assembly (Fig. 7);
 * :mod:`~repro.core.deployment` — IR-container deployment: select, lower,
   link, install, new image (Fig. 8).
+
+The staged execution engine the IR-container workflow runs on (stage graph,
+artifact cache, parallel map, batch deployment) lives in
+:mod:`repro.pipeline`; the batch entry points are re-exported here.
 """
 
-from repro.core.deployment import DeployedIRApp, IRDeploymentError, deploy_ir_container
+from repro.core.deployment import (
+    DeployedIRApp,
+    IRDeploymentError,
+    deploy_ir_container,
+    select_simd,
+)
 from repro.core.ir_container import (
     IRContainerResult,
     IRPipelineError,
     PipelineStats,
     TranslationUnit,
     build_ir_container,
+    config_name,
+)
+from repro.pipeline.batch import (
+    BatchDeployment,
+    DeploymentPlan,
+    ISAGroup,
+    deploy_batch,
+    plan_batch,
 )
 from repro.core.source_container import (
     DeployedSourceApp,
@@ -37,9 +54,10 @@ from repro.core.specialization import (
 )
 
 __all__ = [
-    "DeployedIRApp", "IRDeploymentError", "deploy_ir_container",
+    "DeployedIRApp", "IRDeploymentError", "deploy_ir_container", "select_simd",
     "IRContainerResult", "IRPipelineError", "PipelineStats",
-    "TranslationUnit", "build_ir_container",
+    "TranslationUnit", "build_ir_container", "config_name",
+    "BatchDeployment", "DeploymentPlan", "ISAGroup", "deploy_batch", "plan_batch",
     "DeployedSourceApp", "SourceContainer", "SourceDeploymentError",
     "build_source_image", "deploy_source_container",
     "CommonSpecialization", "decode_specialization_annotation",

@@ -5,6 +5,11 @@ deployment tool selects that configuration's IR subset, optimizes and lowers
 it for the destination ISA (vectorization happens *here*, not at container
 build), lets the build system finish linking/installation, and assembles a
 new runnable image whose tag encodes the specialization points.
+
+Batch deployment — fanning one IR container out to many systems while
+reusing lowered objects across systems that share an ISA — lives in
+:mod:`repro.pipeline.batch`; this module provides the single-system
+primitive it composes.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.base import AppModel
 from repro.compiler.driver import CompileOptions
-from repro.compiler.lowering import MachineFunction, lower_module
+from repro.compiler.lowering import MachineFunction, lower_module_cached
 from repro.containers.image import (
     ANNOTATION_SPECIALIZATION,
     ANNOTATION_TARGET_SYSTEM,
@@ -24,17 +29,11 @@ from repro.containers.image import (
     Platform,
 )
 from repro.containers.registry import Registry
-from repro.containers.store import BlobStore
-from repro.core.ir_container import IRContainerResult, _config_name
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.core.ir_container import IRContainerResult, config_name
 from repro.core.specialization import encode_specialization_annotation, specialization_tag
 from repro.discovery.system import SystemSpec, best_simd_target
-from repro.perf.model import (
-    BuildArtifact,
-    _blas_library,
-    _fft_library,
-    _gpu_backend,
-    _mpi_flavor,
-)
+from repro.perf.model import BuildArtifact, infer_libraries
 
 
 class IRDeploymentError(RuntimeError):
@@ -55,42 +54,62 @@ class DeployedIRApp:
     notes: list[str] = field(default_factory=list)
 
 
-def deploy_ir_container(result: IRContainerResult, app: AppModel,
-                        options: dict[str, str], system: SystemSpec,
-                        store: BlobStore,
-                        simd_override: str | None = None,
-                        registry: Registry | None = None,
-                        repository: str = "") -> DeployedIRApp:
-    """Deploy one configuration of an IR container onto a system.
+def select_simd(options: dict[str, str], system: SystemSpec,
+                simd_override: str | None = None) -> str:
+    """The ISA a deployment will lower for (paper's precedence rules).
 
-    ``options`` must match one of the configurations the container was built
-    with (the paper's rule: users select from the values chosen at
-    configuration time). ``simd_override`` forces a specific ISA; by default
-    the system's best supported level is used — unless the configuration
-    itself pins one (``GMX_SIMD``), which takes precedence, since the IR set
-    may depend on it through preprocessed text.
+    ``simd_override`` forces a specific ISA; otherwise a configuration that
+    pins one (``GMX_SIMD``) takes precedence — the IR set may depend on it
+    through preprocessed text — and the system's best supported level is
+    the default. The batch planner uses this to group systems that will
+    share lowered objects before any lowering happens.
     """
-    name = _config_name(options)
-    if name not in result.manifests:
-        raise IRDeploymentError(
-            f"configuration {options} was not baked into this IR container; "
-            f"available: {sorted(result.manifests)}")
+    pinned = options.get("GMX_SIMD")
+    if simd_override:
+        return simd_override
+    if pinned and pinned not in ("AUTO", ""):
+        return pinned
+    return best_simd_target(system).name
 
-    # Architecture check: an x86 IR container cannot deploy on ARM (Sec. 5.1).
+
+def check_ir_architecture(result: IRContainerResult, system: SystemSpec) -> str:
+    """Architecture check: an x86 IR container cannot deploy on ARM (Sec. 5.1).
+
+    Returns the system's architecture family; raises on a mismatch.
+    """
     variant = result.image.platform.variant
     want = "aarch64" if system.architecture == "arm64" else "x86_64"
     if variant and variant != want:
         raise IRDeploymentError(
             f"IR container is {variant}, but {system.name} is {want}: "
             "IR is not cross-platform for C/C++ (Sec. 5.1)")
+    return want
 
-    pinned = options.get("GMX_SIMD")
-    if simd_override:
-        simd_name = simd_override
-    elif pinned and pinned not in ("AUTO", ""):
-        simd_name = pinned
-    else:
-        simd_name = best_simd_target(system).name
+
+def deploy_ir_container(result: IRContainerResult, app: AppModel,
+                        options: dict[str, str], system: SystemSpec,
+                        store: BlobStore,
+                        simd_override: str | None = None,
+                        registry: Registry | None = None,
+                        repository: str = "",
+                        cache: ArtifactCache | None = None) -> DeployedIRApp:
+    """Deploy one configuration of an IR container onto a system.
+
+    ``options`` must match one of the configurations the container was built
+    with (the paper's rule: users select from the values chosen at
+    configuration time). ``simd_override`` forces a specific ISA; see
+    :func:`select_simd` for the default precedence. A shared ``cache`` lets
+    deployments reuse lowered machine modules across systems with the same
+    ISA (what :func:`repro.pipeline.batch.deploy_batch` exploits).
+    """
+    name = config_name(options)
+    if name not in result.manifests:
+        raise IRDeploymentError(
+            f"configuration {options} was not baked into this IR container; "
+            f"available: {sorted(result.manifests)}")
+
+    family = check_ir_architecture(result, system)
+    simd_name = select_simd(options, system, simd_override)
 
     # Lower every IR of the selected configuration.
     entries = result.manifests[name]
@@ -107,7 +126,9 @@ def deploy_ir_container(result: IRContainerResult, app: AppModel,
             flags.append("-O3")
         opts = CompileOptions.from_flags(flags)
         openmp = openmp or "-fopenmp" in module.frontend_flags
-        mmod = lower_module(module, opts.resolve_target(), opt_level=opts.opt_level)
+        mmod = lower_module_cached(module, opts.resolve_target(),
+                                   opt_level=opts.opt_level,
+                                   cache=cache, ir_digest=entry["ir"])
         lowered[f"{entry['target']}/{entry['source']}"] = (
             f"object code for {simd_name} ({len(mmod.functions)} functions)")
         for fn_name, mfn in mmod.functions.items():
@@ -115,16 +136,17 @@ def deploy_ir_container(result: IRContainerResult, app: AppModel,
                 machine_functions[fn_name] = mfn
 
     cfg = result.configurations[name]
+    libs = infer_libraries(options)
     artifact = BuildArtifact(
         app=app, options=dict(options), config=cfg,
         simd_name=simd_name,
-        target_family="aarch64" if system.architecture == "arm64" else "x86_64",
+        target_family=family,
         openmp=openmp or options.get("GMX_OPENMP", "ON").upper() == "ON"
         or options.get("WITH_OPENMP", "OFF").upper() == "ON",
-        gpu_backend=_gpu_backend(options),
-        fft_library=_fft_library(options),
-        blas_library=_blas_library(options),
-        mpi_flavor=_mpi_flavor(options),
+        gpu_backend=libs.gpu_backend,
+        fft_library=libs.fft_library,
+        blas_library=libs.blas_library,
+        mpi_flavor=libs.mpi_flavor,
         machine_functions=machine_functions,
         containerized=True,
         label=f"xaas-ir@{system.name}/{simd_name}",
@@ -160,13 +182,3 @@ def deploy_ir_container(result: IRContainerResult, app: AppModel,
                          options=dict(options), simd_name=simd_name,
                          system=system, tag=tag,
                          lowered_count=len(entries), notes=notes)
-
-
-def frontend_flags_of(ir_text: str) -> list[str]:
-    """Read the recorded frontend flags out of a canonical IR text."""
-    for line in ir_text.splitlines():
-        if line.startswith("; flags: "):
-            return line[len("; flags: "):].split()
-        if not line.startswith(("module", ";")):
-            break
-    return []

@@ -1,4 +1,4 @@
-"""The XaaS IR-container pipeline (paper Sec. 4.2-4.3, Fig. 7).
+"""The XaaS IR-container pipeline (paper Sec. 4.2-4.3, Fig. 7) — facade.
 
 Stages, exactly as the paper orders them:
 
@@ -14,82 +14,35 @@ Stages, exactly as the paper orders them:
    identity entirely: LLVM-style vectorizers run at IR level, so the ISA is
    bound at deployment, not at container build.
 
-The surviving equivalence classes are compiled to IR once each and packed
-into an OCI image (architecture ``llvm-ir``) together with the source tree,
-per-configuration manifests, and specialization annotations.
+The staged engine itself lives in :mod:`repro.pipeline`:
+:func:`build_ir_container` here is a thin facade that wires the stage graph
+(:func:`repro.pipeline.stages.build_ir_pipeline`), threads an
+:class:`~repro.containers.store.ArtifactCache` through it so repeated builds
+reuse preprocessed text and compiled IR modules, and packages the result.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 
 from repro.apps.base import AppModel
-from repro.buildsys import (
-    BuildConfiguration,
-    BuildEnvironment,
-    configure,
-    make_include_resolver,
+from repro.buildsys import BuildConfiguration, BuildEnvironment
+from repro.containers.image import Image
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.pipeline.engine import PipelineDefinitionError, StageExecutionError
+from repro.pipeline.stages import (
+    DEDUP_STAGES,
+    IR_FORMAT,
+    TranslationUnit,
+    build_ir_pipeline,
+    config_name,
 )
-from repro.compiler import Compiler
-from repro.compiler.driver import classify_flags
-from repro.compiler.parser import parse
-from repro.compiler.passes import detect_openmp
-from repro.containers.image import (
-    ANNOTATION_IR_FORMAT,
-    ANNOTATION_SPECIALIZATION,
-    Image,
-    ImageConfig,
-    Layer,
-    Platform,
-)
-from repro.containers.store import BlobStore
-from repro.util.hashing import content_digest, stable_hash
+from repro.pipeline.stats import PipelineStats
 
-IR_FORMAT = "xaas-region-ir-v1"
-
-
-@dataclass(frozen=True)
-class TranslationUnit:
-    """One compilation task inside one configuration."""
-
-    config: str
-    target: str
-    source: str
-    flags: tuple[str, ...]
-
-
-@dataclass
-class PipelineStats:
-    """Per-stage accounting for Hypothesis 1 (Sec. 6.4)."""
-
-    configurations: int = 0
-    total_tus: int = 0
-    after_configuration: int = 0
-    after_preprocessing: int = 0
-    after_openmp: int = 0
-    final_irs: int = 0
-    incompatible_flag_fraction: float = 0.0
-    openmp_flag_dropped: int = 0
-    vector_flag_dropped: int = 0
-
-    @property
-    def reduction(self) -> float:
-        """Fraction of TU compilations avoided (the paper's headline %)."""
-        if self.total_tus == 0:
-            return 0.0
-        return 1.0 - self.final_irs / self.total_tus
-
-    def validates_hypothesis1(self) -> bool:
-        """T' < sum(T_i): strictly fewer IRs than translation units."""
-        return self.final_irs < self.total_tus
-
-    def summary(self) -> str:
-        return (f"{self.configurations} configs, {self.total_tus} TUs -> "
-                f"{self.final_irs} IRs ({self.reduction:.1%} reduction); "
-                f"stages: config {self.after_configuration}, "
-                f"preprocess {self.after_preprocessing}, "
-                f"openmp {self.after_openmp}, vectorize {self.final_irs}")
+__all__ = [
+    "IR_FORMAT", "TranslationUnit", "PipelineStats", "IRContainerResult",
+    "IRPipelineError", "build_ir_container", "config_name",
+]
 
 
 @dataclass
@@ -117,13 +70,18 @@ def build_ir_container(app: AppModel, configs: list[dict[str, str]],
                        env: BuildEnvironment | None = None,
                        store: BlobStore | None = None,
                        arch_family: str = "x86_64",
-                       stages: tuple[str, ...] = ("preprocess", "openmp", "vectorize"),
-                       compile_irs: bool = True) -> IRContainerResult:
+                       stages: tuple[str, ...] = DEDUP_STAGES,
+                       compile_irs: bool = True,
+                       cache: ArtifactCache | None = None,
+                       max_workers: int | None = None) -> IRContainerResult:
     """Run the full IR-container pipeline over the given configurations.
 
-    ``stages`` allows ablation (benchmarks disable stages selectively);
-    ``compile_irs=False`` runs only the dedup analysis, which is what the
-    large-scale statistics benchmarks need.
+    ``stages`` selects which dedup stages to register (benchmarks disable
+    stages selectively for ablation); ``compile_irs=False`` runs only the
+    dedup analysis, which is what the large-scale statistics benchmarks
+    need. Passing a shared ``cache`` lets repeated builds (ISA sweeps,
+    benchmarks rebuilding the same app) skip preprocessing and IR
+    compilation entirely; ``max_workers`` bounds the per-TU thread pool.
     """
     if not configs:
         raise IRPipelineError("at least one build configuration is required")
@@ -133,195 +91,53 @@ def build_ir_container(app: AppModel, configs: list[dict[str, str]],
     # (BlobStore defines __len__), so test identity explicitly.
     if store is None:
         store = BlobStore()
+    if cache is None:
+        cache = ArtifactCache()
     stats = PipelineStats(configurations=len(configs))
 
-    # -- stage 1: configuration ------------------------------------------------
-    configurations: dict[str, BuildConfiguration] = {}
-    tus: list[TranslationUnit] = []
-    for options in configs:
-        name = _config_name(options)
-        cfg = configure(app.tree, options, env=env, name=name,
-                        build_dir="/xaas/build")
-        configurations[name] = cfg
-        for cmd in cfg.compile_commands:
-            tus.append(TranslationUnit(name, cmd.target, cmd.source, cmd.flags))
-    stats.total_tus = len(tus)
-
-    # Configuration-stage identity: the full command *plus* the content of
-    # the generated build directory (config headers) — two configurations
-    # with identical command lines still differ if configure emitted
-    # different headers into the (identically-mounted) build dir.
-    gen_digest = {name: stable_hash(sorted(
-        (p, content_digest(c)) for p, c in cfg.generated_files.items()))
-        for name, cfg in configurations.items()}
-    config_groups: dict[str, list[TranslationUnit]] = {}
-    for tu in tus:
-        key = stable_hash({"t": tu.target, "s": tu.source, "f": list(tu.flags),
-                           "gen": gen_digest[tu.config]})
-        config_groups.setdefault(key, []).append(tu)
-    stats.after_configuration = len(config_groups)
-    # Fraction of repeat TUs whose raw flags do not match any earlier config.
-    per_task: dict[tuple[str, str], set[str]] = {}
-    for tu in tus:
-        per_task.setdefault((tu.target, tu.source), set()).add(
-            stable_hash([list(tu.flags), gen_digest[tu.config]]))
-    repeats = sum(len(v) - 1 for v in per_task.values() if len(v) > 1)
-    total_repeat_slots = stats.total_tus - len(per_task)
-    stats.incompatible_flag_fraction = (
-        repeats / total_repeat_slots if total_repeat_slots else 0.0)
-
-    # -- stages 2-4: preprocessing, OpenMP, vectorization delay ---------------------
-    final_groups: dict[str, list[TranslationUnit]] = {}
-    pp_cache: dict[str, tuple[str, bool]] = {}
-    pre_keys: set[str] = set()
-    omp_keys: set[str] = set()
-    for tu in tus:
-        cfg = configurations[tu.config]
-        cls = classify_flags(list(tu.flags))
-        pp_key = stable_hash({"s": tu.source, "cfg_gen": sorted(
-            (p, content_digest(c)) for p, c in cfg.generated_files.items()),
-            "fe": sorted(f for f in cls.frontend if f.startswith(("-D", "-U", "-I")))})
-        if pp_key in pp_cache:
-            text, has_omp = pp_cache[pp_key]
-        else:
-            compiler = Compiler(make_include_resolver(app.tree, cfg))
-            pre = compiler.preprocess(app.tree.read(tu.source), list(tu.flags), tu.source)
-            text = pre.text
-            has_omp = pre.has_openmp_pragma and _ast_confirms_openmp(text)
-            pp_cache[pp_key] = (text, has_omp)
-
-        text_digest = content_digest(text)
-        fopenmp = "-fopenmp" in cls.frontend
-        if "preprocess" not in stages:
-            # Ablation: no preprocessing stage => configuration-stage identity
-            # (raw command + generated build-dir content).
-            final_groups.setdefault(stable_hash(
-                {"t": tu.target, "s": tu.source, "f": list(tu.flags),
-                 "gen": gen_digest[tu.config]}),
-                []).append(tu)
-            continue
-
-        pre_key = stable_hash({"s": tu.source, "pp": text_digest,
-                               "omp": fopenmp,
-                               "tgt": list(cls.target), "opt": list(cls.opt)})
-        pre_keys.add(pre_key)
-
-        omp_relevant = fopenmp and (has_omp or "openmp" not in stages)
-        omp_key = stable_hash({"s": tu.source, "pp": text_digest,
-                               "omp": omp_relevant,
-                               "tgt": list(cls.target), "opt": list(cls.opt)})
-        omp_keys.add(omp_key)
-
-        if "vectorize" in stages:
-            final_key = stable_hash({"s": tu.source, "pp": text_digest,
-                                     "omp": omp_relevant,
-                                     "family": _family_of(cls.target, arch_family)})
-        else:
-            final_key = omp_key
-        final_groups.setdefault(final_key, []).append(tu)
-
-    if "preprocess" in stages:
-        stats.after_preprocessing = len(pre_keys)
-        stats.after_openmp = len(omp_keys) if "openmp" in stages else len(pre_keys)
-        stats.openmp_flag_dropped = stats.after_preprocessing - stats.after_openmp
-        stats.vector_flag_dropped = stats.after_openmp - len(final_groups)
-    else:
-        stats.after_preprocessing = len(final_groups)
-        stats.after_openmp = len(final_groups)
-    stats.final_irs = len(final_groups)
-
-    # -- IR build --------------------------------------------------------------------
-    ir_files: dict[str, str] = {}
-    ir_modules: dict[str, object] = {}
-    group_to_ir: dict[str, str] = {}
-    if compile_irs:
-        for key, members in final_groups.items():
-            rep = members[0]
-            cfg = configurations[rep.config]
-            compiler = Compiler(make_include_resolver(app.tree, cfg))
-            frontend_flags = [f for f in rep.flags
-                              if f.startswith(("-D", "-U", "-I")) or f == "-fopenmp"]
-            result = compiler.compile_to_ir(app.tree.read(rep.source),
-                                            frontend_flags, rep.source)
-            text = result.module.render()
-            digest = content_digest(text)
-            ir_files[digest] = text
-            ir_modules[digest] = result.module
-            group_to_ir[key] = digest
-    else:
-        for key in final_groups:
-            group_to_ir[key] = "sha256:" + "0" * 64
-
-    # -- per-configuration manifests -----------------------------------------------------
-    manifests: dict[str, list[dict]] = {name: [] for name in configurations}
-    for key, members in final_groups.items():
-        for tu in members:
-            cls = classify_flags(list(tu.flags))
-            manifests[tu.config].append({
-                "target": tu.target, "source": tu.source,
-                "ir": group_to_ir[key],
-                "lowering_flags": list(cls.target) + list(cls.opt),
-            })
-
-    image = _assemble_image(app, configs, configurations, ir_files, manifests,
-                            store, arch_family, stats)
-    return IRContainerResult(image=image, stats=stats, ir_files=ir_files,
-                             manifests=manifests, configurations=configurations,
-                             ir_modules=ir_modules)
-
-
-def _ast_confirms_openmp(preprocessed: str) -> bool:
-    """The authoritative AST check; falls back to the textual scan on
-    sources outside the C subset."""
+    before = cache.snapshot()
     try:
-        return detect_openmp(parse(preprocessed))
-    except Exception:
-        return True
+        pipeline = build_ir_pipeline(stages, compile_irs=compile_irs)
+        run = pipeline.run({
+            "app": app, "configs": configs, "env": env, "store": store,
+            "arch_family": arch_family, "stats": stats, "cache": cache,
+            "max_workers": max_workers,
+        })
+    except PipelineDefinitionError as exc:
+        raise IRPipelineError(str(exc)) from exc
+    except StageExecutionError as exc:
+        # Preserve the pre-refactor exception contract: domain errors
+        # (ConfigureError, PreprocessorError, ...) propagate unchanged;
+        # only engine-level dataflow violations become IRPipelineError.
+        if exc.__cause__ is not None:
+            raise exc.__cause__
+        raise IRPipelineError(str(exc)) from exc
+
+    _finalize_stats(stats, stages, run.stage_seconds, before, cache.snapshot())
+    ctx = run.context
+    return IRContainerResult(image=ctx.require("image"), stats=stats,
+                             ir_files=ctx.require("ir_files"),
+                             manifests=ctx.require("manifests"),
+                             configurations=ctx.require("configurations"),
+                             ir_modules=ctx.require("ir_modules"))
 
 
-def _family_of(target_flags: tuple[str, ...], default: str) -> str:
-    for flag in target_flags:
-        if flag.startswith("--target="):
-            return flag.split("=", 1)[1]
-    return default
-
-
-def _config_name(options: dict[str, str]) -> str:
-    return "-".join(f"{k.lower()}_{v.lower()}" for k, v in sorted(options.items())) \
-        or "default"
-
-
-def _assemble_image(app, configs, configurations, ir_files, manifests, store,
-                    arch_family, stats) -> Image:
-    source_layer = Layer({f"/xaas/src/{p}": c for p, c in app.tree.files.items()},
-                         comment="application source (system-dependent files + install)")
-    ir_layer = Layer({f"/xaas/ir/{d.split(':', 1)[1][:24]}.ir": text
-                      for d, text in ir_files.items()},
-                     comment="deduplicated IR files")
-    manifest_layer = Layer(
-        {f"/xaas/manifests/{name}.json": json.dumps(entries, sort_keys=True, indent=1)
-         for name, entries in manifests.items()},
-        comment="per-configuration install manifests")
-    toolchain_layer = Layer({
-        "/xaas/toolchain/clang": "clang-19 (repro simulated toolchain)",
-        "/xaas/toolchain/llvm-link": "llvm-link (repro)",
-    }, comment="LLVM toolchain for deployment-time lowering")
-    config_layer = Layer({
-        "/xaas/configs.json": json.dumps(configs, sort_keys=True, indent=1),
-        "/xaas/stats.json": json.dumps({
-            "total_tus": stats.total_tus, "final_irs": stats.final_irs,
-            "reduction": stats.reduction}, sort_keys=True),
-    }, comment="available build configurations")
-    platform = Platform("llvm-ir", variant=arch_family)
-    annotations = {
-        ANNOTATION_IR_FORMAT: IR_FORMAT,
-        ANNOTATION_SPECIALIZATION: json.dumps(
-            {k: sorted({c.get(k, "") for c in configs})
-             for k in sorted({key for c in configs for key in c})},
-            sort_keys=True),
-        "org.xaas.app": app.name,
-    }
-    return Image.build(
-        [toolchain_layer, source_layer, ir_layer, manifest_layer, config_layer],
-        ImageConfig(platform=platform, labels={"org.xaas.kind": "ir-container"}),
-        store, annotations)
+def _finalize_stats(stats: PipelineStats, stages: tuple[str, ...],
+                    stage_seconds: dict[str, float],
+                    before: dict[str, tuple[int, int]],
+                    after: dict[str, tuple[int, int]]) -> None:
+    """Fill the derived funnel counters and this build's cache deltas."""
+    if "preprocess" in stages:
+        if "openmp" not in stages:
+            stats.after_openmp = stats.after_preprocessing
+        stats.openmp_flag_dropped = stats.after_preprocessing - stats.after_openmp
+        stats.vector_flag_dropped = stats.after_openmp - stats.final_irs
+    else:
+        stats.after_preprocessing = stats.final_irs
+        stats.after_openmp = stats.final_irs
+    stats.stage_seconds = dict(stage_seconds)
+    for namespace, (hits, misses) in after.items():
+        prev_hits, prev_misses = before.get(namespace, (0, 0))
+        if hits - prev_hits or misses - prev_misses:
+            stats.cache_hits[namespace] = hits - prev_hits
+            stats.cache_misses[namespace] = misses - prev_misses

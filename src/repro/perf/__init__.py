@@ -12,8 +12,10 @@ from repro.perf.model import (
     BuildArtifact,
     BuildIncompatibleError,
     ExecutionReport,
+    LibraryBindings,
     build_app,
     default_build_environment,
+    infer_libraries,
     run_workload,
 )
 
@@ -21,5 +23,6 @@ __all__ = [
     "KernelCost", "estimate_kernel", "kernel_seconds",
     "MACHINES", "MachinePerf", "machine_perf",
     "BuildArtifact", "BuildIncompatibleError", "ExecutionReport",
-    "build_app", "default_build_environment", "run_workload",
+    "LibraryBindings", "build_app", "default_build_environment",
+    "infer_libraries", "run_workload",
 ]

@@ -126,19 +126,44 @@ def build_app(app: AppModel, options: dict[str, str],
     if missing:
         raise RuntimeError(f"{app.name}: hot functions not built: {sorted(missing)}")
 
+    libs = infer_libraries(options)
     return BuildArtifact(
         app=app, options=options, config=config,
         simd_name=simd_name or "None",
         target_family=target_family,
         openmp=openmp,
-        gpu_backend=_gpu_backend(options),
-        fft_library=fft_library or _fft_library(options),
-        blas_library=blas_library or _blas_library(options),
-        mpi_flavor=_mpi_flavor(options),
+        gpu_backend=libs.gpu_backend,
+        fft_library=fft_library or libs.fft_library,
+        blas_library=blas_library or libs.blas_library,
+        mpi_flavor=libs.mpi_flavor,
         machine_functions=machine_functions,
         extra_defines=tuple(extra_defines),
         containerized=containerized,
         label=label,
+    )
+
+
+@dataclass(frozen=True)
+class LibraryBindings:
+    """The library/runtime choices a configuration implies.
+
+    Public form of the option-sniffing helpers below — the deployment layer
+    consumes this instead of reaching into this module's private functions.
+    """
+
+    gpu_backend: str | None
+    fft_library: str
+    blas_library: str
+    mpi_flavor: str  # none | mpich | ompi | thread-mpi
+
+
+def infer_libraries(options: dict[str, str]) -> LibraryBindings:
+    """Infer GPU/FFT/BLAS/MPI bindings from a configuration's options."""
+    return LibraryBindings(
+        gpu_backend=_gpu_backend(options),
+        fft_library=_fft_library(options),
+        blas_library=_blas_library(options),
+        mpi_flavor=_mpi_flavor(options),
     )
 
 

@@ -1,0 +1,57 @@
+"""Staged pipeline engine, artifact cache plumbing, and batch deployment.
+
+The production backbone of the IR-container workflow:
+
+* :mod:`~repro.pipeline.engine` — generic :class:`Stage`/:class:`Pipeline`
+  abstraction with validated dataflow and per-stage timing;
+* :mod:`~repro.pipeline.stages` — the IR-container stages (configure,
+  preprocess, OpenMP, vectorization delay, IR compile, image assembly)
+  decomposed from the old monolithic ``build_ir_container``;
+* :mod:`~repro.pipeline.stats` — the dedup/cache/timing scorecard;
+* :mod:`~repro.pipeline.parallel` — deterministic thread-pool map;
+* :mod:`~repro.pipeline.batch` — plan + execute one-container-to-many-
+  systems deployments with lowered-object reuse per ISA group.
+"""
+
+from repro.pipeline.batch import (
+    BatchDeployment,
+    DeploymentPlan,
+    ISAGroup,
+    deploy_batch,
+    plan_batch,
+)
+from repro.pipeline.engine import (
+    Context,
+    Pipeline,
+    PipelineDefinitionError,
+    PipelineRun,
+    Stage,
+    StageExecutionError,
+    StageTiming,
+)
+from repro.pipeline.parallel import parallel_map
+from repro.pipeline.stages import (
+    DEDUP_STAGES,
+    ConfigureStage,
+    ImageAssemblyStage,
+    IRCompileStage,
+    OpenMPStage,
+    PreprocessStage,
+    StatsOnlyIRStage,
+    TranslationUnit,
+    VectorizeStage,
+    build_ir_pipeline,
+    config_name,
+)
+from repro.pipeline.stats import PipelineStats
+
+__all__ = [
+    "BatchDeployment", "DeploymentPlan", "ISAGroup", "deploy_batch", "plan_batch",
+    "Context", "Pipeline", "PipelineDefinitionError", "PipelineRun",
+    "Stage", "StageExecutionError", "StageTiming",
+    "parallel_map",
+    "DEDUP_STAGES", "ConfigureStage", "ImageAssemblyStage", "IRCompileStage",
+    "OpenMPStage", "PreprocessStage", "StatsOnlyIRStage", "TranslationUnit",
+    "VectorizeStage", "build_ir_pipeline", "config_name",
+    "PipelineStats",
+]

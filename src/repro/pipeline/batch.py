@@ -1,0 +1,162 @@
+"""Parallel batch deployment: one IR container, many target systems.
+
+The paper's deployment step (Sec. 4.3.1, Fig. 8) specializes one system at
+a time. At fleet scale, the same IR container is deployed to every node
+class of a datacenter — and most of the work (optimizing + lowering each IR
+for the destination ISA) is identical across systems that share one.
+
+:func:`plan_batch` groups the requested systems by ``(architecture family,
+selected SIMD level)`` *before* any lowering happens, and
+:func:`deploy_batch` deploys the groups concurrently while threading one
+:class:`~repro.containers.store.ArtifactCache` through all of them: the
+first system of each ISA group lowers the configuration's IRs, every other
+system reuses the cached machine modules (the ``lower`` namespace hit
+counters make the reuse auditable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.pipeline.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: core builds on pipeline
+    from repro.apps.base import AppModel
+    from repro.containers.registry import Registry
+    from repro.core.deployment import DeployedIRApp
+    from repro.core.ir_container import IRContainerResult
+    from repro.discovery.system import SystemSpec
+
+
+@dataclass(frozen=True)
+class ISAGroup:
+    """Systems that will share lowered objects: same family, same SIMD."""
+
+    family: str
+    simd_name: str
+    systems: tuple[str, ...]
+
+
+@dataclass
+class DeploymentPlan:
+    """The fan-out schedule for one IR container over many systems."""
+
+    app: str
+    options: dict[str, str]
+    groups: list[ISAGroup] = field(default_factory=list)
+    # system name -> reason it cannot take this container (wrong arch).
+    incompatible: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def system_order(self) -> list[str]:
+        return [name for group in self.groups for name in group.systems]
+
+    def summary(self) -> str:
+        parts = [f"{g.family}/{g.simd_name}: {', '.join(g.systems)}"
+                 for g in self.groups]
+        text = f"{len(self.system_order)} systems in {len(self.groups)} ISA groups"
+        if self.incompatible:
+            text += f" ({len(self.incompatible)} incompatible)"
+        return text + " — " + "; ".join(parts) if parts else text
+
+
+@dataclass
+class BatchDeployment:
+    """Everything ``deploy_batch`` produces."""
+
+    plan: DeploymentPlan
+    # In the order the systems were requested (skipping incompatible ones).
+    deployments: list[DeployedIRApp] = field(default_factory=list)
+    lowerings_performed: int = 0
+    lowerings_reused: int = 0
+
+    def by_system(self) -> dict[str, DeployedIRApp]:
+        return {d.system.name: d for d in self.deployments}
+
+
+def plan_batch(result: IRContainerResult, app: AppModel,
+               options: dict[str, str], systems: list[SystemSpec],
+               simd_override: str | None = None,
+               skip_incompatible: bool = False) -> DeploymentPlan:
+    """Group systems by the ISA their deployment will lower for.
+
+    Grouping uses the same precedence rules as single-system deployment
+    (:func:`~repro.core.deployment.select_simd`), so the plan exactly
+    predicts which systems share cached lowered objects.
+    """
+    from repro.core.deployment import (
+        IRDeploymentError,
+        check_ir_architecture,
+        select_simd,
+    )
+    plan = DeploymentPlan(app=app.name, options=dict(options))
+    buckets: dict[tuple[str, str], list[str]] = {}
+    seen: set[str] = set()
+    for system in systems:
+        if system.name in seen:  # a repeated name is one deployment, not two
+            continue
+        seen.add(system.name)
+        try:
+            family = check_ir_architecture(result, system)
+        except IRDeploymentError as exc:
+            if not skip_incompatible:
+                raise
+            plan.incompatible[system.name] = str(exc)
+            continue
+        simd = select_simd(options, system, simd_override)
+        buckets.setdefault((family, simd), []).append(system.name)
+    plan.groups = [ISAGroup(family, simd, tuple(names))
+                   for (family, simd), names in buckets.items()]
+    return plan
+
+
+def deploy_batch(result: IRContainerResult, app: AppModel,
+                 options: dict[str, str], systems: list[SystemSpec],
+                 store: BlobStore,
+                 cache: ArtifactCache | None = None,
+                 simd_override: str | None = None,
+                 registry: Registry | None = None,
+                 repository: str = "",
+                 skip_incompatible: bool = False,
+                 max_workers: int | None = None) -> BatchDeployment:
+    """Deploy one IR container to every system in a single batch.
+
+    ISA groups deploy concurrently; within a group systems deploy in
+    order, so the group's first deployment populates the shared ``cache``
+    and the rest hit it. Lowered-object reuse is reported via
+    ``lowerings_performed``/``lowerings_reused`` (per-batch deltas of the
+    cache's ``lower`` namespace counters).
+    """
+    from repro.core.deployment import IRDeploymentError, deploy_ir_container
+    if not systems:
+        raise IRDeploymentError("deploy_batch needs at least one system")
+    if cache is None:
+        cache = ArtifactCache()
+    by_name = {system.name: system for system in systems}
+    plan = plan_batch(result, app, options, systems,
+                      simd_override=simd_override,
+                      skip_incompatible=skip_incompatible)
+    before = cache.snapshot().get("lower", (0, 0))
+
+    def _deploy_group(group: ISAGroup) -> list[DeployedIRApp]:
+        return [deploy_ir_container(result, app, options, by_name[name], store,
+                                    simd_override=simd_override,
+                                    registry=registry, repository=repository,
+                                    cache=cache)
+                for name in group.systems]
+
+    grouped = parallel_map(_deploy_group, plan.groups, max_workers)
+    after = cache.snapshot().get("lower", (0, 0))
+
+    # Report in the order the systems were first requested.
+    deployed = {dep.system.name: dep for deps in grouped for dep in deps}
+    ordered = []
+    for system in systems:
+        dep = deployed.pop(system.name, None)
+        if dep is not None:
+            ordered.append(dep)
+    return BatchDeployment(plan=plan, deployments=ordered,
+                           lowerings_performed=after[1] - before[1],
+                           lowerings_reused=after[0] - before[0])

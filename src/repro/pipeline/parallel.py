@@ -1,0 +1,42 @@
+"""Deterministic thread-pool map for per-TU and per-system pipeline loops.
+
+The preprocess/IR-compile loops and the batch-deployment lowering fan out
+over independent work items; this helper runs them on a
+:class:`~concurrent.futures.ThreadPoolExecutor` while guaranteeing the
+result list preserves input order, so pipeline output (manifests, image
+layers, digests) stays byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# Modest default: the work is simulated (CPU-light), and HPC login nodes —
+# where deployments run — are shared machines.
+DEFAULT_MAX_WORKERS = 8
+
+
+def default_worker_count(n_items: int) -> int:
+    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1, n_items))
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 max_workers: int | None = None) -> list[R]:
+    """Map ``fn`` over ``items`` concurrently; results in input order.
+
+    ``max_workers=1`` (or a single item) degrades to a plain serial loop,
+    which keeps tracebacks simple under test. The first exception raised by
+    any item propagates, as with a serial loop.
+    """
+    seq: Sequence[T] = list(items)
+    workers = default_worker_count(len(seq)) if max_workers is None \
+        else max(1, max_workers)
+    if len(seq) <= 1 or workers == 1:
+        return [fn(item) for item in seq]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, seq))

@@ -1,0 +1,77 @@
+"""Pipeline accounting: dedup funnel, cache traffic, per-stage timing.
+
+``PipelineStats`` started life as the Hypothesis-1 scorecard (Sec. 6.4 —
+how many of the T translation units survive to become IRs) and now also
+carries the operational counters the staged engine produces: artifact-cache
+hits and misses per namespace, how many preprocess/IR-compile operations
+actually executed (zero on a fully warm cache), and wall-clock seconds per
+stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage accounting for Hypothesis 1 (Sec. 6.4) plus cache/timing."""
+
+    configurations: int = 0
+    total_tus: int = 0
+    after_configuration: int = 0
+    after_preprocessing: int = 0
+    after_openmp: int = 0
+    final_irs: int = 0
+    incompatible_flag_fraction: float = 0.0
+    openmp_flag_dropped: int = 0
+    vector_flag_dropped: int = 0
+    # Operations actually executed this build (cache hits skip them).
+    preprocess_ops: int = 0
+    ir_compile_ops: int = 0
+    # Artifact-cache traffic this build, per namespace ("preprocess", "ir").
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    cache_misses: dict[str, int] = field(default_factory=dict)
+    # Wall-clock seconds per registered stage.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of TU compilations avoided (the paper's headline %)."""
+        if self.total_tus == 0:
+            return 0.0
+        return 1.0 - self.final_irs / self.total_tus
+
+    def validates_hypothesis1(self) -> bool:
+        """T' < sum(T_i): strictly fewer IRs than translation units."""
+        return self.final_irs < self.total_tus
+
+    def cache_hit_total(self) -> int:
+        return sum(self.cache_hits.values())
+
+    def summary(self) -> str:
+        return (f"{self.configurations} configs, {self.total_tus} TUs -> "
+                f"{self.final_irs} IRs ({self.reduction:.1%} reduction); "
+                f"stages: config {self.after_configuration}, "
+                f"preprocess {self.after_preprocessing}, "
+                f"openmp {self.after_openmp}, vectorize {self.final_irs}")
+
+    def to_json(self) -> dict:
+        """Machine-readable form (``repro.cli ir-build --json``)."""
+        return {
+            "configurations": self.configurations,
+            "total_tus": self.total_tus,
+            "after_configuration": self.after_configuration,
+            "after_preprocessing": self.after_preprocessing,
+            "after_openmp": self.after_openmp,
+            "final_irs": self.final_irs,
+            "reduction": self.reduction,
+            "incompatible_flag_fraction": self.incompatible_flag_fraction,
+            "openmp_flag_dropped": self.openmp_flag_dropped,
+            "vector_flag_dropped": self.vector_flag_dropped,
+            "preprocess_ops": self.preprocess_ops,
+            "ir_compile_ops": self.ir_compile_ops,
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "stage_seconds": dict(self.stage_seconds),
+        }

@@ -93,3 +93,24 @@ int helper(int v) { return v + 1; }
         from repro.compiler import get_target, vectorize
         vectorize(mod, get_target("AVX_512"))
         assert mod.fingerprint() == before
+
+
+class TestFrontendFlagsRoundTrip:
+    """``frontend_flags_of`` inverts the ``; flags:`` render comment."""
+
+    def test_round_trip_through_render(self):
+        flags = ("-DNDEBUG", "-DUSE_MPI=1", "-Iinclude", "-fopenmp")
+        mod = compile_source_to_ir("int f() { return 1; }", frontend_flags=flags)
+        assert ir.frontend_flags_of(mod.render()) == list(flags)
+
+    def test_no_flags_recorded(self):
+        mod = compile_source_to_ir("int f() { return 1; }")
+        assert ir.frontend_flags_of(mod.render()) == []
+
+    def test_scan_stops_at_first_code_line(self):
+        text = "func @f() -> i32 {\n; flags: -DLATE\n}\n"
+        assert ir.frontend_flags_of(text) == []
+
+    def test_tolerates_leading_module_and_comments(self):
+        text = "module @m\n; a note\n; flags: -DA -DB\n"
+        assert ir.frontend_flags_of(text) == ["-DA", "-DB"]

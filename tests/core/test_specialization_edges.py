@@ -1,0 +1,74 @@
+"""Edge cases for specialization tags and OCI annotations (ISSUE 1)."""
+
+import pytest
+
+from repro.core import (
+    decode_specialization_annotation,
+    encode_specialization_annotation,
+    specialization_tag,
+)
+
+
+class TestSpecializationTag:
+    def test_slash_in_value_sanitized(self):
+        tag = specialization_tag({"GMX_FFT_LIBRARY": "fftw/3.3"})
+        assert "/" not in tag
+        assert tag == "fft_library-fftw-3.3"
+
+    def test_colon_in_value_sanitized(self):
+        tag = specialization_tag({"GMX_GPU": "CUDA:12.8"})
+        assert ":" not in tag
+        assert tag == "gpu-cuda-12.8"
+
+    def test_slash_and_colon_together(self):
+        tag = specialization_tag({"A": "x/y:z"})
+        assert "/" not in tag and ":" not in tag
+        assert tag == "a-x-y-z"
+
+    def test_empty_selection_is_default(self):
+        assert specialization_tag({}) == "default"
+
+    def test_prefixes_stripped_per_app_family(self):
+        tag = specialization_tag({"GMX_SIMD": "AVX2_256", "GGML_CUDA": "ON",
+                                  "WITH_OPENMP": "ON"})
+        # gmx_/ggml_/with_ prefixes all collapse to the bare point name
+        # (sorted by the original option key).
+        assert tag == "cuda-on_simd-avx2_256_openmp-on"
+
+    def test_keys_sorted_deterministically(self):
+        a = specialization_tag({"B": "2", "A": "1"})
+        b = specialization_tag({"A": "1", "B": "2"})
+        assert a == b == "a-1_b-2"
+
+
+class TestAnnotationRoundTrip:
+    def test_round_trip_preserves_all_pairs(self):
+        sel = {"GMX_SIMD": "AVX_512", "GMX_GPU": "CUDA",
+               "GMX_FFT_LIBRARY": "mkl", "GMX_MPI": "ON"}
+        assert decode_specialization_annotation(
+            encode_specialization_annotation(sel)) == sel
+
+    def test_round_trip_empty_selection(self):
+        assert decode_specialization_annotation(
+            encode_specialization_annotation({})) == {}
+
+    def test_round_trip_special_characters(self):
+        sel = {"X": 'va"l/ue:with,weird chars'}
+        assert decode_specialization_annotation(
+            encode_specialization_annotation(sel)) == sel
+
+    def test_encoding_is_canonical(self):
+        assert encode_specialization_annotation({"B": "2", "A": "1"}) == \
+            encode_specialization_annotation({"A": "1", "B": "2"})
+
+    def test_non_dict_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_specialization_annotation('["not", "a", "dict"]')
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_specialization_annotation('"just a string"')
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_specialization_annotation("42")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError):
+            decode_specialization_annotation("{not json")

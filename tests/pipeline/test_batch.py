@@ -1,0 +1,142 @@
+"""Batch deployment: ISA-group planning and lowered-object reuse."""
+
+import pytest
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.containers import ArtifactCache, BlobStore
+from repro.core import (
+    IRDeploymentError,
+    build_ir_container,
+    deploy_batch,
+    plan_batch,
+    select_simd,
+)
+from repro.discovery import get_system
+from repro.perf import run_workload
+
+OPTS = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+
+
+@pytest.fixture(scope="module")
+def lulesh_ir():
+    return build_ir_container(lulesh_model(), lulesh_configs())
+
+
+def _systems(*names):
+    return [get_system(n) for n in names]
+
+
+class TestPlanning:
+    def test_groups_by_family_and_simd(self, lulesh_ir):
+        plan = plan_batch(lulesh_ir, lulesh_model(), OPTS,
+                          _systems("ault01-04", "ault23", "aurora", "ault25"))
+        groups = {(g.family, g.simd_name): g.systems for g in plan.groups}
+        assert groups[("x86_64", "AVX_512")] == ("ault01-04", "ault23", "aurora")
+        assert groups[("x86_64", "AVX2_256")] == ("ault25",)
+
+    def test_simd_override_collapses_to_one_group(self, lulesh_ir):
+        plan = plan_batch(lulesh_ir, lulesh_model(), OPTS,
+                          _systems("ault01-04", "ault25"),
+                          simd_override="SSE4.1")
+        assert len(plan.groups) == 1
+        assert plan.groups[0].simd_name == "SSE4.1"
+
+    def test_select_simd_precedence(self):
+        system = get_system("ault01-04")
+        assert select_simd({}, system) == "AVX_512"
+        assert select_simd({"GMX_SIMD": "SSE2"}, system) == "SSE2"
+        assert select_simd({"GMX_SIMD": "AUTO"}, system) == "AVX_512"
+        assert select_simd({"GMX_SIMD": "SSE2"}, system,
+                           simd_override="AVX2_256") == "AVX2_256"
+
+    def test_incompatible_arch_raises_by_default(self, lulesh_ir):
+        with pytest.raises(IRDeploymentError, match="not cross-platform"):
+            plan_batch(lulesh_ir, lulesh_model(), OPTS,
+                       _systems("ault01-04", "clariden"))
+
+    def test_incompatible_arch_can_be_skipped(self, lulesh_ir):
+        plan = plan_batch(lulesh_ir, lulesh_model(), OPTS,
+                          _systems("ault01-04", "clariden"),
+                          skip_incompatible=True)
+        assert "clariden" in plan.incompatible
+        assert plan.system_order == ["ault01-04"]
+        assert "incompatible" in plan.summary()
+
+
+class TestBatchDeployment:
+    def test_three_systems_share_lowered_objects(self, lulesh_ir):
+        """Acceptance: ≥3 systems, lowered objects reused within ISA groups."""
+        store = BlobStore()
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems("ault01-04", "ault23", "aurora", "ault25"),
+                             store)
+        assert len(batch.deployments) == 4
+        # AVX_512 group lowers once (5 entries) + AVX2_256 once (5 entries);
+        # the second and third AVX_512 systems are pure cache hits.
+        assert batch.lowerings_performed == 10
+        assert batch.lowerings_reused == 10
+        by_system = batch.by_system()
+        for fn in lulesh_model().hot_functions:
+            assert by_system["ault01-04"].artifact.machine_functions[fn] is \
+                by_system["ault23"].artifact.machine_functions[fn]
+            assert by_system["ault01-04"].artifact.machine_functions[fn] is not \
+                by_system["ault25"].artifact.machine_functions[fn]
+
+    def test_deployments_reported_in_request_order(self, lulesh_ir):
+        store = BlobStore()
+        names = ["ault25", "ault01-04", "ault23"]
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems(*names), store)
+        assert [d.system.name for d in batch.deployments] == names
+
+    def test_batch_matches_single_deployments(self, lulesh_ir):
+        from repro.core import deploy_ir_container
+
+        store = BlobStore()
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems("ault01-04", "ault25"), store)
+        for dep in batch.deployments:
+            single = deploy_ir_container(lulesh_ir, lulesh_model(), OPTS,
+                                         dep.system, BlobStore())
+            assert dep.tag == single.tag
+            assert dep.simd_name == single.simd_name
+            assert dep.image.digest == single.image.digest
+
+    def test_batched_artifacts_run(self, lulesh_ir):
+        store = BlobStore()
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems("ault01-04", "ault23"), store)
+        for dep in batch.deployments:
+            report = run_workload(dep.artifact, dep.system, "s50", threads=8)
+            assert report.total_seconds > 0
+
+    def test_skip_incompatible_deploys_the_rest(self, lulesh_ir):
+        store = BlobStore()
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems("clariden", "ault01-04"), store,
+                             skip_incompatible=True)
+        assert [d.system.name for d in batch.deployments] == ["ault01-04"]
+        assert "clariden" in batch.plan.incompatible
+
+    def test_repeated_system_deployed_once(self, lulesh_ir):
+        store = BlobStore()
+        batch = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                             _systems("ault23", "ault23", "ault01-04"), store)
+        assert [d.system.name for d in batch.deployments] == \
+            ["ault23", "ault01-04"]
+        assert batch.plan.system_order == ["ault23", "ault01-04"]
+
+    def test_empty_batch_rejected(self, lulesh_ir):
+        with pytest.raises(IRDeploymentError, match="at least one system"):
+            deploy_batch(lulesh_ir, lulesh_model(), OPTS, [], BlobStore())
+
+    def test_shared_cache_spans_batches(self, lulesh_ir):
+        """A second batch over the same ISA reuses the first batch's work."""
+        cache = ArtifactCache()
+        deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                     _systems("ault01-04"), BlobStore(), cache=cache)
+        second = deploy_batch(lulesh_ir, lulesh_model(), OPTS,
+                              _systems("ault23", "aurora"), BlobStore(),
+                              cache=cache)
+        assert second.lowerings_performed == 0
+        assert second.lowerings_reused == 10

@@ -1,0 +1,223 @@
+"""Artifact cache: unit semantics + warm-rebuild acceptance criteria."""
+
+import pytest
+
+from repro.apps import five_isa_configs, gromacs_model, lulesh_configs, lulesh_model
+from repro.containers import ArtifactCache, BlobStore
+from repro.core import build_ir_container
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self):
+        cache = ArtifactCache()
+        assert cache.get("ns", {"k": 1}) is None
+        cache.put("ns", {"k": 1}, "payload")
+        entry = cache.get("ns", {"k": 1})
+        assert entry is not None and entry.payload == "payload"
+        counters = cache.counters("ns")
+        assert (counters.hits, counters.misses) == (1, 1)
+        assert counters.hit_rate == 0.5
+
+    def test_namespaces_are_independent(self):
+        cache = ArtifactCache()
+        cache.put("a", "key", "va")
+        cache.put("b", "key", "vb")
+        assert cache.get("a", "key").payload == "va"
+        assert cache.get("b", "key").payload == "vb"
+        assert cache.counters("a").hits == 1
+        assert cache.counters("b").hits == 1
+
+    def test_require_obj_treats_payload_only_entry_as_miss(self):
+        cache = ArtifactCache()
+        cache.put("ns", "key", "text-only")
+        assert cache.get("ns", "key", require_obj=True) is None
+        assert cache.counters("ns").misses == 1
+        sentinel = object()
+        cache.put("ns", "key", "text-only", obj=sentinel)
+        assert cache.get("ns", "key", require_obj=True).obj is sentinel
+
+    def test_republish_without_obj_drops_stale_object(self):
+        cache = ArtifactCache()
+        cache.put("ns", "key", "v1", obj=object())
+        cache.put("ns", "key", "v2")  # payload-only republish
+        entry = cache.get("ns", "key")
+        assert entry.payload == "v2" and entry.obj is None
+        assert cache.get("ns", "key", require_obj=True) is None
+
+    def test_payload_persisted_in_backing_blob_store(self):
+        store = BlobStore()
+        cache = ArtifactCache(store)
+        entry = cache.put("ns", ["composite", {"key": 2}], "the artifact")
+        assert store.get_text(entry.digest) == "the artifact"
+
+    def test_snapshot_reports_per_namespace_deltas(self):
+        cache = ArtifactCache()
+        cache.get("ns", "missing")
+        before = cache.snapshot()
+        cache.put("ns", "k", "v")
+        cache.get("ns", "k")
+        after = cache.snapshot()
+        assert before["ns"] == (0, 1)
+        assert after["ns"] == (1, 1)
+
+
+class TestWarmRebuild:
+    """The acceptance criterion: a repeated build over the same app/configs
+    with a shared cache performs zero new preprocess/IR compilations."""
+
+    def test_second_lulesh_build_is_fully_cached(self):
+        cache = ArtifactCache()
+        app = lulesh_model()
+        cold = build_ir_container(app, lulesh_configs(), cache=cache)
+        warm = build_ir_container(app, lulesh_configs(), cache=cache)
+
+        assert cold.stats.preprocess_ops > 0
+        assert cold.stats.ir_compile_ops == cold.stats.final_irs
+
+        # Zero new work on the warm build...
+        assert warm.stats.preprocess_ops == 0
+        assert warm.stats.ir_compile_ops == 0
+        # ...because every lookup hit.
+        assert warm.stats.cache_misses.get("preprocess", 0) == 0
+        assert warm.stats.cache_misses.get("ir", 0) == 0
+        assert warm.stats.cache_hits["preprocess"] == \
+            cold.stats.cache_misses["preprocess"]
+        assert warm.stats.cache_hits["ir"] == warm.stats.final_irs
+
+    def test_warm_build_output_identical(self):
+        cache = ArtifactCache()
+        app = lulesh_model()
+        cold = build_ir_container(app, lulesh_configs(), cache=cache)
+        warm = build_ir_container(app, lulesh_configs(), cache=cache)
+        assert warm.image.digest == cold.image.digest
+        assert warm.ir_files == cold.ir_files
+        assert warm.manifests == cold.manifests
+        assert warm.stats.summary() == cold.stats.summary()
+
+    def test_gromacs_isa_sweep_shares_work_across_builds(self):
+        """The five-ISA sweep scenario: rebuilding with one more config only
+        pays for what actually changed."""
+        cache = ArtifactCache()
+        app = gromacs_model(scale=0.01)
+        configs = five_isa_configs()
+        build_ir_container(app, configs[:4], cache=cache)
+        full = build_ir_container(app, configs, cache=cache)
+        # The fifth config's TUs share sources with the first four: most
+        # preprocessing identities are already cached.
+        assert full.stats.cache_hits["preprocess"] > 0
+        assert full.stats.preprocess_ops < full.stats.total_tus
+
+    def test_unshared_caches_do_not_interact(self):
+        app = lulesh_model()
+        first = build_ir_container(app, lulesh_configs())
+        second = build_ir_container(app, lulesh_configs())
+        assert second.stats.cache_hits.get("preprocess", 0) == 0
+        assert second.stats.preprocess_ops == first.stats.preprocess_ops
+
+    def test_stats_only_rebuild_skips_preprocessing_too(self):
+        cache = ArtifactCache()
+        app = lulesh_model()
+        build_ir_container(app, lulesh_configs(), cache=cache, compile_irs=False)
+        warm = build_ir_container(app, lulesh_configs(), cache=cache,
+                                  compile_irs=False)
+        assert warm.stats.preprocess_ops == 0
+        assert warm.stats.final_irs == 14
+
+    def test_stage_timings_cover_registered_stages(self):
+        result = build_ir_container(lulesh_model(), lulesh_configs())
+        assert set(result.stats.stage_seconds) == {
+            "configure", "preprocess", "openmp", "vectorize",
+            "ir-compile", "assemble-image"}
+
+    def test_ablation_registers_fewer_stages(self):
+        result = build_ir_container(lulesh_model(), lulesh_configs(),
+                                    stages=("preprocess",), compile_irs=False)
+        assert set(result.stats.stage_seconds) == {
+            "configure", "preprocess", "ir-compile", "assemble-image"}
+
+    def test_domain_exceptions_propagate_unwrapped(self):
+        """Stage failures keep the pre-refactor exception contract."""
+        from repro.buildsys import ConfigureError
+
+        with pytest.raises(ConfigureError, match="not one of the allowed"):
+            build_ir_container(gromacs_model(scale=0.01),
+                               [{"GMX_SIMD": "NOT_A_LEVEL"}])
+
+    def test_stats_to_json_is_serializable(self):
+        import json
+
+        result = build_ir_container(lulesh_model(), lulesh_configs())
+        blob = json.loads(json.dumps(result.stats.to_json()))
+        assert blob["final_irs"] == 14
+        assert blob["ir_compile_ops"] == 14
+        assert pytest.approx(blob["reduction"]) == 0.3
+
+
+class TestLoweringCacheSafety:
+    """Mixed -O lowering of one module must not poison the cache: the
+    optimization pipeline mutates the module in place, so only results
+    derived from pristine state are cacheable."""
+
+    @staticmethod
+    def _module():
+        from repro.compiler.frontend import compile_source_to_ir
+
+        return compile_source_to_ir(
+            "double f(double* x, int n) { double s = 1.0 + 2.0;\n"
+            "for (int i = 0; i < n; i++) { s = s + x[i]; } return s; }")
+
+    def test_same_opt_level_hits(self):
+        from repro.compiler.lowering import lower_module_cached
+        from repro.compiler.target import get_target
+
+        cache = ArtifactCache()
+        module = self._module()
+        # As in deployment: the IR digest is taken from the manifest, i.e.
+        # the pristine module (lowering mutates it, drifting fingerprint()).
+        digest = module.fingerprint()
+        a = lower_module_cached(module, get_target("AVX_512"), 3, cache=cache,
+                                ir_digest=digest)
+        b = lower_module_cached(module, get_target("AVX_512"), 3, cache=cache,
+                                ir_digest=digest)
+        assert a is b
+        assert cache.counters("lower").hits == 1
+
+    def test_mixed_opt_levels_not_cached(self):
+        from repro.compiler.lowering import lower_module_cached
+        from repro.compiler.target import get_target
+
+        cache = ArtifactCache()
+        module = self._module()
+        digest = module.fingerprint()
+        target = get_target("AVX_512")
+
+        def lower(opt):
+            return lower_module_cached(module, target, opt, cache=cache,
+                                       ir_digest=digest)
+
+        lower(3)   # pristine: cached
+        lower(0)   # module already mutated by -O3: must NOT be cached
+        lower(0)   # so this must miss again, not serve the poisoned result
+        counters = cache.counters("lower")
+        assert counters.misses == 3
+        assert counters.hits == 0
+        # The pristine-state O3 entry is still served.
+        assert lower(3) is not None
+        assert cache.counters("lower").hits == 1
+
+    def test_uncached_lowering_still_taints_the_module(self):
+        """A cache=None lowering (single-system deploy path) must record the
+        opt level, or a later cached lowering would publish a machine module
+        derived from mutated IR state as if it were pristine."""
+        from repro.compiler.lowering import lower_module_cached
+        from repro.compiler.target import get_target
+
+        module = self._module()
+        digest = module.fingerprint()
+        target = get_target("AVX_512")
+        lower_module_cached(module, target, 3, cache=None)  # mutates module
+        cache = ArtifactCache()
+        lower_module_cached(module, target, 0, cache=cache, ir_digest=digest)
+        # The -O0 result came from -O3-mutated state: must not be cached.
+        assert cache.get("lower", {"ir": digest, "target": target.name,
+                                   "opt": 0}, require_obj=True) is None

@@ -1,0 +1,144 @@
+"""Pipeline engine: dataflow validation, timing, deterministic parallel map."""
+
+import time
+
+import pytest
+
+from repro.pipeline import (
+    Pipeline,
+    PipelineDefinitionError,
+    Stage,
+    StageExecutionError,
+    parallel_map,
+)
+
+
+class Producer(Stage):
+    name = "producer"
+    consumes = ("seed",)
+    produces = ("doubled",)
+
+    def run(self, ctx):
+        ctx.publish("doubled", ctx.require("seed") * 2)
+
+
+class Consumer(Stage):
+    name = "consumer"
+    consumes = ("doubled",)
+    produces = ("final",)
+
+    def run(self, ctx):
+        ctx.publish("final", ctx.require("doubled") + 1)
+
+
+class TestPipelineDataflow:
+    def test_stages_chain_through_context(self):
+        pipe = Pipeline("t", inputs=("seed",))
+        pipe.register(Producer()).register(Consumer())
+        run = pipe.run({"seed": 20})
+        assert run.context.require("final") == 41
+
+    def test_unsatisfied_consumes_rejected_at_registration(self):
+        pipe = Pipeline("t", inputs=("seed",))
+        with pytest.raises(PipelineDefinitionError, match="consumes"):
+            pipe.register(Consumer())  # nothing produces "doubled"
+
+    def test_duplicate_stage_name_rejected(self):
+        pipe = Pipeline("t", inputs=("seed",))
+        pipe.register(Producer())
+        with pytest.raises(PipelineDefinitionError, match="duplicate"):
+            pipe.register(Producer())
+
+    def test_missing_run_inputs_rejected(self):
+        pipe = Pipeline("t", inputs=("seed",))
+        pipe.register(Producer())
+        with pytest.raises(StageExecutionError, match="missing inputs"):
+            pipe.run({})
+
+    def test_undeclared_publish_rejected(self):
+        class Rogue(Stage):
+            name = "rogue"
+            consumes = ("seed",)
+            produces = ("ok",)
+
+            def run(self, ctx):
+                ctx.publish("sneaky", 1)
+
+        pipe = Pipeline("t", inputs=("seed",)).register(Rogue())
+        with pytest.raises(StageExecutionError, match="undeclared"):
+            pipe.run({"seed": 1})
+
+    def test_declared_but_unproduced_output_rejected(self):
+        class Lazy(Stage):
+            name = "lazy"
+            consumes = ("seed",)
+            produces = ("never",)
+
+            def run(self, ctx):
+                pass
+
+        pipe = Pipeline("t", inputs=("seed",)).register(Lazy())
+        with pytest.raises(StageExecutionError, match="did not produce"):
+            pipe.run({"seed": 1})
+
+    def test_stage_failure_wrapped_with_stage_name(self):
+        class Boom(Stage):
+            name = "boom"
+            consumes = ("seed",)
+
+            def run(self, ctx):
+                raise ValueError("kablam")
+
+        pipe = Pipeline("t", inputs=("seed",)).register(Boom())
+        with pytest.raises(StageExecutionError, match="'boom' failed: kablam"):
+            pipe.run({"seed": 1})
+
+    def test_refinement_stage_may_overwrite_consumed_key(self):
+        class Refine(Stage):
+            name = "refine"
+            consumes = ("doubled",)
+            produces = ("doubled",)
+
+            def run(self, ctx):
+                ctx.publish("doubled", ctx.require("doubled") * 10)
+
+        pipe = Pipeline("t", inputs=("seed",))
+        pipe.register(Producer()).register(Refine()).register(Consumer())
+        assert pipe.run({"seed": 3}).context.require("final") == 61
+
+    def test_per_stage_timings_recorded(self):
+        pipe = Pipeline("t", inputs=("seed",))
+        pipe.register(Producer()).register(Consumer())
+        run = pipe.run({"seed": 1})
+        assert set(run.stage_seconds) == {"producer", "consumer"}
+        assert all(s >= 0 for s in run.stage_seconds.values())
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        # Later items finish first; results must still be in input order.
+        def slow_inverse(n):
+            time.sleep(0.002 * n)
+            return n * n
+
+        items = [5, 3, 1, 4, 2, 0]
+        assert parallel_map(slow_inverse, items, max_workers=6) == \
+            [n * n for n in items]
+
+    def test_serial_fallback_matches(self):
+        items = list(range(10))
+        assert parallel_map(lambda n: n + 1, items, max_workers=1) == \
+            parallel_map(lambda n: n + 1, items, max_workers=4)
+
+    def test_empty_and_single(self):
+        assert parallel_map(lambda n: n, []) == []
+        assert parallel_map(lambda n: -n, [7]) == [-7]
+
+    def test_exception_propagates(self):
+        def boom(n):
+            if n == 3:
+                raise RuntimeError("item 3")
+            return n
+
+        with pytest.raises(RuntimeError, match="item 3"):
+            parallel_map(boom, list(range(8)), max_workers=4)

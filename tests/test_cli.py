@@ -39,6 +39,42 @@ class TestCLI:
         assert code == 0
         assert "20 TUs -> 14 IRs" in out
 
+    def test_ir_build_json(self, capsys):
+        code, out = run_cli(capsys, "ir-build", "--app", "lulesh", "--json")
+        assert code == 0
+        blob = json.loads(out)
+        assert blob["stats"]["total_tus"] == 20
+        assert blob["stats"]["final_irs"] == 14
+        assert blob["stats"]["ir_compile_ops"] == 14
+        assert "preprocess" in blob["stats"]["cache_misses"]
+        assert blob["image_digest"].startswith("sha256:")
+
+    def test_deploy_batch(self, capsys):
+        code, out = run_cli(capsys, "deploy-batch", "--app", "lulesh",
+                            "--systems", "ault01-04,ault23,ault25")
+        assert code == 0
+        assert "2 ISA groups" in out
+        assert "5 reused from cache" in out
+
+    def test_deploy_batch_json(self, capsys):
+        code, out = run_cli(capsys, "deploy-batch", "--app", "lulesh",
+                            "--systems", "ault01-04,ault23,aurora,ault25",
+                            "--json")
+        assert code == 0
+        blob = json.loads(out)
+        assert len(blob["deployments"]) == 4
+        assert blob["lowerings_performed"] == 10
+        assert blob["lowerings_reused"] == 10
+        families = {g["simd"] for g in blob["plan"]["groups"]}
+        assert families == {"AVX_512", "AVX2_256"}
+
+    def test_deploy_batch_skips_incompatible(self, capsys):
+        code, out = run_cli(capsys, "deploy-batch", "--app", "lulesh",
+                            "--systems", "ault01-04,clariden",
+                            "--skip-incompatible")
+        assert code == 0
+        assert "SKIPPED" in out and "clariden" in out
+
     def test_deploy_ir(self, capsys):
         code, out = run_cli(capsys, "deploy", "--app", "lulesh",
                             "--system", "ault01-04", "--mode", "ir",
