@@ -10,6 +10,20 @@ existing container tools." This module is that tool for the simulated world:
     python -m repro.cli ir-build --app lulesh
     python -m repro.cli deploy --app lulesh --system ault01-04 --mode ir
     python -m repro.cli bench --app gromacs --system ault23 --workload testB
+
+Build commands accept ``--store DIR`` to work against a persistent artifact
+store (sharded file backend): repeated builds — including in fresh
+processes — replay preprocessed text, IR modules, and lowered machine
+modules from disk instead of recomputing them. The store is managed by the
+``cache`` subcommands::
+
+    python -m repro.cli ir-build --app lulesh --store /tmp/xaas-store
+    python -m repro.cli deploy --app lulesh --system ault23 --mode ir \
+        --store /tmp/xaas-store --json
+    python -m repro.cli cache stats --store /tmp/xaas-store --json
+    python -m repro.cli cache gc --store /tmp/xaas-store --max-bytes 1000000
+    python -m repro.cli cache export --store /tmp/xaas-store --output warm.tar.gz
+    python -m repro.cli cache import --store /tmp/other-store --input warm.tar.gz
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ import sys
 
 from repro.apps import default_ir_sweep, gromacs_model, llamacpp_model, lulesh_model
 from repro.containers import ArtifactCache, BlobStore
+from repro.store import FileBackend, export_store, import_store
 from repro.core import (
     build_ir_container,
     build_source_image,
@@ -45,6 +60,29 @@ def _app(name: str):
         return APPS[name]()
     except KeyError:
         raise SystemExit(f"unknown app {name!r}; known: {sorted(APPS)}")
+
+
+def _open_store(args) -> tuple[BlobStore, ArtifactCache]:
+    """The build substrate: persistent when ``--store DIR`` is given.
+
+    With a file-backed store, the ArtifactCache loads its access-ordered
+    index from disk — a fresh process starts warm from whatever earlier
+    builds persisted.
+    """
+    store_dir = getattr(args, "store", None)
+    store = BlobStore(FileBackend(store_dir)) if store_dir else BlobStore()
+    return store, ArtifactCache(store)
+
+
+def _cache_delta(before: dict, after: dict) -> dict:
+    """Per-namespace {hits, misses} traffic between two cache snapshots."""
+    out: dict[str, dict[str, int]] = {}
+    for namespace, (hits, misses) in after.items():
+        prev_hits, prev_misses = before.get(namespace, (0, 0))
+        if hits - prev_hits or misses - prev_misses:
+            out[namespace] = {"hits": hits - prev_hits,
+                              "misses": misses - prev_misses}
+    return out
 
 
 def cmd_discover(args) -> int:
@@ -76,7 +114,13 @@ def cmd_ir_build(args) -> int:
     """Run the IR-container pipeline and print the dedup statistics."""
     app = _app(args.app)
     configs, _ = default_ir_sweep(args.app)
-    result = build_ir_container(app, configs, compile_irs=not args.stats_only)
+    store, cache = _open_store(args)
+    result = build_ir_container(app, configs, store=store, cache=cache,
+                                compile_irs=not args.stats_only)
+    if args.store and not args.stats_only:
+        # Pin the image manifest: GC follows digest references inside
+        # pinned blobs, so config and layers stay deployable too.
+        cache.pin(f"image/{args.app}", result.image.digest)
     if args.json:
         print(json.dumps({
             "app": args.app,
@@ -95,7 +139,7 @@ def cmd_deploy(args) -> int:
     """Deploy a source or IR container to a system and predict a run."""
     app = _app(args.app)
     system = get_system(args.system)
-    store = BlobStore()
+    store, cache = _open_store(args)
     if args.mode == "source":
         arch = "arm64" if system.architecture == "arm64" else "amd64"
         sc = build_source_image(app, store, arch=arch)
@@ -104,13 +148,48 @@ def cmd_deploy(args) -> int:
             build_host=None if system.supports_container_build
             else get_system("dev-machine"))
         artifact, tag = dep.artifact, dep.tag
-        print("selection:", json.dumps(dep.selection, sort_keys=True))
+        build_stats = None
+        deploy_delta: dict = {}
+        if not args.json:
+            print("selection:", json.dumps(dep.selection, sort_keys=True))
     else:
         configs, chosen = default_ir_sweep(args.app)
-        result = build_ir_container(app, configs)
-        dep = deploy_ir_container(result, app, chosen, system, store)
+        result = build_ir_container(app, configs, store=store, cache=cache)
+        before = cache.snapshot()
+        dep = deploy_ir_container(result, app, chosen, system, store,
+                                  cache=cache)
         artifact, tag = dep.artifact, dep.tag
-        print(f"lowered ISA: {dep.simd_name}")
+        deploy_delta = _cache_delta(before, cache.snapshot())
+        build_stats = result.stats.to_json()
+        if args.store:
+            cache.pin(f"image/{args.app}", result.image.digest)
+            cache.pin(f"deploy/{args.app}@{system.name}", dep.image.digest)
+        if not args.json:
+            print(f"lowered ISA: {dep.simd_name}")
+    if args.json:
+        blob = {
+            "app": args.app, "system": system.name, "mode": args.mode,
+            "tag": dep.tag,
+            # The cold-start acceptance check: a warm persistent store
+            # makes every build op zero and every deploy lookup a hit.
+            "deploy_cache": deploy_delta,
+        }
+        if build_stats is not None:
+            blob["build_stats"] = build_stats
+            blob["simd"] = dep.simd_name
+            blob["lowered_count"] = dep.lowered_count
+        if args.workload:
+            report = run_workload(artifact, system, args.workload,
+                                  threads=args.threads)
+            blob["workload"] = {
+                "name": args.workload,
+                "total_seconds": report.total_seconds,
+                "kernel_seconds": dict(sorted(report.kernel_seconds.items())),
+                "library_seconds": report.library_seconds,
+                "gpu_seconds": report.gpu_seconds,
+            }
+        print(json.dumps(blob, indent=2, sort_keys=True))
+        return 0
     print(f"image tag: {tag}")
     if args.workload:
         report = run_workload(artifact, system, args.workload, threads=args.threads)
@@ -135,9 +214,10 @@ def cmd_deploy_batch(args) -> int:
     if not systems:
         raise SystemExit("--systems needs at least one system name")
     configs, chosen = default_ir_sweep(args.app)
-    store = BlobStore()
-    cache = ArtifactCache()
+    store, cache = _open_store(args)
     result = build_ir_container(app, configs, store=store, cache=cache)
+    if args.store:
+        cache.pin(f"image/{args.app}", result.image.digest)
     try:
         batch = deploy_batch(result, app, chosen, systems, store, cache=cache,
                              skip_incompatible=args.skip_incompatible)
@@ -170,6 +250,72 @@ def cmd_deploy_batch(args) -> int:
         print(f"  {name:<12} SKIPPED: {reason}")
     print(f"lowerings: {batch.lowerings_performed} performed, "
           f"{batch.lowerings_reused} reused from cache")
+    return 0
+
+
+def _cache_for_store(args) -> ArtifactCache:
+    if not args.store:
+        raise SystemExit("cache commands need --store DIR")
+    return ArtifactCache(BlobStore(FileBackend(args.store)))
+
+
+def cmd_cache_stats(args) -> int:
+    """Report store size, index entries per namespace, and pins."""
+    stats = _cache_for_store(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"blobs: {stats['blobs']} ({stats['total_bytes']} bytes)")
+    print(f"index entries: {stats['entries']}")
+    for namespace, count in stats["entries_by_namespace"].items():
+        print(f"  {namespace:<12} {count}")
+    for name, digest in sorted(stats["pins"].items()):
+        print(f"pin {name} -> {digest}")
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    """LRU-evict until the store fits ``--max-bytes``; pins are sacred."""
+    report = _cache_for_store(args).gc(args.max_bytes)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(f"store: {report.before_bytes} -> {report.after_bytes} bytes "
+          f"(budget {report.max_bytes}, freed {report.freed_bytes})")
+    print(f"evicted {report.evicted_entries} entries, "
+          f"deleted {report.deleted_blobs} blobs, "
+          f"{report.pinned_blobs} pinned blobs kept")
+    if not report.within_budget:
+        print("warning: pinned blobs alone exceed the budget")
+    return 0
+
+
+def cmd_cache_export(args) -> int:
+    """Pack the whole store (blobs + refs) into one archive."""
+    backend = FileBackend(args.store) if args.store else None
+    if backend is None:
+        raise SystemExit("cache commands need --store DIR")
+    summary = export_store(backend, args.output)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"exported {summary['blobs']} blobs "
+          f"({summary['blob_bytes']} bytes), {summary['refs']} refs "
+          f"-> {summary['path']}")
+    return 0
+
+
+def cmd_cache_import(args) -> int:
+    """Merge an exported archive into the store (idempotent by digest)."""
+    if not args.store:
+        raise SystemExit("cache commands need --store DIR")
+    summary = import_store(FileBackend(args.store), args.input)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"imported {summary['blobs_added']} blobs "
+          f"({summary['blobs_skipped']} already present), "
+          f"merged {summary['refs_merged']} refs from {summary['path']}")
     return 0
 
 
@@ -207,10 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
     p.set_defaults(func=cmd_intersect)
 
+    store_help = "persistent artifact-store directory (file backend)"
+
     p = sub.add_parser("ir-build", help="run the IR-container pipeline (Fig. 7)")
     p.add_argument("--app", required=True, choices=sorted(APPS))
     p.add_argument("--stats-only", action="store_true",
                    help="dedup analysis without compiling IRs")
+    p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable pipeline + cache statistics")
     p.set_defaults(func=cmd_ir_build)
@@ -221,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("source", "ir"), default="source")
     p.add_argument("--workload", default="")
     p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--store", default="", help=store_help)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable tag + build/deploy cache statistics")
     p.set_defaults(func=cmd_deploy)
 
     p = sub.add_parser("deploy-batch",
@@ -230,9 +382,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated system names (e.g. ault23,ault25)")
     p.add_argument("--skip-incompatible", action="store_true",
                    help="skip systems the IR container cannot run on")
+    p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan + reuse statistics")
     p.set_defaults(func=cmd_deploy_batch)
+
+    p = sub.add_parser("cache",
+                       help="inspect and manage a persistent artifact store")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    c = cache_sub.add_parser("stats", help="store size and index statistics")
+    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cache_stats)
+
+    c = cache_sub.add_parser("gc",
+                             help="LRU-evict entries until the store fits a "
+                                  "byte budget (pinned manifests kept)")
+    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--max-bytes", type=int, required=True,
+                   help="target store size in bytes")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cache_gc)
+
+    c = cache_sub.add_parser("export", help="pack the store into one archive")
+    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--output", required=True, help="archive path (.tar.gz)")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cache_export)
+
+    c = cache_sub.add_parser("import",
+                             help="merge an exported archive into the store")
+    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--input", required=True, help="archive path (.tar.gz)")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cache_import)
 
     p = sub.add_parser("bench", help="predict a workload run")
     p.add_argument("--app", required=True, choices=sorted(APPS))

@@ -191,10 +191,12 @@ def compile_to_ir_cached(compiler: Compiler, source: str, flags: list[str],
     The cache key covers the source text, the frontend-relevant flags, and a
     caller-supplied ``context_key`` capturing everything the include
     resolver can reach (source-tree and generated-header digests) — the
-    parts of compilation state the compiler itself cannot see. The live
-    :class:`~repro.compiler.ir.Module` is required for a hit (``cache`` is
-    an :class:`~repro.containers.store.ArtifactCache`): deployment lowers
-    in-process objects, so a payload-only entry is not reusable here.
+    parts of compilation state the compiler itself cannot see. Entries are
+    payload-only artifacts (``cache`` is an
+    :class:`~repro.containers.store.ArtifactCache`): the payload *is* the
+    canonical IR text, and :func:`repro.compiler.ir.parse_module` rebuilds
+    the live module when the hit comes from a persistent store another
+    process warmed — zero frontend work in the cold process.
     """
     if cache is None:
         result = compiler.compile_to_ir(source, flags, name)
@@ -203,9 +205,15 @@ def compile_to_ir_cached(compiler: Compiler, source: str, flags: list[str],
     parts = {"src": content_digest(source), "name": name,
              "fe": sorted(classify_flags(list(flags)).frontend),
              "ctx": context_key}
-    entry = cache.get("ir", parts, require_obj=True)
+    entry = cache.get("ir", parts)
     if entry is not None:
-        return entry.payload, entry.obj, False
+        module = entry.obj
+        if module is None:
+            module = ir.parse_module(entry.payload)
+            # Promote the parsed module so later hits in this process share
+            # one live identity (deployments compare modules by object).
+            cache.put("ir", parts, entry.payload, obj=module)
+        return entry.payload, module, False
     result = compiler.compile_to_ir(source, flags, name)
     text = result.module.render()
     cache.put("ir", parts, text, obj=result.module)

@@ -11,6 +11,14 @@ properties matter for the reproduction:
 2. **Canonical fingerprinting** — :meth:`Module.fingerprint` renders the IR
    to a canonical text (virtual registers renumbered, deterministic field
    order) and hashes it, giving the dedup pipeline its identity notion.
+3. **Serializability** — :func:`parse_module` is the inverse of
+   :meth:`Module.render`: the canonical text is a complete serialization,
+   so a cold process can reconstruct a live module from a persistent
+   artifact store (:mod:`repro.store`) without re-running the frontend.
+   Renumbering preserves *name classes* (frontend temporaries keep their
+   ``.`` prefix, globals their ``@``) because the optimizer and the
+   vectorization legality analysis treat the classes differently — a
+   parsed module must fold, DCE and vectorize exactly like the original.
 
 Unlike LLVM we keep *structured* control flow (regions with ``for``/``if``
 ops, in the spirit of MLIR's ``scf`` dialect) instead of a flat CFG: loop
@@ -20,6 +28,7 @@ consume, and a region IR keeps those analyses honest and simple.
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
@@ -324,13 +333,27 @@ def frontend_flags_of(ir_text: str) -> list[str]:
 
 # -- rendering ----------------------------------------------------------------------
 
+#: ForOp attributes included in the canonical render (all set by the
+#: frontend; deployment-time vectorization attrs are excluded on purpose).
+_SEMANTIC_FOR_ATTRS = ("bound_src", "omp_parallel", "omp_reductions",
+                       "omp_simd", "start_src")
+
+
 def _render_function(fn: Function) -> list[str]:
     names: dict[str, str] = {}
     counter = [0]
 
     def canon(name: str) -> str:
+        # Globals stay verbatim; temporaries keep their '.' class marker.
+        # The optimizer folds/DCEs only '.'-temps and the vectorizer's
+        # scalar-write classification keys on the same distinction, so the
+        # canonical text must preserve which class each register is in for
+        # parse_module() to reconstruct a faithfully-optimizable module.
+        if name.startswith("@"):
+            return name
         if name not in names:
-            names[name] = f"v{counter[0]}"
+            prefix = "." if name.startswith(".") else ""
+            names[name] = f"{prefix}v{counter[0]}"
             counter[0] += 1
         return names[name]
 
@@ -384,8 +407,14 @@ def _render_region(region: Region, canon, names, indent: int) -> list[str]:
             bound = _render_value(op.bound, canon, names)
             step = _render_value(op.step, canon, names)
             attrs = ""
+            # Frontend-semantic attributes only: they exist before any
+            # deployment-time pass runs, so they belong to the IR identity
+            # (and must survive a render/parse round trip — the perf model
+            # resolves symbolic trip counts through bound_src/start_src).
+            # Vectorization attributes are per-target deployment state and
+            # deliberately stay out of the canonical form.
             semantic = {k: v for k, v in sorted(op.attrs.items())
-                        if k in ("omp_parallel", "omp_simd", "omp_reductions")}
+                        if k in _SEMANTIC_FOR_ATTRS}
             if semantic:
                 attrs = " attrs{" + ", ".join(f"{k}={v!r}" for k, v in semantic.items()) + "}"
             lines.append(f"{pad}for %{canon(op.var)} = {start} to {bound} step {step}{attrs} {{")
@@ -416,3 +445,301 @@ def _render_region(region: Region, canon, names, indent: int) -> list[str]:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown op {type(op).__name__}")
     return lines
+
+
+# -- parsing ------------------------------------------------------------------------
+
+
+class IRParseError(ValueError):
+    """Raised when a text is not well-formed canonical IR."""
+
+
+def parse_module(text: str) -> Module:
+    """Reconstruct a :class:`Module` from its canonical render.
+
+    Inverse of :meth:`Module.render` — the round-trip property
+    ``parse_module(m.render()).render() == m.render()`` holds for every
+    module the frontend (or the optimizer) produces, which is what lets a
+    persistent artifact store treat ``ir`` cache entries as payload-only
+    blobs: a cold process parses the cached text instead of recompiling.
+    """
+    return _ModuleParser(text).parse()
+
+
+def _parse_value(text: str) -> Value:
+    """Parse ``<type> %name`` (Ref) or ``<type> <literal>`` (Const)."""
+    typ, sep, rest = text.strip().partition(" ")
+    if not sep:
+        raise IRParseError(f"malformed value {text!r}")
+    rest = rest.strip()
+    if rest.startswith("%"):
+        return Ref(rest[1:], typ)
+    try:
+        return Const(float(rest) if is_float_type(typ) else int(rest), typ)
+    except ValueError:
+        raise IRParseError(f"malformed constant {text!r}") from None
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split on commas outside quotes/brackets (attr dicts, value lists)."""
+    parts: list[str] = []
+    cur: list[str] = []
+    depth = 0
+    quote: str | None = None
+    escaped = False
+    for ch in body:
+        if quote is not None:
+            cur.append(ch)
+            # Track escape state explicitly: in repr output, '\\' before a
+            # quote is an escaped backslash, not an escaped quote.
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            cur.append(ch)
+        elif ch in "([{":
+            depth += 1
+            cur.append(ch)
+        elif ch in ")]}":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if "".join(cur).strip():
+        parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_attr_dict(body: str) -> dict:
+    """Parse ``k=<repr>, ...`` as rendered for function and loop attrs."""
+    attrs: dict = {}
+    for item in _split_top_level(body):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise IRParseError(f"malformed attribute {item!r}")
+        try:
+            attrs[key.strip()] = ast.literal_eval(value.strip())
+        except (ValueError, SyntaxError):
+            raise IRParseError(f"unparseable attribute value {item!r}") from None
+    return attrs
+
+
+class _ModuleParser:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.pos = 0
+
+    def _fail(self, message: str) -> IRParseError:
+        return IRParseError(f"line {self.pos}: {message}")
+
+    # -- top level -------------------------------------------------------------
+
+    def parse(self) -> Module:
+        name: Optional[str] = None
+        flags: tuple[str, ...] = ()
+        globals_: list[GlobalVar] = []
+        functions: list[Function] = []
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos].strip()
+            if not line:
+                self.pos += 1
+            elif line.startswith("module @"):
+                name = line[len("module @"):]
+                self.pos += 1
+            elif line.startswith("; flags: "):
+                flags = tuple(line[len("; flags: "):].split())
+                self.pos += 1
+            elif line.startswith(";"):
+                self.pos += 1
+            elif line.startswith("global @"):
+                globals_.append(self._parse_global(line))
+                self.pos += 1
+            elif line.startswith("func @"):
+                functions.append(self._parse_function(line))
+            else:
+                raise self._fail(f"unexpected top-level line {line!r}")
+        if name is None:
+            raise IRParseError("missing 'module @<name>' header")
+        return Module(name, functions, globals_, flags)
+
+    def _parse_global(self, line: str) -> GlobalVar:
+        head, sep, init_text = line.partition(" = ")
+        gname, tsep, gtype = head[len("global @"):].partition(" : ")
+        if not tsep or not gname:
+            raise self._fail(f"malformed global {line!r}")
+        init: Optional[Union[int, float]] = None
+        if sep:
+            try:
+                init = ast.literal_eval(init_text)
+            except (ValueError, SyntaxError):
+                raise self._fail(f"malformed global initializer {line!r}") from None
+        return GlobalVar(gname, gtype.strip(), init)
+
+    def _parse_function(self, header: str) -> Function:
+        if not header.endswith(" {"):
+            raise self._fail(f"malformed function header {header!r}")
+        sig = header[:-2]
+        attrs: dict = {}
+        if sig.endswith("}") and " attrs{" in sig:
+            sig, attr_body = sig.rsplit(" attrs{", 1)
+            attrs = _parse_attr_dict(attr_body[:-1])
+        open_p = sig.find("(")
+        close_p = sig.rfind(")")
+        arrow = sig.rfind(" -> ")
+        if open_p < 0 or close_p < open_p or arrow < close_p:
+            raise self._fail(f"malformed function signature {sig!r}")
+        fname = sig[len("func @"):open_p]
+        params: list[tuple[str, str]] = []
+        for part in _split_top_level(sig[open_p + 1:close_p]):
+            pname, psep, ptype = part.partition(": ")
+            if not psep or not pname.startswith("%"):
+                raise self._fail(f"malformed parameter {part!r}")
+            params.append((pname[1:], ptype.strip()))
+        ret_type = sig[arrow + len(" -> "):].strip()
+        self.pos += 1
+        body, terminator = self._parse_region()
+        if terminator != "}":
+            raise self._fail(f"expected '}}' closing function, got {terminator!r}")
+        return Function(fname, params, ret_type, body, attrs)
+
+    # -- regions & ops ---------------------------------------------------------
+
+    def _parse_region(self) -> tuple[Region, str]:
+        """Parse ops until a closing line; returns (region, that line)."""
+        ops: list[Op] = []
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos].strip()
+            self.pos += 1
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith("}"):
+                return Region(ops), line
+            ops.append(self._parse_op(line))
+        raise IRParseError("unterminated region (missing '}')")
+
+    def _parse_op(self, line: str) -> Op:
+        if line.startswith("for %"):
+            return self._parse_for(line)
+        if line == "while {":
+            return self._parse_while()
+        if line.startswith("if ") and line.endswith(" {"):
+            return self._parse_if(line)
+        if line == "return":
+            return ReturnOp()
+        if line.startswith("return "):
+            return ReturnOp(_parse_value(line[len("return "):]))
+        if line == "break":
+            return BreakOp()
+        if line == "continue":
+            return ContinueOp()
+        if line.startswith("store "):
+            return self._parse_store(line)
+        if line.startswith("call @"):
+            return self._parse_call(None, line)
+        if line.startswith("%"):
+            dest, sep, rest = line[1:].partition(" = ")
+            if not sep:
+                raise self._fail(f"malformed instruction {line!r}")
+            if rest.startswith("load "):
+                return self._parse_load(dest, rest)
+            if rest.startswith("call @"):
+                return self._parse_call(dest, rest)
+            return self._parse_instr(dest, rest)
+        # Dest-less instruction: rendered without a ': type' suffix, so the
+        # type is reconstructed from the first operand (render ignores it).
+        op, _, args_text = line.partition(" ")
+        args = [_parse_value(a) for a in _split_top_level(args_text)]
+        return Instr(op, None, args, args[0].type if args else "void")
+
+    def _split_typed(self, rest: str, what: str) -> tuple[str, str]:
+        body, sep, typ = rest.rpartition(" : ")
+        if not sep:
+            raise self._fail(f"missing type on {what} {rest!r}")
+        return body, typ.strip()
+
+    def _parse_instr(self, dest: str, rest: str) -> Instr:
+        body, typ = self._split_typed(rest, "instruction")
+        op, _, args_text = body.partition(" ")
+        args = [_parse_value(a) for a in _split_top_level(args_text)]
+        return Instr(op, dest, args, typ)
+
+    def _parse_indexed(self, inner: str) -> tuple[Ref, Value]:
+        bracket = inner.find("[")
+        if bracket < 0 or not inner.endswith("]"):
+            raise self._fail(f"malformed memory operand {inner!r}")
+        base = _parse_value(inner[:bracket])
+        if not isinstance(base, Ref):
+            raise self._fail(f"memory base must be a register in {inner!r}")
+        return base, _parse_value(inner[bracket + 1:-1])
+
+    def _parse_load(self, dest: str, rest: str) -> LoadOp:
+        body, typ = self._split_typed(rest, "load")
+        base, index = self._parse_indexed(body[len("load "):])
+        return LoadOp(dest, base, index, typ)
+
+    def _parse_store(self, line: str) -> StoreOp:
+        body, typ = self._split_typed(line, "store")
+        inner = body[len("store "):]
+        split_at = inner.find("], ")
+        if split_at < 0:
+            raise self._fail(f"malformed store {line!r}")
+        base, index = self._parse_indexed(inner[:split_at + 1])
+        value = _parse_value(inner[split_at + len("], "):])
+        return StoreOp(base, index, value, typ)
+
+    def _parse_call(self, dest: Optional[str], rest: str) -> CallOp:
+        body, typ = self._split_typed(rest, "call")
+        inner = body[len("call @"):]
+        open_p = inner.find("(")
+        close_p = inner.rfind(")")
+        if open_p < 0 or close_p < open_p:
+            raise self._fail(f"malformed call {rest!r}")
+        callee = inner[:open_p]
+        args = [_parse_value(a) for a in _split_top_level(inner[open_p + 1:close_p])]
+        return CallOp(dest, callee, args, typ)
+
+    def _parse_for(self, line: str) -> ForOp:
+        if not line.endswith(" {"):
+            raise self._fail(f"malformed for header {line!r}")
+        core = line[:-2]
+        attrs: dict = {}
+        if core.endswith("}") and " attrs{" in core:
+            core, attr_body = core.rsplit(" attrs{", 1)
+            attrs = _parse_attr_dict(attr_body[:-1])
+        var, sep, bounds = core[len("for %"):].partition(" = ")
+        start_text, to_sep, rest = bounds.partition(" to ")
+        bound_text, step_sep, step_text = rest.partition(" step ")
+        if not (sep and to_sep and step_sep):
+            raise self._fail(f"malformed for header {line!r}")
+        body, terminator = self._parse_region()
+        if terminator != "}":
+            raise self._fail(f"expected '}}' closing for, got {terminator!r}")
+        return ForOp(var, _parse_value(start_text), _parse_value(bound_text),
+                     _parse_value(step_text), body, attrs)
+
+    def _parse_while(self) -> WhileOp:
+        cond_region, terminator = self._parse_region()
+        if not (terminator.startswith("} cond ") and terminator.endswith(" do {")):
+            raise self._fail(f"expected '}} cond ... do {{', got {terminator!r}")
+        cond = _parse_value(terminator[len("} cond "):-len(" do {")])
+        body, terminator = self._parse_region()
+        if terminator != "}":
+            raise self._fail(f"expected '}}' closing while, got {terminator!r}")
+        return WhileOp(cond_region, cond, body)
+
+    def _parse_if(self, line: str) -> IfOp:
+        cond = _parse_value(line[len("if "):-2])
+        then, terminator = self._parse_region()
+        orelse = Region()
+        if terminator == "} else {":
+            orelse, terminator = self._parse_region()
+        if terminator != "}":
+            raise self._fail(f"expected '}}' closing if, got {terminator!r}")
+        return IfOp(cond, then, orelse)

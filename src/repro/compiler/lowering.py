@@ -14,14 +14,14 @@ instruction list.
 
 from __future__ import annotations
 
+import copy
 import json
-import threading
 from dataclasses import dataclass, field
 from typing import Union
 
 from repro.compiler import ir
 from repro.compiler.passes import run_optimization_pipeline, vectorize
-from repro.compiler.target import TargetMachine
+from repro.compiler.target import TargetMachine, get_target
 
 # Scalar per-op costs in cycles (throughput-ish, one lane). Division and
 # square roots are the classic expensive ops in MD kernels; their relative
@@ -135,56 +135,30 @@ def lower_module(module: ir.Module, target: TargetMachine, opt_level: int = 2,
                  apply_vectorization: bool = True) -> MachineModule:
     """Optimize, vectorize and lower an IR module for ``target``.
 
-    The input module is annotated in place (vectorization attributes), which
-    mirrors how the deployment step records its decisions in the deployed
-    image's metadata.
+    Lowering is *pure*: optimization and vectorization run on a private
+    copy, so the input module — the immutable artifact an IR container
+    ships — is never mutated. One module can therefore be lowered
+    concurrently for many targets and at mixed ``-O`` levels, and every
+    ``(IR fingerprint, ISA, -O)`` result is deterministic and cacheable.
     """
-    run_optimization_pipeline(module, opt_level)
+    work = copy.deepcopy(module)
+    run_optimization_pipeline(work, opt_level)
     if apply_vectorization and target.vector_bits > 0:
-        vectorize(module, target)
+        vectorize(work, target)
     else:
-        # Reset explicitly: the same IR module may be lowered repeatedly for
-        # different targets (IR containers deploy one module many times), so
-        # stale vectorization attributes from a previous lowering must not
-        # leak into a scalar build.
-        for fn in module.functions:
+        # Reset explicitly: the caller may hand us a module that was
+        # annotated by an explicit vectorize() call; a scalar build must
+        # not inherit those widths.
+        for fn in work.functions:
             for loop in fn.loops():
                 loop.attrs["vector_width"] = 1
-    local_names = {fn.name for fn in module.functions}
-    mmod = MachineModule(module.name, target)
-    for fn in module.functions:
+    local_names = {fn.name for fn in work.functions}
+    mmod = MachineModule(work.name, target)
+    for fn in work.functions:
         mfn = MachineFunction(fn.name, target)
         mfn.body = _lower_region(fn.body, target, vector_width=1, local_names=local_names)
         mmod.functions[fn.name] = mfn
     return mmod
-
-
-# lower_module annotates the IR module in place (vectorization attributes),
-# so concurrent lowerings of *one* module for different targets would race.
-# Serialize per module — distinct modules still lower concurrently, which is
-# what lets deploy_batch's ISA groups overlap.
-_LOWER_LOCK_GUARD = threading.Lock()
-
-
-def _module_lock(module: ir.Module) -> threading.Lock:
-    lock = getattr(module, "_lower_lock", None)
-    if lock is None:
-        with _LOWER_LOCK_GUARD:
-            lock = getattr(module, "_lower_lock", None)
-            if lock is None:
-                lock = threading.Lock()
-                module._lower_lock = lock
-    return lock
-
-
-def _opt_levels_seen(module: ir.Module) -> set[int]:
-    """Which -O levels this module has already been lowered at (caller must
-    hold the module lock)."""
-    seen = getattr(module, "_lowered_opt_levels", None)
-    if seen is None:
-        seen = set()
-        module._lowered_opt_levels = seen
-    return seen
 
 
 def lower_module_cached(module: ir.Module, target: TargetMachine,
@@ -198,34 +172,101 @@ def lower_module_cached(module: ir.Module, target: TargetMachine,
     (``None`` falls back to plain :func:`lower_module`); ``ir_digest``
     supplies the module's content digest when the caller already knows it
     (manifest entries do), avoiding a re-render.
+
+    The cache payload is the full serialized machine module
+    (:func:`machine_module_to_payload`), so a hit against a persistent
+    store warmed by another process reconstructs the machine module from
+    the payload alone — a cold deployment performs zero lowering work.
     """
     if cache is None:
-        # Still record the opt level (and serialize the mutation): a later
-        # *cached* lowering of this module must know it is no longer
-        # pristine, or it would publish a tainted entry as cacheable.
-        with _module_lock(module):
-            mmod = lower_module(module, target, opt_level)
-            _opt_levels_seen(module).add(opt_level)
-        return mmod
+        return lower_module(module, target, opt_level)
     parts = {"ir": ir_digest or module.fingerprint(),
              "target": target.name, "opt": opt_level}
-    entry = cache.get("lower", parts, require_obj=True)
+    entry = cache.get("lower", parts)
     if entry is not None:
-        return entry.obj
-    with _module_lock(module):
-        # run_optimization_pipeline mutates the module destructively
-        # (fold/DCE are not undone the way vectorization attributes are), so
-        # a module lowered at mixed -O levels no longer yields deterministic
-        # per-level results. Cache only results still derived from pristine
-        # state: all lowerings of this module so far used this same level.
-        opts_seen = _opt_levels_seen(module)
-        cacheable = not opts_seen or opts_seen == {opt_level}
-        mmod = lower_module(module, target, opt_level)
-        opts_seen.add(opt_level)
-    if cacheable:
-        payload = json.dumps({"target": target.name, "opt": opt_level,
-                              "functions": sorted(mmod.functions)}, sort_keys=True)
-        cache.put("lower", parts, payload, obj=mmod)
+        mmod = entry.obj
+        if mmod is None:
+            mmod = machine_module_from_payload(entry.payload)
+            # Promote the reconstructed object so later hits in this
+            # process share one machine module identity.
+            cache.put("lower", parts, entry.payload, obj=mmod)
+        return mmod
+    mmod = lower_module(module, target, opt_level)
+    cache.put("lower", parts, machine_module_to_payload(mmod), obj=mmod)
+    return mmod
+
+
+# -- machine-module serialization ----------------------------------------------
+
+
+def _item_to_json(item: MItem) -> dict:
+    if isinstance(item, MachineInstr):
+        return {"kind": "instr", "opcode": item.opcode, "cycles": item.cycles}
+    if isinstance(item, MLoop):
+        return {"kind": "loop", "body": [_item_to_json(i) for i in item.body],
+                "bound_src": item.bound_src, "start_src": item.start_src,
+                "const_trip": item.const_trip,
+                "vector_width": item.vector_width, "gather": item.gather,
+                "parallel": item.parallel, "header_cycles": item.header_cycles,
+                "var": item.var}
+    if isinstance(item, MIf):
+        return {"kind": "if", "cond_cycles": item.cond_cycles,
+                "then": [_item_to_json(i) for i in item.then],
+                "orelse": [_item_to_json(i) for i in item.orelse],
+                "selectivity": item.selectivity}
+    if isinstance(item, MCall):
+        return {"kind": "call", "callee": item.callee, "cycles": item.cycles,
+                "internal": item.internal}
+    raise TypeError(f"cannot serialize machine item {type(item).__name__}")
+
+
+def _item_from_json(blob: dict) -> MItem:
+    kind = blob.get("kind")
+    if kind == "instr":
+        return MachineInstr(blob["opcode"], blob["cycles"])
+    if kind == "loop":
+        return MLoop(body=[_item_from_json(i) for i in blob["body"]],
+                     bound_src=blob["bound_src"], start_src=blob["start_src"],
+                     const_trip=blob["const_trip"],
+                     vector_width=blob["vector_width"], gather=blob["gather"],
+                     parallel=blob["parallel"],
+                     header_cycles=blob["header_cycles"], var=blob["var"])
+    if kind == "if":
+        return MIf(cond_cycles=blob["cond_cycles"],
+                   then=[_item_from_json(i) for i in blob["then"]],
+                   orelse=[_item_from_json(i) for i in blob["orelse"]],
+                   selectivity=blob["selectivity"])
+    if kind == "call":
+        return MCall(blob["callee"], blob["cycles"], internal=blob["internal"])
+    raise ValueError(f"unknown machine item kind {kind!r}")
+
+
+def machine_module_to_payload(mmod: MachineModule) -> str:
+    """Serialize a machine module to deterministic JSON text.
+
+    Together with :func:`machine_module_from_payload` this makes ``lower``
+    cache entries payload-only artifacts: any process holding the blob can
+    rebuild the machine tree (the target is recovered by name through the
+    target registry — targets are code, not data).
+    """
+    return json.dumps({
+        "format": "xaas-machine-module-v1",
+        "name": mmod.name,
+        "target": mmod.target.name,
+        "functions": {name: [_item_to_json(i) for i in fn.body]
+                      for name, fn in sorted(mmod.functions.items())},
+    }, sort_keys=True)
+
+
+def machine_module_from_payload(payload: str) -> MachineModule:
+    """Inverse of :func:`machine_module_to_payload`."""
+    blob = json.loads(payload)
+    target = get_target(blob["target"])
+    mmod = MachineModule(blob["name"], target)
+    for name, body in blob["functions"].items():
+        mfn = MachineFunction(name, target)
+        mfn.body = [_item_from_json(i) for i in body]
+        mmod.functions[name] = mfn
     return mmod
 
 

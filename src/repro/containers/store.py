@@ -6,55 +6,75 @@ construction is the property the paper leans on in Sec. 5.2: any change to an
 image layer produces a new digest and therefore a new image identity, which
 is why deploy-time specialization must create a *new* image rather than
 mutate the pulled one.
+
+Storage itself is pluggable (:mod:`repro.store`): the default
+:class:`~repro.store.backend.MemoryBackend` keeps the historical in-process
+dict semantics, while :class:`~repro.store.backend.FileBackend` and
+:class:`~repro.store.remote.RemoteBackend` persist and share blobs across
+processes. :class:`ArtifactCache` keeps its key index in an access-ordered
+ref blob on the same backend, so a cold process warm-starts from whatever a
+previous build left behind.
 """
 
 from __future__ import annotations
 
+import json
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
+from repro.store.backend import (
+    INDEX_REF,
+    PINS_REF,
+    Backend,
+    BlobNotFound,
+    MemoryBackend,
+)
 from repro.util.hashing import content_digest, is_digest, stable_hash
 
+__all__ = [
+    "ArtifactCache", "BlobNotFound", "BlobStore", "CacheCounters", "CacheEntry",
+    "IndexEntry", "INDEX_REF", "PINS_REF",
+]
 
-class BlobNotFound(KeyError):
-    pass
 
-
-@dataclass
 class BlobStore:
-    """Digest -> bytes mapping with integrity checking."""
+    """Digest -> bytes mapping with integrity checking over a backend."""
 
-    _blobs: dict[str, bytes] = field(default_factory=dict)
+    def __init__(self, backend: Backend | None = None):
+        self.backend: Backend = backend if backend is not None else MemoryBackend()
 
     def put(self, data: bytes | str) -> str:
         """Store a blob; returns its digest. Idempotent."""
         if isinstance(data, str):
             data = data.encode("utf-8")
         digest = content_digest(data)
-        self._blobs[digest] = data
+        self.backend.put(digest, data)
         return digest
 
     def get(self, digest: str) -> bytes:
         if not is_digest(digest):
             raise ValueError(f"malformed digest {digest!r}")
-        try:
-            return self._blobs[digest]
-        except KeyError:
-            raise BlobNotFound(digest) from None
+        return self.backend.get(digest)
 
     def get_text(self, digest: str) -> str:
         return self.get(digest).decode("utf-8")
 
     def has(self, digest: str) -> bool:
-        return digest in self._blobs
+        return self.backend.has(digest)
+
+    def delete(self, digest: str) -> bool:
+        """Remove one blob; True if it existed. (GC's primitive — callers
+        are responsible for not deleting blobs still referenced.)"""
+        return self.backend.delete(digest)
 
     def __len__(self) -> int:
-        return len(self._blobs)
+        return len(self.backend)
 
     @property
     def total_bytes(self) -> int:
-        return sum(len(b) for b in self._blobs.values())
+        """Store size; maintained incrementally by the backend, O(1)."""
+        return self.backend.total_bytes
 
     def copy_blob(self, digest: str, dest: "BlobStore") -> None:
         """Transfer one blob (push/pull primitive); verifies integrity."""
@@ -93,6 +113,16 @@ class CacheEntry:
     obj: Any = None
 
 
+@dataclass
+class IndexEntry:
+    """One index record: which blob a cache key resolves to, its namespace,
+    and the access sequence number LRU eviction orders by."""
+
+    namespace: str
+    digest: str
+    seq: int
+
+
 class ArtifactCache:
     """Content-addressed build-artifact cache layered on a :class:`BlobStore`.
 
@@ -101,8 +131,17 @@ class ArtifactCache:
     that went into producing them, so a repeated build — or a batch
     deployment fanning one IR container out to many systems — reuses work
     instead of recomputing it. Payload text is persisted in the underlying
-    blob store (shareable, digest-verified); non-serializable live objects
-    (e.g. :class:`~repro.compiler.ir.Module`) ride along in-process only.
+    blob store (shareable, digest-verified); live objects (e.g.
+    :class:`~repro.compiler.ir.Module`) ride along in-process and are
+    *reconstructed from the payload* by the cache-aware wrappers when a
+    cold process hits a warm persistent store.
+
+    On a persistent backend (file or remote) the key index itself is stored
+    as an access-ordered ref blob (:data:`INDEX_REF`), updated on every
+    publish and hit: a later process — or :func:`repro.store.gc.collect` —
+    sees both the mapping and the LRU order. Blobs named in the pin set
+    (:data:`PINS_REF`, see :meth:`pin`) are exempt from garbage collection
+    along with everything they transitively reference.
 
     Namespaces ("preprocess", "ir", "lower") keep independent hit/miss
     counters, surfaced per build in ``PipelineStats``. Thread-safe: the
@@ -111,10 +150,73 @@ class ArtifactCache:
 
     def __init__(self, store: BlobStore | None = None):
         self.store = store if store is not None else BlobStore()
-        self._index: dict[str, str] = {}      # cache key -> payload digest
-        self._objects: dict[str, Any] = {}    # cache key -> live object
+        self._entries: dict[str, IndexEntry] = {}  # cache key -> index record
+        self._objects: dict[str, Any] = {}         # cache key -> live object
         self._counters: dict[str, CacheCounters] = {}
         self._lock = threading.Lock()
+        self._seq = 0
+        self._dirty_hits = 0  # LRU bumps not yet persisted
+        self._evicted: set[str] = set()  # tombstones: do not re-adopt on merge
+        self._persistent = bool(getattr(self.store.backend, "persistent", False))
+        if self._persistent:
+            with self._lock:
+                self._merge_from_backend_locked()
+
+    # -- index persistence -----------------------------------------------------
+
+    def _merge_from_backend_locked(self) -> None:
+        """Adopt index entries another writer persisted since our last read.
+
+        Keys we already track (or evicted ourselves) keep our record; only
+        unseen keys are adopted. Saving always merges first, so two
+        cooperating processes converge on the union of their entries
+        instead of last-writer-wins dropping each other's publishes (and
+        GC never mistakes a concurrently-published blob for an orphan).
+        """
+        raw = self.store.backend.get_ref(INDEX_REF)
+        if raw is None:
+            return
+        blob = json.loads(raw.decode("utf-8"))
+        self._seq = max(self._seq, int(blob.get("seq", 0)))
+        for key, namespace, digest, seq in blob.get("entries", ()):
+            if key not in self._entries and key not in self._evicted:
+                self._entries[key] = IndexEntry(namespace, digest, int(seq))
+
+    def flush_index(self) -> None:
+        """Persist the index now, even on a non-persistent backend.
+
+        Hit-driven LRU bumps are batched (persisting the whole index per
+        lookup would be O(n) I/O per hit); any operation boundary —
+        ``put``, ``evict``, ``snapshot``, ``stats``, GC — flushes them.
+        Call this explicitly before handing a memory backend to
+        :func:`repro.store.transfer.export_store`, or to persist a
+        read-only session's recency updates immediately.
+        """
+        with self._lock:
+            self._save_index_locked(force=True)
+
+    def _save_index_locked(self, force: bool = False) -> None:
+        if not self._persistent and not force:
+            return
+        self._merge_from_backend_locked()
+        payload = json.dumps({
+            "version": 1,
+            "seq": self._seq,
+            "entries": [[key, e.namespace, e.digest, e.seq]
+                        for key, e in self._entries.items()],
+        }, sort_keys=True)
+        self.store.backend.set_ref(INDEX_REF, payload.encode("utf-8"))
+        self._dirty_hits = 0
+
+    def _flush_dirty_locked(self) -> None:
+        if self._dirty_hits:
+            self._save_index_locked()
+
+    def _next_seq_locked(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- lookup / publish --------------------------------------------------------
 
     @staticmethod
     def cache_key(namespace: str, parts: Any) -> str:
@@ -126,39 +228,45 @@ class ArtifactCache:
         """Look up an artifact; counts a hit or miss in ``namespace``.
 
         ``require_obj=True`` treats a payload-only entry as a miss — for
-        artifacts (IR modules, machine modules) whose live object cannot be
-        reconstructed from the payload text alone.
+        callers that cannot (or must not) reconstruct the live object from
+        the payload text.
         """
         key = self.cache_key(namespace, parts)
         with self._lock:
             counters = self._counters.setdefault(namespace, CacheCounters())
-            digest = self._index.get(key)
+            record = self._entries.get(key)
             obj = self._objects.get(key)
-            if digest is None or not self.store.has(digest) \
+            if record is None or not self.store.has(record.digest) \
                     or (require_obj and obj is None):
                 counters.misses += 1
                 return None
             counters.hits += 1
             # Read under the lock: the index said the blob exists, and
-            # nothing may evict it between that check and this read.
-            payload = self.store.get_text(digest)
-        return CacheEntry(digest, payload, obj)
+            # nothing in-process may evict it between that check and this
+            # read. A hit refreshes the entry's position in the LRU order;
+            # the bump is persisted at the next operation boundary (put,
+            # snapshot, stats, GC) rather than per lookup.
+            payload = self.store.get_text(record.digest)
+            record.seq = self._next_seq_locked()
+            if self._persistent:
+                self._dirty_hits += 1
+        return CacheEntry(record.digest, payload, obj)
 
     def put(self, namespace: str, parts: Any, payload: str,
             obj: Any = None) -> CacheEntry:
         """Publish an artifact; idempotent, does not touch the counters."""
         key = self.cache_key(namespace, parts)
         with self._lock:
-            # The backing BlobStore is a plain dict; keep its mutation under
-            # this cache's lock so worker threads never race it.
             digest = self.store.put(payload)
-            self._index[key] = digest
+            self._entries[key] = IndexEntry(namespace, digest,
+                                            self._next_seq_locked())
             if obj is not None:
                 self._objects[key] = obj
             else:
                 # Re-publishing without an object must not leave a stale
                 # live object paired with the new payload.
                 self._objects.pop(key, None)
+            self._save_index_locked()
         return CacheEntry(digest, payload, obj)
 
     def put_blob(self, payload: str) -> str:
@@ -171,14 +279,108 @@ class ArtifactCache:
         with self._lock:
             return self.store.put(payload)
 
+    # -- pins --------------------------------------------------------------------
+
+    def pin(self, name: str, digest: str) -> None:
+        """Protect ``digest`` — and everything it transitively references —
+        from garbage collection, under a human-readable name.
+
+        Deployable state is pinned by its root: pinning an image's manifest
+        digest keeps its config and layer blobs alive because GC follows
+        digest references inside pinned blobs.
+        """
+        if not is_digest(digest):
+            raise ValueError(f"malformed digest {digest!r}")
+        with self._lock:
+            pins = self._load_pins()
+            pins[name] = digest
+            self.store.backend.set_ref(
+                PINS_REF, json.dumps(pins, sort_keys=True).encode("utf-8"))
+
+    def unpin(self, name: str) -> bool:
+        with self._lock:
+            pins = self._load_pins()
+            if name not in pins:
+                return False
+            del pins[name]
+            self.store.backend.set_ref(
+                PINS_REF, json.dumps(pins, sort_keys=True).encode("utf-8"))
+            return True
+
+    def pins(self) -> dict[str, str]:
+        with self._lock:
+            return self._load_pins()
+
+    def _load_pins(self) -> dict[str, str]:
+        raw = self.store.backend.get_ref(PINS_REF)
+        return {} if raw is None else json.loads(raw.decode("utf-8"))
+
+    # -- introspection (stats, GC) -----------------------------------------------
+
+    def entries(self) -> dict[str, IndexEntry]:
+        """Snapshot of the index (key -> record copy), for stats and GC."""
+        with self._lock:
+            self._flush_dirty_locked()
+            return {key: IndexEntry(e.namespace, e.digest, e.seq)
+                    for key, e in self._entries.items()}
+
+    def evict(self, key: str) -> IndexEntry | None:
+        """Drop one index entry (not its blob); returns the removed record.
+
+        Blob deletion is GC's job — it alone knows which blobs are still
+        referenced by surviving entries or pinned manifests.
+        """
+        with self._lock:
+            record = self._entries.pop(key, None)
+            self._objects.pop(key, None)
+            if record is not None:
+                # Tombstone: a save merges from the backend first, and the
+                # merge must not resurrect what we just evicted.
+                self._evicted.add(key)
+                self._save_index_locked()
+            return record
+
+    def gc(self, max_bytes: int):
+        """Bound the backing store to ``max_bytes`` by LRU eviction.
+
+        Delegates to :func:`repro.store.gc.collect`; see there for the
+        policy (orphans first, then least-recently-used entries; pinned
+        blobs are never deleted).
+        """
+        from repro.store.gc import collect
+        return collect(self, max_bytes)
+
+    def stats(self) -> dict:
+        """Machine-readable store/cache statistics (``cache stats --json``)."""
+        with self._lock:
+            self._flush_dirty_locked()
+            per_ns: dict[str, int] = {}
+            for record in self._entries.values():
+                per_ns[record.namespace] = per_ns.get(record.namespace, 0) + 1
+            return {
+                "blobs": len(self.store),
+                "total_bytes": self.store.total_bytes,
+                "entries": len(self._entries),
+                "entries_by_namespace": dict(sorted(per_ns.items())),
+                "pins": self._load_pins(),
+                "persistent": self._persistent,
+            }
+
+    # -- counters ----------------------------------------------------------------
+
     def counters(self, namespace: str) -> CacheCounters:
         with self._lock:
             return self._counters.setdefault(namespace, CacheCounters())
 
     def snapshot(self) -> dict[str, tuple[int, int]]:
-        """(hits, misses) per namespace — for computing per-build deltas."""
+        """(hits, misses) per namespace — for computing per-build deltas.
+
+        Builds and deployments snapshot before and after a run, which makes
+        this the natural operation boundary to persist batched LRU bumps.
+        """
         with self._lock:
+            self._flush_dirty_locked()
             return {ns: (c.hits, c.misses) for ns, c in self._counters.items()}
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._entries)

@@ -11,7 +11,10 @@ selected SIMD level)`` *before* any lowering happens, and
 :class:`~repro.containers.store.ArtifactCache` through all of them: the
 first system of each ISA group lowers the configuration's IRs, every other
 system reuses the cached machine modules (the ``lower`` namespace hit
-counters make the reuse auditable).
+counters make the reuse auditable). With a persistent store
+(:mod:`repro.store` file/remote backends) the reuse crosses process
+boundaries: lowered modules are payload-only artifacts, so a later batch
+in a cold process deploys without lowering anything at all.
 """
 
 from __future__ import annotations
@@ -133,7 +136,11 @@ def deploy_batch(result: IRContainerResult, app: AppModel,
     if not systems:
         raise IRDeploymentError("deploy_batch needs at least one system")
     if cache is None:
-        cache = ArtifactCache()
+        # Default the cache onto the deployment's own blob store: when the
+        # caller hands us a persistent store (file/remote backend), lowered
+        # machine modules persist alongside the image blobs and the *next*
+        # batch — even in another process — starts warm.
+        cache = ArtifactCache(store)
     by_name = {system.name: system for system in systems}
     plan = plan_batch(result, app, options, systems,
                       simd_override=simd_override,

@@ -217,8 +217,9 @@ class PreprocessStage(Stage):
         results = parallel_map(_preprocess, missing, ctx.require("max_workers"))
         stats.preprocess_ops += len(missing)
         for (key, parts, _tu), (text, has_omp) in zip(missing, results):
-            # The canonical text goes in its own content-addressed blob (a
-            # future remote/cold cache can replay it via text_digest); the
+            # The canonical text goes in its own content-addressed blob —
+            # this is what lets a cold process on a persistent/remote store
+            # (repro.store backends) replay it via text_digest; the
             # indexed payload stays small so warm hits are O(1) in text size.
             text_digest = cache.put_blob(text)
             resolved[key] = (text_digest, has_omp)

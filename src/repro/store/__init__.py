@@ -1,0 +1,50 @@
+"""Persistent shared artifact-store subsystem.
+
+The paper's deployment story (Sec. 5.2) rests on content-addressed,
+immutable artifacts; PR 1's :class:`~repro.containers.store.ArtifactCache`
+keys preprocess/IR/lowered artifacts by input digests but lives and dies
+with one process. This package supplies the missing persistence layer:
+
+* :class:`~repro.store.backend.Backend` — the blob-storage protocol every
+  store speaks: content-addressed blobs (``put``/``get``/``has``/``delete``)
+  plus mutable named *refs* (git-style pointers) for the cache index and
+  pin set.
+* :class:`~repro.store.backend.MemoryBackend` — today's in-process dict
+  semantics, now behind the protocol.
+* :class:`~repro.store.backend.FileBackend` — blobs persisted under a
+  sharded ``objects/ab/cdef...`` directory layout with atomic writes, so
+  CI runs and fleet builders warm-start from disk.
+* :class:`~repro.store.remote.RemoteBackend` /
+  :class:`~repro.store.remote.StoreServer` — a small push/pull/has wire
+  protocol over a local socket, letting two processes share one store.
+* :func:`~repro.store.gc.collect` — size accounting and LRU garbage
+  collection over a cache's access-ordered index, honouring pinned
+  manifests.
+* :func:`~repro.store.transfer.export_store` /
+  :func:`~repro.store.transfer.import_store` — move a whole store between
+  machines as one archive.
+
+`repro.containers.store` layers :class:`BlobStore`/:class:`ArtifactCache`
+on top of these backends without changing their call sites.
+"""
+
+from repro.store.backend import (
+    INDEX_REF,
+    PINS_REF,
+    Backend,
+    BackendError,
+    BlobNotFound,
+    FileBackend,
+    MemoryBackend,
+)
+from repro.store.gc import GCReport, collect
+from repro.store.remote import RemoteBackend, RemoteStoreError, StoreServer
+from repro.store.transfer import export_store, import_store
+
+__all__ = [
+    "Backend", "BackendError", "BlobNotFound", "FileBackend", "MemoryBackend",
+    "INDEX_REF", "PINS_REF",
+    "GCReport", "collect",
+    "RemoteBackend", "RemoteStoreError", "StoreServer",
+    "export_store", "import_store",
+]

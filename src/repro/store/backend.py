@@ -1,0 +1,285 @@
+"""Blob-store backends: the storage protocol and its local implementations.
+
+A backend stores two kinds of state, mirroring git's object model:
+
+* **blobs** — immutable bytes addressed by their ``sha256:<hex>`` digest.
+  The caller supplies the digest (computed by
+  :func:`repro.util.hashing.content_digest`); backends verify it on write
+  so a corrupted transfer can never poison a store.
+* **refs** — small mutable named blobs (the cache's access-ordered index,
+  the pin set). Refs are the only mutable state in a store; everything
+  else is content-addressed and therefore immutable by construction, the
+  property the paper's Sec. 5.2 deployment model leans on.
+
+Backends are thread-safe: the pipeline's parallel map publishes artifacts
+concurrently, and the socket server serves several clients at once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.util.hashing import content_digest, is_digest
+
+
+#: Ref holding an :class:`~repro.containers.store.ArtifactCache`'s
+#: access-ordered index (JSON).
+INDEX_REF = "artifact-index"
+#: Ref holding the pin set: pinned blobs survive any garbage collection.
+PINS_REF = "pins"
+
+
+class BackendError(RuntimeError):
+    pass
+
+
+class BlobNotFound(KeyError):
+    pass
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every blob-store backend must speak."""
+
+    #: True when blobs outlive the creating process (file/remote stores).
+    persistent: bool
+
+    def put(self, digest: str, data: bytes) -> None: ...
+
+    def get(self, digest: str) -> bytes: ...
+
+    def has(self, digest: str) -> bool: ...
+
+    def delete(self, digest: str) -> bool: ...
+
+    def digests(self) -> list[str]: ...
+
+    def __len__(self) -> int: ...
+
+    @property
+    def total_bytes(self) -> int: ...
+
+    def set_ref(self, name: str, data: bytes) -> None: ...
+
+    def get_ref(self, name: str) -> bytes | None: ...
+
+    def delete_ref(self, name: str) -> bool: ...
+
+    def refs(self) -> list[str]: ...
+
+
+def _check_digest(digest: str, data: bytes) -> None:
+    if not is_digest(digest):
+        raise ValueError(f"malformed digest {digest!r}")
+    actual = content_digest(data)
+    if actual != digest:
+        raise BackendError(
+            f"integrity failure: blob addressed {digest} hashes to {actual}")
+
+
+class MemoryBackend:
+    """Plain in-process dict semantics — what :class:`BlobStore` always was.
+
+    ``total_bytes`` is maintained incrementally (a counter updated on
+    put/delete) rather than summed on demand, so size accounting stays O(1)
+    however large the store grows.
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._refs: dict[str, bytes] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def put(self, digest: str, data: bytes) -> None:
+        _check_digest(digest, data)
+        with self._lock:
+            if digest not in self._blobs:
+                self._blobs[digest] = data
+                self._total += len(data)
+
+    def get(self, digest: str) -> bytes:
+        try:
+            return self._blobs[digest]
+        except KeyError:
+            raise BlobNotFound(digest) from None
+
+    def has(self, digest: str) -> bool:
+        return digest in self._blobs
+
+    def delete(self, digest: str) -> bool:
+        with self._lock:
+            data = self._blobs.pop(digest, None)
+            if data is None:
+                return False
+            self._total -= len(data)
+            return True
+
+    def digests(self) -> list[str]:
+        return list(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    def set_ref(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._refs[name] = data
+
+    def get_ref(self, name: str) -> bytes | None:
+        return self._refs.get(name)
+
+    def delete_ref(self, name: str) -> bool:
+        with self._lock:
+            return self._refs.pop(name, None) is not None
+
+    def refs(self) -> list[str]:
+        return list(self._refs)
+
+
+class FileBackend:
+    """Blobs persisted on disk under a sharded ``objects/`` layout.
+
+    Layout (the registry/git convention — two-hex-char fan-out keeps any
+    single directory small)::
+
+        <root>/objects/ab/cdef0123...   # blob, named by its digest hex
+        <root>/refs/<name>              # mutable refs ('/' escaped)
+
+    Writes are atomic: bytes land in a temp file in the same directory and
+    are ``os.replace``d into place, so a concurrent reader (or a crashed
+    writer) can never observe a half-written blob. Because blobs are
+    content-addressed, concurrent writers racing on one digest are writing
+    identical bytes — last rename wins and nothing is lost.
+    """
+
+    persistent = True
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = os.fspath(root)
+        self._objects = os.path.join(self.root, "objects")
+        self._refs_dir = os.path.join(self.root, "refs")
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._refs_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._total = 0
+        self._count = 0
+        for path in self._iter_blob_paths():
+            self._total += os.path.getsize(path)
+            self._count += 1
+
+    # -- blobs -----------------------------------------------------------------
+
+    def _blob_path(self, digest: str) -> str:
+        hexpart = digest.split(":", 1)[1]
+        return os.path.join(self._objects, hexpart[:2], hexpart[2:])
+
+    def _iter_blob_paths(self) -> Iterable[str]:
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                # A crashed writer can leave a .tmp-* behind; it is not a
+                # blob and must not pollute counts, digests() or exports.
+                if name.startswith(".tmp-"):
+                    continue
+                yield os.path.join(shard_dir, name)
+
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def put(self, digest: str, data: bytes) -> None:
+        _check_digest(digest, data)
+        path = self._blob_path(digest)
+        with self._lock:
+            if os.path.exists(path):
+                return
+            self._atomic_write(path, data)
+            self._total += len(data)
+            self._count += 1
+
+    def get(self, digest: str) -> bytes:
+        try:
+            with open(self._blob_path(digest), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise BlobNotFound(digest) from None
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self._blob_path(digest))
+
+    def delete(self, digest: str) -> bool:
+        path = self._blob_path(digest)
+        with self._lock:
+            try:
+                size = os.path.getsize(path)
+                os.unlink(path)
+            except FileNotFoundError:
+                return False
+            self._total -= size
+            self._count -= 1
+            return True
+
+    def digests(self) -> list[str]:
+        out = []
+        for path in self._iter_blob_paths():
+            shard_dir, rest = os.path.split(path)
+            shard = os.path.basename(shard_dir)
+            out.append(f"sha256:{shard}{rest}")
+        return out
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    # -- refs ------------------------------------------------------------------
+
+    def _ref_path(self, name: str) -> str:
+        return os.path.join(self._refs_dir, name.replace("/", "%2f"))
+
+    def set_ref(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._atomic_write(self._ref_path(name), data)
+
+    def get_ref(self, name: str) -> bytes | None:
+        try:
+            with open(self._ref_path(name), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def delete_ref(self, name: str) -> bool:
+        with self._lock:
+            try:
+                os.unlink(self._ref_path(name))
+            except FileNotFoundError:
+                return False
+            return True
+
+    def refs(self) -> list[str]:
+        return [name.replace("%2f", "/") for name in sorted(os.listdir(self._refs_dir))
+                if not name.startswith(".tmp-")]

@@ -1,0 +1,157 @@
+"""Size accounting and LRU garbage collection for artifact stores.
+
+The cache grows without bound: every preprocessed text, IR module, lowered
+machine module, and image blob a build ever produced stays in the store.
+:func:`collect` bounds the store to a byte budget with a two-phase sweep:
+
+1. **Orphans first.** Blobs referenced by nothing — no index entry, no pin,
+   no digest mention inside a live payload — are deleted outright. (These
+   accumulate when an entry is re-published with a new payload: the old
+   blob keeps its bytes but loses its last referrer.)
+2. **LRU eviction.** While the store still exceeds the budget, evict the
+   least-recently-used index entry (the access-ordered index is maintained
+   by :class:`~repro.containers.store.ArtifactCache` on every hit and
+   publish) and delete whichever blobs thereby lose their last reference.
+
+Pinned roots are sacred: any digest in the pin set — and everything it
+transitively references, discovered by scanning pinned blobs for embedded
+``sha256:`` digests (an OCI manifest names its config and layer blobs this
+way) — is never deleted, even if the budget cannot be met without it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIGEST_RE = re.compile(rb"sha256:[0-9a-f]{64}")
+
+
+@dataclass
+class GCReport:
+    """What one collection did, for auditing and the ``--json`` CLI."""
+
+    max_bytes: int
+    before_bytes: int
+    after_bytes: int
+    before_blobs: int
+    after_blobs: int
+    evicted_entries: int = 0
+    deleted_blobs: int = 0
+    pinned_blobs: int = 0
+    # (namespace, key) of every evicted entry, LRU-first.
+    evicted: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def freed_bytes(self) -> int:
+        return self.before_bytes - self.after_bytes
+
+    @property
+    def within_budget(self) -> bool:
+        return self.after_bytes <= self.max_bytes
+
+    def to_json(self) -> dict:
+        return {
+            "max_bytes": self.max_bytes,
+            "before_bytes": self.before_bytes,
+            "after_bytes": self.after_bytes,
+            "freed_bytes": self.freed_bytes,
+            "before_blobs": self.before_blobs,
+            "after_blobs": self.after_blobs,
+            "evicted_entries": self.evicted_entries,
+            "deleted_blobs": self.deleted_blobs,
+            "pinned_blobs": self.pinned_blobs,
+            "within_budget": self.within_budget,
+            "evicted": [{"namespace": ns, "key": key} for ns, key in self.evicted],
+        }
+
+
+def referenced_digests(data: bytes) -> set[str]:
+    """Every well-formed ``sha256:`` digest mentioned inside a blob."""
+    return {m.decode("ascii") for m in _DIGEST_RE.findall(data)}
+
+
+def pin_closure(store, roots: set[str]) -> set[str]:
+    """Transitive closure of digest references starting from pinned roots.
+
+    A pinned image manifest references its config and layer blobs by
+    digest; those blobs may reference further digests (a manifest layer
+    embeds the IR digests its install entries point at). Missing blobs are
+    tolerated — a pin may outlive parts of its graph.
+    """
+    seen: set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        digest = frontier.pop()
+        if digest in seen:
+            continue
+        seen.add(digest)
+        if not store.has(digest):
+            continue
+        for ref in referenced_digests(store.get(digest)):
+            if ref not in seen:
+                frontier.append(ref)
+    return seen
+
+
+def collect(cache, max_bytes: int) -> GCReport:
+    """Bound ``cache``'s backing store to ``max_bytes``; see module doc.
+
+    ``cache`` is an :class:`~repro.containers.store.ArtifactCache` (duck-
+    typed: anything with ``store``/``entries()``/``evict()``/``pins()``
+    works). Returns a :class:`GCReport`; ``within_budget`` is False when
+    pinned blobs alone exceed the budget.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes must be non-negative")
+    store = cache.store
+    report = GCReport(max_bytes=max_bytes,
+                      before_bytes=store.total_bytes, after_bytes=0,
+                      before_blobs=len(store), after_blobs=0)
+
+    pinned = pin_closure(store, set(cache.pins().values()))
+    report.pinned_blobs = len(pinned)
+
+    # Per-entry reference sets: the payload blob itself plus every digest
+    # the payload mentions (preprocess payloads point at their bulk text
+    # blob this way). Refcounts let eviction delete newly-unreferenced
+    # blobs without rescanning the surviving entries.
+    entries = cache.entries()
+    entry_refs: dict[str, set[str]] = {}
+    refcount: dict[str, int] = {}
+    for key, record in entries.items():
+        refs = {record.digest}
+        if store.has(record.digest):
+            refs |= referenced_digests(store.get(record.digest))
+        entry_refs[key] = refs
+        for digest in refs:
+            refcount[digest] = refcount.get(digest, 0) + 1
+
+    def _delete_if_unreferenced(digest: str) -> None:
+        if digest not in pinned and refcount.get(digest, 0) == 0:
+            if store.delete(digest):
+                report.deleted_blobs += 1
+
+    # Phase 1: orphans — blobs no pin and no entry can reach.
+    for digest in store.backend.digests():
+        _delete_if_unreferenced(digest)
+
+    # Phase 2: LRU eviction until the store fits the budget. Once only
+    # pinned bytes remain, evicting further entries cannot free anything —
+    # stop rather than strip a warm cache for no gain.
+    pinned_bytes = sum(len(store.get(d)) for d in pinned if store.has(d))
+    by_age = sorted(entries.items(), key=lambda item: item[1].seq)
+    for key, record in by_age:
+        if store.total_bytes <= max(max_bytes, pinned_bytes):
+            break
+        if cache.evict(key) is None:
+            continue  # raced with a concurrent eviction
+        report.evicted_entries += 1
+        report.evicted.append((record.namespace, key))
+        for digest in entry_refs[key]:
+            refcount[digest] -= 1
+            _delete_if_unreferenced(digest)
+
+    report.after_bytes = store.total_bytes
+    report.after_blobs = len(store)
+    return report

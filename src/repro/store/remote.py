@@ -1,0 +1,250 @@
+"""A shared artifact store over a local socket: server + client backend.
+
+Two processes (a CI builder and a fleet deployer, say) share one store by
+pointing :class:`RemoteBackend` at a :class:`StoreServer` that wraps any
+local :class:`~repro.store.backend.Backend` — typically a
+:class:`~repro.store.backend.FileBackend`, giving both persistence *and*
+sharing.
+
+The wire protocol is deliberately tiny — one request per connection, a
+newline-terminated JSON header followed by an optional raw-bytes body::
+
+    -> {"cmd": "put", "digest": "sha256:...", "size": 123}\n<123 body bytes>
+    <- {"ok": true}\n
+
+    -> {"cmd": "get", "digest": "sha256:..."}\n
+    <- {"ok": true, "size": 123}\n<123 body bytes>
+
+Digests are verified on the server side (the backend re-hashes every
+write), so a corrupted transfer is rejected rather than stored. This is
+the push/pull/has protocol the ROADMAP's "remote artifact-cache backend"
+item asks for, kept intentionally simpler than a registry: immutable
+content-addressed blobs need no etags, no ranges, no auth dance.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+from repro.store.backend import Backend, BlobNotFound
+
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class RemoteStoreError(RuntimeError):
+    pass
+
+
+def _read_header(rfile) -> dict:
+    line = rfile.readline(MAX_HEADER_BYTES + 1)
+    if not line:
+        raise RemoteStoreError("connection closed before header")
+    if len(line) > MAX_HEADER_BYTES:
+        raise RemoteStoreError("header too large")
+    return json.loads(line.decode("utf-8"))
+
+
+def _read_exact(rfile, size: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise RemoteStoreError(f"short body: expected {size} more bytes")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _write_response(wfile, header: dict, body: bytes = b"") -> None:
+    wfile.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+    if body:
+        wfile.write(body)
+    wfile.flush()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one request per connection
+        backend: Backend = self.server.backend  # type: ignore[attr-defined]
+        try:
+            req = _read_header(self.rfile)
+            cmd = req.get("cmd")
+            if cmd == "put":
+                body = _read_exact(self.rfile, int(req["size"]))
+                backend.put(req["digest"], body)
+                _write_response(self.wfile, {"ok": True})
+            elif cmd == "get":
+                data = backend.get(req["digest"])
+                _write_response(self.wfile, {"ok": True, "size": len(data)}, data)
+            elif cmd == "has":
+                _write_response(self.wfile,
+                                {"ok": True, "has": backend.has(req["digest"])})
+            elif cmd == "delete":
+                _write_response(self.wfile,
+                                {"ok": True, "deleted": backend.delete(req["digest"])})
+            elif cmd == "digests":
+                _write_response(self.wfile, {"ok": True, "digests": backend.digests()})
+            elif cmd == "stat":
+                _write_response(self.wfile, {
+                    "ok": True, "count": len(backend),
+                    "total_bytes": backend.total_bytes})
+            elif cmd == "set_ref":
+                body = _read_exact(self.rfile, int(req["size"]))
+                backend.set_ref(req["name"], body)
+                _write_response(self.wfile, {"ok": True})
+            elif cmd == "get_ref":
+                data = backend.get_ref(req["name"])
+                if data is None:
+                    _write_response(self.wfile, {"ok": True, "size": -1})
+                else:
+                    _write_response(self.wfile, {"ok": True, "size": len(data)}, data)
+            elif cmd == "delete_ref":
+                _write_response(self.wfile,
+                                {"ok": True, "deleted": backend.delete_ref(req["name"])})
+            elif cmd == "refs":
+                _write_response(self.wfile, {"ok": True, "refs": backend.refs()})
+            else:
+                _write_response(self.wfile, {"ok": False,
+                                             "error": f"unknown command {cmd!r}"})
+        except BlobNotFound as exc:
+            _write_response(self.wfile, {"ok": False, "not_found": True,
+                                         "error": str(exc)})
+        except Exception as exc:  # surface to the client, keep the server up
+            try:
+                _write_response(self.wfile, {"ok": False, "error": str(exc)})
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
+
+class StoreServer:
+    """Serve a local backend to other processes over ``127.0.0.1``.
+
+    Usage::
+
+        server = StoreServer(FileBackend("/var/cache/xaas"))
+        host, port = server.start()
+        ...  # hand host/port to builders
+        server.stop()
+
+    Also usable as a context manager. Port 0 (the default) lets the OS
+    pick a free port — the chosen one is returned by :meth:`start`.
+    """
+
+    def __init__(self, backend: Backend, host: str = "127.0.0.1", port: int = 0):
+        self.backend = backend
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), _Handler, bind_and_activate=True)
+        self._server.daemon_threads = True
+        self._server.backend = backend  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="store-server", daemon=True)
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "StoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RemoteBackend:
+    """Client half of the wire protocol; one round-trip per operation.
+
+    Connections are short-lived (connect, request, response, close) so a
+    misbehaving client can never wedge the server, and there is no session
+    state to resynchronize after a failure.
+    """
+
+    persistent = True
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            wfile = sock.makefile("wb")
+            rfile = sock.makefile("rb")
+            _write_response(wfile, header, body)
+            sock.shutdown(socket.SHUT_WR)
+            resp = _read_header(rfile)
+            payload = b""
+            size = resp.get("size", 0)
+            if size and size > 0:
+                payload = _read_exact(rfile, size)
+        if not resp.get("ok"):
+            if resp.get("not_found"):
+                raise BlobNotFound(resp.get("error", ""))
+            raise RemoteStoreError(resp.get("error", "remote store error"))
+        return resp, payload
+
+    # -- blobs -----------------------------------------------------------------
+
+    def put(self, digest: str, data: bytes) -> None:
+        self._round_trip({"cmd": "put", "digest": digest, "size": len(data)}, data)
+
+    def get(self, digest: str) -> bytes:
+        _, payload = self._round_trip({"cmd": "get", "digest": digest})
+        return payload
+
+    def has(self, digest: str) -> bool:
+        resp, _ = self._round_trip({"cmd": "has", "digest": digest})
+        return bool(resp["has"])
+
+    def delete(self, digest: str) -> bool:
+        resp, _ = self._round_trip({"cmd": "delete", "digest": digest})
+        return bool(resp["deleted"])
+
+    def digests(self) -> list[str]:
+        resp, _ = self._round_trip({"cmd": "digests"})
+        return list(resp["digests"])
+
+    def __len__(self) -> int:
+        resp, _ = self._round_trip({"cmd": "stat"})
+        return int(resp["count"])
+
+    @property
+    def total_bytes(self) -> int:
+        resp, _ = self._round_trip({"cmd": "stat"})
+        return int(resp["total_bytes"])
+
+    # -- refs ------------------------------------------------------------------
+
+    def set_ref(self, name: str, data: bytes) -> None:
+        self._round_trip({"cmd": "set_ref", "name": name, "size": len(data)}, data)
+
+    def get_ref(self, name: str) -> bytes | None:
+        resp, payload = self._round_trip({"cmd": "get_ref", "name": name})
+        if resp.get("size", -1) < 0:
+            return None
+        return payload
+
+    def delete_ref(self, name: str) -> bool:
+        resp, _ = self._round_trip({"cmd": "delete_ref", "name": name})
+        return bool(resp["deleted"])
+
+    def refs(self) -> list[str]:
+        resp, _ = self._round_trip({"cmd": "refs"})
+        return list(resp["refs"])

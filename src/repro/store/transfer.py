@@ -1,0 +1,123 @@
+"""Move a whole artifact store between machines as one archive.
+
+``cache export`` packs every blob and ref of a store into a single
+gzip-compressed tar (blobs under ``objects/``, refs under ``refs/``, plus a
+small manifest); ``cache import`` merges such an archive into any backend.
+Because blobs are content-addressed, import is idempotent and conflict-free
+— the only merge logic needed is for the access-ordered index ref, where
+the importing side keeps its own newer entries and adopts unseen ones.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import tarfile
+
+from repro.store.backend import INDEX_REF, PINS_REF, Backend
+
+ARCHIVE_FORMAT = "xaas-store-archive-v1"
+
+
+def _add_bytes(tar: tarfile.TarFile, name: str, data: bytes) -> None:
+    info = tarfile.TarInfo(name)
+    info.size = len(data)
+    info.mtime = 0  # deterministic archives: same store -> same bytes
+    tar.addfile(info, io.BytesIO(data))
+
+
+def export_store(backend: Backend, path: str) -> dict:
+    """Write every blob and ref of ``backend`` to a tar.gz at ``path``.
+
+    Returns a summary dict (blob/ref counts and byte totals) for CLI
+    output.
+    """
+    blobs = sorted(backend.digests())
+    refs = sorted(backend.refs())
+    total = 0
+    with tarfile.open(path, "w:gz") as tar:
+        _add_bytes(tar, "manifest.json", json.dumps({
+            "format": ARCHIVE_FORMAT,
+            "blobs": len(blobs),
+            "refs": refs,
+        }, sort_keys=True).encode("utf-8"))
+        for digest in blobs:
+            data = backend.get(digest)
+            total += len(data)
+            _add_bytes(tar, f"objects/{digest.split(':', 1)[1]}", data)
+        for name in refs:
+            data = backend.get_ref(name)
+            if data is not None:
+                _add_bytes(tar, f"refs/{name.replace('/', '%2f')}", data)
+    return {"blobs": len(blobs), "refs": len(refs), "blob_bytes": total,
+            "path": path}
+
+
+def _merge_index(existing: bytes | None, incoming: bytes) -> bytes:
+    """Union two access-ordered indexes; on key conflict keep the fresher
+    record (higher seq), re-basing incoming seqs after the local maximum so
+    imported entries do not leapfrog locally hot ones."""
+    new = json.loads(incoming.decode("utf-8"))
+    if existing is None:
+        return incoming
+    old = json.loads(existing.decode("utf-8"))
+    merged = {key: (ns, digest, seq) for key, ns, digest, seq in old.get("entries", ())}
+    base = int(old.get("seq", 0))
+    incoming_entries = sorted(new.get("entries", ()), key=lambda e: e[3])
+    seq = base
+    for key, ns, digest, _ in incoming_entries:
+        if key not in merged:
+            seq += 1
+            merged[key] = (ns, digest, seq)
+    return json.dumps({
+        "version": 1,
+        "seq": max(seq, base),
+        "entries": [[key, ns, digest, s] for key, (ns, digest, s) in merged.items()],
+    }, sort_keys=True).encode("utf-8")
+
+
+def _merge_pins(existing: bytes | None, incoming: bytes) -> bytes:
+    """Union two pin sets; an incoming pin wins a name conflict (the
+    exporting side published it more recently than we pinned ours)."""
+    if existing is None:
+        return incoming
+    pins = json.loads(existing.decode("utf-8"))
+    pins.update(json.loads(incoming.decode("utf-8")))
+    return json.dumps(pins, sort_keys=True).encode("utf-8")
+
+
+def import_store(backend: Backend, path: str) -> dict:
+    """Merge an exported archive into ``backend``; returns a summary dict.
+
+    Blobs are digest-verified on write (the backend re-hashes), so a
+    corrupted archive cannot poison the store. Already-present blobs are
+    skipped — counted separately so the summary shows real transfer work.
+    """
+    added = skipped = refs_merged = 0
+    blob_bytes = 0
+    with tarfile.open(path, "r:gz") as tar:
+        for member in tar:
+            if not member.isfile():
+                continue
+            fh = tar.extractfile(member)
+            if fh is None:  # pragma: no cover - isfile() guarantees a reader
+                continue
+            data = fh.read()
+            if member.name.startswith("objects/"):
+                digest = "sha256:" + member.name[len("objects/"):]
+                if backend.has(digest):
+                    skipped += 1
+                    continue
+                backend.put(digest, data)
+                added += 1
+                blob_bytes += len(data)
+            elif member.name.startswith("refs/"):
+                name = member.name[len("refs/"):].replace("%2f", "/")
+                if name == INDEX_REF:
+                    data = _merge_index(backend.get_ref(name), data)
+                elif name == PINS_REF:
+                    data = _merge_pins(backend.get_ref(name), data)
+                backend.set_ref(name, data)
+                refs_merged += 1
+    return {"blobs_added": added, "blobs_skipped": skipped,
+            "refs_merged": refs_merged, "blob_bytes": blob_bytes, "path": path}

@@ -1,0 +1,267 @@
+"""parse_module: the inverse of Module.render.
+
+The load-bearing property (ISSUE 2 acceptance): for every module the
+frontend or optimizer produces, ``parse_module(m.render()).render() ==
+m.render()`` — the canonical text is a complete serialization, so ``ir``
+cache entries are payload-only artifacts any process can replay.
+"""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.frontend import compile_source_to_ir
+from repro.compiler.lowering import lower_module, machine_module_to_payload
+from repro.compiler.passes import run_optimization_pipeline, vectorize
+from repro.compiler.target import get_target
+
+
+def round_trip(module: ir.Module) -> ir.Module:
+    text = module.render()
+    parsed = ir.parse_module(text)
+    assert parsed.render() == text
+    return parsed
+
+
+class TestInstructionForms:
+    """Every Op subclass and operand shape survives the round trip."""
+
+    def test_arithmetic_compare_cast_copy(self):
+        src = ("double f(double a, int b) { double c = a * 2.0 + 1.5;"
+               " double d = -c; int e = (int) d; long g = e % 3;"
+               " return c / (d - 1.0); }")
+        round_trip(compile_source_to_ir(src))
+
+    def test_bool_and_bitwise_ops(self):
+        """Instruction forms the C subset rarely emits, built directly."""
+        body = ir.Region(ops=[
+            ir.Instr("and.i1", ".t1", [ir.Ref("a", "i1"), ir.Ref("b", "i1")], "i1"),
+            ir.Instr("or.i1", ".t2", [ir.Ref(".t1", "i1"), ir.Const(1, "i1")], "i1"),
+            ir.Instr("not.i1", ".t3", [ir.Ref(".t2", "i1")], "i1"),
+            ir.Instr("bnot.i32", ".t4", [ir.Const(7, "i32")], "i32"),
+            ir.Instr("shl.i32", ".t5", [ir.Ref(".t4", "i32"), ir.Const(2, "i32")], "i32"),
+            ir.Instr("shr.i32", ".t6", [ir.Ref(".t5", "i32"), ir.Const(1, "i32")], "i32"),
+            ir.Instr("xor.i32", ".t7", [ir.Ref(".t6", "i32"), ir.Const(3, "i32")], "i32"),
+            ir.Instr("probe", None, [ir.Ref(".t7", "i32")], "i32"),  # dest-less
+            ir.ReturnOp(ir.Ref(".t7", "i32")),
+        ])
+        module = ir.Module("unit", functions=[
+            ir.Function("f", [("a", "i1"), ("b", "i1")], "i32", body)])
+        round_trip(module)
+
+    def test_load_store_pointers(self):
+        src = ("void f(double* x, float* y, int* idx, int n) {"
+               " x[0] = x[idx[0]] + 1.0; y[n] = 2.0f; }")
+        parsed = round_trip(compile_source_to_ir(src))
+        ops = list(parsed.function("f").walk())
+        assert any(isinstance(op, ir.LoadOp) for op in ops)
+        assert any(isinstance(op, ir.StoreOp) for op in ops)
+
+    def test_calls_builtin_internal_and_external(self):
+        src = ("double helper(double v) { return v * 2.0; }"
+               "double f(double a) { double s = sqrt(a);"
+               " double h = helper(s); return opaque_library_call(h, a); }")
+        parsed = round_trip(compile_source_to_ir(src))
+        callees = {op.callee for op in parsed.function("f").walk()
+                   if isinstance(op, ir.CallOp)}
+        assert callees == {"sqrt", "helper", "opaque_library_call"}
+
+    def test_for_while_if_else_break_continue_return(self):
+        src = ("double f(double* x, int n) { double s = 0.0;"
+               " for (int i = 0; i < n; i++) {"
+               "   if (x[i] < 0.0) { continue; } else { s += x[i]; }"
+               " }"
+               " while (s > 100.0) { s = s / 2.0; break; }"
+               " if (s < 1.0) { return 0.0; }"
+               " return s; }")
+        parsed = round_trip(compile_source_to_ir(src))
+        kinds = {type(op).__name__ for op in parsed.function("f").walk()}
+        assert {"ForOp", "WhileOp", "IfOp", "BreakOp", "ContinueOp",
+                "ReturnOp"} <= kinds
+
+    def test_void_function_and_void_return(self):
+        round_trip(compile_source_to_ir("void f(double* x) { x[0] = 1.0; }"))
+
+    def test_globals_with_and_without_init(self):
+        src = ("int counter = 5; double rate = 0.25; "
+               "int get() { return counter; } double r() { return rate; }")
+        parsed = round_trip(compile_source_to_ir(src))
+        inits = {g.name: g.init for g in parsed.globals}
+        assert inits == {"counter": 5, "rate": 0.25}
+
+    def test_global_refs_stay_globals(self):
+        """%@name references parse back as global refs, not locals."""
+        src = "double g = 2.5; double f(double a) { return a + g; }"
+        parsed = round_trip(compile_source_to_ir(src))
+        refs = [v for op in parsed.function("f").walk()
+                for v in op.operands() if isinstance(v, ir.Ref)]
+        assert any(r.name.startswith("@") for r in refs)
+
+    def test_frontend_flags_round_trip(self):
+        flags = ("-DNDEBUG", "-DUSE_MPI=1", "-Iinclude", "-fopenmp")
+        parsed = round_trip(compile_source_to_ir("int f() { return 1; }",
+                                                 frontend_flags=flags))
+        assert parsed.frontend_flags == flags
+
+    def test_omp_attrs_round_trip(self):
+        src = ("void f(double* x, int n) {\n"
+               "#pragma omp parallel for reduction(+: s, t)\n"
+               "for (int i = 0; i < n; i++) { x[i] = 0.0; } }")
+        parsed = round_trip(compile_source_to_ir(src, fopenmp=True))
+        loop = next(parsed.function("f").loops())
+        assert loop.attrs["omp_parallel"] is True
+        assert loop.attrs["omp_reductions"] == ["s", "t"]
+
+    def test_attr_string_ending_in_backslash(self):
+        """Escape-state tracking: '\\\\' before a closing quote is an
+        escaped backslash, not an escaped quote."""
+        body = ir.Region(ops=[
+            ir.ForOp("i", ir.Const(0, "i32"), ir.Const(4, "i32"),
+                     ir.Const(1, "i32"), ir.Region(),
+                     attrs={"bound_src": "a\\", "start_src": "b'c"}),
+            ir.ReturnOp(),
+        ])
+        module = ir.Module("unit", functions=[
+            ir.Function("f", [], "void", body)])
+        parsed = round_trip(module)
+        loop = next(parsed.function("f").loops())
+        assert loop.attrs["bound_src"] == "a\\"
+        assert loop.attrs["start_src"] == "b'c"
+
+    def test_bound_src_with_commas_and_parens(self):
+        """Attr values containing ', ' must not split the attr dict."""
+        module = compile_source_to_ir(
+            "void f(double* x, int n, int m) {"
+            " for (int i = 0; i < fmin(n, m); i++) { x[i] = 0.0; } }")
+        loop = next(module.function("f").loops())
+        assert "," in loop.attrs["bound_src"]
+        parsed = round_trip(module)
+        parsed_loop = next(parsed.function("f").loops())
+        assert parsed_loop.attrs["bound_src"] == loop.attrs["bound_src"]
+
+    def test_nested_control_flow(self):
+        src = ("void f(double* x, int n, int m) {"
+               " for (int i = 0; i < n; i++) {"
+               "   for (int j = 0; j < m; j++) {"
+               "     if (x[j] > 0.0) { if (x[i] > x[j]) { x[i] = x[j]; } }"
+               "   } } }")
+        round_trip(compile_source_to_ir(src))
+
+
+class TestTempClassPreservation:
+    """Canonical renaming preserves name classes: '.'-temps fold/DCE and
+    named variables don't, so a parsed module must optimize identically."""
+
+    SRC = ("double f(double* x, int n) { double s = 1.0 + 2.0;"
+           " for (int i = 0; i < n; i++) { s = s + x[i] * 2.0; } return s; }")
+
+    def test_temps_keep_dot_prefix_in_text(self):
+        text = compile_source_to_ir(self.SRC).render()
+        assert "%.v" in text   # frontend temporaries
+        assert "%v" in text    # named variables / params
+
+    def test_parsed_module_optimizes_identically(self):
+        original = compile_source_to_ir(self.SRC)
+        parsed = ir.parse_module(original.render())
+        run_optimization_pipeline(original, 2)
+        run_optimization_pipeline(parsed, 2)
+        assert parsed.render() == original.render()
+
+    def test_parsed_module_vectorizes_identically(self):
+        original = compile_source_to_ir(self.SRC)
+        parsed = ir.parse_module(original.render())
+        target = get_target("AVX_512")
+        vectorize(original, target)
+        vectorize(parsed, target)
+        orig_loop = next(original.function("f").loops())
+        parsed_loop = next(parsed.function("f").loops())
+        assert parsed_loop.attrs["vector_width"] == \
+            orig_loop.attrs["vector_width"] > 1
+        # Reduction entries are register names (alpha-renamed in the
+        # canonical text), so compare shape, not spelling.
+        assert len(parsed_loop.attrs["vector_reductions"]) == \
+            len(orig_loop.attrs["vector_reductions"]) == 1
+
+    def test_parsed_module_lowers_identically(self):
+        """Same machine module payload (modulo the loop-var debug label)."""
+        import json
+
+        original = compile_source_to_ir(self.SRC)
+        parsed = ir.parse_module(original.render())
+        for name in ("AVX_512", "AVX2_256", "None"):
+            a = json.loads(machine_module_to_payload(
+                lower_module(original, get_target(name), 2)))
+            b = json.loads(machine_module_to_payload(
+                lower_module(parsed, get_target(name), 2)))
+            _strip_var_labels(a)
+            _strip_var_labels(b)
+            assert a == b, name
+
+
+def _strip_var_labels(blob) -> None:
+    if isinstance(blob, dict):
+        blob.pop("var", None)
+        for v in blob.values():
+            _strip_var_labels(v)
+    elif isinstance(blob, list):
+        for v in blob:
+            _strip_var_labels(v)
+
+
+class TestOptimizedModules:
+    def test_o2_module_round_trips(self):
+        module = compile_source_to_ir(TestTempClassPreservation.SRC)
+        run_optimization_pipeline(module, 2)
+        round_trip(module)
+
+    def test_o3_with_vectorization_attrs_round_trips(self):
+        """Deployment attrs are excluded from the render; the round trip
+        reproduces the canonical (pristine) text."""
+        module = compile_source_to_ir(TestTempClassPreservation.SRC)
+        pristine = module.render()
+        vectorize(module, get_target("AVX_512"))
+        assert module.render() == pristine  # non-semantic attrs invisible
+        round_trip(module)
+
+
+class TestAppIRRoundTrips:
+    """Acceptance: the property holds for all IR the test apps produce."""
+
+    @pytest.mark.parametrize("app_name", ["gromacs", "lulesh", "llama.cpp"])
+    def test_every_container_ir_round_trips(self, app_name):
+        from repro.apps import default_ir_sweep, gromacs_model, llamacpp_model, lulesh_model
+        from repro.core import build_ir_container
+
+        models = {"gromacs": lambda: gromacs_model(scale=0.01),
+                  "lulesh": lulesh_model, "llama.cpp": llamacpp_model}
+        configs, _ = default_ir_sweep(app_name)
+        result = build_ir_container(models[app_name](), configs)
+        assert result.ir_files
+        for digest, text in result.ir_files.items():
+            parsed = ir.parse_module(text)
+            assert parsed.render() == text, digest
+            assert parsed.fingerprint() == digest
+
+
+class TestParseErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(ir.IRParseError, match="module @"):
+            ir.parse_module("func @f() -> void {\n  return\n}\n")
+
+    def test_unterminated_region(self):
+        with pytest.raises(ir.IRParseError, match="unterminated"):
+            ir.parse_module("module @m\nfunc @f() -> void {\n  return\n")
+
+    def test_malformed_value(self):
+        with pytest.raises(ir.IRParseError):
+            ir.parse_module("module @m\nfunc @f() -> i32 {\n  return bogus\n}\n")
+
+    def test_unknown_top_level_line(self):
+        with pytest.raises(ir.IRParseError, match="unexpected"):
+            ir.parse_module("module @m\nbogus line\n")
+
+    def test_malformed_attr(self):
+        text = ("module @m\nfunc @f(%v0: i32) -> void {\n"
+                "  for %v1 = i32 0 to i32 %v0 step i32 1 attrs{oops} {\n"
+                "  }\n  return\n}\n")
+        with pytest.raises(ir.IRParseError, match="attribute"):
+            ir.parse_module(text)

@@ -1,0 +1,159 @@
+"""Backend semantics: memory/file parity, sharded layout, refs, accounting."""
+
+import os
+import threading
+
+import pytest
+
+from repro.containers.store import BlobStore
+from repro.store import BackendError, BlobNotFound, FileBackend, MemoryBackend
+from repro.util.hashing import content_digest
+
+
+def backends(tmp_path):
+    return [MemoryBackend(), FileBackend(tmp_path / "file-store")]
+
+
+class TestBackendContract:
+    """Every backend speaks the same protocol with the same semantics."""
+
+    def test_put_get_has_delete(self, tmp_path):
+        for backend in backends(tmp_path):
+            digest = content_digest(b"hello")
+            assert not backend.has(digest)
+            backend.put(digest, b"hello")
+            assert backend.has(digest)
+            assert backend.get(digest) == b"hello"
+            assert backend.delete(digest)
+            assert not backend.has(digest)
+            assert not backend.delete(digest)  # second delete is a no-op
+
+    def test_get_missing_raises(self, tmp_path):
+        for backend in backends(tmp_path):
+            with pytest.raises(BlobNotFound):
+                backend.get("sha256:" + "0" * 64)
+
+    def test_integrity_checked_on_write(self, tmp_path):
+        for backend in backends(tmp_path):
+            wrong = content_digest(b"other")
+            with pytest.raises(BackendError, match="integrity"):
+                backend.put(wrong, b"hello")
+            assert not backend.has(wrong)
+
+    def test_total_bytes_is_incremental(self, tmp_path):
+        for backend in backends(tmp_path):
+            d1 = content_digest(b"aaaa")
+            d2 = content_digest(b"bb")
+            backend.put(d1, b"aaaa")
+            backend.put(d1, b"aaaa")  # idempotent: no double counting
+            backend.put(d2, b"bb")
+            assert backend.total_bytes == 6
+            assert len(backend) == 2
+            backend.delete(d1)
+            assert backend.total_bytes == 2
+            assert len(backend) == 1
+
+    def test_digests_enumerates_blobs(self, tmp_path):
+        for backend in backends(tmp_path):
+            digests = {content_digest(payload)
+                       for payload in (b"x", b"y", b"z")}
+            for payload in (b"x", b"y", b"z"):
+                backend.put(content_digest(payload), payload)
+            assert set(backend.digests()) == digests
+
+    def test_refs_are_mutable_named_state(self, tmp_path):
+        for backend in backends(tmp_path):
+            assert backend.get_ref("artifact-index") is None
+            backend.set_ref("artifact-index", b"v1")
+            backend.set_ref("pins", b"{}")
+            assert backend.get_ref("artifact-index") == b"v1"
+            backend.set_ref("artifact-index", b"v2")  # refs may be rewritten
+            assert backend.get_ref("artifact-index") == b"v2"
+            assert set(backend.refs()) == {"artifact-index", "pins"}
+            assert backend.delete_ref("pins")
+            assert not backend.delete_ref("pins")
+            assert set(backend.refs()) == {"artifact-index"}
+
+    def test_ref_names_may_contain_slashes(self, tmp_path):
+        for backend in backends(tmp_path):
+            backend.set_ref("image/lulesh", b"d")
+            assert backend.get_ref("image/lulesh") == b"d"
+            assert "image/lulesh" in backend.refs()
+
+
+class TestFileBackend:
+    def test_sharded_object_layout(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        digest = backend_put = content_digest(b"payload")
+        backend.put(digest, b"payload")
+        hexpart = backend_put.split(":", 1)[1]
+        expected = tmp_path / "store" / "objects" / hexpart[:2] / hexpart[2:]
+        assert expected.is_file()
+        assert expected.read_bytes() == b"payload"
+
+    def test_reopen_recovers_state_and_accounting(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        d1 = content_digest(b"persisted")
+        backend.put(d1, b"persisted")
+        backend.set_ref("artifact-index", b"{}")
+
+        reopened = FileBackend(tmp_path / "store")
+        assert reopened.get(d1) == b"persisted"
+        assert reopened.total_bytes == len(b"persisted")
+        assert len(reopened) == 1
+        assert reopened.get_ref("artifact-index") == b"{}"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        backend.put(content_digest(b"data"), b"data")
+        backend.set_ref("r", b"v")
+        leftovers = [p for p, _, files in os.walk(tmp_path) for f in files
+                     if f.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_concurrent_puts_are_safe(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        payloads = [f"blob-{i}".encode() for i in range(32)]
+
+        def put_all():
+            for payload in payloads:
+                backend.put(content_digest(payload), payload)
+
+        threads = [threading.Thread(target=put_all) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(backend) == len(payloads)
+        assert backend.total_bytes == sum(len(p) for p in payloads)
+
+
+class TestBlobStoreOverBackends:
+    """BlobStore call sites are backend-agnostic (the tentpole's layering)."""
+
+    def test_default_is_memory(self):
+        store = BlobStore()
+        assert isinstance(store.backend, MemoryBackend)
+
+    def test_delete_primitive(self, tmp_path):
+        for backend in backends(tmp_path):
+            store = BlobStore(backend)
+            digest = store.put("to be deleted")
+            assert store.delete(digest)
+            assert not store.has(digest)
+            assert not store.delete(digest)
+
+    def test_total_bytes_tracks_deletes(self, tmp_path):
+        store = BlobStore(FileBackend(tmp_path / "store"))
+        d1 = store.put("abc")
+        store.put("defg")
+        assert store.total_bytes == 7
+        store.delete(d1)
+        assert store.total_bytes == 4
+
+    def test_copy_blob_across_backend_kinds(self, tmp_path):
+        src = BlobStore(MemoryBackend())
+        dst = BlobStore(FileBackend(tmp_path / "store"))
+        digest = src.put("shared artifact")
+        src.copy_blob(digest, dst)
+        assert dst.get_text(digest) == "shared artifact"

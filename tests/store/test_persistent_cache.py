@@ -1,0 +1,155 @@
+"""ArtifactCache over persistent backends: index round-trip and LRU order."""
+
+import json
+
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.store import INDEX_REF, FileBackend
+
+
+def file_cache(tmp_path, name="store"):
+    return ArtifactCache(BlobStore(FileBackend(tmp_path / name)))
+
+
+class TestIndexPersistence:
+    def test_cold_cache_sees_warm_entries(self, tmp_path):
+        warm = file_cache(tmp_path)
+        warm.put("preprocess", {"k": 1}, "payload-1")
+        warm.put("ir", {"k": 2}, "payload-2")
+
+        cold = file_cache(tmp_path)  # fresh instance == fresh process
+        assert len(cold) == 2
+        assert cold.get("preprocess", {"k": 1}).payload == "payload-1"
+        assert cold.get("ir", {"k": 2}).payload == "payload-2"
+        # Those were real lookups: counted as hits in the cold process.
+        assert cold.counters("preprocess").hits == 1
+
+    def test_cold_hit_is_payload_only(self, tmp_path):
+        warm = file_cache(tmp_path)
+        warm.put("ir", "key", "text", obj=object())
+        cold = file_cache(tmp_path)
+        entry = cold.get("ir", "key")
+        assert entry.payload == "text"
+        assert entry.obj is None  # live objects never cross processes
+
+    def test_memory_cache_unchanged(self):
+        cache = ArtifactCache()
+        cache.put("ns", "k", "v")
+        assert cache.get("ns", "k").payload == "v"
+        assert not cache.stats()["persistent"]
+
+    def test_index_blob_is_access_ordered(self, tmp_path):
+        cache = file_cache(tmp_path)
+        cache.put("ns", "a", "va")
+        cache.put("ns", "b", "vb")
+        cache.get("ns", "a")  # refreshes a: now more recent than b
+        # Hit bumps are batched; any operation boundary persists them.
+        cache.snapshot()
+        raw = cache.store.backend.get_ref(INDEX_REF)
+        blob = json.loads(raw.decode("utf-8"))
+        seqs = {key: seq for key, _ns, _digest, seq in blob["entries"]}
+        key_a = cache.cache_key("ns", "a")
+        key_b = cache.cache_key("ns", "b")
+        assert seqs[key_a] > seqs[key_b]
+
+    def test_lru_order_survives_reopen(self, tmp_path):
+        warm = file_cache(tmp_path)
+        warm.put("ns", "old", "vo")
+        warm.put("ns", "new", "vn")
+        warm.get("ns", "old")
+        warm.flush_index()  # builds flush via snapshot(); do it explicitly
+
+        cold = file_cache(tmp_path)
+        entries = cold.entries()
+        seq = {key: record.seq for key, record in entries.items()}
+        assert seq[cold.cache_key("ns", "old")] > seq[cold.cache_key("ns", "new")]
+
+    def test_entries_know_their_namespace(self, tmp_path):
+        cache = file_cache(tmp_path)
+        cache.put("preprocess", "p", "v1")
+        cache.put("lower", "l", "v2")
+        namespaces = sorted(r.namespace for r in cache.entries().values())
+        assert namespaces == ["lower", "preprocess"]
+
+    def test_stats_reports_store_and_index(self, tmp_path):
+        cache = file_cache(tmp_path)
+        cache.put("preprocess", "p", "payload")
+        cache.pin("image/app", cache.store.put("manifest"))
+        stats = cache.stats()
+        assert stats["persistent"]
+        assert stats["entries_by_namespace"] == {"preprocess": 1}
+        assert stats["blobs"] == 2
+        assert list(stats["pins"]) == ["image/app"]
+
+
+class TestConcurrentWriters:
+    """Two cooperating processes over one backend must converge on the
+    union of their entries — not last-writer-wins dropping publishes."""
+
+    def test_concurrent_publishes_both_survive(self, tmp_path):
+        backend_dir = tmp_path / "shared"
+        a = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        b = ArtifactCache(BlobStore(FileBackend(backend_dir)))  # same store
+        a.put("ir", "from-a", "payload-a")
+        b.put("ir", "from-b", "payload-b")  # b never saw a's entry in RAM
+
+        fresh = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert fresh.get("ir", "from-a") is not None
+        assert fresh.get("ir", "from-b") is not None
+
+    def test_concurrent_publish_not_orphaned_by_gc(self, tmp_path):
+        """The blob behind a concurrently-published entry must not be
+        GC'd as an orphan."""
+        backend_dir = tmp_path / "shared"
+        a = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        b = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        entry_a = a.put("ir", "from-a", "payload-a " * 20)
+        b.put("ir", "from-b", "payload-b " * 20)
+
+        collector = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        collector.gc(10_000)  # generous budget: nothing should be evicted
+        assert collector.store.has(entry_a.digest)
+        assert collector.get("ir", "from-a").payload == entry_a.payload
+
+    def test_eviction_not_resurrected_by_merge(self, tmp_path):
+        cache = file_cache(tmp_path)
+        cache.put("ns", "victim", "v")
+        key = cache.cache_key("ns", "victim")
+        cache.evict(key)
+        cache.put("ns", "other", "o")  # save merges from backend
+        assert key not in cache.entries()
+        assert cache.get("ns", "victim") is None
+
+
+class TestCrashedWriterResidue:
+    def test_tmp_files_invisible_to_store(self, tmp_path):
+        """A writer killed between mkstemp and rename leaves .tmp-* files;
+        they must not surface as (malformed) blobs anywhere."""
+        from repro.store import export_store, import_store
+
+        backend = FileBackend(tmp_path / "store")
+        digest = BlobStore(backend).put("real blob")
+        shard = tmp_path / "store" / "objects" / digest.split(":")[1][:2]
+        (shard / ".tmp-crashed").write_bytes(b"partial write")
+
+        reopened = FileBackend(tmp_path / "store")
+        assert len(reopened) == 1
+        assert reopened.digests() == [digest]
+        assert reopened.total_bytes == len(b"real blob")
+        archive = str(tmp_path / "a.tar.gz")
+        assert export_store(reopened, archive)["blobs"] == 1
+        assert import_store(FileBackend(tmp_path / "dst"), archive)[
+            "blobs_added"] == 1
+
+
+class TestPins:
+    def test_pin_unpin_round_trip(self, tmp_path):
+        cache = file_cache(tmp_path)
+        digest = cache.store.put("precious")
+        cache.pin("release/v1", digest)
+        assert cache.pins() == {"release/v1": digest}
+        # Pins live in the backend: a cold process sees them.
+        cold = file_cache(tmp_path)
+        assert cold.pins() == {"release/v1": digest}
+        assert cold.unpin("release/v1")
+        assert not cold.unpin("release/v1")
+        assert cold.pins() == {}

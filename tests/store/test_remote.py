@@ -1,0 +1,99 @@
+"""Remote store: wire protocol, and two caches sharing one server."""
+
+import pytest
+
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.store import (
+    BlobNotFound,
+    FileBackend,
+    MemoryBackend,
+    RemoteBackend,
+    StoreServer,
+)
+from repro.util.hashing import content_digest
+
+
+@pytest.fixture()
+def served_memory():
+    with StoreServer(MemoryBackend()) as server:
+        host, port = server.address
+        yield RemoteBackend(host, port), server.backend
+
+
+class TestWireProtocol:
+    def test_push_pull_has_delete(self, served_memory):
+        remote, local = served_memory
+        digest = content_digest(b"over the wire")
+        remote.put(digest, b"over the wire")
+        assert local.has(digest)          # push landed in the server backend
+        assert remote.has(digest)
+        assert remote.get(digest) == b"over the wire"
+        assert remote.delete(digest)
+        assert not local.has(digest)
+
+    def test_get_missing_raises_blob_not_found(self, served_memory):
+        remote, _ = served_memory
+        with pytest.raises(BlobNotFound):
+            remote.get("sha256:" + "1" * 64)
+
+    def test_stat_and_digests(self, served_memory):
+        remote, _ = served_memory
+        payloads = [b"a", b"bb", b"ccc"]
+        for payload in payloads:
+            remote.put(content_digest(payload), payload)
+        assert len(remote) == 3
+        assert remote.total_bytes == 6
+        assert set(remote.digests()) == {content_digest(p) for p in payloads}
+
+    def test_refs_round_trip(self, served_memory):
+        remote, _ = served_memory
+        assert remote.get_ref("artifact-index") is None
+        remote.set_ref("artifact-index", b"{}")
+        assert remote.get_ref("artifact-index") == b"{}"
+        assert remote.refs() == ["artifact-index"]
+        assert remote.delete_ref("artifact-index")
+        assert remote.get_ref("artifact-index") is None
+
+    def test_corrupt_push_rejected(self, served_memory):
+        remote, local = served_memory
+        from repro.store import RemoteStoreError
+        with pytest.raises(RemoteStoreError, match="integrity"):
+            remote.put(content_digest(b"expected"), b"tampered")
+        assert len(local) == 0
+
+    def test_large_blob(self, served_memory):
+        remote, _ = served_memory
+        blob = bytes(range(256)) * 4096  # 1 MiB, exercises chunked reads
+        digest = content_digest(blob)
+        remote.put(digest, blob)
+        assert remote.get(digest) == blob
+
+
+class TestSharedStore:
+    def test_two_caches_share_one_server(self, served_memory):
+        """The ROADMAP scenario: a CI builder publishes, a fleet builder
+        (separate cache instance == separate process) hits."""
+        remote, _ = served_memory
+        producer = ArtifactCache(BlobStore(remote))
+        producer.put("preprocess", {"tu": 1}, '{"text_digest": "x"}')
+
+        consumer = ArtifactCache(BlobStore(RemoteBackend(*remote_addr(remote))))
+        entry = consumer.get("preprocess", {"tu": 1})
+        assert entry is not None
+        assert entry.payload == '{"text_digest": "x"}'
+        assert consumer.counters("preprocess").hits == 1
+
+    def test_server_over_file_backend_persists(self, tmp_path):
+        root = tmp_path / "shared"
+        with StoreServer(FileBackend(root)) as server:
+            remote = RemoteBackend(*server.address)
+            cache = ArtifactCache(BlobStore(remote))
+            cache.put("ir", "key", "module @m\n")
+        # Server gone; the blobs and the index survived on disk.
+        reopened = ArtifactCache(BlobStore(FileBackend(root)))
+        entry = reopened.get("ir", "key")
+        assert entry is not None and entry.payload == "module @m\n"
+
+
+def remote_addr(remote: RemoteBackend) -> tuple[str, int]:
+    return remote.host, remote.port

@@ -101,3 +101,94 @@ class TestCLI:
     def test_unknown_system_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["discover", "--system", "summit"])
+
+
+class TestPersistentStoreCLI:
+    """--store DIR: every CLI invocation is a cold process (fresh backend,
+    fresh cache), so consecutive runs exercise the persistent warm-start
+    path end to end."""
+
+    def test_ir_build_then_cold_rebuild_is_free(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        _, out = run_cli(capsys, "ir-build", "--app", "lulesh",
+                         "--store", store, "--json")
+        cold = json.loads(out)
+        assert cold["stats"]["preprocess_ops"] == 20
+        assert cold["stats"]["ir_compile_ops"] == 14
+
+        _, out = run_cli(capsys, "ir-build", "--app", "lulesh",
+                         "--store", store, "--json")
+        warm = json.loads(out)
+        assert warm["stats"]["preprocess_ops"] == 0
+        assert warm["stats"]["ir_compile_ops"] == 0
+        assert warm["image_digest"] == cold["image_digest"]
+
+    def test_cold_deploy_does_zero_compile_and_lower_ops(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        _, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                         "--system", "ault23", "--mode", "ir",
+                         "--store", store, "--json")
+        warm = json.loads(out)
+        assert warm["deploy_cache"]["lower"]["misses"] > 0
+
+        _, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                         "--system", "ault23", "--mode", "ir",
+                         "--store", store, "--json")
+        cold = json.loads(out)
+        assert cold["build_stats"]["preprocess_ops"] == 0
+        assert cold["build_stats"]["ir_compile_ops"] == 0
+        assert cold["deploy_cache"]["lower"]["misses"] == 0
+        assert cold["deploy_cache"]["lower"]["hits"] == \
+            warm["deploy_cache"]["lower"]["misses"]
+        assert cold["tag"] == warm["tag"]
+
+    def test_cache_stats_and_pins(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        stats = json.loads(out)
+        assert stats["persistent"]
+        assert stats["entries_by_namespace"]["preprocess"] == 20
+        assert stats["entries_by_namespace"]["ir"] == 14
+        assert "image/lulesh" in stats["pins"]
+
+    def test_cache_gc_bounds_store_and_keeps_pinned_image(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-bytes", "0", "--json")
+        report = json.loads(out)
+        assert report["evicted_entries"] > 0
+        assert report["after_bytes"] < report["before_bytes"]
+        # The pinned image manifest graph survived an impossible budget...
+        assert report["pinned_blobs"] > 0
+        # ...so a cold deploy from the store still works (it recompiles).
+        code, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                            "--system", "ault23", "--mode", "ir",
+                            "--store", store, "--json")
+        assert code == 0
+
+    def test_deploy_json_includes_workload_report(self, capsys, tmp_path):
+        _, out = run_cli(capsys, "deploy", "--app", "lulesh",
+                         "--system", "ault01-04", "--mode", "ir",
+                         "--workload", "s50", "--json")
+        blob = json.loads(out)
+        assert blob["workload"]["name"] == "s50"
+        assert blob["workload"]["total_seconds"] > 0
+        assert blob["workload"]["kernel_seconds"]
+
+    def test_cache_export_import_round_trip(self, capsys, tmp_path):
+        src = str(tmp_path / "src")
+        dst = str(tmp_path / "dst")
+        archive = str(tmp_path / "warm.tar.gz")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", src)
+        _, out = run_cli(capsys, "cache", "export", "--store", src,
+                         "--output", archive, "--json")
+        assert json.loads(out)["blobs"] > 0
+        _, out = run_cli(capsys, "cache", "import", "--store", dst,
+                         "--input", archive, "--json")
+        assert json.loads(out)["blobs_added"] > 0
+        # The imported store is warm for a cold process.
+        _, out = run_cli(capsys, "ir-build", "--app", "lulesh",
+                         "--store", dst, "--json")
+        assert json.loads(out)["stats"]["preprocess_ops"] == 0
