@@ -276,7 +276,8 @@ def cmd_cache_stats(args) -> int:
 
 def cmd_cache_gc(args) -> int:
     """LRU-evict until the store fits ``--max-bytes``; pins are sacred."""
-    report = _cache_for_store(args).gc(args.max_bytes)
+    report = _cache_for_store(args).gc(args.max_bytes,
+                                       grace_seconds=args.grace_seconds)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0
@@ -402,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--store", required=True, help=store_help)
     c.add_argument("--max-bytes", type=int, required=True,
                    help="target store size in bytes")
+    c.add_argument("--grace-seconds", type=float, default=0.0,
+                   help="never delete blobs younger than this; use > 0 "
+                        "when builders may be publishing concurrently")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cache_gc)
 

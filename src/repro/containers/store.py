@@ -27,6 +27,7 @@ from repro.store.backend import (
     INDEX_REF,
     PINS_REF,
     Backend,
+    BackendError,
     BlobNotFound,
     MemoryBackend,
 )
@@ -143,10 +144,26 @@ class ArtifactCache:
     (:data:`PINS_REF`, see :meth:`pin`) are exempt from garbage collection
     along with everything they transitively reference.
 
+    Index and pin persistence are **multi-writer safe**: every rewrite is a
+    compare-and-swap retry loop (:meth:`Backend.compare_and_set_ref`) that
+    re-reads the current ref, merges the other writer's entries and
+    access-order updates into ours, and retries if the swap is beaten.
+    Two builders racing on one ``FileBackend`` or ``StoreServer`` converge
+    on the union of their publishes, recency bumps, and pins — never
+    last-writer-wins. Keys this process evicted are tracked as tombstone
+    *records* (digest + seq), so a merge can tell the stale entry we
+    removed apart from a fresh republish by another writer: the former
+    stays dead, the latter is adopted.
+
     Namespaces ("preprocess", "ir", "lower") keep independent hit/miss
     counters, surfaced per build in ``PipelineStats``. Thread-safe: the
     pipeline's parallel map may look up and publish concurrently.
     """
+
+    #: CAS retry ceiling. Each failed attempt means another writer
+    #: succeeded (the swap is lock-free), so hitting this means the
+    #: backend is lying about CAS semantics, not that the store is busy.
+    CAS_ATTEMPTS = 100
 
     def __init__(self, store: BlobStore | None = None):
         self.store = store if store is not None else BlobStore()
@@ -155,32 +172,57 @@ class ArtifactCache:
         self._counters: dict[str, CacheCounters] = {}
         self._lock = threading.Lock()
         self._seq = 0
-        self._dirty_hits = 0  # LRU bumps not yet persisted
-        self._evicted: set[str] = set()  # tombstones: do not re-adopt on merge
+        self._dirty_keys: set[str] = set()  # locally modified since last save
+        # Tombstone records for keys we evicted: digest+seq let a merge
+        # tell "the stale entry we removed" from "a fresh republish".
+        self._evicted: dict[str, IndexEntry] = {}
         self._persistent = bool(getattr(self.store.backend, "persistent", False))
         if self._persistent:
             with self._lock:
-                self._merge_from_backend_locked()
+                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
 
     # -- index persistence -----------------------------------------------------
 
-    def _merge_from_backend_locked(self) -> None:
-        """Adopt index entries another writer persisted since our last read.
+    def _merge_index_locked(self, raw: bytes | None) -> None:
+        """Reconcile our in-memory index with ``raw`` (the ref bytes another
+        writer last persisted).
 
-        Keys we already track (or evicted ourselves) keep our record; only
-        unseen keys are adopted. Saving always merges first, so two
-        cooperating processes converge on the union of their entries
-        instead of last-writer-wins dropping each other's publishes (and
-        GC never mistakes a concurrently-published blob for an orphan).
+        * Unseen keys are adopted — a concurrent publish survives.
+        * Keys present on both sides keep whichever record is fresher:
+          ours when we modified the key since our last save (a new publish
+          or an LRU bump), otherwise the backend's; seq is merged by max
+          so *both* writers' recency updates survive.
+        * Keys we carry but the backend no longer lists were evicted by
+          another writer (or its GC); unless we re-dirtied them, we drop
+          them rather than resurrect what someone else collected.
+        * Tombstoned keys stay dead when the backend still shows the very
+          record we evicted; a record with a new digest or later seq is a
+          fresh republish and is adopted (tombstone cleared).
         """
-        raw = self.store.backend.get_ref(INDEX_REF)
         if raw is None:
             return
         blob = json.loads(raw.decode("utf-8"))
         self._seq = max(self._seq, int(blob.get("seq", 0)))
+        backend_keys: set[str] = set()
         for key, namespace, digest, seq in blob.get("entries", ()):
-            if key not in self._entries and key not in self._evicted:
-                self._entries[key] = IndexEntry(namespace, digest, int(seq))
+            seq = int(seq)
+            tomb = self._evicted.get(key)
+            if tomb is not None:
+                if digest == tomb.digest and seq <= tomb.seq:
+                    continue  # the entry we evicted; keep it dead
+                del self._evicted[key]  # fresh republish elsewhere
+            backend_keys.add(key)
+            mine = self._entries.get(key)
+            if mine is None:
+                self._entries[key] = IndexEntry(namespace, digest, seq)
+            elif key in self._dirty_keys:
+                mine.seq = max(mine.seq, seq)
+            elif seq >= mine.seq:
+                mine.namespace, mine.digest, mine.seq = namespace, digest, seq
+        for key in list(self._entries):
+            if key not in backend_keys and key not in self._dirty_keys:
+                del self._entries[key]
+                self._objects.pop(key, None)
 
     def flush_index(self) -> None:
         """Persist the index now, even on a non-persistent backend.
@@ -196,20 +238,46 @@ class ArtifactCache:
             self._save_index_locked(force=True)
 
     def _save_index_locked(self, force: bool = False) -> None:
+        """Persist the index via a CAS retry-merge loop.
+
+        Read the current ref, merge the other writer's state into ours,
+        and compare-and-swap the union back. A lost swap means someone
+        else published between our read and our write — re-read, re-merge,
+        retry. Both racing writers' entries and access-order updates
+        survive, which a blind ``set_ref`` could never guarantee.
+        """
         if not self._persistent and not force:
             return
-        self._merge_from_backend_locked()
-        payload = json.dumps({
-            "version": 1,
-            "seq": self._seq,
-            "entries": [[key, e.namespace, e.digest, e.seq]
-                        for key, e in self._entries.items()],
-        }, sort_keys=True)
-        self.store.backend.set_ref(INDEX_REF, payload.encode("utf-8"))
-        self._dirty_hits = 0
+        backend = self.store.backend
+        for _ in range(self.CAS_ATTEMPTS):
+            raw = backend.get_ref(INDEX_REF)
+            self._merge_index_locked(raw)
+            # Re-stamp the keys we modified *after* the merge raised _seq
+            # past everything the index has seen: a publish made by a
+            # handle whose local counter lagged would otherwise carry a
+            # seq below an old tombstone's and be mistaken for the stale
+            # entry that tombstone killed. Re-stamping in current-seq
+            # order keeps the keys' relative access order intact (they
+            # were all just touched, so above-the-index is honest LRU).
+            for key in sorted(
+                    (k for k in self._dirty_keys if k in self._entries),
+                    key=lambda k: self._entries[k].seq):
+                self._entries[key].seq = self._next_seq_locked()
+            payload = json.dumps({
+                "version": 1,
+                "seq": self._seq,
+                "entries": [[key, e.namespace, e.digest, e.seq]
+                            for key, e in sorted(self._entries.items())],
+            }, sort_keys=True).encode("utf-8")
+            if raw == payload or backend.compare_and_set_ref(
+                    INDEX_REF, raw, payload):
+                self._dirty_keys.clear()
+                return
+        raise BackendError(
+            f"index CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
     def _flush_dirty_locked(self) -> None:
-        if self._dirty_hits:
+        if self._dirty_keys:
             self._save_index_locked()
 
     def _next_seq_locked(self) -> int:
@@ -249,7 +317,7 @@ class ArtifactCache:
             payload = self.store.get_text(record.digest)
             record.seq = self._next_seq_locked()
             if self._persistent:
-                self._dirty_hits += 1
+                self._dirty_keys.add(key)
         return CacheEntry(record.digest, payload, obj)
 
     def put(self, namespace: str, parts: Any, payload: str,
@@ -260,6 +328,10 @@ class ArtifactCache:
             digest = self.store.put(payload)
             self._entries[key] = IndexEntry(namespace, digest,
                                             self._next_seq_locked())
+            # A republish of a key we once evicted is a fresh entry; the
+            # tombstone must not swallow it at the next merge.
+            self._evicted.pop(key, None)
+            self._dirty_keys.add(key)
             if obj is not None:
                 self._objects[key] = obj
             else:
@@ -292,20 +364,33 @@ class ArtifactCache:
         if not is_digest(digest):
             raise ValueError(f"malformed digest {digest!r}")
         with self._lock:
-            pins = self._load_pins()
-            pins[name] = digest
-            self.store.backend.set_ref(
-                PINS_REF, json.dumps(pins, sort_keys=True).encode("utf-8"))
+            self._update_pins_locked(lambda pins: pins.update({name: digest}))
 
     def unpin(self, name: str) -> bool:
         with self._lock:
-            pins = self._load_pins()
-            if name not in pins:
+            return self._update_pins_locked(
+                lambda pins: pins.pop(name, None) is not None)
+
+    def _update_pins_locked(self, mutate) -> bool:
+        """Apply ``mutate`` to the pin set via a CAS retry loop.
+
+        ``mutate`` edits the freshly-read dict in place and may return
+        False to signal a no-op (e.g. unpinning a name that is not
+        pinned); anything else counts as a change. Re-reading inside the
+        loop means two processes pinning different names both survive.
+        """
+        backend = self.store.backend
+        for _ in range(self.CAS_ATTEMPTS):
+            raw = backend.get_ref(PINS_REF)
+            pins = {} if raw is None else json.loads(raw.decode("utf-8"))
+            if mutate(pins) is False:
                 return False
-            del pins[name]
-            self.store.backend.set_ref(
-                PINS_REF, json.dumps(pins, sort_keys=True).encode("utf-8"))
-            return True
+            payload = json.dumps(pins, sort_keys=True).encode("utf-8")
+            if raw == payload or backend.compare_and_set_ref(
+                    PINS_REF, raw, payload):
+                return True
+        raise BackendError(
+            f"pin CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
     def pins(self) -> dict[str, str]:
         with self._lock:
@@ -318,9 +403,16 @@ class ArtifactCache:
     # -- introspection (stats, GC) -----------------------------------------------
 
     def entries(self) -> dict[str, IndexEntry]:
-        """Snapshot of the index (key -> record copy), for stats and GC."""
+        """Snapshot of the index (key -> record copy), for stats and GC.
+
+        On a persistent backend the snapshot first syncs with the live
+        ref, so GC and stats see entries other writers published since we
+        last saved — not just our own view.
+        """
         with self._lock:
             self._flush_dirty_locked()
+            if self._persistent:
+                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
             return {key: IndexEntry(e.namespace, e.digest, e.seq)
                     for key, e in self._entries.items()}
 
@@ -333,27 +425,36 @@ class ArtifactCache:
         with self._lock:
             record = self._entries.pop(key, None)
             self._objects.pop(key, None)
+            self._dirty_keys.discard(key)
             if record is not None:
-                # Tombstone: a save merges from the backend first, and the
-                # merge must not resurrect what we just evicted.
-                self._evicted.add(key)
+                # Tombstone the full record: the save's merge must not
+                # resurrect what we just evicted, but a *fresh* republish
+                # of the same key (new digest or later seq) by another
+                # writer must still be adopted.
+                self._evicted[key] = IndexEntry(record.namespace,
+                                                record.digest, record.seq)
                 self._save_index_locked()
             return record
 
-    def gc(self, max_bytes: int):
+    def gc(self, max_bytes: int, grace_seconds: float = 0.0):
         """Bound the backing store to ``max_bytes`` by LRU eviction.
 
         Delegates to :func:`repro.store.gc.collect`; see there for the
         policy (orphans first, then least-recently-used entries; pinned
-        blobs are never deleted).
+        blobs are never deleted). Pass a positive ``grace_seconds`` when
+        other writers may be publishing concurrently: blobs younger than
+        the window are never swept, closing the put-blob-then-write-index
+        gap every publisher has.
         """
         from repro.store.gc import collect
-        return collect(self, max_bytes)
+        return collect(self, max_bytes, grace_seconds=grace_seconds)
 
     def stats(self) -> dict:
         """Machine-readable store/cache statistics (``cache stats --json``)."""
         with self._lock:
             self._flush_dirty_locked()
+            if self._persistent:
+                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
             per_ns: dict[str, int] = {}
             for record in self._entries.values():
                 per_ns[record.namespace] = per_ns.get(record.namespace, 0) + 1

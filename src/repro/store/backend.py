@@ -11,18 +11,36 @@ A backend stores two kinds of state, mirroring git's object model:
   else is content-addressed and therefore immutable by construction, the
   property the paper's Sec. 5.2 deployment model leans on.
 
+Because refs are mutable and shared, they are also where concurrent
+writers can trample each other. Every backend therefore implements
+:meth:`Backend.compare_and_set_ref` — an atomic compare-and-swap that
+succeeds only if the ref still holds the bytes the caller last read —
+and higher layers (:class:`~repro.containers.store.ArtifactCache`,
+:func:`repro.store.gc.collect`) build read-merge-retry loops on top of
+it instead of blind ``set_ref`` overwrites.
+
 Backends are thread-safe: the pipeline's parallel map publishes artifacts
 concurrently, and the socket server serves several clients at once.
+:class:`FileBackend` is additionally *process*-safe: blob writes are
+atomic renames, and ref CAS is serialized through per-ref lock files.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import threading
-from typing import Iterable, Protocol, runtime_checkable
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.util.hashing import content_digest, is_digest
+
+try:  # POSIX: advisory file locks make ref CAS cheap and crash-safe.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback below
+    fcntl = None  # type: ignore[assignment]
 
 
 #: Ref holding an :class:`~repro.containers.store.ArtifactCache`'s
@@ -70,6 +88,13 @@ class Backend(Protocol):
 
     def refs(self) -> list[str]: ...
 
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        """Atomically set ``name`` to ``data`` iff it currently holds
+        ``expected`` (``None`` meaning "does not exist"). Returns True on
+        success, False if another writer got there first."""
+        ...
+
 
 def _check_digest(digest: str, data: bytes) -> None:
     if not is_digest(digest):
@@ -93,6 +118,7 @@ class MemoryBackend:
     def __init__(self) -> None:
         self._blobs: dict[str, bytes] = {}
         self._refs: dict[str, bytes] = {}
+        self._created: dict[str, float] = {}
         self._total = 0
         self._lock = threading.Lock()
 
@@ -101,6 +127,7 @@ class MemoryBackend:
         with self._lock:
             if digest not in self._blobs:
                 self._blobs[digest] = data
+                self._created[digest] = time.time()
                 self._total += len(data)
 
     def get(self, digest: str) -> bytes:
@@ -117,8 +144,17 @@ class MemoryBackend:
             data = self._blobs.pop(digest, None)
             if data is None:
                 return False
+            self._created.pop(digest, None)
             self._total -= len(data)
             return True
+
+    def blob_age_seconds(self, digest: str) -> float | None:
+        """Seconds since the blob was stored; None if absent. GC's grace
+        window uses this to spare blobs a racing publisher just wrote."""
+        created = self._created.get(digest)
+        if created is None:
+            return None
+        return max(0.0, time.time() - created)
 
     def digests(self) -> list[str]:
         return list(self._blobs)
@@ -144,6 +180,14 @@ class MemoryBackend:
     def refs(self) -> list[str]:
         return list(self._refs)
 
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        with self._lock:
+            if self._refs.get(name) != expected:
+                return False
+            self._refs[name] = data
+            return True
+
 
 class FileBackend:
     """Blobs persisted on disk under a sharded ``objects/`` layout.
@@ -152,33 +196,57 @@ class FileBackend:
     single directory small)::
 
         <root>/objects/ab/cdef0123...   # blob, named by its digest hex
-        <root>/refs/<name>              # mutable refs ('/' escaped)
+        <root>/objects/.stamp           # mutation stamp (drift detection)
+        <root>/refs/<name>              # mutable refs (percent-escaped)
+        <root>/locks/<name>.lock        # per-ref CAS lock files
 
     Writes are atomic: bytes land in a temp file in the same directory and
     are ``os.replace``d into place, so a concurrent reader (or a crashed
     writer) can never observe a half-written blob. Because blobs are
     content-addressed, concurrent writers racing on one digest are writing
     identical bytes — last rename wins and nothing is lost.
+
+    Refs are the mutable exception, so ref mutation (``set_ref``,
+    ``delete_ref``, ``compare_and_set_ref``) additionally serializes
+    through a per-ref lock file, making CAS linearizable across
+    *processes* sharing one store directory, not just across threads.
+
+    Two handles on one directory also drift on size accounting: each
+    successful blob put/delete rewrites ``objects/.stamp`` with a fresh
+    token, and ``total_bytes``/``__len__`` recount from disk whenever the
+    stamp no longer matches the last one this handle observed — so
+    ``cache stats`` and GC budgets stay trustworthy with a second writer.
     """
 
     persistent = True
+
+    #: How long to wait for a ref lock before declaring the store wedged.
+    LOCK_TIMEOUT = 30.0
 
     def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = os.fspath(root)
         self._objects = os.path.join(self.root, "objects")
         self._refs_dir = os.path.join(self.root, "refs")
+        self._locks_dir = os.path.join(self.root, "locks")
         os.makedirs(self._objects, exist_ok=True)
         os.makedirs(self._refs_dir, exist_ok=True)
+        os.makedirs(self._locks_dir, exist_ok=True)
+        self._stamp_path = os.path.join(self._objects, ".stamp")
+        # Escaped ref names never start with '.', so this can't collide
+        # with any ref's lock file.
+        self._mutation_lock_path = os.path.join(self._locks_dir,
+                                                ".blob-mutation.lock")
         self._lock = threading.Lock()
         self._total = 0
         self._count = 0
-        for path in self._iter_blob_paths():
-            self._total += os.path.getsize(path)
-            self._count += 1
+        self._stamp = b""
+        self._adopt_stamp_locked(self._read_stamp())
 
     # -- blobs -----------------------------------------------------------------
 
     def _blob_path(self, digest: str) -> str:
+        if not is_digest(digest):
+            raise BlobNotFound(digest)
         hexpart = digest.split(":", 1)[1]
         return os.path.join(self._objects, hexpart[:2], hexpart[2:])
 
@@ -209,15 +277,71 @@ class FileBackend:
                 pass
             raise
 
+    # -- drift detection -------------------------------------------------------
+
+    def _read_stamp(self) -> bytes:
+        try:
+            with open(self._stamp_path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return b""
+
+    def _bump_stamp_locked(self) -> None:
+        """Record that this handle mutated the blob set, carrying the
+        authoritative totals. Another handle's cached counters are
+        invalidated by the token change; it adopts these totals instead
+        of rescanning the object tree (the stamp is only ever written
+        under the cross-process mutation lock, so they are exact)."""
+        stamp = json.dumps({
+            "token": os.urandom(8).hex(),
+            "count": self._count,
+            "bytes": self._total,
+        }, sort_keys=True).encode("ascii")
+        self._atomic_write(self._stamp_path, stamp)
+        self._stamp = stamp
+
+    def _recount_locked(self) -> None:
+        self._total = 0
+        self._count = 0
+        for path in self._iter_blob_paths():
+            try:
+                self._total += os.path.getsize(path)
+                self._count += 1
+            except FileNotFoundError:  # raced a concurrent delete
+                continue
+
+    def _adopt_stamp_locked(self, stamp: bytes) -> None:
+        self._stamp = stamp
+        try:
+            totals = json.loads(stamp.decode("ascii"))
+            self._count = int(totals["count"])
+            self._total = int(totals["bytes"])
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            # Missing or legacy stamp: count the slow, certain way.
+            self._recount_locked()
+
+    def _sync_counters_locked(self) -> None:
+        stamp = self._read_stamp()
+        if stamp != self._stamp:
+            self._adopt_stamp_locked(stamp)
+
     def put(self, digest: str, data: bytes) -> None:
         _check_digest(digest, data)
         path = self._blob_path(digest)
-        with self._lock:
+        with self._lock, self._file_lock(self._mutation_lock_path):
+            # Re-sync before mutating: incrementing on top of counters
+            # another handle has since invalidated would bake the drift in
+            # (our stamp write below would mask their token). The mutation
+            # lock serializes the sync-mutate-stamp sequence across
+            # processes, so no handle can ever observe a matching stamp
+            # over counters another writer just outdated.
+            self._sync_counters_locked()
             if os.path.exists(path):
                 return
             self._atomic_write(path, data)
             self._total += len(data)
             self._count += 1
+            self._bump_stamp_locked()
 
     def get(self, digest: str) -> bytes:
         try:
@@ -227,11 +351,18 @@ class FileBackend:
             raise BlobNotFound(digest) from None
 
     def has(self, digest: str) -> bool:
-        return os.path.exists(self._blob_path(digest))
+        try:
+            return os.path.exists(self._blob_path(digest))
+        except BlobNotFound:
+            return False
 
     def delete(self, digest: str) -> bool:
-        path = self._blob_path(digest)
-        with self._lock:
+        try:
+            path = self._blob_path(digest)
+        except BlobNotFound:
+            return False
+        with self._lock, self._file_lock(self._mutation_lock_path):
+            self._sync_counters_locked()
             try:
                 size = os.path.getsize(path)
                 os.unlink(path)
@@ -239,7 +370,16 @@ class FileBackend:
                 return False
             self._total -= size
             self._count -= 1
+            self._bump_stamp_locked()
             return True
+
+    def blob_age_seconds(self, digest: str) -> float | None:
+        """Seconds since the blob file was written; None if absent."""
+        try:
+            mtime = os.path.getmtime(self._blob_path(digest))
+        except (BlobNotFound, FileNotFoundError):
+            return None
+        return max(0.0, time.time() - mtime)
 
     def digests(self) -> list[str]:
         out = []
@@ -250,19 +390,80 @@ class FileBackend:
         return out
 
     def __len__(self) -> int:
-        return self._count
+        with self._lock:
+            self._sync_counters_locked()
+            return self._count
 
     @property
     def total_bytes(self) -> int:
-        return self._total
+        with self._lock:
+            self._sync_counters_locked()
+            return self._total
 
     # -- refs ------------------------------------------------------------------
 
+    @staticmethod
+    def _escape_ref(name: str) -> str:
+        # '%' first so the escapes themselves round-trip; a ref literally
+        # named "a%2fb" must not collide with "a/b". A leading '.' is
+        # escaped too, so ref names can never masquerade as .tmp-* residue.
+        escaped = name.replace("%", "%25").replace("/", "%2f")
+        if escaped.startswith("."):
+            escaped = "%2e" + escaped[1:]
+        return escaped
+
+    @staticmethod
+    def _unescape_ref(escaped: str) -> str:
+        return (escaped.replace("%2e", ".").replace("%2f", "/")
+                .replace("%25", "%"))
+
     def _ref_path(self, name: str) -> str:
-        return os.path.join(self._refs_dir, name.replace("/", "%2f"))
+        return os.path.join(self._refs_dir, self._escape_ref(name))
+
+    @contextmanager
+    def _ref_lock(self, name: str) -> Iterator[None]:
+        """Cross-process mutual exclusion for one ref, via a lock file."""
+        with self._file_lock(
+                os.path.join(self._locks_dir, self._escape_ref(name) + ".lock")):
+            yield
+
+    @contextmanager
+    def _file_lock(self, path: str) -> Iterator[None]:
+        """Cross-process mutual exclusion via a lock file.
+
+        With ``fcntl`` the lock is advisory and crash-safe (the kernel
+        releases it when the holder dies); the fallback spins on an
+        exclusive-create sentinel with a staleness timeout.
+        """
+        if fcntl is not None:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(fd)  # closing the fd releases the flock
+            return
+        # Portable fallback: O_EXCL sentinel.  # pragma: no cover
+        deadline = time.monotonic() + self.LOCK_TIMEOUT
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                break
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    raise BackendError(f"timed out waiting for ref lock {path}")
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def set_ref(self, name: str, data: bytes) -> None:
-        with self._lock:
+        with self._lock, self._ref_lock(name):
             self._atomic_write(self._ref_path(name), data)
 
     def get_ref(self, name: str) -> bytes | None:
@@ -273,7 +474,7 @@ class FileBackend:
             return None
 
     def delete_ref(self, name: str) -> bool:
-        with self._lock:
+        with self._lock, self._ref_lock(name):
             try:
                 os.unlink(self._ref_path(name))
             except FileNotFoundError:
@@ -281,5 +482,20 @@ class FileBackend:
             return True
 
     def refs(self) -> list[str]:
-        return [name.replace("%2f", "/") for name in sorted(os.listdir(self._refs_dir))
+        return [self._unescape_ref(name)
+                for name in sorted(os.listdir(self._refs_dir))
                 if not name.startswith(".tmp-")]
+
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        path = self._ref_path(name)
+        with self._lock, self._ref_lock(name):
+            try:
+                with open(path, "rb") as fh:
+                    current: bytes | None = fh.read()
+            except FileNotFoundError:
+                current = None
+            if current != expected:
+                return False
+            self._atomic_write(path, data)
+            return True

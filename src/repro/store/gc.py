@@ -17,12 +17,23 @@ Pinned roots are sacred: any digest in the pin set — and everything it
 transitively references, discovered by scanning pinned blobs for embedded
 ``sha256:`` digests (an OCI manifest names its config and layer blobs this
 way) — is never deleted, even if the budget cannot be met without it.
+
+Collection is multi-writer aware. The cache's index snapshot syncs with
+the live ref and each eviction rewrites the index through the cache's
+CAS retry-merge loop, so a publisher racing the collector keeps its
+entries (and an evicted entry cannot be resurrected by a stale save).
+Before any blob is deleted, the sweep re-reads the live index ref and
+spares every digest reachable from entries published since the snapshot —
+a fresh publish is never swept as an orphan.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from dataclasses import dataclass, field
+
+from repro.store.backend import INDEX_REF
 
 _DIGEST_RE = re.compile(rb"sha256:[0-9a-f]{64}")
 
@@ -39,6 +50,7 @@ class GCReport:
     evicted_entries: int = 0
     deleted_blobs: int = 0
     pinned_blobs: int = 0
+    grace_seconds: float = 0.0
     # (namespace, key) of every evicted entry, LRU-first.
     evicted: list[tuple[str, str]] = field(default_factory=list)
 
@@ -61,6 +73,7 @@ class GCReport:
             "evicted_entries": self.evicted_entries,
             "deleted_blobs": self.deleted_blobs,
             "pinned_blobs": self.pinned_blobs,
+            "grace_seconds": self.grace_seconds,
             "within_budget": self.within_budget,
             "evicted": [{"namespace": ns, "key": key} for ns, key in self.evicted],
         }
@@ -94,20 +107,37 @@ def pin_closure(store, roots: set[str]) -> set[str]:
     return seen
 
 
-def collect(cache, max_bytes: int) -> GCReport:
+def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
     """Bound ``cache``'s backing store to ``max_bytes``; see module doc.
 
     ``cache`` is an :class:`~repro.containers.store.ArtifactCache` (duck-
     typed: anything with ``store``/``entries()``/``evict()``/``pins()``
     works). Returns a :class:`GCReport`; ``within_budget`` is False when
     pinned blobs alone exceed the budget.
+
+    ``grace_seconds`` spares blobs younger than the window from deletion
+    (git's ``gc --prune=<age>`` idea): a publisher stores its blob *before*
+    its index entry lands, and only a grace window makes that gap safe
+    when GC runs concurrently with live builders. Blobs whose age the
+    backend cannot report are treated as young. 0 disables the window
+    (safe when nothing else writes the store).
     """
     if max_bytes < 0:
         raise ValueError("max_bytes must be non-negative")
     store = cache.store
     report = GCReport(max_bytes=max_bytes,
                       before_bytes=store.total_bytes, after_bytes=0,
-                      before_blobs=len(store), after_blobs=0)
+                      before_blobs=len(store), after_blobs=0,
+                      grace_seconds=grace_seconds)
+    age_of = getattr(store.backend, "blob_age_seconds", None)
+
+    def _in_grace(digest: str) -> bool:
+        if grace_seconds <= 0:
+            return False
+        if age_of is None:
+            return True  # no age data: assume young, never delete
+        age = age_of(digest)
+        return age is None or age < grace_seconds
 
     pinned = pin_closure(store, set(cache.pins().values()))
     report.pinned_blobs = len(pinned)
@@ -127,10 +157,29 @@ def collect(cache, max_bytes: int) -> GCReport:
         for digest in refs:
             refcount[digest] = refcount.get(digest, 0) + 1
 
+    def _fresh_publish_closure() -> set[str]:
+        """Digests reachable from index entries that appeared *after* our
+        snapshot — a concurrent publisher's work, which the sweep must
+        spare even though the snapshot never heard of it."""
+        raw = store.backend.get_ref(INDEX_REF)
+        if raw is None:
+            return set()
+        fresh: set[str] = set()
+        for _key, _ns, digest, _seq in json.loads(
+                raw.decode("utf-8")).get("entries", ()):
+            if refcount.get(digest, 0) == 0 and digest not in fresh:
+                fresh.add(digest)
+                if store.has(digest):
+                    fresh |= referenced_digests(store.get(digest))
+        return fresh
+
+    protected = _fresh_publish_closure()
+
     def _delete_if_unreferenced(digest: str) -> None:
-        if digest not in pinned and refcount.get(digest, 0) == 0:
-            if store.delete(digest):
-                report.deleted_blobs += 1
+        if digest in pinned or digest in protected or _in_grace(digest):
+            return
+        if refcount.get(digest, 0) == 0 and store.delete(digest):
+            report.deleted_blobs += 1
 
     # Phase 1: orphans — blobs no pin and no entry can reach.
     for digest in store.backend.digests():
@@ -139,17 +188,34 @@ def collect(cache, max_bytes: int) -> GCReport:
     # Phase 2: LRU eviction until the store fits the budget. Once only
     # pinned bytes remain, evicting further entries cannot free anything —
     # stop rather than strip a warm cache for no gain.
-    pinned_bytes = sum(len(store.get(d)) for d in pinned if store.has(d))
+    protected |= _fresh_publish_closure()  # publishes that raced phase 1
+    # Bytes eviction cannot free: pinned closures, plus (under a grace
+    # window) every blob too young to delete. Stopping at this floor keeps
+    # a fully-in-grace store's warm index intact instead of stripping it
+    # for zero gain; the entries stay evictable by a later, quieter GC.
+    unfreeable = set(pinned)
+    if grace_seconds > 0:
+        for digest in store.backend.digests():
+            if digest not in unfreeable and _in_grace(digest):
+                unfreeable.add(digest)
+    floor_bytes = sum(len(store.get(d)) for d in unfreeable if store.has(d))
     by_age = sorted(entries.items(), key=lambda item: item[1].seq)
     for key, record in by_age:
-        if store.total_bytes <= max(max_bytes, pinned_bytes):
+        if store.total_bytes <= max(max_bytes, floor_bytes):
             break
         if cache.evict(key) is None:
             continue  # raced with a concurrent eviction
         report.evicted_entries += 1
         report.evicted.append((record.namespace, key))
+        # Drop refcounts first, then re-read the live index (evict just
+        # rewrote it through the cache's CAS merge, so it includes any
+        # concurrent publish) and protect digests it still reaches: a
+        # fresh entry sharing a digest with the evicted one must not lose
+        # its blob when the snapshot refcount hits zero.
         for digest in entry_refs[key]:
             refcount[digest] -= 1
+        protected |= _fresh_publish_closure()
+        for digest in entry_refs[key]:
             _delete_if_unreferenced(digest)
 
     report.after_bytes = store.total_bytes

@@ -15,6 +15,15 @@ newline-terminated JSON header followed by an optional raw-bytes body::
     -> {"cmd": "get", "digest": "sha256:..."}\n
     <- {"ok": true, "size": 123}\n<123 body bytes>
 
+Ref compare-and-swap rides the same shape — the body carries the expected
+bytes (``expected_size >= 0``; ``-1`` means "ref must not exist") followed
+by the new bytes, and the server executes the swap atomically against its
+local backend, so N clients hammering one index ref serialize correctly::
+
+    -> {"cmd": "cas_ref", "name": "artifact-index",
+        "expected_size": 2, "size": 4}\n<2 expected bytes><4 new bytes>
+    <- {"ok": true, "swapped": true}\n
+
 Digests are verified on the server side (the backend re-hashes every
 write), so a corrupted transfer is rejected rather than stored. This is
 the push/pull/has protocol the ROADMAP's "remote artifact-cache backend"
@@ -87,6 +96,10 @@ class _Handler(socketserver.StreamRequestHandler):
                                 {"ok": True, "deleted": backend.delete(req["digest"])})
             elif cmd == "digests":
                 _write_response(self.wfile, {"ok": True, "digests": backend.digests()})
+            elif cmd == "blob_age":
+                age_of = getattr(backend, "blob_age_seconds", None)
+                age = age_of(req["digest"]) if age_of is not None else None
+                _write_response(self.wfile, {"ok": True, "age": age})
             elif cmd == "stat":
                 _write_response(self.wfile, {
                     "ok": True, "count": len(backend),
@@ -101,6 +114,13 @@ class _Handler(socketserver.StreamRequestHandler):
                     _write_response(self.wfile, {"ok": True, "size": -1})
                 else:
                     _write_response(self.wfile, {"ok": True, "size": len(data)}, data)
+            elif cmd == "cas_ref":
+                expected_size = int(req.get("expected_size", -1))
+                expected = (_read_exact(self.rfile, expected_size)
+                            if expected_size >= 0 else None)
+                data = _read_exact(self.rfile, int(req["size"]))
+                swapped = self.server.cas_ref(req["name"], expected, data)  # type: ignore[attr-defined]
+                _write_response(self.wfile, {"ok": True, "swapped": swapped})
             elif cmd == "delete_ref":
                 _write_response(self.wfile,
                                 {"ok": True, "deleted": backend.delete_ref(req["name"])})
@@ -139,7 +159,25 @@ class StoreServer:
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
         self._server.backend = backend  # type: ignore[attr-defined]
+        self._server.cas_ref = self.cas_ref  # type: ignore[attr-defined]
+        self._cas_lock = threading.Lock()
         self._thread: threading.Thread | None = None
+
+    def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
+        """Execute one ref compare-and-swap atomically on the server side.
+
+        Delegates to the wrapped backend's own CAS when it has one;
+        otherwise emulates it under a server-global lock, so any foreign
+        backend gains correct multi-client semantics for free.
+        """
+        cas = getattr(self.backend, "compare_and_set_ref", None)
+        if cas is not None:
+            return bool(cas(name, expected, data))
+        with self._cas_lock:  # pragma: no cover - all bundled backends CAS
+            if self.backend.get_ref(name) != expected:
+                return False
+            self.backend.set_ref(name, data)
+            return True
 
     @property
     def address(self) -> tuple[str, int]:
@@ -221,6 +259,11 @@ class RemoteBackend:
         resp, _ = self._round_trip({"cmd": "digests"})
         return list(resp["digests"])
 
+    def blob_age_seconds(self, digest: str) -> float | None:
+        resp, _ = self._round_trip({"cmd": "blob_age", "digest": digest})
+        age = resp.get("age")
+        return None if age is None else float(age)
+
     def __len__(self) -> int:
         resp, _ = self._round_trip({"cmd": "stat"})
         return int(resp["count"])
@@ -244,6 +287,16 @@ class RemoteBackend:
     def delete_ref(self, name: str) -> bool:
         resp, _ = self._round_trip({"cmd": "delete_ref", "name": name})
         return bool(resp["deleted"])
+
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        header = {
+            "cmd": "cas_ref", "name": name,
+            "expected_size": -1 if expected is None else len(expected),
+            "size": len(data),
+        }
+        resp, _ = self._round_trip(header, (expected or b"") + data)
+        return bool(resp["swapped"])
 
     def refs(self) -> list[str]:
         resp, _ = self._round_trip({"cmd": "refs"})

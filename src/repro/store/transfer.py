@@ -6,6 +6,9 @@ small manifest); ``cache import`` merges such an archive into any backend.
 Because blobs are content-addressed, import is idempotent and conflict-free
 — the only merge logic needed is for the access-ordered index ref, where
 the importing side keeps its own newer entries and adopts unseen ones.
+Index and pin merges land through the backend's ref compare-and-swap, so
+importing into a store that live builders are publishing to drops neither
+their writes nor the archive's.
 """
 
 from __future__ import annotations
@@ -13,8 +16,15 @@ from __future__ import annotations
 import io
 import json
 import tarfile
+from typing import Callable
 
-from repro.store.backend import INDEX_REF, PINS_REF, Backend
+from repro.store.backend import (
+    INDEX_REF,
+    PINS_REF,
+    Backend,
+    BackendError,
+    FileBackend,
+)
 
 ARCHIVE_FORMAT = "xaas-store-archive-v1"
 
@@ -48,7 +58,9 @@ def export_store(backend: Backend, path: str) -> dict:
         for name in refs:
             data = backend.get_ref(name)
             if data is not None:
-                _add_bytes(tar, f"refs/{name.replace('/', '%2f')}", data)
+                # Same escaping as FileBackend: any ref name round-trips,
+                # and "a%2fb" can never collide with "a/b" in the archive.
+                _add_bytes(tar, f"refs/{FileBackend._escape_ref(name)}", data)
     return {"blobs": len(blobs), "refs": len(refs), "blob_bytes": total,
             "path": path}
 
@@ -86,6 +98,27 @@ def _merge_pins(existing: bytes | None, incoming: bytes) -> bytes:
     return json.dumps(pins, sort_keys=True).encode("utf-8")
 
 
+def _cas_merge_ref(backend: Backend, name: str, incoming: bytes,
+                   merge: Callable[[bytes | None, bytes], bytes],
+                   attempts: int = 100) -> None:
+    """Land ``merge(existing, incoming)`` on ``name`` via CAS, retrying
+    against concurrent writers — import must not last-writer-wins a live
+    builder's index entry or pin any more than the cache layer may."""
+    cas = getattr(backend, "compare_and_set_ref", None)
+    for _ in range(attempts):
+        existing = backend.get_ref(name)
+        merged = merge(existing, incoming)
+        if merged == existing:
+            return
+        if cas is None:  # pragma: no cover - all bundled backends CAS
+            backend.set_ref(name, merged)
+            return
+        if cas(name, existing, merged):
+            return
+    raise BackendError(
+        f"ref {name!r} CAS did not converge after {attempts} attempts")
+
+
 def import_store(backend: Backend, path: str) -> dict:
     """Merge an exported archive into ``backend``; returns a summary dict.
 
@@ -112,12 +145,13 @@ def import_store(backend: Backend, path: str) -> dict:
                 added += 1
                 blob_bytes += len(data)
             elif member.name.startswith("refs/"):
-                name = member.name[len("refs/"):].replace("%2f", "/")
+                name = FileBackend._unescape_ref(member.name[len("refs/"):])
                 if name == INDEX_REF:
-                    data = _merge_index(backend.get_ref(name), data)
+                    _cas_merge_ref(backend, name, data, _merge_index)
                 elif name == PINS_REF:
-                    data = _merge_pins(backend.get_ref(name), data)
-                backend.set_ref(name, data)
+                    _cas_merge_ref(backend, name, data, _merge_pins)
+                else:
+                    backend.set_ref(name, data)
                 refs_merged += 1
     return {"blobs_added": added, "blobs_skipped": skipped,
             "refs_merged": refs_merged, "blob_bytes": blob_bytes, "path": path}

@@ -80,6 +80,124 @@ class TestBackendContract:
             assert backend.get_ref("image/lulesh") == b"d"
             assert "image/lulesh" in backend.refs()
 
+    def test_malformed_digest_is_graceful_everywhere(self, tmp_path):
+        """A digest without a ':' (or otherwise malformed) must never leak
+        an IndexError: get raises BlobNotFound, has/delete report False."""
+        for backend in backends(tmp_path):
+            for bad in ("nocolon", "sha256:short", "sha256:", "md5:" + "0" * 64,
+                        "sha256:" + "g" * 64):
+                with pytest.raises(BlobNotFound):
+                    backend.get(bad)
+                assert backend.has(bad) is False
+                assert backend.delete(bad) is False
+
+
+class TestCompareAndSetRef:
+    """The CAS primitive every multi-writer loop is built on."""
+
+    def test_create_if_absent(self, tmp_path):
+        for backend in backends(tmp_path):
+            assert backend.compare_and_set_ref("r", None, b"v1")
+            assert backend.get_ref("r") == b"v1"
+            # A second expected-absent swap must lose: the ref now exists.
+            assert not backend.compare_and_set_ref("r", None, b"v2")
+            assert backend.get_ref("r") == b"v1"
+
+    def test_swap_requires_current_value(self, tmp_path):
+        for backend in backends(tmp_path):
+            backend.set_ref("r", b"v1")
+            assert not backend.compare_and_set_ref("r", b"stale", b"v2")
+            assert backend.get_ref("r") == b"v1"
+            assert backend.compare_and_set_ref("r", b"v1", b"v2")
+            assert backend.get_ref("r") == b"v2"
+
+    def test_expected_none_on_deleted_ref(self, tmp_path):
+        for backend in backends(tmp_path):
+            backend.set_ref("r", b"v1")
+            backend.delete_ref("r")
+            assert not backend.compare_and_set_ref("r", b"v1", b"v2")
+            assert backend.compare_and_set_ref("r", None, b"v2")
+
+    def test_exactly_one_racing_writer_wins(self, tmp_path):
+        """N threads CAS from the same snapshot; exactly one may succeed."""
+        for backend in backends(tmp_path):
+            backend.set_ref("r", b"base")
+            wins = []
+
+            def attempt(i):
+                if backend.compare_and_set_ref("r", b"base", b"w%d" % i):
+                    wins.append(i)
+
+            threads = [threading.Thread(target=attempt, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(wins) == 1
+            assert backend.get_ref("r") == b"w%d" % wins[0]
+
+    def test_cas_is_cross_process_on_file_backend(self, tmp_path):
+        """Two handles on one directory model two processes: a swap through
+        one invalidates the other's snapshot."""
+        root = tmp_path / "shared"
+        a, b = FileBackend(root), FileBackend(root)
+        assert a.compare_and_set_ref("idx", None, b"from-a")
+        assert not b.compare_and_set_ref("idx", None, b"from-b")
+        assert b.compare_and_set_ref("idx", b"from-a", b"from-b")
+        assert a.get_ref("idx") == b"from-b"
+
+
+class TestRefNameEscaping:
+    """_ref_path/refs() must round-trip any name — including names that
+    contain the escape sequences themselves."""
+
+    ADVERSARIAL = ["a/b", "a%2fb", "%2f", "%", "%%", "%25", "%252f",
+                   ".hidden", ".tmp-x", "a.b", "a/b/c", "a%/b.", "%2e"]
+
+    def test_adversarial_names_round_trip(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        for i, name in enumerate(self.ADVERSARIAL):
+            backend.set_ref(name, b"v%d" % i)
+        assert sorted(backend.refs()) == sorted(self.ADVERSARIAL)
+        for i, name in enumerate(self.ADVERSARIAL):
+            assert backend.get_ref(name) == b"v%d" % i, name
+            assert backend.delete_ref(name)
+        assert backend.refs() == []
+
+    def test_distinct_names_never_collide(self, tmp_path):
+        """'a%2fb' and 'a/b' are different refs and must stay different."""
+        backend = FileBackend(tmp_path / "store")
+        backend.set_ref("a/b", b"slash")
+        backend.set_ref("a%2fb", b"literal")
+        assert backend.get_ref("a/b") == b"slash"
+        assert backend.get_ref("a%2fb") == b"literal"
+
+    def test_property_any_name_round_trips(self, tmp_path):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import strategies as st
+
+        names = st.lists(
+            st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    min_size=1, max_size=40),
+            min_size=1, max_size=8, unique=True)
+
+        @hypothesis.given(names=names)
+        @hypothesis.settings(max_examples=60, deadline=None)
+        def round_trips(names):
+            backend = FileBackend(tmp_path / "prop-store")
+            try:
+                for name in names:
+                    backend.set_ref(name, name.encode("utf-8"))
+                assert sorted(backend.refs()) == sorted(names)
+                for name in names:
+                    assert backend.get_ref(name) == name.encode("utf-8")
+            finally:
+                for name in names:
+                    backend.delete_ref(name)
+
+        round_trips()
+
 
 class TestFileBackend:
     def test_sharded_object_layout(self, tmp_path):
@@ -126,6 +244,34 @@ class TestFileBackend:
             t.join()
         assert len(backend) == len(payloads)
         assert backend.total_bytes == sum(len(p) for p in payloads)
+
+    def test_counters_track_second_handle_mutations(self, tmp_path):
+        """Two handles on one store (== two processes): puts and deletes
+        through either handle must be visible in both handles' accounting,
+        or `cache stats` and GC budgets lie."""
+        root = tmp_path / "shared"
+        ours, theirs = FileBackend(root), FileBackend(root)
+        d1, d2 = content_digest(b"aaaa"), content_digest(b"bb")
+        theirs.put(d1, b"aaaa")
+        assert ours.total_bytes == 4
+        assert len(ours) == 1
+        ours.put(d2, b"bb")  # our own mutation must not trigger bad counts
+        assert ours.total_bytes == 6 and theirs.total_bytes == 6
+        theirs.delete(d1)
+        assert ours.total_bytes == 2
+        assert len(ours) == 1
+        assert len(theirs) == 1
+
+    def test_counters_survive_interleaved_writers(self, tmp_path):
+        root = tmp_path / "shared"
+        handles = [FileBackend(root) for _ in range(3)]
+        payloads = [f"w{i}-{j}".encode() for i in range(3) for j in range(5)]
+        for i, payload in enumerate(payloads):
+            handles[i % 3].put(content_digest(payload), payload)
+        expected = sum(len(p) for p in payloads)
+        for handle in handles:
+            assert handle.total_bytes == expected
+            assert len(handle) == len(payloads)
 
 
 class TestBlobStoreOverBackends:

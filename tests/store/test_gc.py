@@ -131,6 +131,109 @@ class TestPinnedManifests:
         assert not cache.store.has(entry.digest)
 
 
+class TestGCRacingPublisher:
+    """GC concurrent with a publisher: fresh publishes survive the sweep,
+    and GC's evictions stick even against writers carrying stale state."""
+
+    def test_publish_after_snapshot_not_swept_as_orphan(self, tmp_path,
+                                                        monkeypatch):
+        """An entry published between GC's index snapshot and its orphan
+        sweep must keep its blobs: the sweep re-reads the live index."""
+        backend_dir = tmp_path / "shared"
+        collector = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        fill(collector, 3, size=100)
+        publisher = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+
+        published = {}
+        orig_entries = collector.entries
+
+        def entries_then_publish():
+            snapshot = orig_entries()
+            bulk = publisher.put_blob("fresh bulk text " * 20)
+            entry = publisher.put("preprocess", "fresh",
+                                  json.dumps({"text_digest": bulk}))
+            published.update(digest=entry.digest, bulk=bulk)
+            return snapshot
+
+        monkeypatch.setattr(collector, "entries", entries_then_publish)
+        collector.gc(100_000)  # generous budget: only the orphan sweep runs
+        assert collector.store.has(published["digest"])
+        assert collector.store.has(published["bulk"])
+        fresh = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert fresh.get("preprocess", "fresh") is not None
+
+    def test_eviction_spares_blob_shared_with_fresh_publish(self, tmp_path,
+                                                            monkeypatch):
+        """Phase-2 eviction drops a snapshot entry's refcounts; if a
+        concurrent publish shares the evicted entry's digest, the blob is
+        still live and must survive the delete."""
+        backend_dir = tmp_path / "shared"
+        collector = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        shared_payload = "shared lowered module " * 10
+        collector.put("lower", "old-key", shared_payload)  # becomes the LRU
+        fill(collector, 3, size=200)
+        publisher = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+
+        published = {}
+        orig_evict = collector.evict
+
+        def evict_then_publish(key):
+            record = orig_evict(key)
+            if not published:  # fresh same-digest publish right after evict
+                entry = publisher.put("lower", "fresh-key", shared_payload)
+                published["digest"] = entry.digest
+            return record
+
+        monkeypatch.setattr(collector, "evict", evict_then_publish)
+        collector.gc(collector.store.total_bytes - 1)  # evict just the LRU
+        assert collector.store.has(published["digest"])
+        fresh = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert fresh.get("lower", "fresh-key").payload == shared_payload
+
+    def test_grace_window_spares_unindexed_young_blob(self, tmp_path):
+        """A publisher writes its blob *before* its index entry; a GC with
+        a grace window must not sweep that not-yet-referenced blob."""
+        backend_dir = tmp_path / "shared"
+        cache = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        in_flight = cache.store.put("blob written, index write still pending")
+        report = cache.gc(100_000, grace_seconds=3600)
+        assert cache.store.has(in_flight)
+        assert report.deleted_blobs == 0
+        assert report.grace_seconds == 3600
+        # Without the window the same blob is an orphan and is collected.
+        assert cache.gc(100_000).deleted_blobs == 1
+        assert not cache.store.has(in_flight)
+
+    def test_grace_window_keeps_warm_index_intact(self, tmp_path):
+        """When every blob is in grace, eviction can free nothing — GC
+        must keep the warm index rather than strip it for zero gain."""
+        cache = ArtifactCache(BlobStore(FileBackend(tmp_path / "s")))
+        fill(cache, 4, size=100)
+        report = cache.gc(0, grace_seconds=3600)
+        assert report.evicted_entries == 0
+        assert report.deleted_blobs == 0
+        assert len(cache.entries()) == 4
+        assert not report.within_budget
+
+    def test_gc_eviction_sticks_against_stale_carrier(self, tmp_path):
+        """After GC evicts an entry, a writer that still carries it in RAM
+        must not resurrect it with its next save."""
+        backend_dir = tmp_path / "shared"
+        seed = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        fill(seed, 4, size=100)
+        victim_key = seed.cache_key("ns", {"i": 0})
+
+        carrier = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        collector = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        report = collector.gc(250)
+        assert any(key == victim_key for _ns, key in report.evicted)
+
+        carrier.put("ns", "new-work", "payload")
+        final = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert final.get("ns", {"i": 0}) is None
+        assert final.get("ns", "new-work") is not None
+
+
 class TestGCOnFileBackend:
     def test_gc_persists_across_reopen(self, tmp_path):
         cache = ArtifactCache(BlobStore(FileBackend(tmp_path / "s")))

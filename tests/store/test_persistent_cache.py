@@ -2,8 +2,16 @@
 
 import json
 
+import pytest
+
 from repro.containers.store import ArtifactCache, BlobStore
-from repro.store import INDEX_REF, FileBackend
+from repro.store import (
+    INDEX_REF,
+    FileBackend,
+    MemoryBackend,
+    RemoteBackend,
+    StoreServer,
+)
 
 
 def file_cache(tmp_path, name="store"):
@@ -118,6 +126,193 @@ class TestConcurrentWriters:
         cache.put("ns", "other", "o")  # save merges from backend
         assert key not in cache.entries()
         assert cache.get("ns", "victim") is None
+
+    def test_fresh_republish_beats_tombstone(self, tmp_path):
+        """Evicting a key must not swallow another writer's *later*
+        republish of the same key — only the stale record stays dead."""
+        backend_dir = tmp_path / "shared"
+        a = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        a.put("ir", "key", "v1")
+        b = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        a.evict(a.cache_key("ir", "key"))
+        b.put("ir", "key", "v2")  # fresh republish by the other writer
+        a.put("ir", "other", "o")  # a's save merges: must adopt b's v2
+        entry = a.get("ir", "key")
+        assert entry is not None and entry.payload == "v2"
+
+    def test_republish_from_lagging_writer_beats_tombstone(self, tmp_path):
+        """A writer whose local seq counter lags (it opened the store
+        early and idled) republishing the *identical payload* of a key a
+        busy writer evicted must still win over the tombstone."""
+        backend_dir = tmp_path / "shared"
+        lagging = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        busy = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        for i in range(30):  # busy's counter runs far ahead of lagging's
+            busy.put("ns", {"i": i}, f"v{i}")
+        busy.put("ir", "key", "same payload")
+        busy.evict(busy.cache_key("ir", "key"))  # tombstone with high seq
+        lagging.put("ir", "key", "same payload")  # same digest, low counter
+        busy.put("ns", "more", "x")  # busy's save must not drop the republish
+        fresh = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        entry = fresh.get("ir", "key")
+        assert entry is not None and entry.payload == "same payload"
+
+    def test_foreign_eviction_not_resurrected_by_carrier(self, tmp_path):
+        """A cache that merely *carries* an entry (adopted at init, never
+        re-published) must not write it back after another writer's GC
+        evicted it."""
+        backend_dir = tmp_path / "shared"
+        seed = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        seed.put("ir", "victim", "v")
+        key = seed.cache_key("ir", "victim")
+
+        carrier = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert key in carrier.entries()  # adopted, not dirty
+
+        collector = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        collector.gc(0)  # evicts everything unpinned, including victim
+
+        carrier.put("ir", "other", "o")  # must not resurrect victim
+        fresh = ArtifactCache(BlobStore(FileBackend(backend_dir)))
+        assert fresh.get("ir", "victim") is None
+        assert fresh.get("ir", "other") is not None
+
+
+# -- the acceptance scenario: interleaved two-writer publish -------------------
+
+
+class _PersistentMemory(MemoryBackend):
+    """In-process backend that persists its index like file/remote do, so
+    the interleave scenario runs against pure-memory CAS too."""
+
+    persistent = True
+
+
+class InterposingBackend:
+    """Delegate to ``inner``, firing ``on_index_write`` exactly once, just
+    before the first attempt to write the index ref.
+
+    That is the critical instant of the race: writer A has read the index
+    and serialized its view, and writer B's publish lands before A's write
+    hits the store. Under blind ``set_ref`` persistence A would overwrite
+    B (last-writer-wins, B's entry lost); under CAS A's first swap fails,
+    A re-reads, merges B's state, and retries.
+    """
+
+    persistent = True
+
+    def __init__(self, inner, on_index_write):
+        self._inner = inner
+        self._on_index_write = on_index_write
+        self._fired = False
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __len__(self):
+        return len(self._inner)
+
+    @property
+    def total_bytes(self):
+        return self._inner.total_bytes
+
+    def _maybe_fire(self, name):
+        if name == INDEX_REF and not self._fired:
+            self._fired = True
+            self._on_index_write()
+
+    def set_ref(self, name, data):
+        self._maybe_fire(name)
+        self._inner.set_ref(name, data)
+
+    def compare_and_set_ref(self, name, expected, data):
+        self._maybe_fire(name)
+        return self._inner.compare_and_set_ref(name, expected, data)
+
+
+@pytest.fixture(params=["memory", "file", "remote"])
+def shared_backend(request, tmp_path):
+    """One shared store, reachable through two independent handles —
+    modelling two builder processes — for every backend kind."""
+    if request.param == "memory":
+        backend = _PersistentMemory()
+        yield backend, backend
+    elif request.param == "file":
+        yield (FileBackend(tmp_path / "shared"),
+               FileBackend(tmp_path / "shared"))
+    else:
+        with StoreServer(MemoryBackend()) as server:
+            yield (RemoteBackend(*server.address),
+                   RemoteBackend(*server.address))
+
+
+class TestInterleavedPublish:
+    """ISSUE 3 acceptance: write A reads the index, write B publishes,
+    write A publishes — both entries and both writers' access-order
+    updates survive, on every backend."""
+
+    def test_both_publishes_survive(self, shared_backend):
+        handle_a, handle_b = shared_backend
+        writer_b = ArtifactCache(BlobStore(handle_b))
+
+        def b_publishes():
+            writer_b.put("ir", "from-b", "payload-b")
+
+        writer_a = ArtifactCache(
+            BlobStore(InterposingBackend(handle_a, b_publishes)))
+        writer_a.put("ir", "from-a", "payload-a")  # race happens in here
+
+        fresh = ArtifactCache(BlobStore(handle_b))
+        assert fresh.get("ir", "from-a").payload == "payload-a"
+        assert fresh.get("ir", "from-b").payload == "payload-b"
+
+    def test_both_access_order_updates_survive(self, shared_backend):
+        handle_a, handle_b = shared_backend
+        seed = ArtifactCache(BlobStore(handle_b))
+        seed.put("ir", "k1", "v1")
+        seed.put("ir", "k2", "v2")
+        seed.flush_index()
+        baseline = {key: record.seq for key, record in seed.entries().items()}
+
+        writer_b = ArtifactCache(BlobStore(handle_b))
+
+        def b_bumps_k2():
+            assert writer_b.get("ir", "k2") is not None
+            writer_b.flush_index()
+
+        writer_a = ArtifactCache(
+            BlobStore(InterposingBackend(handle_a, b_bumps_k2)))
+        assert writer_a.get("ir", "k1") is not None
+        writer_a.flush_index()  # race happens in here
+
+        final = ArtifactCache(BlobStore(handle_b)).entries()
+        k1 = seed.cache_key("ir", "k1")
+        k2 = seed.cache_key("ir", "k2")
+        assert final[k1].seq > baseline[k1], "writer A's bump was lost"
+        assert final[k2].seq > baseline[k2], "writer B's bump was lost"
+
+    def test_interleaved_pins_both_survive(self, shared_backend):
+        handle_a, handle_b = shared_backend
+        store_b = BlobStore(handle_b)
+        digest_a = store_b.put("manifest-a")
+        digest_b = store_b.put("manifest-b")
+        writer_b = ArtifactCache(store_b)
+
+        fired = []
+
+        class PinInterposer(InterposingBackend):
+            def _maybe_fire(self, name):
+                from repro.store import PINS_REF
+                if name == PINS_REF and not fired:
+                    fired.append(True)
+                    writer_b.pin("image/b", digest_b)
+
+        writer_a = ArtifactCache(
+            BlobStore(PinInterposer(handle_a, lambda: None)))
+        writer_a.pin("image/a", digest_a)
+
+        pins = ArtifactCache(BlobStore(handle_b)).pins()
+        assert pins == {"image/a": digest_a, "image/b": digest_b}
 
 
 class TestCrashedWriterResidue:

@@ -1,5 +1,9 @@
 """Remote store: wire protocol, and two caches sharing one server."""
 
+import json
+import socket
+import threading
+
 import pytest
 
 from repro.containers.store import ArtifactCache, BlobStore
@@ -8,6 +12,7 @@ from repro.store import (
     FileBackend,
     MemoryBackend,
     RemoteBackend,
+    RemoteStoreError,
     StoreServer,
 )
 from repro.util.hashing import content_digest
@@ -67,6 +72,166 @@ class TestWireProtocol:
         digest = content_digest(blob)
         remote.put(digest, blob)
         assert remote.get(digest) == blob
+
+
+class TestCasRefWire:
+    """The cas_ref op: conflicts resolve server-side, atomically."""
+
+    def test_interleaved_cas_conflict(self, served_memory):
+        """Client 1 reads, client 2 swaps, client 1's stale swap loses."""
+        remote1, _ = served_memory
+        remote2 = RemoteBackend(remote1.host, remote1.port)
+        assert remote1.compare_and_set_ref("idx", None, b"base")
+        snapshot = remote1.get_ref("idx")
+        assert remote2.compare_and_set_ref("idx", snapshot, b"from-2")
+        assert not remote1.compare_and_set_ref("idx", snapshot, b"from-1")
+        assert remote1.get_ref("idx") == b"from-2"
+        # Re-read and retry — the CAS loop every caller runs.
+        assert remote1.compare_and_set_ref("idx", remote1.get_ref("idx"),
+                                           b"from-1")
+        assert remote2.get_ref("idx") == b"from-1"
+
+    def test_concurrent_clients_serialize(self, served_memory):
+        """N client threads CAS-increment one counter ref; every increment
+        must land — the server-side swap is atomic."""
+        remote, _ = served_memory
+        remote.set_ref("counter", b"0")
+        per_thread = 10
+
+        def bump():
+            client = RemoteBackend(remote.host, remote.port)
+            for _ in range(per_thread):
+                while True:
+                    raw = client.get_ref("counter")
+                    new = str(int(raw) + 1).encode()
+                    if client.compare_and_set_ref("counter", raw, new):
+                        break
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert remote.get_ref("counter") == str(4 * per_thread).encode()
+
+    def test_expected_absent_over_the_wire(self, served_memory):
+        remote, _ = served_memory
+        assert remote.compare_and_set_ref("r", None, b"v")
+        assert not remote.compare_and_set_ref("r", None, b"w")
+        assert remote.delete_ref("r")
+        assert remote.compare_and_set_ref("r", None, b"w")
+
+    def test_empty_expected_differs_from_absent(self, served_memory):
+        """b"" and None are different expectations on the wire."""
+        remote, _ = served_memory
+        assert not remote.compare_and_set_ref("r", b"", b"v")  # absent != ""
+        remote.set_ref("r", b"")
+        assert remote.compare_and_set_ref("r", b"", b"v")
+
+
+class TestServerErrorPaths:
+    """One request per connection: a bad request gets an error response and
+    the server keeps serving."""
+
+    def _raw_request(self, address, payload: bytes) -> bytes:
+        with socket.create_connection(address, timeout=5) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+
+    def test_unknown_command(self, served_memory):
+        remote, _ = served_memory
+        with pytest.raises(RemoteStoreError, match="unknown command"):
+            remote._round_trip({"cmd": "frobnicate"})
+
+    def test_malformed_header_gets_error_response(self, served_memory):
+        remote, _ = served_memory
+        resp = self._raw_request((remote.host, remote.port), b"not json\n")
+        header = json.loads(resp.split(b"\n", 1)[0])
+        assert header["ok"] is False
+
+    def test_short_body_gets_error_response(self, served_memory):
+        """A put that promises more bytes than it sends must not wedge or
+        poison the server."""
+        remote, local = served_memory
+        digest = content_digest(b"full payload")
+        req = json.dumps({"cmd": "put", "digest": digest, "size": 1000})
+        resp = self._raw_request((remote.host, remote.port),
+                                 req.encode() + b"\n" + b"only a little")
+        header = json.loads(resp.split(b"\n", 1)[0])
+        assert header["ok"] is False
+        assert len(local) == 0
+
+    def test_server_survives_bad_requests(self, served_memory):
+        remote, _ = served_memory
+        for garbage in (b"", b"\n", b"{}\n", b"[1,2,3]\n", b"not json\n"):
+            try:
+                self._raw_request((remote.host, remote.port), garbage)
+            except OSError:
+                pass
+        digest = content_digest(b"still alive")
+        remote.put(digest, b"still alive")  # server still serving
+        assert remote.get(digest) == b"still alive"
+
+
+class _FlakyServer:
+    """A server that sends a scripted (possibly truncated) response and
+    drops the connection — the 'server died mid-response' cases."""
+
+    def __init__(self, response: bytes):
+        self._response = response
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._sock.accept()
+        with conn:
+            conn.recv(65536)  # drain whatever the client sent
+            if self._response:
+                conn.sendall(self._response)
+
+    def close(self):
+        self._sock.close()
+
+
+class TestClientAgainstDyingServer:
+    def test_connection_closed_before_header(self):
+        server = _FlakyServer(b"")
+        try:
+            with pytest.raises(RemoteStoreError, match="connection closed"):
+                RemoteBackend(*server.address, timeout=5).get_ref("r")
+        finally:
+            server.close()
+
+    def test_server_drops_mid_body(self):
+        """Header promises 100 body bytes, the server dies after 10: the
+        client must fail loudly, not hand back truncated data."""
+        header = json.dumps({"ok": True, "size": 100}).encode() + b"\n"
+        server = _FlakyServer(header + b"0123456789")
+        try:
+            with pytest.raises(RemoteStoreError, match="short body"):
+                RemoteBackend(*server.address, timeout=5).get(
+                    "sha256:" + "0" * 64)
+        finally:
+            server.close()
+
+    def test_server_drops_mid_cas_response(self):
+        """A cas_ref whose response never arrives surfaces as an error —
+        the caller's retry loop re-reads rather than assuming success."""
+        server = _FlakyServer(b"")
+        try:
+            with pytest.raises(RemoteStoreError):
+                RemoteBackend(*server.address, timeout=5).compare_and_set_ref(
+                    "idx", None, b"data")
+        finally:
+            server.close()
 
 
 class TestSharedStore:

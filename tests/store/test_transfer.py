@@ -13,6 +13,64 @@ def warm_cache(backend) -> ArtifactCache:
 
 
 class TestExportImport:
+    def test_adversarial_ref_names_survive_archives(self, tmp_path):
+        """'a/b' and 'a%2fb' are distinct refs and must stay distinct
+        through an export/import round trip (same escaping as on disk)."""
+        src = MemoryBackend()
+        for name in ("a/b", "a%2fb", "%", ".odd"):
+            src.set_ref(name, name.encode())
+        archive = str(tmp_path / "refs.tar.gz")
+        export_store(src, archive)
+        dst = MemoryBackend()
+        import_store(dst, archive)
+        assert sorted(dst.refs()) == sorted(["a/b", "a%2fb", "%", ".odd"])
+        for name in ("a/b", "a%2fb", "%", ".odd"):
+            assert dst.get_ref(name) == name.encode()
+
+    def test_import_races_concurrent_publisher(self, tmp_path):
+        """An import landing while a builder publishes must keep both the
+        archive's entries and the builder's — the merge goes through CAS."""
+        from repro.store import INDEX_REF
+        src = FileBackend(tmp_path / "src")
+        warm_cache(src)
+        archive = str(tmp_path / "store.tar.gz")
+        export_store(src, archive)
+
+        dst = FileBackend(tmp_path / "dst")
+        builder = ArtifactCache(BlobStore(FileBackend(tmp_path / "dst")))
+
+        class RacingBackend:
+            """dst, but a builder publish lands between import's index
+            read and its write — the blind-set_ref lost-write window."""
+
+            persistent = True
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._fired = False
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __len__(self):
+                return len(self._inner)
+
+            def compare_and_set_ref(self, name, expected, data):
+                if name == INDEX_REF and not self._fired:
+                    self._fired = True
+                    builder.put("ir", "live-work", "fresh payload")
+                return self._inner.compare_and_set_ref(name, expected, data)
+
+            def set_ref(self, name, data):
+                if name == INDEX_REF and not self._fired:
+                    self._fired = True
+                    builder.put("ir", "live-work", "fresh payload")
+                self._inner.set_ref(name, data)
+
+        import_store(RacingBackend(dst), archive)
+        merged = ArtifactCache(BlobStore(FileBackend(tmp_path / "dst")))
+        assert merged.get("ir", "live-work").payload == "fresh payload"
+        assert merged.get("preprocess", "a").payload == "payload-a"
     def test_round_trip_preserves_blobs_refs_and_index(self, tmp_path):
         src = FileBackend(tmp_path / "src")
         warm_cache(src)
