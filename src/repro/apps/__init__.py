@@ -34,6 +34,30 @@ from repro.apps.lulesh import lulesh_configs, lulesh_model, lulesh_tree
 from repro.apps.qespresso import qespresso_model, qespresso_tree
 
 
+#: The one name -> model-factory registry (CLI, cluster workers, and
+#: library callers all resolve through it). Each factory takes an optional
+#: scale; apps without a scalable tree ignore it.
+APP_MODELS = {
+    "gromacs": lambda scale=None: gromacs_model(
+        scale=1.0 if scale is None else scale),
+    "lulesh": lambda scale=None: lulesh_model(),
+    "llama.cpp": lambda scale=None: llamacpp_model(),
+    "qespresso": lambda scale=None: qespresso_model(),
+}
+
+
+def app_model(name: str, scale: float | None = None):
+    """Instantiate an app model by name — deterministic per (name, scale),
+    which is what lets cluster workers rebuild byte-identical trees from a
+    spec instead of shipping them over the wire."""
+    try:
+        factory = APP_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; known: {sorted(APP_MODELS)}") from None
+    return factory(scale)
+
+
 def default_ir_sweep(app_name: str) -> tuple[list[dict[str, str]], dict[str, str]]:
     """The canonical IR-container sweep for an app: ``(configs, default)``.
 
@@ -47,6 +71,7 @@ def default_ir_sweep(app_name: str) -> tuple[list[dict[str, str]], dict[str, str
     return configs, configs[-1]
 
 __all__ = [
+    "APP_MODELS", "app_model",
     "AppModel", "Workload", "kernel_filler_source",
     "TABLE1", "TABLE2", "XAAS_LAYERS", "AppSpecializationProfile",
     "PortabilityLayer", "portability_continuum", "table1_rows", "table2_rows",

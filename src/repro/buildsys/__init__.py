@@ -16,6 +16,7 @@ from repro.buildsys.interpreter import (
     ConfigureError,
     OptionSpec,
     configure,
+    configure_cached,
     declared_options,
     is_truthy,
 )
@@ -24,6 +25,8 @@ from repro.buildsys.model import (
     CompileCommand,
     SourceTree,
     Target,
+    configuration_from_payload,
+    configuration_to_payload,
 )
 from repro.buildsys.parser import BuildScriptError, Command, parse_script
 
@@ -38,6 +41,9 @@ __all__ = [
     "CompileCommand",
     "SourceTree",
     "Target",
+    "configuration_from_payload",
+    "configuration_to_payload",
+    "configure_cached",
     "BuildScriptError",
     "Command",
     "parse_script",

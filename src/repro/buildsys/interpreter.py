@@ -19,7 +19,14 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.buildsys.model import BuildConfiguration, CompileCommand, SourceTree, Target
+from repro.buildsys.model import (
+    BuildConfiguration,
+    CompileCommand,
+    SourceTree,
+    Target,
+    configuration_from_payload,
+    configuration_to_payload,
+)
 from repro.buildsys.parser import BuildScriptError, Command, parse_script
 
 _FALSE_VALUES = {"off", "false", "no", "0", "", "notfound", "ignore", "n"}
@@ -604,6 +611,47 @@ def configure(tree: SourceTree, cache: dict[str, str] | None = None,
                           build_dir or f"/build/{name}")
     interp.run(parse_script(tree.read(script), script), script)
     return interp.emit_configuration(name)
+
+
+def configure_cached(tree: SourceTree, options: dict[str, str],
+                     env: BuildEnvironment | None = None,
+                     name: str = "default", build_dir: str | None = None,
+                     script: str = "CMakeLists.txt", cache=None,
+                     tree_digest: str | None = None
+                     ) -> tuple[BuildConfiguration, bool]:
+    """Cache-aware configure: ``(configuration, freshly configured)``.
+
+    The cache key covers the source tree, the option values, the package
+    environment, and the build-dir path (per-configuration include paths
+    make the path flag-visible). ``cache`` is an
+    :class:`~repro.containers.store.ArtifactCache` (duck-typed, like the
+    compiler's cached wrappers); entries are payload-only artifacts —
+    :func:`~repro.buildsys.model.configuration_from_payload` rebuilds the
+    targets and compile-commands database when the hit comes from a
+    persistent store another process warmed, so a warm rebuild never runs
+    the build-script interpreter at all.
+    """
+    if cache is None:
+        return configure(tree, options, env=env, name=name,
+                         build_dir=build_dir, script=script), True
+    env = env or BuildEnvironment()
+    parts = {
+        "tree": tree_digest or tree.fingerprint(),
+        "opts": dict(options),
+        "env": {"pkgs": dict(env.packages), "cc": env.compiler,
+                "ccv": env.compiler_version},
+        "name": name, "bd": build_dir, "script": script,
+    }
+    entry = cache.get("configure", parts)
+    if entry is not None:
+        cfg = entry.obj
+        if cfg is None:
+            cfg = configuration_from_payload(entry.payload)
+        return cfg, False
+    cfg = configure(tree, options, env=env, name=name,
+                    build_dir=build_dir, script=script)
+    cache.put("configure", parts, configuration_to_payload(cfg), obj=cfg)
+    return cfg, True
 
 
 def declared_options(tree: SourceTree, env: BuildEnvironment | None = None,

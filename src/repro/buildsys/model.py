@@ -9,9 +9,10 @@ configurations. We reproduce its essential structure — one entry per
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-from repro.util.hashing import stable_hash
+from repro.util.hashing import content_digest, stable_hash
 
 
 class SourceTreeError(KeyError):
@@ -36,6 +37,7 @@ class SourceTree:
 
     def write(self, path: str, content: str) -> None:
         self.files[path] = content
+        self.__dict__.pop("_fingerprint", None)
 
     def exists(self, path: str) -> bool:
         return path in self.files
@@ -49,6 +51,23 @@ class SourceTree:
 
     def copy(self) -> "SourceTree":
         return SourceTree(dict(self.files))
+
+    def fingerprint(self) -> str:
+        """Content digest over the whole tree — the coarse cache guard: any
+        source or header edit invalidates every derived artifact.
+
+        Cached until the next :meth:`write` — hashing a GROMACS-sized tree
+        is measurable, and every pipeline stage keys on it. Mutate files
+        through :meth:`write` (not ``tree.files[...]``) or the cache goes
+        stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = stable_hash(sorted(
+                (path, content_digest(text))
+                for path, text in self.files.items()))
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
 
 @dataclass
@@ -119,3 +138,64 @@ class BuildConfiguration:
     @property
     def translation_units(self) -> int:
         return len(self.compile_commands)
+
+
+CONFIGURATION_FORMAT = "xaas-build-configuration-v1"
+
+
+def configuration_to_payload(cfg: BuildConfiguration) -> str:
+    """Serialize a configuration to deterministic JSON text.
+
+    Together with :func:`configuration_from_payload` this makes
+    ``configure`` cache entries payload-only artifacts: any process holding
+    the blob can rebuild the targets, compile-commands database, and
+    generated headers without re-running the build-script interpreter.
+    """
+    return json.dumps({
+        "format": CONFIGURATION_FORMAT,
+        "name": cfg.name,
+        "options": cfg.options,
+        "targets": {name: {
+            "kind": t.kind, "sources": t.sources,
+            "compile_definitions": t.compile_definitions,
+            "compile_options": t.compile_options,
+            "include_dirs": t.include_dirs,
+            "link_libraries": t.link_libraries,
+        } for name, t in sorted(cfg.targets.items())},
+        "compile_commands": [
+            [c.target, c.source, list(c.flags), c.output, c.directory]
+            for c in cfg.compile_commands],
+        "generated_files": cfg.generated_files,
+        "build_dir": cfg.build_dir,
+        "link_flags": cfg.link_flags,
+        "dependencies": cfg.dependencies,
+        "messages": cfg.messages,
+    }, sort_keys=True)
+
+
+def configuration_from_payload(payload: str) -> BuildConfiguration:
+    """Inverse of :func:`configuration_to_payload`."""
+    blob = json.loads(payload)
+    if blob.get("format") != CONFIGURATION_FORMAT:
+        raise ValueError(f"not a serialized configuration: "
+                         f"{blob.get('format')!r}")
+    return BuildConfiguration(
+        name=blob["name"],
+        options=dict(blob["options"]),
+        targets={name: Target(name=name, kind=t["kind"],
+                              sources=list(t["sources"]),
+                              compile_definitions=list(t["compile_definitions"]),
+                              compile_options=list(t["compile_options"]),
+                              include_dirs=list(t["include_dirs"]),
+                              link_libraries=list(t["link_libraries"]))
+                 for name, t in blob["targets"].items()},
+        compile_commands=[CompileCommand(target, source, tuple(flags),
+                                         output, directory)
+                          for target, source, flags, output, directory
+                          in blob["compile_commands"]],
+        generated_files=dict(blob["generated_files"]),
+        build_dir=blob["build_dir"],
+        link_flags=list(blob["link_flags"]),
+        dependencies=list(blob["dependencies"]),
+        messages=list(blob["messages"]),
+    )

@@ -32,7 +32,7 @@ import argparse
 import json
 import sys
 
-from repro.apps import default_ir_sweep, gromacs_model, llamacpp_model, lulesh_model
+from repro.apps import app_model, default_ir_sweep
 from repro.containers import ArtifactCache, BlobStore
 from repro.store import FileBackend, export_store, import_store
 from repro.core import (
@@ -48,11 +48,16 @@ from repro.discovery import analyze_build_script, get_system
 from repro.discovery.system import SYSTEMS
 from repro.perf import build_app, run_workload
 
-APPS = {
-    "gromacs": lambda: gromacs_model(scale=0.02),
-    "lulesh": lulesh_model,
-    "llama.cpp": llamacpp_model,
-}
+#: One constant sizes gromacs on every CLI path — single-process and farm
+#: builds must use the same tree or deployments stop being byte-identical.
+GROMACS_CLI_SCALE = 0.02
+
+#: CLI-exposed apps, resolved through the shared repro.apps registry
+#: (qespresso stays library-only). The cluster paths pass the same scale
+#: through BuildSpec so workers rebuild the identical tree.
+CLI_APP_SCALE = {"gromacs": GROMACS_CLI_SCALE}
+APPS = {name: (lambda n=name: app_model(n, CLI_APP_SCALE.get(n)))
+        for name in ("gromacs", "lulesh", "llama.cpp")}
 
 
 def _app(name: str):
@@ -62,16 +67,42 @@ def _app(name: str):
         raise SystemExit(f"unknown app {name!r}; known: {sorted(APPS)}")
 
 
-def _open_store(args) -> tuple[BlobStore, ArtifactCache]:
+def _open_store(args, farm: bool = False) -> tuple[BlobStore, ArtifactCache]:
     """The build substrate: persistent when ``--store DIR`` is given.
 
     With a file-backed store, the ArtifactCache loads its access-ordered
     index from disk — a fresh process starts warm from whatever earlier
-    builds persisted.
+    builds persisted. ``farm=True`` batches index saves the way cluster
+    workers do (the cache is about to be shared with bulk publishers, and
+    per-put index rewrites are O(n^2) at scale); the cluster flushes at
+    every job boundary, so nothing is lost on a clean exit.
     """
+    from repro.containers.store import BULK_FLUSH_EVERY
     store_dir = getattr(args, "store", None)
     store = BlobStore(FileBackend(store_dir)) if store_dir else BlobStore()
-    return store, ArtifactCache(store)
+    flush_every = BULK_FLUSH_EVERY if farm else 1
+    return store, ArtifactCache(store, flush_every=flush_every)
+
+
+def _run_local_farm(args, system_names: list[str], scale: float | None,
+                    label: str, job_timeout: float = 300.0):
+    """Self-hosted farm run shared by ``deploy-batch --workers`` and
+    ``cluster build --workers``: open the store, spin up a LocalCluster,
+    build, pin the image. Returns the ClusterBuildReport."""
+    from repro.cluster import ClusterError, LocalCluster
+    from repro.core import IRDeploymentError
+    store, cache = _open_store(args, farm=True)
+    try:
+        with LocalCluster(workers=args.workers, store=store,
+                          cache=cache) as cluster:
+            report = cluster.build(args.app, system_names, scale=scale,
+                                   skip_incompatible=args.skip_incompatible,
+                                   job_timeout=job_timeout)
+    except (ClusterError, IRDeploymentError) as exc:
+        raise SystemExit(f"{label} failed: {exc}")
+    if args.store:
+        cache.pin(f"image/{args.app}", report.image_digest)
+    return report
 
 
 def _cache_delta(before: dict, after: dict) -> dict:
@@ -197,13 +228,9 @@ def cmd_deploy(args) -> int:
     return 0
 
 
-def cmd_deploy_batch(args) -> int:
-    """Build one IR container and deploy it to many systems in one batch."""
-    from repro.core import IRDeploymentError
-
-    app = _app(args.app)
+def _parse_systems(spec: str) -> list:
     systems = []
-    for name in args.systems.split(","):
+    for name in spec.split(","):
         name = name.strip()
         if not name:
             continue
@@ -213,6 +240,27 @@ def cmd_deploy_batch(args) -> int:
             raise SystemExit(exc.args[0])
     if not systems:
         raise SystemExit("--systems needs at least one system name")
+    return systems
+
+
+def cmd_deploy_batch(args) -> int:
+    """Build one IR container and deploy it to many systems in one batch."""
+    from repro.core import IRDeploymentError
+
+    app = _app(args.app)
+    systems = _parse_systems(args.systems)
+    if args.workers > 0:
+        # Route the batch through an in-process build farm: N worker
+        # threads pulling stage-level jobs from a LocalCluster
+        # coordinator, all publishing through this command's store.
+        report = _run_local_farm(args, [s.name for s in systems],
+                                 CLI_APP_SCALE.get(args.app),
+                                 "deploy-batch --workers")
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            return 0
+        _print_cluster_report(report, note=f"{args.workers} workers")
+        return 0
     configs, chosen = default_ir_sweep(args.app)
     store, cache = _open_store(args)
     result = build_ir_container(app, configs, store=store, cache=cache)
@@ -260,7 +308,7 @@ def _cache_for_store(args) -> ArtifactCache:
 
 
 def cmd_cache_stats(args) -> int:
-    """Report store size, index entries per namespace, and pins."""
+    """Report store size, per-namespace entry/byte breakdown, and pins."""
     stats = _cache_for_store(args).stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
@@ -268,7 +316,8 @@ def cmd_cache_stats(args) -> int:
     print(f"blobs: {stats['blobs']} ({stats['total_bytes']} bytes)")
     print(f"index entries: {stats['entries']}")
     for namespace, count in stats["entries_by_namespace"].items():
-        print(f"  {namespace:<12} {count}")
+        nbytes = stats["bytes_by_namespace"].get(namespace, 0)
+        print(f"  {namespace:<12} {count:>6} entries  {nbytes:>10} bytes")
     for name, digest in sorted(stats["pins"].items()):
         print(f"pin {name} -> {digest}")
     return 0
@@ -277,15 +326,29 @@ def cmd_cache_stats(args) -> int:
 def cmd_cache_gc(args) -> int:
     """LRU-evict until the store fits ``--max-bytes``; pins are sacred."""
     report = _cache_for_store(args).gc(args.max_bytes,
-                                       grace_seconds=args.grace_seconds)
+                                       grace_seconds=args.grace_seconds,
+                                       dry_run=args.dry_run)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0
-    print(f"store: {report.before_bytes} -> {report.after_bytes} bytes "
-          f"(budget {report.max_bytes}, freed {report.freed_bytes})")
-    print(f"evicted {report.evicted_entries} entries, "
-          f"deleted {report.deleted_blobs} blobs, "
-          f"{report.pinned_blobs} pinned blobs kept")
+    if report.dry_run:
+        print(f"dry run: store {report.before_bytes} bytes, budget "
+              f"{report.max_bytes}, plan frees {report.planned_freed_bytes} "
+              f"-> {report.projected_after_bytes} bytes")
+        print(f"would evict {report.evicted_entries} entries, "
+              f"delete {report.deleted_blobs} blobs "
+              f"({report.pinned_blobs} pinned blobs kept)")
+        for namespace, agg in sorted(report.by_namespace.items()):
+            print(f"  {namespace:<12} {agg['entries']:>5} entries  "
+                  f"{agg['blobs']:>5} blobs  {agg['bytes']:>10} bytes")
+        for ns, key in report.evicted:
+            print(f"  would evict [{ns}] {key}")
+    else:
+        print(f"store: {report.before_bytes} -> {report.after_bytes} bytes "
+              f"(budget {report.max_bytes}, freed {report.freed_bytes})")
+        print(f"evicted {report.evicted_entries} entries, "
+              f"deleted {report.deleted_blobs} blobs, "
+              f"{report.pinned_blobs} pinned blobs kept")
     if not report.within_budget:
         print("warning: pinned blobs alone exceed the budget")
     return 0
@@ -317,6 +380,104 @@ def cmd_cache_import(args) -> int:
     print(f"imported {summary['blobs_added']} blobs "
           f"({summary['blobs_skipped']} already present), "
           f"merged {summary['refs_merged']} refs from {summary['path']}")
+    return 0
+
+
+def _print_cluster_report(report, note: str = "",
+                          show_routing: bool = False) -> None:
+    """Human-readable ClusterBuildReport (shared by both farm commands)."""
+    print(f"plan: {report.plan_summary}")
+    if show_routing:
+        print(f"routing: warm {report.warm_groups or '[]'} ahead of "
+              f"cold {report.cold_groups or '[]'}")
+    for dep in report.deployments:
+        print(f"  {dep['system']:<12} isa={dep['simd']:<10} tag={dep['tag']}")
+    for name, reason in report.incompatible.items():
+        print(f"  {name:<12} SKIPPED: {reason}")
+    line = (f"lowerings: {report.lowerings_performed} performed, "
+            f"{report.lowerings_reused} reused, "
+            f"{report.duplicate_lowerings} duplicated")
+    print(line + (f" ({note})" if note else ""))
+
+
+def _parse_address(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--coordinator wants HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_cluster_serve(args) -> int:
+    """Run a build-farm coordinator until interrupted."""
+    from repro.cluster import Coordinator
+    coordinator = Coordinator(host=args.host, port=args.port,
+                              lease_seconds=args.lease_seconds)
+    host, port = coordinator.start()
+    print(f"cluster coordinator listening on {host}:{port}", flush=True)
+    try:
+        while True:
+            import time
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+    return 0
+
+
+def cmd_cluster_worker(args) -> int:
+    """Run one worker: pull jobs, publish artifacts through the store."""
+    from repro.cluster import ClusterWorker, CoordinatorClient
+    from repro.store import RemoteBackend
+    host, port = _parse_address(args.coordinator)
+    if args.store:
+        store = BlobStore(FileBackend(args.store))
+    elif args.store_server:
+        shost, sport = _parse_address(args.store_server)
+        store = BlobStore(RemoteBackend(shost, sport))
+    else:
+        raise SystemExit("cluster worker needs --store DIR or "
+                         "--store-server HOST:PORT (the shared data plane)")
+    worker = ClusterWorker(CoordinatorClient(host, port), store,
+                           worker_id=args.worker_id,
+                           max_workers=args.job_workers)
+    worker.run(max_idle_seconds=args.max_idle_seconds)
+    print(f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
+          f"{worker.jobs_failed} failed", flush=True)
+    return 0
+
+
+def cmd_cluster_build(args) -> int:
+    """Build + batch-deploy through a build farm (external or self-hosted)."""
+    from repro.core import IRDeploymentError
+    from repro.cluster import ClusterError, CoordinatorClient, cluster_build
+    systems = [s.name for s in _parse_systems(args.systems)]
+    if args.scale is None:  # parity with the other CLI commands' sizing
+        args.scale = CLI_APP_SCALE.get(args.app)
+    try:
+        if args.coordinator:
+            if not args.store:
+                raise SystemExit("cluster build against an external "
+                                 "coordinator needs --store DIR (the store "
+                                 "the workers share)")
+            store, cache = _open_store(args, farm=True)
+            host, port = _parse_address(args.coordinator)
+            report = cluster_build(
+                CoordinatorClient(host, port), args.app, systems, store,
+                cache=cache, scale=args.scale,
+                skip_incompatible=args.skip_incompatible,
+                job_timeout=args.job_timeout)
+            cache.pin(f"image/{args.app}", report.image_digest)
+        else:
+            report = _run_local_farm(args, systems, args.scale,
+                                     "cluster build",
+                                     job_timeout=args.job_timeout)
+    except (ClusterError, IRDeploymentError) as exc:
+        raise SystemExit(f"cluster build failed: {exc}")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    _print_cluster_report(report, show_routing=True)
     return 0
 
 
@@ -383,10 +544,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated system names (e.g. ault23,ault25)")
     p.add_argument("--skip-incompatible", action="store_true",
                    help="skip systems the IR container cannot run on")
+    p.add_argument("--workers", type=int, default=0,
+                   help="route the batch through N in-process cluster "
+                        "workers (0 = classic single-process path)")
     p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan + reuse statistics")
     p.set_defaults(func=cmd_deploy_batch)
+
+    p = sub.add_parser("cluster",
+                       help="build-farm: coordinator, workers, batch builds")
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = cluster_sub.add_parser("serve", help="run the job coordinator")
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=0,
+                   help="0 lets the OS pick; the address is printed")
+    c.add_argument("--lease-seconds", type=float, default=60.0,
+                   help="job lease; an expired lease re-queues the job "
+                        "with the dead worker excluded")
+    c.set_defaults(func=cmd_cluster_serve)
+
+    c = cluster_sub.add_parser("worker", help="run one build worker")
+    c.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    c.add_argument("--store", default="", help=store_help)
+    c.add_argument("--store-server", default="", metavar="HOST:PORT",
+                   help="shared store served by `repro.store` StoreServer "
+                        "(alternative to --store)")
+    c.add_argument("--worker-id", default="")
+    c.add_argument("--job-workers", type=int, default=1,
+                   help="thread-pool width inside one job (cluster "
+                        "parallelism comes from workers, so default 1)")
+    c.add_argument("--max-idle-seconds", type=float, default=None,
+                   help="exit after this long with no work (default: "
+                        "run until the coordinator goes away)")
+    c.set_defaults(func=cmd_cluster_worker)
+
+    c = cluster_sub.add_parser(
+        "build", help="build + deploy a batch through the farm")
+    c.add_argument("--app", required=True, choices=sorted(APPS))
+    c.add_argument("--systems", required=True,
+                   help="comma-separated system names (e.g. ault23,ault25)")
+    c.add_argument("--coordinator", default="", metavar="HOST:PORT",
+                   help="external coordinator with its own workers; "
+                        "omit to self-host --workers N in-process")
+    c.add_argument("--workers", type=int, default=2,
+                   help="self-hosted worker count (ignored with "
+                        "--coordinator)")
+    c.add_argument("--store", default="", help=store_help)
+    c.add_argument("--scale", type=float, default=None,
+                   help="app source-tree scale (gromacs defaults to 0.02)")
+    c.add_argument("--skip-incompatible", action="store_true")
+    c.add_argument("--job-timeout", type=float, default=300.0,
+                   help="per-wave stall timeout: raised only after this "
+                        "long with no job completing")
+    c.add_argument("--json", action="store_true",
+                   help="machine-readable plan, routing, and job results")
+    c.set_defaults(func=cmd_cluster_build)
 
     p = sub.add_parser("cache",
                        help="inspect and manage a persistent artifact store")
@@ -406,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--grace-seconds", type=float, default=0.0,
                    help="never delete blobs younger than this; use > 0 "
                         "when builders may be publishing concurrently")
+    c.add_argument("--dry-run", action="store_true",
+                   help="price the eviction plan (keys, bytes, "
+                        "per-namespace totals) without deleting anything")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cache_gc)
 

@@ -1,0 +1,478 @@
+"""Submitter side of the build farm: plan, probe the store, submit, wait.
+
+:func:`cluster_build` is the cluster analogue of
+:func:`repro.pipeline.batch.deploy_batch`: it decomposes one
+"build this app, deploy it to these systems" request into stage-level jobs
+(:mod:`repro.cluster.jobs`), submits them to a coordinator, and aggregates
+the results. Scheduling is **store-aware**: before planning the deployment
+phase, the client probes the shared store's ``lower`` index
+(:func:`repro.core.deployment.lowering_cache_keys`); ISA groups whose
+machine modules are already present get *no* lower job — their artifact
+key is declared done at submit, their systems' deploy jobs are ready
+immediately and run at the front, overlapping with the cold ISAs' compiles.
+
+:class:`LocalCluster` packages coordinator + N workers for tests, the
+``deploy-batch --workers N`` CLI path (worker threads sharing one
+in-process store), and the benchmarks (worker subprocesses sharing one
+file-backed store — real multi-core parallelism).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.jobs import (
+    BuildSpec,
+    ClusterError,
+    Job,
+    deploy_job,
+    ir_compile_job,
+    lower_job,
+    lower_key,
+    preprocess_job,
+)
+from repro.cluster.worker import ClusterWorker
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.store.wire import WireError, round_trip
+
+
+class CoordinatorClient:
+    """One round-trip per operation against a coordinator server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Lease length reported by the last successful fetch; workers
+        #: pace their renewal heartbeat from it.
+        self.lease_seconds: float | None = None
+
+    def _call(self, header: dict) -> dict:
+        try:
+            resp, _ = round_trip(self.host, self.port, header,
+                                 timeout=self.timeout)
+        except (WireError, OSError) as exc:
+            # OSError covers the pre-framing failures (connection refused,
+            # reset, timeout) — they must hit the same ClusterError paths
+            # (worker backoff, CLI error message) as a broken frame.
+            raise ClusterError(f"coordinator unreachable: {exc}") from exc
+        if not resp.get("ok"):
+            raise ClusterError(resp.get("error", "coordinator error"))
+        return resp
+
+    def ping(self) -> bool:
+        return self._call({"cmd": "ping"}).get("server") == \
+            "cluster-coordinator"
+
+    def submit(self, jobs: list[Job], done_keys: tuple[str, ...] = ()) -> int:
+        return int(self._call({
+            "cmd": "submit", "jobs": [job.to_json() for job in jobs],
+            "done_keys": list(done_keys)})["submitted"])
+
+    def fetch(self, worker_id: str) -> Job | None:
+        resp = self._call({"cmd": "fetch", "worker": worker_id})
+        if resp.get("idle"):
+            return None
+        if resp.get("lease_seconds") is not None:
+            self.lease_seconds = float(resp["lease_seconds"])
+        return Job.from_json(resp["job"])
+
+    def renew(self, job_id: str, worker_id: str) -> bool:
+        return bool(self._call({"cmd": "renew", "job_id": job_id,
+                                "worker": worker_id})["renewed"])
+
+    def complete(self, job_id: str, worker_id: str, result: dict) -> bool:
+        return bool(self._call({"cmd": "complete", "job_id": job_id,
+                                "worker": worker_id,
+                                "result": result})["applied"])
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> str:
+        return str(self._call({"cmd": "fail", "job_id": job_id,
+                               "worker": worker_id, "error": error})["state"])
+
+    def status(self, job_ids: list[str] | None = None) -> dict[str, dict]:
+        header: dict = {"cmd": "status"}
+        if job_ids is not None:
+            header["job_ids"] = list(job_ids)
+        return self._call(header)["jobs"]
+
+    def stats(self) -> dict:
+        return self._call({"cmd": "stats"})["stats"]
+
+    def goodbye(self, worker_id: str) -> int:
+        return int(self._call({"cmd": "goodbye",
+                               "worker": worker_id})["requeued"])
+
+    #: wait() polling backs off geometrically to this cap — a multi-minute
+    #: farm build should not cost 50 status round-trips a second.
+    MAX_WAIT_POLL_SECONDS = 0.5
+
+    def wait(self, job_ids: list[str], timeout: float = 300.0,
+             poll_seconds: float = 0.02) -> dict[str, dict]:
+        """Block until every job is done; raise on any terminal failure.
+
+        ``timeout`` is a *stall* timeout, not a wall-clock budget: the
+        deadline resets every time another job completes, so an
+        arbitrarily large healthy wave never trips it — only a wave in
+        which nothing finishes for ``timeout`` seconds does.
+        """
+        deadline = time.monotonic() + timeout
+        delay = poll_seconds
+        done_count = -1
+        while True:
+            jobs = self.status(job_ids)
+            failed = {job_id: rec for job_id, rec in jobs.items()
+                      if rec["state"] == "failed"}
+            if failed:
+                details = "; ".join(
+                    f"{job_id}: {rec['error']}" for job_id, rec
+                    in sorted(failed.items()))
+                raise ClusterError(f"{len(failed)} job(s) failed: {details}")
+            if all(rec["state"] == "done" for rec in jobs.values()):
+                return jobs
+            now_done = sum(rec["state"] == "done" for rec in jobs.values())
+            if now_done > done_count:
+                done_count = now_done
+                deadline = time.monotonic() + timeout
+            if time.monotonic() > deadline:
+                pending = sorted((job_id, rec) for job_id, rec in jobs.items()
+                                 if rec["state"] != "done")
+                details = "; ".join(
+                    f"{job_id} [{rec['state']}"
+                    + (f": {rec['error']}" if rec["error"] else "") + "]"
+                    for job_id, rec in pending[:5])
+                raise ClusterError(
+                    f"timed out waiting for {len(pending)} job(s): {details}")
+            time.sleep(delay)
+            delay = min(delay * 2, self.MAX_WAIT_POLL_SECONDS)
+
+
+# -- cluster build -------------------------------------------------------------
+
+
+@dataclass
+class ClusterBuildReport:
+    """Everything one ``cluster build`` produced, keys and counts only."""
+
+    app: str
+    plan_summary: str
+    image_digest: str
+    # One entry per deployed system, in the order the systems were requested.
+    deployments: list[dict] = field(default_factory=list)
+    # ISA groups as {"family", "simd", "systems"} dicts — the same shape
+    # `deploy-batch --json` prints, so the farm path stays drop-in.
+    plan_groups: list[dict] = field(default_factory=list)
+    incompatible: dict[str, str] = field(default_factory=dict)
+    warm_groups: list[str] = field(default_factory=list)
+    cold_groups: list[str] = field(default_factory=list)
+    lowerings_performed: int = 0
+    lowerings_reused: int = 0
+    # Store-stats ledger: new ``lower`` index entries this run. Equal to
+    # ``lowerings_performed`` exactly when no worker duplicated a lowering.
+    lower_entries_created: int = 0
+    build_stats: dict = field(default_factory=dict)
+    jobs: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def duplicate_lowerings(self) -> int:
+        return self.lowerings_performed - self.lower_entries_created
+
+    def to_json(self) -> dict:
+        return {
+            "app": self.app,
+            # Same "plan" object shape as `deploy-batch --json` — scripts
+            # reading plan.groups/plan.incompatible see one schema on the
+            # classic and farm paths alike.
+            "plan": {"summary": self.plan_summary,
+                     "groups": self.plan_groups,
+                     "incompatible": self.incompatible},
+            "image_digest": self.image_digest,
+            "deployments": self.deployments,
+            "incompatible": self.incompatible,
+            "warm_groups": self.warm_groups,
+            "cold_groups": self.cold_groups,
+            "lowerings_performed": self.lowerings_performed,
+            "lowerings_reused": self.lowerings_reused,
+            "lower_entries_created": self.lower_entries_created,
+            "duplicate_lowerings": self.duplicate_lowerings,
+            "build_stats": self.build_stats,
+            "jobs": self.jobs,
+        }
+
+
+def _lower_entry_count(cache: ArtifactCache) -> int:
+    return sum(1 for record in cache.entries().values()
+               if record.namespace == "lower")
+
+
+def cluster_build(client: CoordinatorClient, app_name: str,
+                  system_names: list[str], store: BlobStore,
+                  cache: ArtifactCache | None = None,
+                  configs: list[dict] | None = None,
+                  options: dict[str, str] | None = None,
+                  scale: float | None = None,
+                  simd_override: str | None = None,
+                  skip_incompatible: bool = False,
+                  counters_shared_with_workers: bool = False,
+                  job_timeout: float = 300.0) -> ClusterBuildReport:
+    """Build one IR container and deploy it to many systems via the farm.
+
+    The client performs no compilation itself: it submits the sharded
+    preprocess/ir-compile jobs, then *replays* the warm build from the
+    shared store (deserialization only) to obtain the manifests it needs
+    for deployment planning, probes the ``lower`` index for warm ISAs, and
+    submits the lower/deploy wave. All artifacts flow through ``store``.
+
+    ``counters_shared_with_workers`` declares that ``cache`` is the very
+    object the workers publish through (thread-mode
+    :class:`LocalCluster`); lowering totals then come from this cache's
+    own hit/miss counters instead of per-job sums, which overlapping jobs
+    on other threads would otherwise skew.
+    """
+    from repro.apps import default_ir_sweep
+    from repro.core import build_ir_container, lowering_cache_keys
+    from repro.discovery import get_system
+    from repro.pipeline.batch import plan_batch
+
+    if cache is None:
+        cache = ArtifactCache(store)
+    if not system_names:
+        raise ClusterError("cluster build needs at least one system")
+    if configs is None or options is None:
+        default_configs, default_options = default_ir_sweep(app_name)
+        configs = default_configs if configs is None else configs
+        options = default_options if options is None else options
+    build = BuildSpec(app=app_name, configs=tuple(configs), scale=scale)
+    app = build.resolve_app()
+    systems = [get_system(name) for name in system_names]
+
+    # Job ids AND artifact keys are namespaced per submission. Ids so that
+    # repeated builds against one long-lived coordinator never collide;
+    # keys because the coordinator's published-key set is *memory of this
+    # batch's sequencing*, not of store contents — the store is probed
+    # fresh each build (a key published last week says nothing once GC has
+    # evicted the artifacts behind it), so a stale unscoped key would let
+    # gated deploys run before their lower job.
+    batch_id = uuid.uuid4().hex[:8]
+
+    def _batched(jobs: list[Job]) -> list[Job]:
+        return [replace(job, job_id=f"{batch_id}/{job.job_id}",
+                        requires=tuple(f"{batch_id}/{key}"
+                                       for key in job.requires),
+                        produces=tuple(f"{batch_id}/{key}"
+                                       for key in job.produces))
+                for job in jobs]
+
+    # Phase 1+2: sharded configure/preprocess/ir-compile, one job pair per
+    # configuration. The shared store dedups cross-config work: the first
+    # worker to publish an artifact wins, everyone else hits.
+    stage_jobs = _batched([preprocess_job(build, cfg) for cfg in configs]
+                          + [ir_compile_job(build, cfg) for cfg in configs])
+    client.submit(stage_jobs)
+    job_results = client.wait([job.job_id for job in stage_jobs],
+                              timeout=job_timeout)
+
+    # Replay the warm build locally: every artifact now resolves from the
+    # store, so this is deserialization, not compilation. Sync the index
+    # with the shared ref first — the workers published through their own
+    # cache handles, and without the merge this client would miss every
+    # entry and silently redo the fan-out's work serially.
+    if cache.persistent:
+        cache.entries()
+    result = build_ir_container(app, [dict(c) for c in configs],
+                                store=store, cache=cache)
+    plan = plan_batch(result, app, options, systems,
+                      simd_override=simd_override,
+                      skip_incompatible=skip_incompatible)
+
+    # Phase 3: store-aware scheduling. Probe the lower index per ISA
+    # group; warm groups' deploy jobs are born ready (their lower key is
+    # declared done), cold groups get one lower job each and their deploys
+    # gate on it — cold compiles overlap with warm deploys.
+    index_keys = set(cache.entries())
+    warm_groups: list[str] = []
+    cold_groups: list[str] = []
+    done_keys: list[str] = []
+    lower_jobs: list[Job] = []
+    warm_deploys: list[Job] = []
+    cold_deploys: list[Job] = []
+    for group in plan.groups:
+        token = f"{group.family}/{group.simd_name}"
+        needed = lowering_cache_keys(result, options, group.simd_name, cache)
+        warm = needed <= index_keys
+        (warm_groups if warm else cold_groups).append(token)
+        if warm:
+            done_keys.append(f"{batch_id}/" + lower_key(
+                build, options, group.family, group.simd_name))
+        else:
+            lower_jobs.append(lower_job(build, options, group.family,
+                                        group.simd_name))
+        bucket = warm_deploys if warm else cold_deploys
+        for name in group.systems:
+            bucket.append(deploy_job(build, options, name, group.family,
+                                     group.simd_name,
+                                     simd_override=simd_override))
+
+    lower_entries_before = _lower_entry_count(cache)
+    counters_before = cache.snapshot().get("lower", (0, 0))
+    # Submission order is queue order: cold lowers first (the long poles
+    # start immediately), then the warm deploys they overlap with.
+    lower_jobs = _batched(lower_jobs)
+    warm_deploys = _batched(warm_deploys)
+    cold_deploys = _batched(cold_deploys)
+    deploy_wave = lower_jobs + warm_deploys + cold_deploys
+    client.submit(deploy_wave, done_keys=tuple(done_keys))
+    job_results.update(client.wait([job.job_id for job in deploy_wave],
+                                   timeout=job_timeout))
+
+    performed = sum(rec["result"].get("lowerings_performed", 0)
+                    for rec in job_results.values()
+                    if rec.get("result"))
+    reused = sum(rec["result"].get("lowerings_reused", 0)
+                 for rec in job_results.values() if rec.get("result"))
+    if counters_shared_with_workers:
+        counters_after = cache.snapshot().get("lower", (0, 0))
+        reused = counters_after[0] - counters_before[0]
+        performed = counters_after[1] - counters_before[1]
+
+    by_system = {}
+    for job in warm_deploys + cold_deploys:
+        rec = job_results[job.job_id]
+        if rec.get("result"):
+            by_system[rec["result"]["system"]] = rec["result"]
+    deployments = [by_system[name] for name in
+                   [s.name for s in systems] if name in by_system]
+
+    return ClusterBuildReport(
+        app=app_name,
+        plan_summary=plan.summary(),
+        image_digest=result.image.digest,
+        deployments=deployments,
+        plan_groups=[{"family": g.family, "simd": g.simd_name,
+                      "systems": list(g.systems)} for g in plan.groups],
+        incompatible=dict(plan.incompatible),
+        warm_groups=warm_groups,
+        cold_groups=cold_groups,
+        lowerings_performed=performed,
+        lowerings_reused=reused,
+        lower_entries_created=_lower_entry_count(cache) - lower_entries_before,
+        build_stats=result.stats.to_json(),
+        jobs={job_id: {"state": rec["state"], "worker": rec["worker"],
+                       "attempts": rec["attempts"], "result": rec["result"]}
+              for job_id, rec in job_results.items()},
+    )
+
+
+# -- local cluster -------------------------------------------------------------
+
+
+class LocalCluster:
+    """A coordinator plus N workers, self-hosted for one process's benefit.
+
+    ``mode="thread"`` spawns worker threads sharing one in-process
+    store/cache — the default for tests and ``deploy-batch --workers N``
+    (any :class:`BlobStore` works, including a plain memory-backed one).
+    ``mode="process"`` spawns ``repro.cli cluster worker`` subprocesses
+    that open their own handle on ``store_dir`` (a
+    :class:`~repro.store.backend.FileBackend` directory) — real multi-core
+    parallelism, used by the cluster benchmark and CI.
+    """
+
+    def __init__(self, workers: int = 2, mode: str = "thread",
+                 store: BlobStore | None = None,
+                 cache: ArtifactCache | None = None,
+                 store_dir: str = "",
+                 lease_seconds: float = 60.0,
+                 job_max_workers: int | None = 1):
+        if mode not in ("thread", "process"):
+            raise ClusterError(f"unknown LocalCluster mode {mode!r}")
+        if mode == "process" and not store_dir:
+            raise ClusterError("process-mode LocalCluster needs store_dir "
+                               "(workers open their own FileBackend)")
+        if store is None:
+            if store_dir:
+                from repro.store import FileBackend
+                store = BlobStore(FileBackend(store_dir))
+            else:
+                store = BlobStore()
+        self.mode = mode
+        self.n_workers = max(1, workers)
+        self.store = store
+        self.cache = cache if cache is not None else ArtifactCache(
+            store, flush_every=ClusterWorker.FLUSH_EVERY)
+        self.store_dir = store_dir
+        self.job_max_workers = job_max_workers
+        # The fleet size is fixed, so tell the scheduler: a job excluded
+        # by every worker is then terminal instead of timing out.
+        self.coordinator = Coordinator(lease_seconds=lease_seconds,
+                                       expected_workers=self.n_workers)
+        self.client: CoordinatorClient | None = None
+        self.workers: list[ClusterWorker] = []
+        self._threads: list[threading.Thread] = []
+        self._procs: list[subprocess.Popen] = []
+        self._stop = threading.Event()
+
+    def start(self) -> "LocalCluster":
+        host, port = self.coordinator.start()
+        self.client = CoordinatorClient(host, port)
+        if self.mode == "thread":
+            for i in range(self.n_workers):
+                worker = ClusterWorker(
+                    CoordinatorClient(host, port), self.store,
+                    cache=self.cache, worker_id=f"local-{i}",
+                    max_workers=self.job_max_workers)
+                self.workers.append(worker)
+                thread = threading.Thread(
+                    target=worker.run, kwargs={"stop": self._stop},
+                    name=f"cluster-{worker.worker_id}", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+        else:
+            env = dict(os.environ)
+            src_dir = os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))))
+            env["PYTHONPATH"] = src_dir + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+            for i in range(self.n_workers):
+                self._procs.append(subprocess.Popen(
+                    [sys.executable, "-m", "repro.cli", "cluster", "worker",
+                     "--coordinator", f"{host}:{port}",
+                     "--store", self.store_dir,
+                     "--worker-id", f"proc-{i}"],
+                    env=env, stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL))
+        return self
+
+    def build(self, app_name: str, system_names: list[str],
+              **kwargs) -> ClusterBuildReport:
+        assert self.client is not None, "LocalCluster not started"
+        kwargs.setdefault("counters_shared_with_workers",
+                          self.mode == "thread")
+        return cluster_build(self.client, app_name, system_names,
+                             self.store, cache=self.cache, **kwargs)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        for proc in self._procs:
+            proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+        self.coordinator.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,469 @@
+"""The build-farm coordinator: job queue, leases, and the wire server.
+
+The scheduler is a work-stealing queue over artifact-key dependencies:
+
+* A job is **blocked** until every key in ``requires`` has been published
+  (by a completed job, or up front via ``done_keys`` when the submitter's
+  store probe found the artifacts already present — that probe is what
+  makes scheduling store-aware).
+* Ready jobs land on a per-worker deque when their affinity token already
+  has an owner (the worker whose in-process cache holds the live objects),
+  otherwise on the shared deque. An idle worker drains its own deque
+  first, then the shared one, then **steals** from the back of the longest
+  other deque — affinity is a hint, saturation wins.
+* A fetched job is **leased**: if the worker neither completes nor fails
+  it before the lease expires (crash, hang, dropped connection), the next
+  request re-queues it with the dead worker excluded, so a poisoned
+  worker cannot re-claim the job it just lost.
+* Completions are **idempotent**: a lease-expired worker that comes back
+  and reports a result the coordinator already has is acknowledged and
+  ignored — artifact publishes went through the content-addressed store,
+  so the duplicate's work was a no-op by construction.
+
+The coordinator never touches artifact bytes. Workers publish through the
+shared store backend; the wire protocol (same line-framed JSON as
+:mod:`repro.store.remote`) carries job specs, artifact keys, and small
+JSON results only.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster.jobs import ClusterError, Job
+from repro.store.wire import read_message, write_message
+
+#: A worker that missed its lease by this much is presumed dead.
+DEFAULT_LEASE_SECONDS = 60.0
+#: A job is abandoned after failing on this many distinct attempts.
+DEFAULT_MAX_ATTEMPTS = 3
+
+BLOCKED, READY, RUNNING, DONE, FAILED = \
+    "blocked", "ready", "running", "done", "failed"
+
+
+@dataclass
+class JobRecord:
+    job: Job
+    state: str = BLOCKED
+    attempts: int = 0
+    excluded: set = field(default_factory=set)   # worker ids
+    worker: str = ""
+    lease_deadline: float = 0.0
+    result: dict | None = None
+    error: str = ""
+    finished_at: float = 0.0  # monotonic time of reaching DONE/FAILED
+
+    def to_json(self) -> dict:
+        return {"state": self.state, "attempts": self.attempts,
+                "worker": self.worker, "result": self.result,
+                "error": self.error,
+                "excluded": sorted(self.excluded)}
+
+
+@dataclass
+class _WorkerInfo:
+    last_seen: float = 0.0
+    queue: deque = field(default_factory=deque)  # job ids with affinity here
+
+
+class JobQueue:
+    """Thread-safe scheduler state; the server is a thin wire veneer over it.
+
+    Also usable directly in-process — :class:`LocalCluster` threads and the
+    scheduler unit tests drive it without a socket in between.
+    """
+
+    def __init__(self, lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 expected_workers: int | None = None):
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        #: Fixed fleet size, when known (LocalCluster): once this many
+        #: workers have registered, "excluded by every worker" is
+        #: terminal — nobody else is coming. None = open cluster; new
+        #: workers may join, so single-worker exclusion keeps waiting.
+        self.expected_workers = expected_workers
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._published: set[str] = set()
+        self._workers: dict[str, _WorkerInfo] = {}
+        self._shared: deque = deque()            # job ids without a bound owner
+        self._affinity_owner: dict[str, str] = {}
+
+    # -- submission ------------------------------------------------------------
+
+    #: A long-lived coordinator prunes finished records past this many
+    #: (down to half), so serving months of batches stays bounded. Far
+    #: above any one batch's job count. Never pruned: non-terminal
+    #: records, records whose batch (the ``<id>/`` job-id prefix) still
+    #: has non-terminal siblings, and records finished more recently than
+    #: the grace window — a submitter that just saw its last job finish
+    #: must still be able to poll the result.
+    PRUNE_THRESHOLD = 4096
+    PRUNE_GRACE_SECONDS = 600.0
+
+    def submit(self, jobs: list[Job], done_keys: tuple[str, ...] = ()) -> int:
+        """Register jobs; ``done_keys`` marks artifacts already in the store."""
+        with self._lock:
+            self._prune_finished_locked()
+            self._published.update(done_keys)
+            for job in jobs:
+                if job.job_id in self._records:
+                    raise ClusterError(f"duplicate job id {job.job_id!r}")
+                record = JobRecord(job=job)
+                self._records[job.job_id] = record
+                self._maybe_ready_locked(record)
+            return len(jobs)
+
+    @staticmethod
+    def _batch_of(job_id: str) -> str:
+        return job_id.split("/", 1)[0]
+
+    def _prune_finished_locked(self) -> None:
+        if len(self._records) <= self.PRUNE_THRESHOLD:
+            return
+        now = time.monotonic()
+        still_needed: set = set()
+        active_batches: set = set()
+        for job_id, record in self._records.items():
+            if record.state not in (DONE, FAILED):
+                still_needed.update(record.job.requires)
+                active_batches.add(self._batch_of(job_id))
+        for job_id in list(self._records):  # insertion order: oldest first
+            if len(self._records) <= self.PRUNE_THRESHOLD // 2:
+                break
+            record = self._records[job_id]
+            if record.state not in (DONE, FAILED):
+                continue
+            if self._batch_of(job_id) in active_batches:
+                continue  # a sibling is in flight; its submitter polls us
+            if now - record.finished_at < self.PRUNE_GRACE_SECONDS:
+                continue  # its submitter may not have seen the result yet
+            for key in record.job.produces:
+                if key not in still_needed:
+                    self._published.discard(key)
+            del self._records[job_id]
+        # Keys no surviving record references — e.g. warm-group done_keys
+        # from pruned batches, which no record ever *produced* — go too;
+        # keys are batch-scoped, so nothing future can want them back.
+        referenced: set = set()
+        for record in self._records.values():
+            referenced.update(record.job.requires)
+            referenced.update(record.job.produces)
+        self._published &= referenced
+
+    def _maybe_ready_locked(self, record: JobRecord) -> None:
+        if record.state != BLOCKED:
+            return
+        if all(key in self._published for key in record.job.requires):
+            record.state = READY
+            self._enqueue_locked(record)
+
+    def _enqueue_locked(self, record: JobRecord) -> None:
+        owner = self._affinity_owner.get(record.job.affinity, "")
+        if owner and owner in self._workers:
+            self._workers[owner].queue.append(record.job.job_id)
+        else:
+            self._shared.append(record.job.job_id)
+
+    # -- fetching (pull-based; any request doubles as a heartbeat) -------------
+
+    def fetch(self, worker_id: str, now: float | None = None) -> Job | None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            info = self._touch_locked(worker_id, now)
+            self._expire_leases_locked(now)
+            job_id = (self._pop_eligible_locked(info.queue, worker_id)
+                      or self._pop_eligible_locked(self._shared, worker_id)
+                      or self._steal_locked(worker_id))
+            if job_id is None:
+                return None
+            record = self._records[job_id]
+            record.state = RUNNING
+            record.worker = worker_id
+            record.lease_deadline = now + self.lease_seconds
+            affinity = record.job.affinity
+            if affinity and affinity not in self._affinity_owner:
+                self._affinity_owner[affinity] = worker_id
+            return record.job
+
+    def _touch_locked(self, worker_id: str, now: float) -> _WorkerInfo:
+        info = self._workers.setdefault(worker_id, _WorkerInfo())
+        info.last_seen = now
+        return info
+
+    def _pop_eligible_locked(self, queue: deque, worker_id: str) -> str | None:
+        """Pop the first job this worker may run; keep the rest in order."""
+        for _ in range(len(queue)):
+            job_id = queue.popleft()
+            record = self._records.get(job_id)
+            if record is None or record.state != READY:
+                continue  # completed or re-queued elsewhere; drop stale entry
+            if worker_id in record.excluded:
+                queue.append(job_id)  # someone else's; rotate it to the back
+                continue
+            return job_id
+        return None
+
+    def _steal_locked(self, worker_id: str) -> str | None:
+        victims = sorted(
+            ((len(info.queue), wid) for wid, info in self._workers.items()
+             if wid != worker_id and info.queue),
+            reverse=True)
+        for _count, victim in victims:
+            job_id = self._pop_eligible_locked(
+                self._workers[victim].queue, worker_id)
+            if job_id is not None:
+                return job_id
+        return None
+
+    # -- completion / failure --------------------------------------------------
+
+    def complete(self, job_id: str, worker_id: str, result: dict) -> bool:
+        """Record a result; returns False for a duplicate (already done).
+
+        A duplicate completion is *acknowledged*, not an error: the job was
+        re-queued past a dead lease, both executions published the same
+        content-addressed artifacts, and only the first result is kept.
+        """
+        with self._lock:
+            self._touch_locked(worker_id, time.monotonic())
+            record = self._require_locked(job_id)
+            if record.state in (DONE, FAILED):
+                # DONE: classic duplicate. FAILED: a zombie finishing a
+                # job the queue already gave up on — accepting it would
+                # resurrect a terminal failure the submitter has acted
+                # on (publishing keys, unblocking dependents) with no one
+                # left to collect the results.
+                return False
+            record.state = DONE
+            record.worker = worker_id
+            record.result = result
+            record.error = ""
+            record.finished_at = time.monotonic()
+            self._published.update(record.job.produces)
+            for other in self._records.values():
+                self._maybe_ready_locked(other)
+            return True
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> str:
+        """A worker reported failure; re-queue without it, or give up."""
+        with self._lock:
+            self._touch_locked(worker_id, time.monotonic())
+            record = self._require_locked(job_id)
+            if record.state != RUNNING or record.worker != worker_id:
+                return record.state  # stale report from a lost lease
+            state = self._requeue_locked(record, worker_id, error)
+            # An execution failure on every live worker is terminal even
+            # below max_attempts: a fully-excluded READY job would rotate
+            # in the queues unclaimable forever, hanging the submitter on
+            # a timeout instead of surfacing the real error. The whole
+            # fleet must be known-registered first: 2+ workers seen, or
+            # the full expected fleet of a fixed-size cluster (covers
+            # ``--workers 1``) — with fewer, peers may simply not have
+            # polled yet, and the job must wait for them.
+            fleet_known = len(self._workers) >= 2 or (
+                self.expected_workers is not None
+                and len(self._workers) >= self.expected_workers)
+            if state == READY and fleet_known and \
+                    all(w in record.excluded for w in self._workers):
+                record.state = FAILED
+                record.finished_at = time.monotonic()
+                state = FAILED
+            return state
+
+    def _requeue_locked(self, record: JobRecord, worker_id: str,
+                        error: str) -> str:
+        record.excluded.add(worker_id)
+        record.attempts += 1
+        record.error = error
+        record.worker = ""
+        if self._affinity_owner.get(record.job.affinity) == worker_id:
+            del self._affinity_owner[record.job.affinity]  # let another adopt
+        if record.attempts >= self.max_attempts:
+            record.state = FAILED
+            record.finished_at = time.monotonic()
+        else:
+            record.state = READY
+            self._enqueue_locked(record)
+        return record.state
+
+    def _expire_leases_locked(self, now: float) -> None:
+        for record in self._records.values():
+            if record.state == RUNNING and record.lease_deadline < now:
+                self._requeue_locked(record, record.worker,
+                                     f"lease expired on {record.worker!r}")
+
+    def renew(self, job_id: str, worker_id: str,
+              now: float | None = None) -> bool:
+        """Extend a running job's lease — the heartbeat for long jobs.
+
+        Only the current assignee can renew; a zombie whose lease already
+        expired (and whose job was re-queued or re-leased) gets False and
+        should stop working on it.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._touch_locked(worker_id, now)
+            record = self._require_locked(job_id)
+            if record.state != RUNNING or record.worker != worker_id:
+                return False
+            record.lease_deadline = now + self.lease_seconds
+            return True
+
+    def goodbye(self, worker_id: str) -> int:
+        """A worker is leaving: re-queue its running jobs immediately."""
+        with self._lock:
+            requeued = 0
+            for record in self._records.values():
+                if record.state == RUNNING and record.worker == worker_id:
+                    self._requeue_locked(record, worker_id,
+                                         f"worker {worker_id!r} disconnected")
+                    requeued += 1
+            info = self._workers.pop(worker_id, None)
+            if info is not None:
+                self._shared.extend(info.queue)
+            for affinity in [a for a, w in self._affinity_owner.items()
+                             if w == worker_id]:
+                del self._affinity_owner[affinity]
+            return requeued
+
+    # -- introspection ---------------------------------------------------------
+
+    def _require_locked(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise ClusterError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_ids: list[str] | None = None,
+               now: float | None = None) -> dict[str, dict]:
+        """Job states; doubles as the liveness tick — a polling submitter
+        expires dead workers' leases even when no worker is polling."""
+        with self._lock:
+            self._expire_leases_locked(time.monotonic() if now is None
+                                       else now)
+            ids = list(self._records) if job_ids is None else job_ids
+            return {job_id: self._require_locked(job_id).to_json()
+                    for job_id in ids}
+
+    def stats(self) -> dict:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            return {
+                "jobs": len(self._records),
+                "states": counts,
+                "workers": sorted(self._workers),
+                "published_keys": len(self._published),
+                "affinity_owners": dict(sorted(self._affinity_owner.items())),
+            }
+
+
+# -- wire server ---------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # one request per connection
+        queue: JobQueue = self.server.queue  # type: ignore[attr-defined]
+        try:
+            req = read_message(self.rfile)
+            cmd = req.get("cmd")
+            if cmd == "ping":
+                write_message(self.wfile, {"ok": True,
+                                           "server": "cluster-coordinator"})
+            elif cmd == "submit":
+                jobs = [Job.from_json(blob) for blob in req.get("jobs", ())]
+                n = queue.submit(jobs, tuple(req.get("done_keys", ())))
+                write_message(self.wfile, {"ok": True, "submitted": n})
+            elif cmd == "fetch":
+                job = queue.fetch(req["worker"])
+                if job is None:
+                    write_message(self.wfile, {"ok": True, "idle": True})
+                else:
+                    # lease_seconds rides along so the worker can pace its
+                    # renewal heartbeat without a config channel.
+                    write_message(self.wfile, {
+                        "ok": True, "job": job.to_json(),
+                        "lease_seconds": queue.lease_seconds})
+            elif cmd == "renew":
+                renewed = queue.renew(req["job_id"], req["worker"])
+                write_message(self.wfile, {"ok": True, "renewed": renewed})
+            elif cmd == "complete":
+                applied = queue.complete(req["job_id"], req["worker"],
+                                         req.get("result") or {})
+                write_message(self.wfile, {"ok": True, "applied": applied})
+            elif cmd == "fail":
+                state = queue.fail(req["job_id"], req["worker"],
+                                   req.get("error", ""))
+                write_message(self.wfile, {"ok": True, "state": state})
+            elif cmd == "status":
+                write_message(self.wfile, {
+                    "ok": True, "jobs": queue.status(req.get("job_ids"))})
+            elif cmd == "stats":
+                write_message(self.wfile, {"ok": True, "stats": queue.stats()})
+            elif cmd == "goodbye":
+                requeued = queue.goodbye(req["worker"])
+                write_message(self.wfile, {"ok": True, "requeued": requeued})
+            else:
+                write_message(self.wfile, {"ok": False,
+                                           "error": f"unknown command {cmd!r}"})
+        except Exception as exc:  # surface to the client, keep the server up
+            try:
+                write_message(self.wfile, {"ok": False, "error": str(exc)})
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
+
+class Coordinator:
+    """Serve a :class:`JobQueue` to workers and submitters over TCP.
+
+    Same lifecycle as :class:`repro.store.remote.StoreServer`: ``start()``
+    returns the bound address (port 0 lets the OS pick), ``stop()`` shuts
+    the serve loop down, and the instance doubles as a context manager.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 expected_workers: int | None = None):
+        self.queue = JobQueue(lease_seconds=lease_seconds,
+                              max_attempts=max_attempts,
+                              expected_workers=expected_workers)
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), _Handler, bind_and_activate=True)
+        self._server.daemon_threads = True
+        self._server.queue = self.queue  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="cluster-coordinator",
+                                        daemon=True)
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

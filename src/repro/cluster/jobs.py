@@ -1,0 +1,166 @@
+"""The build farm's job model: stage-level work items with artifact-key deps.
+
+One ``cluster build`` decomposes into four job kinds, mirroring the
+pipeline stages (:mod:`repro.pipeline.stages`) and the deployment step:
+
+* ``preprocess`` — configure one build configuration and preprocess its
+  translation units into the shared store (one job per configuration);
+* ``ir-compile`` — compile the surviving equivalence classes of one
+  configuration to IR (one job per configuration, after its preprocess);
+* ``lower`` — lower one configuration's IRs for one ISA group (one job per
+  *cold* ISA — warm ISAs are already in the store and get no job at all);
+* ``deploy`` — specialize one system from the shared store (one job per
+  system, gated on its ISA's ``lower`` artifact key).
+
+Jobs carry *artifact keys*, not payloads: a job's ``requires`` names the
+keys that must be published before it can run, and its ``produces`` names
+the keys its completion publishes. The actual artifacts — preprocessed
+text, IR modules, machine modules — move exclusively through the shared
+:mod:`repro.store` backend; the coordinator and workers exchange keys only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.stages import config_name
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level failure: bad job spec, failed job, protocol error."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of build work."""
+
+    job_id: str
+    kind: str                       # preprocess | ir-compile | lower | deploy
+    spec: dict                      # JSON-safe work description
+    requires: tuple[str, ...] = ()  # artifact keys gating readiness
+    produces: tuple[str, ...] = ()  # artifact keys published on completion
+    #: Scheduling hint: jobs sharing an affinity token prefer the worker
+    #: that first claimed the token (its in-process cache holds the live
+    #: objects), but any idle worker may steal them.
+    affinity: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "job_id": self.job_id, "kind": self.kind, "spec": self.spec,
+            "requires": list(self.requires), "produces": list(self.produces),
+            "affinity": self.affinity,
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "Job":
+        return cls(job_id=blob["job_id"], kind=blob["kind"],
+                   spec=dict(blob.get("spec", {})),
+                   requires=tuple(blob.get("requires", ())),
+                   produces=tuple(blob.get("produces", ())),
+                   affinity=blob.get("affinity", ""))
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """What every job needs to reconstruct the build: app + configurations.
+
+    App models are code, not data — the spec names one and the worker
+    rebuilds it deterministically, exactly like the lowering targets are
+    recovered by name from the target registry.
+    """
+
+    app: str
+    configs: tuple = ()
+    scale: float | None = None
+    arch_family: str = "x86_64"
+
+    def to_json(self) -> dict:
+        blob = {"app": self.app, "configs": [dict(c) for c in self.configs],
+                "arch_family": self.arch_family}
+        if self.scale is not None:
+            blob["scale"] = self.scale
+        return blob
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "BuildSpec":
+        return cls(app=blob["app"],
+                   configs=tuple(dict(c) for c in blob.get("configs", ())),
+                   scale=blob.get("scale"),
+                   arch_family=blob.get("arch_family", "x86_64"))
+
+    def resolve_app(self):
+        """Instantiate the named app model (deterministic per spec)."""
+        from repro.apps import app_model
+        try:
+            return app_model(self.app, self.scale)
+        except KeyError as exc:
+            raise ClusterError(exc.args[0]) from None
+
+
+# -- artifact keys -------------------------------------------------------------
+#
+# Symbolic names for "this stage's artifacts are in the store". The real
+# store entries are content-addressed cache keys; these coarser keys are
+# what the scheduler sequences on (one per stage x configuration x ISA).
+
+
+def preprocess_key(build: BuildSpec, options: dict[str, str]) -> str:
+    return f"pp:{build.app}:{config_name(options)}"
+
+
+def ir_key(build: BuildSpec, options: dict[str, str]) -> str:
+    return f"ir:{build.app}:{config_name(options)}"
+
+
+def lower_key(build: BuildSpec, options: dict[str, str],
+              family: str, simd_name: str) -> str:
+    return f"lower:{build.app}:{config_name(options)}:{family}/{simd_name}"
+
+
+def deploy_key(build: BuildSpec, options: dict[str, str], system: str) -> str:
+    return f"deploy:{build.app}:{config_name(options)}:{system}"
+
+
+# -- job constructors ----------------------------------------------------------
+
+
+def preprocess_job(build: BuildSpec, options: dict[str, str]) -> Job:
+    name = config_name(options)
+    return Job(job_id=f"pp/{build.app}/{name}", kind="preprocess",
+               spec={"build": build.to_json(), "config": dict(options)},
+               produces=(preprocess_key(build, options),),
+               affinity=f"cfg:{name}")
+
+def ir_compile_job(build: BuildSpec, options: dict[str, str]) -> Job:
+    name = config_name(options)
+    return Job(job_id=f"ir/{build.app}/{name}", kind="ir-compile",
+               spec={"build": build.to_json(), "config": dict(options)},
+               requires=(preprocess_key(build, options),),
+               produces=(ir_key(build, options),),
+               affinity=f"cfg:{name}")
+
+
+def lower_job(build: BuildSpec, options: dict[str, str],
+              family: str, simd_name: str) -> Job:
+    token = f"{family}/{simd_name}"
+    return Job(job_id=f"lower/{build.app}/{config_name(options)}/{token}",
+               kind="lower",
+               spec={"build": build.to_json(), "options": dict(options),
+                     "simd": simd_name, "family": family},
+               requires=tuple(ir_key(build, c) for c in build.configs),
+               produces=(lower_key(build, options, family, simd_name),),
+               affinity=f"isa:{token}")
+
+
+def deploy_job(build: BuildSpec, options: dict[str, str], system: str,
+               family: str, simd_name: str,
+               simd_override: str | None = None) -> Job:
+    spec = {"build": build.to_json(), "options": dict(options),
+            "system": system}
+    if simd_override:
+        spec["simd_override"] = simd_override
+    return Job(job_id=f"deploy/{build.app}/{config_name(options)}/{system}",
+               kind="deploy", spec=spec,
+               requires=(lower_key(build, options, family, simd_name),),
+               produces=(deploy_key(build, options, system),),
+               affinity=f"isa:{family}/{simd_name}")

@@ -1,0 +1,331 @@
+"""Cluster workers: pull jobs, run pipeline stages, publish via the store.
+
+A worker owns one connection target (the coordinator) and one shared-store
+handle (:class:`~repro.containers.store.BlobStore` over a file or remote
+backend — or an in-process store handed over by :class:`LocalCluster`).
+Every artifact a job produces goes through the worker's
+:class:`~repro.containers.store.ArtifactCache`; job *results* are small
+JSON summaries (counts, tags, digests) — the coordinator never sees
+payload bytes.
+
+Stage execution reuses the pipeline verbatim:
+
+* ``preprocess`` / ``ir-compile`` jobs run the actual
+  :mod:`repro.pipeline.stages` classes over one configuration, so a
+  sharded build produces byte-for-byte the same cache entries a monolithic
+  :func:`~repro.core.build_ir_container` would;
+* ``lower`` / ``deploy`` jobs rebuild the IR container *warm* (every
+  stage resolves from the store; a worker-local memo keeps one live
+  result per build spec) and then run
+  :func:`~repro.core.deployment.lower_configuration` or
+  :func:`~repro.core.deployment.deploy_ir_container`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.cluster.jobs import BuildSpec, ClusterError, Job
+from repro.containers.store import BULK_FLUSH_EVERY, ArtifactCache, BlobStore
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.stages import (
+    ConfigureStage,
+    IRCompileStage,
+    OpenMPStage,
+    PreprocessStage,
+    VectorizeStage,
+)
+from repro.pipeline.stats import PipelineStats
+
+#: Live IR-container results memoized per worker (keyed by build spec).
+#: Two is enough for one build plus a straggler from a previous one.
+RESULT_MEMO_SIZE = 2
+
+
+def _snapshot_delta(before: dict, after: dict, namespace: str) -> dict:
+    hits_before, misses_before = before.get(namespace, (0, 0))
+    hits, misses = after.get(namespace, (0, 0))
+    return {"hits": hits - hits_before, "misses": misses - misses_before}
+
+
+class ClusterWorker:
+    """Executes jobs against a shared store; one instance per process/thread.
+
+    ``store``/``cache`` may be shared with other in-process workers (the
+    :class:`ArtifactCache` is thread-safe); subprocess workers open their
+    own over the same persistent backend and converge through the store's
+    CAS index instead.
+    """
+
+    #: Index saves are batched this hard in worker-owned caches
+    #: (:data:`repro.containers.store.BULK_FLUSH_EVERY`): a
+    #: thousand-publish preprocess job costs O(n) index bytes instead of
+    #: O(n^2). Safe because :meth:`run_one` flushes before announcing
+    #: completion — no artifact key is published before its artifacts —
+    #: and the lease-renewal heartbeat flushes mid-job, bounding how long
+    #: a concurrent GC could see the job's blobs as unindexed orphans.
+    FLUSH_EVERY = BULK_FLUSH_EVERY
+
+    def __init__(self, client, store: BlobStore,
+                 cache: ArtifactCache | None = None,
+                 worker_id: str = "",
+                 max_workers: int | None = 1):
+        self.client = client
+        self.store = store
+        self.cache = cache if cache is not None \
+            else ArtifactCache(store, flush_every=self.FLUSH_EVERY)
+        self.worker_id = worker_id or f"worker-{id(self):x}"
+        #: Thread-pool width for per-TU loops *inside* a job. Defaults to 1:
+        #: cluster parallelism comes from many workers, not nested pools.
+        self.max_workers = max_workers
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._memo: OrderedDict[str, object] = OrderedDict()
+        self._apps: OrderedDict[str, object] = OrderedDict()
+        self._memo_lock = threading.Lock()
+
+    # -- loop ------------------------------------------------------------------
+
+    def run_one(self) -> bool:
+        """Fetch and execute one job; False when the queue had none."""
+        job = self.client.fetch(self.worker_id)
+        if job is None:
+            return False
+        stop_renewal = self._start_lease_renewal(job.job_id)
+        try:
+            result = self.execute(job)
+            if self.cache.persistent:
+                # Publish-before-announce: the completion report releases
+                # jobs that *require* this one's artifact keys, so every
+                # batched index entry must be on the shared store first.
+                self.cache.flush_index()
+        except Exception as exc:
+            self.jobs_failed += 1
+            stop_renewal()
+            self.client.fail(job.job_id, self.worker_id, str(exc))
+            return True
+        stop_renewal()
+        self.jobs_done += 1
+        self.client.complete(job.job_id, self.worker_id, result)
+        return True
+
+    def _start_lease_renewal(self, job_id: str):
+        """Heartbeat the lease while a long job executes.
+
+        Without this, any job outlasting the lease would be "expired" off
+        a perfectly healthy worker and re-run elsewhere. Renewal failing
+        (coordinator gone, or we *did* lose the lease to a real expiry)
+        just stops the heartbeat — completion reporting handles the rest
+        idempotently. Returns a stop function.
+        """
+        from repro.cluster.coordinator import DEFAULT_LEASE_SECONDS
+        lease = (getattr(self.client, "lease_seconds", None)
+                 or DEFAULT_LEASE_SECONDS)
+        interval = min(max(0.05, lease / 3.0), 15.0)
+        stop = threading.Event()
+
+        def _renew_loop() -> None:
+            while not stop.wait(interval):
+                try:
+                    if not self.client.renew(job_id, self.worker_id):
+                        return
+                except ClusterError:
+                    return
+                if self.cache.persistent:
+                    # Piggyback an index flush on the heartbeat: batched
+                    # entries become visible (and GC-protected) every
+                    # interval, not only at job completion.
+                    try:
+                        self.cache.flush_index()
+                    except Exception:  # pragma: no cover - store hiccup;
+                        pass           # completion's flush is the backstop
+
+        thread = threading.Thread(target=_renew_loop, daemon=True,
+                                  name=f"lease-{self.worker_id}")
+        thread.start()
+
+        def _stop() -> None:
+            stop.set()
+            thread.join(timeout=5)
+
+        return _stop
+
+    #: Idle polling backs off geometrically from ``poll_seconds`` up to
+    #: this cap, and snaps back on the first job — a long-lived service
+    #: worker costs ~1 connection/second at rest, not 50.
+    MAX_POLL_SECONDS = 1.0
+
+    def run(self, stop: threading.Event | None = None,
+            poll_seconds: float = 0.02,
+            max_idle_seconds: float | None = None) -> None:
+        """Pull until stopped (or idle past ``max_idle_seconds``).
+
+        The idle cutoff is how subprocess workers terminate in tests and
+        CI; a service deployment runs without one and lives until the
+        coordinator goes away.
+        """
+        idle_since: float | None = None
+        delay = poll_seconds
+        consecutive_errors = 0
+        while stop is None or not stop.is_set():
+            try:
+                busy = self.run_one()
+                consecutive_errors = 0
+            except ClusterError:
+                # Coordinator unreachable (restarting, or gone for good):
+                # back off briefly, give up after a few strikes so a
+                # subprocess worker terminates instead of spinning.
+                consecutive_errors += 1
+                if consecutive_errors >= 5:
+                    return
+                busy = False
+            if busy:
+                idle_since = None
+                delay = poll_seconds
+                continue
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if max_idle_seconds is not None \
+                    and now - idle_since >= max_idle_seconds:
+                break
+            if stop is not None and stop.wait(delay):
+                break
+            if stop is None:
+                time.sleep(delay)
+            delay = min(delay * 2, self.MAX_POLL_SECONDS)
+        try:
+            self.client.goodbye(self.worker_id)
+        except ClusterError:  # pragma: no cover - coordinator already gone
+            pass
+
+    # -- job execution ---------------------------------------------------------
+
+    def execute(self, job: Job) -> dict:
+        if self.cache.persistent:
+            # Sync the in-memory index with the shared ref: this job was
+            # scheduled because upstream jobs *announced* their artifact
+            # keys, and the whole point of the gate is that we resolve
+            # their entries as hits instead of redoing the work.
+            self.cache.entries()
+        if job.kind == "preprocess":
+            return self._run_preprocess(job.spec)
+        if job.kind == "ir-compile":
+            return self._run_ir_compile(job.spec)
+        if job.kind == "lower":
+            return self._run_lower(job.spec)
+        if job.kind == "deploy":
+            return self._run_deploy(job.spec)
+        raise ClusterError(f"unknown job kind {job.kind!r}")
+
+    def _resolve_app(self, build: BuildSpec):
+        """App models are deterministic per spec; build each once per worker
+        (a GROMACS-sized synthetic tree is expensive to regenerate per job).
+        """
+        from repro.util.hashing import stable_hash
+        key = stable_hash({"app": build.app, "scale": build.scale})
+        with self._memo_lock:
+            if key in self._apps:
+                self._apps.move_to_end(key)
+                return self._apps[key]
+        app = build.resolve_app()
+        with self._memo_lock:
+            self._apps[key] = app
+            while len(self._apps) > RESULT_MEMO_SIZE:
+                self._apps.popitem(last=False)
+        return app
+
+    def _stage_inputs(self, build: BuildSpec, configs: list[dict]) -> dict:
+        from repro.perf.model import default_build_environment
+        return {
+            "app": self._resolve_app(build), "configs": configs,
+            "env": default_build_environment(),
+            "arch_family": build.arch_family,
+            "stats": PipelineStats(configurations=len(configs)),
+            "cache": self.cache, "max_workers": self.max_workers,
+        }
+
+    def _run_stages(self, stages: list, inputs: dict) -> PipelineStats:
+        pipeline = Pipeline("cluster-job", inputs=tuple(inputs))
+        for stage in stages:
+            pipeline.register(stage)
+        pipeline.run(inputs)
+        return inputs["stats"]
+
+    def _run_preprocess(self, spec: dict) -> dict:
+        build = BuildSpec.from_json(spec["build"])
+        stats = self._run_stages(
+            [ConfigureStage(), PreprocessStage()],
+            self._stage_inputs(build, [dict(spec["config"])]))
+        return {"configure_ops": stats.configure_ops,
+                "preprocess_ops": stats.preprocess_ops,
+                "tus": stats.total_tus}
+
+    def _run_ir_compile(self, spec: dict) -> dict:
+        build = BuildSpec.from_json(spec["build"])
+        stats = self._run_stages(
+            [ConfigureStage(), PreprocessStage(), OpenMPStage(),
+             VectorizeStage(), IRCompileStage()],
+            self._stage_inputs(build, [dict(spec["config"])]))
+        return {"configure_ops": stats.configure_ops,
+                "preprocess_ops": stats.preprocess_ops,
+                "ir_compile_ops": stats.ir_compile_ops,
+                "final_irs": stats.final_irs}
+
+    def _build_result(self, build: BuildSpec):
+        """The warm full build every lower/deploy job starts from.
+
+        Every stage resolves through the shared store (configurations, the
+        preprocess jobs' text, the ir-compile jobs' modules), so this costs
+        deserialization, not compilation; the memo amortizes even that
+        across the jobs of one batch.
+        """
+        from repro.core import build_ir_container
+        from repro.util.hashing import stable_hash
+        key = stable_hash(build.to_json())
+        with self._memo_lock:
+            if key in self._memo:
+                self._memo.move_to_end(key)
+                return self._memo[key]
+        app = self._resolve_app(build)
+        result = build_ir_container(app, [dict(c) for c in build.configs],
+                                    store=self.store, cache=self.cache,
+                                    arch_family=build.arch_family,
+                                    max_workers=self.max_workers)
+        with self._memo_lock:
+            self._memo[key] = (app, result)
+            while len(self._memo) > RESULT_MEMO_SIZE:
+                self._memo.popitem(last=False)
+        return app, result
+
+    def _run_lower(self, spec: dict) -> dict:
+        from repro.core import lower_configuration
+        build = BuildSpec.from_json(spec["build"])
+        _app, result = self._build_result(build)
+        before = self.cache.snapshot()
+        count = lower_configuration(result, dict(spec["options"]),
+                                    spec["simd"], cache=self.cache)
+        delta = _snapshot_delta(before, self.cache.snapshot(), "lower")
+        return {"simd": spec["simd"], "family": spec.get("family", ""),
+                "lowerings": count,
+                "lowerings_performed": delta["misses"],
+                "lowerings_reused": delta["hits"]}
+
+    def _run_deploy(self, spec: dict) -> dict:
+        from repro.core import deploy_ir_container
+        from repro.discovery import get_system
+        build = BuildSpec.from_json(spec["build"])
+        app, result = self._build_result(build)
+        system = get_system(spec["system"])
+        before = self.cache.snapshot()
+        dep = deploy_ir_container(result, app, dict(spec["options"]), system,
+                                  self.store,
+                                  simd_override=spec.get("simd_override"),
+                                  cache=self.cache)
+        delta = _snapshot_delta(before, self.cache.snapshot(), "lower")
+        return {"system": system.name, "tag": dep.tag,
+                "simd": dep.simd_name, "lowered_count": dep.lowered_count,
+                "image_digest": dep.image.digest,
+                "lowerings_performed": delta["misses"],
+                "lowerings_reused": delta["hits"]}

@@ -34,9 +34,15 @@ from repro.store.backend import (
 from repro.util.hashing import content_digest, is_digest, stable_hash
 
 __all__ = [
-    "ArtifactCache", "BlobNotFound", "BlobStore", "CacheCounters", "CacheEntry",
-    "IndexEntry", "INDEX_REF", "PINS_REF",
+    "ArtifactCache", "BlobNotFound", "BlobStore", "BULK_FLUSH_EVERY",
+    "CacheCounters", "CacheEntry", "IndexEntry", "INDEX_REF", "PINS_REF",
 ]
+
+#: ``flush_every`` for bulk publishers (cluster workers, farm-backed CLI
+#: paths): thousand-entry jobs write O(n) index bytes instead of O(n^2).
+#: Callers batching this hard must flush before announcing their
+#: artifacts to anyone who will look for them.
+BULK_FLUSH_EVERY = 1024
 
 
 class BlobStore:
@@ -63,6 +69,17 @@ class BlobStore:
 
     def has(self, digest: str) -> bool:
         return self.backend.has(digest)
+
+    def blob_size(self, digest: str) -> int | None:
+        """Byte size of one blob without fetching it when the backend can
+        answer from metadata (stat / remote size op); None if absent."""
+        size_of = getattr(self.backend, "blob_size", None)
+        if size_of is not None:
+            return size_of(digest)
+        try:
+            return len(self.backend.get(digest))
+        except BlobNotFound:
+            return None
 
     def delete(self, digest: str) -> bool:
         """Remove one blob; True if it existed. (GC's primitive — callers
@@ -165,13 +182,21 @@ class ArtifactCache:
     #: backend is lying about CAS semantics, not that the store is busy.
     CAS_ATTEMPTS = 100
 
-    def __init__(self, store: BlobStore | None = None):
+    def __init__(self, store: BlobStore | None = None, flush_every: int = 1):
         self.store = store if store is not None else BlobStore()
         self._entries: dict[str, IndexEntry] = {}  # cache key -> index record
         self._objects: dict[str, Any] = {}         # cache key -> live object
         self._counters: dict[str, CacheCounters] = {}
         self._lock = threading.Lock()
         self._seq = 0
+        #: Publishes per index save. 1 (the default) persists on every
+        #: put — maximum durability and cross-process visibility. Bulk
+        #: publishers (cluster workers) raise it: each save CAS-rewrites
+        #: the whole index ref, so a thousand-entry preprocess job at
+        #: flush_every=1 is O(n^2) index bytes on disk. Batched writers
+        #: must :meth:`flush_index` before *announcing* their artifacts
+        #: (the cluster does, before reporting job completion).
+        self.flush_every = max(1, flush_every)
         self._dirty_keys: set[str] = set()  # locally modified since last save
         # Tombstone records for keys we evicted: digest+seq let a merge
         # tell "the stale entry we removed" from "a fresh republish".
@@ -180,6 +205,11 @@ class ArtifactCache:
         if self._persistent:
             with self._lock:
                 self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
+
+    @property
+    def persistent(self) -> bool:
+        """True when the backing store outlives this process (file/remote)."""
+        return self._persistent
 
     # -- index persistence -----------------------------------------------------
 
@@ -338,7 +368,8 @@ class ArtifactCache:
                 # Re-publishing without an object must not leave a stale
                 # live object paired with the new payload.
                 self._objects.pop(key, None)
-            self._save_index_locked()
+            if len(self._dirty_keys) >= self.flush_every:
+                self._save_index_locked()
         return CacheEntry(digest, payload, obj)
 
     def put_blob(self, payload: str) -> str:
@@ -436,7 +467,8 @@ class ArtifactCache:
                 self._save_index_locked()
             return record
 
-    def gc(self, max_bytes: int, grace_seconds: float = 0.0):
+    def gc(self, max_bytes: int, grace_seconds: float = 0.0,
+           dry_run: bool = False):
         """Bound the backing store to ``max_bytes`` by LRU eviction.
 
         Delegates to :func:`repro.store.gc.collect`; see there for the
@@ -444,25 +476,74 @@ class ArtifactCache:
         blobs are never deleted). Pass a positive ``grace_seconds`` when
         other writers may be publishing concurrently: blobs younger than
         the window are never swept, closing the put-blob-then-write-index
-        gap every publisher has.
+        gap every publisher has. ``dry_run=True`` prices the eviction plan
+        without deleting anything.
         """
         from repro.store.gc import collect
-        return collect(self, max_bytes, grace_seconds=grace_seconds)
+        return collect(self, max_bytes, grace_seconds=grace_seconds,
+                       dry_run=dry_run)
 
     def stats(self) -> dict:
-        """Machine-readable store/cache statistics (``cache stats --json``)."""
+        """Machine-readable store/cache statistics (``cache stats --json``).
+
+        ``bytes_by_namespace`` prices each namespace the way GC would free
+        it: every blob an entry's payload references (the payload blob
+        itself plus bulk blobs it names by digest, e.g. preprocessed text)
+        is attributed to the entry's namespace, counted once per
+        namespace. This is what makes warm/cold scheduling decisions — and
+        per-namespace GC budgets — inspectable.
+        """
+        from repro.store.gc import referenced_digests
         with self._lock:
             self._flush_dirty_locked()
             if self._persistent:
                 self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
             per_ns: dict[str, int] = {}
+            ns_digests: dict[str, set[str]] = {}
+            # Sizing is metadata-first: every blob is priced via
+            # blob_size (stat / remote size op). Content is fetched only
+            # for *small* payloads, to discover the bulk blobs they name
+            # by digest — the indirection pattern (tiny JSON pointing at
+            # big preprocessed text) never puts digests in large blobs,
+            # so the scan cutoff loses nothing while keeping `cache
+            # stats` from downloading a remote store wholesale.
+            scan_cutoff = 64 * 1024
+            payload_info: dict[str, tuple[int, set[str]]] = {}
+            size_cache: dict[str, int] = {}
             for record in self._entries.values():
                 per_ns[record.namespace] = per_ns.get(record.namespace, 0) + 1
+                seen = ns_digests.setdefault(record.namespace, set())
+                if record.digest in seen:
+                    continue
+                info = payload_info.get(record.digest)
+                if info is None:
+                    size = self.store.blob_size(record.digest)
+                    if size is None:
+                        continue
+                    refs: set[str] = set()
+                    if size <= scan_cutoff:
+                        try:
+                            refs = referenced_digests(
+                                self.store.get(record.digest))
+                        except BlobNotFound:
+                            continue
+                    info = (size, refs)
+                    payload_info[record.digest] = info
+                    size_cache[record.digest] = size
+                    for ref in refs:
+                        if ref not in size_cache:
+                            size_cache[ref] = self.store.blob_size(ref) or 0
+                seen.add(record.digest)
+                seen.update(info[1])
+            bytes_by_ns = {
+                ns: sum(size_cache.get(d, 0) for d in digests)
+                for ns, digests in ns_digests.items()}
             return {
                 "blobs": len(self.store),
                 "total_bytes": self.store.total_bytes,
                 "entries": len(self._entries),
                 "entries_by_namespace": dict(sorted(per_ns.items())),
+                "bytes_by_namespace": dict(sorted(bytes_by_ns.items())),
                 "pins": self._load_pins(),
                 "persistent": self._persistent,
             }

@@ -19,7 +19,11 @@ artifact cache, parallel map, batch deployment) lives in
 from repro.core.deployment import (
     DeployedIRApp,
     IRDeploymentError,
+    LoweringTask,
     deploy_ir_container,
+    lower_configuration,
+    lowering_cache_keys,
+    plan_lowerings,
     select_simd,
 )
 from repro.core.ir_container import (
@@ -54,7 +58,8 @@ from repro.core.specialization import (
 )
 
 __all__ = [
-    "DeployedIRApp", "IRDeploymentError", "deploy_ir_container", "select_simd",
+    "DeployedIRApp", "IRDeploymentError", "LoweringTask", "deploy_ir_container",
+    "lower_configuration", "lowering_cache_keys", "plan_lowerings", "select_simd",
     "IRContainerResult", "IRPipelineError", "PipelineStats",
     "TranslationUnit", "build_ir_container", "config_name",
     "BatchDeployment", "DeploymentPlan", "ISAGroup", "deploy_batch", "plan_batch",

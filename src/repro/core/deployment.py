@@ -72,6 +72,83 @@ def select_simd(options: dict[str, str], system: SystemSpec,
     return best_simd_target(system).name
 
 
+@dataclass(frozen=True)
+class LoweringTask:
+    """One deployment-time lowering: an IR, a target ISA, and flags.
+
+    The full flag list (``-msimd=<isa>`` + the manifest's surviving
+    lowering flags, ``-O3`` defaulted) determines the target machine and
+    optimization level, and therefore the ``lower`` cache key — the unit
+    the cluster scheduler dedups across workers.
+    """
+
+    target: str
+    source: str
+    ir_digest: str
+    flags: tuple[str, ...]
+
+    def cache_parts(self) -> dict:
+        """The exact ``lower``-namespace key parts
+        :func:`~repro.compiler.lowering.lower_module_cached` uses."""
+        opts = CompileOptions.from_flags(list(self.flags))
+        return {"ir": self.ir_digest, "target": opts.resolve_target().name,
+                "opt": opts.opt_level}
+
+
+def plan_lowerings(result: IRContainerResult, options: dict[str, str],
+                   simd_name: str) -> list[LoweringTask]:
+    """Every lowering a deployment of ``options`` onto ``simd_name`` runs.
+
+    This is the deployment's work list *before* any lowering happens —
+    what lets the batch scheduler probe the shared store for ISAs that are
+    already lowered and route their systems to the front.
+    """
+    name = config_name(options)
+    if name not in result.manifests:
+        raise IRDeploymentError(
+            f"configuration {options} was not baked into this IR container; "
+            f"available: {sorted(result.manifests)}")
+    tasks = []
+    for entry in result.manifests[name]:
+        flags = [f for f in entry["lowering_flags"] if not f.startswith("-msimd=")]
+        flags.append(f"-msimd={simd_name}")
+        if not any(f.startswith("-O") for f in flags):
+            flags.append("-O3")
+        tasks.append(LoweringTask(entry["target"], entry["source"],
+                                  entry["ir"], tuple(flags)))
+    return tasks
+
+
+def lowering_cache_keys(result: IRContainerResult, options: dict[str, str],
+                        simd_name: str, cache: ArtifactCache) -> set[str]:
+    """The ``lower`` cache keys a deployment will look up, for store probing."""
+    return {cache.cache_key("lower", task.cache_parts())
+            for task in plan_lowerings(result, options, simd_name)}
+
+
+def lower_configuration(result: IRContainerResult, options: dict[str, str],
+                        simd_name: str,
+                        cache: ArtifactCache | None = None) -> int:
+    """Lower one configuration for one ISA, publishing through ``cache``.
+
+    The cluster's ``lower`` jobs run exactly this: the machine modules land
+    in the shared store (payload-only artifacts), and every subsequent
+    deployment for the same ISA — on any worker — replays them. Returns the
+    number of lowerings processed (cache hits included).
+    """
+    count = 0
+    for task in plan_lowerings(result, options, simd_name):
+        module = result.ir_modules.get(task.ir_digest)
+        if module is None:
+            continue  # stats-only pipeline run
+        opts = CompileOptions.from_flags(list(task.flags))
+        lower_module_cached(module, opts.resolve_target(),
+                            opt_level=opts.opt_level,
+                            cache=cache, ir_digest=task.ir_digest)
+        count += 1
+    return count
+
+
 def check_ir_architecture(result: IRContainerResult, system: SystemSpec) -> str:
     """Architecture check: an x86 IR container cannot deploy on ARM (Sec. 5.1).
 
@@ -116,20 +193,16 @@ def deploy_ir_container(result: IRContainerResult, app: AppModel,
     lowered: dict[str, str] = {}
     machine_functions: dict[str, MachineFunction] = {}
     openmp = False
-    for entry in entries:
-        module = result.ir_modules.get(entry["ir"])
+    for task in plan_lowerings(result, options, simd_name):
+        module = result.ir_modules.get(task.ir_digest)
         if module is None:
             continue  # stats-only pipeline run
-        flags = [f for f in entry["lowering_flags"] if not f.startswith("-msimd=")]
-        flags.append(f"-msimd={simd_name}")
-        if not any(f.startswith("-O") for f in flags):
-            flags.append("-O3")
-        opts = CompileOptions.from_flags(flags)
+        opts = CompileOptions.from_flags(list(task.flags))
         openmp = openmp or "-fopenmp" in module.frontend_flags
         mmod = lower_module_cached(module, opts.resolve_target(),
                                    opt_level=opts.opt_level,
-                                   cache=cache, ir_digest=entry["ir"])
-        lowered[f"{entry['target']}/{entry['source']}"] = (
+                                   cache=cache, ir_digest=task.ir_digest)
+        lowered[f"{task.target}/{task.source}"] = (
             f"object code for {simd_name} ({len(mmod.functions)} functions)")
         for fn_name, mfn in mmod.functions.items():
             if fn_name in app.hot_functions:

@@ -10,7 +10,7 @@ layers, digests) stays byte-identical to a serial run.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -22,6 +22,8 @@ DEFAULT_MAX_WORKERS = 8
 
 
 def default_worker_count(n_items: int) -> int:
+    """Pool width for ``n_items`` tasks: always >= 1, never wider than the
+    item count, the machine, or :data:`DEFAULT_MAX_WORKERS`."""
     return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1, n_items))
 
 
@@ -29,9 +31,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
                  max_workers: int | None = None) -> list[R]:
     """Map ``fn`` over ``items`` concurrently; results in input order.
 
-    ``max_workers=1`` (or a single item) degrades to a plain serial loop,
-    which keeps tracebacks simple under test. The first exception raised by
-    any item propagates, as with a serial loop.
+    ``max_workers=1`` (or zero/one items) degrades to a plain serial loop,
+    which keeps tracebacks simple under test. Error semantics match the
+    serial loop's: the *first* exception (in item order) propagates
+    unchanged. On failure the pool is shut down cleanly — not-yet-started
+    items are cancelled, already-running ones are awaited — so no worker
+    thread outlives the call and no second exception is silently lost.
     """
     seq: Sequence[T] = list(items)
     workers = default_worker_count(len(seq)) if max_workers is None \
@@ -39,4 +44,16 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     if len(seq) <= 1 or workers == 1:
         return [fn(item) for item in seq]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, seq))
+        futures = [pool.submit(fn, item) for item in seq]
+        try:
+            wait(futures, return_when=FIRST_EXCEPTION)
+        finally:
+            # Reached on failure *or* on the wait itself being interrupted
+            # (KeyboardInterrupt): drop everything not yet running so the
+            # pool's __exit__ joins promptly instead of draining the queue.
+            for future in futures:
+                future.cancel()
+        for future in futures:
+            if not future.cancelled() and future.exception() is not None:
+                raise future.exception()  # first failure in item order
+        return [future.result() for future in futures]

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.buildsys import configure, make_include_resolver
+from repro.buildsys import configure_cached, make_include_resolver
 from repro.compiler import Compiler
 from repro.compiler.driver import classify_flags, compile_to_ir_cached
 from repro.compiler.parser import parse
@@ -71,8 +71,7 @@ def config_name(options: dict[str, str]) -> str:
 def tree_fingerprint(tree) -> str:
     """Content digest over a whole source tree — the cache's coarse guard:
     any source or header edit invalidates every derived artifact."""
-    return stable_hash(sorted(
-        (path, content_digest(text)) for path, text in tree.files.items()))
+    return tree.fingerprint()
 
 
 def ast_confirms_openmp(preprocessed: str) -> bool:
@@ -95,22 +94,32 @@ def _family_of(target_flags: tuple[str, ...], default: str) -> str:
 
 
 class ConfigureStage(Stage):
-    """Generate every configuration; share TUs with identical commands."""
+    """Generate every configuration; share TUs with identical commands.
+
+    Configurations resolve through the artifact cache
+    (:func:`~repro.buildsys.configure_cached`): on a warm store the
+    build-script interpreter never runs, which is what keeps the per-job
+    warm rebuilds of the cluster scheduler cheap.
+    """
 
     name = "configure"
-    consumes = ("app", "configs", "env", "stats")
+    consumes = ("app", "configs", "env", "stats", "cache")
     produces = ("configurations", "tus", "gen_digest", "tree_digest", "groups")
 
     def run(self, ctx) -> None:
         app = ctx.require("app")
         stats = ctx.require("stats")
         env = ctx.require("env")
+        cache = ctx.require("cache")
+        tree_digest = tree_fingerprint(app.tree)
         configurations = {}
         tus: list[TranslationUnit] = []
         for options in ctx.require("configs"):
             name = config_name(options)
-            cfg = configure(app.tree, options, env=env, name=name,
-                            build_dir="/xaas/build")
+            cfg, fresh = configure_cached(app.tree, options, env=env,
+                                          name=name, build_dir="/xaas/build",
+                                          cache=cache, tree_digest=tree_digest)
+            stats.configure_ops += 1 if fresh else 0
             configurations[name] = cfg
             for cmd in cfg.compile_commands:
                 tus.append(TranslationUnit(name, cmd.target, cmd.source, cmd.flags))
@@ -143,7 +152,7 @@ class ConfigureStage(Stage):
         ctx.publish("configurations", configurations)
         ctx.publish("tus", tus)
         ctx.publish("gen_digest", gen_digest)
-        ctx.publish("tree_digest", tree_fingerprint(app.tree))
+        ctx.publish("tree_digest", tree_digest)
         ctx.publish("groups", groups)
 
 

@@ -27,6 +27,7 @@ class PipelineStats:
     openmp_flag_dropped: int = 0
     vector_flag_dropped: int = 0
     # Operations actually executed this build (cache hits skip them).
+    configure_ops: int = 0
     preprocess_ops: int = 0
     ir_compile_ops: int = 0
     # Artifact-cache traffic this build, per namespace ("preprocess", "ir").
@@ -69,6 +70,7 @@ class PipelineStats:
             "incompatible_flag_fraction": self.incompatible_flag_fraction,
             "openmp_flag_dropped": self.openmp_flag_dropped,
             "vector_flag_dropped": self.vector_flag_dropped,
+            "configure_ops": self.configure_ops,
             "preprocess_ops": self.preprocess_ops,
             "ir_compile_ops": self.ir_compile_ops,
             "cache_hits": dict(self.cache_hits),

@@ -156,6 +156,12 @@ class MemoryBackend:
             return None
         return max(0.0, time.time() - created)
 
+    def blob_size(self, digest: str) -> int | None:
+        """Byte size without fetching content; None if absent. Size
+        accounting (GC pricing, `cache stats`) stays O(1) per blob."""
+        data = self._blobs.get(digest)
+        return None if data is None else len(data)
+
     def digests(self) -> list[str]:
         return list(self._blobs)
 
@@ -380,6 +386,13 @@ class FileBackend:
         except (BlobNotFound, FileNotFoundError):
             return None
         return max(0.0, time.time() - mtime)
+
+    def blob_size(self, digest: str) -> int | None:
+        """Byte size from a stat, no content read; None if absent."""
+        try:
+            return os.path.getsize(self._blob_path(digest))
+        except (BlobNotFound, FileNotFoundError):
+            return None
 
     def digests(self) -> list[str]:
         out = []

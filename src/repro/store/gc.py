@@ -40,7 +40,13 @@ _DIGEST_RE = re.compile(rb"sha256:[0-9a-f]{64}")
 
 @dataclass
 class GCReport:
-    """What one collection did, for auditing and the ``--json`` CLI."""
+    """What one collection did — or would do — for auditing and the CLI.
+
+    ``dry_run`` reports carry the same priced plan (per-blob deletions,
+    per-namespace totals) as a live run but mutate nothing:
+    ``after_bytes == before_bytes`` and ``projected_after_bytes`` shows
+    where applying the plan would land the store.
+    """
 
     max_bytes: int
     before_bytes: int
@@ -51,8 +57,23 @@ class GCReport:
     deleted_blobs: int = 0
     pinned_blobs: int = 0
     grace_seconds: float = 0.0
+    dry_run: bool = False
     # (namespace, key) of every evicted entry, LRU-first.
     evicted: list[tuple[str, str]] = field(default_factory=list)
+    # Every (planned) blob deletion: namespace attribution, digest, bytes.
+    # Orphan-phase deletions are attributed to the pseudo-namespace
+    # "(orphan)" — they belong to no live entry by definition.
+    deletions: list[dict] = field(default_factory=list)
+    # namespace -> {"entries": evicted entries, "blobs": n, "bytes": b}.
+    by_namespace: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def planned_freed_bytes(self) -> int:
+        return sum(d["bytes"] for d in self.deletions)
+
+    @property
+    def projected_after_bytes(self) -> int:
+        return self.before_bytes - self.planned_freed_bytes
 
     @property
     def freed_bytes(self) -> int:
@@ -60,7 +81,8 @@ class GCReport:
 
     @property
     def within_budget(self) -> bool:
-        return self.after_bytes <= self.max_bytes
+        after = self.projected_after_bytes if self.dry_run else self.after_bytes
+        return after <= self.max_bytes
 
     def to_json(self) -> dict:
         return {
@@ -68,14 +90,20 @@ class GCReport:
             "before_bytes": self.before_bytes,
             "after_bytes": self.after_bytes,
             "freed_bytes": self.freed_bytes,
+            "planned_freed_bytes": self.planned_freed_bytes,
+            "projected_after_bytes": self.projected_after_bytes,
             "before_blobs": self.before_blobs,
             "after_blobs": self.after_blobs,
             "evicted_entries": self.evicted_entries,
             "deleted_blobs": self.deleted_blobs,
             "pinned_blobs": self.pinned_blobs,
             "grace_seconds": self.grace_seconds,
+            "dry_run": self.dry_run,
             "within_budget": self.within_budget,
             "evicted": [{"namespace": ns, "key": key} for ns, key in self.evicted],
+            "deletions": list(self.deletions),
+            "by_namespace": {ns: dict(agg) for ns, agg
+                             in sorted(self.by_namespace.items())},
         }
 
 
@@ -107,7 +135,8 @@ def pin_closure(store, roots: set[str]) -> set[str]:
     return seen
 
 
-def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
+def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
+            dry_run: bool = False) -> GCReport:
     """Bound ``cache``'s backing store to ``max_bytes``; see module doc.
 
     ``cache`` is an :class:`~repro.containers.store.ArtifactCache` (duck-
@@ -121,6 +150,10 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
     when GC runs concurrently with live builders. Blobs whose age the
     backend cannot report are treated as young. 0 disables the window
     (safe when nothing else writes the store).
+
+    ``dry_run=True`` prices the eviction plan — which entries the LRU
+    sweep would evict, which blobs would be deleted, how many bytes each
+    namespace gives back — without deleting a blob or touching the index.
     """
     if max_bytes < 0:
         raise ValueError("max_bytes must be non-negative")
@@ -128,7 +161,7 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
     report = GCReport(max_bytes=max_bytes,
                       before_bytes=store.total_bytes, after_bytes=0,
                       before_blobs=len(store), after_blobs=0,
-                      grace_seconds=grace_seconds)
+                      grace_seconds=grace_seconds, dry_run=dry_run)
     age_of = getattr(store.backend, "blob_age_seconds", None)
 
     def _in_grace(digest: str) -> bool:
@@ -174,16 +207,36 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
         return fresh
 
     protected = _fresh_publish_closure()
+    simulated_deleted: set[str] = set()  # dry-run stand-in for store deletes
 
-    def _delete_if_unreferenced(digest: str) -> None:
+    def _note_deletion(namespace: str, digest: str, nbytes: int) -> None:
+        report.deleted_blobs += 1
+        report.deletions.append({"namespace": namespace, "digest": digest,
+                                 "bytes": nbytes})
+        agg = report.by_namespace.setdefault(
+            namespace, {"entries": 0, "blobs": 0, "bytes": 0})
+        agg["blobs"] += 1
+        agg["bytes"] += nbytes
+
+    def _delete_if_unreferenced(digest: str, namespace: str) -> None:
         if digest in pinned or digest in protected or _in_grace(digest):
             return
-        if refcount.get(digest, 0) == 0 and store.delete(digest):
-            report.deleted_blobs += 1
+        if refcount.get(digest, 0) != 0 or digest in simulated_deleted:
+            return
+        # Metadata-only: pricing a deletion must not transfer the bytes
+        # it is about to throw away (or spare, in a dry run).
+        nbytes = store.blob_size(digest)
+        if nbytes is None:
+            return  # another writer's GC got there first
+        if dry_run:
+            simulated_deleted.add(digest)
+            _note_deletion(namespace, digest, nbytes)
+        elif store.delete(digest):
+            _note_deletion(namespace, digest, nbytes)
 
     # Phase 1: orphans — blobs no pin and no entry can reach.
     for digest in store.backend.digests():
-        _delete_if_unreferenced(digest)
+        _delete_if_unreferenced(digest, "(orphan)")
 
     # Phase 2: LRU eviction until the store fits the budget. Once only
     # pinned bytes remain, evicting further entries cannot free anything —
@@ -198,15 +251,24 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
         for digest in store.backend.digests():
             if digest not in unfreeable and _in_grace(digest):
                 unfreeable.add(digest)
-    floor_bytes = sum(len(store.get(d)) for d in unfreeable if store.has(d))
+    floor_bytes = sum(store.blob_size(d) or 0 for d in unfreeable)
     by_age = sorted(entries.items(), key=lambda item: item[1].seq)
+
+    def _current_bytes() -> int:
+        if dry_run:
+            return report.before_bytes - report.planned_freed_bytes
+        return store.total_bytes
+
     for key, record in by_age:
-        if store.total_bytes <= max(max_bytes, floor_bytes):
+        if _current_bytes() <= max(max_bytes, floor_bytes):
             break
-        if cache.evict(key) is None:
+        if not dry_run and cache.evict(key) is None:
             continue  # raced with a concurrent eviction
         report.evicted_entries += 1
         report.evicted.append((record.namespace, key))
+        report.by_namespace.setdefault(
+            record.namespace,
+            {"entries": 0, "blobs": 0, "bytes": 0})["entries"] += 1
         # Drop refcounts first, then re-read the live index (evict just
         # rewrote it through the cache's CAS merge, so it includes any
         # concurrent publish) and protect digests it still reaches: a
@@ -214,9 +276,10 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0) -> GCReport:
         # its blob when the snapshot refcount hits zero.
         for digest in entry_refs[key]:
             refcount[digest] -= 1
-        protected |= _fresh_publish_closure()
+        if not dry_run:
+            protected |= _fresh_publish_closure()
         for digest in entry_refs[key]:
-            _delete_if_unreferenced(digest)
+            _delete_if_unreferenced(digest, record.namespace)
 
     report.after_bytes = store.total_bytes
     report.after_blobs = len(store)

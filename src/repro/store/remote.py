@@ -33,46 +33,24 @@ content-addressed blobs need no etags, no ranges, no auth dance.
 
 from __future__ import annotations
 
-import json
-import socket
 import socketserver
 import threading
 
 from repro.store.backend import Backend, BlobNotFound
+from repro.store.wire import (
+    MAX_HEADER_BYTES,
+    WireError,
+    read_exact as _read_exact,
+    read_message as _read_header,
+    round_trip,
+    write_message as _write_response,
+)
 
-MAX_HEADER_BYTES = 64 * 1024
+__all__ = ["MAX_HEADER_BYTES", "RemoteBackend", "RemoteStoreError", "StoreServer"]
 
 
-class RemoteStoreError(RuntimeError):
+class RemoteStoreError(WireError):
     pass
-
-
-def _read_header(rfile) -> dict:
-    line = rfile.readline(MAX_HEADER_BYTES + 1)
-    if not line:
-        raise RemoteStoreError("connection closed before header")
-    if len(line) > MAX_HEADER_BYTES:
-        raise RemoteStoreError("header too large")
-    return json.loads(line.decode("utf-8"))
-
-
-def _read_exact(rfile, size: int) -> bytes:
-    chunks: list[bytes] = []
-    remaining = size
-    while remaining:
-        chunk = rfile.read(remaining)
-        if not chunk:
-            raise RemoteStoreError(f"short body: expected {size} more bytes")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _write_response(wfile, header: dict, body: bytes = b"") -> None:
-    wfile.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
-    if body:
-        wfile.write(body)
-    wfile.flush()
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -100,6 +78,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 age_of = getattr(backend, "blob_age_seconds", None)
                 age = age_of(req["digest"]) if age_of is not None else None
                 _write_response(self.wfile, {"ok": True, "age": age})
+            elif cmd == "blob_size":
+                size_of = getattr(backend, "blob_size", None)
+                size = size_of(req["digest"]) if size_of is not None else None
+                _write_response(self.wfile, {"ok": True, "blob_size": size})
             elif cmd == "stat":
                 _write_response(self.wfile, {
                     "ok": True, "count": len(backend),
@@ -221,17 +203,13 @@ class RemoteBackend:
         self.timeout = timeout
 
     def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
-        with socket.create_connection((self.host, self.port),
-                                      timeout=self.timeout) as sock:
-            wfile = sock.makefile("wb")
-            rfile = sock.makefile("rb")
-            _write_response(wfile, header, body)
-            sock.shutdown(socket.SHUT_WR)
-            resp = _read_header(rfile)
-            payload = b""
-            size = resp.get("size", 0)
-            if size and size > 0:
-                payload = _read_exact(rfile, size)
+        try:
+            resp, payload = round_trip(self.host, self.port, header, body,
+                                       timeout=self.timeout)
+        except WireError as exc:
+            # Framing failures (truncated response, dropped connection)
+            # surface under this module's historical exception type.
+            raise RemoteStoreError(str(exc)) from exc
         if not resp.get("ok"):
             if resp.get("not_found"):
                 raise BlobNotFound(resp.get("error", ""))
@@ -263,6 +241,13 @@ class RemoteBackend:
         resp, _ = self._round_trip({"cmd": "blob_age", "digest": digest})
         age = resp.get("age")
         return None if age is None else float(age)
+
+    def blob_size(self, digest: str) -> int | None:
+        """Byte size without transferring the blob (size accounting stays
+        metadata-only over the wire)."""
+        resp, _ = self._round_trip({"cmd": "blob_size", "digest": digest})
+        size = resp.get("blob_size")
+        return None if size is None else int(size)
 
     def __len__(self) -> int:
         resp, _ = self._round_trip({"cmd": "stat"})

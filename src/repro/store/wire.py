@@ -1,0 +1,97 @@
+"""Line-framed JSON-over-socket plumbing shared by the store and cluster.
+
+Both the artifact-store server (:mod:`repro.store.remote`) and the
+build-farm coordinator (:mod:`repro.cluster`) speak the same trivially
+debuggable wire shape — one request per connection, a newline-terminated
+JSON header followed by an optional raw-bytes body whose length the header
+declares::
+
+    -> {"cmd": ...}\n<body bytes>
+    <- {"ok": true, ...}\n<body bytes>
+
+This module owns the framing only; each server defines its own command
+vocabulary on top. Keeping one request per connection means a misbehaving
+peer can never wedge a server and there is no session state to
+resynchronize after a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class WireError(RuntimeError):
+    """A malformed frame or a failed round-trip at the wire level."""
+
+
+def read_message(rfile) -> dict:
+    """Read one newline-terminated JSON header from a socket file."""
+    line = rfile.readline(MAX_HEADER_BYTES + 1)
+    if not line:
+        raise WireError("connection closed before header")
+    if len(line) > MAX_HEADER_BYTES:
+        raise WireError("header too large")
+    return json.loads(line.decode("utf-8"))
+
+
+def read_exact(rfile, size: int) -> bytes:
+    """Read exactly ``size`` body bytes; a short read is a protocol error."""
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise WireError(f"short body: expected {size} more bytes")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_message(wfile, header: dict, body: bytes = b"") -> None:
+    """Write one JSON header (and optional body) and flush."""
+    wfile.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+    if body:
+        wfile.write(body)
+    wfile.flush()
+
+
+def request(host: str, port: int, header: dict, body: bytes = b"",
+            timeout: float = 10.0) -> tuple[dict, "socket.socket | None", object]:
+    """Open a connection, send one framed request, read the response header.
+
+    Returns ``(response, sock, rfile)`` with the connection still open so
+    the caller can stream a declared body via :func:`read_exact`; the caller
+    owns closing ``sock``. Most callers want :func:`round_trip` instead.
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        wfile = sock.makefile("wb")
+        rfile = sock.makefile("rb")
+        write_message(wfile, header, body)
+        sock.shutdown(socket.SHUT_WR)
+        resp = read_message(rfile)
+        return resp, sock, rfile
+    except BaseException:
+        sock.close()
+        raise
+
+
+def round_trip(host: str, port: int, header: dict, body: bytes = b"",
+               timeout: float = 10.0) -> tuple[dict, bytes]:
+    """One complete request/response exchange, body included.
+
+    The response header's ``size`` field (when positive) declares a body;
+    it is read in full before the connection closes.
+    """
+    resp, sock, rfile = request(host, port, header, body, timeout=timeout)
+    try:
+        payload = b""
+        size = resp.get("size", 0)
+        if size and size > 0:
+            payload = read_exact(rfile, size)
+    finally:
+        sock.close()
+    return resp, payload

@@ -336,3 +336,88 @@ class TestMiscCommands:
             'project(x)\nmath(EXPR N "4 * 8")\nadd_library(c src/a.c)\n'
             'target_compile_definitions(c PRIVATE -DN=${N})\n'))
         assert "-DN=32" in cfg.compile_commands[0].flags
+
+
+class TestConfigureCached:
+    """configure_cached + BuildConfiguration serialization round-trip."""
+
+    SCRIPT = ("project(x)\noption(WITH_FAST \"fast\" OFF)\n"
+              "add_library(core src/a.c)\nadd_executable(app src/b.c)\n"
+              "target_compile_definitions(core PRIVATE BASE=1)\n"
+              "if(WITH_FAST)\ntarget_compile_options(core PRIVATE -O3)\n"
+              "endif()\n"
+              "configure_file(config.h.in config.h)\n"
+              "target_link_libraries(app core)\n")
+
+    def make(self):
+        return make_tree(self.SCRIPT,
+                         {"config.h.in": "#define FAST @WITH_FAST@\n"})
+
+    def test_payload_round_trip_is_lossless(self):
+        from repro.buildsys import (
+            configuration_from_payload,
+            configuration_to_payload,
+        )
+        cfg = configure(self.make(), {"WITH_FAST": "ON"}, name="fast")
+        clone = configuration_from_payload(configuration_to_payload(cfg))
+        assert clone == cfg
+
+    def test_payload_rejects_foreign_format(self):
+        from repro.buildsys import configuration_from_payload
+        with pytest.raises(ValueError, match="not a serialized configuration"):
+            configuration_from_payload('{"format": "something-else"}')
+
+    def test_cache_hit_skips_the_interpreter(self):
+        from repro.buildsys import configure_cached
+        from repro.containers.store import ArtifactCache
+        cache = ArtifactCache()
+        tree = self.make()
+        cfg1, fresh1 = configure_cached(tree, {"WITH_FAST": "ON"},
+                                        cache=cache)
+        cfg2, fresh2 = configure_cached(tree, {"WITH_FAST": "ON"},
+                                        cache=cache)
+        assert fresh1 and not fresh2
+        assert cfg2 == cfg1
+        counters = cache.counters("configure")
+        assert (counters.hits, counters.misses) == (1, 1)
+
+    def test_option_change_misses(self):
+        from repro.buildsys import configure_cached
+        from repro.containers.store import ArtifactCache
+        cache = ArtifactCache()
+        tree = self.make()
+        cfg_on, _ = configure_cached(tree, {"WITH_FAST": "ON"}, cache=cache)
+        cfg_off, fresh = configure_cached(tree, {"WITH_FAST": "OFF"},
+                                          cache=cache)
+        assert fresh
+        assert cfg_on != cfg_off
+
+    def test_tree_edit_misses(self):
+        from repro.buildsys import configure_cached
+        from repro.containers.store import ArtifactCache
+        cache = ArtifactCache()
+        tree = self.make()
+        configure_cached(tree, {}, cache=cache)
+        edited = tree.copy()
+        edited.write("src/a.c", "int a_changed;")
+        _, fresh = configure_cached(edited, {}, cache=cache)
+        assert fresh
+
+    def test_payload_only_hit_rebuilds_live_object(self):
+        """A cold process (fresh cache over a warmed store) never runs the
+        interpreter: the configuration deserializes from the payload."""
+        from repro.buildsys import configure_cached
+        from repro.containers.store import ArtifactCache, BlobStore
+        from repro.store import FileBackend
+        import tempfile
+        with tempfile.TemporaryDirectory() as root:
+            tree = self.make()
+            warm_cache = ArtifactCache(BlobStore(FileBackend(root)))
+            cfg, fresh = configure_cached(tree, {"WITH_FAST": "ON"},
+                                          cache=warm_cache)
+            assert fresh
+            cold_cache = ArtifactCache(BlobStore(FileBackend(root)))
+            clone, fresh2 = configure_cached(tree, {"WITH_FAST": "ON"},
+                                             cache=cold_cache)
+            assert not fresh2
+            assert clone == cfg

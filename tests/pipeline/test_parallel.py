@@ -1,0 +1,120 @@
+"""parallel_map edge cases: empty input, error propagation, pool bounds."""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.parallel import (
+    DEFAULT_MAX_WORKERS,
+    default_worker_count,
+    parallel_map,
+)
+
+
+class TestBasics:
+    def test_empty_items_returns_empty_list(self):
+        assert parallel_map(lambda x: x * 2, []) == []
+
+    def test_empty_items_never_calls_fn(self):
+        def explode(_):
+            raise AssertionError("must not be called")
+        assert parallel_map(explode, []) == []
+
+    def test_single_item_runs_serially(self):
+        thread_ids = []
+
+        def record(x):
+            thread_ids.append(threading.get_ident())
+            return x + 1
+
+        assert parallel_map(record, [41]) == [42]
+        assert thread_ids == [threading.get_ident()]
+
+    def test_preserves_input_order(self):
+        items = list(range(64))
+        assert parallel_map(lambda x: x * x, items, max_workers=8) == \
+            [x * x for x in items]
+
+    def test_accepts_any_iterable(self):
+        assert parallel_map(str, iter(range(3))) == ["0", "1", "2"]
+
+
+class TestWorkerCount:
+    def test_zero_items_still_one_worker(self):
+        assert default_worker_count(0) == 1
+
+    def test_never_exceeds_item_count(self):
+        assert default_worker_count(2) <= 2
+
+    def test_never_exceeds_default_cap(self):
+        assert default_worker_count(10_000) <= DEFAULT_MAX_WORKERS
+
+    def test_explicit_zero_workers_clamped_to_serial(self):
+        # max(1, ...) guards a bogus caller value; results stay correct.
+        assert parallel_map(lambda x: -x, [1, 2, 3], max_workers=0) == \
+            [-1, -2, -3]
+
+    def test_negative_workers_clamped_to_serial(self):
+        assert parallel_map(lambda x: -x, [1, 2], max_workers=-4) == [-1, -2]
+
+
+class TestErrorPropagation:
+    def test_serial_path_propagates_unchanged(self):
+        def boom(_):
+            raise KeyError("from-serial")
+        with pytest.raises(KeyError, match="from-serial"):
+            parallel_map(boom, [1], max_workers=1)
+
+    def test_first_error_in_item_order_wins(self):
+        def boom(x):
+            if x in (3, 7):
+                raise ValueError(f"bad {x}")
+            return x
+        with pytest.raises(ValueError, match="bad 3"):
+            parallel_map(boom, range(10), max_workers=2)
+
+    def test_exception_type_preserved_in_parallel_path(self):
+        class CustomError(RuntimeError):
+            pass
+
+        def boom(x):
+            if x == 0:
+                raise CustomError("custom")
+            return x
+        with pytest.raises(CustomError, match="custom"):
+            parallel_map(boom, range(8), max_workers=4)
+
+    def test_pool_shuts_down_cleanly_on_error(self):
+        """An early failure cancels queued items instead of draining them."""
+        started = []
+        lock = threading.Lock()
+
+        def boom(x):
+            with lock:
+                started.append(x)
+            if x == 0:
+                raise ValueError("early failure")
+            time.sleep(0.005)
+            return x
+
+        before = threading.active_count()
+        with pytest.raises(ValueError, match="early failure"):
+            parallel_map(boom, range(200), max_workers=4)
+        # The tail of the queue was cancelled, not executed ...
+        assert len(started) < 200
+        # ... and no worker thread outlives the call (give stragglers a
+        # beat: ThreadPoolExecutor__exit__ joins, but be generous).
+        deadline = time.monotonic() + 2.0
+        while threading.active_count() > before and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_failure_then_success_items_do_not_mask_error(self):
+        def boom(x):
+            if x == 5:
+                raise ZeroDivisionError("x is five")
+            return x
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(boom, range(6), max_workers=3)

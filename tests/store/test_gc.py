@@ -249,3 +249,78 @@ class TestGCOnFileBackend:
         blob = json.loads(json.dumps(cache.gc(150).to_json()))
         assert blob["within_budget"]
         assert blob["evicted_entries"] >= 1
+
+
+class TestDryRun:
+    """`cache gc --dry-run`: the priced plan, with nothing deleted."""
+
+    def test_dry_run_mutates_nothing(self):
+        cache = ArtifactCache()
+        keys = fill(cache, 10, size=100)
+        before_bytes = cache.store.total_bytes
+        report = cache.gc(450, dry_run=True)
+        assert report.dry_run
+        assert cache.store.total_bytes == before_bytes
+        assert len(cache.store) == 10
+        assert all(cache.entries().get(k) for k in keys)
+        # The report still *plans* the eviction a live run would perform.
+        assert report.evicted_entries > 0
+        assert report.planned_freed_bytes >= 550
+        assert report.projected_after_bytes <= 450
+        assert report.within_budget
+
+    def test_dry_run_prices_what_a_live_run_frees(self):
+        """Plan first, execute second: identical victims, identical bytes."""
+        def build():
+            cache = ArtifactCache()
+            fill(cache, 8, size=100)
+            cache.get("ns", {"i": 0})  # same recency shape both times
+            return cache
+
+        planned = build().gc(300, dry_run=True)
+        executed = build().gc(300)
+        assert planned.evicted == executed.evicted
+        assert planned.deleted_blobs == executed.deleted_blobs
+        assert planned.planned_freed_bytes == executed.freed_bytes
+        assert planned.projected_after_bytes == executed.after_bytes
+
+    def test_dry_run_reports_per_namespace_totals(self):
+        cache = ArtifactCache()
+        cache.put("preprocess", "a", "p" * 300)
+        cache.put("lower", "b", "l" * 200)
+        cache.store.put("orphan " * 20)
+        report = cache.gc(0, dry_run=True)
+        by_ns = report.by_namespace
+        assert by_ns["preprocess"]["entries"] == 1
+        assert by_ns["preprocess"]["bytes"] == 300
+        assert by_ns["lower"]["bytes"] == 200
+        assert by_ns["(orphan)"]["blobs"] == 1
+        # Every planned deletion is itemized with its byte cost.
+        assert sum(d["bytes"] for d in report.deletions) == \
+            report.planned_freed_bytes
+
+    def test_dry_run_respects_pins(self):
+        cache = ArtifactCache()
+        entry = cache.put("ns", "precious", "irreplaceable " * 30)
+        cache.pin("keep", entry.digest)
+        fill(cache, 3, size=100)
+        report = cache.gc(0, dry_run=True)
+        assert all(d["digest"] != entry.digest for d in report.deletions)
+        assert not report.within_budget  # pinned bytes alone bust the budget
+
+    def test_dry_run_on_file_backend(self, tmp_path):
+        cache = ArtifactCache(BlobStore(FileBackend(str(tmp_path / "s"))))
+        fill(cache, 5, size=100)
+        report = cache.gc(200, dry_run=True)
+        assert report.dry_run and report.evicted_entries > 0
+        # Nothing was deleted on disk; a fresh handle still sees it all.
+        fresh = ArtifactCache(BlobStore(FileBackend(str(tmp_path / "s"))))
+        assert len(fresh.entries()) == 5
+
+    def test_live_run_carries_the_same_plan_fields(self):
+        cache = ArtifactCache()
+        fill(cache, 6, size=100)
+        report = cache.gc(250)
+        assert not report.dry_run
+        assert report.planned_freed_bytes == report.freed_bytes
+        assert report.by_namespace["ns"]["entries"] == report.evicted_entries

@@ -192,3 +192,133 @@ class TestPersistentStoreCLI:
         _, out = run_cli(capsys, "ir-build", "--app", "lulesh",
                          "--store", dst, "--json")
         assert json.loads(out)["stats"]["preprocess_ops"] == 0
+
+
+class TestCacheInspectionCLI:
+    """The scheduler-facing cache introspection: stats bytes + gc --dry-run."""
+
+    def test_cache_stats_reports_bytes_per_namespace(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        stats = json.loads(out)
+        by_bytes = stats["bytes_by_namespace"]
+        assert set(stats["entries_by_namespace"]) <= set(by_bytes)
+        # Preprocess entries own their bulk text blobs: far heavier than
+        # the tiny configure payloads... and every namespace costs > 0.
+        assert all(v > 0 for v in by_bytes.values())
+        assert by_bytes["preprocess"] > 0 and by_bytes["ir"] > 0
+
+    def test_cache_stats_text_lists_namespace_bytes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "stats", "--store", store)
+        assert "entries" in out and "bytes" in out
+
+    def test_cache_gc_dry_run_deletes_nothing(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, before = run_cli(capsys, "cache", "stats", "--store", store,
+                            "--json")
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-bytes", "0", "--dry-run", "--json")
+        plan = json.loads(out)
+        assert plan["dry_run"]
+        assert plan["freed_bytes"] == 0
+        assert plan["planned_freed_bytes"] > 0
+        assert plan["evicted"] and plan["deletions"] and plan["by_namespace"]
+        _, after = run_cli(capsys, "cache", "stats", "--store", store,
+                           "--json")
+        assert json.loads(after)["total_bytes"] == \
+            json.loads(before)["total_bytes"]
+
+    def test_cache_gc_dry_run_text_output(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-bytes", "0", "--dry-run")
+        assert "dry run" in out and "would evict" in out
+
+
+class TestClusterCLI:
+    def test_deploy_batch_with_workers_matches_plain(self, capsys):
+        _, plain = run_cli(capsys, "deploy-batch", "--app", "lulesh",
+                           "--systems", "ault01-04,ault23,ault25", "--json")
+        _, farmed = run_cli(capsys, "deploy-batch", "--app", "lulesh",
+                            "--systems", "ault01-04,ault23,ault25",
+                            "--workers", "2", "--json")
+        plain_blob, farm_blob = json.loads(plain), json.loads(farmed)
+        plain_tags = {d["system"]: d["tag"] for d in plain_blob["deployments"]}
+        farm_tags = {d["system"]: d["tag"] for d in farm_blob["deployments"]}
+        assert farm_tags == plain_tags
+        assert farm_blob["duplicate_lowerings"] == 0
+        # Schema parity: scripts reading the classic deploy-batch shape
+        # (plan.groups / plan.incompatible, per-deployment keys) must work
+        # unchanged when --workers is added.
+        assert farm_blob["plan"]["groups"] == plain_blob["plan"]["groups"]
+        assert farm_blob["plan"]["incompatible"] == \
+            plain_blob["plan"]["incompatible"]
+        for dep in farm_blob["deployments"]:
+            assert {"system", "tag", "simd", "lowered_count"} <= set(dep)
+
+    def test_cluster_build_self_hosted(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, out = run_cli(capsys, "cluster", "build", "--app", "lulesh",
+                            "--systems", "ault23,ault25",
+                            "--workers", "2", "--store", store, "--json")
+        assert code == 0
+        blob = json.loads(out)
+        assert [d["system"] for d in blob["deployments"]] == \
+            ["ault23", "ault25"]
+        assert blob["duplicate_lowerings"] == 0
+        assert blob["cold_groups"] and not blob["warm_groups"]
+        # Second build against the same store: everything routes warm.
+        _, out = run_cli(capsys, "cluster", "build", "--app", "lulesh",
+                         "--systems", "ault23,ault25",
+                         "--workers", "2", "--store", store, "--json")
+        rerun = json.loads(out)
+        assert rerun["warm_groups"] and not rerun["cold_groups"]
+        assert rerun["lowerings_performed"] == 0
+        assert {d["tag"] for d in rerun["deployments"]} == \
+            {d["tag"] for d in blob["deployments"]}
+
+    def test_cluster_build_text_output_shows_routing(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code, out = run_cli(capsys, "cluster", "build", "--app", "lulesh",
+                            "--systems", "ault23,ault25",
+                            "--workers", "2", "--store", store)
+        assert code == 0
+        assert "routing:" in out and "lowerings:" in out
+
+    def test_cluster_build_against_external_coordinator(self, capsys,
+                                                        tmp_path):
+        """The serve/worker/build split, in-process: an external
+        coordinator with its own worker, driven through the CLI client."""
+        import threading
+        from repro.cluster import ClusterWorker, Coordinator, CoordinatorClient
+        from repro.containers import ArtifactCache, BlobStore
+        from repro.store import FileBackend
+        store_dir = str(tmp_path / "store")
+        store = BlobStore(FileBackend(store_dir))
+        with Coordinator() as coordinator:
+            host, port = coordinator.address
+            worker = ClusterWorker(CoordinatorClient(host, port), store,
+                                   worker_id="external")
+            stop = threading.Event()
+            thread = threading.Thread(target=worker.run,
+                                      kwargs={"stop": stop}, daemon=True)
+            thread.start()
+            try:
+                code, out = run_cli(
+                    capsys, "cluster", "build", "--app", "lulesh",
+                    "--systems", "ault23", "--store", store_dir,
+                    "--coordinator", f"{host}:{port}", "--json")
+            finally:
+                stop.set()
+                thread.join(timeout=10)
+        assert code == 0
+        blob = json.loads(out)
+        assert blob["deployments"][0]["system"] == "ault23"
+        assert blob["jobs"]  # ran on the external worker
+        assert all(rec["worker"] == "external"
+                   for rec in blob["jobs"].values())
