@@ -8,13 +8,39 @@ assertions check the *shape* — orderings, ratios, crossovers.
 ``XAAS_BENCH_SCALE`` (default 0.25) controls the GROMACS source-tree scale
 for the pipeline-statistics benchmarks; 1.0 reproduces the paper's absolute
 TU counts at ~10x the runtime.
+
+Benchmarks that track a perf trajectory across PRs record a JSON blob via
+the ``bench_json`` fixture; each recorded name is written to
+``benchmarks/BENCH_<name>.json`` at session end (CI archives them, local
+runs leave them for eyeballing).
 """
 
+import json
 import os
 
 import pytest
 
 BENCH_SCALE = float(os.environ.get("XAAS_BENCH_SCALE", "0.25"))
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_BENCH_JSON: dict[str, dict] = {}
+
+
+@pytest.fixture()
+def bench_json():
+    """``bench_json(name, payload)`` records one benchmark's machine-
+    readable results for the BENCH_<name>.json session artifact."""
+    def record(name: str, payload: dict) -> None:
+        _BENCH_JSON.setdefault(name, {}).update(payload)
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for name, payload in _BENCH_JSON.items():
+        path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 # Tables are both printed (visible with -s) and collected for the terminal
 # summary, so `pytest benchmarks/ --benchmark-only` always shows the

@@ -1,0 +1,218 @@
+"""Store hot-path I/O: pooled wire sessions and sharded index refs.
+
+The PR-5 acceptance benchmark. A farm-shaped publish/probe workload (N
+concurrent builders pushing artifacts into one shared StoreServer, then
+probing and pulling their peers' blobs) runs twice — through the
+historical one-connection-per-operation client and through the pooled
+session client — and must show >=5x fewer TCP connections and lower
+wall-clock with pooling. A second workload races two index writers in
+*different namespaces* on one FileBackend: the sharded index must finish
+with zero CAS retries where the monolithic layout shows contention.
+
+Results land in ``benchmarks/BENCH_store_io.json`` via the conftest hook
+so the perf trajectory is tracked from this PR on.
+"""
+
+import threading
+import time
+
+from repro.containers.store import ArtifactCache, BlobStore
+from repro.store import FileBackend, MemoryBackend, RemoteBackend, StoreServer
+from repro.util.hashing import content_digest
+
+from conftest import print_table
+
+CLIENTS = 4
+PUTS = 60          # artifacts published per client
+PROBES = 90        # existence probes per client (scheduler-style)
+GETS = 15          # peer-blob pulls per client
+
+
+def _farm_workload(host: str, port: int, pooled: bool) -> dict:
+    """CLIENTS concurrent builders publish/probe/pull against one server.
+
+    Returns per-run counters; the per-op shape is identical across modes
+    so the connection counts and wall-clocks are directly comparable.
+    """
+    barrier = threading.Barrier(CLIENTS)
+    errors: list[Exception] = []
+    ops = {"puts": 0, "probes": 0, "gets": 0}
+    ops_lock = threading.Lock()
+
+    def builder(idx: int) -> None:
+        backend = RemoteBackend(host, port, pooled=pooled)
+        try:
+            barrier.wait()
+            digests = []
+            for i in range(PUTS):
+                payload = f"client-{idx} artifact-{i} ".encode() * 8
+                digest = content_digest(payload)
+                backend.put(digest, payload)
+                digests.append(digest)
+            # Scheduler-style probing: one batched probe for the whole
+            # warm set, then per-key spot checks (both modes batch the
+            # same way — pooling is the only variable).
+            backend.has_many(digests)
+            for i in range(PROBES):
+                backend.has(digests[i % len(digests)])
+            for i in range(GETS):
+                backend.get(digests[i % len(digests)])
+            with ops_lock:
+                ops["puts"] += PUTS
+                ops["probes"] += PROBES + 1
+                ops["gets"] += GETS
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            backend.close()
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=builder, args=(i,))
+               for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - start
+    assert not errors, errors
+    return {"seconds": seconds, **ops}
+
+
+def test_pooled_sessions_beat_one_shot_connections(bench_json):
+    """>=5x fewer TCP connections and lower wall-clock, same workload."""
+    results = {}
+    for mode, pooled in (("one_shot", False), ("pooled", True)):
+        with StoreServer(MemoryBackend()) as server:
+            host, port = server.address
+            run = _farm_workload(host, port, pooled)
+            run["connections"] = server.connections_served
+            run["requests"] = server.requests_served
+            results[mode] = run
+
+    one_shot, pooled = results["one_shot"], results["pooled"]
+    # Identical logical work on both sides.
+    assert one_shot["requests"] == pooled["requests"]
+    connection_ratio = one_shot["connections"] / max(1, pooled["connections"])
+    speedup = one_shot["seconds"] / pooled["seconds"]
+
+    print_table(
+        "Store wire I/O: one-shot vs pooled sessions (farm workload, "
+        f"{CLIENTS} clients)",
+        ("mode", "connections", "requests", "seconds"),
+        [(mode, run["connections"], run["requests"],
+          f"{run['seconds']:.3f}") for mode, run in results.items()]
+        + [("ratio", f"{connection_ratio:.1f}x fewer", "-",
+            f"{speedup:.2f}x faster")])
+    bench_json("store_io", {"wire": {
+        "clients": CLIENTS,
+        "ops_per_client": PUTS + PROBES + 1 + GETS,
+        "one_shot": one_shot,
+        "pooled": pooled,
+        "connection_ratio": connection_ratio,
+        "speedup": speedup,
+    }})
+
+    # The acceptance bar: sessions must collapse connection churn and
+    # show up on the clock.
+    assert connection_ratio >= 5.0, results
+    assert pooled["seconds"] < one_shot["seconds"], results
+
+
+def test_batched_probe_is_one_round_trip(bench_json):
+    """The per-ISA lower-index probe pattern: N has() calls vs one
+    has_many() — the wire cost drops from N requests to 1."""
+    with StoreServer(MemoryBackend()) as server:
+        backend = RemoteBackend(*server.address)
+        digests = []
+        for i in range(64):
+            payload = f"probe-blob-{i}".encode()
+            digests.append(content_digest(payload))
+            backend.put(digests[-1], payload)
+        before = server.requests_served
+        for digest in digests:
+            backend.has(digest)
+        loop_requests = server.requests_served - before
+        before = server.requests_served
+        assert all(backend.has_many(digests).values())
+        batched_requests = server.requests_served - before
+        backend.close()
+
+    print_table("Index probe: has() loop vs has_many()",
+                ("strategy", "wire requests"),
+                [("per-key has()", loop_requests),
+                 ("has_many()", batched_requests)])
+    bench_json("store_io", {"batched_probe": {
+        "digests": len(digests),
+        "loop_requests": loop_requests,
+        "batched_requests": batched_requests,
+    }})
+    assert loop_requests == len(digests)
+    assert batched_requests == 1
+
+
+WRITERS = 2
+PUBLISHES = 80
+
+
+def _index_contention(root, sharded: bool) -> dict:
+    """WRITERS concurrent publishers, each in its own namespace, each
+    flushing the index on every put (flush_every=1) — the worst case for
+    index-ref contention."""
+    FileBackend(root)  # create the layout once
+    caches = [ArtifactCache(BlobStore(FileBackend(root)),
+                            sharded_index=sharded)
+              for _ in range(WRITERS)]
+    barrier = threading.Barrier(WRITERS)
+    errors: list[Exception] = []
+
+    def publisher(idx: int) -> None:
+        cache = caches[idx]
+        namespace = f"namespace-{idx}"
+        try:
+            barrier.wait()
+            for i in range(PUBLISHES):
+                cache.put(namespace, {"i": i}, f"payload-{idx}-{i}")
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=publisher, args=(i,))
+               for i in range(WRITERS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - start
+    assert not errors, errors
+
+    # Zero lost writes either way — the CAS merge guarantees it; the
+    # shards only change what the guarantee *costs*.
+    fresh = ArtifactCache(BlobStore(FileBackend(root)), sharded_index=sharded)
+    entries = fresh.entries()
+    assert len(entries) == WRITERS * PUBLISHES, len(entries)
+    return {"seconds": seconds,
+            "cas_retries": sum(c.cas_retries for c in caches)}
+
+
+def test_sharded_index_eliminates_cross_namespace_cas(tmp_path, bench_json):
+    """Cross-namespace publishing: zero CAS retries sharded, >0 on the
+    same workload with the monolithic ref."""
+    mono = _index_contention(tmp_path / "monolithic", sharded=False)
+    sharded = _index_contention(tmp_path / "sharded", sharded=True)
+
+    print_table(
+        "Index-ref contention: monolithic vs per-namespace shards "
+        f"({WRITERS} writers x {PUBLISHES} publishes, flush_every=1)",
+        ("layout", "CAS retries", "seconds"),
+        [("monolithic", mono["cas_retries"], f"{mono['seconds']:.3f}"),
+         ("sharded", sharded["cas_retries"], f"{sharded['seconds']:.3f}")])
+    bench_json("store_io", {"index_contention": {
+        "writers": WRITERS,
+        "publishes_per_writer": PUBLISHES,
+        "monolithic": mono,
+        "sharded": sharded,
+    }})
+
+    assert sharded["cas_retries"] == 0, sharded
+    assert mono["cas_retries"] > 0, \
+        "monolithic baseline showed no contention; workload too small"

@@ -68,18 +68,29 @@ def _app(name: str):
 
 
 def _open_store(args, farm: bool = False) -> tuple[BlobStore, ArtifactCache]:
-    """The build substrate: persistent when ``--store DIR`` is given.
+    """The build substrate: persistent when ``--store DIR`` (or
+    ``--store-server HOST:PORT``, where the command accepts it) is given.
 
     With a file-backed store, the ArtifactCache loads its access-ordered
     index from disk — a fresh process starts warm from whatever earlier
-    builds persisted. ``farm=True`` batches index saves the way cluster
-    workers do (the cache is about to be shared with bulk publishers, and
-    per-put index rewrites are O(n^2) at scale); the cluster flushes at
-    every job boundary, so nothing is lost on a clean exit.
+    builds persisted; a store server is reached through a pooled wire
+    client (one warm connection, not one per operation). ``farm=True``
+    batches index saves the way cluster workers do (the cache is about to
+    be shared with bulk publishers, and per-put index rewrites are O(n^2)
+    at scale); the cluster flushes at every job boundary, so nothing is
+    lost on a clean exit.
     """
     from repro.containers.store import BULK_FLUSH_EVERY
     store_dir = getattr(args, "store", None)
-    store = BlobStore(FileBackend(store_dir)) if store_dir else BlobStore()
+    store_server = getattr(args, "store_server", None)
+    if store_dir:
+        store = BlobStore(FileBackend(store_dir))
+    elif store_server:
+        from repro.store import RemoteBackend
+        host, port = _parse_address(store_server)
+        store = BlobStore(RemoteBackend(host, port))
+    else:
+        store = BlobStore()
     flush_every = BULK_FLUSH_EVERY if farm else 1
     return store, ArtifactCache(store, flush_every=flush_every)
 
@@ -100,7 +111,7 @@ def _run_local_farm(args, system_names: list[str], scale: float | None,
                                    job_timeout=job_timeout)
     except (ClusterError, IRDeploymentError) as exc:
         raise SystemExit(f"{label} failed: {exc}")
-    if args.store:
+    if getattr(args, "store", "") or getattr(args, "store_server", ""):
         cache.pin(f"image/{args.app}", report.image_digest)
     return report
 
@@ -354,6 +365,32 @@ def cmd_cache_gc(args) -> int:
     return 0
 
 
+def cmd_cache_serve(args) -> int:
+    """Serve a file-backed store to builders/workers over a socket.
+
+    The server answers whole *sessions* of requests per connection, so a
+    farm of pooled clients (``cluster worker --store-server``, ``cluster
+    build --store-server``) costs one TCP connection per worker, not one
+    per operation.
+    """
+    import time
+    from repro.store import StoreServer
+    if not args.store:
+        raise SystemExit("cache serve needs --store DIR")
+    server = StoreServer(FileBackend(args.store), host=args.host,
+                         port=args.port)
+    host, port = server.start()
+    print(f"store server listening on {host}:{port}", flush=True)
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_cache_export(args) -> int:
     """Pack the whole store (blobs + refs) into one archive."""
     backend = FileBackend(args.store) if args.store else None
@@ -456,10 +493,11 @@ def cmd_cluster_build(args) -> int:
         args.scale = CLI_APP_SCALE.get(args.app)
     try:
         if args.coordinator:
-            if not args.store:
+            if not args.store and not args.store_server:
                 raise SystemExit("cluster build against an external "
-                                 "coordinator needs --store DIR (the store "
-                                 "the workers share)")
+                                 "coordinator needs --store DIR or "
+                                 "--store-server HOST:PORT (the store the "
+                                 "workers share)")
             store, cache = _open_store(args, farm=True)
             host, port = _parse_address(args.coordinator)
             report = cluster_build(
@@ -592,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-hosted worker count (ignored with "
                         "--coordinator)")
     c.add_argument("--store", default="", help=store_help)
+    c.add_argument("--store-server", default="", metavar="HOST:PORT",
+                   help="shared store served by `cache serve` "
+                        "(alternative to --store)")
     c.add_argument("--scale", type=float, default=None,
                    help="app source-tree scale (gromacs defaults to 0.02)")
     c.add_argument("--skip-incompatible", action="store_true")
@@ -610,6 +651,14 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--store", required=True, help=store_help)
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cache_stats)
+
+    c = cache_sub.add_parser(
+        "serve", help="serve a store directory to other processes")
+    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--host", default="127.0.0.1")
+    c.add_argument("--port", type=int, default=0,
+                   help="0 lets the OS pick; the address is printed")
+    c.set_defaults(func=cmd_cache_serve)
 
     c = cache_sub.add_parser("gc",
                              help="LRU-evict entries until the store fits a "

@@ -296,17 +296,28 @@ def cluster_build(client: CoordinatorClient, app_name: str,
     # group; warm groups' deploy jobs are born ready (their lower key is
     # declared done), cold groups get one lower job each and their deploys
     # gate on it — cold compiles overlap with warm deploys.
-    index_keys = set(cache.entries())
+    index_entries = cache.entries()
+    index_keys = set(index_entries)
+    needed_by_group = [
+        (group, lowering_cache_keys(result, options, group.simd_name, cache))
+        for group in plan.groups]
+    # One batched existence probe covers every digest warm routing relies
+    # on (N per-key `has` round-trips become one `has_many`): an index
+    # entry whose blob a GC since removed must route its group cold, not
+    # fail mid-deploy.
+    present = store.has_many(sorted({
+        index_entries[key].digest for _, needed in needed_by_group
+        for key in needed if key in index_entries}))
     warm_groups: list[str] = []
     cold_groups: list[str] = []
     done_keys: list[str] = []
     lower_jobs: list[Job] = []
     warm_deploys: list[Job] = []
     cold_deploys: list[Job] = []
-    for group in plan.groups:
+    for group, needed in needed_by_group:
         token = f"{group.family}/{group.simd_name}"
-        needed = lowering_cache_keys(result, options, group.simd_name, cache)
-        warm = needed <= index_keys
+        warm = needed <= index_keys and all(
+            present.get(index_entries[key].digest, False) for key in needed)
         (warm_groups if warm else cold_groups).append(token)
         if warm:
             done_keys.append(f"{batch_id}/" + lower_key(

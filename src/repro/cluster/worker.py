@@ -199,6 +199,12 @@ class ClusterWorker:
             self.client.goodbye(self.worker_id)
         except ClusterError:  # pragma: no cover - coordinator already gone
             pass
+        # Release pooled wire sessions (RemoteBackend-backed stores keep a
+        # warm connection pool); shared backends just drop their idle
+        # sockets — the next user reconnects lazily.
+        close = getattr(self.store.backend, "close", None)
+        if close is not None:
+            close()
 
     # -- job execution ---------------------------------------------------------
 

@@ -25,17 +25,24 @@ from typing import Any
 
 from repro.store.backend import (
     INDEX_REF,
+    INDEX_REF_PREFIX,
     PINS_REF,
     Backend,
     BackendError,
     BlobNotFound,
     MemoryBackend,
+    backend_stat,
+    blob_size_many as _blob_size_many,
+    get_many as _get_many,
+    has_many as _has_many,
+    index_ref_name,
 )
 from repro.util.hashing import content_digest, is_digest, stable_hash
 
 __all__ = [
     "ArtifactCache", "BlobNotFound", "BlobStore", "BULK_FLUSH_EVERY",
-    "CacheCounters", "CacheEntry", "IndexEntry", "INDEX_REF", "PINS_REF",
+    "CacheCounters", "CacheEntry", "IndexEntry", "INDEX_REF",
+    "INDEX_REF_PREFIX", "PINS_REF",
 ]
 
 #: ``flush_every`` for bulk publishers (cluster workers, farm-backed CLI
@@ -80,6 +87,24 @@ class BlobStore:
             return len(self.backend.get(digest))
         except BlobNotFound:
             return None
+
+    # -- batched operations (one round-trip on a remote backend) ---------------
+
+    def get_many(self, digests) -> dict[str, bytes]:
+        """Fetch many blobs at once; missing digests are omitted."""
+        return _get_many(self.backend, digests)
+
+    def has_many(self, digests) -> dict[str, bool]:
+        """Existence-probe many digests at once."""
+        return _has_many(self.backend, digests)
+
+    def blob_size_many(self, digests) -> dict[str, int | None]:
+        """Metadata-only sizes for many blobs at once; None if absent."""
+        return _blob_size_many(self.backend, digests)
+
+    def stat(self) -> tuple[int, int]:
+        """``(blob_count, total_bytes)`` in one backend operation."""
+        return backend_stat(self.backend)
 
     def delete(self, digest: str) -> bool:
         """Remove one blob; True if it existed. (GC's primitive — callers
@@ -155,11 +180,19 @@ class ArtifactCache:
     cold process hits a warm persistent store.
 
     On a persistent backend (file or remote) the key index itself is stored
-    as an access-ordered ref blob (:data:`INDEX_REF`), updated on every
-    publish and hit: a later process — or :func:`repro.store.gc.collect` —
-    sees both the mapping and the LRU order. Blobs named in the pin set
-    (:data:`PINS_REF`, see :meth:`pin`) are exempt from garbage collection
-    along with everything they transitively reference.
+    as access-ordered ref blobs, **sharded per namespace**
+    (``artifact-index/<namespace>``), updated on every publish and hit: a
+    later process — or :func:`repro.store.gc.collect` — sees both the
+    mapping and the LRU order. Sharding is what keeps a busy farm off one
+    hot ref: a worker publishing ``lower`` artifacts and one publishing
+    ``preprocess`` CAS entirely different refs (zero cross-namespace
+    retries), and each save rewrites O(one namespace) bytes instead of
+    O(whole index). A store written by an older version (one monolithic
+    :data:`INDEX_REF` blob) is read transparently and migrated to shards
+    at the first save; ``sharded_index=False`` keeps the legacy monolithic
+    layout (the benchmark's contention baseline). Blobs named in the pin
+    set (:data:`PINS_REF`, see :meth:`pin`) are exempt from garbage
+    collection along with everything they transitively reference.
 
     Index and pin persistence are **multi-writer safe**: every rewrite is a
     compare-and-swap retry loop (:meth:`Backend.compare_and_set_ref`) that
@@ -182,7 +215,8 @@ class ArtifactCache:
     #: backend is lying about CAS semantics, not that the store is busy.
     CAS_ATTEMPTS = 100
 
-    def __init__(self, store: BlobStore | None = None, flush_every: int = 1):
+    def __init__(self, store: BlobStore | None = None, flush_every: int = 1,
+                 sharded_index: bool = True):
         self.store = store if store is not None else BlobStore()
         self._entries: dict[str, IndexEntry] = {}  # cache key -> index record
         self._objects: dict[str, Any] = {}         # cache key -> live object
@@ -192,19 +226,33 @@ class ArtifactCache:
         #: Publishes per index save. 1 (the default) persists on every
         #: put — maximum durability and cross-process visibility. Bulk
         #: publishers (cluster workers) raise it: each save CAS-rewrites
-        #: the whole index ref, so a thousand-entry preprocess job at
-        #: flush_every=1 is O(n^2) index bytes on disk. Batched writers
+        #: the whole namespace shard, so a thousand-entry preprocess job
+        #: at flush_every=1 is O(n^2) index bytes on disk. Batched writers
         #: must :meth:`flush_index` before *announcing* their artifacts
         #: (the cluster does, before reporting job completion).
         self.flush_every = max(1, flush_every)
         self._dirty_keys: set[str] = set()  # locally modified since last save
+        # Namespaces whose shard must be rewritten even without a dirty
+        # key in it — evictions leave nothing behind *but* the rewrite.
+        self._dirty_namespaces: set[str] = set()
         # Tombstone records for keys we evicted: digest+seq let a merge
         # tell "the stale entry we removed" from "a fresh republish".
         self._evicted: dict[str, IndexEntry] = {}
+        #: Lost index-CAS attempts (another writer swapped first and we
+        #: re-merged). The sharded layout's acceptance number: writers in
+        #: different namespaces must show zero.
+        self.cas_retries = 0
+        #: Lost pin-CAS attempts, counted separately.
+        self.pin_cas_retries = 0
+        self._sharded = bool(sharded_index)
+        # True while a legacy monolithic index ref needs migrating: its
+        # entries were adopted at load, and the first save rewrites every
+        # namespace's shard before retiring the legacy ref.
+        self._legacy_pending = False
         self._persistent = bool(getattr(self.store.backend, "persistent", False))
         if self._persistent:
             with self._lock:
-                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
+                self._load_index_locked()
 
     @property
     def persistent(self) -> bool:
@@ -213,7 +261,34 @@ class ArtifactCache:
 
     # -- index persistence -----------------------------------------------------
 
-    def _merge_index_locked(self, raw: bytes | None) -> None:
+    def _load_index_locked(self) -> None:
+        """Adopt whatever index state the backend holds.
+
+        Sharded layout: the legacy monolithic ref (if an older writer left
+        one) is merged first, *adopt-only*; then each namespace shard is
+        merged with authority over its own namespace — so an entry the
+        legacy blob still lists but the shard has since evicted stays
+        dead, while a legacy-only store (no shards yet) survives intact
+        and is migrated at the first save.
+        """
+        backend = self.store.backend
+        if not self._sharded:
+            self._merge_index_locked(backend.get_ref(INDEX_REF),
+                                     drop_scope=None)
+            return
+        legacy = backend.get_ref(INDEX_REF)
+        if legacy is not None:
+            self._legacy_pending = True
+            self._merge_index_locked(legacy, drop_scope=frozenset())
+        for name in sorted(backend.refs()):
+            if not name.startswith(INDEX_REF_PREFIX):
+                continue
+            namespace = name[len(INDEX_REF_PREFIX):]
+            self._merge_index_locked(backend.get_ref(name),
+                                     drop_scope={namespace})
+
+    def _merge_index_locked(self, raw: bytes | None,
+                            drop_scope: "set[str] | frozenset | None") -> None:
         """Reconcile our in-memory index with ``raw`` (the ref bytes another
         writer last persisted).
 
@@ -225,6 +300,10 @@ class ArtifactCache:
         * Keys we carry but the backend no longer lists were evicted by
           another writer (or its GC); unless we re-dirtied them, we drop
           them rather than resurrect what someone else collected.
+          ``drop_scope`` bounds this ref's authority: only local entries
+          whose namespace it covers may be dropped (``None`` = every
+          namespace, the monolithic layout; an empty set = adopt-only,
+          how the legacy blob is read next to newer shards).
         * Tombstoned keys stay dead when the backend still shows the very
           record we evicted; a record with a new digest or later seq is a
           fresh republish and is adopted (tombstone cleared).
@@ -250,6 +329,9 @@ class ArtifactCache:
             elif seq >= mine.seq:
                 mine.namespace, mine.digest, mine.seq = namespace, digest, seq
         for key in list(self._entries):
+            record = self._entries[key]
+            if drop_scope is not None and record.namespace not in drop_scope:
+                continue  # this ref has no authority over that namespace
             if key not in backend_keys and key not in self._dirty_keys:
                 del self._entries[key]
                 self._objects.pop(key, None)
@@ -268,7 +350,40 @@ class ArtifactCache:
             self._save_index_locked(force=True)
 
     def _save_index_locked(self, force: bool = False) -> None:
-        """Persist the index via a CAS retry-merge loop.
+        """Persist the locally-modified index shards.
+
+        Sharded layout: only namespaces with local changes (dirty keys,
+        evictions) are rewritten, each through its own CAS retry-merge
+        loop — writers in different namespaces touch different refs and
+        never conflict, and each payload is O(namespace). When a legacy
+        monolithic ref was adopted at load, the first save migrates it:
+        every namespace's shard is written, then the legacy ref retired.
+        """
+        if not self._persistent and not force:
+            return
+        if not self._sharded:
+            self._save_shard_locked(INDEX_REF, scope=None)
+            return
+        dirty = {self._entries[key].namespace
+                 for key in self._dirty_keys if key in self._entries}
+        dirty |= self._dirty_namespaces
+        if self._legacy_pending:
+            dirty |= {e.namespace for e in self._entries.values()}
+            dirty |= {e.namespace for e in self._evicted.values()}
+        for namespace in sorted(dirty):
+            self._save_shard_locked(index_ref_name(namespace),
+                                    scope={namespace})
+        self._dirty_namespaces.clear()
+        if self._legacy_pending:
+            # Every namespace now lives in its shard; retire the old ref
+            # so later loads (and GC's index walk) stop seeing stale
+            # monolithic state.
+            self.store.backend.delete_ref(INDEX_REF)
+            self._legacy_pending = False
+
+    def _save_shard_locked(self, ref_name: str,
+                           scope: "set[str] | None") -> None:
+        """CAS retry-merge loop for one index ref (shard or monolithic).
 
         Read the current ref, merge the other writer's state into ours,
         and compare-and-swap the union back. A lost swap means someone
@@ -276,12 +391,14 @@ class ArtifactCache:
         retry. Both racing writers' entries and access-order updates
         survive, which a blind ``set_ref`` could never guarantee.
         """
-        if not self._persistent and not force:
-            return
         backend = self.store.backend
+
+        def in_scope(entry: IndexEntry) -> bool:
+            return scope is None or entry.namespace in scope
+
         for _ in range(self.CAS_ATTEMPTS):
-            raw = backend.get_ref(INDEX_REF)
-            self._merge_index_locked(raw)
+            raw = backend.get_ref(ref_name)
+            self._merge_index_locked(raw, drop_scope=scope)
             # Re-stamp the keys we modified *after* the merge raised _seq
             # past everything the index has seen: a publish made by a
             # handle whose local counter lagged would otherwise carry a
@@ -289,20 +406,24 @@ class ArtifactCache:
             # entry that tombstone killed. Re-stamping in current-seq
             # order keeps the keys' relative access order intact (they
             # were all just touched, so above-the-index is honest LRU).
-            for key in sorted(
-                    (k for k in self._dirty_keys if k in self._entries),
-                    key=lambda k: self._entries[k].seq):
+            dirty_here = [key for key in self._dirty_keys
+                          if key in self._entries
+                          and in_scope(self._entries[key])]
+            for key in sorted(dirty_here,
+                              key=lambda k: self._entries[k].seq):
                 self._entries[key].seq = self._next_seq_locked()
             payload = json.dumps({
                 "version": 1,
                 "seq": self._seq,
                 "entries": [[key, e.namespace, e.digest, e.seq]
-                            for key, e in sorted(self._entries.items())],
+                            for key, e in sorted(self._entries.items())
+                            if in_scope(e)],
             }, sort_keys=True).encode("utf-8")
             if raw == payload or backend.compare_and_set_ref(
-                    INDEX_REF, raw, payload):
-                self._dirty_keys.clear()
+                    ref_name, raw, payload):
+                self._dirty_keys.difference_update(dirty_here)
                 return
+            self.cas_retries += 1
         raise BackendError(
             f"index CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
@@ -420,6 +541,7 @@ class ArtifactCache:
             if raw == payload or backend.compare_and_set_ref(
                     PINS_REF, raw, payload):
                 return True
+            self.pin_cas_retries += 1
         raise BackendError(
             f"pin CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
@@ -443,7 +565,7 @@ class ArtifactCache:
         with self._lock:
             self._flush_dirty_locked()
             if self._persistent:
-                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
+                self._load_index_locked()
             return {key: IndexEntry(e.namespace, e.digest, e.seq)
                     for key, e in self._entries.items()}
 
@@ -464,6 +586,9 @@ class ArtifactCache:
                 # writer must still be adopted.
                 self._evicted[key] = IndexEntry(record.namespace,
                                                 record.digest, record.seq)
+                # The key's shard must be rewritten even though no dirty
+                # key remains in that namespace.
+                self._dirty_namespaces.add(record.namespace)
                 self._save_index_locked()
             return record
 
@@ -497,55 +622,59 @@ class ArtifactCache:
         with self._lock:
             self._flush_dirty_locked()
             if self._persistent:
-                self._merge_index_locked(self.store.backend.get_ref(INDEX_REF))
+                self._load_index_locked()
             per_ns: dict[str, int] = {}
             ns_digests: dict[str, set[str]] = {}
-            # Sizing is metadata-first: every blob is priced via
-            # blob_size (stat / remote size op). Content is fetched only
-            # for *small* payloads, to discover the bulk blobs they name
-            # by digest — the indirection pattern (tiny JSON pointing at
-            # big preprocessed text) never puts digests in large blobs,
-            # so the scan cutoff loses nothing while keeping `cache
-            # stats` from downloading a remote store wholesale.
-            scan_cutoff = 64 * 1024
-            payload_info: dict[str, tuple[int, set[str]]] = {}
-            size_cache: dict[str, int] = {}
             for record in self._entries.values():
                 per_ns[record.namespace] = per_ns.get(record.namespace, 0) + 1
+                ns_digests.setdefault(record.namespace, set())
+            # Sizing is metadata-first and *batched*: every payload blob
+            # is priced in one blob_size_many call (a stat per blob
+            # locally, one round-trip remotely). Content is fetched —
+            # again in one batch — only for *small* payloads, to discover
+            # the bulk blobs they name by digest; the indirection pattern
+            # (tiny JSON pointing at big preprocessed text) never puts
+            # digests in large blobs, so the scan cutoff loses nothing
+            # while keeping `cache stats` from downloading a remote store
+            # wholesale.
+            scan_cutoff = 64 * 1024
+            unique_digests = {r.digest for r in self._entries.values()}
+            size_cache = {digest: size for digest, size
+                          in self.store.blob_size_many(unique_digests).items()
+                          if size is not None}
+            small = {digest for digest in unique_digests
+                     if 0 <= size_cache.get(digest, -1) <= scan_cutoff}
+            payloads = self.store.get_many(sorted(small))
+            payload_refs = {digest: referenced_digests(data)
+                            for digest, data in payloads.items()}
+            bulk = {ref for refs in payload_refs.values() for ref in refs
+                    if ref not in size_cache}
+            size_cache.update(
+                (digest, size or 0) for digest, size
+                in self.store.blob_size_many(bulk).items())
+            for record in self._entries.values():
+                if record.digest not in size_cache:
+                    continue  # blob vanished under us (another writer's GC)
+                if record.digest in small and record.digest not in payloads:
+                    continue  # raced a delete between sizing and fetching
                 seen = ns_digests.setdefault(record.namespace, set())
-                if record.digest in seen:
-                    continue
-                info = payload_info.get(record.digest)
-                if info is None:
-                    size = self.store.blob_size(record.digest)
-                    if size is None:
-                        continue
-                    refs: set[str] = set()
-                    if size <= scan_cutoff:
-                        try:
-                            refs = referenced_digests(
-                                self.store.get(record.digest))
-                        except BlobNotFound:
-                            continue
-                    info = (size, refs)
-                    payload_info[record.digest] = info
-                    size_cache[record.digest] = size
-                    for ref in refs:
-                        if ref not in size_cache:
-                            size_cache[ref] = self.store.blob_size(ref) or 0
                 seen.add(record.digest)
-                seen.update(info[1])
+                seen.update(payload_refs.get(record.digest, ()))
             bytes_by_ns = {
                 ns: sum(size_cache.get(d, 0) for d in digests)
                 for ns, digests in ns_digests.items()}
+            blob_count, total_bytes = self.store.stat()
             return {
-                "blobs": len(self.store),
-                "total_bytes": self.store.total_bytes,
+                "blobs": blob_count,
+                "total_bytes": total_bytes,
                 "entries": len(self._entries),
                 "entries_by_namespace": dict(sorted(per_ns.items())),
                 "bytes_by_namespace": dict(sorted(bytes_by_ns.items())),
                 "pins": self._load_pins(),
                 "persistent": self._persistent,
+                "sharded_index": self._sharded,
+                "index_cas_retries": self.cas_retries,
+                "pin_cas_retries": self.pin_cas_retries,
             }
 
     # -- counters ----------------------------------------------------------------

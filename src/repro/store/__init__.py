@@ -30,21 +30,27 @@ on top of these backends without changing their call sites.
 
 from repro.store.backend import (
     INDEX_REF,
+    INDEX_REF_PREFIX,
     PINS_REF,
     Backend,
     BackendError,
     BlobNotFound,
     FileBackend,
     MemoryBackend,
+    index_ref_name,
+    index_ref_names,
 )
 from repro.store.gc import GCReport, collect
 from repro.store.remote import RemoteBackend, RemoteStoreError, StoreServer
 from repro.store.transfer import export_store, import_store
+from repro.store.wire import SessionPool, WireSession
 
 __all__ = [
     "Backend", "BackendError", "BlobNotFound", "FileBackend", "MemoryBackend",
-    "INDEX_REF", "PINS_REF",
+    "INDEX_REF", "INDEX_REF_PREFIX", "PINS_REF",
+    "index_ref_name", "index_ref_names",
     "GCReport", "collect",
     "RemoteBackend", "RemoteStoreError", "StoreServer",
+    "SessionPool", "WireSession",
     "export_store", "import_store",
 ]

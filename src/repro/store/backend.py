@@ -43,11 +43,53 @@ except ImportError:  # pragma: no cover - non-POSIX fallback below
     fcntl = None  # type: ignore[assignment]
 
 
-#: Ref holding an :class:`~repro.containers.store.ArtifactCache`'s
-#: access-ordered index (JSON).
+#: Legacy ref name: one monolithic access-ordered index for *all*
+#: namespaces. Still read (and transparently migrated) by
+#: :class:`~repro.containers.store.ArtifactCache`; new indexes are
+#: persisted per namespace under :data:`INDEX_REF_PREFIX`.
 INDEX_REF = "artifact-index"
+#: Per-namespace index shards live at ``artifact-index/<namespace>``.
+#: Sharding means a writer publishing ``lower`` artifacts never CAS-races
+#: a writer publishing ``preprocess``, and each ref payload is O(one
+#: namespace) instead of O(the whole index).
+INDEX_REF_PREFIX = INDEX_REF + "/"
 #: Ref holding the pin set: pinned blobs survive any garbage collection.
 PINS_REF = "pins"
+
+
+def index_ref_name(namespace: str) -> str:
+    """The ref holding one namespace's index shard."""
+    return INDEX_REF_PREFIX + namespace
+
+
+def index_ref_names(backend: "Backend") -> list[str]:
+    """Every index ref present on ``backend``: the legacy monolithic ref
+    (when it still exists) followed by the per-namespace shards, sorted.
+    Readers that must see the whole index (GC's fresh-publish protection,
+    stats) iterate exactly this list."""
+    refs = backend.refs()
+    names = sorted(name for name in refs if name.startswith(INDEX_REF_PREFIX))
+    if INDEX_REF in refs:
+        names.insert(0, INDEX_REF)
+    return names
+
+
+def iter_index_payloads(backend: "Backend", names: "list[str] | None" = None):
+    """Yield ``(ref_name, parsed_index_payload)`` for every index ref.
+
+    The one reader GC's fresh-publish protection and import's seq-floor
+    scan share, so the payload schema is interpreted in a single place.
+    ``names`` short-circuits the ref listing when the caller already
+    holds (and is entitled to reuse) one.
+    """
+    for name in (index_ref_names(backend) if names is None else names):
+        raw = backend.get_ref(name)
+        if raw is None:
+            continue
+        try:
+            yield name, json.loads(raw.decode("utf-8"))
+        except ValueError:  # pragma: no cover - corrupt ref; skip it
+            continue
 
 
 class BackendError(RuntimeError):
@@ -94,6 +136,91 @@ class Backend(Protocol):
         ``expected`` (``None`` meaning "does not exist"). Returns True on
         success, False if another writer got there first."""
         ...
+
+    # -- batched operations ----------------------------------------------------
+    # Hot-path amortization: a farm worker probing or transferring many
+    # blobs should pay one round-trip, not N. All bundled backends
+    # implement these natively (RemoteBackend as single wire exchanges);
+    # the module-level helpers of the same names fall back to per-item
+    # loops for any foreign backend that lacks them.
+
+    def put_many(self, blobs: dict[str, bytes]) -> None: ...
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
+        """Fetch many blobs; missing digests are simply absent from the
+        result (batched callers tolerate holes, per-blob callers use
+        :meth:`get` and its exception)."""
+        ...
+
+    def has_many(self, digests: Iterable[str]) -> dict[str, bool]: ...
+
+    def blob_size_many(self, digests: Iterable[str]) -> "dict[str, int | None]":
+        ...
+
+    def stat(self) -> tuple[int, int]:
+        """``(blob_count, total_bytes)`` in one operation — callers that
+        need both (``cache stats``, GC reports) must not pay two
+        round-trips or two counter syncs."""
+        ...
+
+
+def put_many(backend, blobs: dict[str, bytes]) -> None:
+    """``backend.put_many`` or a per-blob loop for foreign backends."""
+    native = getattr(backend, "put_many", None)
+    if native is not None:
+        native(blobs)
+        return
+    for digest, data in blobs.items():
+        backend.put(digest, data)
+
+
+def get_many(backend, digests: Iterable[str]) -> dict[str, bytes]:
+    """``backend.get_many`` or a per-blob loop; missing digests omitted."""
+    native = getattr(backend, "get_many", None)
+    if native is not None:
+        return native(digests)
+    out: dict[str, bytes] = {}
+    for digest in digests:
+        try:
+            out[digest] = backend.get(digest)
+        except KeyError:  # BlobNotFound is a KeyError
+            continue
+    return out
+
+
+def has_many(backend, digests: Iterable[str]) -> dict[str, bool]:
+    """``backend.has_many`` or a per-blob loop."""
+    native = getattr(backend, "has_many", None)
+    if native is not None:
+        return native(digests)
+    return {digest: backend.has(digest) for digest in digests}
+
+
+def blob_size_many(backend, digests: Iterable[str]) -> "dict[str, int | None]":
+    """``backend.blob_size_many`` or a loop over ``blob_size``/``get``."""
+    native = getattr(backend, "blob_size_many", None)
+    if native is not None:
+        return native(digests)
+    size_of = getattr(backend, "blob_size", None)
+    out: dict[str, int | None] = {}
+    for digest in digests:
+        if size_of is not None:
+            out[digest] = size_of(digest)
+        else:
+            try:
+                out[digest] = len(backend.get(digest))
+            except KeyError:
+                out[digest] = None
+    return out
+
+
+def backend_stat(backend) -> tuple[int, int]:
+    """``backend.stat`` or the two legacy properties."""
+    native = getattr(backend, "stat", None)
+    if native is not None:
+        count, total = native()
+        return int(count), int(total)
+    return len(backend), backend.total_bytes
 
 
 def _check_digest(digest: str, data: bytes) -> None:
@@ -171,6 +298,30 @@ class MemoryBackend:
     @property
     def total_bytes(self) -> int:
         return self._total
+
+    def stat(self) -> tuple[int, int]:
+        with self._lock:
+            return len(self._blobs), self._total
+
+    # -- batched operations ----------------------------------------------------
+
+    def put_many(self, blobs: dict[str, bytes]) -> None:
+        for digest, data in blobs.items():
+            self.put(digest, data)
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
+        out = {}
+        for digest in digests:
+            data = self._blobs.get(digest)
+            if data is not None:
+                out[digest] = data
+        return out
+
+    def has_many(self, digests: Iterable[str]) -> dict[str, bool]:
+        return {digest: digest in self._blobs for digest in digests}
+
+    def blob_size_many(self, digests: Iterable[str]) -> dict[str, int | None]:
+        return {digest: self.blob_size(digest) for digest in digests}
 
     def set_ref(self, name: str, data: bytes) -> None:
         with self._lock:
@@ -412,6 +563,52 @@ class FileBackend:
         with self._lock:
             self._sync_counters_locked()
             return self._total
+
+    def stat(self) -> tuple[int, int]:
+        """Count and bytes from one counter sync, not two."""
+        with self._lock:
+            self._sync_counters_locked()
+            return self._count, self._total
+
+    # -- batched operations ----------------------------------------------------
+
+    def put_many(self, blobs: dict[str, bytes]) -> None:
+        """Store many blobs under one mutation-lock acquisition.
+
+        Besides the lock amortization, the whole batch produces *one*
+        stamp rewrite instead of one per blob — the same O(n) -> O(1)
+        economics the cache's batched index saves buy.
+        """
+        for digest, data in blobs.items():
+            _check_digest(digest, data)
+        with self._lock, self._file_lock(self._mutation_lock_path):
+            self._sync_counters_locked()
+            wrote = False
+            for digest, data in blobs.items():
+                path = self._blob_path(digest)
+                if os.path.exists(path):
+                    continue
+                self._atomic_write(path, data)
+                self._total += len(data)
+                self._count += 1
+                wrote = True
+            if wrote:
+                self._bump_stamp_locked()
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
+        out = {}
+        for digest in digests:
+            try:
+                out[digest] = self.get(digest)
+            except BlobNotFound:
+                continue
+        return out
+
+    def has_many(self, digests: Iterable[str]) -> dict[str, bool]:
+        return {digest: self.has(digest) for digest in digests}
+
+    def blob_size_many(self, digests: Iterable[str]) -> dict[str, int | None]:
+        return {digest: self.blob_size(digest) for digest in digests}
 
     # -- refs ------------------------------------------------------------------
 

@@ -29,11 +29,10 @@ a fresh publish is never swept as an orphan.
 
 from __future__ import annotations
 
-import json
 import re
 from dataclasses import dataclass, field
 
-from repro.store.backend import INDEX_REF
+from repro.store.backend import index_ref_names, iter_index_payloads
 
 _DIGEST_RE = re.compile(rb"sha256:[0-9a-f]{64}")
 
@@ -118,21 +117,27 @@ def pin_closure(store, roots: set[str]) -> set[str]:
     A pinned image manifest references its config and layer blobs by
     digest; those blobs may reference further digests (a manifest layer
     embeds the IR digests its install entries point at). Missing blobs are
-    tolerated — a pin may outlive parts of its graph.
+    tolerated — a pin may outlive parts of its graph. Each BFS level is
+    fetched with one batched ``get_many`` — a deep pin graph on a remote
+    store costs one round-trip per level, not per blob.
     """
     seen: set[str] = set()
-    frontier = list(roots)
+    frontier = set(roots)
     while frontier:
-        digest = frontier.pop()
-        if digest in seen:
-            continue
-        seen.add(digest)
-        if not store.has(digest):
-            continue
-        for ref in referenced_digests(store.get(digest)):
-            if ref not in seen:
-                frontier.append(ref)
+        level = sorted(frontier - seen)
+        seen |= frontier
+        blobs = store.get_many(level)
+        frontier = {ref for data in blobs.values()
+                    for ref in referenced_digests(data)} - seen
     return seen
+
+
+def _index_entry_stream(backend, names=None):
+    """Every ``(key, namespace, digest, seq)`` row across all index refs —
+    the per-namespace shards plus the legacy monolithic blob when an
+    unmigrated writer still maintains one."""
+    for _name, blob in iter_index_payloads(backend, names):
+        yield from blob.get("entries", ())
 
 
 def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
@@ -158,9 +163,10 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     if max_bytes < 0:
         raise ValueError("max_bytes must be non-negative")
     store = cache.store
+    before_blobs, before_bytes = store.stat()
     report = GCReport(max_bytes=max_bytes,
-                      before_bytes=store.total_bytes, after_bytes=0,
-                      before_blobs=len(store), after_blobs=0,
+                      before_bytes=before_bytes, after_bytes=0,
+                      before_blobs=before_blobs, after_blobs=0,
                       grace_seconds=grace_seconds, dry_run=dry_run)
     age_of = getattr(store.backend, "blob_age_seconds", None)
 
@@ -178,32 +184,56 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     # Per-entry reference sets: the payload blob itself plus every digest
     # the payload mentions (preprocess payloads point at their bulk text
     # blob this way). Refcounts let eviction delete newly-unreferenced
-    # blobs without rescanning the surviving entries.
+    # blobs without rescanning the surviving entries. Payload blobs are
+    # fetched with one batched get_many rather than a has+get per entry.
     entries = cache.entries()
+    payload_blobs = store.get_many(
+        sorted({record.digest for record in entries.values()}))
     entry_refs: dict[str, set[str]] = {}
     refcount: dict[str, int] = {}
     for key, record in entries.items():
         refs = {record.digest}
-        if store.has(record.digest):
-            refs |= referenced_digests(store.get(record.digest))
+        data = payload_blobs.get(record.digest)
+        if data is not None:
+            refs |= referenced_digests(data)
         entry_refs[key] = refs
         for digest in refs:
             refcount[digest] = refcount.get(digest, 0) + 1
 
+    # Candidate pricing is batched up front: one blob_size_many round-trip
+    # covers every blob the sweep may delete (deletion never transfers the
+    # bytes it throws away). Content-addressed blobs never change size, so
+    # the prefetch cannot go stale; blobs another writer deletes meanwhile
+    # fail their store.delete and are not counted.
+    all_digests = store.backend.digests()
+    sizes = store.blob_size_many(all_digests)
+
+    def _size_of(digest: str) -> int | None:
+        if digest in sizes:
+            return sizes[digest]
+        return store.blob_size(digest)
+
+    # The index-ref *name list* is cached per phase rather than re-listed
+    # per eviction: shard payloads are always re-read (that is the whole
+    # point — fresh publishes land in existing shards), but a shard for a
+    # brand-new namespace can only appear under a concurrent writer, and
+    # concurrent-writer GC requires a grace window (see module doc) that
+    # already spares every blob such a writer just stored.
+    index_names = index_ref_names(store.backend)
+
     def _fresh_publish_closure() -> set[str]:
         """Digests reachable from index entries that appeared *after* our
         snapshot — a concurrent publisher's work, which the sweep must
-        spare even though the snapshot never heard of it."""
-        raw = store.backend.get_ref(INDEX_REF)
-        if raw is None:
-            return set()
+        spare even though the snapshot never heard of it. Walks every
+        index ref: the per-namespace shards and, on an unmigrated store,
+        the legacy monolithic blob."""
         fresh: set[str] = set()
-        for _key, _ns, digest, _seq in json.loads(
-                raw.decode("utf-8")).get("entries", ()):
+        for _key, _ns, digest, _seq in _index_entry_stream(store.backend,
+                                                           index_names):
             if refcount.get(digest, 0) == 0 and digest not in fresh:
                 fresh.add(digest)
-                if store.has(digest):
-                    fresh |= referenced_digests(store.get(digest))
+        for digest, data in store.get_many(sorted(fresh)).items():
+            fresh |= referenced_digests(data)
         return fresh
 
     protected = _fresh_publish_closure()
@@ -223,9 +253,7 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
             return
         if refcount.get(digest, 0) != 0 or digest in simulated_deleted:
             return
-        # Metadata-only: pricing a deletion must not transfer the bytes
-        # it is about to throw away (or spare, in a dry run).
-        nbytes = store.blob_size(digest)
+        nbytes = _size_of(digest)
         if nbytes is None:
             return  # another writer's GC got there first
         if dry_run:
@@ -235,12 +263,13 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
             _note_deletion(namespace, digest, nbytes)
 
     # Phase 1: orphans — blobs no pin and no entry can reach.
-    for digest in store.backend.digests():
+    for digest in all_digests:
         _delete_if_unreferenced(digest, "(orphan)")
 
     # Phase 2: LRU eviction until the store fits the budget. Once only
     # pinned bytes remain, evicting further entries cannot free anything —
     # stop rather than strip a warm cache for no gain.
+    index_names = index_ref_names(store.backend)  # phase boundary refresh
     protected |= _fresh_publish_closure()  # publishes that raced phase 1
     # Bytes eviction cannot free: pinned closures, plus (under a grace
     # window) every blob too young to delete. Stopping at this floor keeps
@@ -248,10 +277,10 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     # for zero gain; the entries stay evictable by a later, quieter GC.
     unfreeable = set(pinned)
     if grace_seconds > 0:
-        for digest in store.backend.digests():
+        for digest in all_digests:
             if digest not in unfreeable and _in_grace(digest):
                 unfreeable.add(digest)
-    floor_bytes = sum(store.blob_size(d) or 0 for d in unfreeable)
+    floor_bytes = sum(_size_of(d) or 0 for d in unfreeable)
     by_age = sorted(entries.items(), key=lambda item: item[1].seq)
 
     def _current_bytes() -> int:
@@ -281,6 +310,5 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
         for digest in entry_refs[key]:
             _delete_if_unreferenced(digest, record.namespace)
 
-    report.after_bytes = store.total_bytes
-    report.after_blobs = len(store)
+    report.after_blobs, report.after_bytes = store.stat()
     return report

@@ -6,14 +6,30 @@ local :class:`~repro.store.backend.Backend` — typically a
 :class:`~repro.store.backend.FileBackend`, giving both persistence *and*
 sharing.
 
-The wire protocol is deliberately tiny — one request per connection, a
-newline-terminated JSON header followed by an optional raw-bytes body::
+The wire protocol is deliberately tiny — a newline-terminated JSON header
+followed by an optional raw-bytes body::
 
     -> {"cmd": "put", "digest": "sha256:...", "size": 123}\n<123 body bytes>
     <- {"ok": true}\n
 
     -> {"cmd": "get", "digest": "sha256:..."}\n
     <- {"ok": true, "size": 123}\n<123 body bytes>
+
+The server answers requests until the connection ends, so one connection
+can carry a whole **session** of exchanges; ``{"cmd": "bye"}`` closes it
+explicitly. A one-shot client (connect, request, half-close, read, close)
+is simply a session of length one — the server sees EOF where the next
+header would start and ends the session, which is exactly how pre-session
+clients behaved, so old and new peers interoperate in both directions.
+:class:`RemoteBackend` keeps a lazily-connected session pool
+(:class:`~repro.store.wire.SessionPool`) by default: hot-path operations
+cost one round-trip on a warm socket instead of a TCP connect/close each.
+
+Batched commands amortize round-trips further: ``put_many``/``get_many``/
+``has_many``/``blob_size_many`` move N blobs (or N probes) in one
+exchange — one header listing digests, bodies concatenated in digest
+order. Against an old server that lacks them, the client detects the
+``unknown command`` reply once and falls back to per-item loops.
 
 Ref compare-and-swap rides the same shape — the body carries the expected
 bytes (``expected_size >= 0``; ``-1`` means "ref must not exist") followed
@@ -35,10 +51,13 @@ from __future__ import annotations
 
 import socketserver
 import threading
+from typing import Iterable
 
 from repro.store.backend import Backend, BlobNotFound
 from repro.store.wire import (
     MAX_HEADER_BYTES,
+    ConnectionClosed,
+    SessionPool,
     WireError,
     read_exact as _read_exact,
     read_message as _read_header,
@@ -48,77 +67,160 @@ from repro.store.wire import (
 
 __all__ = ["MAX_HEADER_BYTES", "RemoteBackend", "RemoteStoreError", "StoreServer"]
 
+#: Digests per batched wire request — keeps every header comfortably under
+#: :data:`MAX_HEADER_BYTES` (a digest is ~75 header bytes).
+BATCH_DIGESTS = 256
+
 
 class RemoteStoreError(WireError):
     pass
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:  # one request per connection
-        backend: Backend = self.server.backend  # type: ignore[attr-defined]
-        try:
-            req = _read_header(self.rfile)
-            cmd = req.get("cmd")
-            if cmd == "put":
-                body = _read_exact(self.rfile, int(req["size"]))
-                backend.put(req["digest"], body)
-                _write_response(self.wfile, {"ok": True})
-            elif cmd == "get":
-                data = backend.get(req["digest"])
-                _write_response(self.wfile, {"ok": True, "size": len(data)}, data)
-            elif cmd == "has":
-                _write_response(self.wfile,
-                                {"ok": True, "has": backend.has(req["digest"])})
-            elif cmd == "delete":
-                _write_response(self.wfile,
-                                {"ok": True, "deleted": backend.delete(req["digest"])})
-            elif cmd == "digests":
-                _write_response(self.wfile, {"ok": True, "digests": backend.digests()})
-            elif cmd == "blob_age":
-                age_of = getattr(backend, "blob_age_seconds", None)
-                age = age_of(req["digest"]) if age_of is not None else None
-                _write_response(self.wfile, {"ok": True, "age": age})
-            elif cmd == "blob_size":
-                size_of = getattr(backend, "blob_size", None)
-                size = size_of(req["digest"]) if size_of is not None else None
-                _write_response(self.wfile, {"ok": True, "blob_size": size})
-            elif cmd == "stat":
-                _write_response(self.wfile, {
-                    "ok": True, "count": len(backend),
-                    "total_bytes": backend.total_bytes})
-            elif cmd == "set_ref":
-                body = _read_exact(self.rfile, int(req["size"]))
-                backend.set_ref(req["name"], body)
-                _write_response(self.wfile, {"ok": True})
-            elif cmd == "get_ref":
-                data = backend.get_ref(req["name"])
-                if data is None:
-                    _write_response(self.wfile, {"ok": True, "size": -1})
-                else:
-                    _write_response(self.wfile, {"ok": True, "size": len(data)}, data)
-            elif cmd == "cas_ref":
-                expected_size = int(req.get("expected_size", -1))
-                expected = (_read_exact(self.rfile, expected_size)
-                            if expected_size >= 0 else None)
-                data = _read_exact(self.rfile, int(req["size"]))
-                swapped = self.server.cas_ref(req["name"], expected, data)  # type: ignore[attr-defined]
-                _write_response(self.wfile, {"ok": True, "swapped": swapped})
-            elif cmd == "delete_ref":
-                _write_response(self.wfile,
-                                {"ok": True, "deleted": backend.delete_ref(req["name"])})
-            elif cmd == "refs":
-                _write_response(self.wfile, {"ok": True, "refs": backend.refs()})
-            else:
-                _write_response(self.wfile, {"ok": False,
-                                             "error": f"unknown command {cmd!r}"})
-        except BlobNotFound as exc:
-            _write_response(self.wfile, {"ok": False, "not_found": True,
-                                         "error": str(exc)})
-        except Exception as exc:  # surface to the client, keep the server up
+    """Serve one connection: a session of framed requests until EOF/bye.
+
+    Command-level failures (missing blob, integrity rejection) are
+    answered and the session continues; *framing* failures (malformed
+    header, a declared body that never arrives) cannot be resynchronized,
+    so they are answered once and the connection closed.
+    """
+
+    # A buffered write side coalesces header+body into one segment, and
+    # TCP_NODELAY keeps a pipelined session from ever stalling on the
+    # Nagle / delayed-ACK interaction (two small writes back-to-back on a
+    # warm connection otherwise wait out the peer's delayed ACK — ~40ms
+    # per response, which would erase the entire point of sessions).
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:
+        server = self.server
+        with server.metrics_lock:  # type: ignore[attr-defined]
+            server.connections_served += 1  # type: ignore[attr-defined]
+        while True:
             try:
-                _write_response(self.wfile, {"ok": False, "error": str(exc)})
-            except OSError:  # pragma: no cover - client already gone
-                pass
+                req = _read_header(self.rfile)
+            except ConnectionClosed:
+                return  # clean end of session (one-shot client half-close)
+            except WireError as exc:
+                self._respond({"ok": False, "error": str(exc)})
+                return
+            if req.get("cmd") == "bye":
+                return
+            with server.metrics_lock:  # type: ignore[attr-defined]
+                server.requests_served += 1  # type: ignore[attr-defined]
+            try:
+                header, body = self._dispatch(req)
+            except WireError as exc:
+                # The request's own body never arrived in full — the
+                # stream is desynchronized and the session must end.
+                self._respond({"ok": False, "error": str(exc)})
+                return
+            except BlobNotFound as exc:
+                if not self._respond({"ok": False, "not_found": True,
+                                      "error": str(exc)}):
+                    return
+                continue
+            except Exception as exc:  # surface to the client, keep serving
+                if not self._respond({"ok": False, "error": str(exc)}):
+                    return
+                continue
+            if not self._respond(header, body):
+                return
+
+    def _respond(self, header: dict, body: bytes = b"") -> bool:
+        try:
+            _write_response(self.wfile, header, body)
+            return True
+        except OSError:  # pragma: no cover - client already gone
+            return False
+
+    def _dispatch(self, req: dict) -> tuple[dict, bytes]:
+        backend: Backend = self.server.backend  # type: ignore[attr-defined]
+        cmd = req.get("cmd")
+        if cmd == "put":
+            body = _read_exact(self.rfile, int(req["size"]))
+            backend.put(req["digest"], body)
+            return {"ok": True}, b""
+        if cmd == "get":
+            data = backend.get(req["digest"])
+            return {"ok": True, "size": len(data)}, data
+        if cmd == "has":
+            return {"ok": True, "has": backend.has(req["digest"])}, b""
+        if cmd == "delete":
+            return {"ok": True, "deleted": backend.delete(req["digest"])}, b""
+        if cmd == "digests":
+            return {"ok": True, "digests": backend.digests()}, b""
+        if cmd == "blob_age":
+            age_of = getattr(backend, "blob_age_seconds", None)
+            age = age_of(req["digest"]) if age_of is not None else None
+            return {"ok": True, "age": age}, b""
+        if cmd == "blob_size":
+            size_of = getattr(backend, "blob_size", None)
+            size = size_of(req["digest"]) if size_of is not None else None
+            return {"ok": True, "blob_size": size}, b""
+        if cmd == "stat":
+            from repro.store.backend import backend_stat
+            count, total = backend_stat(backend)
+            return {"ok": True, "count": count, "total_bytes": total}, b""
+        if cmd == "put_many":
+            # Read the *entire* declared body before applying anything:
+            # a mid-batch integrity failure must not leave unread bytes
+            # that would desynchronize the session.
+            sizes = [(str(digest), int(size))
+                     for digest, size in req.get("blobs", ())]
+            datas = [_read_exact(self.rfile, size) for _, size in sizes]
+            blobs = {digest: data
+                     for (digest, _), data in zip(sizes, datas)}
+            from repro.store.backend import put_many
+            put_many(backend, blobs)
+            return {"ok": True, "stored": len(blobs)}, b""
+        if cmd == "get_many":
+            sizes: list[int] = []
+            parts: list[bytes] = []
+            for digest in req.get("digests", ()):
+                try:
+                    data = backend.get(digest)
+                except KeyError:  # BlobNotFound included
+                    sizes.append(-1)
+                    continue
+                sizes.append(len(data))
+                parts.append(data)
+            body = b"".join(parts)
+            return {"ok": True, "sizes": sizes, "size": len(body)}, body
+        if cmd == "has_many":
+            from repro.store.backend import has_many
+            present = has_many(backend, list(req.get("digests", ())))
+            return {"ok": True,
+                    "has": [present[d] for d in req.get("digests", ())]}, b""
+        if cmd == "blob_size_many":
+            from repro.store.backend import blob_size_many
+            sized = blob_size_many(backend, list(req.get("digests", ())))
+            return {"ok": True,
+                    "blob_sizes": [sized[d]
+                                   for d in req.get("digests", ())]}, b""
+        if cmd == "set_ref":
+            body = _read_exact(self.rfile, int(req["size"]))
+            backend.set_ref(req["name"], body)
+            return {"ok": True}, b""
+        if cmd == "get_ref":
+            data = backend.get_ref(req["name"])
+            if data is None:
+                return {"ok": True, "size": -1}, b""
+            return {"ok": True, "size": len(data)}, data
+        if cmd == "cas_ref":
+            expected_size = int(req.get("expected_size", -1))
+            expected = (_read_exact(self.rfile, expected_size)
+                        if expected_size >= 0 else None)
+            data = _read_exact(self.rfile, int(req["size"]))
+            swapped = self.server.cas_ref(  # type: ignore[attr-defined]
+                req["name"], expected, data)
+            return {"ok": True, "swapped": swapped}, b""
+        if cmd == "delete_ref":
+            return {"ok": True, "deleted": backend.delete_ref(req["name"])}, b""
+        if cmd == "refs":
+            return {"ok": True, "refs": backend.refs()}, b""
+        return {"ok": False, "error": f"unknown command {cmd!r}"}, b""
 
 
 class StoreServer:
@@ -133,6 +235,11 @@ class StoreServer:
 
     Also usable as a context manager. Port 0 (the default) lets the OS
     pick a free port — the chosen one is returned by :meth:`start`.
+
+    ``connections_served`` / ``requests_served`` count accepted
+    connections and dispatched commands — the observable that the
+    session-pool benchmark asserts on (a pooled farm workload should show
+    requests >> connections).
     """
 
     def __init__(self, backend: Backend, host: str = "127.0.0.1", port: int = 0):
@@ -142,8 +249,19 @@ class StoreServer:
         self._server.daemon_threads = True
         self._server.backend = backend  # type: ignore[attr-defined]
         self._server.cas_ref = self.cas_ref  # type: ignore[attr-defined]
+        self._server.metrics_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._server.connections_served = 0  # type: ignore[attr-defined]
+        self._server.requests_served = 0  # type: ignore[attr-defined]
         self._cas_lock = threading.Lock()
         self._thread: threading.Thread | None = None
+
+    @property
+    def connections_served(self) -> int:
+        return self._server.connections_served  # type: ignore[attr-defined]
+
+    @property
+    def requests_served(self) -> int:
+        return self._server.requests_served  # type: ignore[attr-defined]
 
     def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
         """Execute one ref compare-and-swap atomically on the server side.
@@ -188,24 +306,50 @@ class StoreServer:
 
 
 class RemoteBackend:
-    """Client half of the wire protocol; one round-trip per operation.
+    """Client half of the wire protocol.
 
-    Connections are short-lived (connect, request, response, close) so a
-    misbehaving client can never wedge the server, and there is no session
-    state to resynchronize after a failure.
+    By default operations flow through a lazily-connected, thread-safe
+    session pool: the first operation opens a connection, subsequent ones
+    reuse it, and a socket the server dropped in between (restart, an old
+    one-shot server) is detected and transparently replaced. Pass
+    ``pooled=False`` for the historical connect-per-operation discipline
+    (and the benchmark's baseline).
     """
 
     persistent = True
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 pooled: bool = True, max_sessions: int = 4):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.pooled = pooled
+        self._pool = SessionPool(host, port, timeout=timeout,
+                                 max_idle=max_sessions) if pooled else None
+        # Batched commands an old server rejected once — fall back to
+        # per-item loops immediately instead of re-asking every call —
+        # and ones a probe confirmed, so the probe runs at most once.
+        self._unsupported: set[str] = set()
+        self._supported: set[str] = set()
+
+    def close(self) -> None:
+        """Release pooled connections (each with a polite ``bye``)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    @property
+    def connections_opened(self) -> int:
+        """TCP connections this backend has opened (pooled mode only
+        tracks precisely; one-shot mode opens one per operation)."""
+        return self._pool.connections_opened if self._pool is not None else -1
 
     def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
         try:
-            resp, payload = round_trip(self.host, self.port, header, body,
-                                       timeout=self.timeout)
+            if self._pool is not None:
+                resp, payload = self._pool.exchange(header, body)
+            else:
+                resp, payload = round_trip(self.host, self.port, header, body,
+                                           timeout=self.timeout)
         except WireError as exc:
             # Framing failures (truncated response, dropped connection)
             # surface under this module's historical exception type.
@@ -215,6 +359,20 @@ class RemoteBackend:
                 raise BlobNotFound(resp.get("error", ""))
             raise RemoteStoreError(resp.get("error", "remote store error"))
         return resp, payload
+
+    def _batched(self, cmd: str, header: dict,
+                 body: bytes = b"") -> "tuple[dict, bytes] | None":
+        """One batched exchange, or None when the server lacks ``cmd``
+        (old server) — the caller then runs its per-item fallback."""
+        if cmd in self._unsupported:
+            return None
+        try:
+            return self._round_trip(header, body)
+        except RemoteStoreError as exc:
+            if "unknown command" in str(exc):
+                self._unsupported.add(cmd)
+                return None
+            raise
 
     # -- blobs -----------------------------------------------------------------
 
@@ -249,14 +407,106 @@ class RemoteBackend:
         size = resp.get("blob_size")
         return None if size is None else int(size)
 
-    def __len__(self) -> int:
+    # -- batched blob operations -----------------------------------------------
+
+    def _server_does_put_many(self) -> bool:
+        """Probe ``put_many`` with an empty batch before the first real one.
+
+        The other batched commands are header-only requests, so an old
+        server's ``unknown command`` reply always arrives and the client
+        falls back cleanly. A real ``put_many`` however ships its body up
+        front; an old server closes without draining it, and a body
+        larger than the socket buffers would turn the graceful downgrade
+        into a connection reset mid-send. The body-less probe settles the
+        capability question once, safely.
+        """
+        if "put_many" in self._supported:
+            return True
+        if self._batched("put_many", {"cmd": "put_many", "blobs": []}) is None:
+            return False
+        self._supported.add("put_many")
+        return True
+
+    def put_many(self, blobs: dict[str, bytes]) -> None:
+        """Push many blobs, ~:data:`BATCH_DIGESTS` per round-trip."""
+        if blobs and not self._server_does_put_many():
+            for digest, data in blobs.items():  # old server: one-by-one
+                self.put(digest, data)
+            return
+        items = list(blobs.items())
+        for start in range(0, len(items), BATCH_DIGESTS):
+            chunk = items[start:start + BATCH_DIGESTS]
+            header = {"cmd": "put_many",
+                      "blobs": [[digest, len(data)] for digest, data in chunk]}
+            body = b"".join(data for _, data in chunk)
+            self._round_trip(header, body)
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
+        """Fetch many blobs; missing digests are omitted from the result."""
+        wanted = list(digests)
+        out: dict[str, bytes] = {}
+        for start in range(0, len(wanted), BATCH_DIGESTS):
+            chunk = wanted[start:start + BATCH_DIGESTS]
+            got = self._batched("get_many",
+                                {"cmd": "get_many", "digests": chunk})
+            if got is None:
+                for digest in chunk:
+                    try:
+                        out[digest] = self.get(digest)
+                    except BlobNotFound:
+                        continue
+                continue
+            resp, payload = got
+            offset = 0
+            for digest, size in zip(chunk, resp["sizes"]):
+                if size < 0:
+                    continue
+                out[digest] = payload[offset:offset + size]
+                offset += size
+        return out
+
+    def has_many(self, digests: Iterable[str]) -> dict[str, bool]:
+        wanted = list(digests)
+        out: dict[str, bool] = {}
+        for start in range(0, len(wanted), BATCH_DIGESTS):
+            chunk = wanted[start:start + BATCH_DIGESTS]
+            got = self._batched("has_many",
+                                {"cmd": "has_many", "digests": chunk})
+            if got is None:
+                out.update((digest, self.has(digest)) for digest in chunk)
+                continue
+            out.update(zip(chunk, (bool(h) for h in got[0]["has"])))
+        return out
+
+    def blob_size_many(self, digests: Iterable[str]) -> dict[str, int | None]:
+        wanted = list(digests)
+        out: dict[str, int | None] = {}
+        for start in range(0, len(wanted), BATCH_DIGESTS):
+            chunk = wanted[start:start + BATCH_DIGESTS]
+            got = self._batched("blob_size_many",
+                                {"cmd": "blob_size_many", "digests": chunk})
+            if got is None:
+                out.update((digest, self.blob_size(digest))
+                           for digest in chunk)
+                continue
+            out.update(zip(chunk, (None if s is None else int(s)
+                                   for s in got[0]["blob_sizes"])))
+        return out
+
+    # -- size accounting -------------------------------------------------------
+
+    def stat(self) -> tuple[int, int]:
+        """``(count, total_bytes)`` from one round-trip — callers needing
+        both (``cache stats``, GC reports) must not pay two."""
         resp, _ = self._round_trip({"cmd": "stat"})
-        return int(resp["count"])
+        return int(resp["count"]), int(resp["total_bytes"])
+
+    def __len__(self) -> int:
+        return self.stat()[0]
 
     @property
     def total_bytes(self) -> int:
-        resp, _ = self._round_trip({"cmd": "stat"})
-        return int(resp["total_bytes"])
+        return self.stat()[1]
 
     # -- refs ------------------------------------------------------------------
 

@@ -4,11 +4,21 @@
 gzip-compressed tar (blobs under ``objects/``, refs under ``refs/``, plus a
 small manifest); ``cache import`` merges such an archive into any backend.
 Because blobs are content-addressed, import is idempotent and conflict-free
-— the only merge logic needed is for the access-ordered index ref, where
+— the only merge logic needed is for the access-ordered index refs, where
 the importing side keeps its own newer entries and adopts unseen ones.
-Index and pin merges land through the backend's ref compare-and-swap, so
-importing into a store that live builders are publishing to drops neither
-their writes nor the archive's.
+
+Blob movement is batched through the backend's ``get_many``/``has_many``/
+``put_many`` (one round-trip per :data:`TRANSFER_BATCH` blobs against a
+remote store instead of one per blob). Index and pin merges land through
+the backend's ref compare-and-swap, so importing into a store that live
+builders are publishing to drops neither their writes nor the archive's.
+
+Index refs come in two layouts: per-namespace shards
+(``artifact-index/<namespace>``) and the legacy monolithic
+``artifact-index`` blob older exporters wrote. Import always merges into
+the *sharded* layout — a legacy incoming index is split by namespace first
+— so imported entries can never be silently dropped by a sharded reader
+that treats each shard as authoritative for its namespace.
 """
 
 from __future__ import annotations
@@ -20,13 +30,23 @@ from typing import Callable
 
 from repro.store.backend import (
     INDEX_REF,
+    INDEX_REF_PREFIX,
     PINS_REF,
     Backend,
     BackendError,
+    BlobNotFound,
     FileBackend,
+    get_many as _get_many,
+    has_many as _has_many,
+    index_ref_name,
+    iter_index_payloads,
+    put_many as _put_many,
 )
 
 ARCHIVE_FORMAT = "xaas-store-archive-v1"
+
+#: Blobs per batched backend call during export/import.
+TRANSFER_BATCH = 64
 
 
 def _add_bytes(tar: tarfile.TarFile, name: str, data: bytes) -> None:
@@ -51,10 +71,15 @@ def export_store(backend: Backend, path: str) -> dict:
             "blobs": len(blobs),
             "refs": refs,
         }, sort_keys=True).encode("utf-8"))
-        for digest in blobs:
-            data = backend.get(digest)
-            total += len(data)
-            _add_bytes(tar, f"objects/{digest.split(':', 1)[1]}", data)
+        for start in range(0, len(blobs), TRANSFER_BATCH):
+            chunk = blobs[start:start + TRANSFER_BATCH]
+            datas = _get_many(backend, chunk)
+            for digest in chunk:
+                data = datas.get(digest)
+                if data is None:
+                    raise BlobNotFound(digest)
+                total += len(data)
+                _add_bytes(tar, f"objects/{digest.split(':', 1)[1]}", data)
         for name in refs:
             data = backend.get_ref(name)
             if data is not None:
@@ -65,16 +90,22 @@ def export_store(backend: Backend, path: str) -> dict:
             "path": path}
 
 
-def _merge_index(existing: bytes | None, incoming: bytes) -> bytes:
+def _merge_index(existing: bytes | None, incoming: bytes,
+                 floor_seq: int = 0) -> bytes:
     """Union two access-ordered indexes; on key conflict keep the fresher
-    record (higher seq), re-basing incoming seqs after the local maximum so
-    imported entries do not leapfrog locally hot ones."""
+    record (higher seq), re-basing incoming seqs after
+    ``max(local maximum, floor_seq)`` so imported entries do not leapfrog
+    locally hot ones. ``floor_seq`` carries the maximum seq observed
+    across the destination's *other* index shards — entry recency is
+    ordered globally even though persistence is per-namespace."""
     new = json.loads(incoming.decode("utf-8"))
     if existing is None:
-        return incoming
-    old = json.loads(existing.decode("utf-8"))
-    merged = {key: (ns, digest, seq) for key, ns, digest, seq in old.get("entries", ())}
-    base = int(old.get("seq", 0))
+        old = {"entries": [], "seq": 0}
+    else:
+        old = json.loads(existing.decode("utf-8"))
+    merged = {key: (ns, digest, seq)
+              for key, ns, digest, seq in old.get("entries", ())}
+    base = max(int(old.get("seq", 0)), int(floor_seq))
     incoming_entries = sorted(new.get("entries", ()), key=lambda e: e[3])
     seq = base
     for key, ns, digest, _ in incoming_entries:
@@ -86,6 +117,20 @@ def _merge_index(existing: bytes | None, incoming: bytes) -> bytes:
         "seq": max(seq, base),
         "entries": [[key, ns, digest, s] for key, (ns, digest, s) in merged.items()],
     }, sort_keys=True).encode("utf-8")
+
+
+def _split_index_by_namespace(data: bytes) -> dict[str, bytes]:
+    """Split a legacy monolithic index payload into per-namespace shard
+    payloads (each carrying the original seq watermark)."""
+    blob = json.loads(data.decode("utf-8"))
+    by_ns: dict[str, list] = {}
+    for key, ns, digest, seq in blob.get("entries", ()):
+        by_ns.setdefault(ns, []).append([key, ns, digest, seq])
+    return {ns: json.dumps({
+        "version": 1,
+        "seq": int(blob.get("seq", 0)),
+        "entries": sorted(entries),
+    }, sort_keys=True).encode("utf-8") for ns, entries in by_ns.items()}
 
 
 def _merge_pins(existing: bytes | None, incoming: bytes) -> bytes:
@@ -119,15 +164,43 @@ def _cas_merge_ref(backend: Backend, name: str, incoming: bytes,
         f"ref {name!r} CAS did not converge after {attempts} attempts")
 
 
+def _dest_index_seq_floor(backend: Backend) -> int:
+    """The destination's highest index seq across every shard (and any
+    legacy blob), so imported entries enter the LRU order as newest
+    globally, not merely within their own namespace's shard."""
+    return max((int(blob.get("seq", 0))
+                for _name, blob in iter_index_payloads(backend)), default=0)
+
+
 def import_store(backend: Backend, path: str) -> dict:
     """Merge an exported archive into ``backend``; returns a summary dict.
 
     Blobs are digest-verified on write (the backend re-hashes), so a
     corrupted archive cannot poison the store. Already-present blobs are
     skipped — counted separately so the summary shows real transfer work.
+    Blobs land before refs: an index entry never appears ahead of the blob
+    it names.
     """
     added = skipped = refs_merged = 0
     blob_bytes = 0
+    pending: dict[str, bytes] = {}
+    index_payloads: dict[str, bytes] = {}  # dest shard ref -> payload
+    other_refs: list[tuple[str, bytes]] = []
+
+    def _flush_blobs() -> None:
+        nonlocal added, skipped, blob_bytes
+        if not pending:
+            return
+        present = _has_many(backend, list(pending))
+        to_put = {digest: data for digest, data in pending.items()
+                  if not present.get(digest)}
+        skipped += len(pending) - len(to_put)
+        if to_put:
+            _put_many(backend, to_put)
+            added += len(to_put)
+            blob_bytes += sum(len(data) for data in to_put.values())
+        pending.clear()
+
     with tarfile.open(path, "r:gz") as tar:
         for member in tar:
             if not member.isfile():
@@ -138,20 +211,34 @@ def import_store(backend: Backend, path: str) -> dict:
             data = fh.read()
             if member.name.startswith("objects/"):
                 digest = "sha256:" + member.name[len("objects/"):]
-                if backend.has(digest):
-                    skipped += 1
-                    continue
-                backend.put(digest, data)
-                added += 1
-                blob_bytes += len(data)
+                pending[digest] = data
+                if len(pending) >= TRANSFER_BATCH:
+                    _flush_blobs()
             elif member.name.startswith("refs/"):
                 name = FileBackend._unescape_ref(member.name[len("refs/"):])
                 if name == INDEX_REF:
-                    _cas_merge_ref(backend, name, data, _merge_index)
+                    # Legacy monolithic index: merge into the sharded
+                    # layout so a sharded reader (authoritative per
+                    # namespace) can never drop the imported entries.
+                    for ns, payload in _split_index_by_namespace(data).items():
+                        index_payloads[index_ref_name(ns)] = payload
+                elif name.startswith(INDEX_REF_PREFIX):
+                    index_payloads[name] = data
                 elif name == PINS_REF:
-                    _cas_merge_ref(backend, name, data, _merge_pins)
+                    other_refs.append((name, data))
                 else:
-                    backend.set_ref(name, data)
-                refs_merged += 1
+                    other_refs.append((name, data))
+    _flush_blobs()
+    floor = _dest_index_seq_floor(backend)
+    for name in sorted(index_payloads):
+        _cas_merge_ref(backend, name, index_payloads[name],
+                       lambda ex, inc: _merge_index(ex, inc, floor_seq=floor))
+        refs_merged += 1
+    for name, data in other_refs:
+        if name == PINS_REF:
+            _cas_merge_ref(backend, name, data, _merge_pins)
+        else:
+            backend.set_ref(name, data)
+        refs_merged += 1
     return {"blobs_added": added, "blobs_skipped": skipped,
             "refs_merged": refs_merged, "blob_bytes": blob_bytes, "path": path}

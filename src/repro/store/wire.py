@@ -2,23 +2,38 @@
 
 Both the artifact-store server (:mod:`repro.store.remote`) and the
 build-farm coordinator (:mod:`repro.cluster`) speak the same trivially
-debuggable wire shape — one request per connection, a newline-terminated
-JSON header followed by an optional raw-bytes body whose length the header
-declares::
+debuggable wire shape — a newline-terminated JSON header followed by an
+optional raw-bytes body whose length the header declares::
 
     -> {"cmd": ...}\n<body bytes>
     <- {"ok": true, ...}\n<body bytes>
 
 This module owns the framing only; each server defines its own command
-vocabulary on top. Keeping one request per connection means a misbehaving
-peer can never wedge a server and there is no session state to
-resynchronize after a failure.
+vocabulary on top.
+
+Two connection disciplines ride on the same frames:
+
+* **One-shot** (:func:`round_trip`): connect, one exchange, close. No
+  session state to resynchronize after a failure, but every operation
+  pays a full TCP connect/close.
+* **Sessions** (:class:`WireSession` / :class:`SessionPool`): many
+  exchanges pipelined over one connection; ``{"cmd": "bye"}`` (or just
+  closing) ends the session. A server that loops on :func:`read_message`
+  until EOF serves both disciplines transparently — a one-shot client's
+  half-close reads as a clean end-of-session.
+
+:class:`SessionPool` adds stale-socket detection: a pooled connection the
+peer silently dropped (server restart, an old one-shot-only server that
+closes after each response) fails its next exchange *before any response
+bytes arrive*, and the pool transparently reconnects and resends. A fresh
+connection failing is a real error and propagates.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import threading
 
 MAX_HEADER_BYTES = 64 * 1024
 
@@ -27,14 +42,28 @@ class WireError(RuntimeError):
     """A malformed frame or a failed round-trip at the wire level."""
 
 
+class ConnectionClosed(WireError):
+    """The peer closed the connection at a frame boundary.
+
+    For a server looping over :func:`read_message` this is the clean
+    end-of-session signal (one-shot clients half-close after their single
+    request); for a pooled client it marks a stale socket worth retrying
+    on a fresh connection — no response bytes were received, so the
+    request cannot have been half-applied on the wire.
+    """
+
+
 def read_message(rfile) -> dict:
     """Read one newline-terminated JSON header from a socket file."""
     line = rfile.readline(MAX_HEADER_BYTES + 1)
     if not line:
-        raise WireError("connection closed before header")
+        raise ConnectionClosed("connection closed before header")
     if len(line) > MAX_HEADER_BYTES:
         raise WireError("header too large")
-    return json.loads(line.decode("utf-8"))
+    try:
+        return json.loads(line.decode("utf-8"))
+    except ValueError as exc:
+        raise WireError(f"malformed header: {exc}") from exc
 
 
 def read_exact(rfile, size: int) -> bytes:
@@ -95,3 +124,126 @@ def round_trip(host: str, port: int, header: dict, body: bytes = b"",
     finally:
         sock.close()
     return resp, payload
+
+
+class WireSession:
+    """One connection carrying many framed request/response exchanges.
+
+    Unlike :func:`request`, the write side is never shut down — the
+    connection stays symmetric so the next request can follow the last
+    response. ``exchanges`` counts completed round-trips; a session that
+    has completed at least one is *reused* and its next failure may mean
+    the peer quietly dropped the connection in between (the case
+    :class:`SessionPool` retries).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        # Requests are written whole (buffered makefile + flush), but a
+        # body crossing the buffer boundary would split into small
+        # segments; on a warm connection Nagle would then stall the tail
+        # behind the peer's delayed ACK. Sessions live on low latency —
+        # disable it.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        self.exchanges = 0
+
+    def exchange(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        """One request/response on this connection; body read in full."""
+        write_message(self.wfile, header, body)
+        resp = read_message(self.rfile)
+        payload = b""
+        size = resp.get("size", 0)
+        if size and size > 0:
+            payload = read_exact(self.rfile, size)
+        self.exchanges += 1
+        return resp, payload
+
+    def close(self, polite: bool = True) -> None:
+        """End the session. ``polite`` sends ``{"cmd": "bye"}`` first so the
+        server closes cleanly instead of seeing a mid-frame EOF."""
+        if polite:
+            try:
+                write_message(self.wfile, {"cmd": "bye"})
+            except (OSError, ValueError):  # peer already gone
+                pass
+        for closer in (self.rfile, self.wfile, self.sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+
+class SessionPool:
+    """A lazily-connected, thread-safe pool of :class:`WireSession`\\ s.
+
+    ``exchange`` checks a session out (creating one only when the idle
+    list is empty — nothing connects until the first operation), runs one
+    round-trip, and returns the session to the pool. At most ``max_idle``
+    sessions are kept warm; extras are closed on check-in, so a burst of
+    concurrent callers never leaves a standing army of sockets.
+
+    Stale sockets are detected and retried transparently: if a *reused*
+    session fails before any response bytes arrive (EOF where the header
+    should be, or a send into a reset/closed connection), the session is
+    discarded and the request is resent on a fresh connection. This is
+    what makes a pooled client interoperate with an old one-shot server —
+    every response there is followed by a server-side close, which the
+    pool re-detects per request — and what survives a server restart
+    between operations. A *fresh* connection failing propagates: that is
+    a real error, not staleness.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 max_idle: int = 4):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_idle = max_idle
+        self._idle: list[WireSession] = []
+        self._lock = threading.Lock()
+        #: TCP connections this pool has opened — the benchmark's measure
+        #: of how much connection churn pooling saves.
+        self.connections_opened = 0
+
+    def _checkout(self) -> WireSession:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        session = WireSession(self.host, self.port, timeout=self.timeout)
+        with self._lock:
+            self.connections_opened += 1
+        return session
+
+    def _checkin(self, session: WireSession) -> None:
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(session)
+                return
+        session.close()
+
+    def exchange(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        """One round-trip through a pooled session, reconnecting through
+        stale sockets. Raises whatever the underlying exchange raised when
+        the failure is not provably pre-response on a reused connection."""
+        while True:
+            session = self._checkout()
+            reused = session.exchanges > 0
+            try:
+                resp, payload = session.exchange(header, body)
+            except BaseException as exc:
+                session.close(polite=False)
+                if reused and isinstance(exc, (ConnectionClosed,
+                                               ConnectionError)):
+                    continue  # stale pooled socket: resend on a fresh one
+                raise
+            self._checkin(session)
+            return resp, payload
+
+    def close(self) -> None:
+        """Close every idle session (sessions in flight close on return)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for session in idle:
+            session.close()

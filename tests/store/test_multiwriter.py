@@ -128,6 +128,59 @@ class TestThreadWriters:
         _assert_all_present(fresh, 3, self.PER_WRITER)
 
 
+class TestShardedNamespaces:
+    """ISSUE 5 acceptance: writers in *different namespaces* share no
+    index ref, so publishing concurrently costs zero CAS retries — on a
+    FileBackend and through a StoreServer alike. The retry counter is
+    exposed on ArtifactCache stats."""
+
+    PER_WRITER = 40
+
+    def _race(self, make_backend, namespaces):
+        caches = [ArtifactCache(BlobStore(make_backend()))
+                  for _ in namespaces]
+        barrier = threading.Barrier(len(namespaces))
+
+        def work(cache, namespace):
+            barrier.wait()
+            for i in range(self.PER_WRITER):
+                cache.put(namespace, {"i": i}, f"payload-{namespace}-{i}")
+
+        threads = [threading.Thread(target=work, args=(cache, ns))
+                   for cache, ns in zip(caches, namespaces)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return caches
+
+    def _assert_zero_retries(self, caches, make_backend, namespaces):
+        for cache, namespace in zip(caches, namespaces):
+            assert cache.stats()["index_cas_retries"] == 0, \
+                f"writer in {namespace!r} hit index CAS contention"
+        fresh = ArtifactCache(BlobStore(make_backend()))
+        for namespace in namespaces:
+            for i in range(self.PER_WRITER):
+                entry = fresh.get(namespace, {"i": i})
+                assert entry is not None, f"lost {namespace}/{i}"
+                assert entry.payload == f"payload-{namespace}-{i}"
+
+    def test_cross_namespace_zero_cas_retries_file(self, tmp_path):
+        root = tmp_path / "shared"
+        FileBackend(root)
+        namespaces = ("preprocess", "lower")
+        caches = self._race(lambda: FileBackend(root), namespaces)
+        self._assert_zero_retries(caches, lambda: FileBackend(root),
+                                  namespaces)
+
+    def test_cross_namespace_zero_cas_retries_server(self):
+        with StoreServer(MemoryBackend()) as server:
+            make = lambda: RemoteBackend(*server.address)  # noqa: E731
+            namespaces = ("preprocess", "lower")
+            caches = self._race(make, namespaces)
+            self._assert_zero_retries(caches, make, namespaces)
+
+
 _WORKER = """
 import sys
 from repro.containers.store import ArtifactCache, BlobStore

@@ -11,6 +11,7 @@ from repro.store import (
     MemoryBackend,
     RemoteBackend,
     StoreServer,
+    index_ref_name,
 )
 
 
@@ -52,7 +53,7 @@ class TestIndexPersistence:
         cache.get("ns", "a")  # refreshes a: now more recent than b
         # Hit bumps are batched; any operation boundary persists them.
         cache.snapshot()
-        raw = cache.store.backend.get_ref(INDEX_REF)
+        raw = cache.store.backend.get_ref(index_ref_name("ns"))
         blob = json.loads(raw.decode("utf-8"))
         seqs = {key: seq for key, _ns, _digest, seq in blob["entries"]}
         key_a = cache.cache_key("ns", "a")
@@ -217,7 +218,9 @@ class InterposingBackend:
         return self._inner.total_bytes
 
     def _maybe_fire(self, name):
-        if name == INDEX_REF and not self._fired:
+        # Index refs are sharded per namespace; fire on the first write
+        # to any of them (the legacy monolithic name included).
+        if name.startswith(INDEX_REF) and not self._fired:
             self._fired = True
             self._on_index_write()
 

@@ -18,11 +18,16 @@ from repro.store import (
 from repro.util.hashing import content_digest
 
 
-@pytest.fixture()
-def served_memory():
+@pytest.fixture(params=["pooled", "one-shot"])
+def served_memory(request):
+    """The whole matrix runs twice: through the pooled session client and
+    through the historical one-connection-per-operation client."""
     with StoreServer(MemoryBackend()) as server:
         host, port = server.address
-        yield RemoteBackend(host, port), server.backend
+        backend = RemoteBackend(host, port,
+                                pooled=(request.param == "pooled"))
+        yield backend, server.backend
+        backend.close()
 
 
 class TestWireProtocol:

@@ -56,13 +56,13 @@ class TestExportImport:
                 return len(self._inner)
 
             def compare_and_set_ref(self, name, expected, data):
-                if name == INDEX_REF and not self._fired:
+                if name.startswith(INDEX_REF) and not self._fired:
                     self._fired = True
                     builder.put("ir", "live-work", "fresh payload")
                 return self._inner.compare_and_set_ref(name, expected, data)
 
             def set_ref(self, name, data):
-                if name == INDEX_REF and not self._fired:
+                if name.startswith(INDEX_REF) and not self._fired:
                     self._fired = True
                     builder.put("ir", "live-work", "fresh payload")
                 self._inner.set_ref(name, data)

@@ -1,0 +1,342 @@
+"""Wire sessions: pipelined exchanges, pool reconnects, old/new interop.
+
+The store server answers whole sessions of requests per connection;
+one-shot clients are sessions of length one. These tests cover the
+failure paths the ISSUE calls out: a client dying mid-stream must leave
+the server healthy, a pooled socket killed under the client must
+reconnect transparently, and both old-client x new-server and
+new-client x old-server must pass the store operation matrix.
+"""
+
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro.store import (
+    BlobNotFound,
+    MemoryBackend,
+    RemoteBackend,
+    RemoteStoreError,
+    StoreServer,
+    WireSession,
+)
+from repro.store.wire import (
+    read_exact,
+    read_message,
+    round_trip,
+    write_message,
+)
+from repro.util.hashing import content_digest
+
+
+@pytest.fixture()
+def server():
+    with StoreServer(MemoryBackend()) as srv:
+        yield srv
+
+
+class TestSessionMode:
+    def test_many_exchanges_one_connection(self, server):
+        host, port = server.address
+        session = WireSession(host, port)
+        try:
+            blobs = {content_digest(p): p for p in (b"one", b"two", b"three")}
+            for digest, data in blobs.items():
+                resp, _ = session.exchange(
+                    {"cmd": "put", "digest": digest, "size": len(data)}, data)
+                assert resp["ok"]
+            for digest, data in blobs.items():
+                resp, payload = session.exchange({"cmd": "get",
+                                                  "digest": digest})
+                assert payload == data
+            resp, _ = session.exchange({"cmd": "stat"})
+            assert resp["count"] == 3
+        finally:
+            session.close()
+        assert server.connections_served == 1
+        assert server.requests_served == 7
+
+    def test_error_response_keeps_session_alive(self, server):
+        """A command-level failure (missing blob) is answered and the
+        *same* connection keeps serving."""
+        host, port = server.address
+        session = WireSession(host, port)
+        try:
+            resp, _ = session.exchange({"cmd": "get",
+                                        "digest": "sha256:" + "0" * 64})
+            assert resp["ok"] is False and resp.get("not_found")
+            digest = content_digest(b"after the error")
+            resp, _ = session.exchange(
+                {"cmd": "put", "digest": digest, "size": 15},
+                b"after the error")
+            assert resp["ok"]
+        finally:
+            session.close()
+        assert server.connections_served == 1
+
+    def test_bye_closes_the_session(self, server):
+        host, port = server.address
+        session = WireSession(host, port)
+        session.close()  # sends bye
+        # The server closed its side; a fresh session still works.
+        fresh = WireSession(host, port)
+        try:
+            resp, _ = fresh.exchange({"cmd": "stat"})
+            assert resp["ok"]
+        finally:
+            fresh.close()
+
+    def test_mid_stream_disconnect_leaves_server_healthy(self, server):
+        """Clients dying at every awkward moment — mid-header, mid-body,
+        right after a request — must not wedge the server."""
+        host, port = server.address
+        digest = content_digest(b"promised body")
+        awkward = [
+            b"{\"cmd\": \"put\"",  # header never finished
+            json.dumps({"cmd": "put", "digest": digest,
+                        "size": 1000}).encode() + b"\n" + b"only some",
+            json.dumps({"cmd": "stat"}).encode() + b"\n",  # no read-back
+        ]
+        for payload in awkward:
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(payload)
+            # abrupt close, response (if any) never read
+        backend = RemoteBackend(host, port)
+        try:
+            backend.put(digest, b"promised body")
+            assert backend.get(digest) == b"promised body"
+        finally:
+            backend.close()
+
+    def test_malformed_header_ends_session_with_error(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"this is not json\n")
+            rfile = sock.makefile("rb")
+            resp = json.loads(rfile.readline())
+            assert resp["ok"] is False
+            # Framing cannot be resynchronized: the server hangs up.
+            assert rfile.readline() == b""
+
+
+class TestSessionPoolReconnect:
+    def test_pool_reuses_one_connection(self, server):
+        host, port = server.address
+        backend = RemoteBackend(host, port)
+        try:
+            for i in range(20):
+                payload = f"blob-{i}".encode()
+                backend.put(content_digest(payload), payload)
+            assert len(backend) == 20
+        finally:
+            backend.close()
+        assert server.connections_served == 1
+        assert backend.connections_opened == 1
+
+    def test_killed_socket_reconnects_transparently(self, server):
+        """A pooled socket the network (or a server restart) killed is
+        detected on reuse and replaced without surfacing an error."""
+        host, port = server.address
+        backend = RemoteBackend(host, port)
+        try:
+            digest = content_digest(b"survives the drop")
+            backend.put(digest, b"survives the drop")
+            # Simulate the drop: shut down every idle pooled socket
+            # under the client's feet.
+            for session in backend._pool._idle:
+                session.sock.shutdown(socket.SHUT_RDWR)
+            assert backend.get(digest) == b"survives the drop"
+            assert backend.connections_opened == 2
+        finally:
+            backend.close()
+
+    def test_fresh_connection_failure_is_an_error(self):
+        """Stale-socket retry must not mask a server that is simply not
+        there: the first exchange on a fresh connection propagates."""
+        sock = socket.create_server(("127.0.0.1", 0))
+        host, port = sock.getsockname()
+        sock.close()  # nothing listens here any more
+        backend = RemoteBackend(host, port, timeout=2)
+        with pytest.raises(OSError):
+            backend.get_ref("r")
+
+    def test_concurrent_pooled_clients(self, server):
+        """N threads hammer one pooled backend; every op lands and the
+        connection count stays near the thread count, not the op count."""
+        host, port = server.address
+        backend = RemoteBackend(host, port)
+        errors = []
+
+        def work(t):
+            try:
+                for i in range(25):
+                    payload = f"t{t}-i{i}".encode()
+                    backend.put(content_digest(payload), payload)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(backend) == 100
+        assert server.connections_served <= 8  # ~thread count, not 100
+        backend.close()
+
+
+# -- interop with pre-session peers --------------------------------------------
+
+
+class _LegacyHandler(socketserver.StreamRequestHandler):
+    """The pre-session server verbatim: ONE request per connection, then
+    close — what an old deployment still runs."""
+
+    def handle(self):
+        backend = self.server.legacy_backend
+        try:
+            req = read_message(self.rfile)
+            cmd = req.get("cmd")
+            if cmd == "put":
+                body = read_exact(self.rfile, int(req["size"]))
+                backend.put(req["digest"], body)
+                write_message(self.wfile, {"ok": True})
+            elif cmd == "get":
+                data = backend.get(req["digest"])
+                write_message(self.wfile, {"ok": True, "size": len(data)}, data)
+            elif cmd == "has":
+                write_message(self.wfile,
+                              {"ok": True, "has": backend.has(req["digest"])})
+            elif cmd == "stat":
+                write_message(self.wfile, {"ok": True, "count": len(backend),
+                                           "total_bytes": backend.total_bytes})
+            elif cmd == "get_ref":
+                data = backend.get_ref(req["name"])
+                if data is None:
+                    write_message(self.wfile, {"ok": True, "size": -1})
+                else:
+                    write_message(self.wfile,
+                                  {"ok": True, "size": len(data)}, data)
+            elif cmd == "cas_ref":
+                expected_size = int(req.get("expected_size", -1))
+                expected = (read_exact(self.rfile, expected_size)
+                            if expected_size >= 0 else None)
+                data = read_exact(self.rfile, int(req["size"]))
+                swapped = backend.compare_and_set_ref(req["name"], expected,
+                                                      data)
+                write_message(self.wfile, {"ok": True, "swapped": swapped})
+            else:
+                write_message(self.wfile, {"ok": False,
+                                           "error": f"unknown command {cmd!r}"})
+        except BlobNotFound as exc:
+            write_message(self.wfile, {"ok": False, "not_found": True,
+                                       "error": str(exc)})
+        except Exception as exc:
+            try:
+                write_message(self.wfile, {"ok": False, "error": str(exc)})
+            except OSError:
+                pass
+
+
+@pytest.fixture()
+def legacy_server():
+    backend = MemoryBackend()
+    srv = socketserver.ThreadingTCPServer(("127.0.0.1", 0), _LegacyHandler)
+    srv.daemon_threads = True
+    srv.legacy_backend = backend
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    yield str(host), int(port), backend
+    srv.shutdown()
+    srv.server_close()
+
+
+class TestInterop:
+    def test_one_shot_client_against_session_server(self, server):
+        """An old client (one connection per request, half-close after
+        send) runs the op matrix against the new looping server."""
+        host, port = server.address
+        digest = content_digest(b"old client bytes")
+        resp, _ = round_trip(host, port, {"cmd": "put", "digest": digest,
+                                          "size": 16}, b"old client bytes")
+        assert resp["ok"]
+        resp, payload = round_trip(host, port, {"cmd": "get",
+                                                "digest": digest})
+        assert payload == b"old client bytes"
+        resp, _ = round_trip(host, port, {"cmd": "stat"})
+        assert resp["count"] == 1
+        assert server.connections_served == 3  # still one per request
+
+    def test_one_shot_backend_against_session_server(self, server):
+        host, port = server.address
+        backend = RemoteBackend(host, port, pooled=False)
+        digest = content_digest(b"payload")
+        backend.put(digest, b"payload")
+        assert backend.has(digest)
+        assert backend.get(digest) == b"payload"
+        assert backend.compare_and_set_ref("r", None, b"v")
+        assert backend.get_ref("r") == b"v"
+        with pytest.raises(BlobNotFound):
+            backend.get("sha256:" + "1" * 64)
+
+    def test_pooled_client_against_legacy_server(self, legacy_server):
+        """A pooled client against a one-request-per-connection server:
+        every response is followed by a server-side close, which the pool
+        must re-detect per operation — slower, never wrong."""
+        host, port, local = legacy_server
+        backend = RemoteBackend(host, port)
+        try:
+            digest = content_digest(b"new client, old server")
+            backend.put(digest, b"new client, old server")
+            assert local.has(digest)
+            assert backend.has(digest)
+            assert backend.get(digest) == b"new client, old server"
+            count, total = backend.stat()
+            assert (count, total) == (1, len(b"new client, old server"))
+            assert backend.compare_and_set_ref("idx", None, b"v1")
+            assert backend.get_ref("idx") == b"v1"
+            assert not backend.compare_and_set_ref("idx", b"bad", b"v2")
+        finally:
+            backend.close()
+
+    def test_batched_ops_fall_back_against_legacy_server(self, legacy_server):
+        """`unknown command` from an old server downgrades has_many/
+        get_many/put_many/blob_size_many to per-item loops, once."""
+        host, port, local = legacy_server
+        backend = RemoteBackend(host, port)
+        try:
+            blobs = {content_digest(p): p for p in (b"aa", b"bb", b"cc")}
+            backend.put_many(blobs)
+            assert all(local.has(d) for d in blobs)
+            missing = "sha256:" + "2" * 64
+            has = backend.has_many(list(blobs) + [missing])
+            assert has == {**{d: True for d in blobs}, missing: False}
+            got = backend.get_many(list(blobs) + [missing])
+            assert got == blobs
+            # The unsupported commands were learned and cached.
+            assert {"put_many", "has_many", "get_many"} <= \
+                backend._unsupported
+        finally:
+            backend.close()
+
+    def test_put_many_large_bodies_against_legacy_server(self, legacy_server):
+        """The downgrade must hold for bodies bigger than the socket
+        buffers: an old server answers `unknown command` *without
+        draining the body*, so shipping a large batch up front would die
+        on a connection reset mid-send — the capability probe (an empty,
+        body-less put_many) settles support before any body moves."""
+        host, port, local = legacy_server
+        backend = RemoteBackend(host, port)
+        try:
+            big = {content_digest(bytes([i]) * (1 << 20)): bytes([i]) * (1 << 20)
+                   for i in range(3)}  # 3 MiB total, >> any socket buffer
+            backend.put_many(big)
+            assert all(local.has(d) for d in big)
+            assert "put_many" in backend._unsupported
+        finally:
+            backend.close()
