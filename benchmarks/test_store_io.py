@@ -1,23 +1,38 @@
-"""Store hot-path I/O: pooled wire sessions and sharded index refs.
+"""Store hot-path I/O: pooled sessions, sharded refs, server flavors.
 
-The PR-5 acceptance benchmark. A farm-shaped publish/probe workload (N
-concurrent builders pushing artifacts into one shared StoreServer, then
-probing and pulling their peers' blobs) runs twice — through the
-historical one-connection-per-operation client and through the pooled
-session client — and must show >=5x fewer TCP connections and lower
-wall-clock with pooling. A second workload races two index writers in
-*different namespaces* on one FileBackend: the sharded index must finish
-with zero CAS retries where the monolithic layout shows contention.
+The PR-5 acceptance benchmark plus the ISSUE-6 concurrency sweep. A
+farm-shaped publish/probe workload (N concurrent builders pushing
+artifacts into one shared StoreServer, then probing and pulling their
+peers' blobs) runs twice — through the historical
+one-connection-per-operation client and through the pooled session
+client — and must show >=5x fewer TCP connections and lower wall-clock
+with pooling. A second workload races two index writers in *different
+namespaces* on one FileBackend: the sharded index must finish with zero
+CAS retries where the monolithic layout shows contention.
+
+The ISSUE-6 sweep then drives {1, 8, 32, 128} concurrent sessions x
+{4 KiB, 256 KiB, 4 MiB} blobs against both server flavors (thread-per-
+connection vs selectors event loop) so the trajectory of the async
+migration is directly comparable run over run, and asserts the async
+server's peak resident body stays O(chunk) for streamed multi-MB blobs.
 
 Results land in ``benchmarks/BENCH_store_io.json`` via the conftest hook
 so the perf trajectory is tracked from this PR on.
 """
 
+import os
 import threading
 import time
 
 from repro.containers.store import ArtifactCache, BlobStore
-from repro.store import FileBackend, MemoryBackend, RemoteBackend, StoreServer
+from repro.store import (
+    AsyncStoreServer,
+    FileBackend,
+    MemoryBackend,
+    RemoteBackend,
+    StoreServer,
+)
+from repro.store.wire import CHUNK_SIZE
 from repro.util.hashing import content_digest
 
 from conftest import print_table
@@ -216,3 +231,184 @@ def test_sharded_index_eliminates_cross_namespace_cas(tmp_path, bench_json):
     assert sharded["cas_retries"] == 0, sharded
     assert mono["cas_retries"] > 0, \
         "monolithic baseline showed no contention; workload too small"
+
+
+# -- ISSUE 6: concurrency x blob-size sweep, thread vs async server ------------
+
+SWEEP_CLIENTS = (1, 8, 32, 128)
+SWEEP_SIZES = ((4 * 1024, "4KiB"), (256 * 1024, "256KiB"),
+               (4 * 1024 * 1024, "4MiB"))
+#: Per-cell wire-byte budget: put+get pairs per client are scaled so no
+#: single cell moves much more than this (the 1-pair floor makes the
+#: 128x4MiB corner the exception).
+SWEEP_BYTES_TARGET = 32 * (1 << 20)
+#: Pair cap for tiny blobs, so low-byte cells still run long enough to
+#: time (requests, not bytes, dominate them).
+SWEEP_MAX_PAIRS = 48
+
+
+def _pairs_for(clients: int, size: int) -> int:
+    pairs = SWEEP_BYTES_TARGET // (clients * size * 2)
+    return max(1, min(SWEEP_MAX_PAIRS, pairs))
+
+
+#: Per-socket-operation client timeout inside the sweep. A flavor whose
+#: clients starve past this under load scores a DNF for the cell — that
+#: *is* the measurement (the thread server at 128 sessions), not a
+#: harness failure.
+SWEEP_CLIENT_TIMEOUT = 20.0
+
+
+def _sweep_cell(flavor, clients: int, size: int) -> dict:
+    """`clients` concurrent pooled sessions each put+get `pairs` unique
+    blobs of `size` bytes against one server of the given flavor."""
+    pairs = _pairs_for(clients, size)
+    with flavor(MemoryBackend()) as server:
+        host, port = server.address
+        barrier = threading.Barrier(clients + 1)
+        errors: list[Exception] = []
+
+        def client(idx: int) -> None:
+            backend = RemoteBackend(host, port,
+                                    timeout=SWEEP_CLIENT_TIMEOUT)
+            try:
+                blobs = []
+                for i in range(pairs):
+                    seed = f"sweep-{idx}-{i}-".encode()
+                    payload = (seed * (size // len(seed) + 1))[:size]
+                    blobs.append((content_digest(payload), payload))
+                barrier.wait(timeout=120)
+                for digest, payload in blobs:
+                    backend.put(digest, payload)
+                for digest, payload in blobs:
+                    if backend.get(digest) != payload:  # pragma: no cover
+                        raise AssertionError(f"corrupt read-back: {digest}")
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                backend.close()
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=120)  # start the clock after payload prep
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        seconds = time.perf_counter() - start
+        stats = server.stats()
+    moved = clients * pairs * size * 2
+    cell = {"pairs_per_client": pairs, "completed": not errors,
+            "peak_body_bytes": stats["peak_body_bytes"]}
+    if errors:
+        cell["client_errors"] = len(errors)
+        cell["first_error"] = repr(errors[0])
+    else:
+        cell["seconds"] = round(seconds, 4)
+        cell["mb_per_s"] = round(moved / seconds / (1 << 20), 1)
+    return cell
+
+
+def test_concurrency_blob_size_sweep(bench_json):
+    """Thread vs async server across the full concurrency x size grid.
+
+    The acceptance bar is deliberately loose on absolute throughput
+    (one shared CPU, GIL on both sides) but strict on the shape: the
+    async server must *sustain* the whole grid including 128 concurrent
+    sessions, and must not collapse at high concurrency where the
+    thread-per-connection flavor pays a scheduler entry per socket.
+    """
+    flavors = (("thread", StoreServer), ("async", AsyncStoreServer))
+    results: dict[str, dict[str, dict]] = {name: {} for name, _ in flavors}
+    for name, flavor in flavors:
+        for clients in SWEEP_CLIENTS:
+            for size, size_label in SWEEP_SIZES:
+                cell = _sweep_cell(flavor, clients, size)
+                results[name][f"{clients}x{size_label}"] = cell
+
+    def fmt(cell):
+        return f"{cell['seconds']:.3f}" if cell["completed"] else "DNF"
+
+    rows = []
+    for clients in SWEEP_CLIENTS:
+        for _, size_label in SWEEP_SIZES:
+            key = f"{clients}x{size_label}"
+            thread_cell = results["thread"][key]
+            async_cell = results["async"][key]
+            if thread_cell["completed"] and async_cell["completed"]:
+                ratio = thread_cell["seconds"] / \
+                    max(async_cell["seconds"], 1e-9)
+                verdict = f"{ratio:.2f}x"
+            elif async_cell["completed"]:
+                verdict = "thread DNF"
+            else:  # pragma: no cover - async must complete (asserted)
+                verdict = "async DNF"
+            rows.append((key, thread_cell["pairs_per_client"],
+                         fmt(thread_cell), fmt(async_cell), verdict))
+    print_table(
+        "Store server sweep: sessions x blob size, thread vs async flavor",
+        ("clients x size", "pairs/client", "thread s", "async s",
+         "async speedup"), rows)
+    bench_json("store_io", {"concurrency_sweep": results})
+
+    # The async server must sustain EVERY cell — 128 sessions included.
+    # (The thread flavor is allowed to starve clients into timeouts at
+    # high concurrency; recording that collapse is the benchmark's job.)
+    incomplete_async = [key for key, cell in results["async"].items()
+                        if not cell["completed"]]
+    assert not incomplete_async, (incomplete_async, results["async"])
+    # Throughput shape: no worse than the thread flavor at low
+    # concurrency, and not collapsing where the thread flavor does.
+    # Margins are generous — both flavors share one GIL and one core in
+    # CI — guarding against regressions of kind, not percentage points.
+    for _, size_label in SWEEP_SIZES:
+        low_thread = results["thread"][f"1x{size_label}"]
+        low_async = results["async"][f"1x{size_label}"]
+        assert low_thread["completed"], low_thread
+        assert low_async["seconds"] <= low_thread["seconds"] * 3.0 + 0.5, \
+            (size_label, results)
+    for clients in (32, 128):
+        for _, size_label in SWEEP_SIZES:
+            key = f"{clients}x{size_label}"
+            thread_cell, async_cell = results["thread"][key], \
+                results["async"][key]
+            if thread_cell["completed"]:
+                assert async_cell["seconds"] <= \
+                    thread_cell["seconds"] * 3.0 + 2.0, (key, results)
+
+
+def test_streamed_bodies_keep_server_memory_flat(tmp_path, bench_json):
+    """The memory story behind streaming: a 4 MiB blob put+get through
+    the async server against a file store must move the server's
+    peak-resident-body high-water mark by one chunk, not one blob."""
+    blob_bytes = 4 * (1 << 20)
+    payload = os.urandom(blob_bytes)
+    digest = content_digest(payload)
+    with AsyncStoreServer(FileBackend(tmp_path / "store")) as server:
+        backend = RemoteBackend(*server.address)
+        start = time.perf_counter()
+        backend.put(digest, payload)
+        got = backend.get(digest)
+        seconds = time.perf_counter() - start
+        backend.close()
+        stats = server.stats()
+    assert got == payload
+
+    print_table(
+        "Streamed 4 MiB put+get through the async server (file store)",
+        ("metric", "value"),
+        [("blob bytes", blob_bytes),
+         ("chunk bytes", CHUNK_SIZE),
+         ("peak_body_bytes", stats["peak_body_bytes"]),
+         ("seconds", f"{seconds:.3f}")])
+    bench_json("store_io", {"streamed_memory": {
+        "blob_bytes": blob_bytes,
+        "chunk_bytes": CHUNK_SIZE,
+        "peak_body_bytes": stats["peak_body_bytes"],
+        "peak_outbuf_bytes": stats["peak_outbuf_bytes"],
+        "seconds": round(seconds, 4),
+    }})
+    # O(chunk), not O(blob): the whole point of streamed bodies.
+    assert stats["peak_body_bytes"] <= 4 * CHUNK_SIZE, stats
+    assert stats["peak_body_bytes"] < blob_bytes // 8, stats

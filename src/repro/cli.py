@@ -35,6 +35,7 @@ import sys
 from repro.apps import app_model, default_ir_sweep
 from repro.containers import ArtifactCache, BlobStore
 from repro.store import FileBackend, export_store, import_store
+from repro.store.remote import DEFAULT_MAX_BODY_BYTES
 from repro.core import (
     build_ir_container,
     build_source_image,
@@ -373,14 +374,17 @@ def cmd_cache_serve(args) -> int:
     build --store-server``) costs one TCP connection per worker, not one
     per operation.
     """
+    import json as json_mod
     import time
-    from repro.store import StoreServer
+    from repro.store import AsyncStoreServer, StoreServer
     if not args.store:
         raise SystemExit("cache serve needs --store DIR")
-    server = StoreServer(FileBackend(args.store), host=args.host,
-                         port=args.port)
+    flavor = StoreServer if args.threaded else AsyncStoreServer
+    server = flavor(FileBackend(args.store), host=args.host, port=args.port,
+                    max_body_bytes=args.max_body_bytes)
     host, port = server.start()
-    print(f"store server listening on {host}:{port}", flush=True)
+    print(f"store server ({server.flavor}) listening on {host}:{port}",
+          flush=True)
     try:
         while True:
             time.sleep(1)
@@ -388,6 +392,10 @@ def cmd_cache_serve(args) -> int:
         pass
     finally:
         server.stop()
+        # Final status line: wire traffic and body-residency high-water
+        # marks (peak_body_bytes stays O(chunk) for streamed transfers).
+        print(json_mod.dumps({"flavor": server.flavor, **server.stats()},
+                             sort_keys=True), flush=True)
     return 0
 
 
@@ -658,7 +666,18 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--host", default="127.0.0.1")
     c.add_argument("--port", type=int, default=0,
                    help="0 lets the OS pick; the address is printed")
-    c.set_defaults(func=cmd_cache_serve)
+    flavor_group = c.add_mutually_exclusive_group()
+    flavor_group.add_argument(
+        "--async", dest="threaded", action="store_false",
+        help="selectors event-loop server with streamed bodies (default)")
+    flavor_group.add_argument(
+        "--threaded", dest="threaded", action="store_true",
+        help="thread-per-connection server (the pre-async flavor)")
+    c.add_argument("--max-body-bytes", type=int,
+                   default=DEFAULT_MAX_BODY_BYTES, metavar="N",
+                   help="reject any single request body larger than N "
+                        "with a clean error instead of buffering it")
+    c.set_defaults(func=cmd_cache_serve, threaded=False)
 
     c = cache_sub.add_parser("gc",
                              help="LRU-evict entries until the store fits a "

@@ -17,6 +17,9 @@ with one process. This package supplies the missing persistence layer:
 * :class:`~repro.store.remote.RemoteBackend` /
   :class:`~repro.store.remote.StoreServer` — a small push/pull/has wire
   protocol over a local socket, letting two processes share one store.
+* :class:`~repro.store.async_server.AsyncStoreServer` — the same
+  protocol from a ``selectors`` event loop: hundreds of pooled sessions
+  on one thread, streamed blob bodies, write-side backpressure.
 * :func:`~repro.store.gc.collect` — size accounting and LRU garbage
   collection over a cache's access-ordered index, honouring pinned
   manifests.
@@ -40,6 +43,7 @@ from repro.store.backend import (
     index_ref_name,
     index_ref_names,
 )
+from repro.store.async_server import AsyncStoreServer
 from repro.store.gc import GCReport, collect
 from repro.store.remote import RemoteBackend, RemoteStoreError, StoreServer
 from repro.store.transfer import export_store, import_store
@@ -50,7 +54,7 @@ __all__ = [
     "INDEX_REF", "INDEX_REF_PREFIX", "PINS_REF",
     "index_ref_name", "index_ref_names",
     "GCReport", "collect",
-    "RemoteBackend", "RemoteStoreError", "StoreServer",
+    "AsyncStoreServer", "RemoteBackend", "RemoteStoreError", "StoreServer",
     "SessionPool", "WireSession",
     "export_store", "import_store",
 ]

@@ -1,0 +1,663 @@
+"""Event-loop store server: one thread multiplexing every connection.
+
+:class:`AsyncStoreServer` serves the exact wire protocol of
+:class:`~repro.store.remote.StoreServer` — same commands, same framing,
+same error surfaces — but from a ``selectors``-based event loop instead
+of a thread per connection. A build farm's worth of pooled
+:class:`~repro.store.wire.WireSession`\\ s (hundreds of mostly-idle
+sockets, bursts of pipelined requests) costs one file descriptor each
+and zero threads, instead of a stack and a scheduler entry per socket.
+
+Design:
+
+* **Non-blocking sockets, incremental parsing.** Each connection owns an
+  input buffer and a small state machine (``header`` -> ``body`` /
+  ``chunks`` -> back), so a request header split across ten TCP segments
+  or a 4 MiB chunked body arriving at line rate both parse without a
+  dedicated thread blocking on ``recv``.
+* **A small executor for blocking backend I/O.** Command dispatch against
+  a persistent backend (``FileBackend`` disk ops) runs on a
+  ``ThreadPoolExecutor`` of a few workers; results come back to the loop
+  through a completion queue and a socketpair waker. Against an
+  in-memory backend, dispatch runs inline — the ops are microseconds and
+  the executor hop would dominate.
+* **Write-side backpressure.** Responses append to a bounded
+  per-connection output buffer. When a slow reader lets it reach
+  ``max_outbuf_bytes``, the loop stops *reading* from that connection
+  (so it cannot pipeline more work) and stops pulling from an in-flight
+  chunked response until the buffer drains below the bound again. One
+  stalled peer costs one buffer, never the loop.
+* **O(chunk) body residency.** Streamed puts feed each chunk straight
+  into the backend's incremental blob writer; streamed gets pull the
+  blob ``CHUNK_SIZE`` bytes at a time, paced by the output buffer. The
+  ``peak_body_bytes`` high-water mark in :class:`ServerMetrics` is the
+  observable: a 4 MiB streamed transfer moves it by one chunk, not one
+  blob.
+* **max_body_bytes.** An oversized fixed body is consumed and discarded
+  (framing survives), an oversized chunked body aborts its writer and
+  drains to the terminator; both get a clean ``"too_large"`` error frame
+  and the session continues.
+
+Ordering: responses must leave in request order, so while a chunked
+response is being pumped (or a request is executing) the loop parses no
+further requests from that connection — pipelined input simply waits in
+the buffer. A half-close from a one-shot client is honored the same way
+the thread server honors it: everything already buffered is parsed and
+answered, the output flushed, then the connection closed.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import selectors
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.store.backend import (
+    Backend,
+    BlobNotFound,
+    iter_blob,
+    open_blob_writer,
+)
+from repro.store.remote import (
+    DEFAULT_MAX_BODY_BYTES,
+    ServerMetrics,
+    _too_large_response,
+    body_declared,
+    dispatch_command,
+)
+from repro.store.wire import (
+    CHUNK_PREFIX_BYTES,
+    CHUNK_SIZE,
+    CHUNK_TERMINATOR,
+    MAX_CHUNK_BYTES,
+    MAX_HEADER_BYTES,
+    chunk_prefix,
+    encode_message,
+    parse_chunk_prefix,
+)
+
+__all__ = ["AsyncStoreServer", "DEFAULT_MAX_OUTBUF_BYTES"]
+
+#: Per-connection output-buffer bound: the backpressure high-water mark.
+#: Reaching it pauses both reads from that peer and chunk production for
+#: it. Large enough to keep a healthy reader's pipe full, small enough
+#: that a thousand stalled peers still cost well under a gigabyte.
+DEFAULT_MAX_OUTBUF_BYTES = 1 << 20
+
+# Sized for bulk transfer: reading 64 KiB at a time would cost a full
+# select round per chunk frame and cap large-blob throughput well below
+# loopback speed; a 256 KiB recv and a send that can flush a whole
+# high-water output buffer keep the loop syscall-bound, not round-bound.
+_RECV_BYTES = 1 << 18
+_SEND_BYTES = 1 << 20
+
+_ACCEPT = "accept"
+_WAKER = "waker"
+
+
+class _Connection:
+    """Per-connection parse/write state for the event loop."""
+
+    __slots__ = ("sock", "fd", "inbuf", "pos", "outbuf", "state", "need",
+                 "req", "discard", "declared", "writer", "stream",
+                 "stream_total", "failure", "busy", "eof", "closing",
+                 "events", "registered")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.inbuf = bytearray()
+        self.pos = 0            # parse offset into inbuf (compacted lazily)
+        self.outbuf = bytearray()
+        self.state = "header"
+        self.need = 0           # fixed-body bytes still owed
+        self.req = None         # header awaiting its fixed body
+        self.discard = False    # fixed body being drained (too large)
+        self.declared = 0       # size of the body being drained
+        self.writer = None      # incremental blob writer (chunked put)
+        self.stream = None      # chunk iterator (chunked response)
+        self.stream_total = 0   # chunked-put payload bytes so far
+        self.failure = None     # deferred chunked-put error (bad digest...)
+        self.busy = False       # a request is executing; don't parse more
+        self.eof = False        # peer half-closed its write side
+        self.closing = False    # flush outbuf, then close
+        self.events = 0
+        self.registered = False
+
+
+class AsyncStoreServer:
+    """Drop-in :class:`~repro.store.remote.StoreServer` replacement on a
+    ``selectors`` event loop.
+
+    Usage is identical (``start()``/``stop()``/context manager,
+    ``address``, ``stats()``); only the concurrency model differs. The
+    default for ``cache serve`` — pass ``--threaded`` there for the old
+    flavor.
+    """
+
+    flavor = "async"
+
+    def __init__(self, backend: Backend, host: str = "127.0.0.1",
+                 port: int = 0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 max_outbuf_bytes: int = DEFAULT_MAX_OUTBUF_BYTES,
+                 executor_workers: "int | None" = None):
+        self.backend = backend
+        self.max_body_bytes = max_body_bytes
+        self.max_outbuf_bytes = max_outbuf_bytes
+        self.metrics = ServerMetrics()
+        if executor_workers is None:
+            # Persistent backends block on disk; memory ones would pay
+            # more for the executor hop than for the op itself.
+            executor_workers = 4 if getattr(backend, "persistent", False) \
+                else 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="store-io") if executor_workers else None
+        self._done: collections.deque = collections.deque()
+        self._conns: dict[int, _Connection] = {}
+        self._selector = selectors.DefaultSelector()
+        self._listen = socket.create_server((host, port), backlog=256,
+                                            reuse_port=False)
+        self._listen.setblocking(False)
+        self._selector.register(self._listen, selectors.EVENT_READ, _ACCEPT)
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ,
+                                _WAKER)
+        self._cas_lock = threading.Lock()
+        self._stopping = False
+        self._thread: "threading.Thread | None" = None
+
+    # -- public surface (parity with StoreServer) ------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listen.getsockname()[:2]
+        return str(host), int(port)
+
+    @property
+    def connections_served(self) -> int:
+        return self.metrics.connections_served
+
+    @property
+    def requests_served(self) -> int:
+        return self.metrics.requests_served
+
+    def stats(self) -> dict:
+        """Traffic counters (:class:`ServerMetrics` snapshot)."""
+        return self.metrics.snapshot()
+
+    def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
+        """Atomic server-side ref compare-and-swap (same contract as the
+        thread server's)."""
+        cas = getattr(self.backend, "compare_and_set_ref", None)
+        if cas is not None:
+            return bool(cas(name, expected, data))
+        with self._cas_lock:  # pragma: no cover - all bundled backends CAS
+            if self.backend.get_ref(name) != expected:
+                return False
+            self.backend.set_ref(name, data)
+            return True
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self._run,
+                                        name="store-server-async",
+                                        daemon=True)
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._stopping = True
+        self._wakeup()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        for sock in (self._listen, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._selector.close()
+
+    def __enter__(self) -> "AsyncStoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- event loop ------------------------------------------------------------
+
+    def _wakeup(self) -> None:
+        try:
+            self._wake_send.send(b"\x01")
+        except OSError:  # pragma: no cover - full pipe already wakes us
+            pass
+
+    def _run(self) -> None:
+        while not self._stopping:
+            for key, mask in self._selector.select():
+                if key.data is _ACCEPT:
+                    self._accept()
+                elif key.data is _WAKER:
+                    try:
+                        while self._wake_recv.recv(1024):
+                            pass
+                    except BlockingIOError:
+                        pass
+                else:
+                    conn = key.data
+                    if conn.fd not in self._conns:
+                        continue  # closed earlier this sweep
+                    if mask & selectors.EVENT_READ:
+                        self._on_readable(conn)
+                    if conn.fd in self._conns and \
+                            mask & selectors.EVENT_WRITE:
+                        self._on_writable(conn)
+            self._drain_done()
+        for conn in list(self._conns.values()):
+            self._close(conn)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listen.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
+            conn = _Connection(sock)
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            conn.events = selectors.EVENT_READ
+            conn.registered = True
+            self.metrics.connection()
+
+    def _close(self, conn: _Connection) -> None:
+        self._conns.pop(conn.fd, None)
+        if conn.registered:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):  # pragma: no cover
+                pass
+            conn.registered = False
+        if conn.writer is not None:
+            try:
+                conn.writer.abort()
+            except Exception:  # pragma: no cover
+                pass
+            conn.writer = None
+        if conn.stream is not None:
+            close = getattr(conn.stream, "close", None)
+            if close is not None:
+                close()
+            conn.stream = None
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _update(self, conn: _Connection) -> None:
+        """Recompute selector interest; close if the session is over."""
+        if conn.fd not in self._conns:
+            return
+        if not conn.outbuf and conn.stream is None and not conn.busy:
+            if conn.closing or (conn.eof and not conn.inbuf):
+                self._close(conn)
+                return
+        events = 0
+        if (not conn.eof and not conn.closing and not conn.busy
+                and conn.stream is None
+                and len(conn.outbuf) < self.max_outbuf_bytes):
+            events |= selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        if events == conn.events:
+            return
+        if not events:
+            if conn.registered:
+                self._selector.unregister(conn.sock)
+                conn.registered = False
+        elif conn.registered:
+            self._selector.modify(conn.sock, events, conn)
+        else:
+            self._selector.register(conn.sock, events, conn)
+            conn.registered = True
+        conn.events = events if events else 0
+
+    # -- reading / parsing -----------------------------------------------------
+
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_BYTES)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            conn.eof = True
+        else:
+            self.metrics.add_in(len(data))
+            conn.inbuf += data
+        self._process(conn)
+        self._update(conn)
+
+    def _process(self, conn: _Connection) -> None:
+        """Advance the parse state machine over buffered input.
+
+        Stops while a request executes or a chunked response streams —
+        responses leave in request order, so pipelined input waits.
+        Parsing moves ``conn.pos`` through ``inbuf`` and compacts once on
+        the way out, so consuming a frame never memmoves the buffer tail
+        (a 4 MiB chunked body is ~64 frames, not 64 buffer rewrites).
+        """
+        try:
+            while (not conn.busy and not conn.closing
+                    and conn.stream is None and conn.fd in self._conns):
+                if conn.state == "header":
+                    if not self._parse_header(conn):
+                        return
+                elif conn.state == "body":
+                    if not self._parse_body(conn):
+                        return
+                elif conn.state == "chunks":
+                    if not self._parse_chunk(conn):
+                        return
+        finally:
+            if conn.pos:
+                del conn.inbuf[:conn.pos]
+                conn.pos = 0
+
+    def _fail(self, conn: _Connection, error: str) -> None:
+        """Framing failure: answer once, then end the session (the frame
+        stream cannot be resynchronized)."""
+        self._respond(conn, {"ok": False, "error": error})
+        conn.closing = True
+
+    def _parse_header(self, conn: _Connection) -> bool:
+        idx = conn.inbuf.find(b"\n", conn.pos)
+        if idx < 0:
+            if len(conn.inbuf) - conn.pos > MAX_HEADER_BYTES:
+                self._fail(conn, "header too large")
+            elif conn.eof and len(conn.inbuf) > conn.pos:
+                self._fail(conn, "malformed header: truncated")
+            return False
+        line = bytes(conn.inbuf[conn.pos:idx])
+        conn.pos = idx + 1
+        if len(line) > MAX_HEADER_BYTES:
+            self._fail(conn, "header too large")
+            return False
+        try:
+            req = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            self._fail(conn, f"malformed header: {exc}")
+            return False
+        if not isinstance(req, dict):
+            self._fail(conn, "malformed header: not an object")
+            return False
+        if req.get("cmd") == "bye":
+            conn.closing = True
+            return False
+        self.metrics.request()
+        self._begin_request(conn, req)
+        return True
+
+    def _begin_request(self, conn: _Connection, req: dict) -> None:
+        cmd = req.get("cmd")
+        if req.get("chunked"):
+            if cmd == "put":
+                conn.state = "chunks"
+                conn.stream_total = 0
+                conn.failure = None
+                try:
+                    conn.writer = open_blob_writer(self.backend, req["digest"])
+                except (KeyError, ValueError) as exc:
+                    conn.writer = None  # malformed: drain, then report
+                    conn.failure = exc
+                return
+            if cmd == "get":
+                self._begin_chunked_get(conn, req)
+                return
+            self._fail(conn, f"command {cmd!r} does not stream")
+            return
+        declared = body_declared(req)
+        if declared > self.max_body_bytes:
+            conn.state = "body"
+            conn.need = declared
+            conn.declared = declared
+            conn.discard = True
+            return
+        if declared:
+            conn.state = "body"
+            conn.need = declared
+            conn.discard = False
+            conn.req = req
+            return
+        self._dispatch(conn, req, b"")
+
+    def _parse_body(self, conn: _Connection) -> bool:
+        avail = len(conn.inbuf) - conn.pos
+        if conn.discard:
+            take = min(avail, conn.need)
+            conn.pos += take
+            conn.need -= take
+            if conn.need:
+                if conn.eof:
+                    self._fail(conn, f"short body: expected {conn.need} "
+                                     f"more bytes")
+                return False
+            conn.discard = False
+            conn.state = "header"
+            self._respond(conn, _too_large_response(conn.declared,
+                                                    self.max_body_bytes))
+            return True
+        if avail < conn.need:
+            if conn.eof:
+                self._fail(conn, f"short body: expected "
+                                 f"{conn.need - avail} more bytes")
+            return False
+        body = bytes(conn.inbuf[conn.pos:conn.pos + conn.need])
+        conn.pos += conn.need
+        req, conn.req = conn.req, None
+        conn.need = 0
+        conn.state = "header"
+        self.metrics.note_body(len(body))
+        self._dispatch(conn, req, body)
+        return True
+
+    def _parse_chunk(self, conn: _Connection) -> bool:
+        avail = len(conn.inbuf) - conn.pos
+        if avail < CHUNK_PREFIX_BYTES:
+            if conn.eof:
+                self._fail(conn, "short body: chunk stream truncated")
+            return False
+        size = parse_chunk_prefix(conn.inbuf, conn.pos)
+        if size == 0:
+            conn.pos += CHUNK_PREFIX_BYTES
+            conn.state = "header"
+            self._finish_chunked_put(conn)
+            return True
+        if size > MAX_CHUNK_BYTES:
+            self._fail(conn, f"chunk frame of {size} bytes exceeds "
+                             f"{MAX_CHUNK_BYTES}")
+            return False
+        frame = CHUNK_PREFIX_BYTES + size
+        if avail < frame:
+            if conn.eof:
+                self._fail(conn, "short body: chunk stream truncated")
+            return False
+        start = conn.pos + CHUNK_PREFIX_BYTES
+        chunk = bytes(conn.inbuf[start:start + size])
+        conn.pos += frame
+        conn.stream_total += size
+        if conn.writer is not None:
+            self.metrics.note_body(conn.stream_total if conn.writer.buffered
+                                   else size)
+            if conn.stream_total > self.max_body_bytes:
+                conn.writer.abort()  # keep draining; answer at terminator
+                conn.writer = None
+            else:
+                try:
+                    conn.writer.write(chunk)
+                except Exception as exc:  # disk full mid-stream, etc.
+                    conn.failure = exc
+                    conn.writer.abort()
+                    conn.writer = None
+        return True
+
+    # -- executing -------------------------------------------------------------
+
+    def _dispatch(self, conn: _Connection, req: dict, body: bytes) -> None:
+        self._submit(conn, lambda: self._run_command(req, body))
+
+    def _run_command(self, req: dict, body: bytes) -> tuple[dict, bytes]:
+        try:
+            return dispatch_command(self.backend, self.cas_ref, req, body,
+                                    server=self)
+        except BlobNotFound as exc:
+            return {"ok": False, "not_found": True, "error": str(exc)}, b""
+        except Exception as exc:
+            return {"ok": False, "error": str(exc)}, b""
+
+    def _finish_chunked_put(self, conn: _Connection) -> None:
+        writer, conn.writer = conn.writer, None
+        failure, conn.failure = conn.failure, None
+        total = conn.stream_total
+        max_body = self.max_body_bytes
+
+        def commit() -> tuple[dict, bytes]:
+            if total > max_body:
+                return _too_large_response(total, max_body), b""
+            if failure is not None:
+                return {"ok": False, "error": str(failure)}, b""
+            try:
+                writer.commit()
+            except Exception as exc:  # integrity rejection and kin
+                return {"ok": False, "error": str(exc)}, b""
+            # NOT "size": that would declare a response body.
+            return {"ok": True, "received": total}, b""
+
+        self._submit(conn, commit)
+
+    def _submit(self, conn: _Connection, fn) -> None:
+        conn.busy = True
+        if self._executor is None:
+            self._finish(conn, fn())
+            return
+        future = self._executor.submit(fn)
+        future.add_done_callback(
+            lambda f, conn=conn: self._completed(conn, f))
+
+    def _completed(self, conn: _Connection, future) -> None:
+        """Executor thread: queue the result and poke the loop awake."""
+        try:
+            result = future.result()
+        except Exception as exc:  # pragma: no cover - _run_command catches
+            result = ({"ok": False, "error": str(exc)}, b"")
+        self._done.append((conn, result))
+        self._wakeup()
+
+    def _drain_done(self) -> None:
+        while self._done:
+            conn, result = self._done.popleft()
+            if conn.fd not in self._conns:
+                continue
+            self._finish(conn, result)
+            self._process(conn)
+            self._update(conn)
+
+    def _finish(self, conn: _Connection, result: tuple[dict, bytes]) -> None:
+        conn.busy = False
+        header, payload = result
+        self._respond(conn, header, payload)
+
+    # -- writing ---------------------------------------------------------------
+
+    def _respond(self, conn: _Connection, header: dict,
+                 payload: bytes = b"") -> None:
+        if payload:
+            self.metrics.note_body(len(payload))
+        conn.outbuf += encode_message(header, payload)
+        self.metrics.note_outbuf(len(conn.outbuf))
+
+    def _begin_chunked_get(self, conn: _Connection, req: dict) -> None:
+        backend = self.backend
+        try:
+            digest = req["digest"]
+            size_of = getattr(backend, "blob_size", None)
+            size = size_of(digest) if size_of is not None else None
+            if size is None:
+                if not backend.has(digest):
+                    raise BlobNotFound(digest)
+                size = -1  # unknown; the terminator delimits the body
+        except BlobNotFound as exc:
+            self._respond(conn, {"ok": False, "not_found": True,
+                                 "error": str(exc)})
+            return
+        except Exception as exc:
+            self._respond(conn, {"ok": False, "error": str(exc)})
+            return
+        self._respond(conn, {"ok": True, "chunked": True, "size": size})
+        conn.stream = iter_chunked(backend, digest)
+        self._pump(conn)
+
+    def _pump(self, conn: _Connection) -> None:
+        """Pull response chunks while the output buffer has headroom —
+        the backpressure valve for slow readers."""
+        while conn.stream is not None and \
+                len(conn.outbuf) < self.max_outbuf_bytes:
+            try:
+                chunk = next(conn.stream)
+            except StopIteration:
+                conn.stream = None
+                conn.outbuf += CHUNK_TERMINATOR
+                break
+            except Exception:
+                # Blob vanished mid-stream: the frame cannot be finished
+                # honestly, so the connection dies rather than lies.
+                conn.stream = None
+                self._close(conn)
+                return
+            n = len(chunk)
+            if not n:  # pragma: no cover - iter_blob never yields empty
+                continue
+            self.metrics.note_body(n)
+            conn.outbuf += chunk_prefix(n)
+            conn.outbuf += chunk
+        self.metrics.note_outbuf(len(conn.outbuf))
+
+    def _on_writable(self, conn: _Connection) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(memoryview(conn.outbuf)[:_SEND_BYTES])
+            except BlockingIOError:  # pragma: no cover
+                sent = 0
+            except OSError:
+                self._close(conn)
+                return
+            if sent:
+                self.metrics.add_out(sent)
+                del conn.outbuf[:sent]
+        if conn.stream is not None:
+            self._pump(conn)
+            if conn.fd not in self._conns:
+                return
+        self._process(conn)
+        self._update(conn)
+
+
+def iter_chunked(backend, digest: str):
+    """Chunk iterator for a streamed response (module-level so tests can
+    monkeypatch pacing)."""
+    return iter_blob(backend, digest, CHUNK_SIZE)

@@ -1,10 +1,17 @@
 """A shared artifact store over a local socket: server + client backend.
 
 Two processes (a CI builder and a fleet deployer, say) share one store by
-pointing :class:`RemoteBackend` at a :class:`StoreServer` that wraps any
-local :class:`~repro.store.backend.Backend` — typically a
+pointing :class:`RemoteBackend` at a store server that wraps any local
+:class:`~repro.store.backend.Backend` — typically a
 :class:`~repro.store.backend.FileBackend`, giving both persistence *and*
-sharing.
+sharing. Two server flavors speak the identical protocol:
+
+* :class:`StoreServer` (this module) — thread-per-connection
+  (``socketserver.ThreadingTCPServer``), the historical baseline.
+* :class:`~repro.store.async_server.AsyncStoreServer` — a
+  ``selectors``-based event loop multiplexing thousands of connections
+  over one thread, with write-side backpressure and O(chunk) body
+  residency. The default for ``cache serve``.
 
 The wire protocol is deliberately tiny — a newline-terminated JSON header
 followed by an optional raw-bytes body::
@@ -31,6 +38,21 @@ exchange — one header listing digests, bodies concatenated in digest
 order. Against an old server that lacks them, the client detects the
 ``unknown command`` reply once and falls back to per-item loops.
 
+**Streaming bodies** keep multi-MB lowered modules from being staged
+whole in RAM on either end. A ``put`` header declaring ``"chunked":
+true`` is followed by length-prefixed chunks ended by a zero-length
+terminator; the server feeds each chunk into the backend's incremental
+blob writer (temp file + running hash for :class:`FileBackend`). A
+``get`` header declaring ``"chunked": true`` asks the server to *answer*
+chunked, reading the blob ``CHUNK_SIZE`` bytes at a time. The client
+streams ``put`` bodies above ``stream_threshold`` and requests chunked
+``get`` responses whenever the server advertises the capability — probed
+once via ``{"cmd": "capabilities"}``, with transparent whole-body
+fallback against a legacy server (the same pattern ``put_many`` uses).
+Oversized bodies are rejected with a clean error frame (the server
+drains the declared bytes to keep framing, answers ``"too_large"``, and
+the session continues) instead of OOMing the daemon.
+
 Ref compare-and-swap rides the same shape — the body carries the expected
 bytes (``expected_size >= 0``; ``-1`` means "ref must not exist") followed
 by the new bytes, and the server executes the swap atomically against its
@@ -41,10 +63,15 @@ local backend, so N clients hammering one index ref serialize correctly::
     <- {"ok": true, "swapped": true}\n
 
 Digests are verified on the server side (the backend re-hashes every
-write), so a corrupted transfer is rejected rather than stored. This is
-the push/pull/has protocol the ROADMAP's "remote artifact-cache backend"
-item asks for, kept intentionally simpler than a registry: immutable
-content-addressed blobs need no etags, no ranges, no auth dance.
+write, incrementally for streamed ones), so a corrupted transfer is
+rejected rather than stored.
+
+Both servers account traffic through one :class:`ServerMetrics`:
+``connections_served``/``requests_served`` (the session-pool benchmark's
+observable), ``bytes_in``/``bytes_out`` (wire volume), and
+``peak_body_bytes`` — the high-water mark of any single body buffer the
+server staged in memory, the first-class hook for asserting that
+streamed transfers stay O(chunk) rather than O(blob).
 """
 
 from __future__ import annotations
@@ -53,36 +80,257 @@ import socketserver
 import threading
 from typing import Iterable
 
-from repro.store.backend import Backend, BlobNotFound
+from repro.store.backend import (
+    Backend,
+    BlobNotFound,
+    backend_stat,
+    blob_size_many as _backend_blob_size_many,
+    has_many as _backend_has_many,
+    iter_blob,
+    open_blob_writer,
+    put_many as _backend_put_many,
+)
 from repro.store.wire import (
+    CHUNK_SIZE,
     MAX_HEADER_BYTES,
     ConnectionClosed,
+    CountingFile,
     SessionPool,
     WireError,
+    read_chunk as _read_chunk,
     read_exact as _read_exact,
     read_message as _read_header,
     round_trip,
+    write_chunks as _write_chunks,
     write_message as _write_response,
 )
 
-__all__ = ["MAX_HEADER_BYTES", "RemoteBackend", "RemoteStoreError", "StoreServer"]
+__all__ = [
+    "MAX_HEADER_BYTES", "DEFAULT_MAX_BODY_BYTES", "STREAM_THRESHOLD",
+    "RemoteBackend", "RemoteStoreError", "ServerMetrics", "StoreServer",
+    "body_declared", "dispatch_command",
+]
 
 #: Digests per batched wire request — keeps every header comfortably under
 #: :data:`MAX_HEADER_BYTES` (a digest is ~75 header bytes).
 BATCH_DIGESTS = 256
+
+#: Reject any single request/response body larger than this instead of
+#: staging (or even draining into a blob writer) without bound. Generous:
+#: lowered-module blobs are tens of MB at most.
+DEFAULT_MAX_BODY_BYTES = 1 << 30
+
+#: Client-side default: blobs at least this large stream as chunked
+#: bodies (when the server is capable); smaller ones ride classic
+#: whole-body frames whose fixed cost is lower.
+STREAM_THRESHOLD = 256 * 1024
+
+#: What current servers advertise to the ``capabilities`` probe.
+SERVER_CAPS = {"sessions": True, "batched": True, "put_many": True,
+               "streams": True}
 
 
 class RemoteStoreError(WireError):
     pass
 
 
+class ServerMetrics:
+    """Thread-safe traffic counters shared by both server flavors.
+
+    ``peak_body_bytes`` is the largest single body buffer the server ever
+    held resident — a streamed transfer should keep it at the chunk
+    size, a whole-body one pins it at the blob size. ``peak_outbuf_bytes``
+    is the async server's write-buffer high-water mark (the backpressure
+    bound); the thread server writes synchronously and leaves it 0.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.connections_served = 0
+        self.requests_served = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.peak_body_bytes = 0
+        self.peak_outbuf_bytes = 0
+
+    def connection(self) -> None:
+        with self._lock:
+            self.connections_served += 1
+
+    def request(self) -> None:
+        with self._lock:
+            self.requests_served += 1
+
+    def add_in(self, n: int) -> None:
+        with self._lock:
+            self.bytes_in += n
+
+    def add_out(self, n: int) -> None:
+        with self._lock:
+            self.bytes_out += n
+
+    def note_body(self, n: int) -> None:
+        with self._lock:
+            if n > self.peak_body_bytes:
+                self.peak_body_bytes = n
+
+    def note_outbuf(self, n: int) -> None:
+        with self._lock:
+            if n > self.peak_outbuf_bytes:
+                self.peak_outbuf_bytes = n
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "connections_served": self.connections_served,
+                "requests_served": self.requests_served,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "peak_body_bytes": self.peak_body_bytes,
+                "peak_outbuf_bytes": self.peak_outbuf_bytes,
+            }
+
+
+def body_declared(req: dict) -> int:
+    """Fixed body bytes a request header declares (0 for chunked bodies,
+    which frame their own length chunk by chunk)."""
+    if req.get("chunked"):
+        return 0
+    cmd = req.get("cmd")
+    if cmd in ("put", "set_ref"):
+        return int(req.get("size", 0))
+    if cmd == "cas_ref":
+        expected = int(req.get("expected_size", -1))
+        return max(expected, 0) + int(req.get("size", 0))
+    if cmd == "put_many":
+        return sum(int(size) for _, size in req.get("blobs", ()))
+    return 0
+
+
+def dispatch_command(backend: Backend, cas_ref, req: dict, body: bytes,
+                     server=None) -> tuple[dict, bytes]:
+    """Execute one non-streaming store command against ``backend``.
+
+    ``body`` is the request's fully-read fixed body (both server flavors
+    assemble it before dispatching, so this function never touches the
+    socket and is safe to run on an executor thread). Raises
+    :class:`BlobNotFound`/``Exception`` for command-level failures the
+    caller answers without ending the session. ``server`` (when given)
+    supplies ``flavor`` and ``stats()`` for the introspection commands.
+    """
+    cmd = req.get("cmd")
+    if cmd == "put":
+        backend.put(req["digest"], body)
+        return {"ok": True}, b""
+    if cmd == "get":
+        data = backend.get(req["digest"])
+        return {"ok": True, "size": len(data)}, data
+    if cmd == "has":
+        return {"ok": True, "has": backend.has(req["digest"])}, b""
+    if cmd == "delete":
+        return {"ok": True, "deleted": backend.delete(req["digest"])}, b""
+    if cmd == "digests":
+        return {"ok": True, "digests": backend.digests()}, b""
+    if cmd == "blob_age":
+        age_of = getattr(backend, "blob_age_seconds", None)
+        age = age_of(req["digest"]) if age_of is not None else None
+        return {"ok": True, "age": age}, b""
+    if cmd == "blob_size":
+        size_of = getattr(backend, "blob_size", None)
+        size = size_of(req["digest"]) if size_of is not None else None
+        return {"ok": True, "blob_size": size}, b""
+    if cmd == "stat":
+        count, total = backend_stat(backend)
+        return {"ok": True, "count": count, "total_bytes": total}, b""
+    if cmd == "put_many":
+        sizes = [(str(digest), int(size))
+                 for digest, size in req.get("blobs", ())]
+        blobs = {}
+        offset = 0
+        view = memoryview(body)
+        for digest, size in sizes:
+            blobs[digest] = bytes(view[offset:offset + size])
+            offset += size
+        _backend_put_many(backend, blobs)
+        return {"ok": True, "stored": len(blobs)}, b""
+    if cmd == "get_many":
+        sizes: list[int] = []
+        parts: list[bytes] = []
+        for digest in req.get("digests", ()):
+            try:
+                data = backend.get(digest)
+            except KeyError:  # BlobNotFound included
+                sizes.append(-1)
+                continue
+            sizes.append(len(data))
+            parts.append(data)
+        payload = b"".join(parts)
+        return {"ok": True, "sizes": sizes, "size": len(payload)}, payload
+    if cmd == "has_many":
+        present = _backend_has_many(backend, list(req.get("digests", ())))
+        return {"ok": True,
+                "has": [present[d] for d in req.get("digests", ())]}, b""
+    if cmd == "blob_size_many":
+        sized = _backend_blob_size_many(backend, list(req.get("digests", ())))
+        return {"ok": True,
+                "blob_sizes": [sized[d]
+                               for d in req.get("digests", ())]}, b""
+    if cmd == "set_ref":
+        backend.set_ref(req["name"], body)
+        return {"ok": True}, b""
+    if cmd == "get_ref":
+        data = backend.get_ref(req["name"])
+        if data is None:
+            return {"ok": True, "size": -1}, b""
+        return {"ok": True, "size": len(data)}, data
+    if cmd == "cas_ref":
+        expected_size = int(req.get("expected_size", -1))
+        if expected_size >= 0:
+            expected: bytes | None = body[:expected_size]
+            data = body[expected_size:]
+        else:
+            expected = None
+            data = body
+        swapped = cas_ref(req["name"], expected, data)
+        return {"ok": True, "swapped": swapped}, b""
+    if cmd == "delete_ref":
+        return {"ok": True, "deleted": backend.delete_ref(req["name"])}, b""
+    if cmd == "refs":
+        return {"ok": True, "refs": backend.refs()}, b""
+    if cmd == "capabilities":
+        return {"ok": True, "caps": dict(SERVER_CAPS),
+                "flavor": getattr(server, "flavor", "unknown")}, b""
+    if cmd == "server_stats":
+        if server is None:
+            return {"ok": False, "error": "server stats unavailable"}, b""
+        return {"ok": True, "flavor": server.flavor, **server.stats()}, b""
+    return {"ok": False, "error": f"unknown command {cmd!r}"}, b""
+
+
+def _discard_exact(rfile, size: int, chunk: int = CHUNK_SIZE) -> None:
+    """Read and drop ``size`` declared body bytes — keeps the frame
+    stream synchronized after rejecting an oversized body."""
+    remaining = size
+    while remaining:
+        data = rfile.read(min(remaining, chunk))
+        if not data:
+            raise WireError(f"short body: expected {remaining} more bytes")
+        remaining -= len(data)
+
+
+def _too_large_response(total: int, max_body: int) -> dict:
+    return {"ok": False, "too_large": True,
+            "error": f"body of {total} bytes exceeds "
+                     f"max_body_bytes={max_body}"}
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """Serve one connection: a session of framed requests until EOF/bye.
 
-    Command-level failures (missing blob, integrity rejection) are
-    answered and the session continues; *framing* failures (malformed
-    header, a declared body that never arrives) cannot be resynchronized,
-    so they are answered once and the connection closed.
+    Command-level failures (missing blob, integrity rejection, oversized
+    body) are answered and the session continues; *framing* failures
+    (malformed header, a declared body that never arrives) cannot be
+    resynchronized, so they are answered once and the connection closed.
     """
 
     # A buffered write side coalesces header+body into one segment, and
@@ -94,133 +342,142 @@ class _Handler(socketserver.StreamRequestHandler):
     disable_nagle_algorithm = True
 
     def handle(self) -> None:
-        server = self.server
-        with server.metrics_lock:  # type: ignore[attr-defined]
-            server.connections_served += 1  # type: ignore[attr-defined]
+        store: "StoreServer" = self.server.store_server  # type: ignore[attr-defined]
+        metrics = store.metrics
+        metrics.connection()
+        rfile = CountingFile(self.rfile, metrics.add_in)
+        wfile = CountingFile(self.wfile, metrics.add_out)
         while True:
             try:
-                req = _read_header(self.rfile)
+                req = _read_header(rfile)
             except ConnectionClosed:
                 return  # clean end of session (one-shot client half-close)
             except WireError as exc:
-                self._respond({"ok": False, "error": str(exc)})
+                self._respond(wfile, {"ok": False, "error": str(exc)})
                 return
             if req.get("cmd") == "bye":
                 return
-            with server.metrics_lock:  # type: ignore[attr-defined]
-                server.requests_served += 1  # type: ignore[attr-defined]
+            metrics.request()
             try:
-                header, body = self._dispatch(req)
+                header, body, stream = self._serve_request(store, req, rfile)
             except WireError as exc:
                 # The request's own body never arrived in full — the
                 # stream is desynchronized and the session must end.
-                self._respond({"ok": False, "error": str(exc)})
+                self._respond(wfile, {"ok": False, "error": str(exc)})
                 return
             except BlobNotFound as exc:
-                if not self._respond({"ok": False, "not_found": True,
-                                      "error": str(exc)}):
+                if not self._respond(wfile, {"ok": False, "not_found": True,
+                                             "error": str(exc)}):
                     return
                 continue
             except Exception as exc:  # surface to the client, keep serving
-                if not self._respond({"ok": False, "error": str(exc)}):
+                if not self._respond(wfile, {"ok": False, "error": str(exc)}):
                     return
                 continue
-            if not self._respond(header, body):
+            if stream is not None:
+                if not self._respond_stream(wfile, header, stream, metrics):
+                    return
+            elif not self._respond(wfile, header, body):
                 return
 
-    def _respond(self, header: dict, body: bytes = b"") -> bool:
+    def _respond(self, wfile, header: dict, body: bytes = b"") -> bool:
         try:
-            _write_response(self.wfile, header, body)
+            _write_response(wfile, header, body)
             return True
         except OSError:  # pragma: no cover - client already gone
             return False
 
-    def _dispatch(self, req: dict) -> tuple[dict, bytes]:
-        backend: Backend = self.server.backend  # type: ignore[attr-defined]
+    def _respond_stream(self, wfile, header: dict, stream,
+                        metrics: ServerMetrics) -> bool:
+        """Write a chunked response, pulling the body chunk by chunk —
+        the blob is never whole in memory on the way out."""
+        def counted():
+            for chunk in stream:
+                metrics.note_body(len(chunk))
+                yield chunk
+        try:
+            _write_response(wfile, header)
+            _write_chunks(wfile, counted())
+            return True
+        except OSError:  # pragma: no cover - client already gone
+            return False
+        except Exception:  # mid-stream backend failure: cannot resync
+            return False
+
+    def _serve_request(self, store: "StoreServer", req: dict, rfile):
+        """Read the request's body (fixed or chunked) and execute it.
+        Returns ``(header, body, stream)`` — ``stream`` is a chunk
+        iterator for chunked responses, else None."""
+        backend = store.backend
+        metrics = store.metrics
+        max_body = store.max_body_bytes
         cmd = req.get("cmd")
-        if cmd == "put":
-            body = _read_exact(self.rfile, int(req["size"]))
-            backend.put(req["digest"], body)
-            return {"ok": True}, b""
-        if cmd == "get":
-            data = backend.get(req["digest"])
-            return {"ok": True, "size": len(data)}, data
-        if cmd == "has":
-            return {"ok": True, "has": backend.has(req["digest"])}, b""
-        if cmd == "delete":
-            return {"ok": True, "deleted": backend.delete(req["digest"])}, b""
-        if cmd == "digests":
-            return {"ok": True, "digests": backend.digests()}, b""
-        if cmd == "blob_age":
-            age_of = getattr(backend, "blob_age_seconds", None)
-            age = age_of(req["digest"]) if age_of is not None else None
-            return {"ok": True, "age": age}, b""
-        if cmd == "blob_size":
-            size_of = getattr(backend, "blob_size", None)
-            size = size_of(req["digest"]) if size_of is not None else None
-            return {"ok": True, "blob_size": size}, b""
-        if cmd == "stat":
-            from repro.store.backend import backend_stat
-            count, total = backend_stat(backend)
-            return {"ok": True, "count": count, "total_bytes": total}, b""
-        if cmd == "put_many":
-            # Read the *entire* declared body before applying anything:
-            # a mid-batch integrity failure must not leave unread bytes
-            # that would desynchronize the session.
-            sizes = [(str(digest), int(size))
-                     for digest, size in req.get("blobs", ())]
-            datas = [_read_exact(self.rfile, size) for _, size in sizes]
-            blobs = {digest: data
-                     for (digest, _), data in zip(sizes, datas)}
-            from repro.store.backend import put_many
-            put_many(backend, blobs)
-            return {"ok": True, "stored": len(blobs)}, b""
-        if cmd == "get_many":
-            sizes: list[int] = []
-            parts: list[bytes] = []
-            for digest in req.get("digests", ()):
-                try:
-                    data = backend.get(digest)
-                except KeyError:  # BlobNotFound included
-                    sizes.append(-1)
-                    continue
-                sizes.append(len(data))
-                parts.append(data)
-            body = b"".join(parts)
-            return {"ok": True, "sizes": sizes, "size": len(body)}, body
-        if cmd == "has_many":
-            from repro.store.backend import has_many
-            present = has_many(backend, list(req.get("digests", ())))
-            return {"ok": True,
-                    "has": [present[d] for d in req.get("digests", ())]}, b""
-        if cmd == "blob_size_many":
-            from repro.store.backend import blob_size_many
-            sized = blob_size_many(backend, list(req.get("digests", ())))
-            return {"ok": True,
-                    "blob_sizes": [sized[d]
-                                   for d in req.get("digests", ())]}, b""
-        if cmd == "set_ref":
-            body = _read_exact(self.rfile, int(req["size"]))
-            backend.set_ref(req["name"], body)
-            return {"ok": True}, b""
-        if cmd == "get_ref":
-            data = backend.get_ref(req["name"])
-            if data is None:
-                return {"ok": True, "size": -1}, b""
-            return {"ok": True, "size": len(data)}, data
-        if cmd == "cas_ref":
-            expected_size = int(req.get("expected_size", -1))
-            expected = (_read_exact(self.rfile, expected_size)
-                        if expected_size >= 0 else None)
-            data = _read_exact(self.rfile, int(req["size"]))
-            swapped = self.server.cas_ref(  # type: ignore[attr-defined]
-                req["name"], expected, data)
-            return {"ok": True, "swapped": swapped}, b""
-        if cmd == "delete_ref":
-            return {"ok": True, "deleted": backend.delete_ref(req["name"])}, b""
-        if cmd == "refs":
-            return {"ok": True, "refs": backend.refs()}, b""
-        return {"ok": False, "error": f"unknown command {cmd!r}"}, b""
+        if req.get("chunked"):
+            if cmd == "put":
+                return self._chunked_put(store, req, rfile)
+            if cmd == "get":
+                return self._chunked_get(backend, req, metrics)
+            raise WireError(f"command {cmd!r} does not stream")
+        declared = body_declared(req)
+        if declared > max_body:
+            _discard_exact(rfile, declared)
+            return _too_large_response(declared, max_body), b"", None
+        body = b""
+        if declared:
+            metrics.note_body(declared)
+            body = _read_exact(rfile, declared)
+        header, payload = dispatch_command(backend, store.cas_ref, req, body,
+                                           server=store)
+        if payload:
+            metrics.note_body(len(payload))
+        return header, payload, None
+
+    def _chunked_put(self, store: "StoreServer", req: dict, rfile):
+        """Feed a chunked request body into the backend's incremental
+        blob writer; oversized streams are drained (framing survives)
+        and answered with a clean error."""
+        metrics = store.metrics
+        writer = None
+        failure: Exception | None = None
+        try:
+            writer = open_blob_writer(store.backend, req["digest"])
+        except (KeyError, ValueError) as exc:
+            failure = exc  # malformed request: drain, then report
+        total = 0
+        while True:
+            chunk = _read_chunk(rfile)  # WireError on truncation ends session
+            if not chunk:
+                break
+            total += len(chunk)
+            if writer is not None:
+                metrics.note_body(total if writer.buffered else len(chunk))
+            if total > store.max_body_bytes and writer is not None:
+                writer.abort()
+                writer = None
+            if writer is not None:
+                writer.write(chunk)
+        if total > store.max_body_bytes:
+            return _too_large_response(total, store.max_body_bytes), b"", None
+        if failure is not None:
+            return {"ok": False, "error": str(failure)}, b"", None
+        writer.commit()  # integrity failures surface, session continues
+        # NOT "size": a positive size in a response header declares a
+        # response body; this is just an echo of what was received.
+        return {"ok": True, "received": total}, b"", None
+
+    def _chunked_get(self, backend: Backend, req: dict,
+                     metrics: ServerMetrics):
+        """Answer a ``get`` with a chunked body read ``CHUNK_SIZE`` bytes
+        at a time — O(chunk) resident however large the blob."""
+        digest = req["digest"]
+        size_of = getattr(backend, "blob_size", None)
+        size = size_of(digest) if size_of is not None else None
+        if size is None:
+            if not backend.has(digest):
+                raise BlobNotFound(digest)
+            size = -1  # size unknown; chunk terminator delimits the body
+        return ({"ok": True, "chunked": True, "size": size}, b"",
+                iter_blob(backend, digest, CHUNK_SIZE))
 
 
 class StoreServer:
@@ -236,32 +493,40 @@ class StoreServer:
     Also usable as a context manager. Port 0 (the default) lets the OS
     pick a free port — the chosen one is returned by :meth:`start`.
 
-    ``connections_served`` / ``requests_served`` count accepted
-    connections and dispatched commands — the observable that the
-    session-pool benchmark asserts on (a pooled farm workload should show
-    requests >> connections).
+    This is the thread-per-connection flavor: simple, and fine for a
+    handful of builders. A farm of hundreds of pooled sessions wants
+    :class:`~repro.store.async_server.AsyncStoreServer`, which serves the
+    same protocol from one event-loop thread. Traffic counters live in
+    :attr:`metrics` (see :class:`ServerMetrics`); ``connections_served``
+    / ``requests_served`` remain as properties for existing callers.
     """
 
-    def __init__(self, backend: Backend, host: str = "127.0.0.1", port: int = 0):
+    flavor = "thread"
+
+    def __init__(self, backend: Backend, host: str = "127.0.0.1",
+                 port: int = 0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES):
         self.backend = backend
+        self.max_body_bytes = max_body_bytes
+        self.metrics = ServerMetrics()
         self._server = socketserver.ThreadingTCPServer(
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
-        self._server.backend = backend  # type: ignore[attr-defined]
-        self._server.cas_ref = self.cas_ref  # type: ignore[attr-defined]
-        self._server.metrics_lock = threading.Lock()  # type: ignore[attr-defined]
-        self._server.connections_served = 0  # type: ignore[attr-defined]
-        self._server.requests_served = 0  # type: ignore[attr-defined]
+        self._server.store_server = self  # type: ignore[attr-defined]
         self._cas_lock = threading.Lock()
         self._thread: threading.Thread | None = None
 
     @property
     def connections_served(self) -> int:
-        return self._server.connections_served  # type: ignore[attr-defined]
+        return self.metrics.connections_served
 
     @property
     def requests_served(self) -> int:
-        return self._server.requests_served  # type: ignore[attr-defined]
+        return self.metrics.requests_served
+
+    def stats(self) -> dict:
+        """Traffic counters (:class:`ServerMetrics` snapshot)."""
+        return self.metrics.snapshot()
 
     def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
         """Execute one ref compare-and-swap atomically on the server side.
@@ -314,18 +579,29 @@ class RemoteBackend:
     one-shot server) is detected and transparently replaced. Pass
     ``pooled=False`` for the historical connect-per-operation discipline
     (and the benchmark's baseline).
+
+    Blobs at least ``stream_threshold`` bytes are pushed as chunked
+    streams, and ``get`` asks for chunked responses, whenever the server
+    advertises the ``streams`` capability — probed once, with whole-body
+    fallback against legacy servers. ``stream_threshold=None`` disables
+    streaming entirely (the historical wire shape).
     """
 
     persistent = True
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
-                 pooled: bool = True, max_sessions: int = 4):
+                 pooled: bool = True, max_sessions: int = 4,
+                 stream_threshold: "int | None" = STREAM_THRESHOLD,
+                 max_idle_seconds: float = 60.0):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.pooled = pooled
+        self.stream_threshold = stream_threshold
         self._pool = SessionPool(host, port, timeout=timeout,
-                                 max_idle=max_sessions) if pooled else None
+                                 max_idle=max_sessions,
+                                 max_idle_seconds=max_idle_seconds) \
+            if pooled else None
         # Batched commands an old server rejected once — fall back to
         # per-item loops immediately instead of re-asking every call —
         # and ones a probe confirmed, so the probe runs at most once.
@@ -342,6 +618,11 @@ class RemoteBackend:
         """TCP connections this backend has opened (pooled mode only
         tracks precisely; one-shot mode opens one per operation)."""
         return self._pool.connections_opened if self._pool is not None else -1
+
+    def pool_stats(self) -> "dict | None":
+        """Session-pool shape (idle sockets, churn, reaping), or None
+        when running one-shot."""
+        return self._pool.stats() if self._pool is not None else None
 
     def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
         try:
@@ -374,12 +655,52 @@ class RemoteBackend:
                 return None
             raise
 
+    def _server_streams(self) -> bool:
+        """Probe (once) whether the server speaks chunked bodies.
+
+        The ``capabilities`` command is header-only, so an old server's
+        ``unknown command`` reply always arrives cleanly and streaming
+        silently downgrades to whole-body frames — no blob bytes are
+        ever at risk mid-probe.
+        """
+        if "streams" in self._supported:
+            return True
+        if "streams" in self._unsupported:
+            return False
+        got = self._batched("capabilities", {"cmd": "capabilities"})
+        caps = got[0].get("caps", {}) if got is not None else {}
+        if caps.get("streams"):
+            self._supported.add("streams")
+            return True
+        self._unsupported.add("streams")
+        return False
+
+    def _streaming(self, size: "int | None" = None) -> bool:
+        if self.stream_threshold is None:
+            return False
+        # An empty body sends no chunk frames, so never "stream" one
+        # (matters only for stream_threshold=0, i.e. stream-everything).
+        if size is not None and (not size or size < self.stream_threshold):
+            return False
+        return self._server_streams()
+
     # -- blobs -----------------------------------------------------------------
 
     def put(self, digest: str, data: bytes) -> None:
-        self._round_trip({"cmd": "put", "digest": digest, "size": len(data)}, data)
+        if self._streaming(len(data)):
+            self._round_trip({"cmd": "put", "digest": digest,
+                              "size": len(data), "chunked": True}, data)
+            return
+        self._round_trip({"cmd": "put", "digest": digest, "size": len(data)},
+                         data)
 
     def get(self, digest: str) -> bytes:
+        # Chunked responses cost ~8 framing bytes per 64 KiB — noise for
+        # small blobs, and the server never stages big ones whole.
+        if self._streaming():
+            _, payload = self._round_trip({"cmd": "get", "digest": digest,
+                                           "chunked": True})
+            return payload
         _, payload = self._round_trip({"cmd": "get", "digest": digest})
         return payload
 
@@ -428,12 +749,26 @@ class RemoteBackend:
         return True
 
     def put_many(self, blobs: dict[str, bytes]) -> None:
-        """Push many blobs, ~:data:`BATCH_DIGESTS` per round-trip."""
-        if blobs and not self._server_does_put_many():
-            for digest, data in blobs.items():  # old server: one-by-one
+        """Push many blobs, ~:data:`BATCH_DIGESTS` per round-trip.
+
+        Blobs above the streaming threshold go individually as chunked
+        streams (the server never stages them whole); the remainder ride
+        the classic concatenated-body batches.
+        """
+        small = blobs
+        if blobs and self.stream_threshold is not None:
+            large = {digest: data for digest, data in blobs.items()
+                     if len(data) >= self.stream_threshold}
+            if large and self._streaming():
+                small = {digest: data for digest, data in blobs.items()
+                         if digest not in large}
+                for digest, data in large.items():
+                    self.put(digest, data)
+        if small and not self._server_does_put_many():
+            for digest, data in small.items():  # old server: one-by-one
                 self.put(digest, data)
             return
-        items = list(blobs.items())
+        items = list(small.items())
         for start in range(0, len(items), BATCH_DIGESTS):
             chunk = items[start:start + BATCH_DIGESTS]
             header = {"cmd": "put_many",
@@ -507,6 +842,13 @@ class RemoteBackend:
     @property
     def total_bytes(self) -> int:
         return self.stat()[1]
+
+    def server_stats(self) -> dict:
+        """The server's traffic counters (``bytes_in``/``bytes_out``/
+        ``peak_body_bytes``...) in one round-trip — what ``cache serve``
+        status output and the benchmarks read."""
+        resp, _ = self._round_trip({"cmd": "server_stats"})
+        return {key: value for key, value in resp.items() if key != "ok"}
 
     # -- refs ------------------------------------------------------------------
 

@@ -26,16 +26,50 @@ Two connection disciplines ride on the same frames:
 peer silently dropped (server restart, an old one-shot-only server that
 closes after each response) fails its next exchange *before any response
 bytes arrive*, and the pool transparently reconnects and resends. A fresh
-connection failing is a real error and propagates.
+connection failing is a real error and propagates. The pool is bounded in
+both directions: at most ``max_idle`` warm sockets survive check-in, and
+sockets idle longer than ``max_idle_seconds`` are reaped on the next pool
+operation — a long-lived worker talking to many stores can never
+accumulate file descriptors without limit.
+
+**Chunked bodies** extend the frame format for multi-MB payloads: a header
+declaring ``"chunked": true`` is followed not by a fixed-size body but by a
+sequence of length-prefixed chunks (4-byte big-endian length, then that
+many payload bytes) ended by a zero-length terminator::
+
+    {"cmd": "put", "digest": ..., "chunked": true}\n
+    <4-byte len><chunk bytes> ... <4-byte len><chunk bytes> <00 00 00 00>
+
+Responses stream the same way when their header says ``"chunked": true``.
+Neither end ever needs the whole body resident: senders slice a memoryview
+(or pull from any chunk iterator), receivers hand each chunk to a sink as
+it arrives. Peers that predate chunking never see it — servers only stream
+responses to clients that asked, and clients probe the server's
+capabilities before streaming a request body.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import struct
 import threading
+import time
 
 MAX_HEADER_BYTES = 64 * 1024
+
+#: Default chunk size for streamed bodies: big enough to amortize frame
+#: and syscall overhead, small enough that per-connection staging memory
+#: stays trivial (the async server's O(chunk) residency guarantee).
+CHUNK_SIZE = 64 * 1024
+
+#: Upper bound on a single chunk frame — a sanity valve against a
+#: corrupted or hostile length prefix allocating gigabytes.
+MAX_CHUNK_BYTES = 8 * 1024 * 1024
+
+_CHUNK_PREFIX = struct.Struct(">I")
+CHUNK_PREFIX_BYTES = _CHUNK_PREFIX.size
+CHUNK_TERMINATOR = _CHUNK_PREFIX.pack(0)
 
 
 class WireError(RuntimeError):
@@ -67,24 +101,138 @@ def read_message(rfile) -> dict:
 
 
 def read_exact(rfile, size: int) -> bytes:
-    """Read exactly ``size`` body bytes; a short read is a protocol error."""
-    chunks: list[bytes] = []
-    remaining = size
-    while remaining:
-        chunk = rfile.read(remaining)
+    """Read exactly ``size`` body bytes; a short read is a protocol error.
+
+    Fills one preallocated buffer via ``readinto`` instead of
+    accumulating a chunk list and joining — a multi-MB body costs a
+    single final copy (bytearray -> bytes) rather than one per read plus
+    the join.
+    """
+    buf = bytearray(size)
+    view = memoryview(buf)
+    got = 0
+    while got < size:
+        n = rfile.readinto(view[got:])
+        if not n:
+            raise WireError(f"short body: expected {size - got} more bytes")
+        got += n
+    return bytes(buf)
+
+
+def iter_chunks(data, chunk_size: int = CHUNK_SIZE):
+    """Slice ``data`` into zero-copy memoryview chunks for streaming."""
+    view = memoryview(data)
+    for start in range(0, len(view), chunk_size):
+        yield view[start:start + chunk_size]
+
+
+def write_chunks(wfile, chunks) -> int:
+    """Write a chunked body — each chunk length-prefixed, then the
+    zero-length terminator — and flush. Returns payload bytes written.
+
+    ``chunks`` is any iterable of bytes-like objects (memoryview slices
+    of an in-memory body, or file reads pulled on demand), so the sender
+    never needs the whole body materialized.
+    """
+    total = 0
+    for chunk in chunks:
+        n = len(chunk)
+        if not n:
+            continue
+        wfile.write(_CHUNK_PREFIX.pack(n))
+        wfile.write(chunk)
+        total += n
+    wfile.write(CHUNK_TERMINATOR)
+    wfile.flush()
+    return total
+
+
+def read_chunk(rfile) -> bytes:
+    """Read one chunk frame; ``b""`` is the end-of-body terminator."""
+    size = _CHUNK_PREFIX.unpack(read_exact(rfile, CHUNK_PREFIX_BYTES))[0]
+    if size == 0:
+        return b""
+    if size > MAX_CHUNK_BYTES:
+        raise WireError(f"chunk frame of {size} bytes exceeds "
+                        f"{MAX_CHUNK_BYTES}")
+    return read_exact(rfile, size)
+
+
+def read_chunked_body(rfile, max_bytes: "int | None" = None) -> bytes:
+    """Assemble a chunked body into bytes (receivers that need the whole
+    payload anyway — e.g. a client returning blob bytes to its caller)."""
+    parts = bytearray()
+    while True:
+        chunk = read_chunk(rfile)
         if not chunk:
-            raise WireError(f"short body: expected {size} more bytes")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+            return bytes(parts)
+        parts += chunk
+        if max_bytes is not None and len(parts) > max_bytes:
+            raise WireError(f"chunked body exceeds {max_bytes} bytes")
+
+
+def encode_message(header: dict, body: bytes = b"") -> bytes:
+    """One framed message as bytes — what buffer-building senders (the
+    async server's event loop) append to an output buffer."""
+    line = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+    return line + body if body else line
 
 
 def write_message(wfile, header: dict, body: bytes = b"") -> None:
     """Write one JSON header (and optional body) and flush."""
-    wfile.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
-    if body:
-        wfile.write(body)
+    wfile.write(encode_message(header, body))
     wfile.flush()
+
+
+def chunk_prefix(size: int) -> bytes:
+    """The 4-byte big-endian length prefix framing one chunk."""
+    return _CHUNK_PREFIX.pack(size)
+
+
+def parse_chunk_prefix(buf, offset: int = 0) -> int:
+    """Decode a chunk length prefix at ``offset`` into a buffer."""
+    return _CHUNK_PREFIX.unpack_from(buf, offset)[0]
+
+
+class CountingFile:
+    """Wrap a socket file, feeding every byte moved to a counter callback.
+
+    The thread server wraps its request/response files with this so its
+    ``bytes_in``/``bytes_out`` metrics measure actual wire traffic — the
+    async server counts raw ``recv``/``send`` instead, and the two stay
+    comparable.
+    """
+
+    def __init__(self, raw, on_bytes):
+        self._raw = raw
+        self._on_bytes = on_bytes
+
+    def read(self, size: int = -1) -> bytes:
+        data = self._raw.read(size)
+        self._on_bytes(len(data))
+        return data
+
+    def readinto(self, buf) -> int:
+        n = self._raw.readinto(buf)
+        if n:
+            self._on_bytes(n)
+        return n
+
+    def readline(self, limit: int = -1) -> bytes:
+        line = self._raw.readline(limit)
+        self._on_bytes(len(line))
+        return line
+
+    def write(self, data) -> int:
+        n = self._raw.write(data)
+        self._on_bytes(len(data))
+        return n
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+    def close(self) -> None:
+        self._raw.close()
 
 
 def request(host: str, port: int, header: dict, body: bytes = b"",
@@ -99,7 +247,13 @@ def request(host: str, port: int, header: dict, body: bytes = b"",
     try:
         wfile = sock.makefile("wb")
         rfile = sock.makefile("rb")
-        write_message(wfile, header, body)
+        if header.get("chunked") and body:
+            write_message(wfile, header)
+            write_chunks(wfile, iter_chunks(body))
+        else:
+            # A chunked header with no body sends no chunk frames at all —
+            # it only asks the server to *answer* chunked.
+            write_message(wfile, header, body)
         sock.shutdown(socket.SHUT_WR)
         resp = read_message(rfile)
         return resp, sock, rfile
@@ -108,19 +262,29 @@ def request(host: str, port: int, header: dict, body: bytes = b"",
         raise
 
 
+def read_response_body(rfile, resp: dict) -> bytes:
+    """Read whatever body the response header declares: a chunked stream
+    when ``"chunked": true``, ``size`` fixed bytes otherwise."""
+    if resp.get("chunked"):
+        return read_chunked_body(rfile)
+    size = resp.get("size", 0)
+    if size and size > 0:
+        return read_exact(rfile, size)
+    return b""
+
+
 def round_trip(host: str, port: int, header: dict, body: bytes = b"",
                timeout: float = 10.0) -> tuple[dict, bytes]:
     """One complete request/response exchange, body included.
 
     The response header's ``size`` field (when positive) declares a body;
-    it is read in full before the connection closes.
+    it is read in full before the connection closes. A request header
+    declaring ``"chunked": true`` streams its body as chunk frames, and a
+    chunked response is reassembled transparently.
     """
     resp, sock, rfile = request(host, port, header, body, timeout=timeout)
     try:
-        payload = b""
-        size = resp.get("size", 0)
-        if size and size > 0:
-            payload = read_exact(rfile, size)
+        payload = read_response_body(rfile, resp)
     finally:
         sock.close()
     return resp, payload
@@ -148,15 +312,25 @@ class WireSession:
         self.rfile = self.sock.makefile("rb")
         self.wfile = self.sock.makefile("wb")
         self.exchanges = 0
+        #: Stamped by SessionPool on check-in; drives idle-age reaping.
+        self.idle_since = time.monotonic()
 
     def exchange(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
-        """One request/response on this connection; body read in full."""
-        write_message(self.wfile, header, body)
+        """One request/response on this connection; body read in full.
+
+        A header declaring ``"chunked": true`` with a body streams it as
+        chunk frames instead of one fixed-size write; with no body the
+        flag only asks the server to answer chunked. A chunked response
+        is reassembled before returning. Either direction may stream
+        independently of the other.
+        """
+        if header.get("chunked") and body:
+            write_message(self.wfile, header)
+            write_chunks(self.wfile, iter_chunks(body))
+        else:
+            write_message(self.wfile, header, body)
         resp = read_message(self.rfile)
-        payload = b""
-        size = resp.get("size", 0)
-        if size and size > 0:
-            payload = read_exact(self.rfile, size)
+        payload = read_response_body(self.rfile, resp)
         self.exchanges += 1
         return resp, payload
 
@@ -193,35 +367,83 @@ class SessionPool:
     pool re-detects per request — and what survives a server restart
     between operations. A *fresh* connection failing propagates: that is
     a real error, not staleness.
+
+    The pool is bounded: at most ``max_idle`` sessions stay warm (extras
+    close on check-in), and a session idle longer than
+    ``max_idle_seconds`` is reaped the next time the pool is touched —
+    so a worker that talks to a store in bursts, or to many stores over
+    its lifetime, releases file descriptors between bursts instead of
+    holding every socket it ever opened. :meth:`stats` exposes the
+    current pool shape for operational visibility.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
-                 max_idle: int = 4):
+                 max_idle: int = 4, max_idle_seconds: float = 60.0):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_idle = max_idle
+        self.max_idle_seconds = max_idle_seconds
         self._idle: list[WireSession] = []
         self._lock = threading.Lock()
         #: TCP connections this pool has opened — the benchmark's measure
         #: of how much connection churn pooling saves.
         self.connections_opened = 0
+        #: Idle sessions closed by the age reaper or the max_idle cap.
+        self.connections_reaped = 0
+
+    def _reap_locked(self) -> list[WireSession]:
+        """Pop idle sessions past their age limit; caller closes them
+        outside the lock. ``_idle`` is kept in check-in order, so the
+        stale ones cluster at the front."""
+        if self.max_idle_seconds is None:
+            return []
+        cutoff = time.monotonic() - self.max_idle_seconds
+        stale_count = 0
+        for session in self._idle:
+            if getattr(session, "idle_since", cutoff) > cutoff:
+                break
+            stale_count += 1
+        if not stale_count:
+            return []
+        reaped, self._idle = self._idle[:stale_count], self._idle[stale_count:]
+        self.connections_reaped += len(reaped)
+        return reaped
 
     def _checkout(self) -> WireSession:
         with self._lock:
-            if self._idle:
-                return self._idle.pop()
+            stale = self._reap_locked()
+            session = self._idle.pop() if self._idle else None
+        for old in stale:
+            old.close(polite=False)
+        if session is not None:
+            return session
         session = WireSession(self.host, self.port, timeout=self.timeout)
         with self._lock:
             self.connections_opened += 1
         return session
 
     def _checkin(self, session: WireSession) -> None:
+        session.idle_since = time.monotonic()
         with self._lock:
+            stale = self._reap_locked()
             if len(self._idle) < self.max_idle:
                 self._idle.append(session)
-                return
-        session.close()
+                session = None
+            else:
+                self.connections_reaped += 1
+        for old in stale:
+            old.close(polite=False)
+        if session is not None:
+            session.close()
+
+    def stats(self) -> dict:
+        """Pool shape for status surfaces: warm sockets, churn, reaping."""
+        with self._lock:
+            return {"idle": len(self._idle),
+                    "max_idle": self.max_idle,
+                    "connections_opened": self.connections_opened,
+                    "connections_reaped": self.connections_reaped}
 
     def exchange(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
         """One round-trip through a pooled session, reconnecting through

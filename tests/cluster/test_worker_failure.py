@@ -232,9 +232,21 @@ class TestLeaseRenewal:
                                            produces=("slow-key",))])
             thread = threading.Thread(target=_work, daemon=True)
             thread.start()
+            # Wait until the job is actually leased to the slow worker —
+            # otherwise the vulture's first fetch can race the worker
+            # thread to the coordinator and win the *initial* lease,
+            # which is legitimate scheduling, not a renewal failure.
+            client = CoordinatorClient(host, port)
+            lease_deadline = time.monotonic() + 5.0
+            while time.monotonic() < lease_deadline:
+                record = client.status(["slow-job"])["slow-job"]
+                if record["state"] == "running":
+                    break
+                time.sleep(0.05)
+            assert record["state"] == "running" and \
+                record["worker"] == "slow", record
             # A competing worker polls the whole time (each poll drives
             # lease expiry); it must never be handed the renewed job.
-            client = CoordinatorClient(host, port)
             stolen = []
             deadline = time.monotonic() + 9.0
             while not done.is_set() and time.monotonic() < deadline:

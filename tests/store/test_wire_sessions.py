@@ -9,6 +9,7 @@ new-client x old-server must pass the store operation matrix.
 """
 
 import json
+import os
 import socket
 import socketserver
 import threading
@@ -162,6 +163,52 @@ class TestSessionPoolReconnect:
         backend = RemoteBackend(host, port, timeout=2)
         with pytest.raises(OSError):
             backend.get_ref("r")
+
+    def test_pool_caps_idle_sessions(self, server):
+        """A burst of concurrent checkouts never leaves more than
+        max_idle warm sockets behind — extras are closed on check-in."""
+        host, port = server.address
+        backend = RemoteBackend(host, port, max_sessions=2)
+        pool = backend._pool
+        # Simulate six in-flight callers: six simultaneous checkouts.
+        sessions = [pool._checkout() for _ in range(6)]
+        assert pool.stats()["connections_opened"] == 6
+        for session in sessions:
+            pool._checkin(session)
+        stats = backend.pool_stats()
+        assert stats == {"idle": 2, "max_idle": 2,
+                         "connections_opened": 6, "connections_reaped": 4}
+        # The two kept sessions still work.
+        backend.put(content_digest(b"after burst"), b"after burst")
+        assert backend.get(content_digest(b"after burst")) == b"after burst"
+        backend.close()
+
+    def test_pool_reaps_aged_idle_sessions(self, server):
+        """A session idle past max_idle_seconds is closed on the next
+        pool touch instead of holding its descriptor forever."""
+        import time
+        host, port = server.address
+        backend = RemoteBackend(host, port, max_idle_seconds=0.05)
+        backend.put(content_digest(b"warm"), b"warm")
+        assert backend.pool_stats()["idle"] == 1
+        time.sleep(0.1)
+        assert backend.get(content_digest(b"warm")) == b"warm"
+        stats = backend.pool_stats()
+        assert stats["connections_reaped"] >= 1
+        assert stats["connections_opened"] >= 2  # the reaped + its successor
+        backend.close()
+
+    def test_pool_stats_shape(self, server):
+        host, port = server.address
+        backend = RemoteBackend(host, port)
+        assert backend.pool_stats() == {"idle": 0, "max_idle": 4,
+                                        "connections_opened": 0,
+                                        "connections_reaped": 0}
+        backend.put(content_digest(b"x"), b"x")
+        assert backend.pool_stats()["idle"] == 1
+        backend.close()
+        one_shot = RemoteBackend(host, port, pooled=False)
+        assert one_shot.pool_stats() is None
 
     def test_concurrent_pooled_clients(self, server):
         """N threads hammer one pooled backend; every op lands and the
@@ -321,6 +368,36 @@ class TestInterop:
             # The unsupported commands were learned and cached.
             assert {"put_many", "has_many", "get_many"} <= \
                 backend._unsupported
+        finally:
+            backend.close()
+
+    def test_streaming_client_against_thread_server(self, server):
+        """Chunked bodies are a protocol feature, not an async-server
+        feature: the thread server speaks them too."""
+        host, port = server.address
+        backend = RemoteBackend(host, port, stream_threshold=1)
+        try:
+            blob = bytes(range(256)) * 2048  # 512 KiB, several chunks
+            digest = content_digest(blob)
+            backend.put(digest, blob)
+            assert "streams" in backend._supported  # probed once, cached
+            assert backend.get(digest) == blob
+        finally:
+            backend.close()
+
+    def test_streaming_falls_back_against_legacy_server(self, legacy_server):
+        """A legacy server rejects the capabilities probe with `unknown
+        command`; blobs above the threshold silently downgrade to
+        whole-body frames — no chunk bytes ever hit the old parser."""
+        host, port, local = legacy_server
+        backend = RemoteBackend(host, port, stream_threshold=1)
+        try:
+            blob = os.urandom(300 * 1024)
+            digest = content_digest(blob)
+            backend.put(digest, blob)
+            assert "streams" in backend._unsupported
+            assert local.get(digest) == blob
+            assert backend.get(digest) == blob
         finally:
             backend.close()
 
