@@ -18,15 +18,20 @@ Design:
 * **A small executor for blocking backend I/O.** Command dispatch against
   a persistent backend (``FileBackend`` disk ops) runs on a
   ``ThreadPoolExecutor`` of a few workers; results come back to the loop
-  through a completion queue and a socketpair waker. Against an
-  in-memory backend, dispatch runs inline — the ops are microseconds and
-  the executor hop would dominate.
+  through a completion queue and a socketpair waker. Streamed transfers
+  ride the same executor: a chunked put's writer opens, writes (in
+  batches of whatever chunks arrived since the last batch) and commits
+  off-loop, and a chunked get's size probe and disk reads are pulled
+  off-loop an outbuf's worth at a time — one contended disk never stalls
+  the other connections. Against an in-memory backend, everything runs
+  inline — the ops are microseconds and the executor hop would dominate.
 * **Write-side backpressure.** Responses append to a bounded
   per-connection output buffer. When a slow reader lets it reach
   ``max_outbuf_bytes``, the loop stops *reading* from that connection
   (so it cannot pipeline more work) and stops pulling from an in-flight
-  chunked response until the buffer drains below the bound again. One
-  stalled peer costs one buffer, never the loop.
+  chunked response until the buffer drains below the bound again. The
+  same bound caps a chunked put's not-yet-written backlog when the disk
+  is the slow side. One stalled peer costs one buffer, never the loop.
 * **O(chunk) body residency.** Streamed puts feed each chunk straight
   into the backend's incremental blob writer; streamed gets pull the
   blob ``CHUNK_SIZE`` bytes at a time, paced by the output buffer. The
@@ -37,6 +42,11 @@ Design:
   (framing survives), an oversized chunked body aborts its writer and
   drains to the terminator; both get a clean ``"too_large"`` error frame
   and the session continues.
+* **Fault isolation.** A header that parses as JSON but is malformed
+  where it counts (``"size": "abc"``) fails that session with an error
+  frame; a bug anywhere in a per-connection handler closes that
+  connection. Neither reaches the event loop — a single poisoned packet
+  must never take down the daemon.
 
 Ordering: responses must leave in request order, so while a chunked
 response is being pumped (or a request is executing) the loop parses no
@@ -44,6 +54,12 @@ further requests from that connection — pipelined input simply waits in
 the buffer. A half-close from a one-shot client is honored the same way
 the thread server honors it: everything already buffered is parsed and
 answered, the output flushed, then the connection closed.
+
+Connection identity: the loop never tests liveness by fd membership —
+fds are reused, so a completion for a connection that died mid-request
+could otherwise act on the unrelated connection that inherited its fd.
+Every check is ``_conns.get(conn.fd) is conn``, and :meth:`_close` only
+evicts the table entry that still maps to the closing object.
 """
 
 from __future__ import annotations
@@ -84,7 +100,8 @@ __all__ = ["AsyncStoreServer", "DEFAULT_MAX_OUTBUF_BYTES"]
 #: Per-connection output-buffer bound: the backpressure high-water mark.
 #: Reaching it pauses both reads from that peer and chunk production for
 #: it. Large enough to keep a healthy reader's pipe full, small enough
-#: that a thousand stalled peers still cost well under a gigabyte.
+#: that a thousand stalled peers still cost well under a gigabyte. The
+#: same bound caps a chunked put's parsed-but-unwritten backlog.
 DEFAULT_MAX_OUTBUF_BYTES = 1 << 20
 
 # Sized for bulk transfer: reading 64 KiB at a time would cost a full
@@ -104,7 +121,9 @@ class _Connection:
     __slots__ = ("sock", "fd", "inbuf", "pos", "outbuf", "state", "need",
                  "req", "discard", "declared", "writer", "stream",
                  "stream_total", "failure", "busy", "eof", "closing",
-                 "events", "registered")
+                 "events", "registered", "io_busy", "pending",
+                 "pending_bytes", "put_done", "put_over", "opened",
+                 "put_digest")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
@@ -126,6 +145,14 @@ class _Connection:
         self.closing = False    # flush outbuf, then close
         self.events = 0
         self.registered = False
+        # Executor-routed streamed I/O (persistent backends only):
+        self.io_busy = False    # a disk op for this conn is in flight
+        self.pending = []       # parsed put chunks awaiting their write op
+        self.pending_bytes = 0
+        self.put_done = False   # terminator seen; commit once writes drain
+        self.put_over = False   # body exceeded max_body_bytes; draining
+        self.opened = False     # blob writer open was attempted
+        self.put_digest = None
 
 
 class AsyncStoreServer:
@@ -241,6 +268,11 @@ class AsyncStoreServer:
         except OSError:  # pragma: no cover - full pipe already wakes us
             pass
 
+    def _live(self, conn: _Connection) -> bool:
+        """Whether ``conn`` is still THE connection on its fd. Identity,
+        not membership: a reused fd must never vouch for a dead object."""
+        return self._conns.get(conn.fd) is conn
+
     def _run(self) -> None:
         while not self._stopping:
             for key, mask in self._selector.select():
@@ -254,13 +286,16 @@ class AsyncStoreServer:
                         pass
                 else:
                     conn = key.data
-                    if conn.fd not in self._conns:
+                    if not self._live(conn):
                         continue  # closed earlier this sweep
-                    if mask & selectors.EVENT_READ:
-                        self._on_readable(conn)
-                    if conn.fd in self._conns and \
-                            mask & selectors.EVENT_WRITE:
-                        self._on_writable(conn)
+                    try:
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if self._live(conn) and \
+                                mask & selectors.EVENT_WRITE:
+                            self._on_writable(conn)
+                    except Exception:  # a handler bug costs one connection,
+                        self._close(conn)  # never the loop
             self._drain_done()
         for conn in list(self._conns.values()):
             self._close(conn)
@@ -284,13 +319,21 @@ class AsyncStoreServer:
             self.metrics.connection()
 
     def _close(self, conn: _Connection) -> None:
-        self._conns.pop(conn.fd, None)
+        if self._conns.get(conn.fd) is conn:
+            del self._conns[conn.fd]
         if conn.registered:
             try:
                 self._selector.unregister(conn.sock)
             except (KeyError, ValueError):  # pragma: no cover
                 pass
             conn.registered = False
+        conn.pending.clear()
+        conn.pending_bytes = 0
+        if conn.io_busy:
+            # An executor op owns the writer/stream right now; its
+            # completion callback sees the dead connection and cleans up.
+            conn.writer = None
+            conn.stream = None
         if conn.writer is not None:
             try:
                 conn.writer.abort()
@@ -298,27 +341,36 @@ class AsyncStoreServer:
                 pass
             conn.writer = None
         if conn.stream is not None:
-            close = getattr(conn.stream, "close", None)
-            if close is not None:
-                close()
+            self._close_stream(conn.stream)
             conn.stream = None
         try:
             conn.sock.close()
         except OSError:  # pragma: no cover
             pass
 
+    @staticmethod
+    def _close_stream(stream) -> None:
+        close = getattr(stream, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:  # pragma: no cover
+                pass
+
     def _update(self, conn: _Connection) -> None:
         """Recompute selector interest; close if the session is over."""
-        if conn.fd not in self._conns:
+        if not self._live(conn):
             return
-        if not conn.outbuf and conn.stream is None and not conn.busy:
+        if (not conn.outbuf and conn.stream is None and not conn.busy
+                and not conn.io_busy):
             if conn.closing or (conn.eof and not conn.inbuf):
                 self._close(conn)
                 return
         events = 0
         if (not conn.eof and not conn.closing and not conn.busy
                 and conn.stream is None
-                and len(conn.outbuf) < self.max_outbuf_bytes):
+                and len(conn.outbuf) < self.max_outbuf_bytes
+                and conn.pending_bytes < self.max_outbuf_bytes):
             events |= selectors.EVENT_READ
         if conn.outbuf:
             events |= selectors.EVENT_WRITE
@@ -364,7 +416,7 @@ class AsyncStoreServer:
         """
         try:
             while (not conn.busy and not conn.closing
-                    and conn.stream is None and conn.fd in self._conns):
+                    and conn.stream is None and self._live(conn)):
                 if conn.state == "header":
                     if not self._parse_header(conn):
                         return
@@ -410,7 +462,14 @@ class AsyncStoreServer:
             conn.closing = True
             return False
         self.metrics.request()
-        self._begin_request(conn, req)
+        try:
+            self._begin_request(conn, req)
+        except Exception as exc:
+            # Valid JSON, malformed where it counts ("size": "abc",
+            # "blobs": 123): the body length is unknowable, so the
+            # session ends — and the failure must never reach the loop.
+            self._fail(conn, f"malformed header: {exc}")
+            return False
         return True
 
     def _begin_request(self, conn: _Connection, req: dict) -> None:
@@ -420,11 +479,25 @@ class AsyncStoreServer:
                 conn.state = "chunks"
                 conn.stream_total = 0
                 conn.failure = None
-                try:
-                    conn.writer = open_blob_writer(self.backend, req["digest"])
-                except (KeyError, ValueError) as exc:
-                    conn.writer = None  # malformed: drain, then report
-                    conn.failure = exc
+                conn.writer = None
+                conn.put_done = False
+                conn.put_over = False
+                del conn.pending[:]
+                conn.pending_bytes = 0
+                conn.put_digest = req.get("digest")
+                if self._executor is None:
+                    try:
+                        conn.writer = open_blob_writer(self.backend,
+                                                       req["digest"])
+                    except Exception as exc:
+                        # Malformed digest or failed open (ENOSPC,
+                        # EACCES): drain the chunk stream, then report.
+                        conn.failure = exc
+                    conn.opened = True
+                else:
+                    # The writer opens lazily inside the first I/O batch,
+                    # off the loop thread.
+                    conn.opened = False
                 return
             if cmd == "get":
                 self._begin_chunked_get(conn, req)
@@ -486,7 +559,14 @@ class AsyncStoreServer:
         if size == 0:
             conn.pos += CHUNK_PREFIX_BYTES
             conn.state = "header"
-            self._finish_chunked_put(conn)
+            if self._executor is None:
+                self._finish_chunked_put(conn)
+            else:
+                # Writes may still be in flight; hold response ordering
+                # (busy) and commit once the write queue drains.
+                conn.busy = True
+                conn.put_done = True
+                self._drive_put(conn)
             return True
         if size > MAX_CHUNK_BYTES:
             self._fail(conn, f"chunk frame of {size} bytes exceeds "
@@ -501,20 +581,34 @@ class AsyncStoreServer:
         chunk = bytes(conn.inbuf[start:start + size])
         conn.pos += frame
         conn.stream_total += size
-        if conn.writer is not None:
-            self.metrics.note_body(conn.stream_total if conn.writer.buffered
-                                   else size)
-            if conn.stream_total > self.max_body_bytes:
-                conn.writer.abort()  # keep draining; answer at terminator
-                conn.writer = None
-            else:
-                try:
-                    conn.writer.write(chunk)
-                except Exception as exc:  # disk full mid-stream, etc.
-                    conn.failure = exc
-                    conn.writer.abort()
-                    conn.writer = None
+        if conn.stream_total > self.max_body_bytes:
+            conn.put_over = True  # keep draining; answer at terminator
+        if self._executor is None:
+            self._put_chunk_inline(conn, chunk)
+        elif not conn.put_over and conn.failure is None:
+            self.metrics.note_body(len(chunk))
+            conn.pending.append(chunk)
+            conn.pending_bytes += size
+            self._drive_put(conn)
+        elif conn.put_over:
+            self._drive_put(conn)  # abort the writer promptly
         return True
+
+    def _put_chunk_inline(self, conn: _Connection, chunk: bytes) -> None:
+        if conn.writer is None:
+            return  # draining: failed open, overflow, or write failure
+        self.metrics.note_body(conn.stream_total if conn.writer.buffered
+                               else len(chunk))
+        if conn.put_over:
+            conn.writer.abort()
+            conn.writer = None
+            return
+        try:
+            conn.writer.write(chunk)
+        except Exception as exc:  # disk full mid-stream, etc.
+            conn.failure = exc
+            conn.writer.abort()
+            conn.writer = None
 
     # -- executing -------------------------------------------------------------
 
@@ -557,30 +651,116 @@ class AsyncStoreServer:
             return
         future = self._executor.submit(fn)
         future.add_done_callback(
-            lambda f, conn=conn: self._completed(conn, f))
+            lambda f, conn=conn: self._enqueue(
+                conn, lambda c: self._finish_future(c, f)))
 
-    def _completed(self, conn: _Connection, future) -> None:
-        """Executor thread: queue the result and poke the loop awake."""
+    def _enqueue(self, conn: _Connection, fn) -> None:
+        """Executor thread: queue a loop-side completion, poke the loop."""
+        self._done.append((conn, fn))
+        self._wakeup()
+
+    def _finish_future(self, conn: _Connection, future) -> None:
         try:
             result = future.result()
         except Exception as exc:  # pragma: no cover - _run_command catches
             result = ({"ok": False, "error": str(exc)}, b"")
-        self._done.append((conn, result))
-        self._wakeup()
+        self._finish(conn, result)
 
     def _drain_done(self) -> None:
         while self._done:
-            conn, result = self._done.popleft()
-            if conn.fd not in self._conns:
-                continue
-            self._finish(conn, result)
-            self._process(conn)
-            self._update(conn)
+            conn, fn = self._done.popleft()
+            try:
+                fn(conn)
+                if self._live(conn):
+                    self._process(conn)
+                    self._update(conn)
+            except Exception:  # pragma: no cover - completions clean up
+                self._close(conn)
 
     def _finish(self, conn: _Connection, result: tuple[dict, bytes]) -> None:
         conn.busy = False
+        if not self._live(conn):
+            return
         header, payload = result
         self._respond(conn, header, payload)
+
+    # -- executor-routed streamed I/O ------------------------------------------
+
+    def _drive_put(self, conn: _Connection) -> None:
+        """Advance a chunked put's disk I/O off the loop thread.
+
+        At most one executor op per connection; chunks parsed meanwhile
+        queue in ``conn.pending`` (bounded by the read-side backpressure
+        in ``_update``). The writer opens lazily inside the first op,
+        and the terminator's commit waits for the queue to drain — every
+        disk touch happens on the executor.
+        """
+        if conn.io_busy or conn.closing:
+            return
+        discard = conn.put_over or conn.failure is not None
+        if discard:
+            conn.pending.clear()
+            conn.pending_bytes = 0
+        need_abort = discard and conn.writer is not None
+        need_open = not conn.opened and not discard
+        batch = None
+        if conn.pending:
+            batch, conn.pending = conn.pending, []
+            conn.pending_bytes = 0
+        if not (need_open or need_abort or batch):
+            if conn.put_done:
+                conn.put_done = False
+                self._finish_chunked_put(conn)
+            return
+        conn.io_busy = True
+        writer = conn.writer
+        conn.writer = None  # the executor owns it until the op completes
+        digest = conn.put_digest
+        backend = self.backend
+        metrics = self.metrics
+
+        def io() -> "tuple[object, Exception | None]":
+            w = writer
+            try:
+                if need_abort:
+                    w.abort()
+                    return None, None
+                if need_open:
+                    w = open_blob_writer(backend, digest)
+                for chunk in batch or ():
+                    w.write(chunk)
+                    if w.buffered:
+                        metrics.note_body(w.bytes_written)
+                return w, None
+            except Exception as exc:
+                if w is not None:
+                    try:
+                        w.abort()
+                    except Exception:  # pragma: no cover
+                        pass
+                return None, exc
+
+        future = self._executor.submit(io)
+        future.add_done_callback(
+            lambda f, conn=conn: self._enqueue(
+                conn, lambda c: self._put_io_done(c, f)))
+
+    def _put_io_done(self, conn: _Connection, future) -> None:
+        writer, exc = future.result()  # io() never raises
+        conn.io_busy = False
+        conn.opened = True
+        if not self._live(conn):
+            # The connection died mid-op; its writer is ours to clean up.
+            if writer is not None:
+                try:
+                    writer.abort()
+                except Exception:  # pragma: no cover
+                    pass
+            return
+        conn.writer = writer
+        if exc is not None and conn.failure is None:
+            conn.failure = exc
+        self._drive_put(conn)
 
     # -- writing ---------------------------------------------------------------
 
@@ -593,6 +773,33 @@ class AsyncStoreServer:
 
     def _begin_chunked_get(self, conn: _Connection, req: dict) -> None:
         backend = self.backend
+        if self._executor is not None:
+            # The size probe hits disk: resolve it off-loop, holding the
+            # connection busy so response order is preserved.
+            conn.busy = True
+
+            def resolve() -> "tuple[dict, str | None]":
+                try:
+                    digest = req["digest"]
+                    size_of = getattr(backend, "blob_size", None)
+                    size = size_of(digest) if size_of is not None else None
+                    if size is None:
+                        if not backend.has(digest):
+                            raise BlobNotFound(digest)
+                        size = -1  # unknown; the terminator delimits
+                    return ({"ok": True, "chunked": True, "size": size},
+                            digest)
+                except BlobNotFound as exc:
+                    return {"ok": False, "not_found": True,
+                            "error": str(exc)}, None
+                except Exception as exc:
+                    return {"ok": False, "error": str(exc)}, None
+
+            future = self._executor.submit(resolve)
+            future.add_done_callback(
+                lambda f, conn=conn: self._enqueue(
+                    conn, lambda c: self._get_ready(c, f)))
+            return
         try:
             digest = req["digest"]
             size_of = getattr(backend, "blob_size", None)
@@ -612,9 +819,24 @@ class AsyncStoreServer:
         conn.stream = iter_chunked(backend, digest)
         self._pump(conn)
 
+    def _get_ready(self, conn: _Connection, future) -> None:
+        header, digest = future.result()
+        conn.busy = False
+        if not self._live(conn):
+            return
+        self._respond(conn, header)
+        if digest is None:
+            return
+        conn.stream = iter_chunked(self.backend, digest)
+        self._drive_get(conn)
+
     def _pump(self, conn: _Connection) -> None:
         """Pull response chunks while the output buffer has headroom —
-        the backpressure valve for slow readers."""
+        the backpressure valve for slow readers. With an executor the
+        reads happen off-loop (:meth:`_drive_get`); inline otherwise."""
+        if self._executor is not None:
+            self._drive_get(conn)
+            return
         while conn.stream is not None and \
                 len(conn.outbuf) < self.max_outbuf_bytes:
             try:
@@ -637,6 +859,64 @@ class AsyncStoreServer:
             conn.outbuf += chunk
         self.metrics.note_outbuf(len(conn.outbuf))
 
+    def _drive_get(self, conn: _Connection) -> None:
+        """Pull one output buffer's worth of response chunks on the
+        executor — the backpressure valve doubles as loop isolation."""
+        if conn.io_busy or conn.stream is None or conn.closing:
+            return
+        budget = self.max_outbuf_bytes - len(conn.outbuf)
+        if budget <= 0:
+            return  # _on_writable re-drives once the peer drains
+        conn.io_busy = True
+        stream = conn.stream
+        metrics = self.metrics
+
+        def pull() -> "tuple[bytes, bool, Exception | None]":
+            frames = bytearray()
+            try:
+                while len(frames) < budget:
+                    try:
+                        chunk = next(stream)
+                    except StopIteration:
+                        frames += CHUNK_TERMINATOR
+                        return bytes(frames), True, None
+                    n = len(chunk)
+                    if not n:  # pragma: no cover - never yields empty
+                        continue
+                    metrics.note_body(n)
+                    frames += chunk_prefix(n)
+                    frames += chunk
+                return bytes(frames), False, None
+            except Exception as exc:
+                return b"", False, exc
+
+        future = self._executor.submit(pull)
+        future.add_done_callback(
+            lambda f, conn=conn: self._enqueue(
+                conn, lambda c: self._get_io_done(c, f, stream)))
+
+    def _get_io_done(self, conn: _Connection, future, stream) -> None:
+        frames, done, exc = future.result()  # pull() never raises
+        conn.io_busy = False
+        if not self._live(conn):
+            self._close_stream(stream)
+            return
+        if exc is not None:
+            # Blob vanished mid-stream: the frame cannot be finished
+            # honestly, so the connection dies rather than lies.
+            conn.stream = None
+            self._close_stream(stream)
+            self._close(conn)
+            return
+        if frames:
+            conn.outbuf += frames
+            self.metrics.note_outbuf(len(conn.outbuf))
+        if done:
+            conn.stream = None
+            self._close_stream(stream)
+        else:
+            self._drive_get(conn)
+
     def _on_writable(self, conn: _Connection) -> None:
         if conn.outbuf:
             try:
@@ -651,7 +931,7 @@ class AsyncStoreServer:
                 del conn.outbuf[:sent]
         if conn.stream is not None:
             self._pump(conn)
-            if conn.fd not in self._conns:
+            if not self._live(conn):
                 return
         self._process(conn)
         self._update(conn)

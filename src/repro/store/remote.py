@@ -418,7 +418,13 @@ class _Handler(socketserver.StreamRequestHandler):
             if cmd == "get":
                 return self._chunked_get(backend, req, metrics)
             raise WireError(f"command {cmd!r} does not stream")
-        declared = body_declared(req)
+        try:
+            declared = body_declared(req)
+        except (TypeError, ValueError) as exc:
+            # Valid JSON, malformed where it counts ("size": "abc"): the
+            # body length is unknowable, so the frame stream cannot be
+            # resynchronized and the session must end.
+            raise WireError(f"malformed header: {exc}") from exc
         if declared > max_body:
             _discard_exact(rfile, declared)
             return _too_large_response(declared, max_body), b"", None
@@ -441,8 +447,11 @@ class _Handler(socketserver.StreamRequestHandler):
         failure: Exception | None = None
         try:
             writer = open_blob_writer(store.backend, req["digest"])
-        except (KeyError, ValueError) as exc:
-            failure = exc  # malformed request: drain, then report
+        except Exception as exc:
+            # Malformed digest or failed open (ENOSPC, EACCES): the
+            # chunk stream must still drain to its terminator before the
+            # error goes out, or the session desynchronizes.
+            failure = exc
         total = 0
         while True:
             chunk = _read_chunk(rfile)  # WireError on truncation ends session

@@ -209,6 +209,110 @@ class TestTruncatedStream:
             backend.close()
 
 
+class TestMalformedHeaders:
+    """Headers that parse as JSON but are malformed where it counts.
+
+    A single such packet once killed the async event loop outright
+    (ValueError from ``int("abc")`` propagating out of ``_run``) and
+    silently desynchronized a thread-server session. Both flavors must
+    answer with an error frame and keep serving everyone else."""
+
+    POISON = [
+        {"cmd": "put", "digest": "sha256:" + "0" * 64, "size": "abc"},
+        {"cmd": "put_many", "blobs": 123},
+        {"cmd": "cas_ref", "name": "r", "expected_size": [], "size": 0},
+    ]
+
+    @pytest.mark.parametrize("flavor", [StoreServer, AsyncStoreServer])
+    @pytest.mark.parametrize("header", POISON)
+    def test_poison_header_gets_error_server_survives(self, flavor, header):
+        with flavor(MemoryBackend()) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(json.dumps(header).encode() + b"\n")
+                resp = json.loads(sock.makefile("rb").readline())
+                assert resp["ok"] is False
+                assert "malformed header" in resp["error"]
+            # The poison frame cost one session, never the server.
+            resp, _ = round_trip(host, port, {"cmd": "stat"})
+            assert resp["ok"]
+
+    def test_loop_survives_poison_amid_pooled_traffic(self):
+        """The async loop specifically: other connections stay served
+        after a poisoned one."""
+        with AsyncStoreServer(MemoryBackend()) as server:
+            host, port = server.address
+            backend = RemoteBackend(host, port)
+            try:
+                backend.put(content_digest(b"before"), b"before")
+                with socket.create_connection((host, port),
+                                              timeout=5) as sock:
+                    sock.sendall(json.dumps(self.POISON[0]).encode() + b"\n")
+                    sock.makefile("rb").readline()
+                backend.put(content_digest(b"after"), b"after")
+                assert backend.get(content_digest(b"after")) == b"after"
+            finally:
+                backend.close()
+
+
+class TestWriterOpenFailure:
+    @pytest.mark.parametrize("flavor", [StoreServer, AsyncStoreServer])
+    def test_failed_open_drains_stream_and_session_survives(
+            self, flavor, tmp_path, monkeypatch):
+        """An OSError from opening the blob writer (disk full, bad
+        perms) must drain the chunk stream to its terminator and answer
+        an error — not desync the session or kill the event loop."""
+        backend = FileBackend(tmp_path / "store")
+
+        def boom(digest):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(backend, "open_blob_writer", boom)
+        blob = os.urandom(3 * CHUNK_SIZE)
+        digest = content_digest(blob)
+        with flavor(backend) as server:
+            host, port = server.address
+            rb = RemoteBackend(host, port, stream_threshold=1)
+            try:
+                with pytest.raises(Exception) as exc_info:
+                    rb.put(digest, blob)
+                assert "No space left" in str(exc_info.value)
+                # Same pooled session keeps serving: the stream drained.
+                assert rb.has(digest) is False
+            finally:
+                rb.close()
+
+
+class TestConnectionIdentity:
+    def test_stale_connection_cannot_evict_fd_successor(self):
+        """fds are reused: bookkeeping for a connection that died with
+        work in flight must not touch the connection that inherited its
+        fd (whitebox — exercises the identity checks directly)."""
+        import repro.store.async_server as mod
+        with AsyncStoreServer(MemoryBackend()) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(json.dumps({"cmd": "stat"}).encode() + b"\n")
+                assert json.loads(sock.makefile("rb").readline())["ok"]
+                (fd, live), = server._conns.items()
+                a, b = socket.socketpair()
+                try:
+                    stale = mod._Connection(a)
+                    stale.fd = fd  # simulate the kernel reusing the fd
+                    assert not server._live(stale)
+                    server._close(stale)  # must not evict the live entry
+                    assert server._conns.get(fd) is live
+                    # A completion for the stale object is a no-op too.
+                    server._finish(stale, ({"ok": True}, b""))
+                    assert not stale.outbuf
+                finally:
+                    a.close()
+                    b.close()
+                # The live connection still serves on the same session.
+                sock.sendall(json.dumps({"cmd": "stat"}).encode() + b"\n")
+                assert json.loads(sock.makefile("rb").readline())["ok"]
+
+
 class TestBackpressure:
     def test_slow_reader_bounds_outbuf_and_loop_stays_responsive(self,
                                                                  tmp_path):
