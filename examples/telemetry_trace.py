@@ -1,0 +1,126 @@
+"""Unified telemetry: metrics registry, trace spans, farm-wide status.
+
+Walks the ISSUE 7 observability subsystem end to end, in-process:
+
+1. **Metrics registry** — named/labeled counters and fixed-bucket
+   histograms, and the snapshot algebra (`delta` then `merge`) that
+   heartbeat shipping is built on.
+2. **Traced build** — run `build_ir_container` under a recording root
+   span, export a Chrome trace-event file, and validate it.
+3. **Traced farm build** — a `LocalCluster` batch with the trace context
+   riding `Job.trace`: one trace id correlates client waves, coordinator
+   job lifecycles, and worker job spans. The same `--trace` flag on
+   `repro cluster build` does this across real processes, adding
+   store-server request spans.
+4. **Live farm status** — the coordinator's `telemetry` summary (what
+   `repro cluster top` renders): per-worker job counts, merged latency
+   histograms, windowed throughput.
+
+Run:  PYTHONPATH=src python examples/telemetry_trace.py
+"""
+
+import json
+import tempfile
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.cluster import LocalCluster
+from repro.core import build_ir_container
+from repro.telemetry import trace as trace_api
+from repro.telemetry.export import validate_chrome_trace, write_chrome_trace
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    merge_snapshot,
+    snapshot_delta,
+    summarize_histogram,
+)
+
+SYSTEMS = ["ault23", "ault25"]
+
+
+def registry_basics() -> None:
+    print("== metrics registry ==")
+    registry = MetricsRegistry()
+    registry.counter("cache.hits", namespace="lower").inc(3)
+    registry.histogram("cluster.worker.job_seconds",
+                       kind="deploy").observe(0.12)
+    baseline = registry.snapshot()
+    print("snapshot keys:", sorted(baseline["counters"]))
+
+    # The heartbeat protocol in miniature: only what changed ships, and
+    # the aggregator's merge reconstructs the worker's running totals.
+    registry.counter("cache.hits", namespace="lower").inc(2)
+    delta = snapshot_delta(registry.snapshot(), baseline)
+    print("heartbeat delta:", delta["counters"])
+    merged = merge_snapshot(dict(baseline), delta)
+    print("merged counter:",
+          merged["counters"]["cache.hits{namespace=lower}"])
+    summary = summarize_histogram(
+        registry.snapshot()["histograms"]
+        ["cluster.worker.job_seconds{kind=deploy}"])
+    print(f"job latency: p50={summary['p50'] * 1000:.0f}ms "
+          f"(n={summary['count']})")
+
+
+def traced_build(out_path: str) -> None:
+    print("\n== traced ir-build ==")
+    recorder = trace_api.TraceRecorder()
+    trace_api.set_service("example")
+    with trace_api.recording(recorder):
+        with trace_api.span("example.ir-build", attrs={"app": "lulesh"}):
+            build_ir_container(lulesh_model(), lulesh_configs())
+    spans = recorder.drain()
+    doc = write_chrome_trace(out_path, spans)
+    problems = validate_chrome_trace(doc)
+    stages = sorted({sp.name for sp in spans
+                     if sp.name.startswith("pipeline.stage.")})
+    print(f"{len(spans)} spans -> {out_path} "
+          f"({'valid' if not problems else problems})")
+    print("stage spans:", ", ".join(stages))
+
+
+def traced_farm_build(out_path: str) -> None:
+    print("\n== traced farm build + live status ==")
+    recorder = trace_api.TraceRecorder()
+    with LocalCluster(workers=2) as cluster:
+        with trace_api.recording(recorder):
+            with trace_api.span("example.cluster-build"):
+                report = cluster.build("lulesh", SYSTEMS)
+        spans = recorder.drain() + cluster.drain_spans()
+
+        # What `repro cluster top` renders, read in-process here.
+        summary = cluster.coordinator.queue.telemetry_summary()
+
+    doc = write_chrome_trace(out_path, spans)
+    problems = validate_chrome_trace(doc)
+    trace_ids = {sp.trace_id for sp in spans}
+    print(f"deployments: {[d['system'] for d in report.deployments]}")
+    print(f"{len(spans)} spans, {len(trace_ids)} trace id(s) "
+          f"-> {out_path} ({'valid' if not problems else problems})")
+    by_kind = {}
+    for sp in spans:
+        by_kind.setdefault(sp.name.split(".")[0], []).append(sp)
+    print("span families:", {k: len(v) for k, v in sorted(by_kind.items())})
+
+    throughput = summary["throughput"]
+    print(f"farm throughput: {throughput['completed']} jobs / "
+          f"{throughput['window_seconds']:.0f}s window")
+    for worker_id, entry in summary["workers"].items():
+        jobs = summarize_histogram(None) if "job_seconds" not in entry \
+            else entry["job_seconds"]
+        print(f"  {worker_id}: {entry.get('jobs_done', 0)} done, "
+              f"job p95 {jobs['p95'] * 1000:.0f}ms")
+
+
+def main() -> None:
+    registry_basics()
+    with tempfile.TemporaryDirectory() as tmp:
+        traced_build(f"{tmp}/ir-build-trace.json")
+        traced_farm_build(f"{tmp}/farm-trace.json")
+        with open(f"{tmp}/farm-trace.json", encoding="utf-8") as handle:
+            events = json.load(handle)["traceEvents"]
+        print(f"\nChrome trace-event file: {len(events)} events "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

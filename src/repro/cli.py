@@ -97,10 +97,14 @@ def _open_store(args, farm: bool = False) -> tuple[BlobStore, ArtifactCache]:
 
 
 def _run_local_farm(args, system_names: list[str], scale: float | None,
-                    label: str, job_timeout: float = 300.0):
+                    label: str, job_timeout: float = 300.0,
+                    spans_out: list | None = None):
     """Self-hosted farm run shared by ``deploy-batch --workers`` and
     ``cluster build --workers``: open the store, spin up a LocalCluster,
-    build, pin the image. Returns the ClusterBuildReport."""
+    build, pin the image. Returns the ClusterBuildReport. With
+    ``spans_out`` (a list), the farm's trace spans — coordinator job
+    lifecycle, worker execution, and any store-server spans — are drained
+    into it for the caller's ``--trace`` export."""
     from repro.cluster import ClusterError, LocalCluster
     from repro.core import IRDeploymentError
     store, cache = _open_store(args, farm=True)
@@ -110,11 +114,65 @@ def _run_local_farm(args, system_names: list[str], scale: float | None,
             report = cluster.build(args.app, system_names, scale=scale,
                                    skip_incompatible=args.skip_incompatible,
                                    job_timeout=job_timeout)
+            if spans_out is not None:
+                spans_out.extend(cluster.drain_spans())
     except (ClusterError, IRDeploymentError) as exc:
         raise SystemExit(f"{label} failed: {exc}")
+    if spans_out is not None:
+        spans_out.extend(_collect_store_spans(store))
     if getattr(args, "store", "") or getattr(args, "store_server", ""):
         cache.pin(f"image/{args.app}", report.image_digest)
     return report
+
+
+# -- --trace plumbing ----------------------------------------------------------
+
+
+def _begin_trace(args, root_name: str, attrs: dict | None = None):
+    """Start recording under a root span when ``--trace OUT.json`` was
+    given. Returns ``(recorder, exit_stack)`` — ``(None, None)`` when
+    tracing is off, so callers stay one-liner cheap on the common path."""
+    if not getattr(args, "trace", ""):
+        return None, None
+    import contextlib
+    from repro.telemetry import trace as _trace
+    recorder = _trace.TraceRecorder()
+    _trace.set_service("client")
+    stack = contextlib.ExitStack()
+    stack.enter_context(_trace.recording(recorder))
+    stack.enter_context(_trace.span(root_name, attrs=attrs or {}))
+    return recorder, stack
+
+
+def _finish_trace(args, recorder, stack, extra_spans=None) -> None:
+    """Close the root span and write the Chrome trace-event file.
+    ``extra_spans`` may mix :class:`Span` objects (LocalCluster drains)
+    and wire-form dicts (coordinator / store-server ``telemetry`` ops)."""
+    if recorder is None:
+        return
+    from repro.telemetry.export import write_chrome_trace
+    from repro.telemetry.trace import Span
+    stack.close()
+    spans = recorder.drain()
+    for blob in extra_spans or ():
+        spans.append(blob if isinstance(blob, Span) else Span.from_json(blob))
+    write_chrome_trace(args.trace, spans)
+    print(f"trace: wrote {len(spans)} spans to {args.trace}", file=sys.stderr)
+
+
+def _collect_store_spans(store) -> list:
+    """Drain the store server's buffered spans (wire-form dicts). Only a
+    RemoteBackend has a ``telemetry`` op; file/memory backends — and
+    pre-telemetry servers, which return None — contribute nothing. Never
+    raises: trace collection must not fail a finished build."""
+    tel = getattr(store.backend, "telemetry", None)
+    if not callable(tel):
+        return []
+    try:
+        info = tel(drain_spans=True)
+    except Exception:
+        return []
+    return list(info.get("spans", ())) if info else []
 
 
 def _cache_delta(before: dict, after: dict) -> dict:
@@ -158,8 +216,11 @@ def cmd_ir_build(args) -> int:
     app = _app(args.app)
     configs, _ = default_ir_sweep(args.app)
     store, cache = _open_store(args)
+    recorder, stack = _begin_trace(args, "cli.ir-build", {"app": args.app})
     result = build_ir_container(app, configs, store=store, cache=cache,
                                 compile_irs=not args.stats_only)
+    _finish_trace(args, recorder, stack, _collect_store_spans(store)
+                  if recorder is not None else None)
     if args.store and not args.stats_only:
         # Pin the image manifest: GC follows digest references inside
         # pinned blobs, so config and layers stay deployable too.
@@ -261,13 +322,19 @@ def cmd_deploy_batch(args) -> int:
 
     app = _app(args.app)
     systems = _parse_systems(args.systems)
+    recorder, stack = _begin_trace(args, "cli.deploy-batch",
+                                   {"app": args.app, "systems": len(systems)})
     if args.workers > 0:
         # Route the batch through an in-process build farm: N worker
         # threads pulling stage-level jobs from a LocalCluster
         # coordinator, all publishing through this command's store.
+        extra_spans: list = []
         report = _run_local_farm(args, [s.name for s in systems],
                                  CLI_APP_SCALE.get(args.app),
-                                 "deploy-batch --workers")
+                                 "deploy-batch --workers",
+                                 spans_out=extra_spans
+                                 if recorder is not None else None)
+        _finish_trace(args, recorder, stack, extra_spans)
         if args.json:
             print(json.dumps(report.to_json(), indent=2, sort_keys=True))
             return 0
@@ -285,6 +352,8 @@ def cmd_deploy_batch(args) -> int:
         raise SystemExit(
             f"deploy-batch failed: {exc}\n"
             "(--skip-incompatible deploys to the compatible systems only)")
+    _finish_trace(args, recorder, stack, _collect_store_spans(store)
+                  if recorder is not None else None)
     if args.json:
         print(json.dumps({
             "app": args.app,
@@ -314,14 +383,32 @@ def cmd_deploy_batch(args) -> int:
 
 
 def _cache_for_store(args) -> ArtifactCache:
+    if getattr(args, "store_server", ""):
+        from repro.store import RemoteBackend
+        host, port = _parse_address(args.store_server)
+        return ArtifactCache(BlobStore(RemoteBackend(host, port)))
     if not args.store:
         raise SystemExit("cache commands need --store DIR")
     return ArtifactCache(BlobStore(FileBackend(args.store)))
 
 
 def cmd_cache_stats(args) -> int:
-    """Report store size, per-namespace entry/byte breakdown, and pins."""
-    stats = _cache_for_store(args).stats()
+    """Report store size, per-namespace entry/byte breakdown, and pins.
+
+    Against ``--store-server`` the report also embeds the server's live
+    counters (its ``telemetry`` wire op): connection/request totals, wire
+    byte counts, and body-residency peaks that a pure index walk cannot
+    see. An old server without the op degrades to index stats only.
+    """
+    cache = _cache_for_store(args)
+    stats = cache.stats()
+    tel = getattr(cache.store.backend, "telemetry", None)
+    if callable(tel):
+        info = tel()
+        if info:
+            stats["server"] = {"flavor": info.get("flavor"),
+                               "stats": info.get("stats"),
+                               "metrics": info.get("metrics")}
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
@@ -332,6 +419,14 @@ def cmd_cache_stats(args) -> int:
         print(f"  {namespace:<12} {count:>6} entries  {nbytes:>10} bytes")
     for name, digest in sorted(stats["pins"].items()):
         print(f"pin {name} -> {digest}")
+    server = stats.get("server")
+    if server and server.get("stats"):
+        live = server["stats"]
+        print(f"server ({server.get('flavor')}): "
+              f"{live.get('connections_served', 0)} connections, "
+              f"{live.get('requests_served', 0)} requests, "
+              f"{live.get('bytes_in', 0)} bytes in, "
+              f"{live.get('bytes_out', 0)} bytes out")
     return 0
 
 
@@ -377,8 +472,12 @@ def cmd_cache_serve(args) -> int:
     import json as json_mod
     import time
     from repro.store import AsyncStoreServer, StoreServer
+    from repro.telemetry import trace as _trace
     if not args.store:
         raise SystemExit("cache serve needs --store DIR")
+    # Label spans this server records for traced requests (the Perfetto
+    # track name in an exported farm trace).
+    _trace.set_service("store-server")
     flavor = StoreServer if args.threaded else AsyncStoreServer
     server = flavor(FileBackend(args.store), host=args.host, port=args.port,
                     max_body_bytes=args.max_body_bytes)
@@ -455,6 +554,8 @@ def _parse_address(spec: str) -> tuple[str, int]:
 def cmd_cluster_serve(args) -> int:
     """Run a build-farm coordinator until interrupted."""
     from repro.cluster import Coordinator
+    from repro.telemetry import trace as _trace
+    _trace.set_service("coordinator")
     coordinator = Coordinator(host=args.host, port=args.port,
                               lease_seconds=args.lease_seconds)
     host, port = coordinator.start()
@@ -474,18 +575,25 @@ def cmd_cluster_worker(args) -> int:
     """Run one worker: pull jobs, publish artifacts through the store."""
     from repro.cluster import ClusterWorker, CoordinatorClient
     from repro.store import RemoteBackend
+    from repro.telemetry import trace as _trace
+    from repro.telemetry.registry import MetricsRegistry
     host, port = _parse_address(args.coordinator)
+    # One registry spans the worker and its store client, so heartbeat
+    # deltas carry wire-request latencies alongside job counters.
+    registry = MetricsRegistry()
     if args.store:
         store = BlobStore(FileBackend(args.store))
     elif args.store_server:
         shost, sport = _parse_address(args.store_server)
-        store = BlobStore(RemoteBackend(shost, sport))
+        store = BlobStore(RemoteBackend(shost, sport, registry=registry))
     else:
         raise SystemExit("cluster worker needs --store DIR or "
                          "--store-server HOST:PORT (the shared data plane)")
     worker = ClusterWorker(CoordinatorClient(host, port), store,
                            worker_id=args.worker_id,
-                           max_workers=args.job_workers)
+                           max_workers=args.job_workers,
+                           registry=registry)
+    _trace.set_service(worker.worker_id)
     worker.run(max_idle_seconds=args.max_idle_seconds)
     print(f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
           f"{worker.jobs_failed} failed", flush=True)
@@ -499,6 +607,9 @@ def cmd_cluster_build(args) -> int:
     systems = [s.name for s in _parse_systems(args.systems)]
     if args.scale is None:  # parity with the other CLI commands' sizing
         args.scale = CLI_APP_SCALE.get(args.app)
+    recorder, stack = _begin_trace(args, "cli.cluster-build",
+                                   {"app": args.app, "systems": len(systems)})
+    extra_spans: list = []
     try:
         if args.coordinator:
             if not args.store and not args.store_server:
@@ -508,22 +619,113 @@ def cmd_cluster_build(args) -> int:
                                  "workers share)")
             store, cache = _open_store(args, farm=True)
             host, port = _parse_address(args.coordinator)
+            client = CoordinatorClient(host, port)
             report = cluster_build(
-                CoordinatorClient(host, port), args.app, systems, store,
+                client, args.app, systems, store,
                 cache=cache, scale=args.scale,
                 skip_incompatible=args.skip_incompatible,
                 job_timeout=args.job_timeout)
             cache.pin(f"image/{args.app}", report.image_digest)
+            if recorder is not None:
+                # Pull the farm's half of the trace: coordinator job
+                # lifecycle + worker-pushed spans, then the store
+                # server's wire spans.
+                try:
+                    extra_spans.extend(client.telemetry(
+                        drain_spans=True)["spans"])
+                except ClusterError:
+                    pass
+                extra_spans.extend(_collect_store_spans(store))
         else:
             report = _run_local_farm(args, systems, args.scale,
                                      "cluster build",
-                                     job_timeout=args.job_timeout)
+                                     job_timeout=args.job_timeout,
+                                     spans_out=extra_spans
+                                     if recorder is not None else None)
     except (ClusterError, IRDeploymentError) as exc:
         raise SystemExit(f"cluster build failed: {exc}")
+    _finish_trace(args, recorder, stack, extra_spans)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0
     _print_cluster_report(report, show_routing=True)
+    return 0
+
+
+def _fmt_latency(summary: dict) -> str:
+    """`p50/p95 ms (n)` from a summarize_histogram dict."""
+    if not summary or not summary.get("count"):
+        return "-"
+    return (f"{summary['p50'] * 1000:.0f}/{summary['p95'] * 1000:.0f}ms "
+            f"(n={summary['count']})")
+
+
+def cmd_cluster_top(args) -> int:
+    """Live farm-wide aggregates from the coordinator's `telemetry` op."""
+    from repro.cluster import ClusterError, CoordinatorClient
+    host, port = _parse_address(args.coordinator)
+    try:
+        info = CoordinatorClient(host, port).telemetry(
+            worker_metrics=args.worker_metrics)
+    except ClusterError as exc:
+        raise SystemExit(f"cluster top failed: {exc}")
+    tel = info["telemetry"]
+    if args.json:
+        print(json.dumps(tel, indent=2, sort_keys=True))
+        return 0
+    jobs = tel.get("jobs", {})
+    states = jobs.get("states", {})
+    state_line = " ".join(f"{state}={states[state]}"
+                          for state in sorted(states)) or "none"
+    print(f"jobs: {jobs.get('total', 0)} known ({state_line}); "
+          f"shared queue depth {tel.get('shared_queue_depth', 0)}")
+    thr = tel.get("throughput", {})
+    print(f"throughput: {thr.get('completed', 0)} completed in the last "
+          f"{thr.get('window_seconds', 0):.0f}s "
+          f"({thr.get('jobs_per_second', 0.0):.2f}/s); "
+          f"farm job duration {_fmt_latency(tel.get('job_duration_seconds'))}")
+    workers = tel.get("workers", {})
+    if not workers:
+        print("no workers seen")
+        return 0
+    print(f"{'worker':<16} {'queue':>5} {'run':>4} {'done':>6} {'fail':>5} "
+          f"{'job p50/p95':>18} {'store p50/p95':>18} {'seen':>8}")
+    for worker_id in sorted(workers):
+        w = workers[worker_id]
+        seen = w.get("last_seen_seconds")
+        print(f"{worker_id:<16} {w.get('queue_depth', 0):>5} "
+              f"{w.get('running', 0):>4} {w.get('jobs_done', 0):>6} "
+              f"{w.get('jobs_failed', 0):>5} "
+              f"{_fmt_latency(w.get('job_seconds')):>18} "
+              f"{_fmt_latency(w.get('store_request_seconds')):>18} "
+              f"{'' if seen is None else f'{seen:.1f}s ago':>8}")
+    return 0
+
+
+def cmd_cluster_status(args) -> int:
+    """Scheduler state plus the live telemetry summary in one shot."""
+    from repro.cluster import ClusterError, CoordinatorClient
+    host, port = _parse_address(args.coordinator)
+    client = CoordinatorClient(host, port)
+    try:
+        stats = client.stats()
+        telemetry = client.telemetry()["telemetry"]
+    except ClusterError as exc:
+        raise SystemExit(f"cluster status failed: {exc}")
+    if args.json:
+        print(json.dumps({"stats": stats, "telemetry": telemetry},
+                         indent=2, sort_keys=True))
+        return 0
+    states = stats.get("states", {})
+    state_line = " ".join(f"{state}={states[state]}"
+                          for state in sorted(states)) or "none"
+    print(f"jobs: {stats.get('jobs', 0)} ({state_line})")
+    print(f"workers: {', '.join(stats.get('workers', [])) or 'none'}")
+    print(f"published keys: {stats.get('published_keys', 0)}")
+    thr = telemetry.get("throughput", {})
+    print(f"throughput: {thr.get('completed', 0)} jobs in the last "
+          f"{thr.get('window_seconds', 0):.0f}s; job duration "
+          f"{_fmt_latency(telemetry.get('job_duration_seconds'))}")
     return 0
 
 
@@ -570,6 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable pipeline + cache statistics")
+    p.add_argument("--trace", default="", metavar="OUT.json",
+                   help="write a Chrome trace-event file of the build "
+                        "(load it at ui.perfetto.dev)")
     p.set_defaults(func=cmd_ir_build)
 
     p = sub.add_parser("deploy", help="deploy a container to a system (Figs. 6/8)")
@@ -596,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan + reuse statistics")
+    p.add_argument("--trace", default="", metavar="OUT.json",
+                   help="write a Chrome trace-event file of the batch "
+                        "(includes farm spans with --workers)")
     p.set_defaults(func=cmd_deploy_batch)
 
     p = sub.add_parser("cluster",
@@ -649,14 +857,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "long with no job completing")
     c.add_argument("--json", action="store_true",
                    help="machine-readable plan, routing, and job results")
+    c.add_argument("--trace", default="", metavar="OUT.json",
+                   help="write a Chrome trace-event file correlating "
+                        "client, coordinator, worker, and store-server "
+                        "spans under one trace id")
     c.set_defaults(func=cmd_cluster_build)
+
+    c = cluster_sub.add_parser(
+        "top", help="live farm aggregates: per-worker queue depth, "
+                    "throughput, job/store latencies")
+    c.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    c.add_argument("--worker-metrics", action="store_true",
+                   help="include each worker's full merged metric snapshot")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cluster_top)
+
+    c = cluster_sub.add_parser(
+        "status", help="scheduler state plus the telemetry summary")
+    c.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_cluster_status)
 
     p = sub.add_parser("cache",
                        help="inspect and manage a persistent artifact store")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
 
     c = cache_sub.add_parser("stats", help="store size and index statistics")
-    c.add_argument("--store", required=True, help=store_help)
+    c.add_argument("--store", default="", help=store_help)
+    c.add_argument("--store-server", default="", metavar="HOST:PORT",
+                   help="inspect a store served by `cache serve`; the "
+                        "report embeds the server's live counters")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cache_stats)
 

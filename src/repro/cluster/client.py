@@ -19,6 +19,7 @@ file-backed store — real multi-core parallelism).
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -41,6 +42,7 @@ from repro.cluster.jobs import (
 from repro.cluster.worker import ClusterWorker
 from repro.containers.store import ArtifactCache, BlobStore
 from repro.store.wire import WireError, round_trip
+from repro.telemetry import trace as _trace
 
 
 class CoordinatorClient:
@@ -54,15 +56,32 @@ class CoordinatorClient:
         #: pace their renewal heartbeat from it.
         self.lease_seconds: float | None = None
 
+    #: Header fields bulky enough to overflow the one-line header frame
+    #: (a traced job can push hundreds of spans); they ride a JSON body.
+    _BODY_FIELDS = ("spans", "metrics")
+
     def _call(self, header: dict) -> dict:
+        body = b""
+        extra = {key: header[key] for key in self._BODY_FIELDS
+                 if header.get(key) is not None}
+        if extra:
+            header = {key: value for key, value in header.items()
+                      if key not in extra}
+            body = json.dumps(extra).encode("utf-8")
+            header["size"] = len(body)
+            header["body_json"] = True
         try:
-            resp, _ = round_trip(self.host, self.port, header,
-                                 timeout=self.timeout)
+            resp, payload = round_trip(self.host, self.port, header, body,
+                                       timeout=self.timeout)
         except (WireError, OSError) as exc:
             # OSError covers the pre-framing failures (connection refused,
             # reset, timeout) — they must hit the same ClusterError paths
             # (worker backoff, CLI error message) as a broken frame.
             raise ClusterError(f"coordinator unreachable: {exc}") from exc
+        if resp.pop("body_json", False) and payload:
+            # Bulk response fields (telemetry span drains) arrive as a
+            # JSON body; fold them back into the response dict.
+            resp.update(json.loads(payload.decode("utf-8")))
         if not resp.get("ok"):
             raise ClusterError(resp.get("error", "coordinator error"))
         return resp
@@ -76,26 +95,44 @@ class CoordinatorClient:
             "cmd": "submit", "jobs": [job.to_json() for job in jobs],
             "done_keys": list(done_keys)})["submitted"])
 
-    def fetch(self, worker_id: str) -> Job | None:
-        resp = self._call({"cmd": "fetch", "worker": worker_id})
+    def fetch(self, worker_id: str, metrics: dict | None = None) -> Job | None:
+        header: dict = {"cmd": "fetch", "worker": worker_id}
+        if metrics:
+            header["metrics"] = metrics
+        resp = self._call(header)
         if resp.get("idle"):
             return None
         if resp.get("lease_seconds") is not None:
             self.lease_seconds = float(resp["lease_seconds"])
         return Job.from_json(resp["job"])
 
-    def renew(self, job_id: str, worker_id: str) -> bool:
-        return bool(self._call({"cmd": "renew", "job_id": job_id,
-                                "worker": worker_id})["renewed"])
+    def renew(self, job_id: str, worker_id: str,
+              metrics: dict | None = None) -> bool:
+        header: dict = {"cmd": "renew", "job_id": job_id, "worker": worker_id}
+        if metrics:
+            header["metrics"] = metrics
+        return bool(self._call(header)["renewed"])
 
-    def complete(self, job_id: str, worker_id: str, result: dict) -> bool:
-        return bool(self._call({"cmd": "complete", "job_id": job_id,
-                                "worker": worker_id,
-                                "result": result})["applied"])
+    def complete(self, job_id: str, worker_id: str, result: dict,
+                 spans: list | None = None,
+                 metrics: dict | None = None) -> bool:
+        header: dict = {"cmd": "complete", "job_id": job_id,
+                        "worker": worker_id, "result": result}
+        if spans:
+            header["spans"] = spans
+        if metrics:
+            header["metrics"] = metrics
+        return bool(self._call(header)["applied"])
 
-    def fail(self, job_id: str, worker_id: str, error: str) -> str:
-        return str(self._call({"cmd": "fail", "job_id": job_id,
-                               "worker": worker_id, "error": error})["state"])
+    def fail(self, job_id: str, worker_id: str, error: str,
+             spans: list | None = None, metrics: dict | None = None) -> str:
+        header: dict = {"cmd": "fail", "job_id": job_id,
+                        "worker": worker_id, "error": error}
+        if spans:
+            header["spans"] = spans
+        if metrics:
+            header["metrics"] = metrics
+        return str(self._call(header)["state"])
 
     def status(self, job_ids: list[str] | None = None) -> dict[str, dict]:
         header: dict = {"cmd": "status"}
@@ -105,6 +142,21 @@ class CoordinatorClient:
 
     def stats(self) -> dict:
         return self._call({"cmd": "stats"})["stats"]
+
+    def telemetry(self, drain_spans: bool = False,
+                  worker_metrics: bool = False) -> dict:
+        """The coordinator's live farm aggregates (the `cluster top`
+        payload): ``{"telemetry": {...}, "spans": [...]}``. With
+        ``drain_spans`` the returned spans are removed from the
+        coordinator's buffer (one-shot collection for trace export)."""
+        header: dict = {"cmd": "telemetry"}
+        if drain_spans:
+            header["drain_spans"] = True
+        if worker_metrics:
+            header["worker_metrics"] = True
+        resp = self._call(header)
+        return {"telemetry": resp.get("telemetry", {}),
+                "spans": resp.get("spans", [])}
 
     def goodbye(self, worker_id: str) -> int:
         return int(self._call({"cmd": "goodbye",
@@ -263,34 +315,42 @@ def cluster_build(client: CoordinatorClient, app_name: str,
     batch_id = uuid.uuid4().hex[:8]
 
     def _batched(jobs: list[Job]) -> list[Job]:
+        # Captured at submission: when the caller opened a recorded span
+        # (`cluster build --trace`), every job carries the trace context
+        # and the whole farm's spans correlate under one trace id.
+        ctx = _trace.current()
         return [replace(job, job_id=f"{batch_id}/{job.job_id}",
                         requires=tuple(f"{batch_id}/{key}"
                                        for key in job.requires),
                         produces=tuple(f"{batch_id}/{key}"
-                                       for key in job.produces))
+                                       for key in job.produces),
+                        trace=ctx)
                 for job in jobs]
 
     # Phase 1+2: sharded configure/preprocess/ir-compile, one job pair per
     # configuration. The shared store dedups cross-config work: the first
     # worker to publish an artifact wins, everyone else hits.
-    stage_jobs = _batched([preprocess_job(build, cfg) for cfg in configs]
-                          + [ir_compile_job(build, cfg) for cfg in configs])
-    client.submit(stage_jobs)
-    job_results = client.wait([job.job_id for job in stage_jobs],
-                              timeout=job_timeout)
+    with _trace.span("cluster.build.stage_wave",
+                     attrs={"app": app_name, "configs": len(configs)}):
+        stage_jobs = _batched([preprocess_job(build, cfg) for cfg in configs]
+                              + [ir_compile_job(build, cfg) for cfg in configs])
+        client.submit(stage_jobs)
+        job_results = client.wait([job.job_id for job in stage_jobs],
+                                  timeout=job_timeout)
 
     # Replay the warm build locally: every artifact now resolves from the
     # store, so this is deserialization, not compilation. Sync the index
     # with the shared ref first — the workers published through their own
     # cache handles, and without the merge this client would miss every
     # entry and silently redo the fan-out's work serially.
-    if cache.persistent:
-        cache.entries()
-    result = build_ir_container(app, [dict(c) for c in configs],
-                                store=store, cache=cache)
-    plan = plan_batch(result, app, options, systems,
-                      simd_override=simd_override,
-                      skip_incompatible=skip_incompatible)
+    with _trace.span("cluster.build.replay", attrs={"app": app_name}):
+        if cache.persistent:
+            cache.entries()
+        result = build_ir_container(app, [dict(c) for c in configs],
+                                    store=store, cache=cache)
+        plan = plan_batch(result, app, options, systems,
+                          simd_override=simd_override,
+                          skip_incompatible=skip_incompatible)
 
     # Phase 3: store-aware scheduling. Probe the lower index per ISA
     # group; warm groups' deploy jobs are born ready (their lower key is
@@ -335,13 +395,16 @@ def cluster_build(client: CoordinatorClient, app_name: str,
     counters_before = cache.snapshot().get("lower", (0, 0))
     # Submission order is queue order: cold lowers first (the long poles
     # start immediately), then the warm deploys they overlap with.
-    lower_jobs = _batched(lower_jobs)
-    warm_deploys = _batched(warm_deploys)
-    cold_deploys = _batched(cold_deploys)
-    deploy_wave = lower_jobs + warm_deploys + cold_deploys
-    client.submit(deploy_wave, done_keys=tuple(done_keys))
-    job_results.update(client.wait([job.job_id for job in deploy_wave],
-                                   timeout=job_timeout))
+    with _trace.span("cluster.build.deploy_wave",
+                     attrs={"app": app_name, "warm": len(warm_groups),
+                            "cold": len(cold_groups)}):
+        lower_jobs = _batched(lower_jobs)
+        warm_deploys = _batched(warm_deploys)
+        cold_deploys = _batched(cold_deploys)
+        deploy_wave = lower_jobs + warm_deploys + cold_deploys
+        client.submit(deploy_wave, done_keys=tuple(done_keys))
+        job_results.update(client.wait([job.job_id for job in deploy_wave],
+                                       timeout=job_timeout))
 
     performed = sum(rec["result"].get("lowerings_performed", 0)
                     for rec in job_results.values()
@@ -468,6 +531,15 @@ class LocalCluster:
                           self.mode == "thread")
         return cluster_build(self.client, app_name, system_names,
                              self.store, cache=self.cache, **kwargs)
+
+    def drain_spans(self) -> list:
+        """Collect (and clear) every span the farm recorded: coordinator
+        job-lifecycle spans, worker-pushed spans already absorbed there,
+        and any thread-mode worker spans a failed push left behind."""
+        spans = self.coordinator.queue.telemetry.recorder.drain()
+        for worker in self.workers:
+            spans.extend(worker.recorder.drain())
+        return spans
 
     def stop(self) -> None:
         self._stop.set()

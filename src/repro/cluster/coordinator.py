@@ -28,14 +28,19 @@ JSON results only.
 
 from __future__ import annotations
 
+import os
 import socketserver
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import json
 
 from repro.cluster.jobs import ClusterError, Job
-from repro.store.wire import read_message, write_message
+from repro.store.wire import read_exact, read_message, write_message
+from repro.telemetry.farm import FarmTelemetry
+from repro.telemetry.trace import Span, new_span_id, service_name
 
 #: A worker that missed its lease by this much is presumed dead.
 DEFAULT_LEASE_SECONDS = 60.0
@@ -57,6 +62,12 @@ class JobRecord:
     result: dict | None = None
     error: str = ""
     finished_at: float = 0.0  # monotonic time of reaching DONE/FAILED
+    # Telemetry stamps (epoch seconds — comparable across processes) and
+    # the span id the coordinator minted for the current execution; the
+    # lifecycle spans are recorded when the job reaches a terminal state.
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    run_span_id: str = ""
 
     def to_json(self) -> dict:
         return {"state": self.state, "attempts": self.attempts,
@@ -94,6 +105,10 @@ class JobQueue:
         self._workers: dict[str, _WorkerInfo] = {}
         self._shared: deque = deque()            # job ids without a bound owner
         self._affinity_owner: dict[str, str] = {}
+        #: Farm-wide aggregates: worker heartbeat metric deltas, pushed
+        #: spans, job durations/throughput. Fed by the request handlers,
+        #: read by the ``telemetry`` wire op (`repro cluster top`).
+        self.telemetry = FarmTelemetry()
 
     # -- submission ------------------------------------------------------------
 
@@ -109,13 +124,14 @@ class JobQueue:
 
     def submit(self, jobs: list[Job], done_keys: tuple[str, ...] = ()) -> int:
         """Register jobs; ``done_keys`` marks artifacts already in the store."""
+        now_epoch = time.time()
         with self._lock:
             self._prune_finished_locked()
             self._published.update(done_keys)
             for job in jobs:
                 if job.job_id in self._records:
                     raise ClusterError(f"duplicate job id {job.job_id!r}")
-                record = JobRecord(job=job)
+                record = JobRecord(job=job, submitted_at=now_epoch)
                 self._records[job.job_id] = record
                 self._maybe_ready_locked(record)
             return len(jobs)
@@ -187,9 +203,20 @@ class JobQueue:
             record.state = RUNNING
             record.worker = worker_id
             record.lease_deadline = now + self.lease_seconds
+            record.started_at = time.time()
             affinity = record.job.affinity
             if affinity and affinity not in self._affinity_owner:
                 self._affinity_owner[affinity] = worker_id
+            if record.job.trace and record.job.trace.get("trace_id"):
+                # Re-parent the job's trace context onto a span id minted
+                # for *this* execution: the worker's spans nest under the
+                # coordinator's ``cluster.job.run`` span (recorded when
+                # the job finishes), which itself parents to the
+                # submitter's request span.
+                record.run_span_id = new_span_id()
+                return replace(record.job, trace={
+                    "trace_id": record.job.trace["trace_id"],
+                    "parent_span_id": record.run_span_id})
             return record.job
 
     def _touch_locked(self, worker_id: str, now: float) -> _WorkerInfo:
@@ -246,10 +273,47 @@ class JobQueue:
             record.result = result
             record.error = ""
             record.finished_at = time.monotonic()
+            self._note_finished_locked(record, failed=False)
             self._published.update(record.job.produces)
             for other in self._records.values():
                 self._maybe_ready_locked(other)
             return True
+
+    def _note_finished_locked(self, record: JobRecord, failed: bool) -> None:
+        """Feed one terminal job into the farm aggregates and — when the
+        job carried a trace — record its lifecycle spans (queue wait and
+        execution) into the telemetry recorder."""
+        now = time.time()
+        duration = max(0.0, now - record.started_at) \
+            if record.started_at else 0.0
+        self.telemetry.note_job(duration, failed=failed,
+                                kind=record.job.kind)
+        trace_ctx = record.job.trace
+        if not trace_ctx or not trace_ctx.get("trace_id"):
+            return
+        trace_id = trace_ctx["trace_id"]
+        parent = trace_ctx.get("parent_span_id")
+        attrs = {"job_id": record.job.job_id, "kind": record.job.kind,
+                 "worker": record.worker, "state": record.state}
+        recorder = self.telemetry.recorder
+        if record.submitted_at and record.started_at:
+            recorder.record(Span(
+                name="cluster.job.queued", trace_id=trace_id,
+                span_id=new_span_id(), parent_id=parent,
+                start=record.submitted_at,
+                duration=max(0.0, record.started_at - record.submitted_at),
+                process=service_name() or "coordinator", pid=os.getpid(),
+                attrs=attrs))
+        if record.started_at:
+            recorder.record(Span(
+                name="cluster.job.run", trace_id=trace_id,
+                # The span id handed to the worker as its parent — the
+                # worker-side spans pushed with the result nest under it.
+                span_id=record.run_span_id or new_span_id(),
+                parent_id=parent, start=record.started_at,
+                duration=duration,
+                process=service_name() or "coordinator", pid=os.getpid(),
+                attrs=attrs))
 
     def fail(self, job_id: str, worker_id: str, error: str) -> str:
         """A worker reported failure; re-queue without it, or give up."""
@@ -274,6 +338,7 @@ class JobQueue:
                     all(w in record.excluded for w in self._workers):
                 record.state = FAILED
                 record.finished_at = time.monotonic()
+                self._note_finished_locked(record, failed=True)
                 state = FAILED
             return state
 
@@ -288,6 +353,7 @@ class JobQueue:
         if record.attempts >= self.max_attempts:
             record.state = FAILED
             record.finished_at = time.monotonic()
+            self._note_finished_locked(record, failed=True)
         else:
             record.state = READY
             self._enqueue_locked(record)
@@ -365,8 +431,40 @@ class JobQueue:
                 "affinity_owners": dict(sorted(self._affinity_owner.items())),
             }
 
+    def telemetry_summary(self, include_worker_metrics: bool = False) -> dict:
+        """The live farm view behind the ``telemetry`` wire op: per-worker
+        queue depth / running count / liveness from the scheduler joined
+        with the heartbeat-fed :class:`FarmTelemetry` aggregates."""
+        now = time.monotonic()
+        with self._lock:
+            self._expire_leases_locked(now)
+            workers = {
+                worker_id: {
+                    "queue_depth": len(info.queue),
+                    "running": 0,
+                    "last_seen_seconds": round(max(0.0, now - info.last_seen),
+                                               3),
+                } for worker_id, info in self._workers.items()}
+            counts: dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+                if record.state == RUNNING and record.worker in workers:
+                    workers[record.worker]["running"] += 1
+            shared_depth = len(self._shared)
+            total = len(self._records)
+        out = self.telemetry.summary(
+            workers=workers, include_worker_metrics=include_worker_metrics)
+        out["shared_queue_depth"] = shared_depth
+        out["jobs"] = {"total": total, "states": counts}
+        return out
+
 
 # -- wire server ---------------------------------------------------------------
+
+
+#: Reject request bodies larger than this — the coordinator protocol
+#: carries job specs, metric deltas, and span batches, never blobs.
+MAX_REQUEST_BODY_BYTES = 16 * 1024 * 1024
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -374,6 +472,17 @@ class _Handler(socketserver.StreamRequestHandler):
         queue: JobQueue = self.server.queue  # type: ignore[attr-defined]
         try:
             req = read_message(self.rfile)
+            # Bulk optional fields (worker span batches, metric deltas)
+            # ride a JSON body declared by ``size`` + ``body_json`` so a
+            # chatty traced job can never overflow the one-line header
+            # frame; the decoded object extends the header in place.
+            size = int(req.get("size") or 0)
+            if size > MAX_REQUEST_BODY_BYTES:
+                raise ClusterError(f"request body too large ({size} bytes)")
+            if size > 0:
+                body = read_exact(self.rfile, size)
+                if req.pop("body_json", False):
+                    req.update(json.loads(body.decode("utf-8")))
             cmd = req.get("cmd")
             if cmd == "ping":
                 write_message(self.wfile, {"ok": True,
@@ -383,6 +492,11 @@ class _Handler(socketserver.StreamRequestHandler):
                 n = queue.submit(jobs, tuple(req.get("done_keys", ())))
                 write_message(self.wfile, {"ok": True, "submitted": n})
             elif cmd == "fetch":
+                # Heartbeats double as the telemetry channel: a ``metrics``
+                # field carries the worker's registry delta since its last
+                # successful send (see repro.telemetry.farm).
+                queue.telemetry.absorb_metrics(req.get("worker", ""),
+                                               req.get("metrics"))
                 job = queue.fetch(req["worker"])
                 if job is None:
                     write_message(self.wfile, {"ok": True, "idle": True})
@@ -393,13 +507,21 @@ class _Handler(socketserver.StreamRequestHandler):
                         "ok": True, "job": job.to_json(),
                         "lease_seconds": queue.lease_seconds})
             elif cmd == "renew":
+                queue.telemetry.absorb_metrics(req.get("worker", ""),
+                                               req.get("metrics"))
                 renewed = queue.renew(req["job_id"], req["worker"])
                 write_message(self.wfile, {"ok": True, "renewed": renewed})
             elif cmd == "complete":
+                queue.telemetry.absorb_metrics(req.get("worker", ""),
+                                               req.get("metrics"))
+                queue.telemetry.absorb_spans(req.get("spans"))
                 applied = queue.complete(req["job_id"], req["worker"],
                                          req.get("result") or {})
                 write_message(self.wfile, {"ok": True, "applied": applied})
             elif cmd == "fail":
+                queue.telemetry.absorb_metrics(req.get("worker", ""),
+                                               req.get("metrics"))
+                queue.telemetry.absorb_spans(req.get("spans"))
                 state = queue.fail(req["job_id"], req["worker"],
                                    req.get("error", ""))
                 write_message(self.wfile, {"ok": True, "state": state})
@@ -408,6 +530,20 @@ class _Handler(socketserver.StreamRequestHandler):
                     "ok": True, "jobs": queue.status(req.get("job_ids"))})
             elif cmd == "stats":
                 write_message(self.wfile, {"ok": True, "stats": queue.stats()})
+            elif cmd == "telemetry":
+                out = {"ok": True, "telemetry": queue.telemetry_summary(
+                    include_worker_metrics=bool(req.get("worker_metrics")))}
+                recorder = queue.telemetry.recorder
+                spans = (recorder.drain() if req.get("drain_spans")
+                         else recorder.spans())
+                # Spans go in the response body — a farm-wide drain can
+                # hold far more than one header line may carry.
+                payload = json.dumps(
+                    {"spans": [span.to_json() for span in spans]},
+                ).encode("utf-8")
+                out["size"] = len(payload)
+                out["body_json"] = True
+                write_message(self.wfile, out, payload)
             elif cmd == "goodbye":
                 requeued = queue.goodbye(req["worker"])
                 write_message(self.wfile, {"ok": True, "requeued": requeued})

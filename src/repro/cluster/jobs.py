@@ -43,13 +43,21 @@ class Job:
     #: that first claimed the token (its in-process cache holds the live
     #: objects), but any idle worker may steal them.
     affinity: str = ""
+    #: Trace context (``{"trace_id", "parent_span_id"}``) carried from the
+    #: submitter through the coordinator to the executing worker, so one
+    #: ``cluster build`` yields a single correlated span tree. ``None`` on
+    #: untraced builds — the field adds no wire bytes then.
+    trace: dict | None = None
 
     def to_json(self) -> dict:
-        return {
+        blob = {
             "job_id": self.job_id, "kind": self.kind, "spec": self.spec,
             "requires": list(self.requires), "produces": list(self.produces),
             "affinity": self.affinity,
         }
+        if self.trace is not None:
+            blob["trace"] = dict(self.trace)
+        return blob
 
     @classmethod
     def from_json(cls, blob: dict) -> "Job":
@@ -57,7 +65,8 @@ class Job:
                    spec=dict(blob.get("spec", {})),
                    requires=tuple(blob.get("requires", ())),
                    produces=tuple(blob.get("produces", ())),
-                   affinity=blob.get("affinity", ""))
+                   affinity=blob.get("affinity", ""),
+                   trace=blob.get("trace"))
 
 
 @dataclass(frozen=True)

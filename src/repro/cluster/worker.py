@@ -38,6 +38,13 @@ from repro.pipeline.stages import (
     VectorizeStage,
 )
 from repro.pipeline.stats import PipelineStats
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    empty_snapshot,
+    is_empty_snapshot,
+    snapshot_delta,
+)
 
 #: Live IR-container results memoized per worker (keyed by build spec).
 #: Two is enough for one build plus a straggler from a previous one.
@@ -71,7 +78,8 @@ class ClusterWorker:
     def __init__(self, client, store: BlobStore,
                  cache: ArtifactCache | None = None,
                  worker_id: str = "",
-                 max_workers: int | None = 1):
+                 max_workers: int | None = 1,
+                 registry: MetricsRegistry | None = None):
         self.client = client
         self.store = store
         self.cache = cache if cache is not None \
@@ -82,34 +90,91 @@ class ClusterWorker:
         self.max_workers = max_workers
         self.jobs_done = 0
         self.jobs_failed = 0
+        #: Per-worker metrics, shipped to the coordinator as heartbeat
+        #: deltas. Subprocess workers (``cluster worker``) share this
+        #: registry with their store backend so wire-client latencies ride
+        #: along; thread-mode LocalCluster workers own one each.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = _trace.TraceRecorder()
+        self._jobs_done = self.registry.counter("cluster.worker.jobs_done")
+        self._jobs_failed = self.registry.counter("cluster.worker.jobs_failed")
+        self._metrics_lock = threading.Lock()
+        self._metrics_sent = empty_snapshot()
         self._memo: OrderedDict[str, object] = OrderedDict()
         self._apps: OrderedDict[str, object] = OrderedDict()
         self._memo_lock = threading.Lock()
+
+    def _pop_metrics_delta(self) -> dict | None:
+        """The registry delta since the last pop, or None when idle.
+
+        Shared by the fetch loop and the lease-renewal heartbeat thread
+        (hence the lock). The delta is committed when popped: if the send
+        it rides on then fails, those increments are lost — acceptable,
+        because a coordinator that is down loses far more than one
+        heartbeat's telemetry.
+        """
+        with self._metrics_lock:
+            snap = self.registry.snapshot()
+            delta = snapshot_delta(snap, self._metrics_sent)
+            if is_empty_snapshot(delta):
+                return None
+            self._metrics_sent = snap
+            return delta
+
+    def _drain_spans(self) -> list[dict] | None:
+        spans = self.recorder.drain()
+        return [span.to_json() for span in spans] if spans else None
 
     # -- loop ------------------------------------------------------------------
 
     def run_one(self) -> bool:
         """Fetch and execute one job; False when the queue had none."""
-        job = self.client.fetch(self.worker_id)
+        job = self.client.fetch(self.worker_id,
+                                metrics=self._pop_metrics_delta())
         if job is None:
             return False
         stop_renewal = self._start_lease_renewal(job.job_id)
+        started = time.perf_counter()
         try:
-            result = self.execute(job)
+            result = self._execute_traced(job)
             if self.cache.persistent:
                 # Publish-before-announce: the completion report releases
                 # jobs that *require* this one's artifact keys, so every
                 # batched index entry must be on the shared store first.
                 self.cache.flush_index()
         except Exception as exc:
+            self.registry.histogram("cluster.worker.job_seconds",
+                                    kind=job.kind).observe(
+                time.perf_counter() - started)
             self.jobs_failed += 1
+            self._jobs_failed.inc()
             stop_renewal()
-            self.client.fail(job.job_id, self.worker_id, str(exc))
+            self.client.fail(job.job_id, self.worker_id, str(exc),
+                             spans=self._drain_spans(),
+                             metrics=self._pop_metrics_delta())
             return True
+        self.registry.histogram("cluster.worker.job_seconds",
+                                kind=job.kind).observe(
+            time.perf_counter() - started)
         stop_renewal()
         self.jobs_done += 1
-        self.client.complete(job.job_id, self.worker_id, result)
+        self._jobs_done.inc()
+        self.client.complete(job.job_id, self.worker_id, result,
+                             spans=self._drain_spans(),
+                             metrics=self._pop_metrics_delta())
         return True
+
+    def _execute_traced(self, job: Job):
+        """Run :meth:`execute`, under a recorded span when the job carries
+        a trace context — the span (and any the stages open) is pushed to
+        the coordinator with the completion report."""
+        if not job.trace:
+            return self.execute(job)
+        with _trace.recording(self.recorder), \
+                _trace.span(f"cluster.worker.{job.kind}", parent=job.trace,
+                            attrs={"job_id": job.job_id,
+                                   "worker": self.worker_id}):
+            return self.execute(job)
 
     def _start_lease_renewal(self, job_id: str):
         """Heartbeat the lease while a long job executes.
@@ -129,7 +194,11 @@ class ClusterWorker:
         def _renew_loop() -> None:
             while not stop.wait(interval):
                 try:
-                    if not self.client.renew(job_id, self.worker_id):
+                    # The renewal heartbeat doubles as the mid-job
+                    # telemetry channel — long jobs surface their counters
+                    # in `cluster top` before they complete.
+                    if not self.client.renew(job_id, self.worker_id,
+                                             metrics=self._pop_metrics_delta()):
                         return
                 except ClusterError:
                     return
@@ -257,7 +326,11 @@ class ClusterWorker:
         for stage in stages:
             pipeline.register(stage)
         pipeline.run(inputs)
-        return inputs["stats"]
+        stats: PipelineStats = inputs["stats"]
+        # Fold the build's pipeline counters into the worker registry so
+        # the next heartbeat delta carries them farm-ward.
+        stats.publish_to(self.registry)
+        return stats
 
     def _run_preprocess(self, spec: dict) -> dict:
         build = BuildSpec.from_json(spec["build"])

@@ -37,6 +37,7 @@ from repro.store.backend import (
     has_many as _has_many,
     index_ref_name,
 )
+from repro.telemetry.registry import Counter, MetricsRegistry
 from repro.util.hashing import content_digest, is_digest, stable_hash
 
 __all__ = [
@@ -130,12 +131,43 @@ class BlobStore:
 # -- artifact cache ------------------------------------------------------------
 
 
-@dataclass
 class CacheCounters:
-    """Hit/miss accounting for one cache namespace."""
+    """Hit/miss accounting for one cache namespace.
 
-    hits: int = 0
-    misses: int = 0
+    Historically a pair of plain ints; now a view over two telemetry
+    counters (``cache.hits{namespace=...}`` / ``cache.misses{...}``) so
+    the same numbers appear in metric snapshots without double
+    bookkeeping. The int-like interface — reads, assignment, ``+=`` — is
+    unchanged for existing callers and tests.
+    """
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self, hits: int = 0, misses: int = 0,
+                 _hits: "Counter | None" = None,
+                 _misses: "Counter | None" = None):
+        self._hits = _hits if _hits is not None else Counter()
+        self._misses = _misses if _misses is not None else Counter()
+        if hits:
+            self._hits.inc(hits)
+        if misses:
+            self._misses.inc(misses)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set(value)
 
     @property
     def lookups(self) -> int:
@@ -144,6 +176,14 @@ class CacheCounters:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CacheCounters):
+            return (self.hits, self.misses) == (other.hits, other.misses)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheCounters(hits={self.hits}, misses={self.misses})"
 
 
 @dataclass(frozen=True)
@@ -216,8 +256,13 @@ class ArtifactCache:
     CAS_ATTEMPTS = 100
 
     def __init__(self, store: BlobStore | None = None, flush_every: int = 1,
-                 sharded_index: bool = True):
+                 sharded_index: bool = True,
+                 registry: "MetricsRegistry | None" = None):
         self.store = store if store is not None else BlobStore()
+        #: Telemetry registry all cache counters live in. Per-cache by
+        #: default; cluster workers pass their own so cache traffic rides
+        #: their heartbeat metric deltas.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: dict[str, IndexEntry] = {}  # cache key -> index record
         self._objects: dict[str, Any] = {}         # cache key -> live object
         self._counters: dict[str, CacheCounters] = {}
@@ -238,12 +283,10 @@ class ArtifactCache:
         # Tombstone records for keys we evicted: digest+seq let a merge
         # tell "the stale entry we removed" from "a fresh republish".
         self._evicted: dict[str, IndexEntry] = {}
-        #: Lost index-CAS attempts (another writer swapped first and we
-        #: re-merged). The sharded layout's acceptance number: writers in
-        #: different namespaces must show zero.
-        self.cas_retries = 0
-        #: Lost pin-CAS attempts, counted separately.
-        self.pin_cas_retries = 0
+        # Registry counters behind the `cas_retries` / `pin_cas_retries`
+        # compatibility properties.
+        self._cas_retries = self.registry.counter("cache.index_cas_retries")
+        self._pin_cas_retries = self.registry.counter("cache.pin_cas_retries")
         self._sharded = bool(sharded_index)
         # True while a legacy monolithic index ref needs migrating: its
         # entries were adopted at load, and the first save rewrites every
@@ -258,6 +301,37 @@ class ArtifactCache:
     def persistent(self) -> bool:
         """True when the backing store outlives this process (file/remote)."""
         return self._persistent
+
+    @property
+    def cas_retries(self) -> int:
+        """Lost index-CAS attempts (another writer swapped first and we
+        re-merged). The sharded layout's acceptance number: writers in
+        different namespaces must show zero."""
+        return self._cas_retries.value
+
+    @cas_retries.setter
+    def cas_retries(self, value: int) -> None:
+        self._cas_retries.set(value)
+
+    @property
+    def pin_cas_retries(self) -> int:
+        """Lost pin-CAS attempts, counted separately."""
+        return self._pin_cas_retries.value
+
+    @pin_cas_retries.setter
+    def pin_cas_retries(self, value: int) -> None:
+        self._pin_cas_retries.set(value)
+
+    def _counters_locked(self, namespace: str) -> CacheCounters:
+        counters = self._counters.get(namespace)
+        if counters is None:
+            counters = CacheCounters(
+                _hits=self.registry.counter("cache.hits",
+                                            namespace=namespace),
+                _misses=self.registry.counter("cache.misses",
+                                              namespace=namespace))
+            self._counters[namespace] = counters
+        return counters
 
     # -- index persistence -----------------------------------------------------
 
@@ -423,7 +497,7 @@ class ArtifactCache:
                     ref_name, raw, payload):
                 self._dirty_keys.difference_update(dirty_here)
                 return
-            self.cas_retries += 1
+            self._cas_retries.inc()
         raise BackendError(
             f"index CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
@@ -452,14 +526,14 @@ class ArtifactCache:
         """
         key = self.cache_key(namespace, parts)
         with self._lock:
-            counters = self._counters.setdefault(namespace, CacheCounters())
+            counters = self._counters_locked(namespace)
             record = self._entries.get(key)
             obj = self._objects.get(key)
             if record is None or not self.store.has(record.digest) \
                     or (require_obj and obj is None):
-                counters.misses += 1
+                counters._misses.inc()
                 return None
-            counters.hits += 1
+            counters._hits.inc()
             # Read under the lock: the index said the blob exists, and
             # nothing in-process may evict it between that check and this
             # read. A hit refreshes the entry's position in the LRU order;
@@ -541,7 +615,7 @@ class ArtifactCache:
             if raw == payload or backend.compare_and_set_ref(
                     PINS_REF, raw, payload):
                 return True
-            self.pin_cas_retries += 1
+            self._pin_cas_retries.inc()
         raise BackendError(
             f"pin CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
@@ -681,7 +755,7 @@ class ArtifactCache:
 
     def counters(self, namespace: str) -> CacheCounters:
         with self._lock:
-            return self._counters.setdefault(namespace, CacheCounters())
+            return self._counters_locked(namespace)
 
     def snapshot(self) -> dict[str, tuple[int, int]]:
         """(hits, misses) per namespace — for computing per-build deltas.

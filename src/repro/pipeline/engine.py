@@ -8,6 +8,10 @@ the context keys it ``consumes`` and ``produces``, and a :class:`Pipeline`
 refuses at *registration* time to accept a stage whose inputs nothing
 upstream provides. Running a pipeline records wall-clock timing per stage,
 the raw material for the per-stage sharding follow-ups on the roadmap.
+Each stage execution also observes its duration into the process-default
+metrics registry (``pipeline.stage.duration_seconds{stage=...}``) and
+opens a trace span, so a ``--trace`` run shows stages nested under
+whatever command (or cluster job) drove the pipeline.
 
 The engine is deliberately domain-free; the IR-container stages live in
 :mod:`repro.pipeline.stages`.
@@ -18,6 +22,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
+
+from repro.telemetry import registry as _registry
+from repro.telemetry import trace as _trace
 
 
 class PipelineDefinitionError(ValueError):
@@ -141,7 +148,9 @@ class Pipeline:
             ctx._writable = frozenset(stage.produces)
             start = time.perf_counter()
             try:
-                stage.run(ctx)
+                with _trace.span(f"pipeline.stage.{stage.name}",
+                                 attrs={"pipeline": self.name}):
+                    stage.run(ctx)
             except StageExecutionError:
                 raise
             except Exception as exc:
@@ -149,7 +158,11 @@ class Pipeline:
                     f"stage {stage.name!r} failed: {exc}") from exc
             finally:
                 ctx._writable = None
-            timings.append(StageTiming(stage.name, time.perf_counter() - start))
+            elapsed = time.perf_counter() - start
+            timings.append(StageTiming(stage.name, elapsed))
+            _registry.get_registry().histogram(
+                "pipeline.stage.duration_seconds",
+                stage=stage.name).observe(elapsed)
             absent = [k for k in stage.produces if k not in ctx]
             if absent:
                 raise StageExecutionError(

@@ -6,6 +6,13 @@ carries the operational counters the staged engine produces: artifact-cache
 hits and misses per namespace, how many preprocess/IR-compile operations
 actually executed (zero on a fully warm cache), and wall-clock seconds per
 stage.
+
+:meth:`PipelineStats.publish_to` folds one build's counters into a
+:class:`~repro.telemetry.registry.MetricsRegistry` — cluster workers call
+it after every job so their heartbeat metric deltas carry pipeline-level
+throughput (ops executed, cache traffic, stage seconds) alongside the
+store/wire counters, and ``repro cluster top`` can aggregate them
+farm-wide.
 """
 
 from __future__ import annotations
@@ -56,6 +63,31 @@ class PipelineStats:
                 f"stages: config {self.after_configuration}, "
                 f"preprocess {self.after_preprocessing}, "
                 f"openmp {self.after_openmp}, vectorize {self.final_irs}")
+
+    def publish_to(self, registry) -> None:
+        """Fold this build's counters into ``registry`` (additive — safe
+        to call once per build on a long-lived registry)."""
+        counters = {
+            "pipeline.configure_ops": self.configure_ops,
+            "pipeline.preprocess_ops": self.preprocess_ops,
+            "pipeline.ir_compile_ops": self.ir_compile_ops,
+            "pipeline.total_tus": self.total_tus,
+            "pipeline.final_irs": self.final_irs,
+        }
+        for name, value in counters.items():
+            if value:
+                registry.counter(name).inc(value)
+        for namespace, hits in self.cache_hits.items():
+            if hits:
+                registry.counter("cache.hits",
+                                 namespace=namespace).inc(hits)
+        for namespace, misses in self.cache_misses.items():
+            if misses:
+                registry.counter("cache.misses",
+                                 namespace=namespace).inc(misses)
+        for stage, seconds in self.stage_seconds.items():
+            registry.histogram("pipeline.stage.duration_seconds",
+                               stage=stage).observe(seconds)
 
     def to_json(self) -> dict:
         """Machine-readable form (``repro.cli ir-build --json``)."""

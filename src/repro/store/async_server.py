@@ -94,6 +94,7 @@ from repro.store.wire import (
     encode_message,
     parse_chunk_prefix,
 )
+from repro.telemetry.trace import TraceRecorder, begin_wire_span, end_wire_span
 
 __all__ = ["AsyncStoreServer", "DEFAULT_MAX_OUTBUF_BYTES"]
 
@@ -123,7 +124,7 @@ class _Connection:
                  "stream_total", "failure", "busy", "eof", "closing",
                  "events", "registered", "io_busy", "pending",
                  "pending_bytes", "put_done", "put_over", "opened",
-                 "put_digest")
+                 "put_digest", "trace_tok")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
@@ -153,6 +154,7 @@ class _Connection:
         self.put_over = False   # body exceeded max_body_bytes; draining
         self.opened = False     # blob writer open was attempted
         self.put_digest = None
+        self.trace_tok = None   # (wire-span token, cmd) of a traced request
 
 
 class AsyncStoreServer:
@@ -176,6 +178,9 @@ class AsyncStoreServer:
         self.max_body_bytes = max_body_bytes
         self.max_outbuf_bytes = max_outbuf_bytes
         self.metrics = ServerMetrics()
+        #: Spans recorded for traced requests, drained by the `telemetry`
+        #: wire op (bounded; untraced traffic records nothing).
+        self.recorder = TraceRecorder()
         if executor_workers is None:
             # Persistent backends block on disk; memory ones would pay
             # more for the executor hop than for the op itself.
@@ -216,7 +221,9 @@ class AsyncStoreServer:
         return self.metrics.requests_served
 
     def stats(self) -> dict:
-        """Traffic counters (:class:`ServerMetrics` snapshot)."""
+        """Traffic counters — exactly
+        :data:`~repro.store.remote.SERVER_STATS_FIELDS`, the schema
+        shared with the thread flavor."""
         return self.metrics.snapshot()
 
     def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
@@ -462,6 +469,11 @@ class AsyncStoreServer:
             conn.closing = True
             return False
         self.metrics.request()
+        # Traced request: remember a wire-span token; the span closes in
+        # `_respond` when this request's response header is buffered
+        # (responses leave in request order, so the pairing is exact).
+        token = begin_wire_span(req.get("trace"))
+        conn.trace_tok = (token, req.get("cmd")) if token is not None else None
         try:
             self._begin_request(conn, req)
         except Exception as exc:
@@ -766,6 +778,10 @@ class AsyncStoreServer:
 
     def _respond(self, conn: _Connection, header: dict,
                  payload: bytes = b"") -> None:
+        if conn.trace_tok is not None:
+            token, cmd = conn.trace_tok
+            conn.trace_tok = None
+            end_wire_span(self.recorder, token, f"store.server.{cmd}")
         if payload:
             self.metrics.note_body(len(payload))
         conn.outbuf += encode_message(header, payload)

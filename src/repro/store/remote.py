@@ -71,13 +71,22 @@ Both servers account traffic through one :class:`ServerMetrics`:
 observable), ``bytes_in``/``bytes_out`` (wire volume), and
 ``peak_body_bytes`` — the high-water mark of any single body buffer the
 server staged in memory, the first-class hook for asserting that
-streamed transfers stay O(chunk) rather than O(blob).
+streamed transfers stay O(chunk) rather than O(blob). The counters are
+views over a :class:`~repro.telemetry.registry.MetricsRegistry`, and the
+``telemetry`` command exposes the full registry snapshot plus any trace
+spans the server buffered. A request header may carry a ``trace`` field
+(``{"trace_id": ..., "parent_span_id": ...}``); the server then records
+a span for that request parented to the client's, which is how one
+``cluster build --trace`` correlates store traffic across processes.
+Untraced requests skip span handling entirely.
 """
 
 from __future__ import annotations
 
+import json
 import socketserver
 import threading
+import time
 from typing import Iterable
 
 from repro.store.backend import (
@@ -104,11 +113,14 @@ from repro.store.wire import (
     write_chunks as _write_chunks,
     write_message as _write_response,
 )
+from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import TraceRecorder, begin_wire_span, end_wire_span
 
 __all__ = [
     "MAX_HEADER_BYTES", "DEFAULT_MAX_BODY_BYTES", "STREAM_THRESHOLD",
-    "RemoteBackend", "RemoteStoreError", "ServerMetrics", "StoreServer",
-    "body_declared", "dispatch_command",
+    "SERVER_STATS_FIELDS", "RemoteBackend", "RemoteStoreError",
+    "ServerMetrics", "StoreServer", "body_declared", "dispatch_command",
 ]
 
 #: Digests per batched wire request — keeps every header comfortably under
@@ -127,7 +139,14 @@ STREAM_THRESHOLD = 256 * 1024
 
 #: What current servers advertise to the ``capabilities`` probe.
 SERVER_CAPS = {"sessions": True, "batched": True, "put_many": True,
-               "streams": True}
+               "streams": True, "telemetry": True}
+
+#: The documented ``stats()`` schema. Both server flavors emit exactly
+#: these keys (asserted in tests/telemetry), and the ``server_stats``
+#: wire op returns them alongside ``flavor``. ``peak_outbuf_bytes`` is 0
+#: on the thread flavor (it writes synchronously) but always present.
+SERVER_STATS_FIELDS = ("connections_served", "requests_served", "bytes_in",
+                       "bytes_out", "peak_body_bytes", "peak_outbuf_bytes")
 
 
 class RemoteStoreError(WireError):
@@ -142,53 +161,74 @@ class ServerMetrics:
     size, a whole-body one pins it at the blob size. ``peak_outbuf_bytes``
     is the async server's write-buffer high-water mark (the backpressure
     bound); the thread server writes synchronously and leaves it 0.
+
+    The counters live in a :class:`~repro.telemetry.registry
+    .MetricsRegistry` (one per server by default) under
+    ``store.server.*`` names; the historical attribute reads and
+    :meth:`snapshot` shape are preserved as views over it.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.connections_served = 0
-        self.requests_served = 0
-        self.bytes_in = 0
-        self.bytes_out = 0
-        self.peak_body_bytes = 0
-        self.peak_outbuf_bytes = 0
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._connections = self.registry.counter("store.server.connections")
+        self._requests = self.registry.counter("store.server.requests")
+        self._bytes_in = self.registry.counter("store.server.bytes_in")
+        self._bytes_out = self.registry.counter("store.server.bytes_out")
+        self._peak_body = self.registry.gauge("store.server.peak_body_bytes")
+        self._peak_outbuf = self.registry.gauge(
+            "store.server.peak_outbuf_bytes")
 
     def connection(self) -> None:
-        with self._lock:
-            self.connections_served += 1
+        self._connections.inc()
 
     def request(self) -> None:
-        with self._lock:
-            self.requests_served += 1
+        self._requests.inc()
 
     def add_in(self, n: int) -> None:
-        with self._lock:
-            self.bytes_in += n
+        self._bytes_in.inc(n)
 
     def add_out(self, n: int) -> None:
-        with self._lock:
-            self.bytes_out += n
+        self._bytes_out.inc(n)
 
     def note_body(self, n: int) -> None:
-        with self._lock:
-            if n > self.peak_body_bytes:
-                self.peak_body_bytes = n
+        self._peak_body.max_of(n)
 
     def note_outbuf(self, n: int) -> None:
-        with self._lock:
-            if n > self.peak_outbuf_bytes:
-                self.peak_outbuf_bytes = n
+        self._peak_outbuf.max_of(n)
+
+    @property
+    def connections_served(self) -> int:
+        return self._connections.value
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests.value
+
+    @property
+    def bytes_in(self) -> int:
+        return self._bytes_in.value
+
+    @property
+    def bytes_out(self) -> int:
+        return self._bytes_out.value
+
+    @property
+    def peak_body_bytes(self) -> int:
+        return int(self._peak_body.value)
+
+    @property
+    def peak_outbuf_bytes(self) -> int:
+        return int(self._peak_outbuf.value)
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "connections_served": self.connections_served,
-                "requests_served": self.requests_served,
-                "bytes_in": self.bytes_in,
-                "bytes_out": self.bytes_out,
-                "peak_body_bytes": self.peak_body_bytes,
-                "peak_outbuf_bytes": self.peak_outbuf_bytes,
-            }
+        return {
+            "connections_served": self.connections_served,
+            "requests_served": self.requests_served,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "peak_body_bytes": self.peak_body_bytes,
+            "peak_outbuf_bytes": self.peak_outbuf_bytes,
+        }
 
 
 def body_declared(req: dict) -> int:
@@ -304,6 +344,29 @@ def dispatch_command(backend: Backend, cas_ref, req: dict, body: bytes,
         if server is None:
             return {"ok": False, "error": "server stats unavailable"}, b""
         return {"ok": True, "flavor": server.flavor, **server.stats()}, b""
+    if cmd == "telemetry":
+        # Live observability in one round-trip: the documented stats
+        # schema, the full metric-registry snapshot, and (optionally
+        # draining) whatever trace spans the server buffered for traced
+        # requests. `cache stats --store-server` and the cluster client's
+        # trace collection both ride this.
+        if server is None:
+            return {"ok": False, "error": "telemetry unavailable"}, b""
+        out = {"ok": True, "flavor": server.flavor, "stats": server.stats(),
+               "metrics": server.metrics.registry.snapshot()}
+        recorder = getattr(server, "recorder", None)
+        if recorder is None:
+            return out, b""
+        # Spans ride the response *body*, not the header: a long traced
+        # build buffers thousands of spans and a single JSON header line
+        # is capped at MAX_HEADER_BYTES.
+        spans = recorder.drain() if req.get("drain_spans") \
+            else recorder.spans()
+        payload = json.dumps(
+            [span.to_json() for span in spans]).encode("utf-8")
+        out["size"] = len(payload)
+        out["spans_in_body"] = True
+        return out, payload
     return {"ok": False, "error": f"unknown command {cmd!r}"}, b""
 
 
@@ -358,27 +421,39 @@ class _Handler(socketserver.StreamRequestHandler):
             if req.get("cmd") == "bye":
                 return
             metrics.request()
+            # Traced requests (header carries a `trace` field) get a span
+            # parented to the client's request span; the token is None —
+            # and the finally costs nothing — for everything else.
+            token = begin_wire_span(req.get("trace"))
             try:
-                header, body, stream = self._serve_request(store, req, rfile)
-            except WireError as exc:
-                # The request's own body never arrived in full — the
-                # stream is desynchronized and the session must end.
-                self._respond(wfile, {"ok": False, "error": str(exc)})
-                return
-            except BlobNotFound as exc:
-                if not self._respond(wfile, {"ok": False, "not_found": True,
-                                             "error": str(exc)}):
+                try:
+                    header, body, stream = self._serve_request(store, req,
+                                                               rfile)
+                except WireError as exc:
+                    # The request's own body never arrived in full — the
+                    # stream is desynchronized and the session must end.
+                    self._respond(wfile, {"ok": False, "error": str(exc)})
                     return
-                continue
-            except Exception as exc:  # surface to the client, keep serving
-                if not self._respond(wfile, {"ok": False, "error": str(exc)}):
+                except BlobNotFound as exc:
+                    if not self._respond(wfile,
+                                         {"ok": False, "not_found": True,
+                                          "error": str(exc)}):
+                        return
+                    continue
+                except Exception as exc:  # surface to client, keep serving
+                    if not self._respond(wfile,
+                                         {"ok": False, "error": str(exc)}):
+                        return
+                    continue
+                if stream is not None:
+                    if not self._respond_stream(wfile, header, stream,
+                                                metrics):
+                        return
+                elif not self._respond(wfile, header, body):
                     return
-                continue
-            if stream is not None:
-                if not self._respond_stream(wfile, header, stream, metrics):
-                    return
-            elif not self._respond(wfile, header, body):
-                return
+            finally:
+                end_wire_span(store.recorder, token,
+                              f"store.server.{req.get('cmd')}")
 
     def _respond(self, wfile, header: dict, body: bytes = b"") -> bool:
         try:
@@ -518,6 +593,9 @@ class StoreServer:
         self.backend = backend
         self.max_body_bytes = max_body_bytes
         self.metrics = ServerMetrics()
+        #: Spans recorded for traced requests, drained by the `telemetry`
+        #: wire op (bounded; untraced traffic records nothing).
+        self.recorder = TraceRecorder()
         self._server = socketserver.ThreadingTCPServer(
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
@@ -534,7 +612,8 @@ class StoreServer:
         return self.metrics.requests_served
 
     def stats(self) -> dict:
-        """Traffic counters (:class:`ServerMetrics` snapshot)."""
+        """Traffic counters — exactly :data:`SERVER_STATS_FIELDS`, the
+        schema shared with :class:`AsyncStoreServer`."""
         return self.metrics.snapshot()
 
     def cas_ref(self, name: str, expected: bytes | None, data: bytes) -> bool:
@@ -601,15 +680,23 @@ class RemoteBackend:
     def __init__(self, host: str, port: int, timeout: float = 10.0,
                  pooled: bool = True, max_sessions: int = 4,
                  stream_threshold: "int | None" = STREAM_THRESHOLD,
-                 max_idle_seconds: float = 60.0):
+                 max_idle_seconds: float = 60.0,
+                 registry: "MetricsRegistry | None" = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.pooled = pooled
         self.stream_threshold = stream_threshold
+        #: Client-side wire metrics (request counts and per-command
+        #: latency histograms) plus the session pool's churn counters.
+        #: Cluster workers pass their own registry so store-op latencies
+        #: ride their heartbeat deltas to the coordinator.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("store.client.requests")
         self._pool = SessionPool(host, port, timeout=timeout,
                                  max_idle=max_sessions,
-                                 max_idle_seconds=max_idle_seconds) \
+                                 max_idle_seconds=max_idle_seconds,
+                                 registry=self.registry) \
             if pooled else None
         # Batched commands an old server rejected once — fall back to
         # per-item loops immediately instead of re-asking every call —
@@ -634,16 +721,32 @@ class RemoteBackend:
         return self._pool.stats() if self._pool is not None else None
 
     def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
-        try:
-            if self._pool is not None:
-                resp, payload = self._pool.exchange(header, body)
-            else:
-                resp, payload = round_trip(self.host, self.port, header, body,
-                                           timeout=self.timeout)
-        except WireError as exc:
-            # Framing failures (truncated response, dropped connection)
-            # surface under this module's historical exception type.
-            raise RemoteStoreError(str(exc)) from exc
+        cmd = str(header.get("cmd"))
+        # When a trace is active (recorder, or just an incoming context to
+        # forward) the request opens a client span and ships its identity
+        # in the header's `trace` field so the server's span parents to
+        # it. Untraced operation: `span` is a no-op and the header is
+        # sent untouched.
+        with _trace.span(f"store.client.{cmd}"):
+            ctx = _trace.current()
+            if ctx is not None:
+                header = {**header, "trace": ctx}
+            started = time.perf_counter()
+            try:
+                if self._pool is not None:
+                    resp, payload = self._pool.exchange(header, body)
+                else:
+                    resp, payload = round_trip(self.host, self.port, header,
+                                               body, timeout=self.timeout)
+            except WireError as exc:
+                # Framing failures (truncated response, dropped
+                # connection) surface under this module's historical
+                # exception type.
+                raise RemoteStoreError(str(exc)) from exc
+            self._requests.inc()
+            self.registry.histogram(
+                "store.client.request_seconds",
+                cmd=cmd).observe(time.perf_counter() - started)
         if not resp.get("ok"):
             if resp.get("not_found"):
                 raise BlobNotFound(resp.get("error", ""))
@@ -858,6 +961,26 @@ class RemoteBackend:
         status output and the benchmarks read."""
         resp, _ = self._round_trip({"cmd": "server_stats"})
         return {key: value for key, value in resp.items() if key != "ok"}
+
+    def telemetry(self, drain_spans: bool = False) -> "dict | None":
+        """The server's full telemetry in one round-trip: ``flavor``, the
+        documented ``stats`` schema, the metric-registry ``metrics``
+        snapshot, and buffered trace ``spans`` (``drain_spans=True``
+        removes them server-side — trace collection does; live status
+        surfaces must not). None against a pre-telemetry server."""
+        header: dict = {"cmd": "telemetry"}
+        if drain_spans:
+            header["drain_spans"] = True
+        got = self._batched("telemetry", header)
+        if got is None:
+            return None
+        resp, payload = got
+        out = {key: value for key, value in resp.items()
+               if key not in ("ok", "size", "spans_in_body")}
+        if resp.get("spans_in_body"):
+            out["spans"] = json.loads(payload.decode("utf-8")) \
+                if payload else []
+        return out
 
     # -- refs ------------------------------------------------------------------
 

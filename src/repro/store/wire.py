@@ -56,6 +56,8 @@ import struct
 import threading
 import time
 
+from repro.telemetry.registry import MetricsRegistry
+
 MAX_HEADER_BYTES = 64 * 1024
 
 #: Default chunk size for streamed bodies: big enough to amortize frame
@@ -378,7 +380,8 @@ class SessionPool:
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
-                 max_idle: int = 4, max_idle_seconds: float = 60.0):
+                 max_idle: int = 4, max_idle_seconds: float = 60.0,
+                 registry: "MetricsRegistry | None" = None):
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -386,11 +389,29 @@ class SessionPool:
         self.max_idle_seconds = max_idle_seconds
         self._idle: list[WireSession] = []
         self._lock = threading.Lock()
-        #: TCP connections this pool has opened — the benchmark's measure
-        #: of how much connection churn pooling saves.
-        self.connections_opened = 0
-        #: Idle sessions closed by the age reaper or the max_idle cap.
-        self.connections_reaped = 0
+        #: Per-pool by default; pass a shared registry to fold pool churn
+        #: into a larger component's metric snapshot.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._opened = self.registry.counter("store.pool.connections_opened")
+        self._reaped = self.registry.counter("store.pool.connections_reaped")
+        self._sent = self.registry.counter("store.pool.requests_sent")
+
+    @property
+    def connections_opened(self) -> int:
+        """TCP connections this pool has opened — the benchmark's measure
+        of how much connection churn pooling saves."""
+        return self._opened.value
+
+    @property
+    def connections_reaped(self) -> int:
+        """Idle sessions closed by the age reaper or the max_idle cap."""
+        return self._reaped.value
+
+    @property
+    def requests_sent(self) -> int:
+        """Completed pooled exchanges — comparable against the server's
+        ``requests_served`` (bye frames are not counted on either side)."""
+        return self._sent.value
 
     def _reap_locked(self) -> list[WireSession]:
         """Pop idle sessions past their age limit; caller closes them
@@ -407,7 +428,7 @@ class SessionPool:
         if not stale_count:
             return []
         reaped, self._idle = self._idle[:stale_count], self._idle[stale_count:]
-        self.connections_reaped += len(reaped)
+        self._reaped.inc(len(reaped))
         return reaped
 
     def _checkout(self) -> WireSession:
@@ -419,8 +440,7 @@ class SessionPool:
         if session is not None:
             return session
         session = WireSession(self.host, self.port, timeout=self.timeout)
-        with self._lock:
-            self.connections_opened += 1
+        self._opened.inc()
         return session
 
     def _checkin(self, session: WireSession) -> None:
@@ -431,19 +451,25 @@ class SessionPool:
                 self._idle.append(session)
                 session = None
             else:
-                self.connections_reaped += 1
+                self._reaped.inc()
         for old in stale:
             old.close(polite=False)
         if session is not None:
             session.close()
 
     def stats(self) -> dict:
-        """Pool shape for status surfaces: warm sockets, churn, reaping."""
+        """Pool shape for status surfaces: warm sockets, churn, reaping,
+        and the client-side request count (``requests_sent``) that
+        cross-checks the server's ``requests_served``. One idle-list
+        length read under the pool lock plus four counter reads — cheap
+        enough to poll, and never touches the sockets themselves."""
         with self._lock:
-            return {"idle": len(self._idle),
-                    "max_idle": self.max_idle,
-                    "connections_opened": self.connections_opened,
-                    "connections_reaped": self.connections_reaped}
+            idle = len(self._idle)
+        return {"idle": idle,
+                "max_idle": self.max_idle,
+                "connections_opened": self._opened.value,
+                "connections_reaped": self._reaped.value,
+                "requests_sent": self._sent.value}
 
     def exchange(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
         """One round-trip through a pooled session, reconnecting through
@@ -460,6 +486,7 @@ class SessionPool:
                                                ConnectionError)):
                     continue  # stale pooled socket: resend on a fresh one
                 raise
+            self._sent.inc()
             self._checkin(session)
             return resp, payload
 

@@ -1,0 +1,45 @@
+"""Unified telemetry: metrics registry, trace spans, exporters, farm view.
+
+Four modules, one seam:
+
+* :mod:`~repro.telemetry.registry` — process-local counters/gauges/
+  histograms with mergeable JSON snapshots (what every legacy ad-hoc
+  counter is now a view over);
+* :mod:`~repro.telemetry.trace` — spans with explicit parent ids, a
+  context-managed recorder, and the wire ``trace`` field that correlates
+  one ``cluster build`` across client, coordinator, workers, and store
+  servers;
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON (Perfetto)
+  and metrics snapshot files, plus the schema validator CI runs;
+* :mod:`~repro.telemetry.farm` — the coordinator-side aggregator behind
+  the ``telemetry`` wire op and ``repro cluster top``.
+"""
+
+from .registry import (DURATION_BUCKETS, SIZE_BUCKETS, Counter, Gauge,
+                       Histogram, MetricsRegistry, empty_snapshot,
+                       get_registry, histogram_quantile, is_empty_snapshot,
+                       merge_histograms, merge_snapshot, metric_key,
+                       parse_metric_key, set_enabled, set_registry,
+                       snapshot_delta, summarize_histogram,
+                       telemetry_enabled)
+from .trace import (Span, TraceRecorder, active_recorder, begin_wire_span,
+                    current, end_wire_span, new_span_id, new_trace_id,
+                    recording, set_global_recorder, set_service, span)
+from .export import (chrome_trace, spans_from_chrome, validate_chrome_trace,
+                     write_chrome_trace, write_metrics_snapshot)
+from .farm import FarmTelemetry
+
+__all__ = [
+    "DURATION_BUCKETS", "SIZE_BUCKETS",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry", "set_enabled", "telemetry_enabled",
+    "metric_key", "parse_metric_key", "empty_snapshot", "is_empty_snapshot",
+    "snapshot_delta", "merge_snapshot", "merge_histograms",
+    "histogram_quantile", "summarize_histogram",
+    "Span", "TraceRecorder", "span", "current", "recording",
+    "active_recorder", "set_global_recorder", "set_service",
+    "new_span_id", "new_trace_id", "begin_wire_span", "end_wire_span",
+    "chrome_trace", "write_chrome_trace", "spans_from_chrome",
+    "validate_chrome_trace", "write_metrics_snapshot",
+    "FarmTelemetry",
+]

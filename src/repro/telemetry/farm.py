@@ -1,0 +1,166 @@
+"""Farm-wide telemetry assembled on the coordinator.
+
+Workers do not open extra connections for telemetry: the heartbeats they
+already send (``fetch`` polls and lease ``renew``) carry a ``metrics``
+field holding a :func:`~repro.telemetry.registry.snapshot_delta` of the
+worker's own registry since its last successful send, and ``complete`` /
+``fail`` carry the spans the job recorded. :class:`FarmTelemetry` is the
+coordinator-side accumulator: it merges each worker's deltas into a
+per-worker running snapshot, tracks a sliding completion window for
+throughput, observes job durations into the coordinator's registry, and
+keeps a bounded :class:`~repro.telemetry.trace.TraceRecorder` holding
+coordinator job-lifecycle spans plus everything workers pushed.
+
+:meth:`FarmTelemetry.summary` is the payload behind the coordinator's
+``telemetry`` wire op — what ``repro cluster top`` renders live.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .registry import (MetricsRegistry, merge_histograms, merge_snapshot,
+                       parse_metric_key, summarize_histogram)
+from .trace import Span, TraceRecorder
+
+__all__ = ["FarmTelemetry"]
+
+#: Histogram families surfaced per worker in `cluster top` (bare metric
+#: name -> summary key). Labeled variants (per-kind, per-cmd) merge into
+#: one family-wide latency summary.
+_WORKER_LATENCY_FAMILIES = {
+    "cluster.worker.job_seconds": "job_seconds",
+    "store.client.request_seconds": "store_request_seconds",
+}
+
+
+class FarmTelemetry:
+    """Aggregates worker metric deltas, job completions, and spans."""
+
+    def __init__(self, window_seconds: float = 60.0,
+                 max_spans: int = 50000,
+                 registry: MetricsRegistry | None = None):
+        self.window_seconds = window_seconds
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = TraceRecorder(max_spans=max_spans)
+        self._lock = threading.Lock()
+        self._worker_metrics: dict[str, dict] = {}
+        self._completions: deque = deque()
+        self._job_seconds = self.registry.histogram(
+            "cluster.job.duration_seconds")
+        self._jobs_completed = self.registry.counter("cluster.jobs.completed")
+        self._jobs_failed = self.registry.counter("cluster.jobs.failed")
+        self._spans_absorbed = self.registry.counter(
+            "cluster.telemetry.spans_absorbed")
+
+    # ------------------------------------------------------------------
+    # absorption (called from coordinator request handlers)
+
+    def absorb_metrics(self, worker_id: str, delta) -> None:
+        """Merge one heartbeat delta into the worker's running snapshot.
+        Malformed payloads are dropped — telemetry must never fail a
+        fetch/renew."""
+        if not worker_id or not isinstance(delta, dict):
+            return
+        try:
+            with self._lock:
+                mine = self._worker_metrics.setdefault(worker_id, {})
+                merge_snapshot(mine, delta)
+        except (TypeError, ValueError, KeyError, AttributeError):
+            pass
+
+    def absorb_spans(self, spans) -> None:
+        """Store spans a worker pushed with its job result (wire JSON)."""
+        if not isinstance(spans, list):
+            return
+        for blob in spans:
+            if not isinstance(blob, dict):
+                continue
+            try:
+                self.recorder.record(Span.from_json(blob))
+            except (TypeError, ValueError):
+                continue
+            self._spans_absorbed.inc()
+
+    def note_job(self, duration_seconds: float, *, failed: bool = False,
+                 kind: str = "") -> None:
+        """Record one finished job for throughput/latency aggregates."""
+        now = time.monotonic()
+        self._job_seconds.observe(duration_seconds)
+        if kind:
+            self.registry.histogram("cluster.job.duration_seconds",
+                                    kind=kind).observe(duration_seconds)
+        (self._jobs_failed if failed else self._jobs_completed).inc()
+        with self._lock:
+            self._completions.append(now)
+            cutoff = now - self.window_seconds
+            while self._completions and self._completions[0] < cutoff:
+                self._completions.popleft()
+
+    # ------------------------------------------------------------------
+    # summary (the `telemetry` wire op payload)
+
+    def worker_summary(self, worker_id: str) -> dict:
+        """Aggregates for one worker from its merged metric snapshot."""
+        with self._lock:
+            snap = self._worker_metrics.get(worker_id)
+            snap = dict(snap) if snap else {}
+        counters = snap.get("counters", {})
+        out = {
+            "jobs_done": counters.get("cluster.worker.jobs_done", 0),
+            "jobs_failed": counters.get("cluster.worker.jobs_failed", 0),
+        }
+        families: dict[str, list] = {k: [] for k
+                                     in _WORKER_LATENCY_FAMILIES.values()}
+        for key, hist in snap.get("histograms", {}).items():
+            name, _ = parse_metric_key(key)
+            family = _WORKER_LATENCY_FAMILIES.get(name)
+            if family is not None:
+                families[family].append(hist)
+        for family, hists in families.items():
+            out[family] = summarize_histogram(merge_histograms(hists))
+        return out
+
+    def worker_metrics(self, worker_id: str) -> dict:
+        with self._lock:
+            snap = self._worker_metrics.get(worker_id)
+            return dict(snap) if snap else {}
+
+    def throughput(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            cutoff = now - self.window_seconds
+            while self._completions and self._completions[0] < cutoff:
+                self._completions.popleft()
+            completed = len(self._completions)
+        return {
+            "window_seconds": self.window_seconds,
+            "completed": completed,
+            "jobs_per_second": completed / self.window_seconds,
+        }
+
+    def summary(self, workers: dict | None = None,
+                include_worker_metrics: bool = False) -> dict:
+        """Farm-wide aggregate view. ``workers`` is the coordinator's
+        per-worker queue view ({worker_id: {"queue_depth": ...,
+        "last_seen_seconds": ...}}); telemetry-only workers (seen via
+        heartbeats but since forgotten by the queue) are still listed."""
+        with self._lock:
+            known = set(self._worker_metrics)
+        merged: dict[str, dict] = {}
+        for worker_id in sorted(known | set(workers or {})):
+            entry = dict((workers or {}).get(worker_id, {}))
+            entry.update(self.worker_summary(worker_id))
+            if include_worker_metrics:
+                entry["metrics"] = self.worker_metrics(worker_id)
+            merged[worker_id] = entry
+        return {
+            "workers": merged,
+            "throughput": self.throughput(),
+            "job_duration_seconds": summarize_histogram(
+                self._job_seconds.snapshot()
+                if hasattr(self._job_seconds, "snapshot") else None),
+            "spans_buffered": len(self.recorder),
+        }

@@ -177,10 +177,13 @@ class TestSessionPoolReconnect:
             pool._checkin(session)
         stats = backend.pool_stats()
         assert stats == {"idle": 2, "max_idle": 2,
-                         "connections_opened": 6, "connections_reaped": 4}
+                         "connections_opened": 6, "connections_reaped": 4,
+                         "requests_sent": 0}
         # The two kept sessions still work.
         backend.put(content_digest(b"after burst"), b"after burst")
         assert backend.get(content_digest(b"after burst")) == b"after burst"
+        # put + the get's one-time capabilities probe + the get itself.
+        assert backend.pool_stats()["requests_sent"] == 3
         backend.close()
 
     def test_pool_reaps_aged_idle_sessions(self, server):
@@ -203,7 +206,8 @@ class TestSessionPoolReconnect:
         backend = RemoteBackend(host, port)
         assert backend.pool_stats() == {"idle": 0, "max_idle": 4,
                                         "connections_opened": 0,
-                                        "connections_reaped": 0}
+                                        "connections_reaped": 0,
+                                        "requests_sent": 0}
         backend.put(content_digest(b"x"), b"x")
         assert backend.pool_stats()["idle"] == 1
         backend.close()

@@ -1,0 +1,98 @@
+"""Cross-process trace propagation, end to end at true process granularity:
+a served store subprocess, a coordinator subprocess, a worker subprocess,
+and one in-test ``cluster build --trace`` must export a single trace whose
+spans come from at least three distinct pids with no dangling parents."""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.telemetry.export import spans_from_chrome, validate_chrome_trace
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(argv):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv], env=_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def _await_listening(proc, what):
+    """Servers print 'listening on HOST:PORT' once bound (port 0 lets the
+    OS pick); block on that line and return the port."""
+    line = proc.stdout.readline()
+    assert "listening on" in line, f"{what} did not come up: {line!r}"
+    return int(line.rsplit(":", 1)[1])
+
+
+def test_one_build_correlates_three_processes(tmp_path):
+    store_dir = str(tmp_path / "store")
+    trace_path = str(tmp_path / "trace.json")
+    procs = []
+    try:
+        store_proc = _spawn(["cache", "serve", "--store", store_dir,
+                             "--port", "0"])
+        procs.append(store_proc)
+        store_port = _await_listening(store_proc, "store server")
+
+        coord_proc = _spawn(["cluster", "serve", "--port", "0"])
+        procs.append(coord_proc)
+        coord_port = _await_listening(coord_proc, "coordinator")
+
+        worker_proc = _spawn([
+            "cluster", "worker", "--coordinator", f"127.0.0.1:{coord_port}",
+            "--store-server", f"127.0.0.1:{store_port}",
+            "--worker-id", "trace-w0", "--max-idle-seconds", "120"])
+        procs.append(worker_proc)
+
+        build = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "cluster", "build",
+             "--app", "lulesh", "--systems", "ault23",
+             "--coordinator", f"127.0.0.1:{coord_port}",
+             "--store-server", f"127.0.0.1:{store_port}",
+             "--trace", trace_path],
+            env=_env(), capture_output=True, text=True, timeout=300)
+        assert build.returncode == 0, build.stdout + build.stderr
+    finally:
+        for proc in procs:
+            proc.kill()
+        for proc in procs:
+            proc.communicate(timeout=30)
+
+    doc = json.load(open(trace_path))
+    assert validate_chrome_trace(doc) == []
+
+    spans = spans_from_chrome(doc)
+    assert spans
+    # One correlated trace...
+    assert len({sp.trace_id for sp in spans}) == 1
+    # ...spanning at least client + worker + store-server pids.
+    by_process = {}
+    for sp in spans:
+        by_process.setdefault(sp.process, set()).add(sp.pid)
+    assert len({pid for pids in by_process.values() for pid in pids}) >= 3
+    for process in ("client", "trace-w0", "store-server"):
+        assert process in by_process, sorted(by_process)
+
+    # Parent links really cross process boundaries: some worker span's
+    # parent was recorded by a different pid.
+    span_pid = {sp.span_id: sp.pid for sp in spans}
+    worker_pid = next(iter(by_process["trace-w0"]))
+    assert any(sp.parent_id and span_pid.get(sp.parent_id) != sp.pid
+               for sp in spans if sp.pid == worker_pid)
+
+    # The build's job spans exist and nest under the trace: a worker job
+    # span and the store-server request spans it caused.
+    names = {sp.name for sp in spans}
+    assert any(name.startswith("cluster.worker.") for name in names)
+    assert any(name.startswith("store.server.") for name in names)
+    assert any(name.startswith("cluster.job.") for name in names)

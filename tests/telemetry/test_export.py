@@ -1,0 +1,104 @@
+"""Chrome trace-event export, its validator, and the metrics snapshot
+file — the formats docs/architecture.md documents and CI checks."""
+
+import json
+
+from repro.telemetry.export import (
+    chrome_trace,
+    spans_from_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.telemetry.trace import Span
+
+
+def _tree():
+    root = Span(name="cli.cluster-build", trace_id="T" * 32,
+                span_id="R" * 16, start=100.0, duration=2.0,
+                process="client", pid=10, tid=1)
+    child = Span(name="cluster.worker.lower", trace_id=root.trace_id,
+                 span_id="C" * 16, parent_id=root.span_id, start=100.5,
+                 duration=0.5, process="proc-0", pid=11, tid=2,
+                 attrs={"kind": "lower"})
+    return [root, child]
+
+
+class TestChromeExport:
+    def test_events_carry_identity_and_microsecond_timing(self):
+        doc = chrome_trace(_tree())
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == 2
+        child = next(e for e in x_events
+                     if e["name"] == "cluster.worker.lower")
+        assert child["ts"] == 100.5 * 1e6
+        assert child["dur"] == 0.5 * 1e6
+        assert child["args"]["trace_id"] == "T" * 32
+        assert child["args"]["parent_span_id"] == "R" * 16
+        assert child["args"]["kind"] == "lower"
+
+    def test_process_name_metadata_one_per_pid(self):
+        doc = chrome_trace(_tree())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"]: e["args"]["name"] for e in meta} == \
+            {10: "client", 11: "proc-0"}
+
+    def test_unlabeled_process_falls_back_to_pid(self):
+        sp = Span(name="x", trace_id="t", span_id="s", pid=99)
+        doc = chrome_trace([sp])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "pid-99"
+
+    def test_spans_round_trip_through_the_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, _tree(), metadata={"app": "lulesh"})
+        doc = json.loads(path.read_text())
+        assert doc["otherData"] == {"app": "lulesh"}
+        back = spans_from_chrome(doc)
+        assert {sp.span_id for sp in back} == {"R" * 16, "C" * 16}
+        by_id = {sp.span_id: sp for sp in back}
+        assert by_id["C" * 16].parent_id == "R" * 16
+        assert by_id["C" * 16].process == "proc-0"
+        assert by_id["R" * 16].process == "client"
+
+
+class TestValidator:
+    def test_valid_tree_passes(self):
+        assert validate_chrome_trace(chrome_trace(_tree())) == []
+
+    def test_dangling_parent_reported(self):
+        spans = _tree()
+        spans[1].parent_id = "missing-parent"
+        problems = validate_chrome_trace(chrome_trace(spans))
+        assert any("dangling parent_span_id" in p for p in problems)
+
+    def test_duplicate_span_id_reported(self):
+        spans = _tree()
+        spans[1].span_id = spans[0].span_id
+        spans[1].parent_id = None
+        problems = validate_chrome_trace(chrome_trace(spans))
+        assert any("duplicate span_id" in p for p in problems)
+
+    def test_missing_identity_reported(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "n", "ts": 0, "dur": 0,
+                                "pid": 1, "tid": 1, "args": {}}]}
+        problems = validate_chrome_trace(doc)
+        assert any("trace_id/span_id" in p for p in problems)
+
+    def test_structural_garbage_reported(self):
+        assert validate_chrome_trace([]) == ["top level is not an object"]
+        assert validate_chrome_trace({}) == ["missing traceEvents list"]
+        problems = validate_chrome_trace({"traceEvents": ["nope"]})
+        assert problems == ["event 0: not an object"]
+
+
+class TestMetricsSnapshotFile:
+    def test_written_document_is_versioned(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_snapshot(path, {"counters": {"c": 1}, "gauges": {},
+                                      "histograms": {}},
+                               extra={"source": "test"})
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-metrics-v1"
+        assert doc["metrics"]["counters"] == {"c": 1}
+        assert doc["source"] == "test"

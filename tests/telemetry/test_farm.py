@@ -1,0 +1,91 @@
+"""FarmTelemetry: the coordinator-side accumulator behind `cluster top`."""
+
+from repro.telemetry.farm import FarmTelemetry
+from repro.telemetry.registry import MetricsRegistry, snapshot_delta
+from repro.telemetry.trace import Span
+
+
+def _worker_delta(jobs_done=1, job_seconds=0.2):
+    """A delta shaped like a real worker heartbeat."""
+    reg = MetricsRegistry(enabled=True)
+    base = reg.snapshot()
+    reg.counter("cluster.worker.jobs_done").inc(jobs_done)
+    reg.histogram("cluster.worker.job_seconds",
+                  kind="lower").observe(job_seconds)
+    reg.histogram("store.client.request_seconds",
+                  cmd="put").observe(0.002)
+    return snapshot_delta(reg.snapshot(), base)
+
+
+class TestAbsorbMetrics:
+    def test_deltas_accumulate_per_worker(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("w0", _worker_delta())
+        farm.absorb_metrics("w0", _worker_delta())
+        farm.absorb_metrics("w1", _worker_delta())
+        assert farm.worker_summary("w0")["jobs_done"] == 2
+        assert farm.worker_summary("w1")["jobs_done"] == 1
+
+    def test_latency_families_merge_labeled_variants(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("w0", _worker_delta(job_seconds=0.2))
+        summary = farm.worker_summary("w0")
+        assert summary["job_seconds"]["count"] == 1
+        assert summary["job_seconds"]["p50"] > 0
+        assert summary["store_request_seconds"]["count"] == 1
+
+    def test_malformed_payloads_never_raise(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("", _worker_delta())       # no worker id
+        farm.absorb_metrics("w0", "not-a-dict")
+        farm.absorb_metrics("w0", {"counters": "garbage"})
+        assert farm.worker_summary("w0")["jobs_done"] == 0
+
+    def test_unknown_worker_summary_is_zeroed(self):
+        summary = FarmTelemetry().worker_summary("ghost")
+        assert summary["jobs_done"] == 0
+        assert summary["job_seconds"]["count"] == 0
+
+
+class TestAbsorbSpans:
+    def test_wire_json_spans_land_in_the_recorder(self):
+        farm = FarmTelemetry()
+        sp = Span(name="cluster.worker.lower", trace_id="T", span_id="S")
+        farm.absorb_spans([sp.to_json()])
+        assert [s.span_id for s in farm.recorder.spans()] == ["S"]
+
+    def test_garbage_span_blobs_are_skipped(self):
+        farm = FarmTelemetry()
+        farm.absorb_spans("not-a-list")
+        farm.absorb_spans([42, "x", {"name": "ok", "trace_id": "T",
+                                     "span_id": "S"}])
+        assert len(farm.recorder) == 1
+
+
+class TestJobsAndSummary:
+    def test_note_job_feeds_throughput_and_latency(self):
+        farm = FarmTelemetry(window_seconds=60.0)
+        farm.note_job(0.2, kind="lower")
+        farm.note_job(0.4, kind="deploy")
+        farm.note_job(1.0, failed=True, kind="lower")
+        throughput = farm.throughput()
+        assert throughput["completed"] == 3
+        assert throughput["jobs_per_second"] == 3 / 60.0
+        summary = farm.summary()
+        assert summary["job_duration_seconds"]["count"] == 3
+
+    def test_summary_merges_queue_view_with_heartbeat_workers(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("heartbeat-only", _worker_delta())
+        out = farm.summary(workers={"queued-only": {"queue_depth": 3}})
+        assert set(out["workers"]) == {"heartbeat-only", "queued-only"}
+        assert out["workers"]["queued-only"]["queue_depth"] == 3
+        assert out["workers"]["heartbeat-only"]["jobs_done"] == 1
+        assert out["spans_buffered"] == 0
+
+    def test_summary_can_embed_full_worker_metrics(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("w0", _worker_delta())
+        out = farm.summary(include_worker_metrics=True)
+        metrics = out["workers"]["w0"]["metrics"]
+        assert metrics["counters"]["cluster.worker.jobs_done"] == 1

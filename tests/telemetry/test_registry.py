@@ -1,0 +1,210 @@
+"""Metrics registry units: identity, snapshots, deltas, merges, the kill
+switch — the contracts every heartbeat-shipping worker relies on."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    DURATION_BUCKETS,
+    MetricsRegistry,
+    empty_snapshot,
+    histogram_quantile,
+    is_empty_snapshot,
+    merge_histograms,
+    merge_snapshot,
+    metric_key,
+    parse_metric_key,
+    set_enabled,
+    snapshot_delta,
+    summarize_histogram,
+    telemetry_enabled,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("store.server.requests") == "store.server.requests"
+
+    def test_labels_render_sorted(self):
+        key = metric_key("cache.hits", {"namespace": "ir", "app": "lulesh"})
+        assert key == "cache.hits{app=lulesh,namespace=ir}"
+
+    def test_parse_inverts_render(self):
+        labels = {"kind": "lower", "worker": "w0"}
+        name, parsed = parse_metric_key(metric_key("job_seconds", labels))
+        assert name == "job_seconds"
+        assert parsed == labels
+
+    def test_parse_bare_key(self):
+        assert parse_metric_key("plain.name") == ("plain.name", {})
+
+
+class TestCountersAndGauges:
+    def test_counter_identity_by_name_and_labels(self):
+        reg = MetricsRegistry(enabled=True)
+        a = reg.counter("hits", namespace="ir")
+        b = reg.counter("hits", namespace="ir")
+        c = reg.counter("hits", namespace="lower")
+        assert a is b and a is not c
+        a.inc()
+        a.inc(2)
+        assert a.value == 3 and c.value == 0
+
+    def test_gauge_max_of_keeps_high_water_mark(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("peak_body_bytes")
+        g.max_of(100)
+        g.max_of(50)
+        assert g.value == 100
+        g.set(10)
+        assert g.value == 10
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestHistogram:
+    def test_bucket_counts_and_overflow(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 1, 1, 1]   # last is the overflow bucket
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.0555)
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            h.observe(0.005)
+        h.observe(50.0)   # one overflow observation
+        snap = h.snapshot()
+        assert histogram_quantile(snap, 0.50) == 0.01
+        # The overflow bucket can only answer with the top boundary.
+        assert histogram_quantile(snap, 0.999) == 0.1
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert histogram_quantile({"buckets": [], "counts": [],
+                                   "sum": 0.0, "count": 0}, 0.5) == 0.0
+
+    def test_summarize(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat")
+        h.observe(0.01)
+        h.observe(0.03)
+        summary = summarize_histogram(h.snapshot())
+        assert summary["count"] == 2
+        assert summary["mean"] == pytest.approx(0.02)
+        assert summary["p50"] in DURATION_BUCKETS
+        assert summarize_histogram(None) == {"count": 0, "mean": 0.0,
+                                             "p50": 0.0, "p95": 0.0}
+
+
+class TestSnapshotAlgebra:
+    def test_delta_then_merge_round_trips(self):
+        """merge(base_snapshot, delta(current, base)) == current — the
+        exact invariant heartbeat shipping depends on."""
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("jobs").inc(3)
+        reg.histogram("lat", buckets=(0.01, 0.1)).observe(0.005)
+        base = reg.snapshot()
+
+        reg.counter("jobs").inc(2)
+        reg.counter("fails").inc()
+        reg.gauge("depth").set(4)
+        reg.histogram("lat", buckets=(0.01, 0.1)).observe(0.05)
+        current = reg.snapshot()
+
+        delta = snapshot_delta(current, base)
+        assert delta["counters"] == {"jobs": 2, "fails": 1}
+        rebuilt = merge_snapshot(dict(base), delta)
+        assert rebuilt["counters"] == current["counters"]
+        assert rebuilt["histograms"]["lat"]["counts"] == \
+            current["histograms"]["lat"]["counts"]
+        assert rebuilt["histograms"]["lat"]["count"] == \
+            current["histograms"]["lat"]["count"]
+
+    def test_idle_delta_is_empty(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("jobs").inc()
+        snap = reg.snapshot()
+        assert is_empty_snapshot(snapshot_delta(reg.snapshot(), snap))
+        assert is_empty_snapshot(empty_snapshot())
+
+    def test_merge_adds_counters_and_keeps_gauge_max(self):
+        into = empty_snapshot()
+        merge_snapshot(into, {"counters": {"c": 2}, "gauges": {"peak": 10},
+                              "histograms": {}})
+        merge_snapshot(into, {"counters": {"c": 3}, "gauges": {"peak": 4},
+                              "histograms": {}})
+        assert into["counters"] == {"c": 5}
+        assert into["gauges"] == {"peak": 10}
+
+    def test_merge_histograms_folds_same_boundaries(self):
+        a = {"buckets": [0.01, 0.1], "counts": [1, 0, 0],
+             "sum": 0.005, "count": 1}
+        b = {"buckets": [0.01, 0.1], "counts": [0, 2, 0],
+             "sum": 0.1, "count": 2}
+        odd = {"buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+        merged = merge_histograms([a, b, odd])
+        assert merged["counts"] == [1, 2, 0]
+        assert merged["count"] == 3
+        assert merge_histograms([]) is None
+
+
+class TestKillSwitch:
+    def teardown_method(self):
+        set_enabled(True)
+
+    def test_disabled_registry_hands_out_no_ops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        c.inc(100)
+        reg.gauge("g").set(9)
+        reg.histogram("h").observe(1.0)
+        assert c.value == 0
+        assert reg.snapshot() == empty_snapshot()
+
+    def test_set_enabled_controls_default_constructed_registries(self):
+        set_enabled(False)
+        assert not telemetry_enabled()
+        assert MetricsRegistry().snapshot() == empty_snapshot()
+        set_enabled(True)
+        assert telemetry_enabled()
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert reg.snapshot()["counters"] == {"c": 1}
+
+    def test_explicit_enabled_overrides_default(self):
+        set_enabled(False)
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        assert reg.snapshot()["counters"] == {"c": 1}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        reg = MetricsRegistry(enabled=True)
+        counter = reg.counter("n")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000

@@ -1,0 +1,115 @@
+"""Server-side telemetry surfaces: the unified ``stats()`` schema both
+flavors share, the ``telemetry`` wire op (metrics snapshot + span drain),
+and the client/server request-count cross-check."""
+
+import pytest
+
+from repro.store import (
+    AsyncStoreServer,
+    MemoryBackend,
+    RemoteBackend,
+    StoreServer,
+)
+from repro.store.remote import SERVER_STATS_FIELDS
+from repro.telemetry import trace as _trace
+from repro.telemetry.trace import TraceRecorder
+from repro.util.hashing import content_digest
+
+
+@pytest.fixture(params=["thread", "async"])
+def served(request):
+    flavor = StoreServer if request.param == "thread" else AsyncStoreServer
+    with flavor(MemoryBackend()) as server:
+        host, port = server.address
+        backend = RemoteBackend(host, port)
+        yield backend, server
+        backend.close()
+
+
+class TestStatsSchema:
+    def test_both_flavors_emit_exactly_the_documented_fields(self, served):
+        backend, server = served
+        digest = content_digest(b"schema probe")
+        backend.put(digest, b"schema probe")
+        assert backend.get(digest) == b"schema probe"
+        stats = server.stats()
+        assert tuple(sorted(stats)) == tuple(sorted(SERVER_STATS_FIELDS))
+        assert stats["requests_served"] > 0
+        assert stats["bytes_in"] > 0 and stats["bytes_out"] > 0
+
+
+class TestTelemetryWireOp:
+    def test_reports_flavor_stats_and_metrics(self, served):
+        backend, server = served
+        digest = content_digest(b"telemetry probe")
+        backend.put(digest, b"telemetry probe")
+        info = backend.telemetry()
+        assert info["flavor"] == server.flavor
+        assert tuple(sorted(info["stats"])) == \
+            tuple(sorted(SERVER_STATS_FIELDS))
+        counters = info["metrics"]["counters"]
+        assert counters["store.server.requests"] == \
+            info["stats"]["requests_served"]
+
+    def test_span_drain_is_destructive_snapshot_is_not(self, served):
+        backend, server = served
+        parent = {"trace_id": "T" * 32, "parent_span_id": "P" * 16}
+        with _trace.recording(TraceRecorder()):
+            with _trace.span("client.op", parent=parent):
+                digest = content_digest(b"traced blob")
+                backend.put(digest, b"traced blob")
+        # The server recorded one span per traced request, parented to
+        # the client's request span (plus a capabilities probe).
+        peek = backend.telemetry()["spans"]
+        assert peek and all(sp["trace_id"] == parent["trace_id"]
+                            for sp in peek)
+        drained = backend.telemetry(drain_spans=True)["spans"]
+        assert [sp["span_id"] for sp in drained] == \
+            [sp["span_id"] for sp in peek]
+        assert backend.telemetry()["spans"] == []
+
+    def test_large_span_buffers_survive_the_wire(self, served):
+        """Span collections ride the response body, so a drain must work
+        far past what a single header line could carry."""
+        backend, server = served
+        parent = {"trace_id": "A" * 32, "parent_span_id": "B" * 16}
+        payload = b"x" * 64
+        digest = content_digest(payload)
+        backend.put(digest, payload)
+        with _trace.recording(TraceRecorder()):
+            with _trace.span("client.burst", parent=parent):
+                for _ in range(600):
+                    backend.get(digest)
+        spans = backend.telemetry(drain_spans=True)["spans"]
+        assert len(spans) >= 600
+        assert all(sp["trace_id"] == parent["trace_id"] for sp in spans)
+
+    def test_untraced_traffic_records_no_spans(self, served):
+        backend, server = served
+        digest = content_digest(b"quiet")
+        backend.put(digest, b"quiet")
+        backend.get(digest)
+        assert backend.telemetry()["spans"] == []
+
+
+class TestRequestCountCrossCheck:
+    def test_client_requests_sent_matches_server_requests_served(self):
+        """One pooled client alone on a server: every request it counted
+        must be a request the server counted — the end-to-end consistency
+        `cache stats --store-server` relies on."""
+        with StoreServer(MemoryBackend()) as server:
+            host, port = server.address
+            backend = RemoteBackend(host, port)
+            try:
+                digest = content_digest(b"cross-check")
+                backend.put(digest, b"cross-check")
+                backend.get(digest)
+                backend.has(digest)
+                sent = backend.pool_stats()["requests_sent"]
+                assert sent > 0
+                # telemetry() itself is one more request the pool counts
+                # before the server answers with its own total.
+                served_count = backend.telemetry()["stats"]["requests_served"]
+                assert served_count == sent + 1
+            finally:
+                backend.close()

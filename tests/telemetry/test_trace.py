@@ -1,0 +1,125 @@
+"""Span model and propagation: in-process nesting, the pass-through rule,
+wire-header context, and the server-side wire-span helpers."""
+
+from repro.telemetry.trace import (
+    Span,
+    TraceRecorder,
+    begin_wire_span,
+    current,
+    end_wire_span,
+    recording,
+    span,
+)
+
+
+class TestSpanModel:
+    def test_json_round_trip(self):
+        sp = Span(name="cluster.worker.lower", trace_id="t" * 32,
+                  span_id="s" * 16, parent_id="p" * 16, start=123.5,
+                  duration=0.25, process="proc-0", pid=42, tid=7,
+                  attrs={"kind": "lower"})
+        assert Span.from_json(sp.to_json()) == sp
+
+    def test_optional_fields_omitted_from_wire_form(self):
+        sp = Span(name="x", trace_id="t", span_id="s")
+        blob = sp.to_json()
+        assert "parent_id" not in blob and "attrs" not in blob
+
+
+class TestRecorder:
+    def test_bounded_with_drop_count(self):
+        rec = TraceRecorder(max_spans=3)
+        for i in range(5):
+            rec.record(Span(name=f"s{i}", trace_id="t", span_id=str(i)))
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [sp.name for sp in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_drain_empties(self):
+        rec = TraceRecorder()
+        rec.record(Span(name="a", trace_id="t", span_id="1"))
+        assert [sp.name for sp in rec.drain()] == ["a"]
+        assert len(rec) == 0 and rec.drain() == []
+
+
+class TestInProcessPropagation:
+    def test_nested_spans_parent_correctly(self):
+        rec = TraceRecorder()
+        with recording(rec):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.trace_id == outer.trace_id
+                    assert inner.parent_id == outer.span_id
+        spans = rec.spans()
+        assert [sp.name for sp in spans] == ["inner", "outer"]
+        assert spans[1].parent_id is None
+
+    def test_current_exposes_wire_context(self):
+        assert current() is None
+        with recording(TraceRecorder()):
+            with span("root") as root:
+                ctx = current()
+                assert ctx == {"trace_id": root.trace_id,
+                               "parent_span_id": root.span_id}
+        assert current() is None
+
+    def test_span_without_recorder_is_a_no_op(self):
+        with span("nothing") as sp:
+            assert sp is None
+        assert current() is None
+
+    def test_explicit_parent_crosses_process_boundary(self):
+        rec = TraceRecorder()
+        parent = {"trace_id": "T" * 32, "parent_span_id": "P" * 16}
+        with recording(rec):
+            with span("job", parent=parent) as sp:
+                assert sp.trace_id == parent["trace_id"]
+                assert sp.parent_id == parent["parent_span_id"]
+
+    def test_attrs_mutable_until_exit(self):
+        rec = TraceRecorder()
+        with recording(rec):
+            with span("job", attrs={"a": 1}) as sp:
+                sp.attrs["b"] = 2
+        assert rec.spans()[0].attrs == {"a": 1, "b": 2}
+
+
+class TestPassThroughRule:
+    def test_unrecorded_span_forwards_incoming_parent_unchanged(self):
+        """A process that is not recording must not mint span ids nobody
+        will export — children must parent to the nearest *recorded*
+        ancestor or the exported tree dangles."""
+        rec = TraceRecorder()
+        incoming = {"trace_id": "T" * 32, "parent_span_id": "P" * 16}
+        with span("untraced-middleman", parent=incoming):
+            assert current() == incoming
+            # A downstream recorded span parents straight to the incoming id.
+            with recording(rec):
+                with span("recorded-child") as child:
+                    assert child.parent_id == "P" * 16
+
+    def test_no_recorder_no_context_costs_nothing(self):
+        with span("idle") as sp:
+            assert sp is None and current() is None
+
+
+class TestWireSpans:
+    def test_untraced_request_returns_none_token(self):
+        assert begin_wire_span(None) is None
+        assert begin_wire_span({}) is None
+        assert begin_wire_span({"trace": "junk"}) is None
+        assert end_wire_span(TraceRecorder(), None, "store.server.get") is None
+
+    def test_traced_request_records_parented_span(self):
+        rec = TraceRecorder()
+        parent = {"trace_id": "T" * 32, "parent_span_id": "P" * 16}
+        token = begin_wire_span(parent)
+        sp = end_wire_span(rec, token, "store.server.get", {"cmd": "get"})
+        assert sp.trace_id == parent["trace_id"]
+        assert sp.parent_id == parent["parent_span_id"]
+        assert sp.duration >= 0.0
+        assert rec.spans() == [sp]
+
+    def test_no_recorder_drops_the_span(self):
+        token = begin_wire_span({"trace_id": "T", "parent_span_id": "P"})
+        assert end_wire_span(None, token, "store.server.get") is None

@@ -322,3 +322,40 @@ class TestClusterCLI:
         assert blob["jobs"]  # ran on the external worker
         assert all(rec["worker"] == "external"
                    for rec in blob["jobs"].values())
+
+
+class TestTelemetryCli:
+    def test_ir_build_trace_exports_valid_chrome_trace(self, capsys,
+                                                       tmp_path):
+        from repro.telemetry.export import validate_chrome_trace
+        trace_path = tmp_path / "trace.json"
+        code, _ = run_cli(capsys, "ir-build", "--app", "lulesh",
+                          "--store", str(tmp_path / "store"),
+                          "--trace", str(trace_path))
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "cli.ir-build" in names
+        assert any(n.startswith("pipeline.stage.") for n in names)
+
+    def test_cache_stats_against_store_server_embeds_live_counters(
+            self, capsys, tmp_path):
+        """The remote-store bugfix: `cache stats --store-server --json`
+        must include the server's live counters, not just index totals."""
+        from repro.store import FileBackend, StoreServer
+        store_dir = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store_dir)
+        with StoreServer(FileBackend(store_dir)) as server:
+            host, port = server.address
+            code, out = run_cli(capsys, "cache", "stats",
+                                "--store-server", f"{host}:{port}", "--json")
+        assert code == 0
+        blob = json.loads(out)
+        assert blob["entries"] > 0          # the usual index report
+        server_blob = blob["server"]        # plus the live server side
+        assert server_blob["flavor"] == "thread"
+        assert server_blob["stats"]["requests_served"] > 0
+        counters = server_blob["metrics"]["counters"]
+        assert counters["store.server.requests"] == \
+            server_blob["stats"]["requests_served"]
