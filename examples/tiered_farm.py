@@ -1,0 +1,136 @@
+"""Tiered store + elastic farm: worker-private tiers over one shared
+store, and a fleet that grows into a backlog and shrinks after it.
+
+Walks what the tiered-store ISSUE adds on top of the cluster:
+
+1. **TieredBackend up close** — write-back batching (puts stay local
+   until a flush), publish-before-announce across the tier (a ref write
+   flushes pending blobs first), and single-flight miss dedup (16
+   threads warming one blob cost one upstream fetch).
+2. **Tiered farm build** — two workers, each behind its own
+   `FileBackend` tier, over one shared store. Byte-identical artifacts,
+   zero duplicate lowering, and the warm rerun is served from the
+   workers' local tiers.
+3. **Elastic fleet** — `LocalCluster(elastic=True)` starts at the floor,
+   scales up when the stage wave piles up, and retires idle workers
+   once the farm drains.
+
+Run:  PYTHONPATH=src python examples/tiered_farm.py
+"""
+
+import tempfile
+import threading
+import time
+
+from repro.cluster import (
+    ClusterWorker,
+    Coordinator,
+    CoordinatorClient,
+    LocalCluster,
+    cluster_build,
+)
+from repro.containers import ArtifactCache, BlobStore
+from repro.store import FileBackend, MemoryBackend, TieredBackend
+from repro.util.hashing import content_digest
+
+SYSTEMS = ["ault23", "ault25"]
+
+
+def tier_mechanics() -> None:
+    print("== TieredBackend mechanics ==")
+    upstream = MemoryBackend()
+    tier = TieredBackend(MemoryBackend(), upstream, flush_max_blobs=64)
+
+    digest = content_digest(b"module")
+    tier.put(digest, b"module")
+    print(f"after put:   pending={tier.pending_blobs}, "
+          f"upstream has it: {upstream.has(digest)}")
+    tier.set_ref("artifact-index/demo", b"names " + digest.encode())
+    print(f"after ref:   pending={tier.pending_blobs}, "
+          f"upstream has it: {upstream.has(digest)} "
+          "(ref writes flush first)")
+
+    # Single-flight: everyone misses one digest at once, one fetch runs.
+    cold = content_digest(b"cold blob")
+    upstream.put(cold, b"cold blob")
+    fetches = []
+    original_get = upstream.get
+    upstream.get = lambda d: (fetches.append(d), time.sleep(0.05),
+                              original_get(d))[-1]
+    threads = [threading.Thread(target=tier.get, args=(cold,))
+               for _ in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print(f"16 concurrent misses -> {len(fetches)} upstream fetch, "
+          f"hits={tier.tier_hits}, misses={tier.tier_misses}")
+
+
+def tiered_farm(root: str) -> None:
+    print("\n== tiered farm build ==")
+    store_dir = root + "/shared"
+    tier_root = root + "/tiers"
+    with Coordinator() as coordinator:
+        host, port = coordinator.address
+        workers = [ClusterWorker(CoordinatorClient(host, port),
+                                 BlobStore(FileBackend(store_dir)),
+                                 worker_id=f"w{i}",
+                                 local_tier_dir=tier_root)
+                   for i in range(2)]
+        stop = threading.Event()
+        threads = [threading.Thread(target=w.run, kwargs={"stop": stop},
+                                    daemon=True) for w in workers]
+        for thread in threads:
+            thread.start()
+        try:
+            store = BlobStore(FileBackend(store_dir))
+            report = cluster_build(CoordinatorClient(host, port), "lulesh",
+                                   SYSTEMS, store,
+                                   cache=ArtifactCache(store))
+            print(f"deployed {len(report.deployments)} systems, "
+                  f"duplicate lowerings: {report.duplicate_lowerings}")
+            rerun = cluster_build(CoordinatorClient(host, port), "lulesh",
+                                  SYSTEMS, store, cache=ArtifactCache(store))
+            print(f"warm rerun: lower jobs submitted: "
+                  f"{any('/lower/' in j for j in rerun.jobs)}")
+            for worker in workers:
+                t = worker.tier
+                print(f"  {worker.worker_id}: tier hits={t.tier_hits} "
+                      f"misses={t.tier_misses} "
+                      f"flushed={t.flushed_blobs} blobs upstream")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+
+
+def elastic_fleet() -> None:
+    print("\n== elastic fleet ==")
+    cluster = LocalCluster(elastic=True, min_workers=1, max_workers=3,
+                           scale_threshold=0.5, scale_poll_seconds=0.02,
+                           scale_cooldown_seconds=0.2)
+    with cluster:
+        print(f"fleet starts at floor: {len(cluster.workers)} worker")
+        cluster.build("lulesh", SYSTEMS + ["ault01-04", "dev-machine"])
+        peak = len(cluster.workers)
+        deadline = time.monotonic() + 15.0
+        while len(cluster._live_worker_ids()) > cluster.min_workers \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        for event in cluster.scale_events:
+            print(f"  scale {event['action']}: fleet -> "
+                  f"{event['workers']} workers")
+        print(f"peak fleet {peak}, back at floor "
+              f"{len(cluster._live_worker_ids())} after the drain")
+
+
+def main() -> None:
+    tier_mechanics()
+    with tempfile.TemporaryDirectory() as root:
+        tiered_farm(root)
+    elastic_fleet()
+
+
+if __name__ == "__main__":
+    main()

@@ -108,14 +108,22 @@ def _run_local_farm(args, system_names: list[str], scale: float | None,
     from repro.cluster import ClusterError, LocalCluster
     from repro.core import IRDeploymentError
     store, cache = _open_store(args, farm=True)
+    elastic = bool(getattr(args, "elastic", False))
     try:
-        with LocalCluster(workers=args.workers, store=store,
-                          cache=cache) as cluster:
+        with LocalCluster(workers=args.workers, store=store, cache=cache,
+                          elastic=elastic,
+                          min_workers=getattr(args, "min_workers", 1),
+                          max_workers=args.workers if elastic else None
+                          ) as cluster:
             report = cluster.build(args.app, system_names, scale=scale,
                                    skip_incompatible=args.skip_incompatible,
                                    job_timeout=job_timeout)
             if spans_out is not None:
                 spans_out.extend(cluster.drain_spans())
+            if elastic and cluster.scale_events:
+                print(f"elastic: {len(cluster.scale_events)} scale events, "
+                      f"peak {max(e['workers'] for e in cluster.scale_events)}"
+                      f" workers", file=sys.stderr)
     except (ClusterError, IRDeploymentError) as exc:
         raise SystemExit(f"{label} failed: {exc}")
     if spans_out is not None:
@@ -431,10 +439,17 @@ def cmd_cache_stats(args) -> int:
 
 
 def cmd_cache_gc(args) -> int:
-    """LRU-evict until the store fits ``--max-bytes``; pins are sacred."""
-    report = _cache_for_store(args).gc(args.max_bytes,
+    """Bound the store: TTL-expire past ``--max-age-seconds``, LRU-evict
+    until it fits ``--max-bytes``; pins are sacred. Either bound alone
+    works — a pure-TTL sweep runs with an unlimited byte budget."""
+    if args.max_bytes is None and args.max_age_seconds is None:
+        raise SystemExit("cache gc needs --max-bytes and/or "
+                         "--max-age-seconds")
+    max_bytes = args.max_bytes if args.max_bytes is not None else 2 ** 62
+    report = _cache_for_store(args).gc(max_bytes,
                                        grace_seconds=args.grace_seconds,
-                                       dry_run=args.dry_run)
+                                       dry_run=args.dry_run,
+                                       max_age_seconds=args.max_age_seconds)
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
         return 0
@@ -442,18 +457,22 @@ def cmd_cache_gc(args) -> int:
         print(f"dry run: store {report.before_bytes} bytes, budget "
               f"{report.max_bytes}, plan frees {report.planned_freed_bytes} "
               f"-> {report.projected_after_bytes} bytes")
-        print(f"would evict {report.evicted_entries} entries, "
+        print(f"would expire {report.expired_entries} entries, "
+              f"evict {report.evicted_entries} entries, "
               f"delete {report.deleted_blobs} blobs "
               f"({report.pinned_blobs} pinned blobs kept)")
         for namespace, agg in sorted(report.by_namespace.items()):
             print(f"  {namespace:<12} {agg['entries']:>5} entries  "
                   f"{agg['blobs']:>5} blobs  {agg['bytes']:>10} bytes")
+        for ns, key in report.expired:
+            print(f"  would expire [{ns}] {key}")
         for ns, key in report.evicted:
             print(f"  would evict [{ns}] {key}")
     else:
         print(f"store: {report.before_bytes} -> {report.after_bytes} bytes "
               f"(budget {report.max_bytes}, freed {report.freed_bytes})")
-        print(f"evicted {report.evicted_entries} entries, "
+        print(f"expired {report.expired_entries} entries, "
+              f"evicted {report.evicted_entries} entries, "
               f"deleted {report.deleted_blobs} blobs, "
               f"{report.pinned_blobs} pinned blobs kept")
     if not report.within_budget:
@@ -592,11 +611,18 @@ def cmd_cluster_worker(args) -> int:
     worker = ClusterWorker(CoordinatorClient(host, port), store,
                            worker_id=args.worker_id,
                            max_workers=args.job_workers,
-                           registry=registry)
+                           registry=registry,
+                           local_tier_dir=args.local_tier,
+                           tier_flush_interval=args.flush_interval)
     _trace.set_service(worker.worker_id)
     worker.run(max_idle_seconds=args.max_idle_seconds)
-    print(f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
-          f"{worker.jobs_failed} failed", flush=True)
+    line = (f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
+            f"{worker.jobs_failed} failed")
+    if worker.tier is not None:
+        line += (f", tier {worker.tier.tier_hits} hits / "
+                 f"{worker.tier.tier_misses} misses / "
+                 f"{worker.tier.flushed_blobs} flushed")
+    print(line, flush=True)
     return 0
 
 
@@ -689,13 +715,17 @@ def cmd_cluster_top(args) -> int:
         print("no workers seen")
         return 0
     print(f"{'worker':<16} {'queue':>5} {'run':>4} {'done':>6} {'fail':>5} "
+          f"{'tier h/m':>12} {'flush':>6} "
           f"{'job p50/p95':>18} {'store p50/p95':>18} {'seen':>8}")
     for worker_id in sorted(workers):
         w = workers[worker_id]
         seen = w.get("last_seen_seconds")
+        tier = (f"{w.get('tier_hits', 0)}/{w.get('tier_misses', 0)}"
+                if w.get("tier_hits", 0) or w.get("tier_misses", 0) else "-")
         print(f"{worker_id:<16} {w.get('queue_depth', 0):>5} "
               f"{w.get('running', 0):>4} {w.get('jobs_done', 0):>6} "
               f"{w.get('jobs_failed', 0):>5} "
+              f"{tier:>12} {w.get('tier_flushed', 0) or '-':>6} "
               f"{_fmt_latency(w.get('job_seconds')):>18} "
               f"{_fmt_latency(w.get('store_request_seconds')):>18} "
               f"{'' if seen is None else f'{seen:.1f}s ago':>8}")
@@ -798,6 +828,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="route the batch through N in-process cluster "
                         "workers (0 = classic single-process path)")
+    p.add_argument("--elastic", action="store_true",
+                   help="with --workers N: start --min-workers and let "
+                        "the farm scale itself up to N against queue "
+                        "depth, retiring drained idle workers")
+    p.add_argument("--min-workers", type=int, default=1,
+                   help="elastic fleet floor (default 1)")
     p.add_argument("--store", default="", help=store_help)
     p.add_argument("--json", action="store_true",
                    help="machine-readable plan + reuse statistics")
@@ -826,6 +862,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared store served by `repro.store` StoreServer "
                         "(alternative to --store)")
     c.add_argument("--worker-id", default="")
+    c.add_argument("--local-tier", default="", metavar="DIR",
+                   help="worker-local store tier root: hot artifacts are "
+                        "served from DIR/<worker-id> at disk latency, "
+                        "puts write back to the shared store in batches "
+                        "(the ccache topology; pair with --store-server)")
+    c.add_argument("--flush-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="background write-back flush period for "
+                        "--local-tier (default: flush on size bound and "
+                        "at job boundaries only)")
     c.add_argument("--job-workers", type=int, default=1,
                    help="thread-pool width inside one job (cluster "
                         "parallelism comes from workers, so default 1)")
@@ -910,11 +956,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_cache_serve, threaded=False)
 
     c = cache_sub.add_parser("gc",
-                             help="LRU-evict entries until the store fits a "
-                                  "byte budget (pinned manifests kept)")
+                             help="bound the store: TTL-expire old entries "
+                                  "and/or LRU-evict to a byte budget "
+                                  "(pinned manifests kept)")
     c.add_argument("--store", required=True, help=store_help)
-    c.add_argument("--max-bytes", type=int, required=True,
+    c.add_argument("--max-bytes", type=int, default=None,
                    help="target store size in bytes")
+    c.add_argument("--max-age-seconds", type=float, default=None,
+                   help="expire entries whose payload blob is older than "
+                        "this, regardless of the byte budget")
     c.add_argument("--grace-seconds", type=float, default=0.0,
                    help="never delete blobs younger than this; use > 0 "
                         "when builders may be publishing concurrently")

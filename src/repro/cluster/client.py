@@ -447,6 +447,30 @@ def cluster_build(client: CoordinatorClient, app_name: str,
 # -- local cluster -------------------------------------------------------------
 
 
+def autoscale_decision(ready_depth: int, running: int, live_workers: int,
+                       min_workers: int, max_workers: int,
+                       scale_threshold: float,
+                       drained_seconds: float,
+                       cooldown_seconds: float) -> str | None:
+    """The elastic policy, as a pure function (unit-testable without a
+    farm): ``"up"`` when the backlog per live worker exceeds the
+    threshold and the fleet has headroom, ``"down"`` when the farm has
+    been fully drained (nothing ready, nothing running) past the cooldown
+    and the fleet is above its floor, ``None`` otherwise.
+
+    ``ready_depth`` counts claimable jobs (shared queue plus every
+    per-worker deque); blocked jobs are deliberately excluded — they
+    cannot be executed yet, so spawning workers for them buys nothing.
+    """
+    if live_workers < max_workers and live_workers > 0 \
+            and ready_depth / live_workers > scale_threshold:
+        return "up"
+    if live_workers > min_workers and ready_depth == 0 and running == 0 \
+            and drained_seconds >= cooldown_seconds:
+        return "down"
+    return None
+
+
 class LocalCluster:
     """A coordinator plus N workers, self-hosted for one process's benefit.
 
@@ -457,6 +481,16 @@ class LocalCluster:
     that open their own handle on ``store_dir`` (a
     :class:`~repro.store.backend.FileBackend` directory) — real multi-core
     parallelism, used by the cluster benchmark and CI.
+
+    ``elastic=True`` (thread mode) starts ``min_workers`` and lets a
+    monitor thread drive the fleet against coordinator queue depth: scale
+    *up* one worker whenever the claimable backlog per live worker
+    exceeds ``scale_threshold``, scale *down* one idle worker after the
+    farm has been drained for ``scale_cooldown_seconds`` — never below
+    ``min_workers``, never above ``max_workers``. Retiring is a clean
+    lease handoff: the worker's own stop event ends its loop, and its
+    ``goodbye`` re-queues anything it still owned. Decisions are recorded
+    in :attr:`scale_events`.
     """
 
     def __init__(self, workers: int = 2, mode: str = "thread",
@@ -464,12 +498,27 @@ class LocalCluster:
                  cache: ArtifactCache | None = None,
                  store_dir: str = "",
                  lease_seconds: float = 60.0,
-                 job_max_workers: int | None = 1):
+                 job_max_workers: int | None = 1,
+                 elastic: bool = False,
+                 min_workers: int = 1,
+                 max_workers: int | None = None,
+                 scale_threshold: float = 2.0,
+                 scale_poll_seconds: float = 0.1,
+                 scale_cooldown_seconds: float = 2.0,
+                 local_tier_dir: str = ""):
         if mode not in ("thread", "process"):
             raise ClusterError(f"unknown LocalCluster mode {mode!r}")
         if mode == "process" and not store_dir:
             raise ClusterError("process-mode LocalCluster needs store_dir "
                                "(workers open their own FileBackend)")
+        if elastic and mode != "thread":
+            raise ClusterError("elastic scaling drives in-process worker "
+                               "threads; process-mode fleets are fixed-size")
+        if local_tier_dir and mode != "process":
+            raise ClusterError("local_tier_dir applies to process-mode "
+                               "workers (thread-mode workers share one "
+                               "in-process cache; a private tier per worker "
+                               "would sit behind it unused)")
         if store is None:
             if store_dir:
                 from repro.store import FileBackend
@@ -478,36 +527,116 @@ class LocalCluster:
                 store = BlobStore()
         self.mode = mode
         self.n_workers = max(1, workers)
+        self.elastic = elastic
+        self.min_workers = max(1, min_workers)
+        self.max_workers = max(self.min_workers,
+                               max_workers if max_workers is not None
+                               else self.n_workers)
+        self.scale_threshold = scale_threshold
+        self.scale_poll_seconds = scale_poll_seconds
+        self.scale_cooldown_seconds = scale_cooldown_seconds
+        self.local_tier_dir = local_tier_dir
+        #: [{"action": "up"|"down", "workers": fleet size after}] in
+        #: decision order — what the elastic tests (and curious callers)
+        #: assert against.
+        self.scale_events: list[dict] = []
         self.store = store
         self.cache = cache if cache is not None else ArtifactCache(
             store, flush_every=ClusterWorker.FLUSH_EVERY)
         self.store_dir = store_dir
         self.job_max_workers = job_max_workers
-        # The fleet size is fixed, so tell the scheduler: a job excluded
-        # by every worker is then terminal instead of timing out.
-        self.coordinator = Coordinator(lease_seconds=lease_seconds,
-                                       expected_workers=self.n_workers)
+        # A fixed fleet size lets the scheduler treat "excluded by every
+        # worker" as terminal; an elastic fleet keeps that open — workers
+        # may yet join.
+        self.coordinator = Coordinator(
+            lease_seconds=lease_seconds,
+            expected_workers=None if elastic else self.n_workers)
         self.client: CoordinatorClient | None = None
         self.workers: list[ClusterWorker] = []
         self._threads: list[threading.Thread] = []
         self._procs: list[subprocess.Popen] = []
         self._stop = threading.Event()
+        # Per-worker stop events (global stop sets them all) — what lets
+        # the autoscaler retire exactly one worker.
+        self._worker_stops: dict[str, threading.Event] = {}
+        self._spawn_lock = threading.Lock()
+        self._next_worker = 0
+        self._scaler: threading.Thread | None = None
+
+    def _spawn_worker(self, host: str, port: int) -> ClusterWorker:
+        with self._spawn_lock:
+            index = self._next_worker
+            self._next_worker += 1
+            worker = ClusterWorker(
+                CoordinatorClient(host, port), self.store,
+                cache=self.cache, worker_id=f"local-{index}",
+                max_workers=self.job_max_workers)
+            worker_stop = threading.Event()
+            self._worker_stops[worker.worker_id] = worker_stop
+            self.workers.append(worker)
+            thread = threading.Thread(
+                target=worker.run, kwargs={"stop": worker_stop},
+                name=f"cluster-{worker.worker_id}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+            return worker
+
+    def _live_worker_ids(self) -> list[str]:
+        return [worker.worker_id
+                for worker, thread in zip(self.workers, self._threads)
+                if thread.is_alive()
+                and not self._worker_stops[worker.worker_id].is_set()]
+
+    def _autoscale_loop(self, host: str, port: int) -> None:
+        drained_since: float | None = None
+        while not self._stop.wait(self.scale_poll_seconds):
+            summary = self.coordinator.queue.telemetry_summary()
+            states = summary["jobs"]["states"]
+            ready = summary["shared_queue_depth"] + sum(
+                entry.get("queue_depth", 0)
+                for entry in summary["workers"].values())
+            running = states.get("running", 0)
+            now = time.monotonic()
+            if ready == 0 and running == 0:
+                drained_since = drained_since if drained_since is not None \
+                    else now
+            else:
+                drained_since = None
+            live = self._live_worker_ids()
+            action = autoscale_decision(
+                ready, running, len(live),
+                self.min_workers, self.max_workers, self.scale_threshold,
+                now - drained_since if drained_since is not None else 0.0,
+                self.scale_cooldown_seconds)
+            if action == "up":
+                self._spawn_worker(host, port)
+                self.scale_events.append(
+                    {"action": "up", "workers": len(live) + 1})
+            elif action == "down":
+                # Retire an *idle* worker: per-worker stop ends its loop;
+                # its goodbye returns any owned queue entries. Prefer the
+                # newest — the oldest tiers/caches are the warmest.
+                idle = [wid for wid in live
+                        if summary["workers"]
+                        .get(wid, {}).get("running", 0) == 0]
+                if idle:
+                    self._worker_stops[idle[-1]].set()
+                    drained_since = now  # one retirement per cooldown
+                    self.scale_events.append(
+                        {"action": "down", "workers": len(live) - 1})
 
     def start(self) -> "LocalCluster":
         host, port = self.coordinator.start()
         self.client = CoordinatorClient(host, port)
         if self.mode == "thread":
-            for i in range(self.n_workers):
-                worker = ClusterWorker(
-                    CoordinatorClient(host, port), self.store,
-                    cache=self.cache, worker_id=f"local-{i}",
-                    max_workers=self.job_max_workers)
-                self.workers.append(worker)
-                thread = threading.Thread(
-                    target=worker.run, kwargs={"stop": self._stop},
-                    name=f"cluster-{worker.worker_id}", daemon=True)
-                thread.start()
-                self._threads.append(thread)
+            initial = self.min_workers if self.elastic else self.n_workers
+            for _ in range(initial):
+                self._spawn_worker(host, port)
+            if self.elastic:
+                self._scaler = threading.Thread(
+                    target=self._autoscale_loop, args=(host, port),
+                    name="cluster-autoscaler", daemon=True)
+                self._scaler.start()
         else:
             env = dict(os.environ)
             src_dir = os.path.dirname(os.path.dirname(
@@ -515,12 +644,14 @@ class LocalCluster:
             env["PYTHONPATH"] = src_dir + (
                 os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
             for i in range(self.n_workers):
+                argv = [sys.executable, "-m", "repro.cli", "cluster",
+                        "worker", "--coordinator", f"{host}:{port}",
+                        "--store", self.store_dir,
+                        "--worker-id", f"proc-{i}"]
+                if self.local_tier_dir:
+                    argv += ["--local-tier", self.local_tier_dir]
                 self._procs.append(subprocess.Popen(
-                    [sys.executable, "-m", "repro.cli", "cluster", "worker",
-                     "--coordinator", f"{host}:{port}",
-                     "--store", self.store_dir,
-                     "--worker-id", f"proc-{i}"],
-                    env=env, stdout=subprocess.DEVNULL,
+                    argv, env=env, stdout=subprocess.DEVNULL,
                     stderr=subprocess.DEVNULL))
         return self
 
@@ -543,6 +674,13 @@ class LocalCluster:
 
     def stop(self) -> None:
         self._stop.set()
+        # Quiesce the autoscaler before signalling workers: it can be
+        # mid-decision, and a worker spawned after this loop would never
+        # see its stop event.
+        if self._scaler is not None:
+            self._scaler.join(timeout=10)
+        for event in self._worker_stops.values():
+            event.set()
         for thread in self._threads:
             thread.join(timeout=10)
         for proc in self._procs:

@@ -168,10 +168,21 @@ class JobQueue:
         # from pruned batches, which no record ever *produced* — go too;
         # keys are batch-scoped, so nothing future can want them back.
         referenced: set = set()
+        affinities: set = set()
         for record in self._records.values():
             referenced.update(record.job.requires)
             referenced.update(record.job.produces)
+            if record.job.affinity:
+                affinities.add(record.job.affinity)
         self._published &= referenced
+        # Affinity claims age out with their batches too: keep tokens a
+        # surviving record still carries or whose (scoped) key a survivor
+        # references; months-old locality hints for pruned batches only
+        # pin worker ids for nothing. A rerun re-claims on completion.
+        live = referenced | {self._unscoped_key(k) for k in referenced} \
+            | affinities
+        for token in [t for t in self._affinity_owner if t not in live]:
+            del self._affinity_owner[token]
 
     def _maybe_ready_locked(self, record: JobRecord) -> None:
         if record.state != BLOCKED:
@@ -275,9 +286,32 @@ class JobQueue:
             record.finished_at = time.monotonic()
             self._note_finished_locked(record, failed=False)
             self._published.update(record.job.produces)
+            # Locality claim: the worker that just *published* these keys
+            # is where jobs whose affinity token names them should run —
+            # its local store tier holds the bytes before anyone else's.
+            # Authoritative (not setdefault): the producer supersedes a
+            # claim left by whoever first fetched a same-token job.
+            # Affinity tokens are unscoped artifact keys while produces
+            # are batch-prefixed, so claim the unscoped form too.
+            for key in record.job.produces:
+                self._affinity_owner[key] = worker_id
+                unscoped = self._unscoped_key(key)
+                if unscoped != key:
+                    self._affinity_owner[unscoped] = worker_id
             for other in self._records.values():
                 self._maybe_ready_locked(other)
             return True
+
+    @staticmethod
+    def _unscoped_key(key: str) -> str:
+        """Strip the ``<batch_id>/`` prefix the submitting client scopes
+        artifact keys with. Batch ids are short hex — no ``:`` — while
+        every artifact key starts with a ``stage:...`` segment, so a
+        colon-free first path segment can only be a batch prefix."""
+        head, sep, rest = key.partition("/")
+        if sep and ":" not in head:
+            return rest
+        return key
 
     def _note_finished_locked(self, record: JobRecord, failed: bool) -> None:
         """Feed one terminal job into the farm aggregates and — when the

@@ -40,8 +40,14 @@ class Job:
     requires: tuple[str, ...] = ()  # artifact keys gating readiness
     produces: tuple[str, ...] = ()  # artifact keys published on completion
     #: Scheduling hint: jobs sharing an affinity token prefer the worker
-    #: that first claimed the token (its in-process cache holds the live
-    #: objects), but any idle worker may steal them.
+    #: that claimed the token (its local store tier and in-process cache
+    #: hold the artifacts), but any idle worker may steal them. Tokens are
+    #: *artifact keys* — a job's primary input key, or its output key when
+    #: it has no gating input — so ownership flows from producer to
+    #: consumer: the worker that published ``pp:app:cfg`` is where the
+    #: ``ir-compile`` needing that key prefers to run. Deliberately not
+    #: batch-scoped: a warm rerun's keys match the previous batch's, so
+    #: locality survives across builds.
     affinity: str = ""
     #: Trace context (``{"trace_id", "parent_span_id"}``) carried from the
     #: submitter through the coordinator to the executing worker, so one
@@ -133,12 +139,27 @@ def deploy_key(build: BuildSpec, options: dict[str, str], system: str) -> str:
 # -- job constructors ----------------------------------------------------------
 
 
+# Affinity tokens are the artifact keys data actually flows through, so
+# the coordinator can route a job to the worker whose local store tier
+# already holds its inputs:
+#
+# * ``preprocess`` has no inputs — its token is its *output* key, claimed
+#   on completion, so the downstream ``ir-compile`` lands on the same
+#   worker;
+# * ``ir-compile`` and ``deploy`` take their primary input key — they
+#   follow the producer;
+# * ``lower`` also takes its *output* key: its inputs are every config's
+#   IR (one shared producer), and keying on the input would serialize all
+#   ISAs onto one worker — the per-ISA output key keeps lowering parallel
+#   while still making the deploys of that ISA follow their lowerer.
+
+
 def preprocess_job(build: BuildSpec, options: dict[str, str]) -> Job:
     name = config_name(options)
     return Job(job_id=f"pp/{build.app}/{name}", kind="preprocess",
                spec={"build": build.to_json(), "config": dict(options)},
                produces=(preprocess_key(build, options),),
-               affinity=f"cfg:{name}")
+               affinity=preprocess_key(build, options))
 
 def ir_compile_job(build: BuildSpec, options: dict[str, str]) -> Job:
     name = config_name(options)
@@ -146,7 +167,7 @@ def ir_compile_job(build: BuildSpec, options: dict[str, str]) -> Job:
                spec={"build": build.to_json(), "config": dict(options)},
                requires=(preprocess_key(build, options),),
                produces=(ir_key(build, options),),
-               affinity=f"cfg:{name}")
+               affinity=preprocess_key(build, options))
 
 
 def lower_job(build: BuildSpec, options: dict[str, str],
@@ -158,7 +179,7 @@ def lower_job(build: BuildSpec, options: dict[str, str],
                      "simd": simd_name, "family": family},
                requires=tuple(ir_key(build, c) for c in build.configs),
                produces=(lower_key(build, options, family, simd_name),),
-               affinity=f"isa:{token}")
+               affinity=lower_key(build, options, family, simd_name))
 
 
 def deploy_job(build: BuildSpec, options: dict[str, str], system: str,
@@ -172,4 +193,4 @@ def deploy_job(build: BuildSpec, options: dict[str, str], system: str,
                kind="deploy", spec=spec,
                requires=(lower_key(build, options, family, simd_name),),
                produces=(deploy_key(build, options, system),),
-               affinity=f"isa:{family}/{simd_name}")
+               affinity=lower_key(build, options, family, simd_name))

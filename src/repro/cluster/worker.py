@@ -23,12 +23,16 @@ Stage execution reuses the pipeline verbatim:
 
 from __future__ import annotations
 
+import os
+import re
 import threading
 import time
 from collections import OrderedDict
 
 from repro.cluster.jobs import BuildSpec, ClusterError, Job
 from repro.containers.store import BULK_FLUSH_EVERY, ArtifactCache, BlobStore
+from repro.store.backend import FileBackend
+from repro.store.tiered import TieredBackend
 from repro.pipeline.engine import Pipeline
 from repro.pipeline.stages import (
     ConfigureStage,
@@ -79,22 +83,45 @@ class ClusterWorker:
                  cache: ArtifactCache | None = None,
                  worker_id: str = "",
                  max_workers: int | None = 1,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 local_tier_dir: str = "",
+                 tier_flush_interval: float | None = None):
         self.client = client
-        self.store = store
-        self.cache = cache if cache is not None \
-            else ArtifactCache(store, flush_every=self.FLUSH_EVERY)
         self.worker_id = worker_id or f"worker-{id(self):x}"
-        #: Thread-pool width for per-TU loops *inside* a job. Defaults to 1:
-        #: cluster parallelism comes from many workers, not nested pools.
-        self.max_workers = max_workers
-        self.jobs_done = 0
-        self.jobs_failed = 0
         #: Per-worker metrics, shipped to the coordinator as heartbeat
         #: deltas. Subprocess workers (``cluster worker``) share this
         #: registry with their store backend so wire-client latencies ride
         #: along; thread-mode LocalCluster workers own one each.
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.tier: TieredBackend | None = None
+        if local_tier_dir:
+            # The ccache topology: a worker-private FileBackend tier in
+            # front of the (typically remote) shared store. The tier dir
+            # is keyed by worker_tier_id, so restarting the same worker id
+            # re-warms from its own disk while two workers sharing a
+            # --local-tier root never collide. The tier's counters live in
+            # this worker's registry — heartbeat deltas carry hit/miss/
+            # flush rates to the coordinator without extra wire traffic.
+            if cache is not None:
+                raise ClusterError(
+                    "local_tier_dir and an externally-built cache are "
+                    "mutually exclusive: the cache must read through the "
+                    "tier, not around it")
+            local = FileBackend(
+                os.path.join(local_tier_dir, self.worker_tier_id))
+            self.tier = TieredBackend(
+                local, store.backend,
+                flush_interval=tier_flush_interval,
+                registry=self.registry, tier_id=self.worker_tier_id)
+            store = BlobStore(self.tier)
+        self.store = store
+        self.cache = cache if cache is not None \
+            else ArtifactCache(store, flush_every=self.FLUSH_EVERY)
+        #: Thread-pool width for per-TU loops *inside* a job. Defaults to 1:
+        #: cluster parallelism comes from many workers, not nested pools.
+        self.max_workers = max_workers
+        self.jobs_done = 0
+        self.jobs_failed = 0
         self.recorder = _trace.TraceRecorder()
         self._jobs_done = self.registry.counter("cluster.worker.jobs_done")
         self._jobs_failed = self.registry.counter("cluster.worker.jobs_failed")
@@ -103,6 +130,13 @@ class ClusterWorker:
         self._memo: OrderedDict[str, object] = OrderedDict()
         self._apps: OrderedDict[str, object] = OrderedDict()
         self._memo_lock = threading.Lock()
+
+    @property
+    def worker_tier_id(self) -> str:
+        """Stable, filesystem-safe identity for this worker's local tier
+        directory: the worker id with anything outside ``[A-Za-z0-9._-]``
+        replaced. Restarting ``--worker-id w1`` reuses ``w1``'s tier."""
+        return re.sub(r"[^A-Za-z0-9._-]", "_", self.worker_id) or "worker"
 
     def _pop_metrics_delta(self) -> dict | None:
         """The registry delta since the last pop, or None when idle.
@@ -142,6 +176,11 @@ class ClusterWorker:
                 # jobs that *require* this one's artifact keys, so every
                 # batched index entry must be on the shared store first.
                 self.cache.flush_index()
+            if self.tier is not None:
+                # And every blob behind those entries: an index save with
+                # no dirty keys never touches a ref, so the tier's
+                # ref-write flush hook cannot be relied on here.
+                self.tier.flush()
         except Exception as exc:
             self.registry.histogram("cluster.worker.job_seconds",
                                     kind=job.kind).observe(
@@ -208,6 +247,8 @@ class ClusterWorker:
                     # interval, not only at job completion.
                     try:
                         self.cache.flush_index()
+                        if self.tier is not None:
+                            self.tier.flush()
                     except Exception:  # pragma: no cover - store hiccup;
                         pass           # completion's flush is the backstop
 

@@ -667,20 +667,21 @@ class ArtifactCache:
             return record
 
     def gc(self, max_bytes: int, grace_seconds: float = 0.0,
-           dry_run: bool = False):
+           dry_run: bool = False, max_age_seconds: float | None = None):
         """Bound the backing store to ``max_bytes`` by LRU eviction.
 
         Delegates to :func:`repro.store.gc.collect`; see there for the
-        policy (orphans first, then least-recently-used entries; pinned
-        blobs are never deleted). Pass a positive ``grace_seconds`` when
-        other writers may be publishing concurrently: blobs younger than
-        the window are never swept, closing the put-blob-then-write-index
-        gap every publisher has. ``dry_run=True`` prices the eviction plan
-        without deleting anything.
+        policy (orphans first, then TTL expiry when ``max_age_seconds``
+        is given, then least-recently-used entries; pinned blobs are
+        never deleted). Pass a positive ``grace_seconds`` when other
+        writers may be publishing concurrently: blobs younger than the
+        window are never swept, closing the put-blob-then-write-index
+        gap every publisher has. ``dry_run=True`` prices the eviction
+        plan without deleting anything.
         """
         from repro.store.gc import collect
         return collect(self, max_bytes, grace_seconds=grace_seconds,
-                       dry_run=dry_run)
+                       dry_run=dry_run, max_age_seconds=max_age_seconds)
 
     def stats(self) -> dict:
         """Machine-readable store/cache statistics (``cache stats --json``).

@@ -20,6 +20,10 @@ with one process. This package supplies the missing persistence layer:
 * :class:`~repro.store.async_server.AsyncStoreServer` — the same
   protocol from a ``selectors`` event loop: hundreds of pooled sessions
   on one thread, streamed blob bodies, write-side backpressure.
+* :class:`~repro.store.tiered.TieredBackend` — a fast local tier in
+  front of a shared upstream: read-through promotion, single-flight miss
+  de-duplication, batched write-back flush, refs always upstream — the
+  ccache/sccache local-cache-per-builder topology.
 * :func:`~repro.store.gc.collect` — size accounting and LRU garbage
   collection over a cache's access-ordered index, honouring pinned
   manifests.
@@ -46,6 +50,7 @@ from repro.store.backend import (
 from repro.store.async_server import AsyncStoreServer
 from repro.store.gc import GCReport, collect
 from repro.store.remote import RemoteBackend, RemoteStoreError, StoreServer
+from repro.store.tiered import TieredBackend
 from repro.store.transfer import export_store, import_store
 from repro.store.wire import SessionPool, WireSession
 
@@ -55,6 +60,7 @@ __all__ = [
     "index_ref_name", "index_ref_names",
     "GCReport", "collect",
     "AsyncStoreServer", "RemoteBackend", "RemoteStoreError", "StoreServer",
+    "TieredBackend",
     "SessionPool", "WireSession",
     "export_store", "import_store",
 ]

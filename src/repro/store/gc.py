@@ -8,7 +8,14 @@ machine module, and image blob a build ever produced stays in the store.
    no digest mention inside a live payload — are deleted outright. (These
    accumulate when an entry is re-published with a new payload: the old
    blob keeps its bytes but loses its last referrer.)
-2. **LRU eviction.** While the store still exceeds the budget, evict the
+2. **TTL expiry** (when ``max_age_seconds`` is given). Entries whose
+   payload blob is older than the window are expired *regardless of
+   budget* — oldest first, deleting newly-unreferenced blobs exactly like
+   an LRU eviction. Age comes from the backend's ``blob_age_seconds``
+   (the same clock the grace window reads); a backend without age data
+   expires nothing. This is what keeps a long-lived shared store — or a
+   worker's local tier — bounded in *time* as well as bytes.
+3. **LRU eviction.** While the store still exceeds the budget, evict the
    least-recently-used index entry (the access-ordered index is maintained
    by :class:`~repro.containers.store.ArtifactCache` on every hit and
    publish) and delete whichever blobs thereby lose their last reference.
@@ -53,12 +60,16 @@ class GCReport:
     before_blobs: int
     after_blobs: int
     evicted_entries: int = 0
+    expired_entries: int = 0
     deleted_blobs: int = 0
     pinned_blobs: int = 0
     grace_seconds: float = 0.0
+    max_age_seconds: float | None = None
     dry_run: bool = False
     # (namespace, key) of every evicted entry, LRU-first.
     evicted: list[tuple[str, str]] = field(default_factory=list)
+    # (namespace, key) of every TTL-expired entry, oldest-first.
+    expired: list[tuple[str, str]] = field(default_factory=list)
     # Every (planned) blob deletion: namespace attribution, digest, bytes.
     # Orphan-phase deletions are attributed to the pseudo-namespace
     # "(orphan)" — they belong to no live entry by definition.
@@ -94,12 +105,15 @@ class GCReport:
             "before_blobs": self.before_blobs,
             "after_blobs": self.after_blobs,
             "evicted_entries": self.evicted_entries,
+            "expired_entries": self.expired_entries,
             "deleted_blobs": self.deleted_blobs,
             "pinned_blobs": self.pinned_blobs,
             "grace_seconds": self.grace_seconds,
+            "max_age_seconds": self.max_age_seconds,
             "dry_run": self.dry_run,
             "within_budget": self.within_budget,
             "evicted": [{"namespace": ns, "key": key} for ns, key in self.evicted],
+            "expired": [{"namespace": ns, "key": key} for ns, key in self.expired],
             "deletions": list(self.deletions),
             "by_namespace": {ns: dict(agg) for ns, agg
                              in sorted(self.by_namespace.items())},
@@ -141,7 +155,8 @@ def _index_entry_stream(backend, names=None):
 
 
 def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
-            dry_run: bool = False) -> GCReport:
+            dry_run: bool = False,
+            max_age_seconds: float | None = None) -> GCReport:
     """Bound ``cache``'s backing store to ``max_bytes``; see module doc.
 
     ``cache`` is an :class:`~repro.containers.store.ArtifactCache` (duck-
@@ -156,18 +171,26 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     backend cannot report are treated as young. 0 disables the window
     (safe when nothing else writes the store).
 
+    ``max_age_seconds`` adds a TTL phase: index entries whose payload
+    blob is older than the window are expired oldest-first, independent
+    of the byte budget (pass a huge ``max_bytes`` for a pure-TTL sweep).
+    Entries whose age the backend cannot report are kept.
+
     ``dry_run=True`` prices the eviction plan — which entries the LRU
     sweep would evict, which blobs would be deleted, how many bytes each
     namespace gives back — without deleting a blob or touching the index.
     """
     if max_bytes < 0:
         raise ValueError("max_bytes must be non-negative")
+    if max_age_seconds is not None and max_age_seconds < 0:
+        raise ValueError("max_age_seconds must be non-negative")
     store = cache.store
     before_blobs, before_bytes = store.stat()
     report = GCReport(max_bytes=max_bytes,
                       before_bytes=before_bytes, after_bytes=0,
                       before_blobs=before_blobs, after_blobs=0,
-                      grace_seconds=grace_seconds, dry_run=dry_run)
+                      grace_seconds=grace_seconds, dry_run=dry_run,
+                      max_age_seconds=max_age_seconds)
     age_of = getattr(store.backend, "blob_age_seconds", None)
 
     def _in_grace(digest: str) -> bool:
@@ -266,7 +289,35 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     for digest in all_digests:
         _delete_if_unreferenced(digest, "(orphan)")
 
-    # Phase 2: LRU eviction until the store fits the budget. Once only
+    # Phase 2: TTL expiry — entries past max_age_seconds go oldest-first,
+    # before (and independent of) the byte budget. Shares the LRU phase's
+    # machinery: evict through the cache's CAS merge, drop refcounts,
+    # re-protect concurrent publishes, delete newly-unreferenced blobs.
+    expired_keys: set[str] = set()
+    if max_age_seconds is not None and age_of is not None:
+        by_blob_age = sorted(
+            ((age_of(record.digest), key, record)
+             for key, record in entries.items()),
+            key=lambda item: -(item[0] or 0.0))
+        for age, key, record in by_blob_age:
+            if age is None or age <= max_age_seconds:
+                break  # sorted oldest-first: the rest are younger
+            if not dry_run and cache.evict(key) is None:
+                continue  # raced with a concurrent eviction
+            expired_keys.add(key)
+            report.expired_entries += 1
+            report.expired.append((record.namespace, key))
+            report.by_namespace.setdefault(
+                record.namespace,
+                {"entries": 0, "blobs": 0, "bytes": 0})["entries"] += 1
+            for digest in entry_refs[key]:
+                refcount[digest] -= 1
+            if not dry_run:
+                protected |= _fresh_publish_closure()
+            for digest in entry_refs[key]:
+                _delete_if_unreferenced(digest, record.namespace)
+
+    # Phase 3: LRU eviction until the store fits the budget. Once only
     # pinned bytes remain, evicting further entries cannot free anything —
     # stop rather than strip a warm cache for no gain.
     index_names = index_ref_names(store.backend)  # phase boundary refresh
@@ -281,7 +332,9 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
             if digest not in unfreeable and _in_grace(digest):
                 unfreeable.add(digest)
     floor_bytes = sum(_size_of(d) or 0 for d in unfreeable)
-    by_age = sorted(entries.items(), key=lambda item: item[1].seq)
+    by_age = sorted(((key, record) for key, record in entries.items()
+                     if key not in expired_keys),
+                    key=lambda item: item[1].seq)
 
     def _current_bytes() -> int:
         if dry_run:

@@ -705,7 +705,13 @@ class RemoteBackend:
         self._supported: set[str] = set()
 
     def close(self) -> None:
-        """Release pooled connections (each with a polite ``bye``)."""
+        """Release pooled connections (each with a polite ``bye``).
+
+        Idempotent and safe to race with in-flight requests: the pool
+        refuses to re-grow after its drain, so whichever of the tier
+        flush thread and the worker exit path closes last still leaves
+        zero parked sockets. The backend stays usable afterwards —
+        later operations run on one-shot sessions."""
         if self._pool is not None:
             self._pool.close()
 

@@ -1,0 +1,433 @@
+"""Two-level store hierarchy: a fast local tier over a shared upstream.
+
+This is the ccache/sccache topology applied to the artifact store: every
+farm worker keeps a worker-local :class:`~repro.store.backend.FileBackend`
+in front of the shared :class:`~repro.store.remote.RemoteBackend`, so hot
+artifacts are served at local-disk latency and the shared store sees only
+first-miss traffic. :class:`TieredBackend` composes any two backends into
+that hierarchy while still speaking the full
+:class:`~repro.store.backend.Backend` protocol:
+
+* **Read-through promotion.** ``get``/``get_many`` serve from the local
+  tier when possible; a miss fetches from upstream and lands the blob in
+  the local tier on the way back, so the second read is local.
+* **Single-flight miss de-duplication.** N threads missing the same
+  digest concurrently produce exactly *one* upstream fetch: the first
+  becomes the fetcher, the rest wait on its flight and share the result
+  (or its failure). A warm-up stampede costs one round-trip per blob, not
+  one per thread.
+* **Write-back puts.** ``put``/``put_many`` land in the local tier
+  immediately and enqueue the blob for upstream on a bounded write-back
+  queue, flushed as one batched ``put_many`` when the queue hits its
+  blob/byte bound, when the optional background thread's
+  ``flush_interval`` elapses, on any **ref write** (an index entry must
+  never precede its blobs upstream — the publish-before-announce
+  invariant the cluster relies on), on explicit :meth:`flush`, and on
+  :meth:`close`. A republished blob is re-enqueued even when the local
+  tier already holds it, which is what re-uploads a blob the upstream's
+  GC evicted out from under the tier.
+* **Refs delegate upstream, always.** The cache index and pin set are
+  shared mutable state; CAS semantics are exactly the upstream's, so the
+  multi-writer retry-merge loops behave identically with or without a
+  tier in front.
+* **Tier-aware batched ops.** ``has_many``/``get_many``/
+  ``blob_size_many`` answer what they can locally and ask upstream only
+  about the remainder — a mostly-warm probe costs one small round-trip.
+
+Global introspection (``digests``/``__len__``/``total_bytes``/``stat``)
+first flushes the write-back queue and then answers for the *upstream*
+(plus, for ``digests``, anything only the local tier holds) — read-your-
+writes for GC and ``cache stats`` without double-counting promoted blobs.
+
+Metrics (``store.tier.*``) live in the supplied registry so a cluster
+worker's tier hit/miss/flush counters ride its heartbeat deltas to the
+coordinator (``repro cluster top`` renders them per worker).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+from repro.store.backend import (
+    BlobNotFound,
+    backend_stat,
+    blob_size_many as _blob_size_many,
+    get_many as _get_many,
+    has_many as _has_many,
+    put_many as _put_many,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["TieredBackend"]
+
+#: Write-back queue bounds: a flush is forced when the pending set reaches
+#: either limit. Small enough that a crash loses little, large enough that
+#: a publish burst amortizes into a few batched upstream round-trips.
+DEFAULT_FLUSH_MAX_BLOBS = 128
+DEFAULT_FLUSH_MAX_BYTES = 16 * 1024 * 1024
+
+
+class _Flight:
+    """One in-flight upstream fetch; waiters share its outcome."""
+
+    __slots__ = ("event", "data", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.data: bytes | None = None
+        self.error: BaseException | None = None
+
+
+class TieredBackend:
+    """A :class:`Backend` composing ``local`` in front of ``upstream``.
+
+    ``local`` is typically a worker-private
+    :class:`~repro.store.backend.FileBackend` (or a
+    :class:`~repro.store.backend.MemoryBackend` in tests); ``upstream``
+    the shared :class:`~repro.store.remote.RemoteBackend` — but any two
+    backends compose, including File-over-File for a two-disk hierarchy.
+
+    ``flush_interval`` (seconds) starts a daemon thread that flushes the
+    write-back queue by age; ``None`` relies on the size bound, ref
+    writes, and explicit :meth:`flush`/:meth:`close` alone. ``tier_id``
+    labels nothing on the wire — it names the tier in errors and lets a
+    cluster worker report a stable identity for its local tier directory.
+    """
+
+    def __init__(self, local, upstream, *,
+                 flush_max_blobs: int = DEFAULT_FLUSH_MAX_BLOBS,
+                 flush_max_bytes: int = DEFAULT_FLUSH_MAX_BYTES,
+                 flush_interval: float | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tier_id: str = ""):
+        self.local = local
+        self.upstream = upstream
+        self.tier_id = tier_id
+        self.flush_max_blobs = max(1, int(flush_max_blobs))
+        self.flush_max_bytes = max(1, int(flush_max_bytes))
+        self.flush_interval = flush_interval
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("store.tier.hits")
+        self._misses = self.registry.counter("store.tier.misses")
+        self._promotions = self.registry.counter("store.tier.promotions")
+        self._flushes = self.registry.counter("store.tier.flushes")
+        self._flushed_blobs = self.registry.counter("store.tier.flushed_blobs")
+        self._flushed_bytes = self.registry.counter("store.tier.flushed_bytes")
+        self._coalesced = self.registry.counter(
+            "store.tier.single_flight_waits")
+        self._pending_gauge = self.registry.gauge("store.tier.pending_blobs")
+        # Write-back queue: digest -> bytes, deduplicated by construction
+        # (content-addressed blobs are immutable, so collapsing double
+        # puts of one digest loses nothing).
+        self._pending: dict[str, bytes] = {}
+        self._pending_bytes = 0
+        self._lock = threading.Lock()
+        # flush() serializes actual upstream pushes so two triggers (size
+        # bound + background timer, say) never interleave their batches.
+        self._flush_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._closed = False
+        self._stop_flusher = threading.Event()
+        self._flusher: threading.Thread | None = None
+        if flush_interval is not None and flush_interval > 0:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, daemon=True,
+                name=f"tier-flush-{tier_id or f'{id(self):x}'}")
+            self._flusher.start()
+
+    # ``persistent`` reflects the *shared* tier: entries and refs live
+    # upstream, so the cache treats a tiered store exactly like its
+    # upstream (a memory-local tier over a file upstream is persistent).
+    @property
+    def persistent(self) -> bool:
+        return bool(getattr(self.upstream, "persistent", False))
+
+    # -- hit/miss accounting ----------------------------------------------------
+
+    @property
+    def tier_hits(self) -> int:
+        """Reads served by the local tier."""
+        return self._hits.value
+
+    @property
+    def tier_misses(self) -> int:
+        """Reads that had to go upstream (each promotes on success)."""
+        return self._misses.value
+
+    @property
+    def flushed_blobs(self) -> int:
+        """Blobs pushed upstream by the write-back queue so far."""
+        return self._flushed_blobs.value
+
+    @property
+    def pending_blobs(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- write-back queue -------------------------------------------------------
+
+    def _enqueue(self, blobs: dict[str, bytes]) -> None:
+        with self._lock:
+            for digest, data in blobs.items():
+                if digest not in self._pending:
+                    self._pending_bytes += len(data)
+                self._pending[digest] = data
+            self._pending_gauge.set(len(self._pending))
+            over = (len(self._pending) >= self.flush_max_blobs
+                    or self._pending_bytes >= self.flush_max_bytes)
+        if over:
+            self.flush()
+
+    def flush(self) -> int:
+        """Push the write-back queue upstream now; returns blobs pushed.
+
+        Batched publishers call this before *announcing* their artifacts
+        (the cluster worker does, before reporting job completion) — the
+        content-addressed analogue of fsync-before-ack. On failure the
+        batch is re-queued, so no accepted put is ever silently dropped.
+        """
+        with self._flush_lock:
+            with self._lock:
+                batch, self._pending = self._pending, {}
+                self._pending_bytes = 0
+                self._pending_gauge.set(0)
+            if not batch:
+                return 0
+            try:
+                _put_many(self.upstream, batch)
+            except BaseException:
+                with self._lock:
+                    for digest, data in batch.items():
+                        if digest not in self._pending:
+                            self._pending_bytes += len(data)
+                            self._pending[digest] = data
+                    self._pending_gauge.set(len(self._pending))
+                raise
+            self._flushes.inc()
+            self._flushed_blobs.inc(len(batch))
+            self._flushed_bytes.inc(sum(len(d) for d in batch.values()))
+            return len(batch)
+
+    def _flush_loop(self) -> None:
+        interval = float(self.flush_interval or 0)
+        while not self._stop_flusher.wait(interval):
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover - upstream hiccup; the
+                pass           # batch is re-queued, the next tick retries
+
+    def close(self) -> None:
+        """Final flush, stop the background flusher, close both tiers.
+
+        Idempotent and safe to race with an in-flight background flush:
+        the flush lock serializes the last push, and closing the upstream
+        (e.g. :meth:`RemoteBackend.close`) is itself idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                self._closed = True
+                already = False
+        self._stop_flusher.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5)
+        if not already:
+            self.flush()
+        for backend in (self.local, self.upstream):
+            closer = getattr(backend, "close", None)
+            if closer is not None:
+                closer()
+
+    # -- blobs ------------------------------------------------------------------
+
+    def put(self, digest: str, data: bytes) -> None:
+        # Local first (it verifies the digest), then enqueue for upstream
+        # — unconditionally, even when the local tier already held the
+        # blob: the caller republishing is the only signal that the
+        # upstream may have GC'd it, and a duplicate upstream put of
+        # identical content-addressed bytes is a no-op by construction.
+        self.local.put(digest, data)
+        self._enqueue({digest: data})
+
+    def put_many(self, blobs: dict[str, bytes]) -> None:
+        if not blobs:
+            return
+        _put_many(self.local, blobs)
+        self._enqueue(dict(blobs))
+
+    def get(self, digest: str) -> bytes:
+        try:
+            data = self.local.get(digest)
+        except BlobNotFound:
+            pass
+        else:
+            self._hits.inc()
+            return data
+        return self._fetch_single_flight(digest)
+
+    def _fetch_single_flight(self, digest: str) -> bytes:
+        """One upstream fetch per digest, however many threads miss it."""
+        with self._flights_lock:
+            flight = self._flights.get(digest)
+            leader = flight is None
+            if leader:
+                flight = self._flights[digest] = _Flight()
+        if not leader:
+            self._coalesced.inc()
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            self._hits.inc()  # served from the leader's fetch, not upstream
+            return flight.data  # type: ignore[return-value]
+        try:
+            self._misses.inc()
+            data = self.upstream.get(digest)
+            # Promote so the next reader is local. Never enqueued: the
+            # blob came *from* upstream.
+            self.local.put(digest, data)
+            self._promotions.inc()
+            flight.data = data
+            return data
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._flights_lock:
+                del self._flights[digest]
+            flight.event.set()
+
+    def has(self, digest: str) -> bool:
+        if self.local.has(digest):
+            return True
+        with self._lock:
+            if digest in self._pending:  # pragma: no cover - put() lands
+                return True              # locally first; belt-and-braces
+        return self.upstream.has(digest)
+
+    def delete(self, digest: str) -> bool:
+        """Remove the blob everywhere (GC's primitive): the local copy,
+        the pending write-back (which would otherwise resurrect it on the
+        next flush), and the upstream blob."""
+        with self._lock:
+            data = self._pending.pop(digest, None)
+            if data is not None:
+                self._pending_bytes -= len(data)
+                self._pending_gauge.set(len(self._pending))
+        deleted_local = self.local.delete(digest)
+        deleted_upstream = self.upstream.delete(digest)
+        return bool(deleted_local or deleted_upstream
+                    or data is not None)
+
+    def digests(self) -> list[str]:
+        self.flush()
+        upstream = self.upstream.digests()
+        seen = set(upstream)
+        return upstream + [d for d in self.local.digests() if d not in seen]
+
+    def __len__(self) -> int:
+        return self.stat()[0]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stat()[1]
+
+    def stat(self) -> tuple[int, int]:
+        """Upstream size accounting after a flush — what GC budgets and
+        ``cache stats`` mean by "the store"; local copies of promoted
+        blobs are a cache, not additional inventory."""
+        self.flush()
+        return backend_stat(self.upstream)
+
+    def blob_age_seconds(self, digest: str) -> float | None:
+        """Age from whichever tier still holds the blob (upstream wins:
+        GC windows are about shared-store time, not promotion time)."""
+        age_of = getattr(self.upstream, "blob_age_seconds", None)
+        age = age_of(digest) if age_of is not None else None
+        if age is not None:
+            return age
+        with self._lock:
+            if digest in self._pending:
+                return 0.0  # accepted moments ago, not yet upstream
+        local_age = getattr(self.local, "blob_age_seconds", None)
+        return local_age(digest) if local_age is not None else None
+
+    def blob_size(self, digest: str) -> int | None:
+        size_of = getattr(self.local, "blob_size", None)
+        if size_of is not None:
+            size = size_of(digest)
+            if size is not None:
+                return size
+        elif self.local.has(digest):  # pragma: no cover - bundled locals
+            return len(self.local.get(digest))  # all implement blob_size
+        upstream_size = getattr(self.upstream, "blob_size", None)
+        if upstream_size is not None:
+            return upstream_size(digest)
+        try:
+            return len(self.upstream.get(digest))
+        except KeyError:
+            return None
+
+    # -- batched blob operations ------------------------------------------------
+
+    def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
+        wanted = list(digests)
+        out = _get_many(self.local, wanted)
+        self._hits.inc(len(out))
+        missing = [d for d in wanted if d not in out]
+        if missing:
+            self._misses.inc(len(missing))
+            fetched = _get_many(self.upstream, missing)
+            if fetched:
+                _put_many(self.local, fetched)
+                self._promotions.inc(len(fetched))
+                out.update(fetched)
+        return out
+
+    def has_many(self, digests: Iterable[str]) -> dict[str, bool]:
+        wanted = list(digests)
+        out = _has_many(self.local, wanted)
+        missing = [d for d, present in out.items() if not present]
+        if missing:
+            out.update(_has_many(self.upstream, missing))
+        return out
+
+    def blob_size_many(self, digests: Iterable[str]) -> dict[str, int | None]:
+        wanted = list(digests)
+        out = _blob_size_many(self.local, wanted)
+        missing = [d for d, size in out.items() if size is None]
+        if missing:
+            out.update(_blob_size_many(self.upstream, missing))
+        return out
+
+    # -- refs: shared mutable state lives upstream, full stop -------------------
+    # Every ref *write* flushes the write-back queue first: an index entry
+    # (or pin) naming a blob must never become visible upstream before the
+    # blob itself — otherwise a peer (or GC's orphan scan) could observe
+    # an index that points at bytes only this worker's disk holds.
+
+    def set_ref(self, name: str, data: bytes) -> None:
+        self.flush()
+        self.upstream.set_ref(name, data)
+
+    def get_ref(self, name: str) -> bytes | None:
+        return self.upstream.get_ref(name)
+
+    def delete_ref(self, name: str) -> bool:
+        return self.upstream.delete_ref(name)
+
+    def refs(self) -> list[str]:
+        return self.upstream.refs()
+
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        self.flush()
+        return self.upstream.compare_and_set_ref(name, expected, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" id={self.tier_id!r}" if self.tier_id else ""
+        return (f"TieredBackend({self.local!r} -> {self.upstream!r}{tag}, "
+                f"pending={len(self._pending)})")

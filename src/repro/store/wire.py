@@ -388,6 +388,7 @@ class SessionPool:
         self.max_idle = max_idle
         self.max_idle_seconds = max_idle_seconds
         self._idle: list[WireSession] = []
+        self._closed = False
         self._lock = threading.Lock()
         #: Per-pool by default; pass a shared registry to fold pool churn
         #: into a larger component's metric snapshot.
@@ -447,10 +448,13 @@ class SessionPool:
         session.idle_since = time.monotonic()
         with self._lock:
             stale = self._reap_locked()
-            if len(self._idle) < self.max_idle:
+            if not self._closed and len(self._idle) < self.max_idle:
                 self._idle.append(session)
                 session = None
             else:
+                # Pool full — or close() ran while this request was in
+                # flight; a drained pool must never re-grow, so the
+                # returning session closes instead of parking.
                 self._reaped.inc()
         for old in stale:
             old.close(polite=False)
@@ -491,8 +495,19 @@ class SessionPool:
             return resp, payload
 
     def close(self) -> None:
-        """Close every idle session (sessions in flight close on return)."""
+        """Drain the pool: close every idle session and refuse to park
+        new ones. Idempotent, and safe to call concurrently with in-flight
+        ``exchange`` calls — a request already past checkout completes on
+        its session and the session closes on check-in instead of
+        re-growing a pool its owner believes is gone (the tier flush
+        thread and a cluster worker's exit path can race on exactly
+        this). Later exchanges still work, on one-shot sessions."""
         with self._lock:
+            self._closed = True
             idle, self._idle = self._idle, []
         for session in idle:
             session.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -35,6 +35,15 @@ _WORKER_LATENCY_FAMILIES = {
     "store.client.request_seconds": "store_request_seconds",
 }
 
+#: Counter families surfaced per worker (bare metric name -> summary
+#: key). Tier counters ride the same heartbeat deltas as everything else;
+#: a worker without a local tier simply reports zeros.
+_WORKER_COUNTER_FAMILIES = {
+    "store.tier.hits": "tier_hits",
+    "store.tier.misses": "tier_misses",
+    "store.tier.flushed_blobs": "tier_flushed",
+}
+
 
 class FarmTelemetry:
     """Aggregates worker metric deltas, job completions, and spans."""
@@ -112,6 +121,13 @@ class FarmTelemetry:
             "jobs_done": counters.get("cluster.worker.jobs_done", 0),
             "jobs_failed": counters.get("cluster.worker.jobs_failed", 0),
         }
+        out.update({summary_key: 0
+                    for summary_key in _WORKER_COUNTER_FAMILIES.values()})
+        for key, value in counters.items():
+            name, _ = parse_metric_key(key)
+            family = _WORKER_COUNTER_FAMILIES.get(name)
+            if family is not None:
+                out[family] += value
         families: dict[str, list] = {k: [] for k
                                      in _WORKER_LATENCY_FAMILIES.values()}
         for key, hist in snap.get("histograms", {}).items():

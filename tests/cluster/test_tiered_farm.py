@@ -1,0 +1,142 @@
+"""Tiered data plane under the farm: workers with private local tiers
+over one shared store must build byte-identically to a flat farm, with
+zero duplicate lowering and real tier traffic."""
+
+import threading
+
+import pytest
+
+from repro.apps import lulesh_configs, lulesh_model
+from repro.cluster import ClusterWorker, Coordinator, CoordinatorClient, \
+    cluster_build
+from repro.containers import ArtifactCache, BlobStore
+from repro.core import build_ir_container, deploy_batch
+from repro.discovery import get_system
+from repro.store import FileBackend
+
+SYSTEMS = ["ault23", "ault25"]
+OPTS = {"WITH_MPI": "OFF", "WITH_OPENMP": "ON"}
+
+
+@pytest.fixture(scope="module")
+def flat_reference():
+    """One process, no farm, no tier: the ground truth bytes."""
+    app = lulesh_model()
+    store = BlobStore()
+    cache = ArtifactCache(store)
+    result = build_ir_container(app, lulesh_configs(), store=store,
+                                cache=cache)
+    batch = deploy_batch(result, app, OPTS,
+                         [get_system(n) for n in SYSTEMS], store, cache=cache)
+    return result, batch
+
+
+class TieredFarm:
+    """Two ClusterWorkers, each behind its own FileBackend tier, over one
+    shared file-backed store — the `cluster worker --local-tier` topology
+    without subprocesses, so tier counters stay inspectable."""
+
+    def __init__(self, tmp_path):
+        self.store_dir = str(tmp_path / "shared-store")
+        self.tier_root = str(tmp_path / "tiers")
+        self.coordinator = Coordinator()
+        self.workers: list[ClusterWorker] = []
+        self.threads: list[threading.Thread] = []
+        self.stop = threading.Event()
+
+    def __enter__(self):
+        host, port = self.coordinator.start()
+        self.address = (host, port)
+        for i in range(2):
+            worker = ClusterWorker(
+                CoordinatorClient(host, port),
+                BlobStore(FileBackend(self.store_dir)),
+                worker_id=f"tiered-{i}",
+                local_tier_dir=self.tier_root)
+            self.workers.append(worker)
+            thread = threading.Thread(target=worker.run,
+                                      kwargs={"stop": self.stop},
+                                      daemon=True)
+            thread.start()
+            self.threads.append(thread)
+        return self
+
+    def build(self, systems=SYSTEMS):
+        host, port = self.address
+        store = BlobStore(FileBackend(self.store_dir))
+        return cluster_build(CoordinatorClient(host, port), "lulesh",
+                             systems, store, cache=ArtifactCache(store))
+
+    def __exit__(self, *exc_info):
+        self.stop.set()
+        for thread in self.threads:
+            thread.join(timeout=15)
+        self.coordinator.stop()
+
+
+class TestTieredFarmBuild:
+    def test_tiered_build_is_byte_identical_with_zero_duplicates(
+            self, tmp_path, flat_reference):
+        result, batch = flat_reference
+        with TieredFarm(tmp_path) as farm:
+            report = farm.build()
+
+            assert report.image_digest == result.image.digest
+            reference = {d.system.name: d for d in batch.deployments}
+            for dep in report.deployments:
+                ref = reference[dep["system"]]
+                assert dep["tag"] == ref.tag
+                assert dep["image_digest"] == ref.image.digest
+            assert report.duplicate_lowerings == 0
+            assert all(rec["state"] == "done"
+                       for rec in report.jobs.values())
+
+            # The data plane really ran tiered: blobs flowed through the
+            # write-back queue, and reads hit the private tiers.
+            flushed = sum(w.tier.flushed_blobs for w in farm.workers)
+            traffic = sum(w.tier.tier_hits + w.tier.tier_misses
+                          for w in farm.workers)
+            assert flushed > 0
+            assert traffic > 0
+
+        # Worker exit closed the tiers: a flat cold-process reader finds
+        # every published entry's blob on the *shared* store.
+        flat = ArtifactCache(BlobStore(FileBackend(farm.store_dir)))
+        entries = flat.entries()
+        assert any(rec.namespace == "lower" for rec in entries.values())
+        for record in entries.values():
+            assert flat.store.has(record.digest), \
+                f"{record.namespace} blob stranded in a worker tier"
+
+    def test_warm_rerun_hits_the_tiers(self, tmp_path):
+        """Second build over the same tier dirs: warm routing skips the
+        lower jobs and the workers' reads come from their local tiers."""
+        with TieredFarm(tmp_path) as farm:
+            first = farm.build()
+            hits_after_first = sum(w.tier.tier_hits for w in farm.workers)
+            second = farm.build()
+            assert first.cold_groups and not first.warm_groups
+            assert second.warm_groups and not second.cold_groups
+            assert second.duplicate_lowerings == 0
+            hits_after_second = sum(w.tier.tier_hits for w in farm.workers)
+            assert hits_after_second > hits_after_first, \
+                "warm rerun produced no local-tier hits"
+
+    def test_restarted_worker_reuses_its_tier_dir(self, tmp_path):
+        """worker_tier_id is stable: the same --worker-id lands in the
+        same tier directory across restarts (re-warming from local disk),
+        and distinct ids never collide."""
+        import os
+        with TieredFarm(tmp_path) as farm:
+            farm.build()
+            tier_dirs = sorted(os.listdir(farm.tier_root))
+            assert tier_dirs == ["tiered-0", "tiered-1"]
+        store = BlobStore(FileBackend(farm.store_dir))
+        rejoined = ClusterWorker(
+            CoordinatorClient("127.0.0.1", 1),  # never contacted here
+            store, worker_id="tiered-0", local_tier_dir=farm.tier_root)
+        assert rejoined.worker_tier_id == "tiered-0"
+        # The re-attached tier still holds the first run's promotions.
+        local_digests = rejoined.tier.local.digests()
+        assert local_digests, "restart found an empty tier"
+        rejoined.tier.close()

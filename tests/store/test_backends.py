@@ -6,12 +6,21 @@ import threading
 import pytest
 
 from repro.containers.store import BlobStore
-from repro.store import BackendError, BlobNotFound, FileBackend, MemoryBackend
+from repro.store import (BackendError, BlobNotFound, FileBackend,
+                         MemoryBackend, TieredBackend)
 from repro.util.hashing import content_digest
 
 
 def backends(tmp_path):
-    return [MemoryBackend(), FileBackend(tmp_path / "file-store")]
+    # The tiered compositions run the identical contract: a tier in front
+    # of a backend must be observationally equivalent to the backend.
+    return [
+        MemoryBackend(),
+        FileBackend(tmp_path / "file-store"),
+        TieredBackend(MemoryBackend(), MemoryBackend()),
+        TieredBackend(FileBackend(tmp_path / "tier-local"),
+                      FileBackend(tmp_path / "tier-upstream")),
+    ]
 
 
 class TestBackendContract:

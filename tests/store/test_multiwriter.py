@@ -15,7 +15,8 @@ import threading
 
 import repro
 from repro.containers.store import ArtifactCache, BlobStore
-from repro.store import FileBackend, MemoryBackend, RemoteBackend, StoreServer
+from repro.store import (FileBackend, MemoryBackend, RemoteBackend,
+                         StoreServer, TieredBackend)
 
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
@@ -126,6 +127,51 @@ class TestThreadWriters:
 
         fresh = ArtifactCache(BlobStore(FileBackend(root)))
         _assert_all_present(fresh, 3, self.PER_WRITER)
+
+
+class TestTieredWriters:
+    """The same CAS stress with every writer behind its *own* local tier
+    — the farm deployment shape. Refs delegate upstream and every ref
+    write flushes the write-back queue first, so N tiered writers must
+    converge exactly like N flat ones: no lost entries, no index entry
+    whose payload blob is missing upstream."""
+
+    WRITERS = 6
+    PER_WRITER = 12
+
+    def _stress(self, make_tiered, fresh_backend):
+        threads = [threading.Thread(
+            target=lambda w=w: _publish(
+                ArtifactCache(BlobStore(make_tiered(w))),
+                f"w{w}", self.PER_WRITER))
+            for w in range(self.WRITERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        fresh = ArtifactCache(BlobStore(fresh_backend()))
+        assert len(fresh.entries()) == self.WRITERS * self.PER_WRITER
+        _assert_all_present(fresh, self.WRITERS, self.PER_WRITER)
+        # Every published payload must be resolvable from the *flat*
+        # upstream — nothing may be stranded in a writer's local tier.
+        for entry in fresh.entries().values():
+            assert fresh.store.has(entry.digest), \
+                f"blob {entry.digest} never flushed upstream"
+
+    def test_file_over_file_tiers_lose_nothing(self, tmp_path):
+        root = tmp_path / "shared"
+        FileBackend(root)  # create the layout once
+        self._stress(
+            lambda w: TieredBackend(FileBackend(tmp_path / f"tier-{w}"),
+                                    FileBackend(root)),
+            lambda: FileBackend(root))
+
+    def test_file_over_remote_tiers_lose_nothing(self, tmp_path):
+        with StoreServer(MemoryBackend()) as server:
+            self._stress(
+                lambda w: TieredBackend(FileBackend(tmp_path / f"tier-{w}"),
+                                        RemoteBackend(*server.address)),
+                lambda: RemoteBackend(*server.address))
 
 
 class TestShardedNamespaces:

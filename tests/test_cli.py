@@ -1,6 +1,7 @@
 """CLI deployment tool (python -m repro.cli)."""
 
 import json
+import os
 
 import pytest
 
@@ -238,6 +239,61 @@ class TestCacheInspectionCLI:
         _, out = run_cli(capsys, "cache", "gc", "--store", store,
                          "--max-bytes", "0", "--dry-run")
         assert "dry run" in out and "would evict" in out
+
+    @staticmethod
+    def _backdate_blobs(store: str, seconds: float) -> None:
+        """Push every blob file's mtime into the past — the clock
+        `--max-age-seconds` reads on a file-backed store."""
+        objects = os.path.join(store, "objects")
+        for dirpath, _dirs, files in os.walk(objects):
+            for name in files:
+                path = os.path.join(dirpath, name)
+                stat = os.stat(path)
+                os.utime(path, (stat.st_atime - seconds,
+                                stat.st_mtime - seconds))
+
+    def test_cache_gc_ttl_expires_aged_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        self._backdate_blobs(store, 7200)
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-age-seconds", "3600", "--json")
+        report = json.loads(out)
+        assert report["max_age_seconds"] == 3600
+        assert report["expired_entries"] > 0
+        assert report["evicted_entries"] == 0  # pure-TTL sweep, no budget
+        assert report["after_bytes"] < report["before_bytes"]
+
+    def test_cache_gc_ttl_dry_run_prices_without_deleting(self, capsys,
+                                                          tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        self._backdate_blobs(store, 7200)
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-age-seconds", "3600", "--dry-run")
+        assert "would expire" in out
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-age-seconds", "3600", "--dry-run", "--json")
+        plan = json.loads(out)
+        assert plan["dry_run"] and plan["expired_entries"] > 0
+        assert plan["freed_bytes"] == 0
+        # Nothing was deleted: the same sweep still has work to do.
+        _, out = run_cli(capsys, "cache", "stats", "--store", store, "--json")
+        assert json.loads(out)["total_bytes"] == plan["before_bytes"]
+
+    def test_cache_gc_young_store_expires_nothing(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        _, out = run_cli(capsys, "cache", "gc", "--store", store,
+                         "--max-age-seconds", "3600", "--json")
+        report = json.loads(out)
+        assert report["expired_entries"] == 0
+
+    def test_cache_gc_requires_a_bound(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(capsys, "ir-build", "--app", "lulesh", "--store", store)
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--store", store])
 
 
 class TestClusterCLI:
