@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.apps import app_model, default_ir_sweep
@@ -500,6 +501,11 @@ def cmd_cache_serve(args) -> int:
     flavor = StoreServer if args.threaded else AsyncStoreServer
     server = flavor(FileBackend(args.store), host=args.host, port=args.port,
                     max_body_bytes=args.max_body_bytes)
+    # Crash dumps (and on-demand SIGUSR2 dumps) carry this server's span
+    # buffer and metric registry, not the process-global defaults.
+    from repro.telemetry import flightrec as _flightrec
+    _flightrec.install(recorder=server.recorder,
+                       registry=server.metrics.registry)
     host, port = server.start()
     print(f"store server ({server.flavor}) listening on {host}:{port}",
           flush=True)
@@ -577,6 +583,9 @@ def cmd_cluster_serve(args) -> int:
     _trace.set_service("coordinator")
     coordinator = Coordinator(host=args.host, port=args.port,
                               lease_seconds=args.lease_seconds)
+    from repro.telemetry import flightrec as _flightrec
+    _flightrec.install(recorder=coordinator.queue.telemetry.recorder,
+                       registry=coordinator.queue.telemetry.registry)
     host, port = coordinator.start()
     print(f"cluster coordinator listening on {host}:{port}", flush=True)
     try:
@@ -590,10 +599,39 @@ def cmd_cluster_serve(args) -> int:
     return 0
 
 
+class _InjectedFault(BaseException):
+    """CI/test-only induced crash (``REPRO_FAULT_INJECT``). Deliberately
+    a ``BaseException``: it must escape the worker's per-job ``except
+    Exception`` failure reporting and reach the installed flight
+    recorder the way a real interpreter-level fault would."""
+
+
+def _arm_fault_injection(worker, spec: str) -> None:
+    """``crash:<kind>`` (optionally ``@<worker-id>`` to target one worker
+    of a fleet sharing an environment) makes the worker die mid-job on
+    the first matching execution — the crash-path test fixture."""
+    directive, _, target = spec.partition("@")
+    if target and target != worker.worker_id:
+        return
+    action, _, kind = directive.partition(":")
+    if action != "crash":
+        raise SystemExit(f"unknown REPRO_FAULT_INJECT directive {spec!r}")
+    real_execute = worker.execute
+
+    def _faulting_execute(job):
+        if not kind or job.kind == kind:
+            raise _InjectedFault(
+                f"injected crash on {job.job_id} ({job.kind})")
+        return real_execute(job)
+
+    worker.execute = _faulting_execute
+
+
 def cmd_cluster_worker(args) -> int:
     """Run one worker: pull jobs, publish artifacts through the store."""
     from repro.cluster import ClusterWorker, CoordinatorClient
     from repro.store import RemoteBackend
+    from repro.telemetry import flightrec as _flightrec
     from repro.telemetry import trace as _trace
     from repro.telemetry.registry import MetricsRegistry
     host, port = _parse_address(args.coordinator)
@@ -615,6 +653,12 @@ def cmd_cluster_worker(args) -> int:
                            local_tier_dir=args.local_tier,
                            tier_flush_interval=args.flush_interval)
     _trace.set_service(worker.worker_id)
+    # Anything that escapes run() — including an injected fault — dumps
+    # the worker's span buffer, event ring, and registry before dying.
+    _flightrec.install(recorder=worker.recorder, registry=registry)
+    fault = os.environ.get("REPRO_FAULT_INJECT", "")
+    if fault:
+        _arm_fault_injection(worker, fault)
     worker.run(max_idle_seconds=args.max_idle_seconds)
     line = (f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
             f"{worker.jobs_failed} failed")
@@ -686,19 +730,44 @@ def _fmt_latency(summary: dict) -> str:
             f"(n={summary['count']})")
 
 
-def cmd_cluster_top(args) -> int:
-    """Live farm-wide aggregates from the coordinator's `telemetry` op."""
-    from repro.cluster import ClusterError, CoordinatorClient
-    host, port = _parse_address(args.coordinator)
-    try:
-        info = CoordinatorClient(host, port).telemetry(
-            worker_metrics=args.worker_metrics)
-    except ClusterError as exc:
-        raise SystemExit(f"cluster top failed: {exc}")
+def _history_lines(history: dict, width: int = 32,
+                   max_series: int = 8) -> list[str]:
+    """Sparkline rows from a ``history`` wire payload. Cumulative farm
+    counters render as per-second rates; gauges and ready-made rates
+    render raw. A trend view wants few, legible rows — the preferred
+    series lead and the rest fill up to ``max_series``."""
+    from repro.telemetry.history import rate, sparkline
+    series = (history or {}).get("series") or {}
+    if not series:
+        return []
+    preferred = ["farm.jobs_per_second", "cluster.jobs.completed",
+                 "cluster.job.seconds", "process.rss_bytes",
+                 "process.cpu_seconds"]
+    names = [n for n in preferred if n in series]
+    names += [n for n in sorted(series) if n not in names]
+    lines = []
+    for name in names:
+        if len(lines) >= max_series:
+            break
+        samples = [(float(ts), float(v)) for ts, v in series[name]]
+        if not samples:
+            continue
+        if (name.startswith(("cluster.jobs.", "store.", "cluster.worker."))
+                and len(samples) > 1):
+            values = [v for _, v in rate(samples)]
+            label = f"{name}/s"
+        else:
+            values = [v for _, v in samples]
+            label = name
+        if not values or not any(values):
+            continue
+        lines.append(f"  {label:<36} {sparkline(values, width)} "
+                     f"latest={values[-1]:g} (n={len(values)})")
+    return lines
+
+
+def _print_cluster_top(info: dict) -> None:
     tel = info["telemetry"]
-    if args.json:
-        print(json.dumps(tel, indent=2, sort_keys=True))
-        return 0
     jobs = tel.get("jobs", {})
     states = jobs.get("states", {})
     state_line = " ".join(f"{state}={states[state]}"
@@ -710,26 +779,73 @@ def cmd_cluster_top(args) -> int:
           f"{thr.get('window_seconds', 0):.0f}s "
           f"({thr.get('jobs_per_second', 0.0):.2f}/s); "
           f"farm job duration {_fmt_latency(tel.get('job_duration_seconds'))}")
+    gauges = (tel.get("metrics") or {}).get("gauges") or {}
+    if gauges.get("process.rss_bytes"):
+        print(f"coordinator: rss "
+              f"{gauges['process.rss_bytes'] / (1 << 20):.0f} MB, "
+              f"cpu {gauges.get('process.cpu_seconds', 0.0):.1f}s, "
+              f"{int(gauges.get('process.open_fds', 0))} fds; "
+              f"{tel.get('spans_buffered', 0)} spans buffered "
+              f"({tel.get('spans_dropped', 0)} dropped)")
     workers = tel.get("workers", {})
     if not workers:
         print("no workers seen")
+    else:
+        print(f"{'worker':<16} {'queue':>5} {'run':>4} {'done':>6} "
+              f"{'fail':>5} {'rss':>7} {'tier h/m':>12} {'flush':>6} "
+              f"{'job p50/p95':>18} {'store p50/p95':>18} {'seen':>8}")
+        for worker_id in sorted(workers):
+            w = workers[worker_id]
+            seen = w.get("last_seen_seconds")
+            tier = (f"{w.get('tier_hits', 0)}/{w.get('tier_misses', 0)}"
+                    if w.get("tier_hits", 0) or w.get("tier_misses", 0)
+                    else "-")
+            rss = w.get("rss_bytes", 0)
+            print(f"{worker_id:<16} {w.get('queue_depth', 0):>5} "
+                  f"{w.get('running', 0):>4} {w.get('jobs_done', 0):>6} "
+                  f"{w.get('jobs_failed', 0):>5} "
+                  f"{f'{rss / (1 << 20):.0f}MB' if rss else '-':>7} "
+                  f"{tier:>12} {w.get('tier_flushed', 0) or '-':>6} "
+                  f"{_fmt_latency(w.get('job_seconds')):>18} "
+                  f"{_fmt_latency(w.get('store_request_seconds')):>18} "
+                  f"{'' if seen is None else f'{seen:.1f}s ago':>8}")
+    trend = _history_lines(info.get("history") or {})
+    if trend:
+        print("history:")
+        for line in trend:
+            print(line)
+
+
+def cmd_cluster_top(args) -> int:
+    """Live farm-wide aggregates from the coordinator's `telemetry` op.
+
+    ``--watch`` refreshes in place every ``--interval`` seconds and adds
+    sparkline trends from the coordinator's bounded metrics history."""
+    import time as time_mod
+    from repro.cluster import ClusterError, CoordinatorClient
+    host, port = _parse_address(args.coordinator)
+    client = CoordinatorClient(host, port)
+    watch = bool(getattr(args, "watch", False))
+    interval = float(getattr(args, "interval", 2.0))
+    try:
+        while True:
+            try:
+                info = client.telemetry(worker_metrics=args.worker_metrics)
+            except ClusterError as exc:
+                raise SystemExit(f"cluster top failed: {exc}")
+            if args.json:
+                tel = dict(info["telemetry"])
+                tel["history"] = info.get("history", {})
+                print(json.dumps(tel, indent=2, sort_keys=True))
+            else:
+                if watch:
+                    print("\x1b[2J\x1b[H", end="")
+                _print_cluster_top(info)
+            if not watch:
+                return 0
+            time_mod.sleep(interval)
+    except KeyboardInterrupt:
         return 0
-    print(f"{'worker':<16} {'queue':>5} {'run':>4} {'done':>6} {'fail':>5} "
-          f"{'tier h/m':>12} {'flush':>6} "
-          f"{'job p50/p95':>18} {'store p50/p95':>18} {'seen':>8}")
-    for worker_id in sorted(workers):
-        w = workers[worker_id]
-        seen = w.get("last_seen_seconds")
-        tier = (f"{w.get('tier_hits', 0)}/{w.get('tier_misses', 0)}"
-                if w.get("tier_hits", 0) or w.get("tier_misses", 0) else "-")
-        print(f"{worker_id:<16} {w.get('queue_depth', 0):>5} "
-              f"{w.get('running', 0):>4} {w.get('jobs_done', 0):>6} "
-              f"{w.get('jobs_failed', 0):>5} "
-              f"{tier:>12} {w.get('tier_flushed', 0) or '-':>6} "
-              f"{_fmt_latency(w.get('job_seconds')):>18} "
-              f"{_fmt_latency(w.get('store_request_seconds')):>18} "
-              f"{'' if seen is None else f'{seen:.1f}s ago':>8}")
-    return 0
 
 
 def cmd_cluster_status(args) -> int:
@@ -756,6 +872,73 @@ def cmd_cluster_status(args) -> int:
     print(f"throughput: {thr.get('completed', 0)} jobs in the last "
           f"{thr.get('window_seconds', 0):.0f}s; job duration "
           f"{_fmt_latency(telemetry.get('job_duration_seconds'))}")
+    return 0
+
+
+def cmd_telemetry_report(args) -> int:
+    """Render a flight-recorder crash dump; with ``--trace`` each event
+    is cross-linked to the exported span it happened inside."""
+    from repro.telemetry.export import spans_from_chrome
+    from repro.telemetry.flightrec import load_crash_dump, render_report
+    try:
+        dump = load_crash_dump(args.dump)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"telemetry report failed: {exc}")
+    trace_spans = None
+    if args.trace:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            trace_spans = [span.to_json() for span in spans_from_chrome(doc)]
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"telemetry report failed reading --trace: {exc}")
+    if args.json:
+        print(json.dumps(dump, indent=2, sort_keys=True))
+        return 0
+    print(render_report(dump, trace_spans=trace_spans))
+    return 0
+
+
+def cmd_telemetry_history(args) -> int:
+    """Fetch a live process's bounded metrics history (the ``history``
+    field of the ``telemetry`` wire op) from a coordinator or a store
+    server, rendered as sparklines or raw JSON."""
+    if bool(args.coordinator) == bool(args.store_server):
+        raise SystemExit("telemetry history needs exactly one of "
+                         "--coordinator or --store-server")
+    if args.coordinator:
+        from repro.cluster import ClusterError, CoordinatorClient
+        host, port = _parse_address(args.coordinator)
+        try:
+            history = CoordinatorClient(host, port).telemetry().get(
+                "history") or {}
+        except ClusterError as exc:
+            raise SystemExit(f"telemetry history failed: {exc}")
+    else:
+        from repro.store import RemoteBackend
+        from repro.store.remote import RemoteStoreError
+        host, port = _parse_address(args.store_server)
+        backend = RemoteBackend(host, port)
+        try:
+            info = backend.telemetry()
+        except RemoteStoreError as exc:
+            raise SystemExit(f"telemetry history failed: {exc}")
+        finally:
+            backend.close()
+        if info is None:
+            raise SystemExit("telemetry history failed: server predates "
+                             "the telemetry op")
+        history = info.get("history") or {}
+    if args.json:
+        print(json.dumps(history, indent=2, sort_keys=True))
+        return 0
+    lines = _history_lines(history, max_series=64)
+    if not lines:
+        print("no history samples")
+        return 0
+    for line in lines:
+        print(line.lstrip())
     return 0
 
 
@@ -915,6 +1098,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--coordinator", required=True, metavar="HOST:PORT")
     c.add_argument("--worker-metrics", action="store_true",
                    help="include each worker's full merged metric snapshot")
+    c.add_argument("--watch", action="store_true",
+                   help="refresh in place until interrupted, with "
+                        "sparkline trends from the farm metrics history")
+    c.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period for --watch (default 2s)")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cluster_top)
 
@@ -986,6 +1174,30 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--input", required=True, help="archive path (.tar.gz)")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_cache_import)
+
+    p = sub.add_parser("telemetry",
+                       help="flight-recorder dumps and metrics history")
+    telemetry_sub = p.add_subparsers(dest="telemetry_command", required=True)
+
+    c = telemetry_sub.add_parser(
+        "report", help="render a flight-recorder crash dump")
+    c.add_argument("dump", metavar="CRASH.json",
+                   help="crash dump written by the flight recorder")
+    c.add_argument("--trace", default="", metavar="TRACE.json",
+                   help="Chrome trace export of the same build; events "
+                        "are cross-linked to the spans they ran inside")
+    c.add_argument("--json", action="store_true",
+                   help="print the validated dump as JSON")
+    c.set_defaults(func=cmd_telemetry_report)
+
+    c = telemetry_sub.add_parser(
+        "history", help="fetch a live process's bounded metrics history")
+    c.add_argument("--coordinator", default="", metavar="HOST:PORT",
+                   help="read the farm-wide history from a coordinator")
+    c.add_argument("--store-server", default="", metavar="HOST:PORT",
+                   help="read a store server's sampler history")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_telemetry_history)
 
     p = sub.add_parser("bench", help="predict a workload run")
     p.add_argument("--app", required=True, choices=sorted(APPS))

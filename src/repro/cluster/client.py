@@ -42,6 +42,7 @@ from repro.cluster.jobs import (
 from repro.cluster.worker import ClusterWorker
 from repro.containers.store import ArtifactCache, BlobStore
 from repro.store.wire import WireError, round_trip
+from repro.telemetry import events as _events
 from repro.telemetry import trace as _trace
 
 
@@ -146,9 +147,10 @@ class CoordinatorClient:
     def telemetry(self, drain_spans: bool = False,
                   worker_metrics: bool = False) -> dict:
         """The coordinator's live farm aggregates (the `cluster top`
-        payload): ``{"telemetry": {...}, "spans": [...]}``. With
-        ``drain_spans`` the returned spans are removed from the
-        coordinator's buffer (one-shot collection for trace export)."""
+        payload): ``{"telemetry": {...}, "spans": [...], "history":
+        {...}}``. With ``drain_spans`` the returned spans are removed
+        from the coordinator's buffer (one-shot collection for trace
+        export); ``history`` is the heartbeat-fed farm metric history."""
         header: dict = {"cmd": "telemetry"}
         if drain_spans:
             header["drain_spans"] = True
@@ -156,7 +158,8 @@ class CoordinatorClient:
             header["worker_metrics"] = True
         resp = self._call(header)
         return {"telemetry": resp.get("telemetry", {}),
-                "spans": resp.get("spans", [])}
+                "spans": resp.get("spans", []),
+                "history": resp.get("history", {})}
 
     def goodbye(self, worker_id: str) -> int:
         return int(self._call({"cmd": "goodbye",
@@ -612,6 +615,9 @@ class LocalCluster:
                 self._spawn_worker(host, port)
                 self.scale_events.append(
                     {"action": "up", "workers": len(live) + 1})
+                _events.emit("info", "autoscale up",
+                             workers=len(live) + 1, ready_depth=ready,
+                             running=running)
             elif action == "down":
                 # Retire an *idle* worker: per-worker stop ends its loop;
                 # its goodbye returns any owned queue entries. Prefer the
@@ -624,6 +630,8 @@ class LocalCluster:
                     drained_since = now  # one retirement per cooldown
                     self.scale_events.append(
                         {"action": "down", "workers": len(live) - 1})
+                    _events.emit("info", "autoscale down",
+                                 workers=len(live) - 1, retired=idle[-1])
 
     def start(self) -> "LocalCluster":
         host, port = self.coordinator.start()

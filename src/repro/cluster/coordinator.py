@@ -39,6 +39,7 @@ import json
 
 from repro.cluster.jobs import ClusterError, Job
 from repro.store.wire import read_exact, read_message, write_message
+from repro.telemetry import events as _events
 from repro.telemetry.farm import FarmTelemetry
 from repro.telemetry.trace import Span, new_span_id, service_name
 
@@ -388,14 +389,24 @@ class JobQueue:
             record.state = FAILED
             record.finished_at = time.monotonic()
             self._note_finished_locked(record, failed=True)
+            _events.emit("error", "job failed permanently",
+                         job_id=record.job.job_id, worker=worker_id,
+                         attempts=record.attempts, error=error)
         else:
             record.state = READY
             self._enqueue_locked(record)
+            _events.emit("warn", "job requeued",
+                         job_id=record.job.job_id, worker=worker_id,
+                         attempts=record.attempts, error=error)
         return record.state
 
     def _expire_leases_locked(self, now: float) -> None:
         for record in self._records.values():
             if record.state == RUNNING and record.lease_deadline < now:
+                _events.emit("warn", "lease expired",
+                             job_id=record.job.job_id, worker=record.worker,
+                             attempts=record.attempts,
+                             lease_seconds=self.lease_seconds)
                 self._requeue_locked(record, record.worker,
                                      f"lease expired on {record.worker!r}")
 
@@ -570,10 +581,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 recorder = queue.telemetry.recorder
                 spans = (recorder.drain() if req.get("drain_spans")
                          else recorder.spans())
-                # Spans go in the response body — a farm-wide drain can
-                # hold far more than one header line may carry.
+                # Spans and the farm metric history go in the response
+                # body — a farm-wide drain can hold far more than one
+                # header line may carry.
                 payload = json.dumps(
-                    {"spans": [span.to_json() for span in spans]},
+                    {"spans": [span.to_json() for span in spans],
+                     "history": queue.telemetry.history.to_json()},
                 ).encode("utf-8")
                 out["size"] = len(payload)
                 out["body_json"] = True

@@ -42,12 +42,15 @@ from repro.pipeline.stages import (
     VectorizeStage,
 )
 from repro.pipeline.stats import PipelineStats
+from repro.telemetry import events as _events
 from repro.telemetry import trace as _trace
 from repro.telemetry.registry import (
     MetricsRegistry,
     empty_snapshot,
     is_empty_snapshot,
+    sample_process_gauges,
     snapshot_delta,
+    sync_dropped_counter,
 )
 
 #: Live IR-container results memoized per worker (keyed by build spec).
@@ -148,6 +151,12 @@ class ClusterWorker:
         heartbeat's telemetry.
         """
         with self._metrics_lock:
+            # Resource gauges and the span-ring drop count ride every
+            # heartbeat delta — the farm view stays current without a
+            # dedicated telemetry channel.
+            sample_process_gauges(self.registry)
+            sync_dropped_counter(self.registry, "telemetry.spans_dropped",
+                                 self.recorder.dropped)
             snap = self.registry.snapshot()
             delta = snapshot_delta(snap, self._metrics_sent)
             if is_empty_snapshot(delta):
@@ -208,12 +217,26 @@ class ClusterWorker:
         a trace context — the span (and any the stages open) is pushed to
         the coordinator with the completion report."""
         if not job.trace:
-            return self.execute(job)
+            return self._execute_logged(job)
         with _trace.recording(self.recorder), \
                 _trace.span(f"cluster.worker.{job.kind}", parent=job.trace,
                             attrs={"job_id": job.job_id,
                                    "worker": self.worker_id}):
+            return self._execute_logged(job)
+
+    def _execute_logged(self, job: Job):
+        """Run :meth:`execute`; any escape — handled failure or crash —
+        leaves an error event behind. Emitted inside the still-active job
+        span, so the event carries the failing execution's trace/span ids
+        (what a crash dump cross-links against the Chrome export)."""
+        try:
             return self.execute(job)
+        except BaseException as exc:
+            _events.emit("error", "job execution failed",
+                         job_id=job.job_id, kind=job.kind,
+                         worker=self.worker_id,
+                         error=f"{type(exc).__name__}: {exc}")
+            raise
 
     def _start_lease_renewal(self, job_id: str):
         """Heartbeat the lease while a long job executes.

@@ -37,6 +37,7 @@ from repro.store.backend import (
     has_many as _has_many,
     index_ref_name,
 )
+from repro.telemetry import events as _events
 from repro.telemetry.registry import Counter, MetricsRegistry
 from repro.util.hashing import content_digest, is_digest, stable_hash
 
@@ -498,6 +499,8 @@ class ArtifactCache:
                 self._dirty_keys.difference_update(dirty_here)
                 return
             self._cas_retries.inc()
+            _events.emit("info", "index CAS retry", ref=ref_name,
+                         retries=self._cas_retries.value)
         raise BackendError(
             f"index CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 
@@ -616,6 +619,8 @@ class ArtifactCache:
                     PINS_REF, raw, payload):
                 return True
             self._pin_cas_retries.inc()
+            _events.emit("info", "pin CAS retry",
+                         retries=self._pin_cas_retries.value)
         raise BackendError(
             f"pin CAS did not converge after {self.CAS_ATTEMPTS} attempts")
 

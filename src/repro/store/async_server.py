@@ -94,6 +94,8 @@ from repro.store.wire import (
     encode_message,
     parse_chunk_prefix,
 )
+from repro.telemetry import events as _events
+from repro.telemetry.history import HistorySampler, MetricsHistory
 from repro.telemetry.trace import TraceRecorder, begin_wire_span, end_wire_span
 
 __all__ = ["AsyncStoreServer", "DEFAULT_MAX_OUTBUF_BYTES"]
@@ -124,7 +126,7 @@ class _Connection:
                  "stream_total", "failure", "busy", "eof", "closing",
                  "events", "registered", "io_busy", "pending",
                  "pending_bytes", "put_done", "put_over", "opened",
-                 "put_digest", "trace_tok")
+                 "put_digest", "trace_tok", "paused")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
@@ -155,6 +157,7 @@ class _Connection:
         self.opened = False     # blob writer open was attempted
         self.put_digest = None
         self.trace_tok = None   # (wire-span token, cmd) of a traced request
+        self.paused = False     # reads suspended by write-side backpressure
 
 
 class AsyncStoreServer:
@@ -173,14 +176,22 @@ class AsyncStoreServer:
                  port: int = 0,
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
                  max_outbuf_bytes: int = DEFAULT_MAX_OUTBUF_BYTES,
-                 executor_workers: "int | None" = None):
+                 executor_workers: "int | None" = None,
+                 history_interval: float = 1.0):
         self.backend = backend
         self.max_body_bytes = max_body_bytes
         self.max_outbuf_bytes = max_outbuf_bytes
         self.metrics = ServerMetrics()
+        self._backpressure_pauses = self.metrics.registry.counter(
+            "store.server.backpressure_pauses")
         #: Spans recorded for traced requests, drained by the `telemetry`
         #: wire op (bounded; untraced traffic records nothing).
         self.recorder = TraceRecorder()
+        #: Fixed-memory metrics history fed by a local sampler thread
+        #: while the server runs; surfaced by the `telemetry` wire op.
+        self.history = MetricsHistory()
+        self._history_sampler = HistorySampler(
+            self.metrics.registry, self.history, interval=history_interval)
         if executor_workers is None:
             # Persistent backends block on disk; memory ones would pay
             # more for the executor hop than for the op itself.
@@ -243,9 +254,11 @@ class AsyncStoreServer:
                                         name="store-server-async",
                                         daemon=True)
         self._thread.start()
+        self._history_sampler.start()
         return self.address
 
     def stop(self) -> None:
+        self._history_sampler.stop()
         self._stopping = True
         self._wakeup()
         if self._thread is not None:
@@ -374,11 +387,22 @@ class AsyncStoreServer:
                 self._close(conn)
                 return
         events = 0
-        if (not conn.eof and not conn.closing and not conn.busy
-                and conn.stream is None
-                and len(conn.outbuf) < self.max_outbuf_bytes
-                and conn.pending_bytes < self.max_outbuf_bytes):
+        want_read = (not conn.eof and not conn.closing and not conn.busy
+                     and conn.stream is None)
+        buffer_full = (len(conn.outbuf) >= self.max_outbuf_bytes
+                       or conn.pending_bytes >= self.max_outbuf_bytes)
+        if want_read and not buffer_full:
             events |= selectors.EVENT_READ
+        if want_read and buffer_full:
+            if not conn.paused:  # edge, not level: one event per pause
+                conn.paused = True
+                self._backpressure_pauses.inc()
+                _events.emit("warn", "backpressure pause: reads suspended",
+                             fd=conn.fd, outbuf_bytes=len(conn.outbuf),
+                             pending_bytes=conn.pending_bytes,
+                             max_outbuf_bytes=self.max_outbuf_bytes)
+        elif conn.paused:
+            conn.paused = False
         if conn.outbuf:
             events |= selectors.EVENT_WRITE
         if events == conn.events:

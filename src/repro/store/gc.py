@@ -40,6 +40,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.store.backend import index_ref_names, iter_index_payloads
+from repro.telemetry import events as _events
 
 _DIGEST_RE = re.compile(rb"sha256:[0-9a-f]{64}")
 
@@ -288,6 +289,9 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
     # Phase 1: orphans — blobs no pin and no entry can reach.
     for digest in all_digests:
         _delete_if_unreferenced(digest, "(orphan)")
+    _events.emit("info", "gc orphan phase done",
+                 deleted_blobs=report.deleted_blobs,
+                 freed_bytes=report.planned_freed_bytes, dry_run=dry_run)
 
     # Phase 2: TTL expiry — entries past max_age_seconds go oldest-first,
     # before (and independent of) the byte budget. Shares the LRU phase's
@@ -316,6 +320,10 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
                 protected |= _fresh_publish_closure()
             for digest in entry_refs[key]:
                 _delete_if_unreferenced(digest, record.namespace)
+    if max_age_seconds is not None:
+        _events.emit("info", "gc ttl phase done",
+                     expired_entries=report.expired_entries,
+                     max_age_seconds=max_age_seconds, dry_run=dry_run)
 
     # Phase 3: LRU eviction until the store fits the budget. Once only
     # pinned bytes remain, evicting further entries cannot free anything —
@@ -364,4 +372,11 @@ def collect(cache, max_bytes: int, grace_seconds: float = 0.0,
             _delete_if_unreferenced(digest, record.namespace)
 
     report.after_blobs, report.after_bytes = store.stat()
+    _events.emit(
+        "info" if report.within_budget else "warn", "gc lru phase done",
+        evicted_entries=report.evicted_entries,
+        deleted_blobs=report.deleted_blobs,
+        freed_bytes=report.freed_bytes,
+        after_bytes=report.after_bytes,
+        within_budget=report.within_budget, dry_run=dry_run)
     return report

@@ -114,7 +114,12 @@ from repro.store.wire import (
     write_message as _write_response,
 )
 from repro.telemetry import trace as _trace
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.history import HistorySampler, MetricsHistory
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    sample_process_gauges,
+    sync_dropped_counter,
+)
 from repro.telemetry.trace import TraceRecorder, begin_wire_span, end_wire_span
 
 __all__ = [
@@ -352,20 +357,29 @@ def dispatch_command(backend: Backend, cas_ref, req: dict, body: bytes,
         # trace collection both ride this.
         if server is None:
             return {"ok": False, "error": "telemetry unavailable"}, b""
-        out = {"ok": True, "flavor": server.flavor, "stats": server.stats(),
-               "metrics": server.metrics.registry.snapshot()}
+        registry = server.metrics.registry
+        sample_process_gauges(registry)
         recorder = getattr(server, "recorder", None)
+        if recorder is not None:
+            sync_dropped_counter(registry, "telemetry.spans_dropped",
+                                 recorder.dropped)
+        out = {"ok": True, "flavor": server.flavor, "stats": server.stats(),
+               "metrics": registry.snapshot()}
         if recorder is None:
             return out, b""
-        # Spans ride the response *body*, not the header: a long traced
-        # build buffers thousands of spans and a single JSON header line
-        # is capped at MAX_HEADER_BYTES.
+        # Spans and metric history ride the response *body*, not the
+        # header: a long traced build buffers thousands of spans, a day
+        # of history holds hundreds of samples per series, and a single
+        # JSON header line is capped at MAX_HEADER_BYTES.
         spans = recorder.drain() if req.get("drain_spans") \
             else recorder.spans()
-        payload = json.dumps(
-            [span.to_json() for span in spans]).encode("utf-8")
+        history = getattr(server, "history", None)
+        body = {"spans": [span.to_json() for span in spans]}
+        if history is not None:
+            body["history"] = history.to_json()
+        payload = json.dumps(body).encode("utf-8")
         out["size"] = len(payload)
-        out["spans_in_body"] = True
+        out["body_json"] = True
         return out, payload
     return {"ok": False, "error": f"unknown command {cmd!r}"}, b""
 
@@ -589,13 +603,20 @@ class StoreServer:
 
     def __init__(self, backend: Backend, host: str = "127.0.0.1",
                  port: int = 0,
-                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES):
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 history_interval: float = 1.0):
         self.backend = backend
         self.max_body_bytes = max_body_bytes
         self.metrics = ServerMetrics()
         #: Spans recorded for traced requests, drained by the `telemetry`
         #: wire op (bounded; untraced traffic records nothing).
         self.recorder = TraceRecorder()
+        #: Fixed-memory metric time series fed by a background sampler
+        #: while the server runs; the `telemetry` wire op ships it.
+        self.history = MetricsHistory()
+        self._history_sampler = HistorySampler(self.metrics.registry,
+                                               self.history,
+                                               interval=history_interval)
         self._server = socketserver.ThreadingTCPServer(
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
@@ -641,9 +662,11 @@ class StoreServer:
         self._thread = threading.Thread(target=self._server.serve_forever,
                                         name="store-server", daemon=True)
         self._thread.start()
+        self._history_sampler.start()
         return self.address
 
     def stop(self) -> None:
+        self._history_sampler.stop()
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
@@ -971,9 +994,10 @@ class RemoteBackend:
     def telemetry(self, drain_spans: bool = False) -> "dict | None":
         """The server's full telemetry in one round-trip: ``flavor``, the
         documented ``stats`` schema, the metric-registry ``metrics``
-        snapshot, and buffered trace ``spans`` (``drain_spans=True``
-        removes them server-side — trace collection does; live status
-        surfaces must not). None against a pre-telemetry server."""
+        snapshot, buffered trace ``spans`` (``drain_spans=True`` removes
+        them server-side — trace collection does; live status surfaces
+        must not), and the sampler-fed metric ``history``. None against
+        a pre-telemetry server."""
         header: dict = {"cmd": "telemetry"}
         if drain_spans:
             header["drain_spans"] = True
@@ -982,8 +1006,14 @@ class RemoteBackend:
             return None
         resp, payload = got
         out = {key: value for key, value in resp.items()
-               if key not in ("ok", "size", "spans_in_body")}
-        if resp.get("spans_in_body"):
+               if key not in ("ok", "size", "spans_in_body", "body_json")}
+        if resp.get("body_json"):
+            # Current servers: the body is a JSON object carrying the
+            # bulk fields (span list + metric history).
+            out.update(json.loads(payload.decode("utf-8")) if payload
+                       else {"spans": []})
+        elif resp.get("spans_in_body"):
+            # Legacy servers shipped the bare span list as the body.
             out["spans"] = json.loads(payload.decode("utf-8")) \
                 if payload else []
         return out

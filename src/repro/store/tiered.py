@@ -58,6 +58,7 @@ from repro.store.backend import (
     has_many as _has_many,
     put_many as _put_many,
 )
+from repro.telemetry import events as _events
 from repro.telemetry.registry import MetricsRegistry
 
 __all__ = ["TieredBackend"]
@@ -198,13 +199,17 @@ class TieredBackend:
                 return 0
             try:
                 _put_many(self.upstream, batch)
-            except BaseException:
+            except BaseException as exc:
                 with self._lock:
                     for digest, data in batch.items():
                         if digest not in self._pending:
                             self._pending_bytes += len(data)
                             self._pending[digest] = data
                     self._pending_gauge.set(len(self._pending))
+                _events.emit("error", "tier flush failed; batch re-queued",
+                             tier=self.tier_id, blobs=len(batch),
+                             bytes=sum(len(d) for d in batch.values()),
+                             error=f"{type(exc).__name__}: {exc}")
                 raise
             self._flushes.inc()
             self._flushed_blobs.inc(len(batch))
@@ -278,6 +283,8 @@ class TieredBackend:
                 flight = self._flights[digest] = _Flight()
         if not leader:
             self._coalesced.inc()
+            _events.emit("debug", "single-flight wait",
+                         tier=self.tier_id, digest=digest)
             flight.event.wait()
             if flight.error is not None:
                 raise flight.error
@@ -285,6 +292,8 @@ class TieredBackend:
             return flight.data  # type: ignore[return-value]
         try:
             self._misses.inc()
+            _events.emit("debug", "single-flight fetch",
+                         tier=self.tier_id, digest=digest)
             data = self.upstream.get(digest)
             # Promote so the next reader is local. Never enqueued: the
             # blob came *from* upstream.

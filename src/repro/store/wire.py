@@ -56,6 +56,7 @@ import struct
 import threading
 import time
 
+from repro.telemetry import events as _events
 from repro.telemetry.registry import MetricsRegistry
 
 MAX_HEADER_BYTES = 64 * 1024
@@ -432,12 +433,20 @@ class SessionPool:
         self._reaped.inc(len(reaped))
         return reaped
 
+    def _close_reaped(self, stale: list) -> None:
+        if not stale:
+            return
+        _events.emit("info", "idle sessions reaped",
+                     host=self.host, port=self.port, count=len(stale),
+                     max_idle_seconds=self.max_idle_seconds)
+        for old in stale:
+            old.close(polite=False)
+
     def _checkout(self) -> WireSession:
         with self._lock:
             stale = self._reap_locked()
             session = self._idle.pop() if self._idle else None
-        for old in stale:
-            old.close(polite=False)
+        self._close_reaped(stale)
         if session is not None:
             return session
         session = WireSession(self.host, self.port, timeout=self.timeout)
@@ -456,8 +465,7 @@ class SessionPool:
                 # flight; a drained pool must never re-grow, so the
                 # returning session closes instead of parking.
                 self._reaped.inc()
-        for old in stale:
-            old.close(polite=False)
+        self._close_reaped(stale)
         if session is not None:
             session.close()
 

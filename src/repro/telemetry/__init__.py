@@ -1,14 +1,21 @@
-"""Unified telemetry: metrics registry, trace spans, exporters, farm view.
+"""Unified telemetry: metrics, traces, events, history, flight recorder.
 
-Four modules, one seam:
+Seven modules, one seam:
 
 * :mod:`~repro.telemetry.registry` — process-local counters/gauges/
   histograms with mergeable JSON snapshots (what every legacy ad-hoc
-  counter is now a view over);
+  counter is now a view over), plus the ``process.*`` resource gauges;
 * :mod:`~repro.telemetry.trace` — spans with explicit parent ids, a
   context-managed recorder, and the wire ``trace`` field that correlates
   one ``cluster build`` across client, coordinator, workers, and store
   servers;
+* :mod:`~repro.telemetry.events` — structured, leveled event records in
+  a bounded per-process ring, auto-tagged with the active span context;
+* :mod:`~repro.telemetry.history` — fixed-memory per-metric time series
+  with downsampling, behind ``telemetry history`` and ``cluster top
+  --watch``;
+* :mod:`~repro.telemetry.flightrec` — the crash-time flight recorder
+  that dumps events + spans + metrics to ``crash-<service>-<pid>.json``;
 * :mod:`~repro.telemetry.export` — Chrome trace-event JSON (Perfetto)
   and metrics snapshot files, plus the schema validator CI runs;
 * :mod:`~repro.telemetry.farm` — the coordinator-side aggregator behind
@@ -19,12 +26,17 @@ from .registry import (DURATION_BUCKETS, SIZE_BUCKETS, Counter, Gauge,
                        Histogram, MetricsRegistry, empty_snapshot,
                        get_registry, histogram_quantile, is_empty_snapshot,
                        merge_histograms, merge_snapshot, metric_key,
-                       parse_metric_key, set_enabled, set_registry,
-                       snapshot_delta, summarize_histogram,
-                       telemetry_enabled)
+                       parse_metric_key, sample_process_gauges, set_enabled,
+                       set_registry, snapshot_delta, summarize_histogram,
+                       sync_dropped_counter, telemetry_enabled)
 from .trace import (Span, TraceRecorder, active_recorder, begin_wire_span,
                     current, end_wire_span, new_span_id, new_trace_id,
                     recording, set_global_recorder, set_service, span)
+from .events import (Event, EventLog, emit, get_event_log, set_event_log)
+from .history import (HistorySampler, MetricsHistory, rate, sparkline)
+from .flightrec import (FlightRecorder, load_crash_dump, render_report,
+                        validate_crash_dump)
+from .flightrec import install as install_flight_recorder
 from .export import (chrome_trace, spans_from_chrome, validate_chrome_trace,
                      write_chrome_trace, write_metrics_snapshot)
 from .farm import FarmTelemetry
@@ -36,9 +48,14 @@ __all__ = [
     "metric_key", "parse_metric_key", "empty_snapshot", "is_empty_snapshot",
     "snapshot_delta", "merge_snapshot", "merge_histograms",
     "histogram_quantile", "summarize_histogram",
+    "sample_process_gauges", "sync_dropped_counter",
     "Span", "TraceRecorder", "span", "current", "recording",
     "active_recorder", "set_global_recorder", "set_service",
     "new_span_id", "new_trace_id", "begin_wire_span", "end_wire_span",
+    "Event", "EventLog", "emit", "get_event_log", "set_event_log",
+    "MetricsHistory", "HistorySampler", "rate", "sparkline",
+    "FlightRecorder", "install_flight_recorder", "load_crash_dump",
+    "validate_crash_dump", "render_report",
     "chrome_trace", "write_chrome_trace", "spans_from_chrome",
     "validate_chrome_trace", "write_metrics_snapshot",
     "FarmTelemetry",

@@ -24,7 +24,7 @@ from .trace import Span
 
 __all__ = [
     "chrome_trace", "write_chrome_trace", "spans_from_chrome",
-    "validate_chrome_trace", "write_metrics_snapshot",
+    "events_chrome", "validate_chrome_trace", "write_metrics_snapshot",
 ]
 
 
@@ -100,6 +100,34 @@ def spans_from_chrome(doc: dict) -> list:
     return out
 
 
+def events_chrome(events) -> list:
+    """Render structured event records (dicts, the
+    :meth:`~repro.telemetry.events.Event.to_json` shape — what a crash
+    dump's ``events`` list holds) as Chrome *instant* events (``"ph":
+    "i"``), so a flight-recorder dump can be overlaid onto the span
+    timeline of the same build: append these to a trace document's
+    ``traceEvents`` and the lease expiry shows up as a tick on the
+    coordinator's track at the moment it happened."""
+    out = []
+    for event in events:
+        args = dict(event.get("fields") or {})
+        args["level"] = event.get("level", "info")
+        for key in ("trace_id", "span_id"):
+            if event.get(key):
+                args[key] = event[key]
+        out.append({
+            "ph": "i",
+            "s": "p",  # process-scoped instant
+            "name": event.get("message", ""),
+            "cat": "event",
+            "ts": float(event.get("ts", 0.0)) * 1e6,
+            "pid": int(event.get("pid", 0)),
+            "tid": 0,
+            "args": args,
+        })
+    return out
+
+
 def validate_chrome_trace(doc) -> list:
     """Validate a Chrome trace document against the schema this exporter
     emits. Returns a list of problem strings (empty == valid):
@@ -127,7 +155,7 @@ def validate_chrome_trace(doc) -> list:
             problems.append(f"event {i}: not an object")
             continue
         ph = event.get("ph")
-        if ph == "M":
+        if ph in ("M", "i"):  # metadata / instant (overlaid events)
             continue
         if ph != "X":
             problems.append(f"event {i}: unexpected ph {ph!r}")

@@ -21,8 +21,10 @@ import threading
 import time
 from collections import deque
 
+from .history import MetricsHistory
 from .registry import (MetricsRegistry, merge_histograms, merge_snapshot,
-                       parse_metric_key, summarize_histogram)
+                       parse_metric_key, sample_process_gauges,
+                       summarize_histogram, sync_dropped_counter)
 from .trace import Span, TraceRecorder
 
 __all__ = ["FarmTelemetry"]
@@ -54,8 +56,12 @@ class FarmTelemetry:
         self.window_seconds = window_seconds
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = TraceRecorder(max_spans=max_spans)
+        #: Farm-wide metrics history, fed from the heartbeat delta stream
+        #: (no extra sampler: every absorbed delta advances the series).
+        self.history = MetricsHistory()
         self._lock = threading.Lock()
         self._worker_metrics: dict[str, dict] = {}
+        self._farm_counters: dict[str, float] = {}
         self._completions: deque = deque()
         self._job_seconds = self.registry.histogram(
             "cluster.job.duration_seconds")
@@ -74,11 +80,20 @@ class FarmTelemetry:
         if not worker_id or not isinstance(delta, dict):
             return
         try:
+            touched: dict[str, float] = {}
             with self._lock:
                 mine = self._worker_metrics.setdefault(worker_id, {})
                 merge_snapshot(mine, delta)
+                for key, value in (delta.get("counters") or {}).items():
+                    total = self._farm_counters.get(key, 0) + value
+                    self._farm_counters[key] = total
+                    touched[key] = total
         except (TypeError, ValueError, KeyError, AttributeError):
-            pass
+            return
+        # Farm-wide cumulative series: each heartbeat delta advances the
+        # history at the merged-across-workers total.
+        for key, total in touched.items():
+            self.history.record(key, total)
 
     def absorb_spans(self, spans) -> None:
         """Store spans a worker pushed with its job result (wire JSON)."""
@@ -107,6 +122,12 @@ class FarmTelemetry:
             cutoff = now - self.window_seconds
             while self._completions and self._completions[0] < cutoff:
                 self._completions.popleft()
+            in_window = len(self._completions)
+        self.history.record("farm.jobs_per_second",
+                            in_window / self.window_seconds)
+        self.history.record("cluster.jobs.completed",
+                            self._jobs_completed.value)
+        self.history.record("cluster.job.seconds", duration_seconds)
 
     # ------------------------------------------------------------------
     # summary (the `telemetry` wire op payload)
@@ -121,6 +142,11 @@ class FarmTelemetry:
             "jobs_done": counters.get("cluster.worker.jobs_done", 0),
             "jobs_failed": counters.get("cluster.worker.jobs_failed", 0),
         }
+        gauges = snap.get("gauges", {})
+        # Resource gauges ride the heartbeat deltas (see
+        # ClusterWorker._pop_metrics_delta) — `cluster top` shows them.
+        out["rss_bytes"] = gauges.get("process.rss_bytes", 0)
+        out["cpu_seconds"] = gauges.get("process.cpu_seconds", 0.0)
         out.update({summary_key: 0
                     for summary_key in _WORKER_COUNTER_FAMILIES.values()})
         for key, value in counters.items():
@@ -172,11 +198,16 @@ class FarmTelemetry:
             if include_worker_metrics:
                 entry["metrics"] = self.worker_metrics(worker_id)
             merged[worker_id] = entry
+        sync_dropped_counter(self.registry, "telemetry.spans_dropped",
+                             self.recorder.dropped)
+        sample_process_gauges(self.registry)
         return {
             "workers": merged,
+            "metrics": self.registry.snapshot(),
             "throughput": self.throughput(),
             "job_duration_seconds": summarize_histogram(
                 self._job_seconds.snapshot()
                 if hasattr(self._job_seconds, "snapshot") else None),
             "spans_buffered": len(self.recorder),
+            "spans_dropped": self.recorder.dropped,
         }

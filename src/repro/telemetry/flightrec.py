@@ -1,0 +1,352 @@
+"""Crash-time flight recorder: dump the telemetry state that explains why.
+
+A long-lived farm process that dies at 3am takes its ring buffers with
+it — unless something writes them out on the way down. The
+:class:`FlightRecorder` owns that moment: on an unhandled exception
+(``sys.excepthook`` + ``threading.excepthook``), on demand via
+``SIGUSR2`` (the process keeps running), or explicitly through
+:meth:`FlightRecorder.guard`, it dumps
+
+* the bounded event ring (:mod:`repro.telemetry.events`) — the recent
+  narrative, each record carrying the span context it was emitted under,
+* the process's buffered trace spans,
+* a full metrics snapshot (including the ``process.*`` resource gauges),
+* and the exception itself, when there is one,
+
+to ``crash-<service>-<pid>.json`` in a configurable directory
+(``REPRO_CRASH_DIR`` or the working directory). The dump is plain JSON
+(``repro-crash-v1``); ``repro telemetry report`` renders it human-
+readably and — given the ``--trace`` Chrome export of the same build —
+cross-links each event to the exported span it happened inside.
+
+Dumping must never make a bad situation worse: every failure inside the
+recorder is swallowed, the write is atomic (temp file + rename), and the
+chained previous hooks always still run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import signal
+import sys
+import threading
+import time
+import traceback
+
+from repro.telemetry import events as _events
+from repro.telemetry import registry as _registry
+from repro.telemetry import trace as _trace
+
+__all__ = [
+    "CRASH_FORMAT", "ENV_CRASH_DIR", "FlightRecorder", "install",
+    "load_crash_dump", "validate_crash_dump", "render_report",
+]
+
+CRASH_FORMAT = "repro-crash-v1"
+
+#: Environment variable naming the dump directory — how a parent (the
+#: local cluster spawning workers with discarded stdio, a CI step)
+#: routes crash dumps somewhere it can collect them.
+ENV_CRASH_DIR = "REPRO_CRASH_DIR"
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "unknown"
+
+
+class FlightRecorder:
+    """Collects the process's telemetry state into crash dumps.
+
+    ``recorder`` and ``registry`` default to the process-global trace
+    recorder and default registry at dump time, so a recorder installed
+    before the server wires its own still captures the right state.
+    """
+
+    def __init__(self, directory: "str | None" = None,
+                 recorder=None, registry=None, event_log=None,
+                 extra: "dict | None" = None):
+        self.directory = directory
+        self.recorder = recorder
+        self.registry = registry
+        self.event_log = event_log
+        self.extra = dict(extra or {})
+        self.dumps: list[str] = []
+        self._installed = False
+        self._prev_excepthook = None
+        self._prev_threading_hook = None
+        self._prev_signal = None
+
+    # -- collection ------------------------------------------------------------
+
+    def _resolve_directory(self) -> str:
+        return (self.directory or os.environ.get(ENV_CRASH_DIR)
+                or os.getcwd())
+
+    def payload(self, reason: str, exc: "BaseException | None" = None,
+                tb=None) -> dict:
+        event_log = self.event_log or _events.get_event_log()
+        recorder = self.recorder \
+            if self.recorder is not None else _trace.active_recorder()
+        registry = self.registry \
+            if self.registry is not None else _registry.get_registry()
+        _registry.sample_process_gauges(registry)
+        exception = None
+        if exc is not None:
+            exception = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": "".join(traceback.format_exception(
+                    type(exc), exc, tb if tb is not None
+                    else exc.__traceback__)),
+            }
+        return {
+            "format": CRASH_FORMAT,
+            "service": _trace.service_name(),
+            "pid": os.getpid(),
+            "ts": time.time(),
+            "reason": reason,
+            "exception": exception,
+            "events": [e.to_json() for e in event_log.snapshot()],
+            "events_dropped": event_log.events_dropped,
+            "spans": [s.to_json() for s in recorder.spans()]
+            if recorder is not None else [],
+            "spans_dropped": recorder.dropped if recorder is not None else 0,
+            "metrics": registry.snapshot(),
+            "extra": dict(self.extra),
+        }
+
+    def dump(self, reason: str = "on-demand",
+             exc: "BaseException | None" = None, tb=None) -> "str | None":
+        """Write ``crash-<service>-<pid>.json``; returns the path, or
+        None if the dump could not be written. Never raises — this runs
+        inside crash and signal handlers."""
+        try:
+            # The dump itself is an event: it lands in the ring first so
+            # the dumped narrative records its own ending, and a later
+            # dump of a still-running process shows the earlier one.
+            _events.emit("error" if exc is not None else "info",
+                         f"flight recorder dump: {reason}",
+                         **({"error": f"{type(exc).__name__}: {exc}"}
+                            if exc is not None else {}))
+            payload = self.payload(reason, exc=exc, tb=tb)
+            directory = self._resolve_directory()
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory,
+                f"crash-{_sanitize(_trace.service_name())}-"
+                f"{os.getpid()}.json")
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+            self.dumps.append(path)
+            return path
+        except Exception:  # pragma: no cover - last-resort swallow
+            return None
+
+    @contextlib.contextmanager
+    def guard(self, reason: str = "unhandled exception"):
+        """Dump-and-reraise wrapper for a service's main loop — the
+        deterministic alternative to excepthooks for code that owns its
+        entry point."""
+        try:
+            yield self
+        except BaseException as exc:
+            self.dump(reason=reason, exc=exc)
+            raise
+
+    # -- installation ----------------------------------------------------------
+
+    def install(self, signals: bool = True) -> "FlightRecorder":
+        """Hook unhandled-exception paths (and ``SIGUSR2`` for on-demand
+        dumps, main thread only). Previous hooks are chained, not
+        replaced."""
+        if self._installed:
+            return self
+        self._installed = True
+
+        prev_except = sys.excepthook
+        self._prev_excepthook = prev_except
+
+        def _excepthook(exc_type, exc, tb):
+            self.dump(reason="unhandled exception", exc=exc, tb=tb)
+            prev_except(exc_type, exc, tb)
+
+        sys.excepthook = _excepthook
+
+        prev_thread = threading.excepthook
+        self._prev_threading_hook = prev_thread
+
+        def _thread_hook(args):
+            if args.exc_type is not SystemExit:
+                self.dump(reason=f"unhandled exception in thread "
+                                 f"{getattr(args.thread, 'name', '?')}",
+                          exc=args.exc_value, tb=args.exc_traceback)
+            prev_thread(args)
+
+        threading.excepthook = _thread_hook
+
+        if signals and hasattr(signal, "SIGUSR2") \
+                and threading.current_thread() is threading.main_thread():
+            def _on_usr2(signum, frame):
+                self.dump(reason="SIGUSR2")
+
+            try:
+                self._prev_signal = signal.signal(signal.SIGUSR2, _on_usr2)
+            except (ValueError, OSError):  # pragma: no cover
+                self._prev_signal = None
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None
+        if self._prev_threading_hook is not None:
+            threading.excepthook = self._prev_threading_hook
+            self._prev_threading_hook = None
+        if self._prev_signal is not None and hasattr(signal, "SIGUSR2"):
+            try:
+                signal.signal(signal.SIGUSR2, self._prev_signal)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+            self._prev_signal = None
+
+
+def install(directory: "str | None" = None, recorder=None, registry=None,
+            event_log=None, extra: "dict | None" = None,
+            signals: bool = True) -> FlightRecorder:
+    """Create and install a :class:`FlightRecorder` — the one-liner the
+    CLI entry points use."""
+    rec = FlightRecorder(directory=directory, recorder=recorder,
+                         registry=registry, event_log=event_log,
+                         extra=extra)
+    return rec.install(signals=signals)
+
+
+# -- reading dumps back --------------------------------------------------------
+
+def validate_crash_dump(dump: dict) -> list:
+    """Structural check of a ``repro-crash-v1`` payload; returns a list
+    of problems (empty = valid)."""
+    problems = []
+    if not isinstance(dump, dict):
+        return ["dump is not a JSON object"]
+    if dump.get("format") != CRASH_FORMAT:
+        problems.append(f"format is {dump.get('format')!r}, "
+                        f"expected {CRASH_FORMAT!r}")
+    for key, kind in (("service", str), ("pid", int), ("ts", (int, float)),
+                      ("reason", str), ("events", list), ("spans", list),
+                      ("metrics", dict)):
+        if not isinstance(dump.get(key), kind):
+            problems.append(f"missing or mistyped field {key!r}")
+    for i, event in enumerate(dump.get("events") or []):
+        if not isinstance(event, dict) or "message" not in event \
+                or "level" not in event or "ts" not in event:
+            problems.append(f"events[{i}] is not an event record")
+            break
+    for i, span in enumerate(dump.get("spans") or []):
+        if not isinstance(span, dict) or not span.get("span_id") \
+                or not span.get("trace_id"):
+            problems.append(f"spans[{i}] is not a span record")
+            break
+    metrics = dump.get("metrics")
+    if isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                problems.append(f"metrics.{section} missing")
+    return problems
+
+
+def load_crash_dump(path: str) -> dict:
+    """Read and validate a dump file; raises ``ValueError`` listing the
+    problems if it does not validate."""
+    with open(path, "r", encoding="utf-8") as fh:
+        dump = json.load(fh)
+    problems = validate_crash_dump(dump)
+    if problems:
+        raise ValueError(f"{path}: invalid crash dump: "
+                         + "; ".join(problems))
+    return dump
+
+
+def _fmt_ts(ts: float) -> str:
+    return time.strftime("%H:%M:%S", time.localtime(ts)) \
+        + f".{int((ts % 1) * 1000):03d}"
+
+
+def render_report(dump: dict, trace_spans: "list | None" = None) -> str:
+    """Human-readable rendering of a crash dump.
+
+    ``trace_spans`` (span dicts, e.g. from
+    :func:`~repro.telemetry.export.spans_from_chrome` over a ``--trace``
+    export) enables cross-linking: each event that carries a span id is
+    resolved to the exported span it ran inside.
+    """
+    by_span = {}
+    by_trace = {}
+    for sp in trace_spans or []:
+        by_span[sp.get("span_id")] = sp
+        by_trace.setdefault(sp.get("trace_id"), []).append(sp)
+
+    lines = [
+        f"crash dump: service={dump.get('service')} pid={dump.get('pid')}"
+        f" at {_fmt_ts(float(dump.get('ts', 0)))}",
+        f"reason: {dump.get('reason')}",
+    ]
+    exception = dump.get("exception")
+    if exception:
+        lines.append(f"exception: {exception.get('type')}: "
+                     f"{exception.get('message')}")
+        tb = (exception.get("traceback") or "").rstrip()
+        if tb:
+            lines.extend("  " + line for line in tb.splitlines())
+    metrics = dump.get("metrics") or {}
+    lines.append(
+        f"metrics: {len(metrics.get('counters') or {})} counters, "
+        f"{len(metrics.get('gauges') or {})} gauges, "
+        f"{len(metrics.get('histograms') or {})} histograms")
+    gauges = metrics.get("gauges") or {}
+    resource = {k: v for k, v in gauges.items() if k.startswith("process.")}
+    if resource:
+        lines.append("  " + "  ".join(
+            f"{k}={int(v)}" for k, v in sorted(resource.items())))
+    spans = dump.get("spans") or []
+    lines.append(f"spans buffered: {len(spans)} "
+                 f"({dump.get('spans_dropped', 0)} dropped)")
+    events = dump.get("events") or []
+    lines.append(f"events: {len(events)} "
+                 f"({dump.get('events_dropped', 0)} dropped)")
+    resolved = 0
+    for event in events:
+        line = (f"  {_fmt_ts(float(event.get('ts', 0)))} "
+                f"{event.get('level', 'info').upper():5s} "
+                f"{event.get('message', '')}")
+        fields = event.get("fields") or {}
+        if fields:
+            line += "  " + " ".join(f"{k}={v}"
+                                    for k, v in sorted(fields.items()))
+        span_id = event.get("span_id")
+        trace_id = event.get("trace_id")
+        if span_id and span_id in by_span:
+            target = by_span[span_id]
+            line += (f"  -> span {target.get('name')} "
+                     f"[{target.get('process')}]")
+            resolved += 1
+        elif trace_id and trace_id in by_trace:
+            line += (f"  -> trace {trace_id[:8]}… "
+                     f"({len(by_trace[trace_id])} exported spans)")
+            resolved += 1
+        elif trace_id:
+            line += f"  [trace {trace_id[:8]}…]"
+        lines.append(line)
+    if trace_spans is not None:
+        lines.append(f"cross-linked {resolved} event(s) against "
+                     f"{len(trace_spans)} exported span(s)")
+    return "\n".join(lines)

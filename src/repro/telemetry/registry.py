@@ -43,6 +43,7 @@ __all__ = [
     "metric_key", "parse_metric_key",
     "snapshot_delta", "merge_snapshot", "empty_snapshot", "is_empty_snapshot",
     "histogram_quantile", "summarize_histogram", "merge_histograms",
+    "sample_process_gauges", "sync_dropped_counter",
 ]
 
 #: Default boundaries for duration histograms (seconds). Spans the whole
@@ -373,6 +374,54 @@ def summarize_histogram(hist: dict | None) -> dict:
         "p50": histogram_quantile(hist, 0.50),
         "p95": histogram_quantile(hist, 0.95),
     }
+
+
+def sample_process_gauges(registry: "MetricsRegistry | None" = None) -> dict:
+    """Sample this process's resource usage into ``process.*`` gauges:
+    ``process.rss_bytes`` and ``process.open_fds`` from ``/proc`` (a
+    graceful no-op where there is no procfs), ``process.cpu_seconds``
+    from ``os.times()`` everywhere. Called at every snapshot point
+    (server ``telemetry`` op, worker heartbeat delta, history sampler
+    tick, crash dump) so resource trends ride the same pipes as every
+    other metric. Returns what was sampled."""
+    import os
+    if registry is None:
+        registry = get_registry()
+    if not registry.enabled:
+        return {}
+    sampled: dict = {}
+    try:
+        times = os.times()
+        sampled["process.cpu_seconds"] = times.user + times.system
+    except (AttributeError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            rss_pages = int(fh.read().split()[1])
+        sampled["process.rss_bytes"] = rss_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        sampled["process.open_fds"] = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        pass
+    for name, value in sampled.items():
+        registry.gauge(name).set(value)
+    return sampled
+
+
+def sync_dropped_counter(registry: "MetricsRegistry | None", name: str,
+                         total: int) -> None:
+    """Mirror a ring buffer's cumulative drop count (``TraceRecorder.
+    dropped``, ``EventLog.events_dropped``) into a monotonic registry
+    counter — called at snapshot points so ``telemetry.spans_dropped``
+    and kin ride heartbeat deltas like any other counter."""
+    if registry is None or not registry.enabled:
+        return
+    counter = registry.counter(name)
+    delta = int(total) - counter.value
+    if delta > 0:
+        counter.inc(delta)
 
 
 _default_registry = MetricsRegistry()

@@ -89,3 +89,34 @@ class TestJobsAndSummary:
         out = farm.summary(include_worker_metrics=True)
         metrics = out["workers"]["w0"]["metrics"]
         assert metrics["counters"]["cluster.worker.jobs_done"] == 1
+
+
+class TestFarmHistory:
+    def test_heartbeat_deltas_advance_cumulative_series(self):
+        farm = FarmTelemetry()
+        farm.absorb_metrics("w0", _worker_delta(jobs_done=2))
+        farm.absorb_metrics("w1", _worker_delta(jobs_done=3))
+        # The history tracks the merged-across-workers running total.
+        assert farm.history.latest("cluster.worker.jobs_done") == 5.0
+
+    def test_note_job_records_throughput_series(self):
+        farm = FarmTelemetry(window_seconds=10.0)
+        farm.note_job(0.2, kind="lower")
+        assert farm.history.latest("cluster.jobs.completed") == 1.0
+        assert farm.history.latest("farm.jobs_per_second") == 0.1
+        assert farm.history.latest("cluster.job.seconds") == 0.2
+
+    def test_summary_samples_resource_gauges_into_registry(self):
+        farm = FarmTelemetry()
+        summary = farm.summary()
+        assert summary["metrics"]["gauges"]["process.rss_bytes"] > 0
+
+    def test_worker_summary_surfaces_resource_gauges(self):
+        farm = FarmTelemetry()
+        delta = _worker_delta()
+        delta["gauges"] = {"process.rss_bytes": 1 << 20,
+                           "process.cpu_seconds": 2.5}
+        farm.absorb_metrics("w0", delta)
+        out = farm.worker_summary("w0")
+        assert out["rss_bytes"] == 1 << 20
+        assert out["cpu_seconds"] == 2.5

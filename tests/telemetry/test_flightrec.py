@@ -1,0 +1,239 @@
+"""Flight recorder: crash dumps, hooks, validation, report rendering."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.telemetry import events as _events
+from repro.telemetry import trace as _trace
+from repro.telemetry.events import EventLog
+from repro.telemetry.flightrec import (
+    CRASH_FORMAT,
+    FlightRecorder,
+    load_crash_dump,
+    render_report,
+    validate_crash_dump,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import TraceRecorder
+
+
+@pytest.fixture
+def isolated_log():
+    log = EventLog()
+    previous = _events.set_event_log(log)
+    try:
+        yield log
+    finally:
+        _events.set_event_log(previous)
+
+
+def _recorder_with_state():
+    """An event log, trace recorder, and registry holding one correlated
+    failure: an error event emitted inside a recorded span."""
+    log = EventLog()
+    recorder = TraceRecorder()
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("jobs.failed").inc()
+    parent = {"trace_id": "c" * 32, "parent_span_id": "d" * 16}
+    with _trace.recording(recorder):
+        with _trace.span("cluster.worker.lower", parent=parent):
+            log.emit("error", "job execution failed", job_id="j1")
+    return log, recorder, registry
+
+
+class TestDump:
+    def test_dump_writes_valid_crash_file(self, tmp_path):
+        log, recorder, registry = _recorder_with_state()
+        rec = FlightRecorder(directory=str(tmp_path), recorder=recorder,
+                             registry=registry, event_log=log,
+                             extra={"worker": "w1"})
+        path = rec.dump(reason="test dump")
+        assert path is not None and os.path.exists(path)
+        assert os.path.basename(path).startswith("crash-")
+        dump = load_crash_dump(path)
+        assert dump["format"] == CRASH_FORMAT
+        assert dump["reason"] == "test dump"
+        assert dump["extra"] == {"worker": "w1"}
+        assert rec.dumps == [path]
+
+    def test_dump_links_events_to_buffered_spans(self, tmp_path):
+        log, recorder, registry = _recorder_with_state()
+        rec = FlightRecorder(directory=str(tmp_path), recorder=recorder,
+                             registry=registry, event_log=log)
+        dump = load_crash_dump(rec.dump())
+        [event] = [e for e in dump["events"]
+                   if e["message"] == "job execution failed"]
+        span_ids = {sp["span_id"] for sp in dump["spans"]}
+        assert event["span_id"] in span_ids
+        assert event["trace_id"] == "c" * 32
+
+    def test_dump_captures_exception_and_resource_gauges(self, tmp_path):
+        rec = FlightRecorder(directory=str(tmp_path),
+                             recorder=TraceRecorder(),
+                             registry=MetricsRegistry(enabled=True),
+                             event_log=EventLog())
+        try:
+            raise RuntimeError("boom at 3am")
+        except RuntimeError as exc:
+            dump = load_crash_dump(rec.dump(reason="unhandled", exc=exc))
+        assert dump["exception"]["type"] == "RuntimeError"
+        assert dump["exception"]["message"] == "boom at 3am"
+        assert "RuntimeError" in dump["exception"]["traceback"]
+        # payload() samples process gauges into the dumped registry.
+        assert dump["metrics"]["gauges"]["process.rss_bytes"] > 0
+
+    def test_env_var_names_the_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path / "dumps"))
+        rec = FlightRecorder(recorder=TraceRecorder(),
+                             registry=MetricsRegistry(enabled=True),
+                             event_log=EventLog())
+        path = rec.dump()
+        assert path is not None
+        assert os.path.dirname(path) == str(tmp_path / "dumps")
+
+    def test_guard_dumps_and_reraises(self, tmp_path):
+        rec = FlightRecorder(directory=str(tmp_path),
+                             recorder=TraceRecorder(),
+                             registry=MetricsRegistry(enabled=True),
+                             event_log=EventLog())
+        with pytest.raises(ValueError, match="guarded"):
+            with rec.guard(reason="main loop"):
+                raise ValueError("guarded failure")
+        [path] = rec.dumps
+        dump = load_crash_dump(path)
+        assert dump["reason"] == "main loop"
+        assert dump["exception"]["type"] == "ValueError"
+
+
+class TestHooks:
+    def test_excepthook_dumps_and_chains_previous_hook(self, tmp_path,
+                                                       isolated_log):
+        seen = []
+        previous = sys.excepthook
+        sys.excepthook = lambda *a: seen.append(a)
+        rec = FlightRecorder(directory=str(tmp_path),
+                             recorder=TraceRecorder(),
+                             registry=MetricsRegistry(enabled=True))
+        try:
+            rec.install(signals=False)
+            try:
+                raise KeyError("unhandled")
+            except KeyError as exc:
+                sys.excepthook(type(exc), exc, exc.__traceback__)
+            assert len(rec.dumps) == 1
+            assert load_crash_dump(rec.dumps[0])["exception"]["type"] == \
+                "KeyError"
+            # The pre-existing hook still ran, with the same exception.
+            assert len(seen) == 1 and seen[0][0] is KeyError
+        finally:
+            rec.uninstall()
+            sys.excepthook = previous
+
+    def test_install_is_idempotent_and_uninstall_restores(self):
+        previous = sys.excepthook
+        rec = FlightRecorder(recorder=TraceRecorder(),
+                             registry=MetricsRegistry(enabled=True))
+        rec.install(signals=False)
+        hooked = sys.excepthook
+        assert rec.install(signals=False) is rec
+        assert sys.excepthook is hooked, "double install must not re-wrap"
+        rec.uninstall()
+        assert sys.excepthook is previous
+
+    def test_sigusr2_dumps_and_process_keeps_running(self, tmp_path):
+        """An on-demand dump must not end the process: the child dumps on
+        SIGUSR2, then proves it is still alive by answering on stdin."""
+        if not hasattr(signal, "SIGUSR2"):
+            pytest.skip("platform has no SIGUSR2")
+        crash_dir = tmp_path / "dumps"
+        child = subprocess.Popen(
+            [sys.executable, "-c", (
+                "import sys\n"
+                "from repro.telemetry import flightrec, trace\n"
+                "trace.set_service('usr2-probe')\n"
+                "flightrec.install(directory=%r)\n"
+                "print('ready', flush=True)\n"
+                "line = sys.stdin.readline()\n"
+                "print('alive:' + line.strip(), flush=True)\n"
+            ) % str(crash_dir)],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(
+                filter(None, [os.path.join(os.getcwd(), "src"),
+                              os.environ.get("PYTHONPATH", "")]))})
+        try:
+            assert child.stdout.readline().strip() == "ready"
+            os.kill(child.pid, signal.SIGUSR2)
+            deadline = time.time() + 10
+            dumps = []
+            while not dumps and time.time() < deadline:
+                dumps = list(crash_dir.glob("crash-usr2-probe-*.json"))
+                time.sleep(0.05)
+            assert dumps, "SIGUSR2 produced no dump"
+            dump = load_crash_dump(str(dumps[0]))
+            assert dump["reason"] == "SIGUSR2"
+            assert dump["exception"] is None
+            out, _ = child.communicate(input="ping\n", timeout=10)
+            assert "alive:ping" in out
+            assert child.returncode == 0
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+
+class TestValidation:
+    def test_valid_dump_has_no_problems(self, tmp_path):
+        log, recorder, registry = _recorder_with_state()
+        rec = FlightRecorder(directory=str(tmp_path), recorder=recorder,
+                             registry=registry, event_log=log)
+        assert validate_crash_dump(load_crash_dump(rec.dump())) == []
+
+    def test_problems_are_reported_not_raised(self):
+        assert validate_crash_dump("nope") == ["dump is not a JSON object"]
+        problems = validate_crash_dump({"format": "other"})
+        assert any("format" in p for p in problems)
+        assert any("'events'" in p for p in problems)
+        problems = validate_crash_dump({
+            "format": CRASH_FORMAT, "service": "s", "pid": 1, "ts": 0.0,
+            "reason": "r", "events": [{"bad": True}],
+            "spans": [{"no": "ids"}],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}}})
+        assert any("events[0]" in p for p in problems)
+        assert any("spans[0]" in p for p in problems)
+
+    def test_load_crash_dump_raises_on_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "not-a-crash"}))
+        with pytest.raises(ValueError, match="invalid crash dump"):
+            load_crash_dump(str(path))
+
+
+class TestRenderReport:
+    def test_report_cross_links_events_to_exported_spans(self, tmp_path):
+        log, recorder, registry = _recorder_with_state()
+        rec = FlightRecorder(directory=str(tmp_path), recorder=recorder,
+                             registry=registry, event_log=log)
+        dump = load_crash_dump(rec.dump())
+        # Pretend the dumped spans were exported to a Chrome trace and
+        # read back: render against them as plain span dicts.
+        trace_spans = [dict(sp, process="worker-1") for sp in dump["spans"]]
+        report = render_report(dump, trace_spans=trace_spans)
+        assert "crash dump: service=" in report
+        assert "job execution failed" in report
+        assert "-> span cluster.worker.lower [worker-1]" in report
+        assert "cross-linked 1 event(s)" in report
+
+    def test_report_without_trace_still_renders(self, tmp_path):
+        log, recorder, registry = _recorder_with_state()
+        rec = FlightRecorder(directory=str(tmp_path), recorder=recorder,
+                             registry=registry, event_log=log)
+        report = render_report(load_crash_dump(rec.dump()))
+        assert "cross-linked" not in report
+        # Unresolvable context still shows the trace id prefix.
+        assert "[trace cccccccc" in report

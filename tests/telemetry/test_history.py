@@ -1,0 +1,167 @@
+"""Metrics history: bounded series, downsampling, sampler, rendering."""
+
+import time
+
+from repro.telemetry.history import (
+    DEFAULT_MAX_SAMPLES,
+    HistorySampler,
+    MetricsHistory,
+    rate,
+    sparkline,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestBoundedSeries:
+    def test_memory_stays_bounded_under_unbounded_recording(self):
+        history = MetricsHistory(max_samples=32)
+        for i in range(10_000):
+            history.record("load", i, ts=float(i))
+        samples = history.series("load")
+        assert len(samples) <= 32
+        # The newest sample always survives compaction.
+        assert history.latest("load") == 9_999.0
+
+    def test_downsampling_doubles_the_horizon_not_truncates(self):
+        """After overflow the series still spans the full recorded time
+        range — old samples get coarser, they do not vanish."""
+        history = MetricsHistory(max_samples=16)
+        for i in range(200):
+            history.record("m", i, ts=float(i))
+        samples = history.series("m")
+        first_ts = samples[0][0]
+        # Sub-interval updates merge into the last slot, so the newest
+        # *value* is always present even when its timestamp coarsened.
+        assert history.latest("m") == 199.0
+        # A truncating ring of 16 would start at ts=184; downsampling
+        # keeps coverage from (near) the beginning.
+        assert first_ts < 100.0
+
+    def test_sub_interval_samples_replace_the_last_value(self):
+        history = MetricsHistory(max_samples=8)
+        # Overflow once so min_interval becomes nonzero.
+        for i in range(20):
+            history.record("m", i, ts=float(i))
+        count_after_compaction = len(history.series("m"))
+        last_ts = history.series("m")[-1][0]
+        # A burst of updates inside the minimum spacing must not grow
+        # the ring — only the latest value lands.
+        for burst in range(50):
+            history.record("m", 1000 + burst, ts=last_ts + 0.001 * burst)
+        assert len(history.series("m")) <= count_after_compaction + 1
+        assert history.latest("m") == 1049.0
+
+    def test_independent_series_per_metric(self):
+        history = MetricsHistory()
+        history.record("a", 1, ts=1.0)
+        history.record("b", 2, ts=1.0)
+        assert history.names() == ["a", "b"]
+        assert len(history) == 2
+        assert history.series("missing") == []
+        assert history.latest("missing") is None
+
+
+class TestSnapshotRecording:
+    def test_counters_gauges_and_histogram_counts(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("reqs").inc(5)
+        registry.gauge("depth").set(3)
+        hist = registry.histogram("latency")
+        hist.observe(0.1)
+        hist.observe(0.2)
+        history = MetricsHistory()
+        history.record_snapshot(registry.snapshot(), ts=10.0)
+        assert history.latest("reqs") == 5.0
+        assert history.latest("depth") == 3.0
+        assert history.latest("latency.count") == 2.0
+
+
+class TestJsonRoundTrip:
+    def test_to_json_shape_and_round_trip(self):
+        history = MetricsHistory(max_samples=16)
+        for i in range(5):
+            history.record("m", i * 2, ts=float(i))
+        blob = history.to_json()
+        assert blob["format"] == "repro-history-v1"
+        assert blob["max_samples"] == 16
+        assert blob["series"]["m"] == [[float(i), float(i * 2)]
+                                       for i in range(5)]
+        clone = MetricsHistory.from_json(blob)
+        assert clone.series("m") == history.series("m")
+        assert clone.max_samples == 16
+
+    def test_from_json_tolerates_missing_sections(self):
+        clone = MetricsHistory.from_json({})
+        assert len(clone) == 0
+        assert clone.max_samples == DEFAULT_MAX_SAMPLES
+
+
+class TestHistorySampler:
+    def test_sampler_feeds_history_and_stops_cleanly(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("work.done").inc(7)
+        history = MetricsHistory()
+        sampler = HistorySampler(registry, history, interval=0.02)
+        sampler.start()
+        try:
+            deadline = time.time() + 5
+            while history.latest("work.done") is None \
+                    and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+        assert history.latest("work.done") == 7.0
+        # The default tick also samples process resource gauges.
+        assert (history.latest("process.rss_bytes") or 0) > 0
+        # stop() is idempotent.
+        sampler.stop()
+
+    def test_first_sample_is_immediate(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("g").set(1)
+        history = MetricsHistory()
+        sampler = HistorySampler(registry, history, interval=60.0,
+                                 sample_process=False)
+        sampler.start()
+        try:
+            assert history.latest("g") == 1.0
+        finally:
+            sampler.stop()
+
+
+class TestRate:
+    def test_cumulative_series_becomes_per_second_deltas(self):
+        samples = [(0.0, 0.0), (1.0, 10.0), (3.0, 30.0)]
+        assert rate(samples) == [(1.0, 10.0), (3.0, 10.0)]
+
+    def test_counter_reset_clamps_to_zero(self):
+        samples = [(0.0, 100.0), (1.0, 5.0), (2.0, 15.0)]
+        assert rate(samples) == [(1.0, 0.0), (2.0, 10.0)]
+
+    def test_degenerate_input(self):
+        assert rate([]) == []
+        assert rate([(1.0, 5.0)]) == []
+        # Zero/negative time steps are skipped, not divided by.
+        assert rate([(1.0, 0.0), (1.0, 9.0)]) == []
+
+
+class TestSparkline:
+    def test_fixed_width_right_aligned(self):
+        line = sparkline([1, 2, 3], width=8)
+        assert len(line) == 8
+        assert line.startswith(" " * 5)
+
+    def test_empty_is_blank(self):
+        assert sparkline([], width=6) == " " * 6
+
+    def test_flat_series_sits_at_the_lowest_block(self):
+        assert sparkline([5, 5, 5], width=3) == "▁▁▁"
+
+    def test_range_maps_to_full_block_span(self):
+        line = sparkline([0, 7], width=2)
+        assert line == "▁█"
+
+    def test_long_input_keeps_the_newest_window(self):
+        line = sparkline(list(range(100)), width=4)
+        assert len(line) == 4
+        assert line[-1] == "█"

@@ -113,3 +113,58 @@ class TestRequestCountCrossCheck:
                 assert served_count == sent + 1
             finally:
                 backend.close()
+
+
+class TestHistoryWireField:
+    def test_both_flavors_ship_bounded_history_in_the_body(self):
+        """The `telemetry` op's JSON body carries the server's metrics
+        history — sampled by a background thread, bounded per series —
+        which is what `telemetry history` and `cluster top --watch`
+        render."""
+        import time
+
+        for flavor in (StoreServer, AsyncStoreServer):
+            with flavor(MemoryBackend(), history_interval=0.05) as server:
+                host, port = server.address
+                backend = RemoteBackend(host, port)
+                try:
+                    digest = content_digest(b"history probe")
+                    backend.put(digest, b"history probe")
+                    deadline = time.time() + 10
+                    history = backend.telemetry().get("history", {})
+                    while time.time() < deadline and not any(
+                            len(s) >= 2
+                            for s in history.get("series", {}).values()):
+                        time.sleep(0.05)
+                        history = backend.telemetry().get("history", {})
+                    assert history.get("format") == "repro-history-v1", flavor
+                    series = history["series"]
+                    # Request traffic and process resources both trend.
+                    assert series.get("store.server.requests"), flavor
+                    assert series.get("process.rss_bytes"), flavor
+                    assert all(len(s) <= history["max_samples"]
+                               for s in series.values())
+                finally:
+                    backend.close()
+
+    def test_process_gauges_ride_every_snapshot(self, served):
+        backend, _ = served
+        gauges = backend.telemetry()["metrics"]["gauges"]
+        assert gauges["process.rss_bytes"] > 0
+        assert gauges["process.cpu_seconds"] >= 0
+        assert gauges["process.open_fds"] > 0
+
+    def test_spans_dropped_counter_is_synced(self, served):
+        backend, server = served
+        parent = {"trace_id": "D" * 32, "parent_span_id": "E" * 16}
+        server.recorder.max_spans = 8
+        payload = b"drop probe"
+        digest = content_digest(payload)
+        with _trace.recording(TraceRecorder()):
+            with _trace.span("client.flood", parent=parent):
+                backend.put(digest, payload)
+                for _ in range(50):
+                    backend.get(digest)
+        info = backend.telemetry()
+        assert info["metrics"]["counters"]["telemetry.spans_dropped"] > 0
+        assert len(info["spans"]) <= 8
