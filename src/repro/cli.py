@@ -581,13 +581,36 @@ def cmd_cluster_serve(args) -> int:
     from repro.cluster import Coordinator
     from repro.telemetry import trace as _trace
     _trace.set_service("coordinator")
+    # With a store attached the coordinator journals its scheduler state
+    # through a ref in that store: `--resume` after a crash restores
+    # every accepted batch — terminal results included — and re-queues
+    # whatever was running when the process died.
+    journal = None
+    if args.store or args.store_server:
+        from repro.cluster.journal import Journal
+        from repro.store import FileBackend as _FileBackend
+        from repro.store import RemoteBackend as _RemoteBackend
+        if args.store:
+            backend = _FileBackend(args.store)
+        else:
+            shost, sport = _parse_address(args.store_server)
+            backend = _RemoteBackend(shost, sport)
+        journal = Journal(backend, autosave_interval=args.journal_interval)
+    elif args.resume:
+        raise SystemExit("cluster serve --resume needs the journal's "
+                         "store: --store DIR or --store-server HOST:PORT")
     coordinator = Coordinator(host=args.host, port=args.port,
-                              lease_seconds=args.lease_seconds)
+                              lease_seconds=args.lease_seconds,
+                              journal=journal, resume=args.resume)
     from repro.telemetry import flightrec as _flightrec
     _flightrec.install(recorder=coordinator.queue.telemetry.recorder,
                        registry=coordinator.queue.telemetry.registry)
     host, port = coordinator.start()
     print(f"cluster coordinator listening on {host}:{port}", flush=True)
+    if args.resume:
+        stats = coordinator.queue.stats()
+        print(f"resumed {stats['jobs']} job(s) from the journal: "
+              f"{stats['states']}", flush=True)
     try:
         while True:
             import time
@@ -599,32 +622,11 @@ def cmd_cluster_serve(args) -> int:
     return 0
 
 
-class _InjectedFault(BaseException):
-    """CI/test-only induced crash (``REPRO_FAULT_INJECT``). Deliberately
-    a ``BaseException``: it must escape the worker's per-job ``except
-    Exception`` failure reporting and reach the installed flight
-    recorder the way a real interpreter-level fault would."""
-
-
-def _arm_fault_injection(worker, spec: str) -> None:
-    """``crash:<kind>`` (optionally ``@<worker-id>`` to target one worker
-    of a fleet sharing an environment) makes the worker die mid-job on
-    the first matching execution — the crash-path test fixture."""
-    directive, _, target = spec.partition("@")
-    if target and target != worker.worker_id:
-        return
-    action, _, kind = directive.partition(":")
-    if action != "crash":
-        raise SystemExit(f"unknown REPRO_FAULT_INJECT directive {spec!r}")
-    real_execute = worker.execute
-
-    def _faulting_execute(job):
-        if not kind or job.kind == kind:
-            raise _InjectedFault(
-                f"injected crash on {job.job_id} ({job.kind})")
-        return real_execute(job)
-
-    worker.execute = _faulting_execute
+# The induced-crash machinery grew into a package of composable fault
+# injectors (backend- and wire-level too); the CLI keeps these aliases so
+# the REPRO_FAULT_INJECT seam stays where operators found it.
+from repro.testing.faults import _InjectedFault  # noqa: F401  (dump contract)
+from repro.testing.faults import arm_fault_injection as _arm_fault_injection
 
 
 def cmd_cluster_worker(args) -> int:
@@ -651,7 +653,9 @@ def cmd_cluster_worker(args) -> int:
                            max_workers=args.job_workers,
                            registry=registry,
                            local_tier_dir=args.local_tier,
-                           tier_flush_interval=args.flush_interval)
+                           tier_flush_interval=args.flush_interval,
+                           max_coordinator_downtime=(
+                               args.max_coordinator_downtime))
     _trace.set_service(worker.worker_id)
     # Anything that escapes run() — including an injected fault — dumps
     # the worker's span buffer, event ring, and registry before dying.
@@ -793,7 +797,8 @@ def _print_cluster_top(info: dict) -> None:
     else:
         print(f"{'worker':<16} {'queue':>5} {'run':>4} {'done':>6} "
               f"{'fail':>5} {'rss':>7} {'tier h/m':>12} {'flush':>6} "
-              f"{'job p50/p95':>18} {'store p50/p95':>18} {'seen':>8}")
+              f"{'retry':>6} {'job p50/p95':>18} {'store p50/p95':>18} "
+              f"{'seen':>8}")
         for worker_id in sorted(workers):
             w = workers[worker_id]
             seen = w.get("last_seen_seconds")
@@ -801,11 +806,16 @@ def _print_cluster_top(info: dict) -> None:
                     if w.get("tier_hits", 0) or w.get("tier_misses", 0)
                     else "-")
             rss = w.get("rss_bytes", 0)
+            # Store retries and coordinator reconnects in one health
+            # column: zero on a clean farm, so any number here is signal.
+            retries = (w.get("store_retries", 0) or 0) + \
+                (w.get("reconnects", 0) or 0)
             print(f"{worker_id:<16} {w.get('queue_depth', 0):>5} "
                   f"{w.get('running', 0):>4} {w.get('jobs_done', 0):>6} "
                   f"{w.get('jobs_failed', 0):>5} "
                   f"{f'{rss / (1 << 20):.0f}MB' if rss else '-':>7} "
                   f"{tier:>12} {w.get('tier_flushed', 0) or '-':>6} "
+                  f"{retries or '-':>6} "
                   f"{_fmt_latency(w.get('job_seconds')):>18} "
                   f"{_fmt_latency(w.get('store_request_seconds')):>18} "
                   f"{'' if seen is None else f'{seen:.1f}s ago':>8}")
@@ -1036,6 +1046,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--lease-seconds", type=float, default=60.0,
                    help="job lease; an expired lease re-queues the job "
                         "with the dead worker excluded")
+    c.add_argument("--store", default="", help="journal scheduler state "
+                   "into this store directory (the shared artifact "
+                   "store); enables --resume after a crash")
+    c.add_argument("--store-server", default="", metavar="HOST:PORT",
+                   help="journal through a store served by `cache serve` "
+                        "(alternative to --store)")
+    c.add_argument("--resume", action="store_true",
+                   help="restore job state from the journal before "
+                        "serving: terminal results come back, in-flight "
+                        "jobs are re-queued lease-free")
+    c.add_argument("--journal-interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="write-behind checkpoint period for completions "
+                        "(submissions always checkpoint synchronously)")
     c.set_defaults(func=cmd_cluster_serve)
 
     c = cluster_sub.add_parser("worker", help="run one build worker")
@@ -1061,6 +1085,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--max-idle-seconds", type=float, default=None,
                    help="exit after this long with no work (default: "
                         "run until the coordinator goes away)")
+    c.add_argument("--max-coordinator-downtime", type=float, default=None,
+                   metavar="SECONDS",
+                   help="keep retrying (jittered backoff) through a "
+                        "coordinator outage this long before exiting "
+                        "(default 10s — rides out a restart + --resume)")
     c.set_defaults(func=cmd_cluster_worker)
 
     c = cluster_sub.add_parser(

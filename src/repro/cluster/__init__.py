@@ -23,15 +23,18 @@ Entry points: ``repro.cli cluster serve|worker|build``, the
 from repro.cluster.client import (
     ClusterBuildReport,
     CoordinatorClient,
+    CoordinatorUnreachable,
     LocalCluster,
     cluster_build,
 )
 from repro.cluster.coordinator import Coordinator, JobQueue
 from repro.cluster.jobs import BuildSpec, ClusterError, Job
+from repro.cluster.journal import Journal
 from repro.cluster.worker import ClusterWorker
 
 __all__ = [
     "BuildSpec", "ClusterBuildReport", "ClusterError",
-    "ClusterWorker", "Coordinator", "CoordinatorClient", "Job", "JobQueue",
+    "ClusterWorker", "Coordinator", "CoordinatorClient",
+    "CoordinatorUnreachable", "Job", "JobQueue", "Journal",
     "LocalCluster", "cluster_build",
 ]

@@ -44,24 +44,65 @@ from repro.containers.store import ArtifactCache, BlobStore
 from repro.store.wire import WireError, round_trip
 from repro.telemetry import events as _events
 from repro.telemetry import trace as _trace
+from repro.telemetry.registry import MetricsRegistry
+from repro.util.retry import RetryPolicy
+
+
+class CoordinatorUnreachable(ClusterError):
+    """A wire-level failure reaching the coordinator (refused, reset,
+    timeout, broken frame) — the retryable kind, unlike semantic errors
+    the coordinator itself returned. Subclasses :class:`ClusterError` so
+    every existing handler (worker backoff, CLI messages) still fires."""
+
+
+#: Coordinator ops ride the same backoff envelope as store ops: enough
+#: attempts to span a coordinator restart, bounded so a genuinely dead
+#: farm surfaces within the deadline.
+DEFAULT_COORDINATOR_RETRY = RetryPolicy(max_attempts=6, base_delay=0.1,
+                                        max_delay=2.0, deadline=30.0)
 
 
 class CoordinatorClient:
-    """One round-trip per operation against a coordinator server."""
+    """One round-trip per operation against a coordinator server.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    Every operation the coordinator applies idempotently retries through
+    ``retry`` on wire-level failures: reads trivially, ``renew`` (lease
+    extension), ``complete``/``fail`` (duplicate terminal reports are
+    acknowledged-and-ignored server-side), ``fetch`` (a lost response
+    costs one lease expiry, never a lost job), and ``submit`` (a resend
+    that hits "duplicate job id" proves the first send landed — treated
+    as success). Only the destructive telemetry drain never retries.
+    Each retry bumps the ``cluster.reconnects`` counter in ``registry``
+    — workers push it over heartbeats, so `cluster top` shows who is
+    riding out a flaky coordinator link.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retry: RetryPolicy | None = None,
+                 registry: MetricsRegistry | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_COORDINATOR_RETRY
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._reconnects = self.registry.counter("cluster.reconnects")
         #: Lease length reported by the last successful fetch; workers
         #: pace their renewal heartbeat from it.
         self.lease_seconds: float | None = None
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Adopt the caller's registry. Workers call this so the
+        reconnect counter rides their heartbeat deltas farm-ward instead
+        of sitting in a private registry nobody scrapes."""
+        self.registry = registry
+        self._reconnects = registry.counter("cluster.reconnects")
 
     #: Header fields bulky enough to overflow the one-line header frame
     #: (a traced job can push hundreds of spans); they ride a JSON body.
     _BODY_FIELDS = ("spans", "metrics")
 
-    def _call(self, header: dict) -> dict:
+    def _call(self, header: dict, retryable: bool = False,
+              on_retry=None) -> dict:
         body = b""
         extra = {key: header[key] for key in self._BODY_FIELDS
                  if header.get(key) is not None}
@@ -71,36 +112,70 @@ class CoordinatorClient:
             body = json.dumps(extra).encode("utf-8")
             header["size"] = len(body)
             header["body_json"] = True
-        try:
-            resp, payload = round_trip(self.host, self.port, header, body,
-                                       timeout=self.timeout)
-        except (WireError, OSError) as exc:
-            # OSError covers the pre-framing failures (connection refused,
-            # reset, timeout) — they must hit the same ClusterError paths
-            # (worker backoff, CLI error message) as a broken frame.
-            raise ClusterError(f"coordinator unreachable: {exc}") from exc
-        if resp.pop("body_json", False) and payload:
-            # Bulk response fields (telemetry span drains) arrive as a
-            # JSON body; fold them back into the response dict.
-            resp.update(json.loads(payload.decode("utf-8")))
-        if not resp.get("ok"):
-            raise ClusterError(resp.get("error", "coordinator error"))
-        return resp
+        cmd = str(header.get("cmd", ""))
+
+        def exchange() -> dict:
+            try:
+                resp, payload = round_trip(self.host, self.port, header, body,
+                                           timeout=self.timeout)
+            except (WireError, OSError) as exc:
+                # OSError covers the pre-framing failures (connection
+                # refused, reset, timeout) — they must hit the same
+                # ClusterError paths (worker backoff, CLI error message)
+                # as a broken frame.
+                raise CoordinatorUnreachable(
+                    f"coordinator unreachable: {exc}") from exc
+            if resp.pop("body_json", False) and payload:
+                # Bulk response fields (telemetry span drains) arrive as a
+                # JSON body; fold them back into the response dict.
+                resp.update(json.loads(payload.decode("utf-8")))
+            if not resp.get("ok"):
+                raise ClusterError(resp.get("error", "coordinator error"))
+            return resp
+
+        if not (retryable and self.retry.enabled):
+            return exchange()
+
+        def note(attempt: int, delay: float, exc: Exception) -> None:
+            self._reconnects.inc()
+            _events.emit("warn", "coordinator op retry", op=cmd,
+                         attempt=attempt, delay=round(delay, 3),
+                         error=str(exc))
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+
+        return self.retry.call(exchange, retry_on=(CoordinatorUnreachable,),
+                               on_retry=note)
 
     def ping(self) -> bool:
-        return self._call({"cmd": "ping"}).get("server") == \
+        return self._call({"cmd": "ping"}, retryable=True).get("server") == \
             "cluster-coordinator"
 
     def submit(self, jobs: list[Job], done_keys: tuple[str, ...] = ()) -> int:
-        return int(self._call({
-            "cmd": "submit", "jobs": [job.to_json() for job in jobs],
-            "done_keys": list(done_keys)})["submitted"])
+        resent = False
+
+        def saw_resend(_attempt: int, _delay: float, _exc: Exception) -> None:
+            nonlocal resent
+            resent = True
+
+        try:
+            return int(self._call({
+                "cmd": "submit", "jobs": [job.to_json() for job in jobs],
+                "done_keys": list(done_keys)},
+                retryable=True, on_retry=saw_resend)["submitted"])
+        except ClusterError as exc:
+            # A retried submit answering "duplicate job id" means the
+            # first send was applied and only its *response* was lost —
+            # the batch is registered; report it as submitted.
+            if resent and "duplicate job id" in str(exc):
+                return len(jobs)
+            raise
 
     def fetch(self, worker_id: str, metrics: dict | None = None) -> Job | None:
         header: dict = {"cmd": "fetch", "worker": worker_id}
         if metrics:
             header["metrics"] = metrics
-        resp = self._call(header)
+        resp = self._call(header, retryable=True)
         if resp.get("idle"):
             return None
         if resp.get("lease_seconds") is not None:
@@ -112,7 +187,7 @@ class CoordinatorClient:
         header: dict = {"cmd": "renew", "job_id": job_id, "worker": worker_id}
         if metrics:
             header["metrics"] = metrics
-        return bool(self._call(header)["renewed"])
+        return bool(self._call(header, retryable=True)["renewed"])
 
     def complete(self, job_id: str, worker_id: str, result: dict,
                  spans: list | None = None,
@@ -123,7 +198,7 @@ class CoordinatorClient:
             header["spans"] = spans
         if metrics:
             header["metrics"] = metrics
-        return bool(self._call(header)["applied"])
+        return bool(self._call(header, retryable=True)["applied"])
 
     def fail(self, job_id: str, worker_id: str, error: str,
              spans: list | None = None, metrics: dict | None = None) -> str:
@@ -133,16 +208,16 @@ class CoordinatorClient:
             header["spans"] = spans
         if metrics:
             header["metrics"] = metrics
-        return str(self._call(header)["state"])
+        return str(self._call(header, retryable=True)["state"])
 
     def status(self, job_ids: list[str] | None = None) -> dict[str, dict]:
         header: dict = {"cmd": "status"}
         if job_ids is not None:
             header["job_ids"] = list(job_ids)
-        return self._call(header)["jobs"]
+        return self._call(header, retryable=True)["jobs"]
 
     def stats(self) -> dict:
-        return self._call({"cmd": "stats"})["stats"]
+        return self._call({"cmd": "stats"}, retryable=True)["stats"]
 
     def telemetry(self, drain_spans: bool = False,
                   worker_metrics: bool = False) -> dict:
@@ -156,7 +231,9 @@ class CoordinatorClient:
             header["drain_spans"] = True
         if worker_metrics:
             header["worker_metrics"] = True
-        resp = self._call(header)
+        # A drain is a destructive read — a resend after a lost response
+        # would silently discard the first drain's spans.
+        resp = self._call(header, retryable=not drain_spans)
         return {"telemetry": resp.get("telemetry", {}),
                 "spans": resp.get("spans", []),
                 "history": resp.get("history", {})}
@@ -177,12 +254,31 @@ class CoordinatorClient:
         deadline resets every time another job completes, so an
         arbitrarily large healthy wave never trips it — only a wave in
         which nothing finishes for ``timeout`` seconds does.
+
+        A coordinator outage mid-wait does not raise: the poll keeps
+        reconnecting with backoff (on top of each status call's own
+        retries) until the stall deadline — a restarted-and-resumed
+        coordinator picks the build back up transparently.
         """
         deadline = time.monotonic() + timeout
         delay = poll_seconds
         done_count = -1
         while True:
-            jobs = self.status(job_ids)
+            try:
+                jobs = self.status(job_ids)
+            except CoordinatorUnreachable as exc:
+                if time.monotonic() > deadline:
+                    raise ClusterError(
+                        f"coordinator unreachable for {timeout:.0f}s "
+                        f"while waiting on {len(job_ids)} job(s): {exc}"
+                    ) from exc
+                self._reconnects.inc()
+                _events.emit("warn", "coordinator unreachable; "
+                             "waiting to reconnect", error=str(exc),
+                             retry_in=round(delay, 3))
+                time.sleep(delay)
+                delay = min(delay * 2, self.MAX_WAIT_POLL_SECONDS)
+                continue
             failed = {job_id: rec for job_id, rec in jobs.items()
                       if rec["state"] == "failed"}
             if failed:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 import json
 
 from repro.cluster.jobs import ClusterError, Job
+from repro.cluster.journal import JOURNAL_VERSION, Journal
 from repro.store.wire import read_exact, read_message, write_message
 from repro.telemetry import events as _events
 from repro.telemetry.farm import FarmTelemetry
@@ -106,6 +107,12 @@ class JobQueue:
         self._workers: dict[str, _WorkerInfo] = {}
         self._shared: deque = deque()            # job ids without a bound owner
         self._affinity_owner: dict[str, str] = {}
+        #: Optional :class:`~repro.cluster.journal.Journal` — when set,
+        #: submissions checkpoint synchronously and terminal transitions
+        #: mark it dirty for the write-behind autosave. Assigned by the
+        #: coordinator *after* any restore, so replaying old state never
+        #: re-checkpoints itself mid-restore.
+        self.journal: Journal | None = None
         #: Farm-wide aggregates: worker heartbeat metric deltas, pushed
         #: spans, job durations/throughput. Fed by the request handlers,
         #: read by the ``telemetry`` wire op (`repro cluster top`).
@@ -135,7 +142,12 @@ class JobQueue:
                 record = JobRecord(job=job, submitted_at=now_epoch)
                 self._records[job.job_id] = record
                 self._maybe_ready_locked(record)
-            return len(jobs)
+            count = len(jobs)
+        # Outside the lock (the checkpoint snapshot re-acquires it):
+        # synchronous, so the specs are durable before submit returns.
+        if self.journal is not None:
+            self.journal.save_now()
+        return count
 
     @staticmethod
     def _batch_of(job_id: str) -> str:
@@ -287,6 +299,8 @@ class JobQueue:
             record.finished_at = time.monotonic()
             self._note_finished_locked(record, failed=False)
             self._published.update(record.job.produces)
+            if self.journal is not None:
+                self.journal.mark_dirty()  # folded in by autosave
             # Locality claim: the worker that just *published* these keys
             # is where jobs whose affinity token names them should run —
             # its local store tier holds the bytes before anyone else's.
@@ -375,6 +389,8 @@ class JobQueue:
                 record.finished_at = time.monotonic()
                 self._note_finished_locked(record, failed=True)
                 state = FAILED
+            if self.journal is not None:
+                self.journal.mark_dirty()
             return state
 
     def _requeue_locked(self, record: JobRecord, worker_id: str,
@@ -442,6 +458,8 @@ class JobQueue:
             for affinity in [a for a, w in self._affinity_owner.items()
                              if w == worker_id]:
                 del self._affinity_owner[affinity]
+            if requeued and self.journal is not None:
+                self.journal.mark_dirty()
             return requeued
 
     # -- introspection ---------------------------------------------------------
@@ -502,6 +520,83 @@ class JobQueue:
         out["shared_queue_depth"] = shared_depth
         out["jobs"] = {"total": total, "states": counts}
         return out
+
+    # -- checkpoint / restore (coordinator durability) -------------------------
+
+    def checkpoint_state(self) -> dict:
+        """A JSON-safe snapshot of everything a restarted coordinator
+        needs: job specs, scheduler states, terminal results, the
+        published-key set, and affinity claims. Deliberately *not*
+        persisted: leases (monotonic deadlines die with the process —
+        running jobs are re-queued on restore instead) and worker
+        registrations (workers re-register by reconnecting)."""
+        with self._lock:
+            return {
+                "version": JOURNAL_VERSION,
+                "published": sorted(self._published),
+                "affinity_owner": dict(self._affinity_owner),
+                "records": [{
+                    "job": record.job.to_json(),
+                    "state": record.state,
+                    "attempts": record.attempts,
+                    "excluded": sorted(record.excluded),
+                    "worker": record.worker,
+                    "result": record.result,
+                    "error": record.error,
+                    "submitted_at": record.submitted_at,
+                } for record in self._records.values()],
+            }
+
+    def restore(self, state: dict) -> dict:
+        """Rebuild scheduler state from a :meth:`checkpoint_state` snapshot.
+
+        Terminal jobs come back with their results so polling submitters
+        can still collect them. Non-terminal jobs — including ones that
+        were *running* when the old process died — re-enter as blocked and
+        are promoted through the normal readiness check, so a mid-crash
+        job is simply re-queued lease-free. Records already present (a
+        submitter re-submitted before we restored) are kept, not
+        overwritten. Returns counts for the restore event."""
+        counts = {"jobs": 0, "done": 0, "failed": 0, "requeued": 0,
+                  "pending": 0}
+        now = time.monotonic()
+        with self._lock:
+            self._published.update(state.get("published", ()))
+            for token, owner in dict(state.get("affinity_owner",
+                                               {})).items():
+                self._affinity_owner.setdefault(token, owner)
+            for blob in state.get("records", ()):
+                job = Job.from_json(blob["job"])
+                if job.job_id in self._records:
+                    continue
+                record = JobRecord(
+                    job=job,
+                    attempts=int(blob.get("attempts", 0)),
+                    excluded=set(blob.get("excluded", ())),
+                    result=blob.get("result"),
+                    error=str(blob.get("error", "")),
+                    submitted_at=float(blob.get("submitted_at") or 0.0))
+                saved = blob.get("state", BLOCKED)
+                counts["jobs"] += 1
+                if saved in (DONE, FAILED):
+                    record.state = saved
+                    record.worker = str(blob.get("worker", ""))
+                    # finished_at is monotonic (prune bookkeeping only);
+                    # restamp so the grace window restarts from now.
+                    record.finished_at = now
+                    counts["done" if saved == DONE else "failed"] += 1
+                else:
+                    # BLOCKED, READY and RUNNING all come back as
+                    # schedulable work: the lease died with the old
+                    # process, and readiness is recomputed below.
+                    record.state = BLOCKED
+                    record.worker = ""
+                    counts["requeued" if saved == RUNNING
+                           else "pending"] += 1
+                self._records[job.job_id] = record
+            for record in self._records.values():
+                self._maybe_ready_locked(record)
+        return counts
 
 
 # -- wire server ---------------------------------------------------------------
@@ -604,6 +699,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 pass
 
 
+class _CoordinatorServer(socketserver.ThreadingTCPServer):
+    # A resumed coordinator must rebind the port its crashed predecessor
+    # held — whose server-side sockets linger in TIME_WAIT.
+    allow_reuse_address = True
+
+
 class Coordinator:
     """Serve a :class:`JobQueue` to workers and submitters over TCP.
 
@@ -615,11 +716,25 @@ class Coordinator:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
                  max_attempts: int = DEFAULT_MAX_ATTEMPTS,
-                 expected_workers: int | None = None):
+                 expected_workers: int | None = None,
+                 journal: Journal | None = None, resume: bool = False):
         self.queue = JobQueue(lease_seconds=lease_seconds,
                               max_attempts=max_attempts,
                               expected_workers=expected_workers)
-        self._server = socketserver.ThreadingTCPServer(
+        self.journal = journal
+        if journal is not None:
+            journal.source = self.queue.checkpoint_state
+            if resume:
+                state = journal.load()
+                if state is not None:
+                    counts = self.queue.restore(state)
+                    _events.emit("info", "coordinator state restored",
+                                 ref=journal.ref_name, **counts)
+            # Attach only after any restore: replaying the checkpoint
+            # must not itself trigger checkpoints.
+            self.queue.journal = journal
+            journal.start()
+        self._server = _CoordinatorServer(
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
         self._server.queue = self.queue  # type: ignore[attr-defined]
@@ -643,6 +758,8 @@ class Coordinator:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.journal is not None:
+            self.journal.stop()  # final zero-lag checkpoint
 
     def __enter__(self) -> "Coordinator":
         self.start()

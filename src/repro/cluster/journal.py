@@ -1,0 +1,215 @@
+"""Coordinator durability: checkpoint batch/job state through store refs.
+
+The coordinator's scheduler state (job specs, dependency keys, terminal
+results) historically lived only in memory — one crash lost every
+in-flight batch. The :class:`Journal` checkpoints that state through the
+*existing* artifact-store ref machinery: the whole
+:meth:`~repro.cluster.coordinator.JobQueue.checkpoint_state` snapshot is
+serialized to JSON and written to a single named ref with
+``compare_and_set_ref``, so durability inherits whatever the store
+already provides (atomic file replace for :class:`FileBackend`, the
+server's serialized swap for :class:`RemoteBackend`) and the journal
+survives exactly as long as the artifacts it describes.
+
+Write discipline:
+
+* **Synchronous on submit** — an accepted batch is durable before the
+  submitter's ``submit`` call returns, so a crash can never lose job
+  *specs*.
+* **Write-behind for completions** — terminal transitions mark the
+  journal dirty and a background thread folds them into the next
+  checkpoint (``autosave_interval``). A crash loses at most the last
+  interval's completions; the jobs re-run idempotently through the
+  content-addressed store, producing byte-identical artifacts.
+* **CAS, not blind set** — each write swaps against the bytes this
+  journal last observed. A conflict (another coordinator instance
+  writing the same ref) is re-read and retried a bounded number of
+  times, then surfaced as an event rather than silently clobbered.
+
+On ``cluster serve --resume`` the coordinator loads the ref and calls
+:meth:`JobQueue.restore`: terminal jobs come back with their results,
+ready/blocked jobs re-enter the scheduler, and jobs that were *running*
+at the crash are re-queued lease-free — their leases died with the
+process, and duplicate completions from pre-crash workers are already
+idempotent at the queue level.
+
+A store outage never takes the coordinator down with it: a failed
+checkpoint emits a ``warn`` event, stays dirty, and the autosave thread
+retries next interval (the store client's own retry/backoff layer rides
+out brief restarts underneath).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.store.wire import WireError
+from repro.telemetry import events as _events
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["JOURNAL_REF", "Journal"]
+
+#: Default ref the coordinator checkpoints into. Namespaced like the
+#: cache index refs so ref listings group it naturally.
+JOURNAL_REF = "cluster-journal/coordinator"
+
+#: Checkpoint schema version — bumped on incompatible layout changes; a
+#: loader seeing a newer version refuses rather than misreads.
+JOURNAL_VERSION = 1
+
+#: CAS attempts per checkpoint before giving up (each conflict re-reads
+#: the ref first, so this only spins on a genuinely contended ref).
+CAS_ATTEMPTS = 4
+
+#: Store errors a checkpoint absorbs (dirty state is retried next tick).
+_STORE_ERRORS = (OSError, WireError)
+
+
+class Journal:
+    """Checkpoint/restore a state snapshot through one store ref via CAS.
+
+    ``backend`` is any :class:`~repro.store.backend.Backend` (the shared
+    store the artifacts already live in). ``source`` is a zero-argument
+    callable returning the JSON-serializable state to persist — wired to
+    :meth:`JobQueue.checkpoint_state` by the coordinator.
+    """
+
+    def __init__(self, backend, ref_name: str = JOURNAL_REF,
+                 autosave_interval: float = 0.5,
+                 registry: "MetricsRegistry | None" = None,
+                 source=None):
+        self.backend = backend
+        self.ref_name = ref_name
+        self.autosave_interval = autosave_interval
+        self.source = source
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._checkpoints = self.registry.counter("cluster.journal.checkpoints")
+        self._failures = self.registry.counter("cluster.journal.failures")
+        self._conflicts = self.registry.counter("cluster.journal.conflicts")
+        self._bytes = self.registry.counter("cluster.journal.bytes_written")
+        self._dirty_gauge = self.registry.gauge("cluster.journal.dirty")
+        #: The ref bytes this journal last observed — the CAS expectation.
+        self._last_known: bytes | None = None
+        self._loaded = False
+        self._dirty = threading.Event()
+        self._stop = threading.Event()
+        self._save_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    # -- load / restore --------------------------------------------------------
+
+    def load(self) -> dict | None:
+        """Read the checkpoint ref; None when absent (fresh coordinator).
+
+        Also primes the CAS expectation, so the first save after a resume
+        swaps against the state it restored from.
+        """
+        data = self.backend.get_ref(self.ref_name)
+        self._loaded = True
+        if data is None:
+            self._last_known = None
+            return None
+        state = json.loads(data.decode("utf-8"))
+        version = int(state.get("version", 0))
+        if version > JOURNAL_VERSION:
+            raise RuntimeError(
+                f"journal ref {self.ref_name!r} has version {version}; "
+                f"this coordinator understands <= {JOURNAL_VERSION}")
+        self._last_known = data
+        return state
+
+    # -- save ------------------------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """Note that state changed; the autosave thread (or the next
+        explicit :meth:`flush`) folds it into a checkpoint."""
+        self._dirty.set()
+        self._dirty_gauge.set(1)
+
+    def save_now(self) -> bool:
+        """Checkpoint synchronously (submit path). Store errors are
+        absorbed — the state stays dirty and autosave retries — because a
+        momentarily-unreachable store must degrade durability, not
+        availability."""
+        self.mark_dirty()
+        return self.flush()
+
+    def flush(self) -> bool:
+        """Write a checkpoint if dirty; True when the journal is clean
+        (either after a successful write, or already clean)."""
+        if self.source is None or not self._dirty.is_set():
+            return True
+        with self._save_lock:
+            if not self._dirty.is_set():  # raced with another flusher
+                return True
+            # Clear *before* snapshotting: a transition that lands during
+            # the write re-dirties and is caught next tick, never lost.
+            self._dirty.clear()
+            self._dirty_gauge.set(0)
+            state = self.source()
+            data = json.dumps(state, sort_keys=True).encode("utf-8")
+            try:
+                if self._write_cas(data):
+                    self._checkpoints.inc()
+                    self._bytes.inc(len(data))
+                    return True
+            except _STORE_ERRORS as exc:
+                _events.emit("warn", "journal checkpoint failed; will retry",
+                             ref=self.ref_name, bytes=len(data),
+                             error=f"{type(exc).__name__}: {exc}")
+            self._failures.inc()
+            self.mark_dirty()
+            return False
+
+    def _write_cas(self, data: bytes) -> bool:
+        """Swap the ref against the last-observed bytes, re-reading on
+        conflict. Checkpoints are whole-state, so the newest write wins;
+        CAS only guards against a *concurrent* coordinator silently
+        interleaving (split-brain), which is surfaced, not absorbed."""
+        if not self._loaded:
+            # Never read the ref yet (journal without --resume): adopt
+            # whatever is there as the expectation first.
+            self._last_known = self.backend.get_ref(self.ref_name)
+            self._loaded = True
+        for attempt in range(CAS_ATTEMPTS):
+            if self.backend.compare_and_set_ref(self.ref_name,
+                                                self._last_known, data):
+                self._last_known = data
+                return True
+            self._conflicts.inc()
+            _events.emit("warn", "journal CAS conflict",
+                         ref=self.ref_name, attempt=attempt + 1)
+            self._last_known = self.backend.get_ref(self.ref_name)
+        return False
+
+    # -- autosave thread -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None or self.autosave_interval is None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._autosave_loop,
+                                        name="cluster-journal", daemon=True)
+        self._thread.start()
+
+    def _autosave_loop(self) -> None:
+        interval = float(self.autosave_interval or 0.5)
+        while not self._stop.wait(interval):
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover - never kill the thread
+                pass
+
+    def stop(self) -> None:
+        """Final checkpoint + thread join. Crash-only coordinators never
+        get here — that is the whole point — but a clean shutdown leaves
+        a zero-lag journal behind."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        try:
+            self.flush()
+        except Exception:  # pragma: no cover - store gone at shutdown
+            pass

@@ -24,6 +24,7 @@ Stage execution reuses the pipeline verbatim:
 from __future__ import annotations
 
 import os
+import random
 import re
 import threading
 import time
@@ -57,6 +58,14 @@ from repro.telemetry.registry import (
 #: Two is enough for one build plus a straggler from a previous one.
 RESULT_MEMO_SIZE = 2
 
+#: A worker exits after the coordinator has been unreachable for this
+#: long — wall clock, not a strike count, so the tolerance is independent
+#: of how fast polls fail. Long enough to ride out a coordinator restart
+#: plus ``cluster serve --resume``; short enough that an orphaned
+#: subprocess worker terminates instead of spinning forever.
+#: ``cluster worker --max-coordinator-downtime`` overrides it.
+DEFAULT_MAX_COORDINATOR_DOWNTIME = 10.0
+
 
 def _snapshot_delta(before: dict, after: dict, namespace: str) -> dict:
     hits_before, misses_before = before.get(namespace, (0, 0))
@@ -88,14 +97,24 @@ class ClusterWorker:
                  max_workers: int | None = 1,
                  registry: MetricsRegistry | None = None,
                  local_tier_dir: str = "",
-                 tier_flush_interval: float | None = None):
+                 tier_flush_interval: float | None = None,
+                 max_coordinator_downtime: float | None = None):
         self.client = client
         self.worker_id = worker_id or f"worker-{id(self):x}"
+        self.max_coordinator_downtime = (
+            DEFAULT_MAX_COORDINATOR_DOWNTIME
+            if max_coordinator_downtime is None else max_coordinator_downtime)
         #: Per-worker metrics, shipped to the coordinator as heartbeat
         #: deltas. Subprocess workers (``cluster worker``) share this
         #: registry with their store backend so wire-client latencies ride
         #: along; thread-mode LocalCluster workers own one each.
         self.registry = registry if registry is not None else MetricsRegistry()
+        # The client counts its coordinator reconnects; rebinding it onto
+        # this registry puts them on the heartbeat channel (`cluster top`
+        # shows who is riding out a flaky coordinator link).
+        rebind = getattr(client, "bind_registry", None)
+        if rebind is not None:
+            rebind(self.registry)
         self.tier: TieredBackend | None = None
         if local_tier_dir:
             # The ccache topology: a worker-private FileBackend tier in
@@ -272,8 +291,16 @@ class ClusterWorker:
                         self.cache.flush_index()
                         if self.tier is not None:
                             self.tier.flush()
-                    except Exception:  # pragma: no cover - store hiccup;
-                        pass           # completion's flush is the backstop
+                    except Exception as exc:
+                        # Survivable — the flush re-runs on the next beat
+                        # and completion's flush is the backstop — but an
+                        # operator watching events must see a store that
+                        # is rejecting index writes, not silence.
+                        _events.emit(
+                            "warn", "heartbeat index flush failed; "
+                            "retrying next beat", worker=self.worker_id,
+                            job_id=job_id,
+                            error=f"{type(exc).__name__}: {exc}")
 
         thread = threading.Thread(target=_renew_loop, daemon=True,
                                   name=f"lease-{self.worker_id}")
@@ -300,18 +327,33 @@ class ClusterWorker:
         coordinator goes away.
         """
         idle_since: float | None = None
+        down_since: float | None = None
         delay = poll_seconds
-        consecutive_errors = 0
         while stop is None or not stop.is_set():
             try:
                 busy = self.run_one()
-                consecutive_errors = 0
-            except ClusterError:
-                # Coordinator unreachable (restarting, or gone for good):
-                # back off briefly, give up after a few strikes so a
-                # subprocess worker terminates instead of spinning.
-                consecutive_errors += 1
-                if consecutive_errors >= 5:
+                if down_since is not None:
+                    _events.emit("info", "coordinator link restored",
+                                 worker=self.worker_id,
+                                 downtime=round(time.monotonic() - down_since,
+                                                2))
+                down_since = None
+            except ClusterError as exc:
+                # Coordinator unreachable (restarting, or gone for good).
+                # The client already retried each call with backoff; the
+                # loop-level policy is *time-based*: keep re-polling until
+                # the coordinator has been down max_coordinator_downtime
+                # seconds — long enough for a restart + --resume — then
+                # exit so an orphaned worker terminates instead of
+                # spinning.
+                now = time.monotonic()
+                down_since = down_since if down_since is not None else now
+                if now - down_since >= self.max_coordinator_downtime:
+                    _events.emit("error", "coordinator down too long; "
+                                 "worker exiting", worker=self.worker_id,
+                                 downtime=round(now - down_since, 2),
+                                 limit=self.max_coordinator_downtime,
+                                 error=str(exc))
                     return
                 busy = False
             if busy:
@@ -323,10 +365,15 @@ class ClusterWorker:
             if max_idle_seconds is not None \
                     and now - idle_since >= max_idle_seconds:
                 break
-            if stop is not None and stop.wait(delay):
+            # Jitter the reconnect backoff when the coordinator is down:
+            # a fleet whose polls failed together must not retry in
+            # lockstep against a just-restarted coordinator.
+            wait_for = delay if down_since is None \
+                else delay * (0.5 + random.random())
+            if stop is not None and stop.wait(wait_for):
                 break
             if stop is None:
-                time.sleep(delay)
+                time.sleep(wait_for)
             delay = min(delay * 2, self.MAX_POLL_SECONDS)
         try:
             self.client.goodbye(self.worker_id)

@@ -49,8 +49,9 @@ from repro.store.backend import (
 )
 from repro.store.async_server import AsyncStoreServer
 from repro.store.gc import GCReport, collect
-from repro.store.remote import RemoteBackend, RemoteStoreError, StoreServer
-from repro.store.tiered import TieredBackend
+from repro.store.remote import (RemoteBackend, RemoteStoreError, StoreServer,
+                                StoreUnavailable)
+from repro.store.tiered import TierDegraded, TieredBackend
 from repro.store.transfer import export_store, import_store
 from repro.store.wire import SessionPool, WireSession
 
@@ -60,7 +61,8 @@ __all__ = [
     "index_ref_name", "index_ref_names",
     "GCReport", "collect",
     "AsyncStoreServer", "RemoteBackend", "RemoteStoreError", "StoreServer",
-    "TieredBackend",
+    "StoreUnavailable",
+    "TierDegraded", "TieredBackend",
     "SessionPool", "WireSession",
     "export_store", "import_store",
 ]

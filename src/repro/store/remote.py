@@ -113,7 +113,9 @@ from repro.store.wire import (
     write_chunks as _write_chunks,
     write_message as _write_response,
 )
+from repro.telemetry import events as _events
 from repro.telemetry import trace as _trace
+from repro.util.retry import RetryPolicy
 from repro.telemetry.history import HistorySampler, MetricsHistory
 from repro.telemetry.registry import (
     MetricsRegistry,
@@ -125,7 +127,8 @@ from repro.telemetry.trace import TraceRecorder, begin_wire_span, end_wire_span
 __all__ = [
     "MAX_HEADER_BYTES", "DEFAULT_MAX_BODY_BYTES", "STREAM_THRESHOLD",
     "SERVER_STATS_FIELDS", "RemoteBackend", "RemoteStoreError",
-    "ServerMetrics", "StoreServer", "body_declared", "dispatch_command",
+    "ServerMetrics", "StoreServer", "StoreUnavailable", "body_declared",
+    "dispatch_command",
 ]
 
 #: Digests per batched wire request — keeps every header comfortably under
@@ -156,6 +159,21 @@ SERVER_STATS_FIELDS = ("connections_served", "requests_served", "bytes_in",
 
 class RemoteStoreError(WireError):
     pass
+
+
+class StoreUnavailable(RemoteStoreError):
+    """A wire-level failure (dropped connection, truncated frame, refused
+    connect) as opposed to a semantic error response from a healthy
+    server. The distinction is what the retry layer keys on: unavailable
+    is worth backing off and resending (for idempotent ops) or
+    re-reading and verifying (``cas_ref``); a semantic error never is."""
+
+
+#: Default client retry discipline: enough attempts/backoff to ride out
+#: a store-server restart of a few seconds, bounded by a hard per-op
+#: deadline so a dead store fails a build in tens of seconds, not never.
+DEFAULT_STORE_RETRY = RetryPolicy(max_attempts=6, base_delay=0.1,
+                                  max_delay=2.0, deadline=30.0)
 
 
 class ServerMetrics:
@@ -578,6 +596,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 iter_blob(backend, digest, CHUNK_SIZE))
 
 
+class _ReusableTCPServer(socketserver.ThreadingTCPServer):
+    # A restarted server must rebind the port its predecessor held while
+    # that instance's sockets drain through TIME_WAIT (the async flavor
+    # gets this from socket.create_server).
+    allow_reuse_address = True
+
+
 class StoreServer:
     """Serve a local backend to other processes over ``127.0.0.1``.
 
@@ -617,7 +642,7 @@ class StoreServer:
         self._history_sampler = HistorySampler(self.metrics.registry,
                                                self.history,
                                                interval=history_interval)
-        self._server = socketserver.ThreadingTCPServer(
+        self._server = _ReusableTCPServer(
             (host, port), _Handler, bind_and_activate=True)
         self._server.daemon_threads = True
         self._server.store_server = self  # type: ignore[attr-defined]
@@ -704,12 +729,20 @@ class RemoteBackend:
                  pooled: bool = True, max_sessions: int = 4,
                  stream_threshold: "int | None" = STREAM_THRESHOLD,
                  max_idle_seconds: float = 60.0,
-                 registry: "MetricsRegistry | None" = None):
+                 registry: "MetricsRegistry | None" = None,
+                 read_timeout: "float | None" = None,
+                 retry: "RetryPolicy | None" = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.read_timeout = read_timeout
         self.pooled = pooled
         self.stream_threshold = stream_threshold
+        #: Retry discipline for idempotent operations and connect
+        #: failures (see the per-op matrix in docs/architecture.md).
+        #: Pass :data:`repro.util.retry.NO_RETRY` for the historical
+        #: fail-on-first-error behavior.
+        self.retry = retry if retry is not None else DEFAULT_STORE_RETRY
         #: Client-side wire metrics (request counts and per-command
         #: latency histograms) plus the session pool's churn counters.
         #: Cluster workers pass their own registry so store-op latencies
@@ -719,7 +752,10 @@ class RemoteBackend:
         self._pool = SessionPool(host, port, timeout=timeout,
                                  max_idle=max_sessions,
                                  max_idle_seconds=max_idle_seconds,
-                                 registry=self.registry) \
+                                 registry=self.registry,
+                                 read_timeout=read_timeout,
+                                 connect_retry=(self.retry if self.retry.enabled
+                                                else None)) \
             if pooled else None
         # Batched commands an old server rejected once — fall back to
         # per-item loops immediately instead of re-asking every call —
@@ -749,7 +785,14 @@ class RemoteBackend:
         when running one-shot."""
         return self._pool.stats() if self._pool is not None else None
 
-    def _round_trip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+    def _note_retry(self, cmd: str, attempt: int, delay: float, exc) -> None:
+        self.registry.counter("store.retries", op=cmd).inc()
+        _events.emit("warn", "store op retry",
+                     host=self.host, port=self.port, cmd=cmd, attempt=attempt,
+                     delay_seconds=round(delay, 4), error=str(exc))
+
+    def _round_trip(self, header: dict, body: bytes = b"",
+                    retryable: bool = False) -> tuple[dict, bytes]:
         cmd = str(header.get("cmd"))
         # When a trace is active (recorder, or just an incoming context to
         # forward) the request opens a client span and ships its identity
@@ -761,17 +804,31 @@ class RemoteBackend:
             if ctx is not None:
                 header = {**header, "trace": ctx}
             started = time.perf_counter()
-            try:
+
+            def exchange():
                 if self._pool is not None:
-                    resp, payload = self._pool.exchange(header, body)
+                    return self._pool.exchange(header, body)
+                return round_trip(self.host, self.port, header, body,
+                                  timeout=self.timeout,
+                                  read_timeout=self.read_timeout)
+
+            try:
+                if retryable and self.retry.enabled:
+                    # Idempotent operation: a mid-exchange wire failure is
+                    # worth a backed-off resend of the whole request.
+                    # (Connect-phase failures retry inside the pool for
+                    # every op — the request was provably never sent.)
+                    resp, payload = self.retry.call(
+                        exchange, retry_on=(WireError, OSError),
+                        on_retry=lambda attempt, delay, exc:
+                            self._note_retry(cmd, attempt, delay, exc))
                 else:
-                    resp, payload = round_trip(self.host, self.port, header,
-                                               body, timeout=self.timeout)
+                    resp, payload = exchange()
             except WireError as exc:
                 # Framing failures (truncated response, dropped
                 # connection) surface under this module's historical
                 # exception type.
-                raise RemoteStoreError(str(exc)) from exc
+                raise StoreUnavailable(str(exc)) from exc
             self._requests.inc()
             self.registry.histogram(
                 "store.client.request_seconds",
@@ -783,13 +840,14 @@ class RemoteBackend:
         return resp, payload
 
     def _batched(self, cmd: str, header: dict,
-                 body: bytes = b"") -> "tuple[dict, bytes] | None":
+                 body: bytes = b"", retryable: bool = False,
+                 ) -> "tuple[dict, bytes] | None":
         """One batched exchange, or None when the server lacks ``cmd``
         (old server) — the caller then runs its per-item fallback."""
         if cmd in self._unsupported:
             return None
         try:
-            return self._round_trip(header, body)
+            return self._round_trip(header, body, retryable=retryable)
         except RemoteStoreError as exc:
             if "unknown command" in str(exc):
                 self._unsupported.add(cmd)
@@ -808,7 +866,8 @@ class RemoteBackend:
             return True
         if "streams" in self._unsupported:
             return False
-        got = self._batched("capabilities", {"cmd": "capabilities"})
+        got = self._batched("capabilities", {"cmd": "capabilities"},
+                            retryable=True)
         caps = got[0].get("caps", {}) if got is not None else {}
         if caps.get("streams"):
             self._supported.add("streams")
@@ -828,44 +887,52 @@ class RemoteBackend:
     # -- blobs -----------------------------------------------------------------
 
     def put(self, digest: str, data: bytes) -> None:
+        # Content-addressed: resending a put is harmless, the server
+        # simply re-verifies the digest — so puts retry like reads.
         if self._streaming(len(data)):
             self._round_trip({"cmd": "put", "digest": digest,
-                              "size": len(data), "chunked": True}, data)
+                              "size": len(data), "chunked": True}, data,
+                             retryable=True)
             return
         self._round_trip({"cmd": "put", "digest": digest, "size": len(data)},
-                         data)
+                         data, retryable=True)
 
     def get(self, digest: str) -> bytes:
         # Chunked responses cost ~8 framing bytes per 64 KiB — noise for
         # small blobs, and the server never stages big ones whole.
         if self._streaming():
             _, payload = self._round_trip({"cmd": "get", "digest": digest,
-                                           "chunked": True})
+                                           "chunked": True}, retryable=True)
             return payload
-        _, payload = self._round_trip({"cmd": "get", "digest": digest})
+        _, payload = self._round_trip({"cmd": "get", "digest": digest},
+                                      retryable=True)
         return payload
 
     def has(self, digest: str) -> bool:
-        resp, _ = self._round_trip({"cmd": "has", "digest": digest})
+        resp, _ = self._round_trip({"cmd": "has", "digest": digest},
+                                   retryable=True)
         return bool(resp["has"])
 
     def delete(self, digest: str) -> bool:
-        resp, _ = self._round_trip({"cmd": "delete", "digest": digest})
+        resp, _ = self._round_trip({"cmd": "delete", "digest": digest},
+                                   retryable=True)
         return bool(resp["deleted"])
 
     def digests(self) -> list[str]:
-        resp, _ = self._round_trip({"cmd": "digests"})
+        resp, _ = self._round_trip({"cmd": "digests"}, retryable=True)
         return list(resp["digests"])
 
     def blob_age_seconds(self, digest: str) -> float | None:
-        resp, _ = self._round_trip({"cmd": "blob_age", "digest": digest})
+        resp, _ = self._round_trip({"cmd": "blob_age", "digest": digest},
+                                   retryable=True)
         age = resp.get("age")
         return None if age is None else float(age)
 
     def blob_size(self, digest: str) -> int | None:
         """Byte size without transferring the blob (size accounting stays
         metadata-only over the wire)."""
-        resp, _ = self._round_trip({"cmd": "blob_size", "digest": digest})
+        resp, _ = self._round_trip({"cmd": "blob_size", "digest": digest},
+                                   retryable=True)
         size = resp.get("blob_size")
         return None if size is None else int(size)
 
@@ -915,7 +982,7 @@ class RemoteBackend:
             header = {"cmd": "put_many",
                       "blobs": [[digest, len(data)] for digest, data in chunk]}
             body = b"".join(data for _, data in chunk)
-            self._round_trip(header, body)
+            self._round_trip(header, body, retryable=True)
 
     def get_many(self, digests: Iterable[str]) -> dict[str, bytes]:
         """Fetch many blobs; missing digests are omitted from the result."""
@@ -924,7 +991,8 @@ class RemoteBackend:
         for start in range(0, len(wanted), BATCH_DIGESTS):
             chunk = wanted[start:start + BATCH_DIGESTS]
             got = self._batched("get_many",
-                                {"cmd": "get_many", "digests": chunk})
+                                {"cmd": "get_many", "digests": chunk},
+                                retryable=True)
             if got is None:
                 for digest in chunk:
                     try:
@@ -947,7 +1015,8 @@ class RemoteBackend:
         for start in range(0, len(wanted), BATCH_DIGESTS):
             chunk = wanted[start:start + BATCH_DIGESTS]
             got = self._batched("has_many",
-                                {"cmd": "has_many", "digests": chunk})
+                                {"cmd": "has_many", "digests": chunk},
+                                retryable=True)
             if got is None:
                 out.update((digest, self.has(digest)) for digest in chunk)
                 continue
@@ -960,7 +1029,8 @@ class RemoteBackend:
         for start in range(0, len(wanted), BATCH_DIGESTS):
             chunk = wanted[start:start + BATCH_DIGESTS]
             got = self._batched("blob_size_many",
-                                {"cmd": "blob_size_many", "digests": chunk})
+                                {"cmd": "blob_size_many", "digests": chunk},
+                                retryable=True)
             if got is None:
                 out.update((digest, self.blob_size(digest))
                            for digest in chunk)
@@ -974,7 +1044,7 @@ class RemoteBackend:
     def stat(self) -> tuple[int, int]:
         """``(count, total_bytes)`` from one round-trip — callers needing
         both (``cache stats``, GC reports) must not pay two."""
-        resp, _ = self._round_trip({"cmd": "stat"})
+        resp, _ = self._round_trip({"cmd": "stat"}, retryable=True)
         return int(resp["count"]), int(resp["total_bytes"])
 
     def __len__(self) -> int:
@@ -988,7 +1058,7 @@ class RemoteBackend:
         """The server's traffic counters (``bytes_in``/``bytes_out``/
         ``peak_body_bytes``...) in one round-trip — what ``cache serve``
         status output and the benchmarks read."""
-        resp, _ = self._round_trip({"cmd": "server_stats"})
+        resp, _ = self._round_trip({"cmd": "server_stats"}, retryable=True)
         return {key: value for key, value in resp.items() if key != "ok"}
 
     def telemetry(self, drain_spans: bool = False) -> "dict | None":
@@ -1001,7 +1071,10 @@ class RemoteBackend:
         header: dict = {"cmd": "telemetry"}
         if drain_spans:
             header["drain_spans"] = True
-        got = self._batched("telemetry", header)
+        # drain_spans is a destructive read — a blind resend could
+        # double-drain, so only the non-draining form retries.
+        got = self._batched("telemetry", header,
+                            retryable=not drain_spans)
         if got is None:
             return None
         resp, payload = got
@@ -1021,20 +1094,24 @@ class RemoteBackend:
     # -- refs ------------------------------------------------------------------
 
     def set_ref(self, name: str, data: bytes) -> None:
-        self._round_trip({"cmd": "set_ref", "name": name, "size": len(data)}, data)
+        # Last-write-wins: resending the same bytes is idempotent.
+        self._round_trip({"cmd": "set_ref", "name": name, "size": len(data)},
+                         data, retryable=True)
 
     def get_ref(self, name: str) -> bytes | None:
-        resp, payload = self._round_trip({"cmd": "get_ref", "name": name})
+        resp, payload = self._round_trip({"cmd": "get_ref", "name": name},
+                                         retryable=True)
         if resp.get("size", -1) < 0:
             return None
         return payload
 
     def delete_ref(self, name: str) -> bool:
-        resp, _ = self._round_trip({"cmd": "delete_ref", "name": name})
+        resp, _ = self._round_trip({"cmd": "delete_ref", "name": name},
+                                   retryable=True)
         return bool(resp["deleted"])
 
-    def compare_and_set_ref(self, name: str, expected: bytes | None,
-                            data: bytes) -> bool:
+    def _cas_round_trip(self, name: str, expected: bytes | None,
+                        data: bytes) -> bool:
         header = {
             "cmd": "cas_ref", "name": name,
             "expected_size": -1 if expected is None else len(expected),
@@ -1043,6 +1120,40 @@ class RemoteBackend:
         resp, _ = self._round_trip(header, (expected or b"") + data)
         return bool(resp["swapped"])
 
+    def compare_and_set_ref(self, name: str, expected: bytes | None,
+                            data: bytes) -> bool:
+        """CAS with read-verify recovery instead of blind resend.
+
+        A wire failure mid-``cas_ref`` is ambiguous: the swap may or may
+        not have been applied before the connection died, so resending
+        could misreport a success as a conflict (the ref now holds
+        ``data``, no longer ``expected``). Recovery therefore re-reads
+        the ref: our bytes present means the swap landed (True), the
+        expected bytes still present means it never applied (resend),
+        anything else is a genuine conflict (False) for the caller's
+        read-merge-retry loop to resolve.
+        """
+        try:
+            return self._cas_round_trip(name, expected, data)
+        except (StoreUnavailable, OSError) as exc:
+            if not self.retry.enabled:
+                raise
+            first_error = exc
+
+        def verify() -> bool:
+            current = self.get_ref(name)
+            if current == data:
+                return True
+            if current == expected:
+                return self._cas_round_trip(name, expected, data)
+            return False
+
+        self._note_retry("cas_ref", 1, 0.0, first_error)
+        return self.retry.call(verify, retry_on=(StoreUnavailable, OSError),
+                               on_retry=lambda attempt, delay, exc:
+                                   self._note_retry("cas_ref", attempt + 1,
+                                                    delay, exc))
+
     def refs(self) -> list[str]:
-        resp, _ = self._round_trip({"cmd": "refs"})
+        resp, _ = self._round_trip({"cmd": "refs"}, retryable=True)
         return list(resp["refs"])

@@ -42,6 +42,20 @@ writes for GC and ``cache stats`` without double-counting promoted blobs.
 Metrics (``store.tier.*``) live in the supplied registry so a cluster
 worker's tier hit/miss/flush counters ride its heartbeat deltas to the
 coordinator (``repro cluster top`` renders them per worker).
+
+**Degraded mode.** An upstream outage (connect refused, dropped wire,
+timeout) flips the tier into a bounded *degraded* state instead of
+failing every operation: reads keep serving whatever the local tier
+holds, accepted puts buffer on the write-back queue (up to
+``degraded_max_bytes``, beyond which puts fail with
+:class:`TierDegraded`), and upstream probes back off exponentially so a
+dead store is not hammered. Ref operations — shared mutable state that
+*cannot* be answered locally — fail fast with :class:`TierDegraded`
+while the probe window is closed. Any successful upstream operation
+(including an explicit :meth:`flush`, which always probes) recovers the
+tier: the backlog drains upstream and the state clears, with both
+transitions narrated via events and mirrored in the
+``store.tier.degraded`` gauge.
 """
 
 from __future__ import annotations
@@ -58,16 +72,38 @@ from repro.store.backend import (
     has_many as _has_many,
     put_many as _put_many,
 )
+from repro.store.remote import StoreUnavailable
 from repro.telemetry import events as _events
 from repro.telemetry.registry import MetricsRegistry
 
-__all__ = ["TieredBackend"]
+__all__ = ["TierDegraded", "TieredBackend"]
 
 #: Write-back queue bounds: a flush is forced when the pending set reaches
 #: either limit. Small enough that a crash loses little, large enough that
 #: a publish burst amortizes into a few batched upstream round-trips.
 DEFAULT_FLUSH_MAX_BLOBS = 128
 DEFAULT_FLUSH_MAX_BYTES = 16 * 1024 * 1024
+
+#: Write-back backlog bound while degraded: beyond this, puts fail with
+#: :class:`TierDegraded` instead of buffering without limit.
+DEFAULT_DEGRADED_MAX_BYTES = 256 * 1024 * 1024
+
+#: Upstream probe backoff while degraded: first retry after the initial
+#: delay, doubling per consecutive failure up to the cap.
+DEGRADED_PROBE_INITIAL = 0.5
+DEGRADED_PROBE_MAX = 8.0
+
+#: Errors that mean "the upstream is unreachable" (worth degrading over),
+#: as opposed to semantic failures a healthy upstream returned.
+#: ConnectionError and socket timeouts are OSError; StoreUnavailable is
+#: the remote client's wrapper for wire-level failures that survived its
+#: own retry budget.
+OUTAGE_ERRORS = (OSError, StoreUnavailable)
+
+
+class TierDegraded(RuntimeError):
+    """The tier is in degraded mode and this operation cannot be served
+    locally (a ref op, a read miss, or a put past the backlog bound)."""
 
 
 class _Flight:
@@ -102,7 +138,8 @@ class TieredBackend:
                  flush_max_bytes: int = DEFAULT_FLUSH_MAX_BYTES,
                  flush_interval: float | None = None,
                  registry: MetricsRegistry | None = None,
-                 tier_id: str = ""):
+                 tier_id: str = "",
+                 degraded_max_bytes: int = DEFAULT_DEGRADED_MAX_BYTES):
         self.local = local
         self.upstream = upstream
         self.tier_id = tier_id
@@ -119,6 +156,16 @@ class TieredBackend:
         self._coalesced = self.registry.counter(
             "store.tier.single_flight_waits")
         self._pending_gauge = self.registry.gauge("store.tier.pending_blobs")
+        self.degraded_max_bytes = max(0, int(degraded_max_bytes))
+        self._degraded_gauge = self.registry.gauge("store.tier.degraded")
+        self._degraded_entries = self.registry.counter(
+            "store.tier.degraded_entries")
+        self._failfast = self.registry.counter(
+            "store.tier.degraded_failfast")
+        self._degraded = False
+        self._degraded_since = 0.0
+        self._probe_after = 0.0
+        self._probe_backoff = DEGRADED_PROBE_INITIAL
         # Write-back queue: digest -> bytes, deduplicated by construction
         # (content-addressed blobs are immutable, so collapsing double
         # puts of one digest loses nothing).
@@ -168,19 +215,117 @@ class TieredBackend:
         with self._lock:
             return len(self._pending)
 
+    # -- degraded mode ----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
+    def _upstream_ok(self) -> bool:
+        """Healthy, or degraded with the probe window open — either way
+        the caller may try upstream. False means: serve locally or fail
+        fast, do not touch the wire."""
+        with self._lock:
+            return (not self._degraded
+                    or time.monotonic() >= self._probe_after)
+
+    def _require_upstream(self, op: str) -> None:
+        if self._upstream_ok():
+            return
+        self._failfast.inc()
+        raise TierDegraded(
+            f"tier {self.tier_id or '?'} degraded: upstream unreachable; "
+            f"{op} fails fast until the next probe window")
+
+    def _note_upstream_failure(self, exc: BaseException) -> None:
+        now = time.monotonic()
+        with self._lock:
+            entered = not self._degraded
+            self._degraded = True
+            if entered:
+                self._degraded_since = now
+                self._probe_backoff = DEGRADED_PROBE_INITIAL
+            else:
+                self._probe_backoff = min(self._probe_backoff * 2,
+                                          DEGRADED_PROBE_MAX)
+            self._probe_after = now + self._probe_backoff
+            pending = len(self._pending)
+        self._degraded_gauge.set(1)
+        if entered:
+            self._degraded_entries.inc()
+            _events.emit("warn", "tier degraded: upstream unreachable",
+                         tier=self.tier_id, pending_blobs=pending,
+                         error=f"{type(exc).__name__}: {exc}")
+
+    def _note_upstream_success(self, drain: bool = True) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if not self._degraded:
+                return
+            self._degraded = False
+            self._probe_backoff = DEGRADED_PROBE_INITIAL
+            since = self._degraded_since
+            backlog = len(self._pending)
+        self._degraded_gauge.set(0)
+        _events.emit("info", "tier recovered; draining backlog",
+                     tier=self.tier_id, backlog_blobs=backlog,
+                     degraded_seconds=round(now - since, 3))
+        if drain and backlog:
+            try:
+                self.flush()
+            except OUTAGE_ERRORS:
+                pass  # relapse: the batch re-queued and the tier re-marked
+
+    def _upstream_call(self, fn, *args):
+        """One upstream operation with outage bookkeeping: a wire-level
+        failure marks (or deepens) degraded mode and propagates; success
+        recovers it (draining the backlog on the transition)."""
+        try:
+            result = fn(*args)
+        except OUTAGE_ERRORS as exc:
+            self._note_upstream_failure(exc)
+            raise
+        self._note_upstream_success()
+        return result
+
     # -- write-back queue -------------------------------------------------------
 
     def _enqueue(self, blobs: dict[str, bytes]) -> None:
+        added = sum(len(data) for digest, data in blobs.items())
         with self._lock:
-            for digest, data in blobs.items():
-                if digest not in self._pending:
-                    self._pending_bytes += len(data)
-                self._pending[digest] = data
-            self._pending_gauge.set(len(self._pending))
-            over = (len(self._pending) >= self.flush_max_blobs
-                    or self._pending_bytes >= self.flush_max_bytes)
+            if (self._degraded and self.degraded_max_bytes
+                    and self._pending_bytes + added > self.degraded_max_bytes):
+                over_bound = True
+            else:
+                over_bound = False
+                for digest, data in blobs.items():
+                    if digest not in self._pending:
+                        self._pending_bytes += len(data)
+                    self._pending[digest] = data
+                self._pending_gauge.set(len(self._pending))
+                over = (len(self._pending) >= self.flush_max_blobs
+                        or self._pending_bytes >= self.flush_max_bytes)
+        if over_bound:
+            self._failfast.inc()
+            raise TierDegraded(
+                f"tier {self.tier_id or '?'} degraded: write-back backlog "
+                f"would exceed {self.degraded_max_bytes} bytes")
         if over:
+            self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        """Size-bound/interval flush trigger: respects the degraded
+        probe backoff (keep buffering instead of hammering a dead
+        upstream) and absorbs outage errors — the batch is re-queued by
+        :meth:`flush` and a later probe drains it. Explicit callers use
+        :meth:`flush`, which always attempts and always propagates."""
+        if not self._upstream_ok():
+            return
+        try:
             self.flush()
+        except OUTAGE_ERRORS:
+            pass
 
     def flush(self) -> int:
         """Push the write-back queue upstream now; returns blobs pushed.
@@ -210,7 +355,10 @@ class TieredBackend:
                              tier=self.tier_id, blobs=len(batch),
                              bytes=sum(len(d) for d in batch.values()),
                              error=f"{type(exc).__name__}: {exc}")
+                if isinstance(exc, OUTAGE_ERRORS):
+                    self._note_upstream_failure(exc)
                 raise
+            self._note_upstream_success(drain=False)
             self._flushes.inc()
             self._flushed_blobs.inc(len(batch))
             self._flushed_bytes.inc(sum(len(d) for d in batch.values()))
@@ -220,7 +368,7 @@ class TieredBackend:
         interval = float(self.flush_interval or 0)
         while not self._stop_flusher.wait(interval):
             try:
-                self.flush()
+                self._maybe_flush()
             except Exception:  # pragma: no cover - upstream hiccup; the
                 pass           # batch is re-queued, the next tick retries
 
@@ -272,6 +420,9 @@ class TieredBackend:
         else:
             self._hits.inc()
             return data
+        # Degraded with the probe window closed: the local tier cannot
+        # answer and upstream must not be hammered — fail fast.
+        self._require_upstream("get")
         return self._fetch_single_flight(digest)
 
     def _fetch_single_flight(self, digest: str) -> bytes:
@@ -294,7 +445,7 @@ class TieredBackend:
             self._misses.inc()
             _events.emit("debug", "single-flight fetch",
                          tier=self.tier_id, digest=digest)
-            data = self.upstream.get(digest)
+            data = self._upstream_call(self.upstream.get, digest)
             # Promote so the next reader is local. Never enqueued: the
             # blob came *from* upstream.
             self.local.put(digest, data)
@@ -315,7 +466,9 @@ class TieredBackend:
         with self._lock:
             if digest in self._pending:  # pragma: no cover - put() lands
                 return True              # locally first; belt-and-braces
-        return self.upstream.has(digest)
+        if not self._upstream_ok():
+            return False  # degraded: answer from what we hold
+        return self._upstream_call(self.upstream.has, digest)
 
     def delete(self, digest: str) -> bool:
         """Remove the blob everywhere (GC's primitive): the local copy,
@@ -327,7 +480,8 @@ class TieredBackend:
                 self._pending_bytes -= len(data)
                 self._pending_gauge.set(len(self._pending))
         deleted_local = self.local.delete(digest)
-        deleted_upstream = self.upstream.delete(digest)
+        self._require_upstream("delete")
+        deleted_upstream = self._upstream_call(self.upstream.delete, digest)
         return bool(deleted_local or deleted_upstream
                     or data is not None)
 
@@ -387,9 +541,11 @@ class TieredBackend:
         out = _get_many(self.local, wanted)
         self._hits.inc(len(out))
         missing = [d for d in wanted if d not in out]
+        if missing and not self._upstream_ok():
+            return out  # degraded: serve what the tier holds
         if missing:
             self._misses.inc(len(missing))
-            fetched = _get_many(self.upstream, missing)
+            fetched = self._upstream_call(_get_many, self.upstream, missing)
             if fetched:
                 _put_many(self.local, fetched)
                 self._promotions.inc(len(fetched))
@@ -400,16 +556,17 @@ class TieredBackend:
         wanted = list(digests)
         out = _has_many(self.local, wanted)
         missing = [d for d, present in out.items() if not present]
-        if missing:
-            out.update(_has_many(self.upstream, missing))
+        if missing and self._upstream_ok():
+            out.update(self._upstream_call(_has_many, self.upstream, missing))
         return out
 
     def blob_size_many(self, digests: Iterable[str]) -> dict[str, int | None]:
         wanted = list(digests)
         out = _blob_size_many(self.local, wanted)
         missing = [d for d, size in out.items() if size is None]
-        if missing:
-            out.update(_blob_size_many(self.upstream, missing))
+        if missing and self._upstream_ok():
+            out.update(self._upstream_call(_blob_size_many, self.upstream,
+                                           missing))
         return out
 
     # -- refs: shared mutable state lives upstream, full stop -------------------
@@ -418,23 +575,35 @@ class TieredBackend:
     # blob itself — otherwise a peer (or GC's orphan scan) could observe
     # an index that points at bytes only this worker's disk holds.
 
+    # While degraded, every ref op fails fast with :class:`TierDegraded`
+    # until the probe window opens: refs cannot be served locally without
+    # lying about shared state, and a closed window means the upstream
+    # was just observed down. When the window is open the op doubles as
+    # the recovery probe.
+
     def set_ref(self, name: str, data: bytes) -> None:
+        self._require_upstream("set_ref")
         self.flush()
-        self.upstream.set_ref(name, data)
+        self._upstream_call(self.upstream.set_ref, name, data)
 
     def get_ref(self, name: str) -> bytes | None:
-        return self.upstream.get_ref(name)
+        self._require_upstream("get_ref")
+        return self._upstream_call(self.upstream.get_ref, name)
 
     def delete_ref(self, name: str) -> bool:
-        return self.upstream.delete_ref(name)
+        self._require_upstream("delete_ref")
+        return self._upstream_call(self.upstream.delete_ref, name)
 
     def refs(self) -> list[str]:
-        return self.upstream.refs()
+        self._require_upstream("refs")
+        return self._upstream_call(self.upstream.refs)
 
     def compare_and_set_ref(self, name: str, expected: bytes | None,
                             data: bytes) -> bool:
+        self._require_upstream("cas_ref")
         self.flush()
-        return self.upstream.compare_and_set_ref(name, expected, data)
+        return self._upstream_call(self.upstream.compare_and_set_ref,
+                                   name, expected, data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = f" id={self.tier_id!r}" if self.tier_id else ""

@@ -58,8 +58,27 @@ import time
 
 from repro.telemetry import events as _events
 from repro.telemetry.registry import MetricsRegistry
+from repro.util.retry import RetryPolicy
 
 MAX_HEADER_BYTES = 64 * 1024
+
+#: Connecting is fast or dead — a short timeout distinguishes the two.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Reads pace a live transfer, which may legitimately take much longer
+#: than a connect: a multi-MB streamed body over a slow link is healthy
+#: as long as bytes keep arriving. Kept separate from the connect
+#: timeout so a slow transfer is never misdiagnosed as a stale socket.
+DEFAULT_READ_TIMEOUT = 120.0
+
+
+def _read_timeout_for(timeout: float, read_timeout: "float | None") -> float:
+    """Resolve the per-read socket timeout: explicit wins; otherwise a
+    large connect timeout widens reads too, but a *small* one never
+    strangles a healthy streamed body."""
+    if read_timeout is not None:
+        return read_timeout
+    return max(DEFAULT_READ_TIMEOUT, timeout or 0.0)
 
 #: Default chunk size for streamed bodies: big enough to amortize frame
 #: and syscall overhead, small enough that per-connection staging memory
@@ -239,14 +258,18 @@ class CountingFile:
 
 
 def request(host: str, port: int, header: dict, body: bytes = b"",
-            timeout: float = 10.0) -> tuple[dict, "socket.socket | None", object]:
+            timeout: float = 10.0, read_timeout: "float | None" = None,
+            ) -> tuple[dict, "socket.socket | None", object]:
     """Open a connection, send one framed request, read the response header.
 
-    Returns ``(response, sock, rfile)`` with the connection still open so
-    the caller can stream a declared body via :func:`read_exact`; the caller
+    ``timeout`` bounds the connect; ``read_timeout`` (defaulting wide —
+    see :data:`DEFAULT_READ_TIMEOUT`) paces the response reads. Returns
+    ``(response, sock, rfile)`` with the connection still open so the
+    caller can stream a declared body via :func:`read_exact`; the caller
     owns closing ``sock``. Most callers want :func:`round_trip` instead.
     """
     sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(_read_timeout_for(timeout, read_timeout))
     try:
         wfile = sock.makefile("wb")
         rfile = sock.makefile("rb")
@@ -277,7 +300,8 @@ def read_response_body(rfile, resp: dict) -> bytes:
 
 
 def round_trip(host: str, port: int, header: dict, body: bytes = b"",
-               timeout: float = 10.0) -> tuple[dict, bytes]:
+               timeout: float = 10.0, read_timeout: "float | None" = None,
+               ) -> tuple[dict, bytes]:
     """One complete request/response exchange, body included.
 
     The response header's ``size`` field (when positive) declares a body;
@@ -285,7 +309,8 @@ def round_trip(host: str, port: int, header: dict, body: bytes = b"",
     declaring ``"chunked": true`` streams its body as chunk frames, and a
     chunked response is reassembled transparently.
     """
-    resp, sock, rfile = request(host, port, header, body, timeout=timeout)
+    resp, sock, rfile = request(host, port, header, body, timeout=timeout,
+                                read_timeout=read_timeout)
     try:
         payload = read_response_body(rfile, resp)
     finally:
@@ -304,8 +329,15 @@ class WireSession:
     :class:`SessionPool` retries).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 read_timeout: "float | None" = None):
+        # ``timeout`` bounds only the connect — fast or dead. Once the
+        # connection is up the socket switches to the (wider) read
+        # timeout, so a multi-MB streamed body on a slow link paces each
+        # read against DEFAULT_READ_TIMEOUT instead of being killed by
+        # the 10s connect budget and misread as a stale socket.
         self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(_read_timeout_for(timeout, read_timeout))
         # Requests are written whole (buffered makefile + flush), but a
         # body crossing the buffer boundary would split into small
         # segments; on a warm connection Nagle would then stall the tail
@@ -382,12 +414,20 @@ class SessionPool:
 
     def __init__(self, host: str, port: int, timeout: float = 10.0,
                  max_idle: int = 4, max_idle_seconds: float = 60.0,
-                 registry: "MetricsRegistry | None" = None):
+                 registry: "MetricsRegistry | None" = None,
+                 read_timeout: "float | None" = None,
+                 connect_retry: "RetryPolicy | None" = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.read_timeout = read_timeout
         self.max_idle = max_idle
         self.max_idle_seconds = max_idle_seconds
+        #: Backoff policy for *connect* failures only. A refused or
+        #: timed-out connect means the request was never sent, so the
+        #: retry is safe for every operation regardless of idempotency —
+        #: this is what rides out a store-server restart between ops.
+        self.connect_retry = connect_retry
         self._idle: list[WireSession] = []
         self._closed = False
         self._lock = threading.Lock()
@@ -397,6 +437,7 @@ class SessionPool:
         self._opened = self.registry.counter("store.pool.connections_opened")
         self._reaped = self.registry.counter("store.pool.connections_reaped")
         self._sent = self.registry.counter("store.pool.requests_sent")
+        self._retries = self.registry.counter("store.retries", op="connect")
 
     @property
     def connections_opened(self) -> int:
@@ -442,6 +483,16 @@ class SessionPool:
         for old in stale:
             old.close(polite=False)
 
+    def _connect(self) -> WireSession:
+        return WireSession(self.host, self.port, timeout=self.timeout,
+                           read_timeout=self.read_timeout)
+
+    def _note_connect_retry(self, attempt: int, delay: float, exc) -> None:
+        self._retries.inc()
+        _events.emit("warn", "store connect retry",
+                     host=self.host, port=self.port, attempt=attempt,
+                     delay_seconds=round(delay, 4), error=str(exc))
+
     def _checkout(self) -> WireSession:
         with self._lock:
             stale = self._reap_locked()
@@ -449,7 +500,12 @@ class SessionPool:
         self._close_reaped(stale)
         if session is not None:
             return session
-        session = WireSession(self.host, self.port, timeout=self.timeout)
+        if self.connect_retry is not None:
+            session = self.connect_retry.call(
+                self._connect, retry_on=(OSError,),
+                on_retry=self._note_connect_retry)
+        else:
+            session = self._connect()
         self._opened.inc()
         return session
 

@@ -44,6 +44,10 @@ _WORKER_COUNTER_FAMILIES = {
     "store.tier.hits": "tier_hits",
     "store.tier.misses": "tier_misses",
     "store.tier.flushed_blobs": "tier_flushed",
+    # Fault-tolerance health: nonzero means the worker is riding out
+    # store / coordinator flakiness behind its retry layer.
+    "store.retries": "store_retries",
+    "cluster.reconnects": "reconnects",
 }
 
 

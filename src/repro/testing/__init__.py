@@ -1,0 +1,16 @@
+"""Deterministic fault injection for chaos tests and CI.
+
+Production code never imports this package; the chaos test suite, the CI
+``chaos`` job, and ``REPRO_FAULT_INJECT`` wiring in the CLI do. See
+:mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultyBackend,
+    FlakyProxy,
+    InjectedFault,
+    arm_fault_injection,
+)
+
+__all__ = ["FaultyBackend", "FlakyProxy", "InjectedFault",
+           "arm_fault_injection"]

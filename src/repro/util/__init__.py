@@ -5,6 +5,7 @@ substrate package can use them without import cycles.
 """
 
 from repro.util.hashing import content_digest, stable_hash, short_digest
+from repro.util.retry import NO_RETRY, RetryPolicy
 from repro.util.rng import DeterministicRNG
 from repro.util.tokens import count_tokens
 from repro.util.json_schema import SchemaError, validate_schema
@@ -17,4 +18,6 @@ __all__ = [
     "count_tokens",
     "SchemaError",
     "validate_schema",
+    "RetryPolicy",
+    "NO_RETRY",
 ]

@@ -140,7 +140,11 @@ class TestSubprocessWorkers:
 
 class TestLongLivedCoordinator:
     def test_unreachable_coordinator_raises_cluster_error(self):
+        """With retries pinned off, a dead coordinator surfaces
+        immediately (the retried behavior lives in
+        tests/cluster/test_fault_tolerance.py)."""
         from repro.cluster import ClusterError, CoordinatorClient
+        from repro.util.retry import NO_RETRY
         import socket
 
         import pytest as _pytest
@@ -148,7 +152,8 @@ class TestLongLivedCoordinator:
         with socket.socket() as probe:
             probe.bind(("127.0.0.1", 0))
             port = probe.getsockname()[1]
-        client = CoordinatorClient("127.0.0.1", port, timeout=0.5)
+        client = CoordinatorClient("127.0.0.1", port, timeout=0.5,
+                                   retry=NO_RETRY)
         with _pytest.raises(ClusterError, match="unreachable"):
             client.fetch("w1")
 

@@ -16,6 +16,7 @@ from repro.store import (
     StoreServer,
 )
 from repro.util.hashing import content_digest
+from repro.util.retry import NO_RETRY
 
 
 @pytest.fixture(params=["pooled", "one-shot"])
@@ -207,11 +208,17 @@ class _FlakyServer:
 
 
 class TestClientAgainstDyingServer:
+    """These pin the *no-retry* failure surface (retry=NO_RETRY): with
+    retries disabled the client must fail loudly on the first wire
+    fault, never hand back truncated data or assume a swap landed. The
+    retried behaviors live in tests/store/test_retry.py."""
+
     def test_connection_closed_before_header(self):
         server = _FlakyServer(b"")
         try:
             with pytest.raises(RemoteStoreError, match="connection closed"):
-                RemoteBackend(*server.address, timeout=5).get_ref("r")
+                RemoteBackend(*server.address, timeout=5,
+                              retry=NO_RETRY).get_ref("r")
         finally:
             server.close()
 
@@ -222,7 +229,8 @@ class TestClientAgainstDyingServer:
         server = _FlakyServer(header + b"0123456789")
         try:
             with pytest.raises(RemoteStoreError, match="short body"):
-                RemoteBackend(*server.address, timeout=5).get(
+                RemoteBackend(*server.address, timeout=5,
+                              retry=NO_RETRY).get(
                     "sha256:" + "0" * 64)
         finally:
             server.close()
@@ -233,7 +241,8 @@ class TestClientAgainstDyingServer:
         server = _FlakyServer(b"")
         try:
             with pytest.raises(RemoteStoreError):
-                RemoteBackend(*server.address, timeout=5).compare_and_set_ref(
+                RemoteBackend(*server.address, timeout=5,
+                              retry=NO_RETRY).compare_and_set_ref(
                     "idx", None, b"data")
         finally:
             server.close()

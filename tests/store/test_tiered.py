@@ -352,3 +352,127 @@ class TestPoolDrainRace:
             flat = RemoteBackend(*server.address)
             for i in range(20):
                 assert flat.has(content_digest(b"blob-%d" % i))
+
+
+class _Outage(MemoryBackend):
+    """MemoryBackend with a switchable outage: every op raises
+    ConnectionError while ``down`` — the scriptable upstream for
+    degraded-mode tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.down = False
+        self.gets = 0
+
+    def _check(self):
+        if self.down:
+            raise ConnectionError("upstream down")
+
+    def put(self, digest, data):
+        self._check()
+        super().put(digest, data)
+
+    def put_many(self, blobs):
+        self._check()
+        super().put_many(blobs)
+
+    def get(self, digest):
+        self.gets += 1
+        self._check()
+        return super().get(digest)
+
+    def has(self, digest):
+        self._check()
+        return super().has(digest)
+
+    def set_ref(self, name, data):
+        self._check()
+        super().set_ref(name, data)
+
+    def get_ref(self, name):
+        self._check()
+        return super().get_ref(name)
+
+
+class TestDegradedMode:
+    """Upstream outage: bounded local buffering, fail-fast refs, and
+    recovery that drains the backlog."""
+
+    def _degraded_tier(self, **kwargs):
+        upstream = _Outage()
+        tier = TieredBackend(MemoryBackend(), upstream, **kwargs)
+        payload = b"already local"
+        self.digest = content_digest(payload)
+        tier.put(self.digest, payload)
+        upstream.down = True
+        with pytest.raises(ConnectionError):
+            tier.flush()  # observe the outage; blob stays pending
+        assert tier.degraded
+        return tier, upstream
+
+    def test_outage_enters_degraded_and_keeps_the_batch(self):
+        tier, upstream = self._degraded_tier()
+        assert tier.pending_blobs == 1  # re-queued, not dropped
+        snap = tier.registry.snapshot()
+        assert snap["gauges"]["store.tier.degraded"] == 1
+        assert snap["counters"]["store.tier.degraded_entries"] == 1
+
+    def test_local_reads_served_while_degraded(self):
+        tier, upstream = self._degraded_tier()
+        gets_before = upstream.gets
+        assert tier.get(self.digest) == b"already local"
+        assert tier.has(self.digest)
+        assert upstream.gets == gets_before  # never touched the wire
+
+    def test_read_miss_fails_fast_inside_probe_window(self):
+        tier, upstream = self._degraded_tier()
+        from repro.store.tiered import TierDegraded
+        with pytest.raises(TierDegraded):
+            tier.get("sha256:" + "0" * 64)
+        assert upstream.gets == 0  # no hammering a known-down upstream
+        assert not tier.has("sha256:" + "0" * 64)  # answer from what we hold
+        assert tier.registry.snapshot()["counters"][
+            "store.tier.degraded_failfast"] >= 1
+
+    def test_refs_fail_fast_while_degraded(self):
+        tier, _ = self._degraded_tier()
+        from repro.store.tiered import TierDegraded
+        with pytest.raises(TierDegraded):
+            tier.get_ref("artifact-index")
+        with pytest.raises(TierDegraded):
+            tier.set_ref("artifact-index", b"{}")
+        with pytest.raises(TierDegraded):
+            tier.compare_and_set_ref("artifact-index", None, b"{}")
+
+    def test_degraded_puts_buffer_up_to_the_bound(self):
+        tier, _ = self._degraded_tier(degraded_max_bytes=64,
+                                      flush_max_blobs=1000,
+                                      flush_max_bytes=1 << 20)
+        from repro.store.tiered import TierDegraded
+        small = b"x" * 16
+        tier.put(content_digest(small), small)  # fits: buffered locally
+        assert tier.get(content_digest(small)) == small
+        big = b"y" * 128
+        with pytest.raises(TierDegraded, match="backlog"):
+            tier.put(content_digest(big), big)
+        # The refused put did not corrupt the backlog.
+        assert tier.get(content_digest(small)) == small
+
+    def test_recovery_drains_backlog_upstream(self):
+        tier, upstream = self._degraded_tier()
+        while tier.degraded:
+            upstream.down = False
+            tier.flush()  # explicit flush always probes
+        assert not tier.degraded
+        assert upstream.has(self.digest)  # backlog drained
+        assert tier.pending_blobs == 0
+        assert tier.registry.snapshot()["gauges"]["store.tier.degraded"] == 0
+
+    def test_open_probe_window_recovers_via_read_path(self):
+        tier, upstream = self._degraded_tier()
+        upstream.down = False
+        other = b"upstream only"
+        upstream.put(content_digest(other), other)
+        tier._probe_after = 0.0  # the window opens (normally by backoff)
+        assert tier.get(content_digest(other)) == other  # probe = the miss
+        assert not tier.degraded

@@ -31,6 +31,7 @@ from repro.store.wire import (
     write_message,
 )
 from repro.util.hashing import content_digest
+from repro.util.retry import NO_RETRY
 
 
 @pytest.fixture()
@@ -156,11 +157,13 @@ class TestSessionPoolReconnect:
 
     def test_fresh_connection_failure_is_an_error(self):
         """Stale-socket retry must not mask a server that is simply not
-        there: the first exchange on a fresh connection propagates."""
+        there: with retries disabled, the first exchange on a fresh
+        connection propagates (the retried variant backs off first but
+        ends the same way — tests/store/test_retry.py)."""
         sock = socket.create_server(("127.0.0.1", 0))
         host, port = sock.getsockname()
         sock.close()  # nothing listens here any more
-        backend = RemoteBackend(host, port, timeout=2)
+        backend = RemoteBackend(host, port, timeout=2, retry=NO_RETRY)
         with pytest.raises(OSError):
             backend.get_ref("r")
 
